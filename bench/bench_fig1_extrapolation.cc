@@ -1,0 +1,81 @@
+/// F1 — Figure 1: "The dangers of extrapolation". A trend+AR(1) model is
+/// fit to the synthetic housing index through 2006 and extrapolated to
+/// 2011; the table shows the forecast diverging from the collapsing truth.
+/// google-benchmark section times the model fit itself.
+
+#include <cmath>
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "util/check.h"
+
+#include "timeseries/forecast.h"
+#include "timeseries/timeseries.h"
+
+namespace {
+
+using mde::timeseries::ForecastRmse;
+using mde::timeseries::SyntheticHousingIndex;
+using mde::timeseries::TimeSeries;
+using mde::timeseries::TrendAr1Model;
+
+void PrintFigure1() {
+  std::printf("=== F1 / Figure 1: extrapolation across a regime break ===\n");
+  TimeSeries truth = SyntheticHousingIndex(1970, 2011, 2006, 7);
+  TimeSeries log_history(1);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth.time(i) <= 2006) {
+      MDE_CHECK(
+          log_history.Append(truth.time(i), std::log(truth.value(i))).ok());
+    }
+  }
+  auto model = TrendAr1Model::Fit(log_history, /*quadratic=*/true).value();
+
+  std::printf("%6s %12s %12s %10s\n", "year", "truth", "forecast",
+              "error%");
+  std::vector<double> pred_future, truth_future;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    const double year = truth.time(i);
+    if (year < 2000) continue;
+    const double forecast = std::exp(model.Forecast({year})[0]);
+    const double err = 100.0 * (forecast - truth.value(i)) / truth.value(i);
+    std::printf("%6.0f %12.1f %12.1f %9.1f%%\n", year, truth.value(i),
+                forecast, err);
+    if (year > 2006) {
+      pred_future.push_back(forecast);
+      truth_future.push_back(truth.value(i));
+    }
+  }
+  const double rmse = ForecastRmse(pred_future, truth_future);
+  std::printf("\npost-2006 forecast RMSE: %.1f index points (truth 2011 "
+              "level: %.1f)\n",
+              rmse, truth_future.back());
+  std::printf("paper's point: the in-sample fit is excellent, yet the "
+              "extrapolation fails\nspectacularly because the model has no "
+              "knowledge of the mechanism change.\n\n");
+}
+
+void BM_FitTrendAr1(benchmark::State& state) {
+  TimeSeries truth = SyntheticHousingIndex(1970, 2011, 2006, 7);
+  TimeSeries history(1);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth.time(i) <= 2006) {
+      MDE_CHECK(history.Append(truth.time(i), std::log(truth.value(i))).ok());
+    }
+  }
+  for (auto _ : state) {
+    auto model = TrendAr1Model::Fit(history, true);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_FitTrendAr1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

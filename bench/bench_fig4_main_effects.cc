@@ -1,0 +1,72 @@
+/// F4 — Figure 4: the main-effects plot for seven parameters. Runs a
+/// stochastic simulation response over the Figure 3 design and prints, per
+/// factor, the mean response at the low and high settings (the two points
+/// of each panel in Figure 4) plus the half-normal (Daniel) diagnostic.
+
+#include <cmath>
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "doe/designs.h"
+#include "doe/main_effects.h"
+#include "util/distributions.h"
+
+namespace {
+
+using namespace mde;       // NOLINT
+using namespace mde::doe;  // NOLINT
+
+void PrintFigure4() {
+  std::printf("=== F4 / Figure 4: main-effects plot data ===\n");
+  // A 7-parameter stochastic response: three active factors.
+  const std::vector<double> beta = {1.8, 0.0, -1.1, 0.0, 0.45, 0.0, 0.0};
+  linalg::Matrix d = Resolution3Design7Factors();
+  Rng rng(2014);
+  linalg::Vector y(d.rows());
+  for (size_t r = 0; r < d.rows(); ++r) {
+    double v = 12.0;
+    for (size_t f = 0; f < 7; ++f) v += beta[f] * d(r, f);
+    y[r] = v + SampleNormal(rng, 0.0, 0.15);
+  }
+  auto effects = ComputeMainEffects(d, y).value();
+  std::printf("%8s %12s %12s %10s\n", "factor", "low mean", "high mean",
+              "effect");
+  for (const MainEffect& e : effects) {
+    std::printf("%8zu %12.3f %12.3f %10.3f\n", e.factor + 1, e.low_mean,
+                e.high_mean, e.effect);
+  }
+
+  auto half = HalfNormalScores(effects).value();
+  std::printf("\nhalf-normal (Daniel) plot coordinates "
+              "(abs effect vs quantile):\n");
+  for (const HalfNormalPoint& p : half) {
+    std::printf("  x%zu: |effect|=%.3f  q=%.3f\n", p.factor + 1,
+                p.abs_effect, p.quantile);
+  }
+  auto important = ImportantFactors(effects, 3.0);
+  std::printf("\nfactors declared important (Lenth-style cutoff):");
+  for (size_t f : important) std::printf(" x%zu", f + 1);
+  std::printf("  (truth: x1, x3, x5)\n\n");
+}
+
+void BM_MainEffects(benchmark::State& state) {
+  linalg::Matrix d = FullFactorial(static_cast<size_t>(state.range(0)));
+  linalg::Vector y(d.rows());
+  Rng rng(1);
+  for (auto& v : y) v = rng.NextDouble();
+  for (auto _ : state) {
+    auto e = ComputeMainEffects(d, y);
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_MainEffects)->Arg(7)->Arg(12);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,108 @@
+/// E11 — Section 2.2: the gridfields restrict/regrid commutation. Verifies
+/// the rewrite produces identical aggregates while processing a fraction
+/// of the source cells, and benchmarks both evaluation orders.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "gridfields/gridfields.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mde;             // NOLINT
+using namespace mde::gridfields; // NOLINT
+
+/// Holds the grid by value; the GridField is created on demand so its
+/// grid pointer always refers to the final resting place of the grid.
+struct Workload {
+  Grid grid;
+  std::vector<double> data;
+  std::vector<size_t> assignment;
+  std::vector<bool> keep;
+  size_t num_targets;
+
+  GridField MakeField() const { return GridField(&grid, 2, data); }
+};
+
+Workload MakeWorkload(size_t source_cells, size_t coarsen, double keep_frac,
+                      uint64_t seed) {
+  Rng rng(seed);
+  Workload w{MakeRegularGrid2D(source_cells, 1), {}, {}, {}, 0};
+  w.data.resize(source_cells);
+  for (auto& v : w.data) v = rng.NextDouble() * 100.0;
+  w.num_targets = (source_cells + coarsen - 1) / coarsen;
+  w.assignment.resize(source_cells);
+  for (size_t i = 0; i < source_cells; ++i) w.assignment[i] = i / coarsen;
+  w.keep.resize(w.num_targets);
+  for (size_t t = 0; t < w.num_targets; ++t) {
+    w.keep[t] = rng.NextDouble() < keep_frac;
+  }
+  return w;
+}
+
+void PrintCommutation() {
+  std::printf("=== E11: gridfields restrict/regrid commutation ===\n");
+  std::printf("%12s %10s %18s %18s\n", "keep frac", "equal?",
+              "cells (regrid 1st)", "cells (restrict 1st)");
+  for (double frac : {0.1, 0.3, 0.7}) {
+    // Rebuild per fraction; the field borrows the grid so keep both alive.
+    Rng rng(13);
+    Grid g = MakeRegularGrid2D(20000, 1);
+    std::vector<double> data(20000);
+    for (auto& v : data) v = rng.NextDouble() * 100.0;
+    GridField field(&g, 2, data);
+    std::vector<size_t> assign(20000);
+    for (size_t i = 0; i < 20000; ++i) assign[i] = i / 8;
+    std::vector<bool> keep(2500);
+    for (size_t t = 0; t < 2500; ++t) keep[t] = rng.NextDouble() < frac;
+    auto slow =
+        RegridThenRestrict(field, 2500, assign, RegridAgg::kMean, keep)
+            .value();
+    auto fast =
+        RestrictThenRegrid(field, 2500, assign, RegridAgg::kMean, keep)
+            .value();
+    bool equal = slow.values.size() == fast.values.size();
+    for (size_t i = 0; equal && i < slow.values.size(); ++i) {
+      equal = slow.values[i] == fast.values[i];
+    }
+    std::printf("%11.0f%% %10s %18zu %18zu\n", 100.0 * frac,
+                equal ? "yes" : "NO", slow.source_cells_processed,
+                fast.source_cells_processed);
+  }
+  std::printf("\npushing the restriction below the regrid is a pure win: "
+              "identical output,\nwork proportional to the kept fraction — "
+              "the Howe-Maier optimization.\n\n");
+}
+
+void BM_RegridThenRestrict(benchmark::State& state) {
+  static const Workload& w = *new Workload(MakeWorkload(100000, 8, 0.2, 17));
+  const GridField field = w.MakeField();
+  for (auto _ : state) {
+    auto r = RegridThenRestrict(field, w.num_targets, w.assignment,
+                                RegridAgg::kMean, w.keep);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RegridThenRestrict);
+
+void BM_RestrictThenRegrid(benchmark::State& state) {
+  static const Workload& w = *new Workload(MakeWorkload(100000, 8, 0.2, 17));
+  const GridField field = w.MakeField();
+  for (auto _ : state) {
+    auto r = RestrictThenRegrid(field, w.num_targets, w.assignment,
+                                RegridAgg::kMean, w.keep);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_RestrictThenRegrid);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintCommutation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

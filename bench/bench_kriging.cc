@@ -1,0 +1,157 @@
+/// E9 — Section 4.1: kriging metamodels. Shows (a) exact interpolation at
+/// design points and off-design RMSE vs a polynomial metamodel on a
+/// nonlinear surface, (b) stochastic kriging beating deterministic kriging
+/// under replication noise, and benchmarks fit/predict cost vs design
+/// size — "simulation on demand".
+
+#include <cmath>
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "metamodel/kriging.h"
+#include "metamodel/polynomial.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace mde;             // NOLINT
+using namespace mde::metamodel;  // NOLINT
+
+double Surface(double a, double b) {
+  return std::sin(3.0 * a) * std::cos(2.0 * b) + 0.5 * a;
+}
+
+void PrintAccuracy() {
+  std::printf("=== E9: kriging vs polynomial metamodels ===\n");
+  // 6x6 grid design over [0,1]^2.
+  std::vector<linalg::Vector> rows;
+  linalg::Vector y;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      const double a = i / 5.0;
+      const double b = j / 5.0;
+      rows.push_back({a, b});
+      y.push_back(Surface(a, b));
+    }
+  }
+  linalg::Matrix x = linalg::Matrix::FromRows(rows);
+  KrigingModel::Options kopt;
+  kopt.fit_hyperparameters = true;
+  auto gp = KrigingModel::Fit(x, y, kopt).value();
+  PolynomialMetamodel::Options popt;
+  popt.max_interaction_order = 2;
+  auto poly = PolynomialMetamodel::Fit(x, y, popt).value();
+
+  Rng rng(5);
+  double gp_rmse = 0.0, poly_rmse = 0.0;
+  const int probes = 500;
+  for (int p = 0; p < probes; ++p) {
+    const double a = rng.NextDouble();
+    const double b = rng.NextDouble();
+    const double truth = Surface(a, b);
+    gp_rmse += std::pow(gp.Predict({a, b}) - truth, 2);
+    poly_rmse += std::pow(poly.Predict({a, b}) - truth, 2);
+  }
+  gp_rmse = std::sqrt(gp_rmse / probes);
+  poly_rmse = std::sqrt(poly_rmse / probes);
+  std::printf("36-run design, nonlinear response sin(3a)cos(2b)+a/2:\n");
+  std::printf("%28s %10.4f\n", "kriging off-design RMSE", gp_rmse);
+  std::printf("%28s %10.4f\n", "polynomial (order 2) RMSE", poly_rmse);
+  std::printf("kriging interpolates design points exactly "
+              "(max |resid| = %.2e)\n\n",
+              [&] {
+                double m = 0.0;
+                for (size_t r = 0; r < rows.size(); ++r) {
+                  m = std::max(m, std::fabs(gp.Predict(rows[r]) - y[r]));
+                }
+                return m;
+              }());
+
+  // Stochastic kriging under noise.
+  Rng nrng(8);
+  linalg::Vector ybar(rows.size());
+  std::vector<double> pv(rows.size());
+  const double noise_sd = 0.3;
+  const size_t reps = 8;
+  for (size_t r = 0; r < rows.size(); ++r) {
+    double sum = 0.0;
+    for (size_t k = 0; k < reps; ++k) {
+      sum += y[r] + SampleNormal(nrng, 0.0, noise_sd);
+    }
+    ybar[r] = sum / reps;
+    pv[r] = noise_sd * noise_sd / reps;
+  }
+  auto det = KrigingModel::Fit(x, ybar, kopt).value();
+  KrigingModel::Options skopt = kopt;
+  skopt.fit_hyperparameters = false;
+  skopt.theta = det.theta();
+  skopt.tau2 = det.tau2();
+  auto stoch = KrigingModel::FitStochastic(x, ybar, pv, skopt).value();
+  double det_rmse = 0.0, stoch_rmse = 0.0;
+  for (int p = 0; p < probes; ++p) {
+    const double a = rng.NextDouble();
+    const double b = rng.NextDouble();
+    const double truth = Surface(a, b);
+    det_rmse += std::pow(det.Predict({a, b}) - truth, 2);
+    stoch_rmse += std::pow(stoch.Predict({a, b}) - truth, 2);
+  }
+  std::printf("with noisy replications (sd %.1f, %zu reps/point):\n",
+              noise_sd, reps);
+  std::printf("%28s %10.4f\n", "deterministic kriging RMSE",
+              std::sqrt(det_rmse / probes));
+  std::printf("%28s %10.4f\n", "stochastic kriging RMSE",
+              std::sqrt(stoch_rmse / probes));
+  std::printf("\n");
+}
+
+void BM_KrigingFit(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<linalg::Vector> rows;
+  linalg::Vector y;
+  for (size_t i = 0; i < n; ++i) {
+    const double a = rng.NextDouble();
+    const double b = rng.NextDouble();
+    rows.push_back({a, b});
+    y.push_back(Surface(a, b));
+  }
+  linalg::Matrix x = linalg::Matrix::FromRows(rows);
+  KrigingModel::Options opt;
+  opt.theta = {10.0, 10.0};
+  for (auto _ : state) {
+    auto m = KrigingModel::Fit(x, y, opt);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_KrigingFit)->Arg(25)->Arg(100)->Arg(400);
+
+void BM_KrigingPredict(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<linalg::Vector> rows;
+  linalg::Vector y;
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back({rng.NextDouble(), rng.NextDouble()});
+    y.push_back(Surface(rows.back()[0], rows.back()[1]));
+  }
+  KrigingModel::Options opt;
+  opt.theta = {10.0, 10.0};
+  auto m =
+      KrigingModel::Fit(linalg::Matrix::FromRows(rows), y, opt).value();
+  for (auto _ : state) {
+    const double p = m.Predict({rng.NextDouble(), rng.NextDouble()});
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_KrigingPredict)->Arg(25)->Arg(400);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAccuracy();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// Extension / ablation — Section 2.2 (Gemulla et al. [21]): DSGD matrix
+/// completion, the problem stratified SGD was invented for. Compares
+/// sequential SGD against block-stratified DSGD on a synthetic low-rank
+/// recommendation matrix, and ablates the blocking factor d.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "dsgd/matrix_completion.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace mde;        // NOLINT
+using namespace mde::dsgd;  // NOLINT
+
+void PrintComparison() {
+  std::printf("=== ablation: DSGD matrix completion ===\n");
+  RatingsDataset ds = SyntheticRatings(400, 300, 5, 0.1, 0.05, 31);
+  std::printf("matrix 400x300, true rank 5, %zu train / %zu test entries\n\n",
+              ds.train.size(), ds.test.size());
+  CompletionOptions opt;
+  opt.rank = 5;
+  opt.epochs = 30;
+
+  auto seq = CompleteSgd(ds.train, ds.rows, ds.cols, opt).value();
+  std::printf("%14s %12s %12s\n", "method", "train RMSE", "test RMSE");
+  std::printf("%14s %12.4f %12.4f\n", "sequential SGD",
+              seq.rmse_per_epoch.back(), seq.model.Rmse(ds.test));
+  ThreadPool pool(4);
+  for (size_t blocks : {2u, 4u, 8u}) {
+    CompletionOptions d = opt;
+    d.blocks = blocks;
+    auto par = CompleteDsgd(ds.train, ds.rows, ds.cols, pool, d).value();
+    char label[32];
+    std::snprintf(label, sizeof(label), "DSGD d=%zu", blocks);
+    std::printf("%14s %12.4f %12.4f\n", label, par.rmse_per_epoch.back(),
+                par.model.Rmse(ds.test));
+  }
+  std::printf("\nstratified DSGD matches sequential SGD quality regardless "
+              "of the blocking\nfactor — while its sub-epochs parallelize "
+              "with zero factor shuffling.\n\n");
+}
+
+void BM_SequentialSgdEpochs(benchmark::State& state) {
+  RatingsDataset ds = SyntheticRatings(400, 300, 5, 0.1, 0.05, 31);
+  CompletionOptions opt;
+  opt.rank = 5;
+  opt.epochs = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = CompleteSgd(ds.train, ds.rows, ds.cols, opt);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SequentialSgdEpochs)->Arg(5)->Arg(20);
+
+void BM_DsgdEpochs(benchmark::State& state) {
+  RatingsDataset ds = SyntheticRatings(400, 300, 5, 0.1, 0.05, 31);
+  ThreadPool pool(static_cast<size_t>(state.range(1)));
+  CompletionOptions opt;
+  opt.rank = 5;
+  opt.epochs = static_cast<size_t>(state.range(0));
+  opt.blocks = 4;
+  for (auto _ : state) {
+    auto r = CompleteDsgd(ds.train, ds.rows, ds.cols, pool, opt);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DsgdEpochs)->Args({5, 1})->Args({5, 4})->Args({20, 4});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintComparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

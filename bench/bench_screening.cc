@@ -1,0 +1,76 @@
+/// E10 — Section 4.3: factor screening. Shows sequential bifurcation's
+/// O(k log n) run count vs one-at-a-time screening across problem sizes,
+/// and benchmarks both.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "screening/screening.h"
+#include "util/distributions.h"
+
+namespace {
+
+using namespace mde;             // NOLINT
+using namespace mde::screening;  // NOLINT
+
+ScreeningResponse MakeResponse(size_t n, const std::vector<size_t>& active,
+                               double noise) {
+  std::vector<double> beta(n, 0.0);
+  for (size_t f : active) beta[f] = 4.0;
+  return [beta, noise](const std::vector<int>& levels, Rng& rng) {
+    double y = 10.0;
+    for (size_t f = 0; f < beta.size(); ++f) {
+      y += beta[f] * static_cast<double>(levels[f]);
+    }
+    return y + SampleNormal(rng, 0.0, noise);
+  };
+}
+
+void PrintRunCounts() {
+  std::printf("=== E10: sequential bifurcation vs one-at-a-time ===\n");
+  std::printf("%8s %6s %16s %16s %10s\n", "factors", "k", "SB runs",
+              "one-at-a-time", "correct");
+  for (size_t n : {32u, 128u, 512u, 2048u}) {
+    const std::vector<size_t> active = {n / 7, n / 2, n - 3};
+    auto response = MakeResponse(n, active, 0.05);
+    auto sb = SequentialBifurcation(response, n, 1.0, 2, 5);
+    auto oat = OneAtATimeScreening(response, n, 1.0, 2, 5);
+    const bool correct = sb.important == std::vector<size_t>(
+                                             {n / 7, n / 2, n - 3});
+    std::printf("%8zu %6d %16zu %16zu %10s\n", n, 3, sb.runs_used,
+                oat.runs_used, correct ? "yes" : "NO");
+  }
+  std::printf("\ngroup testing isolates the k important factors in O(k log "
+              "n) runs — the\nSection 4.3 claim; the gap widens by ~2x per "
+              "factor-count doubling.\n\n");
+}
+
+void BM_SequentialBifurcation(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto response = MakeResponse(n, {n / 3, n / 2}, 0.05);
+  for (auto _ : state) {
+    auto r = SequentialBifurcation(response, n, 1.0, 2, 5);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_SequentialBifurcation)->Arg(128)->Arg(1024);
+
+void BM_OneAtATime(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  auto response = MakeResponse(n, {n / 3, n / 2}, 0.05);
+  for (auto _ : state) {
+    auto r = OneAtATimeScreening(response, n, 1.0, 2, 5);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_OneAtATime)->Arg(128)->Arg(1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintRunCounts();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+/// E4 — Section 2.2: Splash-style time alignment at scale. Benchmarks the
+/// windowed parallel interpolation (linear and cubic spline) across thread
+/// counts, plus the aggregation aligner — the per-Monte-Carlo-repetition
+/// data harmonization cost the paper worries about.
+
+#include <cmath>
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "util/check.h"
+
+#include "timeseries/align.h"
+#include "timeseries/timeseries.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace mde;              // NOLINT
+using namespace mde::timeseries;  // NOLINT
+
+TimeSeries MakeSeries(size_t points) {
+  TimeSeries ts(1);
+  for (size_t i = 0; i < points; ++i) {
+    MDE_CHECK(ts.Append(static_cast<double>(i),
+                        std::sin(0.01 * i) + 0.3 * std::cos(0.003 * i))
+                  .ok());
+  }
+  return ts;
+}
+
+void PrintAlignmentDemo() {
+  std::printf("=== E4: time alignment between composite-model ticks ===\n");
+  std::printf("source: 100k-tick series; target: 400k interpolated / 10k "
+              "aggregated ticks\n");
+  std::printf("alignment classes: %s / %s\n\n",
+              DetermineAlignment(1.0, 0.25) == AlignmentKind::kInterpolation
+                  ? "finer target -> interpolation"
+                  : "?",
+              DetermineAlignment(1.0, 10.0) == AlignmentKind::kAggregation
+                  ? "coarser target -> aggregation"
+                  : "?");
+}
+
+void BM_ParallelInterpolate(benchmark::State& state) {
+  TimeSeries src = MakeSeries(100000);
+  std::vector<double> targets = UniformGrid(0.5, 99998.5, 400000);
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const bool spline = state.range(1) != 0;
+  ThreadPool pool(threads);
+  for (auto _ : state) {
+    auto out = ParallelInterpolate(src, targets, pool, spline);
+    MDE_CHECK(out.ok());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(targets.size()));
+  state.SetLabel(spline ? "cubic-spline" : "linear");
+}
+BENCHMARK(BM_ParallelInterpolate)
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({8, 0})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1});
+
+void BM_AggregateAlign(benchmark::State& state) {
+  TimeSeries src = MakeSeries(100000);
+  std::vector<double> targets = UniformGrid(10.0, 99990.0, 10000);
+  for (auto _ : state) {
+    auto out = AggregateAlign(src, targets, AggMethod::kMean);
+    MDE_CHECK(out.ok());
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_AggregateAlign);
+
+void BM_SplineConstantsExact(benchmark::State& state) {
+  TimeSeries src = MakeSeries(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto sigma = SplineConstants(src, 0);
+    benchmark::DoNotOptimize(sigma);
+  }
+}
+BENCHMARK(BM_SplineConstantsExact)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintAlignmentDemo();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

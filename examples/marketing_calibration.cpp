@@ -1,0 +1,118 @@
+/// Simulation as an information-integration tool (Section 3.1): an
+/// agent-based "word-of-mouth" market model integrates disparate data
+/// (adoption level, volatility, persistence) by calibration. We generate
+/// "observed" moments from the model at a hidden true parameter value,
+/// then recover the parameters with the method of simulated moments under
+/// three strategies, comparing simulator-call budgets.
+
+#include <cstdio>
+
+#include "calibrate/msm.h"
+#include "util/distributions.h"
+#include "util/stats.h"
+
+using namespace mde;             // NOLINT — example brevity
+using namespace mde::calibrate;  // NOLINT
+
+namespace {
+
+/// Agent-based adoption model: theta = (social influence, churn).
+/// Agents adopt with probability rising in the adopted fraction (word of
+/// mouth) and abandon at the churn rate. Moments: mean adoption, variance,
+/// lag-1 autocorrelation of the adoption path.
+Result<std::vector<double>> MarketSimulator(const std::vector<double>& theta,
+                                            uint64_t seed) {
+  const double influence = theta[0];
+  const double churn = theta[1];
+  Rng rng(seed * 977 + 13);
+  const int agents = 200;
+  std::vector<uint8_t> adopted(agents, 0);
+  std::vector<double> path;
+  for (int t = 0; t < 80; ++t) {
+    int count = 0;
+    for (uint8_t a : adopted) count += a;
+    const double frac = static_cast<double>(count) / agents;
+    for (auto& a : adopted) {
+      if (!a) {
+        a = SampleBernoulli(rng, 0.02 + influence * frac) ? 1 : 0;
+      } else if (SampleBernoulli(rng, churn)) {
+        a = 0;
+      }
+    }
+    path.push_back(frac);
+  }
+  return std::vector<double>{Mean(path), 10.0 * Variance(path),
+                             Autocorrelation(path, 1)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ABS calibration by the method of simulated moments\n\n");
+  const std::vector<double> theta_true = {0.5, 0.08};
+  std::printf("hidden true parameters: influence=%.2f churn=%.2f\n\n",
+              theta_true[0], theta_true[1]);
+
+  // "Observed" data: moments measured from the real-world process (here:
+  // the simulator at theta_true, which we pretend we cannot see).
+  std::vector<double> observed(3, 0.0);
+  std::vector<std::vector<double>> moment_samples;
+  for (int r = 0; r < 60; ++r) {
+    auto m = MarketSimulator(theta_true, 50000 + r).value();
+    moment_samples.push_back(m);
+    for (int k = 0; k < 3; ++k) observed[k] += m[k];
+  }
+  for (auto& v : observed) v /= 60.0;
+  // Hansen-optimal weight matrix from the observed moment covariance.
+  linalg::Matrix w = OptimalWeightMatrix(moment_samples).value();
+
+  MsmObjective objective(observed, w, MarketSimulator, /*sim_reps=*/8, 271);
+  Bounds bounds{{0.0, 0.0}, {1.5, 0.4}};
+
+  struct Strategy {
+    const char* name;
+    CalibrationResult result;
+  };
+  std::vector<Strategy> strategies;
+
+  // Equal-budget comparison (~300 simulator calls each), plus a
+  // high-budget Nelder-Mead reference.
+  strategies.push_back(
+      {"random search, equal budget",
+       CalibrateRandomSearch(objective, bounds, 38, 3).value()});
+
+  NelderMeadOptions nm_small;
+  nm_small.max_iterations = 16;
+  strategies.push_back(
+      {"Nelder-Mead, equal budget",
+       CalibrateNelderMead(objective, bounds, {1.4, 0.35}, nm_small)
+           .value()});
+
+  KrigingCalibrateOptions kr;
+  kr.design_points = 25;
+  kr.refinement_rounds = 12;
+  strategies.push_back(
+      {"NOLH + kriging (EGO)",
+       CalibrateKriging(objective, bounds, kr).value()});
+
+  NelderMeadOptions nm_big;
+  nm_big.max_iterations = 60;
+  strategies.push_back(
+      {"Nelder-Mead, 4x budget",
+       CalibrateNelderMead(objective, bounds, {1.4, 0.35}, nm_big)
+           .value()});
+
+  std::printf("%-26s %10s %10s %10s %12s\n", "strategy", "influence",
+              "churn", "J(theta)", "sim calls");
+  for (const auto& s : strategies) {
+    std::printf("%-26s %10.3f %10.3f %10.4f %12zu\n", s.name,
+                s.result.theta[0], s.result.theta[1], s.result.j_value,
+                s.result.simulator_calls);
+  }
+  std::printf(
+      "\nat equal budget the DOE+kriging metamodel improves on random "
+      "sampling of theta\nby an order of magnitude (the Section 3.1 "
+      "claim). Nelder-Mead is strong on this\nsmooth unimodal landscape "
+      "but, being local, carries no such guarantee in general.\n");
+  return 0;
+}

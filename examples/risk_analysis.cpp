@@ -1,0 +1,101 @@
+/// MCDB-R risk analysis (Section 2.1): the paper's finance examples — a
+/// backward random walk to impute missing historical prices, and
+/// simulation of a stock portfolio's value to estimate extreme quantiles
+/// (value-at-risk) and threshold probabilities, with bootstrap confidence
+/// intervals on the tail statistics.
+
+#include <cmath>
+#include <cstdio>
+
+#include "mcdb/estimators.h"
+#include "mcdb/vg_function.h"
+#include "util/check.h"
+#include "util/distributions.h"
+#include "util/stats.h"
+
+using namespace mde;        // NOLINT — example brevity
+using namespace mde::mcdb;  // NOLINT
+
+int main() {
+  std::printf("MCDB-R style risk analysis\n\n");
+
+  // 1. Impute missing prior prices with the BackwardRandomWalk VG function.
+  BackwardRandomWalkVg walk;
+  Rng rng(2014);
+  std::printf("imputed price history (5 backward walks from $100):\n");
+  std::printf("%6s", "step");
+  for (int i = -5; i <= -1; ++i) std::printf("%9d", i);
+  std::printf("\n");
+  for (int sample = 0; sample < 3; ++sample) {
+    std::vector<table::Row> out;
+    MDE_CHECK(walk.Generate({table::Value(100.0), table::Value(0.0005),
+                             table::Value(0.02), table::Value(int64_t{5})},
+                            rng, &out)
+                  .ok());
+    std::printf("%6d", sample);
+    for (auto it = out.rbegin(); it != out.rend(); ++it) {
+      std::printf("%9.2f", (*it)[1].AsDouble());
+    }
+    std::printf("\n");
+  }
+
+  // 2. Portfolio value one month ahead: 20 positions, each a geometric
+  // Brownian motion with its own drift/volatility; Monte Carlo over 4000
+  // repetitions.
+  std::printf("\nportfolio P&L distribution (4000 Monte Carlo reps):\n");
+  const size_t positions = 20;
+  std::vector<double> value0(positions), drift(positions), vol(positions);
+  Rng setup(7);
+  double initial_total = 0.0;
+  for (size_t p = 0; p < positions; ++p) {
+    value0[p] = 50.0 + setup.NextDouble() * 100.0;
+    drift[p] = 0.002 + 0.004 * setup.NextDouble();
+    vol[p] = 0.05 + 0.15 * setup.NextDouble();
+    initial_total += value0[p];
+  }
+  std::vector<double> pnl;
+  for (size_t rep = 0; rep < 4000; ++rep) {
+    Rng r = Rng::Substream(99, rep);
+    double total = 0.0;
+    for (size_t p = 0; p < positions; ++p) {
+      const double z = SampleStandardNormal(r);
+      total += value0[p] *
+               std::exp(drift[p] - 0.5 * vol[p] * vol[p] + vol[p] * z);
+    }
+    pnl.push_back(total - initial_total);
+  }
+  auto summary = Summarize(pnl).value();
+  std::printf("  mean P&L %.1f, sd %.1f, median %.1f\n", summary.mean,
+              std::sqrt(summary.variance), summary.median);
+
+  // 3. Risk metrics: extreme quantiles with distribution-free CIs, plus a
+  // bootstrap CI on expected shortfall.
+  auto var99 = ExtremeQuantile(pnl, 0.01, 0.95).value();
+  std::printf("\n  1%% quantile (99%% VaR): %.1f  [CI %.1f, %.1f]\n",
+              var99.value, var99.ci_low, var99.ci_high);
+  auto shortfall = BootstrapConfidenceInterval(
+                       pnl,
+                       [](const std::vector<double>& s) {
+                         const double q = Quantile(s, 0.01);
+                         double sum = 0.0;
+                         size_t n = 0;
+                         for (double v : s) {
+                           if (v <= q) {
+                             sum += v;
+                             ++n;
+                           }
+                         }
+                         return n > 0 ? sum / n : q;
+                       },
+                       400, 0.95, 11)
+                       .value();
+  std::printf("  expected shortfall (1%%): %.1f  [bootstrap CI %.1f, %.1f]\n",
+              shortfall.estimate, shortfall.lo, shortfall.hi);
+  auto loss_prob = ThresholdProbability(pnl, 0.0, 0.95).value();
+  std::printf("  P(portfolio gains) = %.3f +- %.3f\n", loss_prob.probability,
+              loss_prob.half_width);
+  std::printf("\nthe tail quantile, not the mean, is the decision quantity — "
+              "the reason MCDB-R\nadds special machinery for extreme "
+              "quantiles.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+/// Bonabeau's traffic example (Section 1): simple agent rules — accelerate
+/// when clear, brake behind slower cars, hesitate at random — reproduce
+/// real-world jam formation that no correlation mining over speed/volume
+/// data could explain. Prints the fundamental diagram (density vs mean
+/// speed and flow) and shows spontaneous jams at high density; then runs
+/// Schelling's segregation model, the other canonical emergent-behavior
+/// ABS the paper cites.
+
+#include <cstdio>
+
+#include "abs/schelling.h"
+#include "abs/traffic.h"
+
+using namespace mde::abs;  // NOLINT — example brevity
+
+int main() {
+  std::printf("Agent-based traffic on a 1000-cell ring road\n\n");
+  std::printf("%9s %12s %7s\n", "density", "mean speed", "jams");
+  for (size_t cars : {50, 150, 250, 350, 500, 700}) {
+    TrafficSim::Config cfg;
+    cfg.num_cells = 1000;
+    cfg.num_cars = cars;
+    cfg.seed = 99;
+    TrafficSim sim(cfg);
+    for (int t = 0; t < 300; ++t) sim.Step();
+    double speed = 0.0;
+    for (int t = 0; t < 100; ++t) {
+      sim.Step();
+      speed += sim.MeanSpeed();
+    }
+    std::printf("%8.2f%% %12.2f %7zu\n",
+                100.0 * cars / cfg.num_cells, speed / 100.0,
+                sim.CountJams());
+  }
+  std::printf("\njams emerge spontaneously above ~15%% density even though\n"
+              "every driver follows the same simple local rules.\n");
+
+  std::printf("\nSchelling segregation (mild 35%% preference)\n\n");
+  SchellingSim::Config sc;
+  sc.width = 50;
+  sc.height = 50;
+  sc.similarity_threshold = 0.35;
+  sc.seed = 3;
+  SchellingSim schelling(sc);
+  std::printf("%7s %14s %10s\n", "sweep", "segregation", "content");
+  for (int sweep = 0; sweep <= 50; sweep += 10) {
+    std::printf("%7d %13.1f%% %9.1f%%\n", sweep,
+                100.0 * schelling.SegregationIndex(),
+                100.0 * schelling.ContentFraction());
+    for (int s = 0; s < 10; ++s) schelling.Step();
+  }
+  std::printf("\nmildly tolerant agents still produce strongly segregated\n"
+              "neighborhoods — emergent behavior a data-only model misses.\n");
+  return 0;
+}

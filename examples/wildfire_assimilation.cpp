@@ -1,0 +1,58 @@
+/// Wildfire data assimilation (Section 3.2): a ground-truth fire spreads
+/// over synthetic terrain and is observed through noisy temperature
+/// sensors. An open-loop simulation (domain model alone) and particle
+/// filters with the bootstrap and the sensor-aware proposals track the
+/// front; the example prints per-step cell-classification error — model +
+/// data beats either alone.
+
+#include <cstdio>
+
+#include "util/stats.h"
+#include "wildfire/assimilate.h"
+#include "wildfire/fire.h"
+
+using namespace mde::wildfire;  // NOLINT — example brevity
+
+int main() {
+  std::printf("Wildfire data assimilation via particle filtering\n\n");
+
+  Terrain terrain = GenerateTerrain(40, 40, /*wind_x=*/0.6, /*wind_y=*/0.2,
+                                    /*seed=*/2014);
+  FireSim sim(terrain, {});
+  SensorModel::Config sensor_cfg;
+  sensor_cfg.stride = 5;
+  sensor_cfg.noise_sd = 20.0;
+  SensorModel sensors(terrain, sensor_cfg);
+  std::printf("terrain 40x40, %zu sensors, noise sd %.0f deg\n",
+              sensors.num_sensors(), sensor_cfg.noise_sd);
+
+  const size_t steps = 25;
+  AssimilationConfig bootstrap;
+  bootstrap.num_particles = 150;
+  bootstrap.proposal = ProposalKind::kBootstrap;
+  bootstrap.seed = 5;
+  auto boot = RunAssimilation(sim, sensors, steps, bootstrap, 99).value();
+
+  AssimilationConfig aware = bootstrap;
+  aware.proposal = ProposalKind::kSensorAware;
+  aware.num_particles = 60;  // KDE weighting is pricier per particle
+  aware.kde_samples = 6;
+  auto smart = RunAssimilation(sim, sensors, steps, aware, 99).value();
+
+  std::printf("\n%5s %12s %14s %16s\n", "step", "open-loop", "bootstrap PF",
+              "sensor-aware PF");
+  for (size_t t = 0; t < steps; t += 3) {
+    std::printf("%5zu %11.3f%% %13.3f%% %15.3f%%\n", t + 1,
+                100.0 * boot.open_loop_error[t],
+                100.0 * boot.filter_error[t],
+                100.0 * smart.filter_error[t]);
+  }
+  std::printf("\nmean error: open-loop %.3f%%, bootstrap %.3f%%, "
+              "sensor-aware %.3f%%\n",
+              100.0 * mde::Mean(boot.open_loop_error),
+              100.0 * mde::Mean(boot.filter_error),
+              100.0 * mde::Mean(smart.filter_error));
+  std::printf("mean bootstrap ESS: %.1f of %zu particles\n",
+              mde::Mean(boot.ess), bootstrap.num_particles);
+  return 0;
+}

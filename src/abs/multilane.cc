@@ -1,0 +1,103 @@
+#include "abs/multilane.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/distributions.h"
+
+namespace mde::abs {
+
+MultiLaneTraffic::MultiLaneTraffic(const Config& config)
+    : config_(config), rng_(config.seed) {
+  MDE_CHECK_GT(config.num_cells, 0u);
+  MDE_CHECK_GE(config.num_lanes, 1u);
+  MDE_CHECK_LE(config.num_cars, config.num_cells * config.num_lanes);
+  occupancy_.assign(config.num_cells * config.num_lanes, kEmpty);
+  cars_.resize(config.num_cars);
+  // Scatter cars uniformly over free (lane, cell) slots.
+  size_t placed = 0;
+  while (placed < config.num_cars) {
+    const size_t lane = rng_.NextBounded(config.num_lanes);
+    const size_t cell = rng_.NextBounded(config.num_cells);
+    if (OccAt(lane, cell) != kEmpty) continue;
+    cars_[placed] = {lane, cell, 0};
+    Occ(lane, cell) = placed;
+    ++placed;
+  }
+}
+
+int MultiLaneTraffic::GapAhead(size_t lane, size_t cell) const {
+  const int cap = config_.max_speed + 1;
+  for (int g = 1; g <= cap; ++g) {
+    const size_t probe = (cell + static_cast<size_t>(g)) % config_.num_cells;
+    if (OccAt(lane, probe) != kEmpty) return g - 1;
+  }
+  return cap;
+}
+
+int MultiLaneTraffic::GapBehind(size_t lane, size_t cell) const {
+  for (int g = 1; g <= config_.safe_gap_back; ++g) {
+    const size_t probe =
+        (cell + config_.num_cells - static_cast<size_t>(g)) %
+        config_.num_cells;
+    if (OccAt(lane, probe) != kEmpty) return g - 1;
+  }
+  return config_.safe_gap_back;
+}
+
+void MultiLaneTraffic::Step() {
+  lane_changes_ = 0;
+  // Lane-change sweep: a driver blocked in their lane moves sideways when
+  // the neighbor lane has strictly more headway, the target cell is free,
+  // and there is a safe gap behind.
+  for (size_t c = 0; c < cars_.size(); ++c) {
+    Car& car = cars_[c];
+    const int own_gap = GapAhead(car.lane, car.cell);
+    if (own_gap > car.speed) continue;  // not blocked
+    for (int delta : {-1, 1}) {
+      const long target = static_cast<long>(car.lane) + delta;
+      if (target < 0 || target >= static_cast<long>(config_.num_lanes)) {
+        continue;
+      }
+      const size_t tl = static_cast<size_t>(target);
+      if (OccAt(tl, car.cell) != kEmpty) continue;
+      if (GapAhead(tl, car.cell) <= own_gap) continue;
+      if (GapBehind(tl, car.cell) < config_.safe_gap_back) continue;
+      if (!SampleBernoulli(rng_, config_.p_change)) continue;
+      Occ(car.lane, car.cell) = kEmpty;
+      car.lane = tl;
+      Occ(car.lane, car.cell) = c;
+      ++lane_changes_;
+      break;
+    }
+  }
+  total_changes_ += lane_changes_;
+  // Per-lane NaSch update (accelerate, brake, dawdle, move). Cars are
+  // moved one at a time against the occupancy grid; gap computation before
+  // movement is order-independent because moves never exceed the gap.
+  for (size_t c = 0; c < cars_.size(); ++c) {
+    Car& car = cars_[c];
+    int v = std::min(car.speed + 1, config_.max_speed);
+    v = std::min(v, GapAhead(car.lane, car.cell));
+    if (v > 0 && SampleBernoulli(rng_, config_.p_slow)) --v;
+    car.speed = v;
+  }
+  for (size_t c = 0; c < cars_.size(); ++c) {
+    Car& car = cars_[c];
+    if (car.speed == 0) continue;
+    Occ(car.lane, car.cell) = kEmpty;
+    car.cell = (car.cell + static_cast<size_t>(car.speed)) %
+               config_.num_cells;
+    MDE_CHECK_EQ(OccAt(car.lane, car.cell), kEmpty);
+    Occ(car.lane, car.cell) = c;
+  }
+}
+
+double MultiLaneTraffic::MeanSpeed() const {
+  if (cars_.empty()) return 0.0;
+  double total = 0.0;
+  for (const Car& car : cars_) total += car.speed;
+  return total / static_cast<double>(cars_.size());
+}
+
+}  // namespace mde::abs

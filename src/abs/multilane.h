@@ -1,0 +1,77 @@
+#ifndef MDE_ABS_MULTILANE_H_
+#define MDE_ABS_MULTILANE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mde::abs {
+
+/// Multi-lane extension of the ring-road model: Bonabeau's driver rules
+/// include "we may switch lanes if they are open" (Section 1). Each lane
+/// runs Nagel-Schreckenberg dynamics; before moving, a blocked driver
+/// changes to an adjacent lane when the target lane offers more headway
+/// and has a safe gap behind.
+class MultiLaneTraffic {
+ public:
+  struct Config {
+    size_t num_cells = 1000;
+    size_t num_lanes = 2;
+    size_t num_cars = 300;
+    int max_speed = 5;
+    double p_slow = 0.25;
+    /// Probability a lane change is attempted when beneficial.
+    double p_change = 0.8;
+    /// Required free cells behind in the target lane.
+    int safe_gap_back = 2;
+    uint64_t seed = 13;
+  };
+
+  explicit MultiLaneTraffic(const Config& config);
+
+  /// One tick: lane-change sweep, then per-lane NaSch update.
+  void Step();
+
+  double MeanSpeed() const;
+  size_t lane_changes_last_step() const { return lane_changes_; }
+  size_t total_lane_changes() const { return total_changes_; }
+  size_t num_cars() const { return cars_.size(); }
+
+  /// Lane index of car c (for tests).
+  size_t lane(size_t car) const { return cars_[car].lane; }
+  size_t position(size_t car) const { return cars_[car].cell; }
+  int speed(size_t car) const { return cars_[car].speed; }
+
+ private:
+  struct Car {
+    size_t lane = 0;
+    size_t cell = 0;
+    int speed = 0;
+  };
+
+  /// Occupant car index at (lane, cell) or kEmpty.
+  static constexpr size_t kEmpty = static_cast<size_t>(-1);
+  size_t& Occ(size_t lane, size_t cell) {
+    return occupancy_[lane * config_.num_cells + cell];
+  }
+  size_t OccAt(size_t lane, size_t cell) const {
+    return occupancy_[lane * config_.num_cells + cell];
+  }
+  /// Free cells ahead of `cell` in `lane` (capped at max_speed + 1).
+  int GapAhead(size_t lane, size_t cell) const;
+  /// Free cells behind `cell` in `lane` (capped at safe_gap_back).
+  int GapBehind(size_t lane, size_t cell) const;
+
+  Config config_;
+  Rng rng_;
+  std::vector<Car> cars_;
+  std::vector<size_t> occupancy_;
+  size_t lane_changes_ = 0;
+  size_t total_changes_ = 0;
+};
+
+}  // namespace mde::abs
+
+#endif  // MDE_ABS_MULTILANE_H_

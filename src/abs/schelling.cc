@@ -1,0 +1,96 @@
+#include "abs/schelling.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/distributions.h"
+
+namespace mde::abs {
+
+SchellingSim::SchellingSim(const Config& config)
+    : config_(config), rng_(config.seed) {
+  MDE_CHECK(config.occupancy > 0.0 && config.occupancy < 1.0);
+  MDE_CHECK(config.similarity_threshold >= 0.0 &&
+            config.similarity_threshold <= 1.0);
+  const size_t n = config.width * config.height;
+  grid_.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    if (SampleBernoulli(rng_, config.occupancy)) {
+      grid_[i] = SampleBernoulli(rng_, 0.5) ? 1 : 2;
+    } else {
+      vacancies_.push_back(i);
+    }
+  }
+}
+
+double SchellingSim::LikeFraction(size_t idx, bool* has_neighbors) const {
+  const long w = static_cast<long>(config_.width);
+  const long h = static_cast<long>(config_.height);
+  const long x = static_cast<long>(idx) % w;
+  const long y = static_cast<long>(idx) / w;
+  const int self = grid_[idx];
+  size_t like = 0, occupied = 0;
+  for (long dy = -1; dy <= 1; ++dy) {
+    for (long dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const long nx = x + dx;
+      const long ny = y + dy;
+      if (nx < 0 || ny < 0 || nx >= w || ny >= h) continue;
+      const int other = grid_[static_cast<size_t>(ny * w + nx)];
+      if (other != 0) {
+        ++occupied;
+        if (other == self) ++like;
+      }
+    }
+  }
+  *has_neighbors = occupied > 0;
+  return occupied > 0 ? static_cast<double>(like) / occupied : 1.0;
+}
+
+bool SchellingSim::IsContent(size_t idx) const {
+  bool has_neighbors = false;
+  const double frac = LikeFraction(idx, &has_neighbors);
+  return !has_neighbors || frac >= config_.similarity_threshold;
+}
+
+size_t SchellingSim::Step() {
+  size_t moves = 0;
+  for (size_t i = 0; i < grid_.size(); ++i) {
+    if (grid_[i] == 0 || IsContent(i)) continue;
+    if (vacancies_.empty()) break;
+    const size_t pick = rng_.NextBounded(vacancies_.size());
+    const size_t target = vacancies_[pick];
+    grid_[target] = grid_[i];
+    grid_[i] = 0;
+    vacancies_[pick] = i;
+    ++moves;
+  }
+  return moves;
+}
+
+double SchellingSim::SegregationIndex() const {
+  double total = 0.0;
+  size_t agents = 0;
+  for (size_t i = 0; i < grid_.size(); ++i) {
+    if (grid_[i] == 0) continue;
+    bool has_neighbors = false;
+    const double frac = LikeFraction(i, &has_neighbors);
+    if (has_neighbors) {
+      total += frac;
+      ++agents;
+    }
+  }
+  return agents > 0 ? total / static_cast<double>(agents) : 0.0;
+}
+
+double SchellingSim::ContentFraction() const {
+  size_t content = 0, agents = 0;
+  for (size_t i = 0; i < grid_.size(); ++i) {
+    if (grid_[i] == 0) continue;
+    ++agents;
+    if (IsContent(i)) ++content;
+  }
+  return agents > 0 ? static_cast<double>(content) / agents : 1.0;
+}
+
+}  // namespace mde::abs

@@ -1,0 +1,58 @@
+#ifndef MDE_ABS_SCHELLING_H_
+#define MDE_ABS_SCHELLING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mde::abs {
+
+/// Schelling's dynamic model of segregation (paper reference [48]), the
+/// canonical early agent-based simulation: two agent types on a grid, each
+/// relocating when the fraction of like neighbors falls below a tolerance
+/// threshold. Even mild individual preferences produce strong global
+/// segregation — the emergent-behavior phenomenon ABS exists to capture.
+class SchellingSim {
+ public:
+  struct Config {
+    size_t width = 50;
+    size_t height = 50;
+    /// Fraction of cells occupied.
+    double occupancy = 0.9;
+    /// An agent is content when >= this fraction of its occupied neighbors
+    /// share its type.
+    double similarity_threshold = 0.3;
+    uint64_t seed = 11;
+  };
+
+  explicit SchellingSim(const Config& config);
+
+  /// One sweep: every discontent agent moves to a uniformly random vacant
+  /// cell. Returns the number of moves.
+  size_t Step();
+
+  /// Mean over agents of the like-neighbor fraction (the segregation
+  /// index; 0.5 = fully mixed under equal types).
+  double SegregationIndex() const;
+
+  /// Fraction of agents currently content.
+  double ContentFraction() const;
+
+  /// Cell contents: 0 = empty, 1 / 2 = agent type.
+  int cell(size_t x, size_t y) const { return grid_[y * config_.width + x]; }
+
+ private:
+  double LikeFraction(size_t idx, bool* has_neighbors) const;
+  bool IsContent(size_t idx) const;
+
+  Config config_;
+  Rng rng_;
+  std::vector<int> grid_;
+  std::vector<size_t> vacancies_;
+};
+
+}  // namespace mde::abs
+
+#endif  // MDE_ABS_SCHELLING_H_

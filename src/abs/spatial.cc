@@ -1,0 +1,89 @@
+#include "abs/spatial.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace mde::abs {
+
+double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+SpatialGrid::SpatialGrid(const std::vector<Point>& points, double cell_size)
+    : points_(points), cell_size_(cell_size) {
+  MDE_CHECK_GT(cell_size, 0.0);
+  double max_x = 0.0, max_y = 0.0;
+  min_x_ = min_y_ = 0.0;
+  if (!points.empty()) {
+    min_x_ = max_x = points[0].x;
+    min_y_ = max_y = points[0].y;
+    for (const Point& p : points) {
+      min_x_ = std::min(min_x_, p.x);
+      min_y_ = std::min(min_y_, p.y);
+      max_x = std::max(max_x, p.x);
+      max_y = std::max(max_y, p.y);
+    }
+  }
+  nx_ = static_cast<size_t>((max_x - min_x_) / cell_size_) + 1;
+  ny_ = static_cast<size_t>((max_y - min_y_) / cell_size_) + 1;
+  cells_.assign(nx_ * ny_, {});
+  for (size_t i = 0; i < points.size(); ++i) {
+    cells_[CellIndex(CellX(points[i].x), CellY(points[i].y))].push_back(i);
+  }
+}
+
+long SpatialGrid::CellX(double x) const {
+  return static_cast<long>((x - min_x_) / cell_size_);
+}
+
+long SpatialGrid::CellY(double y) const {
+  return static_cast<long>((y - min_y_) / cell_size_);
+}
+
+size_t SpatialGrid::CellIndex(long cx, long cy) const {
+  MDE_CHECK(cx >= 0 && cy >= 0);
+  MDE_CHECK(static_cast<size_t>(cx) < nx_ && static_cast<size_t>(cy) < ny_);
+  return static_cast<size_t>(cy) * nx_ + static_cast<size_t>(cx);
+}
+
+void SpatialGrid::ForEachNeighbor(size_t i, double radius,
+                                  const std::function<void(size_t)>& fn) const {
+  MDE_CHECK_LE(radius, cell_size_);
+  const Point& p = points_[i];
+  const long cx = CellX(p.x);
+  const long cy = CellY(p.y);
+  for (long dy = -1; dy <= 1; ++dy) {
+    for (long dx = -1; dx <= 1; ++dx) {
+      const long nx = cx + dx;
+      const long ny = cy + dy;
+      if (nx < 0 || ny < 0 || static_cast<size_t>(nx) >= nx_ ||
+          static_cast<size_t>(ny) >= ny_) {
+        continue;
+      }
+      for (size_t j : cells_[CellIndex(nx, ny)]) {
+        if (j != i && Distance(p, points_[j]) <= radius) fn(j);
+      }
+    }
+  }
+}
+
+std::vector<std::vector<size_t>> SpatialGrid::NeighborLists(
+    double radius, ThreadPool* pool) const {
+  std::vector<std::vector<size_t>> out(points_.size());
+  auto process_point = [&](size_t i) {
+    ForEachNeighbor(i, radius, [&](size_t j) { out[i].push_back(j); });
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(points_.size(), process_point);
+  } else {
+    for (size_t i = 0; i < points_.size(); ++i) process_point(i);
+  }
+  return out;
+}
+
+}  // namespace mde::abs

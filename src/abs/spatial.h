@@ -1,0 +1,58 @@
+#ifndef MDE_ABS_SPATIAL_H_
+#define MDE_ABS_SPATIAL_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace mde::abs {
+
+/// 2-D point.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double Distance(const Point& a, const Point& b);
+
+/// Uniform bucket grid over a set of points. This is the partitioning
+/// device behind "a step in an agent-based simulation is a self-join"
+/// (Wang et al., Section 2.1): agents interact only with nearby agents, so
+/// the self-join can be evaluated per grid cell (plus its 8 neighbors) and
+/// parallelized across cells with no cross-partition communication.
+class SpatialGrid {
+ public:
+  /// Builds buckets with cells of side `cell_size` (>= the interaction
+  /// radius for correctness of neighbor queries).
+  SpatialGrid(const std::vector<Point>& points, double cell_size);
+
+  /// Invokes fn(j) for every point j != i within `radius` of point i.
+  /// Requires radius <= cell_size.
+  void ForEachNeighbor(size_t i, double radius,
+                       const std::function<void(size_t)>& fn) const;
+
+  /// Materializes all neighbor lists: result[i] = indices within `radius`
+  /// of point i. Runs the per-cell self-join in parallel on `pool` when
+  /// non-null.
+  std::vector<std::vector<size_t>> NeighborLists(double radius,
+                                                 ThreadPool* pool) const;
+
+  size_t num_cells() const { return cells_.size(); }
+
+ private:
+  long CellX(double x) const;
+  long CellY(double y) const;
+  size_t CellIndex(long cx, long cy) const;
+
+  const std::vector<Point>& points_;
+  double cell_size_;
+  double min_x_ = 0.0, min_y_ = 0.0;
+  size_t nx_ = 1, ny_ = 1;
+  std::vector<std::vector<size_t>> cells_;
+};
+
+}  // namespace mde::abs
+
+#endif  // MDE_ABS_SPATIAL_H_

@@ -1,0 +1,119 @@
+#include "abs/traffic.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/distributions.h"
+
+namespace mde::abs {
+
+TrafficSim::TrafficSim(const Config& config)
+    : config_(config), rng_(config.seed) {
+  MDE_CHECK_GT(config.num_cells, 0u);
+  MDE_CHECK_LE(config.num_cars, config.num_cells);
+  MDE_CHECK_GT(config.max_speed, 0);
+  // Spread cars evenly around the ring, initial speed 0.
+  position_.resize(config.num_cars);
+  speed_.assign(config.num_cars, 0);
+  for (size_t i = 0; i < config.num_cars; ++i) {
+    position_[i] = i * config.num_cells / std::max<size_t>(1, config.num_cars);
+  }
+  std::sort(position_.begin(), position_.end());
+}
+
+void TrafficSim::Step() {
+  const size_t n = position_.size();
+  if (n == 0) {
+    last_flow_ = 0.0;
+    return;
+  }
+  size_t crossings = 0;
+  std::vector<size_t> new_pos(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Gap to the car ahead (ring wrap for the last car).
+    const size_t ahead = (i + 1) % n;
+    size_t gap;
+    if (n == 1) {
+      gap = config_.num_cells - 1;
+    } else {
+      gap = (position_[ahead] + config_.num_cells - position_[i]) %
+                config_.num_cells;
+      gap = gap == 0 ? config_.num_cells : gap;
+      gap -= 1;  // empty cells between
+    }
+    int v = speed_[i];
+    // 1. Accelerate toward the comfortable speed when the road allows.
+    if (v < config_.max_speed) ++v;
+    // 2. Brake to avoid the car in front.
+    v = std::min<int>(v, static_cast<int>(gap));
+    // 3. Random hesitation.
+    if (v > 0 && SampleBernoulli(rng_, config_.p_slow)) --v;
+    speed_[i] = v;
+    const size_t np = (position_[i] + static_cast<size_t>(v)) %
+                      config_.num_cells;
+    if (np < position_[i]) ++crossings;  // wrapped past the detector at 0
+    new_pos[i] = np;
+  }
+  position_ = std::move(new_pos);
+  last_flow_ = static_cast<double>(crossings);
+}
+
+double TrafficSim::MeanSpeed() const {
+  if (speed_.empty()) return 0.0;
+  double s = 0.0;
+  for (int v : speed_) s += v;
+  return s / static_cast<double>(speed_.size());
+}
+
+size_t TrafficSim::CountJams(size_t min_run) const {
+  const size_t n = position_.size();
+  if (n < min_run) return 0;
+  // A jammed car is stopped with the car ahead immediately adjacent.
+  std::vector<bool> jammed(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t ahead = (i + 1) % n;
+    const size_t gap = (position_[ahead] + config_.num_cells - position_[i]) %
+                       config_.num_cells;
+    jammed[i] = speed_[i] == 0 && gap <= 1;
+  }
+  // Count maximal runs of length >= min_run (circularly).
+  size_t jams = 0;
+  size_t run = 0;
+  bool all = true;
+  for (size_t i = 0; i < 2 * n; ++i) {
+    if (jammed[i % n]) {
+      ++run;
+    } else {
+      all = false;
+      if (i >= n && run >= min_run) ++jams;
+      run = 0;
+    }
+    if (i == 2 * n - 1 && all) return 1;  // one giant jam
+  }
+  return jams;
+}
+
+std::vector<double> FundamentalDiagram(const std::vector<size_t>& car_counts,
+                                       size_t num_cells, size_t warmup,
+                                       size_t measure, uint64_t seed) {
+  std::vector<double> mean_speeds;
+  mean_speeds.reserve(car_counts.size());
+  for (size_t cars : car_counts) {
+    TrafficSim::Config cfg;
+    cfg.num_cells = num_cells;
+    cfg.num_cars = cars;
+    cfg.seed = seed;
+    TrafficSim sim(cfg);
+    for (size_t t = 0; t < warmup; ++t) sim.Step();
+    double total = 0.0;
+    for (size_t t = 0; t < measure; ++t) {
+      sim.Step();
+      total += sim.MeanSpeed();
+    }
+    mean_speeds.push_back(measure > 0 ? total / static_cast<double>(measure)
+                                      : 0.0);
+  }
+  return mean_speeds;
+}
+
+}  // namespace mde::abs

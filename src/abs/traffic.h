@@ -1,0 +1,68 @@
+#ifndef MDE_ABS_TRAFFIC_H_
+#define MDE_ABS_TRAFFIC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mde::abs {
+
+/// Bonabeau's motivating traffic example (Section 1): drivers slow down at
+/// certain rates when someone appears in front, accelerate to a comfortable
+/// speed when the road is clear, and may randomly hesitate — the domain
+/// knowledge a pure data-mining approach cannot capture. Implemented as the
+/// classic Nagel–Schreckenberg cellular automaton on a ring road, which
+/// reproduces spontaneous jam formation at high densities.
+class TrafficSim {
+ public:
+  struct Config {
+    size_t num_cells = 1000;
+    size_t num_cars = 200;
+    /// "Comfortable" maximum speed in cells/tick.
+    int max_speed = 5;
+    /// Probability of random slowdown (driver hesitation).
+    double p_slow = 0.3;
+    uint64_t seed = 7;
+  };
+
+  explicit TrafficSim(const Config& config);
+
+  /// Advances one tick: accelerate, brake to gap, random slowdown, move.
+  void Step();
+
+  /// Mean speed over all cars at the current tick.
+  double MeanSpeed() const;
+
+  /// Number of distinct jams: maximal runs of >= `min_run` consecutive
+  /// stopped cars (speed 0) with unit headway.
+  size_t CountJams(size_t min_run = 3) const;
+
+  /// Flow: cars passing a fixed detector per tick, averaged over the last
+  /// Step() call.
+  double last_flow() const { return last_flow_; }
+
+  size_t num_cars() const { return position_.size(); }
+  int speed(size_t car) const { return speed_[car]; }
+  size_t position(size_t car) const { return position_[car]; }
+
+ private:
+  Config config_;
+  Rng rng_;
+  /// Car order is maintained sorted by position on the ring.
+  std::vector<size_t> position_;
+  std::vector<int> speed_;
+  double last_flow_ = 0.0;
+};
+
+/// Density -> mean-speed curve: runs the simulator at each car count for
+/// `warmup + measure` ticks and reports the mean speed over the measurement
+/// window. Used to reproduce the jam phase transition.
+std::vector<double> FundamentalDiagram(const std::vector<size_t>& car_counts,
+                                       size_t num_cells, size_t warmup,
+                                       size_t measure, uint64_t seed);
+
+}  // namespace mde::abs
+
+#endif  // MDE_ABS_TRAFFIC_H_

@@ -1,0 +1,71 @@
+#include "calibrate/estimation.h"
+
+#include <cmath>
+
+#include "calibrate/optimizers.h"
+#include "util/stats.h"
+
+namespace mde::calibrate {
+
+Result<double> ExponentialMle(const std::vector<double>& data) {
+  if (data.empty()) return Status::InvalidArgument("no data");
+  for (double x : data) {
+    if (x < 0.0) return Status::InvalidArgument("exponential data must be >= 0");
+  }
+  const double mean = Mean(data);
+  if (mean <= 0.0) return Status::NumericError("degenerate data (mean 0)");
+  return 1.0 / mean;
+}
+
+Result<NormalParams> NormalMle(const std::vector<double>& data) {
+  if (data.size() < 2) return Status::InvalidArgument("need >= 2 points");
+  NormalParams p;
+  p.mu = Mean(data);
+  double ss = 0.0;
+  for (double x : data) ss += (x - p.mu) * (x - p.mu);
+  p.sigma = std::sqrt(ss / static_cast<double>(data.size()));
+  return p;
+}
+
+Result<double> GenericMle1D(
+    const std::function<double(double)>& log_likelihood, double lo,
+    double hi) {
+  if (lo >= hi) return Status::InvalidArgument("lo must be < hi");
+  OptimResult r = GoldenSection(
+      [&](double theta) { return -log_likelihood(theta); }, lo, hi);
+  return r.x[0];
+}
+
+Result<double> MethodOfMoments1D(
+    const std::function<double(double)>& moment_fn, double observed_moment,
+    double lo, double hi) {
+  if (lo >= hi) return Status::InvalidArgument("lo must be < hi");
+  double flo = moment_fn(lo) - observed_moment;
+  double fhi = moment_fn(hi) - observed_moment;
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if (flo * fhi > 0.0) {
+    return Status::FailedPrecondition(
+        "moment equation has no sign change on [lo, hi]");
+  }
+  double a = lo, b = hi;
+  for (int iter = 0; iter < 200 && (b - a) > 1e-12 * (hi - lo); ++iter) {
+    const double mid = 0.5 * (a + b);
+    const double fm = moment_fn(mid) - observed_moment;
+    if (fm == 0.0) return mid;
+    if (fm * flo < 0.0) {
+      b = mid;
+    } else {
+      a = mid;
+      flo = fm;
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+Result<double> ExponentialMm(const std::vector<double>& data) {
+  // E[X] = 1/theta => theta = 1/mean: identical to the MLE.
+  return ExponentialMle(data);
+}
+
+}  // namespace mde::calibrate

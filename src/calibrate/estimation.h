@@ -1,0 +1,43 @@
+#ifndef MDE_CALIBRATE_ESTIMATION_H_
+#define MDE_CALIBRATE_ESTIMATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mde::calibrate {
+
+/// Maximum likelihood estimation (Section 3.1). Closed forms for the
+/// paper's worked examples, plus a generic univariate maximizer for models
+/// whose likelihood is available.
+
+/// MLE of the exponential rate theta from i.i.d. data: theta-hat = 1/mean.
+Result<double> ExponentialMle(const std::vector<double>& data);
+
+/// MLE of (mu, sigma) for normal data (sigma uses the 1/n ML convention).
+struct NormalParams {
+  double mu = 0.0;
+  double sigma = 1.0;
+};
+Result<NormalParams> NormalMle(const std::vector<double>& data);
+
+/// Generic univariate MLE: maximizes `log_likelihood(theta)` over
+/// [lo, hi] by golden section.
+Result<double> GenericMle1D(
+    const std::function<double(double)>& log_likelihood, double lo,
+    double hi);
+
+/// Method of moments (Section 3.1): solves Ybar - m(theta) = 0 for a
+/// univariate theta when the model moment function m is available, by
+/// bisection of the monotone moment equation over [lo, hi].
+Result<double> MethodOfMoments1D(const std::function<double(double)>& moment_fn,
+                                 double observed_moment, double lo, double hi);
+
+/// Method of moments for the exponential: E[X] = 1/theta, so theta-hat =
+/// 1/Xbar (coincides with the MLE, as the paper notes).
+Result<double> ExponentialMm(const std::vector<double>& data);
+
+}  // namespace mde::calibrate
+
+#endif  // MDE_CALIBRATE_ESTIMATION_H_

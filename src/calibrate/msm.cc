@@ -1,0 +1,236 @@
+#include "calibrate/msm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "doe/designs.h"
+#include "linalg/solve.h"
+#include "metamodel/kriging.h"
+#include "util/check.h"
+#include "util/distributions.h"
+
+namespace mde::calibrate {
+
+Result<linalg::Matrix> OptimalWeightMatrix(
+    const std::vector<std::vector<double>>& moment_samples) {
+  if (moment_samples.size() < 2) {
+    return Status::InvalidArgument("need >= 2 moment samples");
+  }
+  const size_t m = moment_samples[0].size();
+  // Sample covariance of the moment vectors.
+  std::vector<double> mean(m, 0.0);
+  for (const auto& s : moment_samples) {
+    if (s.size() != m) {
+      return Status::InvalidArgument("inconsistent moment dimensions");
+    }
+    for (size_t k = 0; k < m; ++k) mean[k] += s[k];
+  }
+  for (double& v : mean) v /= static_cast<double>(moment_samples.size());
+  linalg::Matrix cov(m, m);
+  for (const auto& s : moment_samples) {
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < m; ++j) {
+        cov(i, j) += (s[i] - mean[i]) * (s[j] - mean[j]);
+      }
+    }
+  }
+  cov *= 1.0 / static_cast<double>(moment_samples.size() - 1);
+  // Ridge for invertibility.
+  double trace = 0.0;
+  for (size_t i = 0; i < m; ++i) trace += cov(i, i);
+  const double ridge = 1e-8 * (trace / static_cast<double>(m) + 1.0);
+  for (size_t i = 0; i < m; ++i) cov(i, i) += ridge;
+  return linalg::Inverse(cov);
+}
+
+MsmObjective::MsmObjective(std::vector<double> observed_moments,
+                           linalg::Matrix weight, MomentSimulator simulator,
+                           size_t sim_reps, uint64_t seed)
+    : observed_(std::move(observed_moments)),
+      weight_(std::move(weight)),
+      simulator_(std::move(simulator)),
+      sim_reps_(std::max<size_t>(1, sim_reps)),
+      seed_(seed) {
+  MDE_CHECK_EQ(weight_.rows(), observed_.size());
+  MDE_CHECK_EQ(weight_.cols(), observed_.size());
+}
+
+Result<double> MsmObjective::Evaluate(const std::vector<double>& theta) const {
+  const size_t m = observed_.size();
+  std::vector<double> avg(m, 0.0);
+  for (size_t rep = 0; rep < sim_reps_; ++rep) {
+    MDE_ASSIGN_OR_RETURN(std::vector<double> sim,
+                         simulator_(theta, seed_ + calls_));
+    ++calls_;
+    if (sim.size() != m) {
+      return Status::InvalidArgument("simulator moment dimension mismatch");
+    }
+    for (size_t k = 0; k < m; ++k) avg[k] += sim[k];
+  }
+  linalg::Vector g(m);
+  for (size_t k = 0; k < m; ++k) {
+    g[k] = observed_[k] - avg[k] / static_cast<double>(sim_reps_);
+  }
+  const linalg::Vector wg = weight_ * g;
+  return linalg::Dot(g, wg);
+}
+
+Objective MsmObjective::AsObjective() const {
+  return [this](const std::vector<double>& theta) {
+    auto r = Evaluate(theta);
+    return r.ok() ? r.value() : std::numeric_limits<double>::infinity();
+  };
+}
+
+Result<CalibrationResult> CalibrateRandomSearch(const MsmObjective& objective,
+                                                const Bounds& bounds,
+                                                size_t evaluations,
+                                                uint64_t seed) {
+  objective.ResetCallCount();
+  OptimResult r =
+      RandomSearch(objective.AsObjective(), bounds, evaluations, seed);
+  CalibrationResult out;
+  out.theta = r.x;
+  out.j_value = r.value;
+  out.simulator_calls = objective.simulator_calls();
+  return out;
+}
+
+Result<CalibrationResult> CalibrateNelderMead(
+    const MsmObjective& objective, const Bounds& bounds,
+    const std::vector<double>& x0, const NelderMeadOptions& options) {
+  objective.ResetCallCount();
+  MDE_ASSIGN_OR_RETURN(
+      OptimResult r, NelderMead(objective.AsObjective(), x0, bounds, options));
+  CalibrationResult out;
+  out.theta = r.x;
+  out.j_value = r.value;
+  out.simulator_calls = objective.simulator_calls();
+  return out;
+}
+
+Result<CalibrationResult> CalibrateKriging(
+    const MsmObjective& objective, const Bounds& bounds,
+    const KrigingCalibrateOptions& options) {
+  objective.ResetCallCount();
+  const size_t dims = bounds.dims();
+  if (dims == 0) return Status::InvalidArgument("empty bounds");
+  if (options.design_points < dims + 2) {
+    return Status::InvalidArgument("too few design points");
+  }
+  // 1. Nearly orthogonal LH design over the box.
+  Rng rng(options.seed);
+  linalg::Matrix coded = doe::NearlyOrthogonalLatinHypercube(
+      dims, options.design_points, options.lh_attempts, rng);
+  MDE_ASSIGN_OR_RETURN(linalg::Matrix initial,
+                       doe::ScaleDesign(coded, bounds.lo, bounds.hi));
+  // 2. Expensive J evaluations at the design points only. The surface is
+  // fit to log(1 + J): J often spans orders of magnitude across the box,
+  // and the log transform keeps the Gaussian process from being dominated
+  // by the worst corner.
+  std::vector<linalg::Vector> points;
+  std::vector<double> log_j;
+  std::vector<double> raw_j;
+  auto evaluate_at = [&](const linalg::Vector& theta) -> Status {
+    std::vector<double> t(theta.begin(), theta.end());
+    MDE_ASSIGN_OR_RETURN(double j, objective.Evaluate(t));
+    points.push_back(theta);
+    raw_j.push_back(j);
+    log_j.push_back(std::log1p(std::max(0.0, j)));
+    return Status::OK();
+  };
+  for (size_t r = 0; r < initial.rows(); ++r) {
+    linalg::Vector theta(dims);
+    for (size_t k = 0; k < dims; ++k) theta[k] = initial(r, k);
+    MDE_RETURN_NOT_OK(evaluate_at(theta));
+  }
+
+  // 3-5. Fit the kriging surface, minimize it with multi-start
+  // Nelder-Mead, confirm the candidate with a real J evaluation, add it to
+  // the design, and refit (a small EGO loop).
+  NelderMeadOptions nm;
+  nm.max_iterations = 200;
+  // The GP is fit in normalized [0,1]^d coordinates so one length-scale
+  // grid covers parameters of very different physical scales.
+  auto normalize = [&](const std::vector<double>& x) {
+    linalg::Vector u(dims);
+    for (size_t k = 0; k < dims; ++k) {
+      u[k] = (x[k] - bounds.lo[k]) / (bounds.hi[k] - bounds.lo[k]);
+    }
+    return u;
+  };
+  for (size_t round = 0; round <= options.refinement_rounds; ++round) {
+    std::vector<linalg::Vector> unit_points;
+    unit_points.reserve(points.size());
+    for (const auto& p : points) {
+      unit_points.push_back(
+          normalize(std::vector<double>(p.begin(), p.end())));
+    }
+    metamodel::KrigingModel::Options kopt;
+    kopt.fit_hyperparameters = true;
+    // J evaluations are noisy (finite sim_reps); a visible nugget keeps
+    // the surface from chasing that noise.
+    kopt.nugget = 0.02;
+    kopt.theta.assign(dims, 1.0);
+    MDE_ASSIGN_OR_RETURN(
+        metamodel::KrigingModel surface,
+        metamodel::KrigingModel::Fit(linalg::Matrix::FromRows(unit_points),
+                                     log_j, kopt));
+    // Acquisition: negative expected improvement over the incumbent on
+    // the log-J scale. The variance term makes later rounds explore
+    // under-sampled regions instead of resampling the best design point.
+    const double incumbent =
+        *std::min_element(log_j.begin(), log_j.end());
+    Objective cheap = [&surface, &normalize,
+                       incumbent](const std::vector<double>& x) {
+      const linalg::Vector u = normalize(x);
+      const double mu = surface.Predict(u);
+      const double sd = std::sqrt(std::max(surface.PredictVariance(u), 0.0));
+      if (sd < 1e-12) return -(std::max(incumbent - mu, 0.0));
+      const double z = (incumbent - mu) / sd;
+      const double ei = (incumbent - mu) * NormalCdf(z, 0.0, 1.0) +
+                        sd * NormalPdf(z, 0.0, 1.0);
+      return -ei;
+    };
+    std::vector<double> best_x;
+    double best_v = std::numeric_limits<double>::infinity();
+    for (size_t start = 0; start < options.surface_starts; ++start) {
+      std::vector<double> x0(dims);
+      if (start == 0) {
+        // Warm start from the best design point seen so far.
+        size_t arg = 0;
+        for (size_t i = 1; i < raw_j.size(); ++i) {
+          if (raw_j[i] < raw_j[arg]) arg = i;
+        }
+        x0.assign(points[arg].begin(), points[arg].end());
+      } else {
+        for (size_t k = 0; k < dims; ++k) {
+          x0[k] = SampleUniform(rng, bounds.lo[k], bounds.hi[k]);
+        }
+      }
+      auto r = NelderMead(cheap, x0, bounds, nm);
+      if (r.ok() && r.value().value < best_v) {
+        best_v = r.value().value;
+        best_x = r.value().x;
+      }
+    }
+    if (best_x.empty()) {
+      return Status::Internal("surface minimization failed");
+    }
+    MDE_RETURN_NOT_OK(
+        evaluate_at(linalg::Vector(best_x.begin(), best_x.end())));
+  }
+
+  size_t arg = 0;
+  for (size_t i = 1; i < raw_j.size(); ++i) {
+    if (raw_j[i] < raw_j[arg]) arg = i;
+  }
+  CalibrationResult out;
+  out.theta.assign(points[arg].begin(), points[arg].end());
+  out.j_value = raw_j[arg];
+  out.simulator_calls = objective.simulator_calls();
+  return out;
+}
+
+}  // namespace mde::calibrate

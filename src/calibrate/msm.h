@@ -1,0 +1,97 @@
+#ifndef MDE_CALIBRATE_MSM_H_
+#define MDE_CALIBRATE_MSM_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "calibrate/optimizers.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace mde::calibrate {
+
+/// A stochastic simulator reporting the moment vector m-hat(theta) for one
+/// run at parameter theta (the expensive object in ABS calibration,
+/// Section 3.1).
+using MomentSimulator = std::function<Result<std::vector<double>>(
+    const std::vector<double>& theta, uint64_t seed)>;
+
+/// Estimates the MSM weight matrix W as the (ridge-regularized) inverse of
+/// the sample covariance of observed moment vectors — the standard choice
+/// that boosts statistical efficiency (Hansen 1982).
+Result<linalg::Matrix> OptimalWeightMatrix(
+    const std::vector<std::vector<double>>& moment_samples);
+
+/// The generalized-distance MSM objective
+///   J(theta) = G' W G,   G = Ybar - m-hat(theta),
+/// where m-hat averages `sim_reps` simulator calls. Counts simulator calls
+/// so calibration strategies can be compared on cost.
+class MsmObjective {
+ public:
+  MsmObjective(std::vector<double> observed_moments, linalg::Matrix weight,
+               MomentSimulator simulator, size_t sim_reps, uint64_t seed);
+
+  /// J(theta); errors from the simulator propagate.
+  Result<double> Evaluate(const std::vector<double>& theta) const;
+
+  /// Adapter usable with the optimizers (returns +inf on simulator error).
+  Objective AsObjective() const;
+
+  size_t simulator_calls() const { return calls_; }
+  void ResetCallCount() const { calls_ = 0; }
+
+  size_t num_moments() const { return observed_.size(); }
+
+ private:
+  std::vector<double> observed_;
+  linalg::Matrix weight_;
+  MomentSimulator simulator_;
+  size_t sim_reps_;
+  uint64_t seed_;
+  mutable size_t calls_ = 0;
+};
+
+/// Outcome of a calibration strategy.
+struct CalibrationResult {
+  std::vector<double> theta;
+  double j_value = 0.0;
+  /// Simulator invocations consumed — the cost axis of experiment E8.
+  size_t simulator_calls = 0;
+};
+
+/// Baseline: uniform random sampling of theta (what the paper calls the
+/// approach heuristic optimization vastly improves on).
+Result<CalibrationResult> CalibrateRandomSearch(const MsmObjective& objective,
+                                                const Bounds& bounds,
+                                                size_t evaluations,
+                                                uint64_t seed);
+
+/// Nelder-Mead directly on J (Fabretti's approach).
+Result<CalibrationResult> CalibrateNelderMead(const MsmObjective& objective,
+                                              const Bounds& bounds,
+                                              const std::vector<double>& x0,
+                                              const NelderMeadOptions& options);
+
+/// DOE + kriging metamodel calibration (Salle & Yildizoglu): evaluate J on
+/// a nearly orthogonal Latin hypercube over the bounds, fit a kriging
+/// surface to the (design, J) data, minimize the cheap surface with
+/// multi-start Nelder-Mead, and confirm the winner with one real J
+/// evaluation. Uses dramatically fewer simulator calls than direct search.
+struct KrigingCalibrateOptions {
+  size_t design_points = 17;
+  size_t lh_attempts = 64;
+  size_t surface_starts = 8;
+  /// EGO-style refinement: after minimizing the surface, evaluate J at the
+  /// candidate, add the point to the design, refit, and repeat. Each round
+  /// costs one real J evaluation.
+  size_t refinement_rounds = 4;
+  uint64_t seed = 5150;
+};
+Result<CalibrationResult> CalibrateKriging(
+    const MsmObjective& objective, const Bounds& bounds,
+    const KrigingCalibrateOptions& options);
+
+}  // namespace mde::calibrate
+
+#endif  // MDE_CALIBRATE_MSM_H_

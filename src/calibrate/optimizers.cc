@@ -1,0 +1,264 @@
+#include "calibrate/optimizers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/distributions.h"
+
+namespace mde::calibrate {
+
+void Bounds::Clamp(std::vector<double>* x) const {
+  MDE_CHECK_EQ(x->size(), lo.size());
+  for (size_t i = 0; i < x->size(); ++i) {
+    (*x)[i] = std::clamp((*x)[i], lo[i], hi[i]);
+  }
+}
+
+bool Bounds::Contains(const std::vector<double>& x) const {
+  if (x.size() != lo.size()) return false;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < lo[i] || x[i] > hi[i]) return false;
+  }
+  return true;
+}
+
+Result<OptimResult> NelderMead(const Objective& f,
+                               const std::vector<double>& x0,
+                               const Bounds& bounds,
+                               const NelderMeadOptions& options) {
+  const size_t n = x0.size();
+  if (n == 0 || bounds.lo.size() != n || bounds.hi.size() != n) {
+    return Status::InvalidArgument("dimension mismatch");
+  }
+  OptimResult result;
+  auto eval = [&](std::vector<double> x) {
+    bounds.Clamp(&x);
+    ++result.evaluations;
+    return std::make_pair(f(x), x);
+  };
+
+  // Initial simplex: x0 plus steps along each axis.
+  std::vector<std::vector<double>> simplex;
+  std::vector<double> values;
+  {
+    auto [v, x] = eval(x0);
+    simplex.push_back(x);
+    values.push_back(v);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> x = x0;
+    x[i] += options.initial_step * (bounds.hi[i] - bounds.lo[i]);
+    auto [v, xc] = eval(x);
+    simplex.push_back(xc);
+    values.push_back(v);
+  }
+
+  constexpr double kAlpha = 1.0;   // reflection
+  constexpr double kGamma = 2.0;   // expansion
+  constexpr double kRho = 0.5;     // contraction
+  constexpr double kSigma = 0.5;   // shrink
+
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    // Order simplex by value.
+    std::vector<size_t> order(simplex.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return values[a] < values[b]; });
+    std::vector<std::vector<double>> s2;
+    std::vector<double> v2;
+    for (size_t i : order) {
+      s2.push_back(simplex[i]);
+      v2.push_back(values[i]);
+    }
+    simplex = std::move(s2);
+    values = std::move(v2);
+    if (values.back() - values.front() < options.tolerance) break;
+
+    // Centroid of all but worst.
+    std::vector<double> centroid(n, 0.0);
+    for (size_t i = 0; i + 1 < simplex.size(); ++i) {
+      for (size_t k = 0; k < n; ++k) centroid[k] += simplex[i][k];
+    }
+    for (size_t k = 0; k < n; ++k) centroid[k] /= static_cast<double>(n);
+
+    auto affine = [&](double t) {
+      std::vector<double> x(n);
+      for (size_t k = 0; k < n; ++k) {
+        x[k] = centroid[k] + t * (simplex.back()[k] - centroid[k]);
+      }
+      return x;
+    };
+
+    auto [vr, xr] = eval(affine(-kAlpha));  // reflection
+    if (vr < values.front()) {
+      auto [ve, xe] = eval(affine(-kGamma));  // expansion
+      if (ve < vr) {
+        simplex.back() = xe;
+        values.back() = ve;
+      } else {
+        simplex.back() = xr;
+        values.back() = vr;
+      }
+      continue;
+    }
+    if (vr < values[values.size() - 2]) {
+      simplex.back() = xr;
+      values.back() = vr;
+      continue;
+    }
+    auto [vc, xc] = eval(affine(kRho));  // contraction
+    if (vc < values.back()) {
+      simplex.back() = xc;
+      values.back() = vc;
+      continue;
+    }
+    // Shrink toward the best vertex.
+    for (size_t i = 1; i < simplex.size(); ++i) {
+      for (size_t k = 0; k < n; ++k) {
+        simplex[i][k] =
+            simplex[0][k] + kSigma * (simplex[i][k] - simplex[0][k]);
+      }
+      auto [v, x] = eval(simplex[i]);
+      simplex[i] = x;
+      values[i] = v;
+    }
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < values.size(); ++i) {
+    if (values[i] < values[best]) best = i;
+  }
+  result.x = simplex[best];
+  result.value = values[best];
+  return result;
+}
+
+Result<OptimResult> GeneticMinimize(const Objective& f, const Bounds& bounds,
+                                    const GeneticOptions& options) {
+  const size_t n = bounds.dims();
+  if (n == 0 || options.population < 4) {
+    return Status::InvalidArgument("need dims >= 1 and population >= 4");
+  }
+  Rng rng(options.seed);
+  OptimResult result;
+  auto eval = [&](const std::vector<double>& x) {
+    ++result.evaluations;
+    return f(x);
+  };
+
+  std::vector<std::vector<double>> pop(options.population,
+                                       std::vector<double>(n));
+  std::vector<double> fitness(options.population);
+  for (auto& ind : pop) {
+    for (size_t k = 0; k < n; ++k) {
+      ind[k] = SampleUniform(rng, bounds.lo[k], bounds.hi[k]);
+    }
+  }
+  for (size_t i = 0; i < pop.size(); ++i) fitness[i] = eval(pop[i]);
+
+  auto tournament = [&]() -> size_t {
+    const size_t a = rng.NextBounded(pop.size());
+    const size_t b = rng.NextBounded(pop.size());
+    return fitness[a] < fitness[b] ? a : b;
+  };
+
+  for (size_t gen = 0; gen < options.generations; ++gen) {
+    ++result.iterations;
+    std::vector<std::vector<double>> next;
+    next.reserve(pop.size());
+    // Elitism: carry the best individual.
+    size_t best = 0;
+    for (size_t i = 1; i < pop.size(); ++i) {
+      if (fitness[i] < fitness[best]) best = i;
+    }
+    next.push_back(pop[best]);
+    while (next.size() < pop.size()) {
+      const auto& pa = pop[tournament()];
+      const auto& pb = pop[tournament()];
+      std::vector<double> child(n);
+      for (size_t k = 0; k < n; ++k) {
+        if (SampleBernoulli(rng, options.crossover_rate)) {
+          const double w = rng.NextDouble();
+          child[k] = w * pa[k] + (1.0 - w) * pb[k];
+        } else {
+          child[k] = pa[k];
+        }
+        if (SampleBernoulli(rng, options.mutation_rate)) {
+          child[k] += SampleNormal(
+              rng, 0.0,
+              options.mutation_sigma * (bounds.hi[k] - bounds.lo[k]));
+        }
+      }
+      bounds.Clamp(&child);
+      next.push_back(std::move(child));
+    }
+    pop = std::move(next);
+    for (size_t i = 0; i < pop.size(); ++i) fitness[i] = eval(pop[i]);
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < pop.size(); ++i) {
+    if (fitness[i] < fitness[best]) best = i;
+  }
+  result.x = pop[best];
+  result.value = fitness[best];
+  return result;
+}
+
+OptimResult GoldenSection(const std::function<double(double)>& f, double lo,
+                          double hi, double tolerance,
+                          size_t max_iterations) {
+  MDE_CHECK_LT(lo, hi);
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  OptimResult result;
+  double a = lo, b = hi;
+  double c = b - phi * (b - a);
+  double d = a + phi * (b - a);
+  double fc = f(c), fd = f(d);
+  result.evaluations = 2;
+  for (size_t iter = 0; iter < max_iterations && (b - a) > tolerance;
+       ++iter) {
+    ++result.iterations;
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - phi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + phi * (b - a);
+      fd = f(d);
+    }
+    ++result.evaluations;
+  }
+  const double x = fc < fd ? c : d;
+  result.x = {x};
+  result.value = std::min(fc, fd);
+  return result;
+}
+
+OptimResult RandomSearch(const Objective& f, const Bounds& bounds,
+                         size_t evaluations, uint64_t seed) {
+  MDE_CHECK_GT(evaluations, 0u);
+  Rng rng(seed);
+  OptimResult result;
+  const size_t n = bounds.dims();
+  std::vector<double> x(n);
+  for (size_t e = 0; e < evaluations; ++e) {
+    for (size_t k = 0; k < n; ++k) {
+      x[k] = SampleUniform(rng, bounds.lo[k], bounds.hi[k]);
+    }
+    const double v = f(x);
+    ++result.evaluations;
+    if (result.x.empty() || v < result.value) {
+      result.x = x;
+      result.value = v;
+    }
+  }
+  return result;
+}
+
+}  // namespace mde::calibrate

@@ -1,0 +1,71 @@
+#ifndef MDE_CALIBRATE_OPTIMIZERS_H_
+#define MDE_CALIBRATE_OPTIMIZERS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mde::calibrate {
+
+/// Objective to minimize over a real parameter vector.
+using Objective = std::function<double(const std::vector<double>&)>;
+
+/// Box bounds for a parameter vector.
+struct Bounds {
+  std::vector<double> lo;
+  std::vector<double> hi;
+
+  size_t dims() const { return lo.size(); }
+  /// Clamps x into the box in place.
+  void Clamp(std::vector<double>* x) const;
+  bool Contains(const std::vector<double>& x) const;
+};
+
+/// Result of a derivative-free minimization.
+struct OptimResult {
+  std::vector<double> x;
+  double value = 0.0;
+  size_t evaluations = 0;
+  size_t iterations = 0;
+};
+
+/// Nelder-Mead simplex (the heuristic optimizer Fabretti applies to ABS
+/// calibration, Section 3.1), with box-constraint clamping.
+struct NelderMeadOptions {
+  size_t max_iterations = 300;
+  double initial_step = 0.1;  // relative to box width
+  double tolerance = 1e-8;    // simplex value spread stopping criterion
+};
+Result<OptimResult> NelderMead(const Objective& f,
+                               const std::vector<double>& x0,
+                               const Bounds& bounds,
+                               const NelderMeadOptions& options);
+
+/// Simple real-coded genetic algorithm (tournament selection, blend
+/// crossover, Gaussian mutation) — the other heuristic of Section 3.1.
+struct GeneticOptions {
+  size_t population = 40;
+  size_t generations = 50;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.15;
+  double mutation_sigma = 0.1;  // relative to box width
+  uint64_t seed = 31;
+};
+Result<OptimResult> GeneticMinimize(const Objective& f, const Bounds& bounds,
+                                    const GeneticOptions& options);
+
+/// Golden-section search for univariate minimization on [lo, hi].
+OptimResult GoldenSection(const std::function<double(double)>& f, double lo,
+                          double hi, double tolerance = 1e-9,
+                          size_t max_iterations = 200);
+
+/// Uniform random search baseline: `evaluations` points in the box.
+OptimResult RandomSearch(const Objective& f, const Bounds& bounds,
+                         size_t evaluations, uint64_t seed);
+
+}  // namespace mde::calibrate
+
+#endif  // MDE_CALIBRATE_OPTIMIZERS_H_

@@ -1,0 +1,68 @@
+#ifndef MDE_COMPOSITE_EXPERIMENT_H_
+#define MDE_COMPOSITE_EXPERIMENT_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "table/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mde::composite {
+
+/// Splash's experiment-management layer (Section 4.2): metadata gives the
+/// experimenter a unified view of composite-model parameters, a designed
+/// experiment chooses which parameter combinations to simulate, and the
+/// runtime "templating" support sets each component model's parameters per
+/// run. Here a parameterized simulation receives its parameters as a named
+/// map — the in-memory analogue of synthesizing per-model input files.
+using ParameterizedSimulation = std::function<Result<double>(
+    const std::map<std::string, double>& params, Rng& rng)>;
+
+/// One tunable parameter with its feasible range (the experimenter's
+/// "low/high values" in coded-design terms).
+struct ParameterSpec {
+  std::string name;
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+struct ExperimentOptions {
+  /// Monte Carlo replications per design point.
+  size_t replications = 3;
+  uint64_t seed = 1;
+};
+
+/// Results of one designed experiment.
+struct ExperimentResult {
+  /// The coded design that was run (one row per design point).
+  linalg::Matrix coded_design;
+  /// The same design in physical parameter units.
+  linalg::Matrix scaled_design;
+  /// Mean response per design point (over replications).
+  linalg::Vector mean_response;
+  /// Sample variance of the response per design point.
+  linalg::Vector response_variance;
+
+  /// Unified tabular view: one row per design point with parameter columns
+  /// plus mean/variance columns — the "experiment browser" relation.
+  Result<table::Table> AsTable(
+      const std::vector<ParameterSpec>& params) const;
+};
+
+/// Runs `sim` at every row of `coded_design` (scaled onto the parameter
+/// ranges), with `replications` independent replications per point. Coded
+/// designs may come from any generator in mde::doe (factorial, fractional,
+/// LH, NOLH). Replication r of design point p uses substream (p, r) of the
+/// seed, so results are reproducible and extendable.
+Result<ExperimentResult> RunExperiment(
+    const linalg::Matrix& coded_design,
+    const std::vector<ParameterSpec>& params,
+    const ParameterizedSimulation& sim, const ExperimentOptions& options);
+
+}  // namespace mde::composite
+
+#endif  // MDE_COMPOSITE_EXPERIMENT_H_

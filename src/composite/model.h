@@ -1,0 +1,68 @@
+#ifndef MDE_COMPOSITE_MODEL_H_
+#define MDE_COMPOSITE_MODEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mde::composite {
+
+/// A component simulation model in a Splash-style composite (Section 2.3,
+/// Figure 2): consumes an input dataset, produces an output dataset, and
+/// may be stochastic. Datasets are modeled as numeric vectors (a component
+/// model's serialized output file).
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Runs the model once on `input` using randomness from `rng`.
+  virtual Result<std::vector<double>> Execute(const std::vector<double>& input,
+                                              Rng& rng) const = 0;
+
+  /// Declared cost of one execution in abstract work units (c1 / c2 in the
+  /// paper's analysis). Used by the optimizer and by budgeted runs; wall
+  /// clock would inject noise into the reproducibility of experiments.
+  virtual double cost() const { return 1.0; }
+
+  /// True when the model's output is a deterministic function of its input
+  /// (the V2 = V1 corner of the analysis).
+  virtual bool deterministic() const { return false; }
+};
+
+/// Adapter wrapping a lambda as a Model.
+class FunctionModel : public Model {
+ public:
+  using Fn = std::function<Result<std::vector<double>>(
+      const std::vector<double>&, Rng&)>;
+
+  FunctionModel(std::string name, Fn fn, double cost = 1.0,
+                bool deterministic = false)
+      : name_(std::move(name)),
+        fn_(std::move(fn)),
+        cost_(cost),
+        deterministic_(deterministic) {}
+
+  const std::string& name() const override { return name_; }
+  Result<std::vector<double>> Execute(const std::vector<double>& input,
+                                      Rng& rng) const override {
+    return fn_(input, rng);
+  }
+  double cost() const override { return cost_; }
+  bool deterministic() const override { return deterministic_; }
+
+ private:
+  std::string name_;
+  Fn fn_;
+  double cost_;
+  bool deterministic_;
+};
+
+}  // namespace mde::composite
+
+#endif  // MDE_COMPOSITE_MODEL_H_

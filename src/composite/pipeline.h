@@ -1,0 +1,53 @@
+#ifndef MDE_COMPOSITE_PIPELINE_H_
+#define MDE_COMPOSITE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "composite/model.h"
+#include "util/status.h"
+
+namespace mde::composite {
+
+/// Data transformation inserted between two component models in a
+/// composite (the Splash data-harmonization step): rescaling, reshaping,
+/// time alignment, etc.
+using Transformation =
+    std::function<Result<std::vector<double>>(const std::vector<double>&)>;
+
+/// A series composite model M = M_k o T_{k-1} o ... o T_1 o M_1: models
+/// communicate only by reading and writing datasets (loose coupling), with
+/// a transformation harmonizing each dataset hand-off.
+class Pipeline {
+ public:
+  /// Appends a stage; `transform` harmonizes this stage's input (identity
+  /// if null). The first stage's transform applies to the pipeline input.
+  void AddStage(std::shared_ptr<const Model> model,
+                Transformation transform = nullptr);
+
+  size_t num_stages() const { return stages_.size(); }
+
+  /// One end-to-end execution (one Monte Carlo repetition).
+  Result<std::vector<double>> Execute(const std::vector<double>& input,
+                                      Rng& rng) const;
+
+  /// n independent repetitions; returns the first component of each final
+  /// output.
+  Result<std::vector<double>> MonteCarlo(const std::vector<double>& input,
+                                         size_t n, uint64_t seed) const;
+
+  /// Total declared cost of one end-to-end execution.
+  double CostPerRun() const;
+
+ private:
+  struct Stage {
+    std::shared_ptr<const Model> model;
+    Transformation transform;
+  };
+  std::vector<Stage> stages_;
+};
+
+}  // namespace mde::composite
+
+#endif  // MDE_COMPOSITE_PIPELINE_H_

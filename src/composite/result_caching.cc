@@ -1,0 +1,159 @@
+#include "composite/result_caching.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace mde::composite {
+
+double GAlpha(double alpha, const CostStats& s) {
+  MDE_CHECK(alpha > 0.0 && alpha <= 1.0);
+  const double r = std::floor(1.0 / alpha);
+  return (alpha * s.c1 + s.c2) *
+         (s.v1 + (2.0 * r - alpha * r * (r + 1.0)) * s.v2);
+}
+
+double GTildeAlpha(double alpha, const CostStats& s) {
+  MDE_CHECK(alpha > 0.0 && alpha <= 1.0);
+  return (alpha * s.c1 + s.c2) * (s.v1 + (1.0 / alpha - 1.0) * s.v2);
+}
+
+double OptimalAlpha(const CostStats& s, double min_alpha) {
+  MDE_CHECK(min_alpha > 0.0 && min_alpha <= 1.0);
+  if (s.v2 <= 0.0) return min_alpha;       // M2 insensitive to M1's output
+  if (s.v2 >= s.v1) return 1.0;            // M2 is a transformer of M1
+  if (s.c1 <= 0.0) return 1.0;             // M1 free: no reason to cache
+  const double ratio = (s.c2 / s.c1) / (s.v1 / s.v2 - 1.0);
+  return std::clamp(std::sqrt(ratio), min_alpha, 1.0);
+}
+
+Result<RcRunResult> RunResultCaching(const Model& m1, const Model& m2,
+                                     const std::vector<double>& m1_input,
+                                     double alpha, size_t n, uint64_t seed) {
+  if (!(alpha > 0.0 && alpha <= 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1]");
+  }
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  RcRunResult result;
+  const size_t m_n = std::min<size_t>(
+      n, static_cast<size_t>(std::ceil(alpha * static_cast<double>(n))));
+  // Phase 1: run M1 m_n times, caching the outputs (the "write to disk"
+  // step of the RC strategy).
+  std::vector<std::vector<double>> cache;
+  cache.reserve(m_n);
+  Rng rng1 = Rng::Substream(seed, 0);
+  for (size_t i = 0; i < m_n; ++i) {
+    MDE_ASSIGN_OR_RETURN(std::vector<double> y1, m1.Execute(m1_input, rng1));
+    cache.push_back(std::move(y1));
+  }
+  // Phase 2: n runs of M2, cycling deterministically through the cached M1
+  // outputs — the stratified-sampling cycling scheme of the paper.
+  Rng rng2 = Rng::Substream(seed, 1);
+  result.outputs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<double>& y1 = cache[i % m_n];
+    MDE_ASSIGN_OR_RETURN(std::vector<double> y2, m2.Execute(y1, rng2));
+    if (y2.empty()) {
+      return Status::FailedPrecondition("M2 produced empty output");
+    }
+    result.outputs.push_back(y2[0]);
+  }
+  result.m1_runs = m_n;
+  result.m2_runs = n;
+  result.total_cost = static_cast<double>(m_n) * m1.cost() +
+                      static_cast<double>(n) * m2.cost();
+  result.estimate = Mean(result.outputs);
+  return result;
+}
+
+Result<RcRunResult> RunWithBudget(const Model& m1, const Model& m2,
+                                  const std::vector<double>& m1_input,
+                                  double alpha, double budget,
+                                  uint64_t seed) {
+  if (budget <= 0.0) return Status::InvalidArgument("budget must be > 0");
+  // C_n = ceil(alpha n) c1 + n c2; find N(c) = sup{n : C_n <= c}.
+  size_t n = 0;
+  while (true) {
+    const size_t next = n + 1;
+    const double cost =
+        std::ceil(alpha * static_cast<double>(next)) * m1.cost() +
+        static_cast<double>(next) * m2.cost();
+    if (cost > budget) break;
+    n = next;
+  }
+  if (n == 0) {
+    return Status::FailedPrecondition("budget too small for a single run");
+  }
+  return RunResultCaching(m1, m2, m1_input, alpha, n, seed);
+}
+
+Result<CostStats> EstimateStatistics(const Model& m1, const Model& m2,
+                                     const std::vector<double>& m1_input,
+                                     size_t pilot_m1, size_t pilot_m2_per,
+                                     uint64_t seed) {
+  if (pilot_m1 < 2 || pilot_m2_per < 2) {
+    return Status::InvalidArgument("pilot sizes must be >= 2");
+  }
+  Rng rng1 = Rng::Substream(seed, 0);
+  Rng rng2 = Rng::Substream(seed, 1);
+  RunningStat overall;
+  std::vector<double> group_means;
+  group_means.reserve(pilot_m1);
+  double within_ss = 0.0;
+  for (size_t i = 0; i < pilot_m1; ++i) {
+    MDE_ASSIGN_OR_RETURN(std::vector<double> y1, m1.Execute(m1_input, rng1));
+    RunningStat group;
+    for (size_t j = 0; j < pilot_m2_per; ++j) {
+      MDE_ASSIGN_OR_RETURN(std::vector<double> y2, m2.Execute(y1, rng2));
+      if (y2.empty()) {
+        return Status::FailedPrecondition("M2 produced empty output");
+      }
+      overall.Add(y2[0]);
+      group.Add(y2[0]);
+    }
+    group_means.push_back(group.mean());
+    within_ss += group.variance();
+  }
+  CostStats s;
+  s.c1 = m1.cost();
+  s.c2 = m2.cost();
+  s.v1 = overall.variance();
+  // One-way ANOVA: Var(E[Y2 | Y1]) = Var(group means) - Var(within)/k is an
+  // unbiased estimate of V2 = Cov of two outputs sharing an input.
+  const double between = Variance(group_means);
+  const double within = within_ss / static_cast<double>(pilot_m1);
+  s.v2 = std::max(0.0, between - within / static_cast<double>(pilot_m2_per));
+  return s;
+}
+
+Result<CostStats> MetadataStore::Lookup(const std::string& pair_key) const {
+  auto it = store_.find(pair_key);
+  if (it == store_.end()) {
+    return Status::NotFound("no metadata for: " + pair_key);
+  }
+  return it->second;
+}
+
+void MetadataStore::Store(const std::string& pair_key,
+                          const CostStats& stats) {
+  store_[pair_key] = stats;
+}
+
+void MetadataStore::Refine(const std::string& pair_key,
+                           const CostStats& observed, double w) {
+  MDE_CHECK(w >= 0.0 && w <= 1.0);
+  auto it = store_.find(pair_key);
+  if (it == store_.end()) {
+    store_[pair_key] = observed;
+    return;
+  }
+  CostStats& s = it->second;
+  s.c1 = (1.0 - w) * s.c1 + w * observed.c1;
+  s.c2 = (1.0 - w) * s.c2 + w * observed.c2;
+  s.v1 = (1.0 - w) * s.v1 + w * observed.v1;
+  s.v2 = (1.0 - w) * s.v2 + w * observed.v2;
+}
+
+}  // namespace mde::composite

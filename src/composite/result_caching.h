@@ -1,0 +1,104 @@
+#ifndef MDE_COMPOSITE_RESULT_CACHING_H_
+#define MDE_COMPOSITE_RESULT_CACHING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "composite/model.h"
+#include "util/status.h"
+
+namespace mde::composite {
+
+/// The statistics S = (c1, c2, V1, V2) driving the result-caching
+/// optimization (Section 2.3): expected per-run costs of M1 and M2, the
+/// variance V1 of an M2 output, and the covariance V2 of two M2 outputs
+/// sharing an M1 input.
+struct CostStats {
+  double c1 = 1.0;
+  double c2 = 1.0;
+  double v1 = 1.0;
+  double v2 = 0.0;
+};
+
+/// Asymptotic variance-cost product
+///   g(alpha) = (alpha c1 + c2) * (V1 + [2 r - alpha r (r+1)] V2),
+/// with r = floor(1/alpha). 1/g(alpha) is the (asymptotic) efficiency of
+/// the budget-constrained estimator.
+double GAlpha(double alpha, const CostStats& s);
+
+/// The paper's smooth approximation g~(alpha) obtained by r ~ 1/alpha:
+///   g~(alpha) = (alpha c1 + c2) * (V1 + (1/alpha - 1) V2).
+double GTildeAlpha(double alpha, const CostStats& s);
+
+/// The closed-form minimizer of g~:
+///   alpha* = sqrt( (c2/c1) / (V1/V2 - 1) ),
+/// truncated into [min_alpha, 1]. Degenerate cases: V2 <= 0 -> min_alpha
+/// (run M1 as rarely as allowed); V2 >= V1 -> 1 (M2 is a transformer; rerun
+/// M1 every time).
+double OptimalAlpha(const CostStats& s, double min_alpha = 1e-3);
+
+/// Outcome of a result-caching run.
+struct RcRunResult {
+  /// theta_n: mean of the n M2 outputs.
+  double estimate = 0.0;
+  size_t m1_runs = 0;
+  size_t m2_runs = 0;
+  /// Declared-cost total: m1_runs * c1 + m2_runs * c2.
+  double total_cost = 0.0;
+  /// The individual M2 outputs (first component of each output vector).
+  std::vector<double> outputs;
+};
+
+/// Runs the two-model series composite of Figure 2 under result caching:
+/// executes M1 only m_n = ceil(alpha * n) times, writes those outputs to
+/// the cache, and cycles through them deterministically as inputs to the n
+/// executions of M2. alpha = 1 recovers the no-caching baseline. M2's
+/// scalar output is the first component of its output vector.
+Result<RcRunResult> RunResultCaching(const Model& m1, const Model& m2,
+                                     const std::vector<double>& m1_input,
+                                     double alpha, size_t n, uint64_t seed);
+
+/// Budget-constrained variant: chooses N(c) = sup{n : C_n <= c} for the
+/// declared costs and runs result caching with that n.
+Result<RcRunResult> RunWithBudget(const Model& m1, const Model& m2,
+                                  const std::vector<double>& m1_input,
+                                  double alpha, double budget, uint64_t seed);
+
+/// Pilot estimation of S: runs M1 `pilot_m1` times and M2 `pilot_m2_per`
+/// times per cached M1 output. V1 is the overall output variance; V2 is
+/// estimated from the between-group variance of the per-M1-input means
+/// (one-way ANOVA decomposition). Costs are taken from the models'
+/// declared costs.
+Result<CostStats> EstimateStatistics(const Model& m1, const Model& m2,
+                                     const std::vector<double>& m1_input,
+                                     size_t pilot_m1, size_t pilot_m2_per,
+                                     uint64_t seed);
+
+/// Splash-style model-metadata store: remembers per-model-pair statistics
+/// across runs so pilot costs are amortized, and refines them with
+/// observations from production runs (exponential moving average).
+class MetadataStore {
+ public:
+  /// Returns stored statistics for the pair, if any.
+  Result<CostStats> Lookup(const std::string& pair_key) const;
+
+  /// Records fresh statistics (overwrites).
+  void Store(const std::string& pair_key, const CostStats& stats);
+
+  /// Blends new observations into stored statistics with weight `w` on the
+  /// new data (continual refinement during production use).
+  void Refine(const std::string& pair_key, const CostStats& observed,
+              double w);
+
+  size_t size() const { return store_.size(); }
+
+ private:
+  std::map<std::string, CostStats> store_;
+};
+
+}  // namespace mde::composite
+
+#endif  // MDE_COMPOSITE_RESULT_CACHING_H_

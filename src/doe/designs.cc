@@ -1,0 +1,218 @@
+#include "doe/designs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace mde::doe {
+
+linalg::Matrix FullFactorial(size_t num_factors) {
+  MDE_CHECK_GT(num_factors, 0u);
+  MDE_CHECK_LE(num_factors, 20u);
+  const size_t runs = size_t{1} << num_factors;
+  linalg::Matrix design(runs, num_factors);
+  for (size_t r = 0; r < runs; ++r) {
+    for (size_t f = 0; f < num_factors; ++f) {
+      design(r, f) = (r >> f) & 1 ? 1.0 : -1.0;
+    }
+  }
+  return design;
+}
+
+Result<linalg::Matrix> FractionalFactorial(
+    size_t base, const std::vector<std::vector<size_t>>& generators) {
+  if (base == 0 || base > 20) {
+    return Status::InvalidArgument("base factors must be in [1, 20]");
+  }
+  for (const auto& g : generators) {
+    if (g.empty()) return Status::InvalidArgument("empty generator word");
+    for (size_t f : g) {
+      if (f >= base) {
+        return Status::InvalidArgument(
+            "generator must reference base factors only");
+      }
+    }
+  }
+  const linalg::Matrix full = FullFactorial(base);
+  linalg::Matrix design(full.rows(), base + generators.size());
+  for (size_t r = 0; r < full.rows(); ++r) {
+    for (size_t f = 0; f < base; ++f) design(r, f) = full(r, f);
+    for (size_t g = 0; g < generators.size(); ++g) {
+      double v = 1.0;
+      for (size_t f : generators[g]) v *= full(r, f);
+      design(r, base + g) = v;
+    }
+  }
+  return design;
+}
+
+linalg::Matrix Resolution3Design7Factors() {
+  auto d = FractionalFactorial(3, {{0, 1}, {0, 2}, {1, 2}, {0, 1, 2}});
+  MDE_CHECK(d.ok());
+  return d.value();
+}
+
+linalg::Matrix Resolution4Design8Factors() {
+  auto d = FractionalFactorial(
+      4, {{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}});
+  MDE_CHECK(d.ok());
+  return d.value();
+}
+
+linalg::Matrix Design7Factors32Runs() {
+  auto d = FractionalFactorial(5, {{0, 1, 2, 3}, {0, 1, 3, 4}});
+  MDE_CHECK(d.ok());
+  return d.value();
+}
+
+linalg::Matrix Resolution5Design8Factors() {
+  auto d = FractionalFactorial(6, {{0, 1, 2, 3}, {0, 1, 4, 5}});
+  MDE_CHECK(d.ok());
+  return d.value();
+}
+
+size_t DesignResolution(size_t base,
+                        const std::vector<std::vector<size_t>>& generators) {
+  if (generators.empty()) return 0;
+  // Each generator g defining factor base+g gives a defining word
+  // I = x_{base+g} * prod(g). The defining relation is the group generated
+  // by all products of these words; resolution = min word length over the
+  // non-identity elements. Words are factor bitmasks over base+|g| factors.
+  const size_t total = base + generators.size();
+  std::vector<uint64_t> words;
+  for (size_t g = 0; g < generators.size(); ++g) {
+    uint64_t w = uint64_t{1} << (base + g);
+    for (size_t f : generators[g]) w ^= uint64_t{1} << f;
+    words.push_back(w);
+  }
+  size_t best = total + 1;
+  const size_t combos = size_t{1} << words.size();
+  for (size_t mask = 1; mask < combos; ++mask) {
+    uint64_t w = 0;
+    for (size_t g = 0; g < words.size(); ++g) {
+      if (mask & (size_t{1} << g)) w ^= words[g];
+    }
+    const size_t len = static_cast<size_t>(__builtin_popcountll(w));
+    if (len > 0) best = std::min(best, len);
+  }
+  return best;
+}
+
+linalg::Matrix RandomLatinHypercube(size_t num_factors, size_t levels,
+                                    Rng& rng) {
+  MDE_CHECK(num_factors > 0 && levels > 1);
+  linalg::Matrix design(levels, num_factors);
+  std::vector<double> column(levels);
+  const double offset = (static_cast<double>(levels) - 1.0) / 2.0;
+  for (size_t f = 0; f < num_factors; ++f) {
+    for (size_t l = 0; l < levels; ++l) {
+      column[l] = static_cast<double>(l) - offset;
+    }
+    // Fisher-Yates.
+    for (size_t l = levels; l > 1; --l) {
+      std::swap(column[l - 1], column[rng.NextBounded(l)]);
+    }
+    for (size_t r = 0; r < levels; ++r) design(r, f) = column[r];
+  }
+  return design;
+}
+
+linalg::Matrix NearlyOrthogonalLatinHypercube(size_t num_factors,
+                                              size_t levels, size_t attempts,
+                                              Rng& rng) {
+  MDE_CHECK_GT(attempts, 0u);
+  linalg::Matrix best = RandomLatinHypercube(num_factors, levels, rng);
+  double best_corr = MaxColumnCorrelation(best);
+  double best_dist = MaominDistance(best);
+  for (size_t a = 1; a < attempts; ++a) {
+    linalg::Matrix cand = RandomLatinHypercube(num_factors, levels, rng);
+    const double corr = MaxColumnCorrelation(cand);
+    const double dist = MaominDistance(cand);
+    if (corr < best_corr - 1e-12 ||
+        (std::fabs(corr - best_corr) <= 1e-12 && dist > best_dist)) {
+      best = std::move(cand);
+      best_corr = corr;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+linalg::Matrix Figure5LatinHypercube() {
+  // An orthogonal 9-run LH for two factors with levels -4..4 (the
+  // correlation of the two columns is exactly zero).
+  const std::vector<std::vector<double>> rows = {
+      {-4, -1}, {-3, 2}, {-2, -3}, {-1, 4}, {0, 0},
+      {1, -4},  {2, 3},  {3, -2},  {4, 1}};
+  return linalg::Matrix::FromRows(rows);
+}
+
+double MaxColumnCorrelation(const linalg::Matrix& design) {
+  double worst = 0.0;
+  for (size_t a = 0; a < design.cols(); ++a) {
+    std::vector<double> ca(design.rows());
+    for (size_t r = 0; r < design.rows(); ++r) ca[r] = design(r, a);
+    for (size_t b = a + 1; b < design.cols(); ++b) {
+      std::vector<double> cb(design.rows());
+      for (size_t r = 0; r < design.rows(); ++r) cb[r] = design(r, b);
+      worst = std::max(worst, std::fabs(Correlation(ca, cb)));
+    }
+  }
+  return worst;
+}
+
+double MaominDistance(const linalg::Matrix& design) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < design.rows(); ++i) {
+    for (size_t j = i + 1; j < design.rows(); ++j) {
+      double ss = 0.0;
+      for (size_t f = 0; f < design.cols(); ++f) {
+        const double d = design(i, f) - design(j, f);
+        ss += d * d;
+      }
+      best = std::min(best, std::sqrt(ss));
+    }
+  }
+  return best;
+}
+
+bool IsLatinHypercube(const linalg::Matrix& design) {
+  for (size_t f = 0; f < design.cols(); ++f) {
+    std::set<double> seen;
+    for (size_t r = 0; r < design.rows(); ++r) {
+      if (!seen.insert(design(r, f)).second) return false;
+    }
+  }
+  return true;
+}
+
+Result<linalg::Matrix> ScaleDesign(const linalg::Matrix& design,
+                                   const std::vector<double>& lo,
+                                   const std::vector<double>& hi) {
+  if (lo.size() != design.cols() || hi.size() != design.cols()) {
+    return Status::InvalidArgument("one (lo, hi) pair per factor");
+  }
+  linalg::Matrix out(design.rows(), design.cols());
+  for (size_t f = 0; f < design.cols(); ++f) {
+    if (lo[f] >= hi[f]) {
+      return Status::InvalidArgument("lo must be < hi");
+    }
+    double cmin = design(0, f), cmax = design(0, f);
+    for (size_t r = 0; r < design.rows(); ++r) {
+      cmin = std::min(cmin, design(r, f));
+      cmax = std::max(cmax, design(r, f));
+    }
+    const double span = cmax > cmin ? cmax - cmin : 1.0;
+    for (size_t r = 0; r < design.rows(); ++r) {
+      out(r, f) =
+          lo[f] + (design(r, f) - cmin) / span * (hi[f] - lo[f]);
+    }
+  }
+  return out;
+}
+
+}  // namespace mde::doe

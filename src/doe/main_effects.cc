@@ -1,0 +1,86 @@
+#include "doe/main_effects.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/distributions.h"
+
+namespace mde::doe {
+
+Result<std::vector<MainEffect>> ComputeMainEffects(
+    const linalg::Matrix& design, const linalg::Vector& responses) {
+  if (design.rows() != responses.size()) {
+    return Status::InvalidArgument("design/response size mismatch");
+  }
+  if (design.rows() == 0) return Status::InvalidArgument("empty design");
+  std::vector<MainEffect> effects;
+  effects.reserve(design.cols());
+  for (size_t f = 0; f < design.cols(); ++f) {
+    double lo_sum = 0.0, hi_sum = 0.0;
+    size_t lo_n = 0, hi_n = 0;
+    for (size_t r = 0; r < design.rows(); ++r) {
+      const double v = design(r, f);
+      if (v < 0.0) {
+        lo_sum += responses[r];
+        ++lo_n;
+      } else if (v > 0.0) {
+        hi_sum += responses[r];
+        ++hi_n;
+      } else {
+        return Status::InvalidArgument(
+            "main effects require a two-level (+-1) design");
+      }
+    }
+    if (lo_n == 0 || hi_n == 0) {
+      return Status::InvalidArgument("factor never varies in the design");
+    }
+    MainEffect e;
+    e.factor = f;
+    e.low_mean = lo_sum / static_cast<double>(lo_n);
+    e.high_mean = hi_sum / static_cast<double>(hi_n);
+    e.effect = e.high_mean - e.low_mean;
+    effects.push_back(e);
+  }
+  return effects;
+}
+
+Result<std::vector<HalfNormalPoint>> HalfNormalScores(
+    const std::vector<MainEffect>& effects) {
+  if (effects.empty()) return Status::InvalidArgument("no effects");
+  std::vector<HalfNormalPoint> points;
+  points.reserve(effects.size());
+  for (const MainEffect& e : effects) {
+    points.push_back({e.factor, std::fabs(e.effect), 0.0});
+  }
+  std::sort(points.begin(), points.end(),
+            [](const HalfNormalPoint& a, const HalfNormalPoint& b) {
+              return a.abs_effect < b.abs_effect;
+            });
+  const double m = static_cast<double>(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    const double p = 0.5 + 0.5 * (static_cast<double>(i) + 0.5) / m;
+    points[i].quantile = NormalQuantile(p);
+  }
+  return points;
+}
+
+std::vector<size_t> ImportantFactors(const std::vector<MainEffect>& effects,
+                                     double threshold) {
+  std::vector<double> abs_effects;
+  abs_effects.reserve(effects.size());
+  for (const MainEffect& e : effects) {
+    abs_effects.push_back(std::fabs(e.effect));
+  }
+  std::vector<double> sorted = abs_effects;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  std::vector<size_t> important;
+  for (const MainEffect& e : effects) {
+    if (std::fabs(e.effect) > threshold * std::max(median, 1e-12)) {
+      important.push_back(e.factor);
+    }
+  }
+  return important;
+}
+
+}  // namespace mde::doe

@@ -1,0 +1,47 @@
+#ifndef MDE_DOE_MAIN_EFFECTS_H_
+#define MDE_DOE_MAIN_EFFECTS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace mde::doe {
+
+/// Per-factor main-effects summary, the data behind a Figure 4 main-effects
+/// plot: mean response at the factor's low and high settings, and the
+/// effect size.
+struct MainEffect {
+  size_t factor = 0;
+  double low_mean = 0.0;
+  double high_mean = 0.0;
+  /// high_mean - low_mean (twice the regression coefficient on +-1 coding).
+  double effect = 0.0;
+};
+
+/// Computes main effects from a two-level design (+-1 coded) and its
+/// responses. Works for full and fractional factorials.
+Result<std::vector<MainEffect>> ComputeMainEffects(
+    const linalg::Matrix& design, const linalg::Vector& responses);
+
+/// Half-normal (Daniel) plot coordinates for effect-significance
+/// diagnostics: effects sorted by |effect| paired with half-normal
+/// quantiles Phi^-1(0.5 + 0.5 * (i - 0.5) / m). Effects far above the line
+/// through the small effects are significant.
+struct HalfNormalPoint {
+  size_t factor = 0;
+  double abs_effect = 0.0;
+  double quantile = 0.0;
+};
+
+Result<std::vector<HalfNormalPoint>> HalfNormalScores(
+    const std::vector<MainEffect>& effects);
+
+/// Classifies factors as important when |effect| exceeds `threshold` times
+/// the median |effect| (a simple Lenth-style cutoff).
+std::vector<size_t> ImportantFactors(const std::vector<MainEffect>& effects,
+                                     double threshold);
+
+}  // namespace mde::doe
+
+#endif  // MDE_DOE_MAIN_EFFECTS_H_

@@ -1,0 +1,181 @@
+#include "dsgd/dsgd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace mde::dsgd {
+
+double SparseRow::Dot(const std::vector<double>& x) const {
+  double s = 0.0;
+  for (const auto& [j, a] : entries) s += a * x[j];
+  return s;
+}
+
+double ResidualNorm(const std::vector<SparseRow>& rows,
+                    const std::vector<double>& x) {
+  double ss = 0.0;
+  for (const SparseRow& r : rows) {
+    const double e = r.Dot(x) - r.b;
+    ss += e * e;
+  }
+  return std::sqrt(ss);
+}
+
+namespace {
+
+/// One downhill step on row `r`. `m` is the total row count (the paper's
+/// gradient-scale factor for the kSgd rule); `eps` is the current step size.
+inline void Step(const SparseRow& r, StepRule rule, double eps, double m,
+                 std::vector<double>& x) {
+  const double err = r.Dot(x) - r.b;
+  if (rule == StepRule::kSgd) {
+    // grad L_I(x) = 2 (a.x - b) a; overall gradient approximated by m*grad.
+    const double scale = eps * 2.0 * m * err;
+    for (const auto& [j, a] : r.entries) x[j] -= scale * a;
+  } else {
+    double norm2 = 0.0;
+    for (const auto& [j, a] : r.entries) norm2 += a * a;
+    if (norm2 == 0.0) return;
+    const double scale = eps * err / norm2;
+    for (const auto& [j, a] : r.entries) x[j] -= scale * a;
+  }
+}
+
+inline double StepSize(const SgdOptions& opt, size_t n) {
+  if (opt.rule == StepRule::kKaczmarz) return opt.step0;
+  return opt.step0 * std::pow(static_cast<double>(n + 1), -opt.alpha);
+}
+
+}  // namespace
+
+SgdResult SolveSgd(const std::vector<SparseRow>& rows, size_t dim,
+                   const SgdOptions& options) {
+  MDE_CHECK(!rows.empty());
+  Rng rng(options.seed);
+  SgdResult result;
+  result.x.assign(dim, 0.0);
+  const double m = static_cast<double>(rows.size());
+  for (size_t n = 0; n < options.iterations; ++n) {
+    const size_t i = rng.NextBounded(rows.size());
+    Step(rows[i], options.rule, StepSize(options, n), m, result.x);
+    ++result.updates;
+    if (options.trace_every > 0 && (n + 1) % options.trace_every == 0) {
+      result.residual_trace.push_back(ResidualNorm(rows, result.x));
+    }
+  }
+  result.residual = ResidualNorm(rows, result.x);
+  return result;
+}
+
+std::vector<SparseRow> RowsFromTridiagonal(const linalg::Tridiagonal& a,
+                                           const linalg::Vector& b) {
+  const size_t n = a.size();
+  MDE_CHECK_EQ(b.size(), n);
+  std::vector<SparseRow> rows(n);
+  for (size_t i = 0; i < n; ++i) {
+    SparseRow& r = rows[i];
+    if (i > 0) r.entries.push_back({i - 1, a.lower[i - 1]});
+    r.entries.push_back({i, a.diag[i]});
+    if (i + 1 < n) r.entries.push_back({i + 1, a.upper[i]});
+    r.b = b[i];
+  }
+  return rows;
+}
+
+std::vector<std::vector<size_t>> TridiagonalStrata(size_t num_rows) {
+  std::vector<std::vector<size_t>> strata(std::min<size_t>(3, num_rows));
+  for (size_t i = 0; i < num_rows; ++i) {
+    strata[i % strata.size()].push_back(i);
+  }
+  return strata;
+}
+
+bool StrataAreConflictFree(const std::vector<SparseRow>& rows,
+                           const std::vector<std::vector<size_t>>& strata) {
+  for (const auto& stratum : strata) {
+    std::unordered_set<size_t> touched;
+    for (size_t ri : stratum) {
+      for (const auto& [j, a] : rows[ri].entries) {
+        (void)a;
+        if (!touched.insert(j).second) return false;
+      }
+    }
+  }
+  return true;
+}
+
+SgdResult SolveDsgd(const std::vector<SparseRow>& rows, size_t dim,
+                    const std::vector<std::vector<size_t>>& strata,
+                    ThreadPool& pool, const DsgdOptions& options) {
+  MDE_CHECK(!rows.empty());
+  MDE_CHECK(!strata.empty());
+  Rng rng(options.sgd.seed);
+  SgdResult result;
+  result.x.assign(dim, 0.0);
+  const double m = static_cast<double>(rows.size());
+  size_t global_updates = 0;
+
+  // Regenerative stratum schedule: each cycle visits every stratum exactly
+  // once in (optionally random) order, so equal time is spent in each
+  // stratum in the long run — the condition for w.p.-1 convergence.
+  std::vector<size_t> order(strata.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (size_t round = 0; round < options.rounds; ++round) {
+    if (round % strata.size() == 0 && options.random_stratum_order) {
+      for (size_t i = order.size(); i > 1; --i) {
+        std::swap(order[i - 1], order[rng.NextBounded(i)]);
+      }
+    }
+    const auto& stratum = strata[order[round % strata.size()]];
+    if (stratum.empty()) continue;
+    const size_t visit_updates = options.updates_per_visit == 0
+                                     ? stratum.size()
+                                     : options.updates_per_visit;
+    // Within a stratum no two rows share an unknown, so the stratum's rows
+    // can be partitioned across workers and updated in parallel with no
+    // locks and no data shuffling.
+    const size_t workers = pool.num_threads();
+    const double eps = StepSize(options.sgd, global_updates);
+    std::vector<Rng> worker_rngs;
+    worker_rngs.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      worker_rngs.push_back(Rng::Substream(options.sgd.seed + round, w));
+    }
+    pool.ParallelFor(workers, [&](size_t w) {
+      Rng& wr = worker_rngs[w];
+      // Worker w owns the contiguous block of the stratum's rows.
+      const size_t per = (stratum.size() + workers - 1) / workers;
+      const size_t lo = std::min(stratum.size(), w * per);
+      const size_t hi = std::min(stratum.size(), lo + per);
+      if (lo >= hi) return;
+      const size_t updates =
+          (visit_updates * (hi - lo) + stratum.size() - 1) / stratum.size();
+      for (size_t u = 0; u < updates; ++u) {
+        const size_t idx = lo + wr.NextBounded(hi - lo);
+        Step(rows[stratum[idx]], options.sgd.rule, eps, m, result.x);
+      }
+    });
+    global_updates += visit_updates;
+    result.updates += visit_updates;
+    if (options.sgd.trace_every > 0 &&
+        (round + 1) % options.sgd.trace_every == 0) {
+      result.residual_trace.push_back(ResidualNorm(rows, result.x));
+    }
+  }
+  result.residual = ResidualNorm(rows, result.x);
+  return result;
+}
+
+SgdResult SolveTridiagonalDsgd(const linalg::Tridiagonal& a,
+                               const linalg::Vector& b, ThreadPool& pool,
+                               const DsgdOptions& options) {
+  const auto rows = RowsFromTridiagonal(a, b);
+  const auto strata = TridiagonalStrata(rows.size());
+  return SolveDsgd(rows, a.size(), strata, pool, options);
+}
+
+}  // namespace mde::dsgd

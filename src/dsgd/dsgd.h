@@ -1,0 +1,114 @@
+#ifndef MDE_DSGD_DSGD_H_
+#define MDE_DSGD_DSGD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/solve.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace mde::dsgd {
+
+/// One row of a sparse least-squares system: minimize
+/// L(x) = sum_i (a_i . x - b_i)^2. Rows of the spline tridiagonal system
+/// have at most three entries.
+struct SparseRow {
+  /// (column index, coefficient) pairs.
+  std::vector<std::pair<size_t, double>> entries;
+  double b = 0.0;
+
+  /// a_i . x
+  double Dot(const std::vector<double>& x) const;
+};
+
+/// Update rule used for the downhill step.
+enum class StepRule {
+  /// The paper's plain SGD step: x <- x - eps_n * m * grad L_I(x), with
+  /// eps_n = step0 * (n + 1)^{-alpha}.
+  kSgd,
+  /// Randomized-Kaczmarz style normalized step:
+  /// x <- x - omega * (a.x - b) / ||a||^2 * a. Robust without tuning; used
+  /// as the production default.
+  kKaczmarz,
+};
+
+/// Options for the sequential and distributed solvers.
+struct SgdOptions {
+  StepRule rule = StepRule::kKaczmarz;
+  /// kSgd: eps_n = step0 * (n+1)^{-alpha}; kKaczmarz: relaxation omega.
+  double step0 = 1.0;
+  double alpha = 0.75;
+  /// Total number of row updates.
+  size_t iterations = 100000;
+  uint64_t seed = 42;
+  /// Record ||Ax - b|| every `trace_every` updates (0 = no trace).
+  size_t trace_every = 0;
+};
+
+/// Result of an iterative solve.
+struct SgdResult {
+  std::vector<double> x;
+  /// Final residual norm ||Ax - b||.
+  double residual = 0.0;
+  /// Residual trace (empty unless trace_every > 0).
+  std::vector<double> residual_trace;
+  size_t updates = 0;
+};
+
+/// Residual norm ||Ax - b|| for the row system.
+double ResidualNorm(const std::vector<SparseRow>& rows,
+                    const std::vector<double>& x);
+
+/// Sequential stochastic gradient descent over the row system (Section 2.2):
+/// rows are sampled uniformly at random and a downhill step is taken per
+/// sample.
+SgdResult SolveSgd(const std::vector<SparseRow>& rows, size_t dim,
+                   const SgdOptions& options);
+
+/// Converts the spline tridiagonal system A x = b into sparse rows.
+std::vector<SparseRow> RowsFromTridiagonal(const linalg::Tridiagonal& a,
+                                           const linalg::Vector& b);
+
+/// Partition of rows into strata such that, within a stratum, no two rows
+/// touch a common unknown — so within-stratum updates commute and can be
+/// executed in parallel with no shuffling. For a tridiagonal system the
+/// paper's strata are rows {1,4,7,...}, {2,5,8,...}, {3,6,9,...}.
+std::vector<std::vector<size_t>> TridiagonalStrata(size_t num_rows);
+
+/// Verifies the disjoint-touch property of a stratification (used by tests
+/// and by DistributedSolve in debug mode).
+bool StrataAreConflictFree(const std::vector<SparseRow>& rows,
+                           const std::vector<std::vector<size_t>>& strata);
+
+/// Options specific to the distributed (stratified) solver.
+struct DsgdOptions {
+  SgdOptions sgd;
+  /// Number of stratum visits ("rounds"). Each visit performs
+  /// updates_per_visit row updates spread across the pool.
+  size_t rounds = 300;
+  size_t updates_per_visit = 0;  // 0 = one sweep of the stratum
+  /// Visit strata in independent random order per regeneration cycle
+  /// (the paper's regenerative switching); false = round robin. Both spend
+  /// equal expected time per stratum, satisfying the convergence condition.
+  bool random_stratum_order = true;
+};
+
+/// Distributed stratified SGD (DSGD, Section 2.2 / Gemulla et al.): runs
+/// SGD within one stratum at a time, partitioning the stratum's rows across
+/// the thread pool; switches strata per a regenerative schedule. Converges
+/// to the least-squares solution with probability 1 while shuffling no data
+/// between workers.
+SgdResult SolveDsgd(const std::vector<SparseRow>& rows, size_t dim,
+                    const std::vector<std::vector<size_t>>& strata,
+                    ThreadPool& pool, const DsgdOptions& options);
+
+/// Convenience: solve the natural-cubic-spline constant system with DSGD.
+SgdResult SolveTridiagonalDsgd(const linalg::Tridiagonal& a,
+                               const linalg::Vector& b, ThreadPool& pool,
+                               const DsgdOptions& options);
+
+}  // namespace mde::dsgd
+
+#endif  // MDE_DSGD_DSGD_H_

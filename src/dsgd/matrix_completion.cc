@@ -1,0 +1,168 @@
+#include "dsgd/matrix_completion.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/distributions.h"
+
+namespace mde::dsgd {
+
+FactorModel::FactorModel(size_t rows, size_t cols, size_t rank,
+                         uint64_t seed)
+    : rows_(rows), cols_(cols), rank_(rank) {
+  MDE_CHECK(rows > 0 && cols > 0 && rank > 0);
+  Rng rng(seed);
+  w_.resize(rows * rank);
+  h_.resize(cols * rank);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(rank));
+  for (double& v : w_) v = scale * (rng.NextDouble() - 0.5);
+  for (double& v : h_) v = scale * (rng.NextDouble() - 0.5);
+}
+
+double FactorModel::Predict(size_t i, size_t j) const {
+  const double* wi = RowFactor(i);
+  const double* hj = ColFactor(j);
+  double s = 0.0;
+  for (size_t k = 0; k < rank_; ++k) s += wi[k] * hj[k];
+  return s;
+}
+
+double FactorModel::Rmse(const std::vector<RatingEntry>& entries) const {
+  MDE_CHECK(!entries.empty());
+  double ss = 0.0;
+  for (const RatingEntry& e : entries) {
+    const double err = Predict(e.row, e.col) - e.value;
+    ss += err * err;
+  }
+  return std::sqrt(ss / static_cast<double>(entries.size()));
+}
+
+namespace {
+
+/// One SGD update on entry e: gradient of (w.h - v)^2 + lambda(|w|^2+|h|^2).
+inline void SgdUpdate(FactorModel* model, const RatingEntry& e, double step,
+                      double lambda) {
+  double* w = model->RowFactor(e.row);
+  double* h = model->ColFactor(e.col);
+  const size_t rank = model->rank();
+  double pred = 0.0;
+  for (size_t k = 0; k < rank; ++k) pred += w[k] * h[k];
+  const double err = pred - e.value;
+  for (size_t k = 0; k < rank; ++k) {
+    const double wk = w[k];
+    w[k] -= step * (err * h[k] + lambda * wk);
+    h[k] -= step * (err * wk + lambda * h[k]);
+  }
+}
+
+Status ValidateEntries(const std::vector<RatingEntry>& train, size_t rows,
+                       size_t cols) {
+  if (train.empty()) return Status::InvalidArgument("no training entries");
+  for (const RatingEntry& e : train) {
+    if (e.row >= rows || e.col >= cols) {
+      return Status::OutOfRange("rating entry outside matrix");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<CompletionResult> CompleteSgd(const std::vector<RatingEntry>& train,
+                                     size_t rows, size_t cols,
+                                     const CompletionOptions& options) {
+  MDE_RETURN_NOT_OK(ValidateEntries(train, rows, cols));
+  CompletionResult result{FactorModel(rows, cols, options.rank,
+                                      options.seed),
+                          {}};
+  Rng rng(options.seed + 1);
+  std::vector<size_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  double step = options.step;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextBounded(i)]);
+    }
+    for (size_t i : order) {
+      SgdUpdate(&result.model, train[i], step, options.lambda);
+    }
+    step *= options.decay;
+    result.rmse_per_epoch.push_back(result.model.Rmse(train));
+  }
+  return result;
+}
+
+Result<CompletionResult> CompleteDsgd(const std::vector<RatingEntry>& train,
+                                      size_t rows, size_t cols,
+                                      ThreadPool& pool,
+                                      const CompletionOptions& options) {
+  MDE_RETURN_NOT_OK(ValidateEntries(train, rows, cols));
+  const size_t d = std::max<size_t>(1, options.blocks);
+  // Bucket entries into d x d blocks.
+  std::vector<std::vector<RatingEntry>> block(d * d);
+  const size_t row_span = (rows + d - 1) / d;
+  const size_t col_span = (cols + d - 1) / d;
+  for (const RatingEntry& e : train) {
+    block[(e.row / row_span) * d + e.col / col_span].push_back(e);
+  }
+  CompletionResult result{FactorModel(rows, cols, options.rank,
+                                      options.seed),
+                          {}};
+  Rng rng(options.seed + 1);
+  double step = options.step;
+  std::vector<size_t> perm(d);
+  for (size_t i = 0; i < d; ++i) perm[i] = i;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    // A fresh random column permutation per epoch: the strata are
+    // {(b, perm[(b + s) mod d]) : b} for sub-epoch s. Within a stratum the
+    // blocks share no rows or columns, so the parallel updates commute.
+    for (size_t i = d; i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.NextBounded(i)]);
+    }
+    for (size_t sub = 0; sub < d; ++sub) {
+      pool.ParallelFor(d, [&](size_t b) {
+        const size_t col_block = perm[(b + sub) % d];
+        for (const RatingEntry& e : block[b * d + col_block]) {
+          SgdUpdate(&result.model, e, step, options.lambda);
+        }
+      });
+    }
+    step *= options.decay;
+    result.rmse_per_epoch.push_back(result.model.Rmse(train));
+  }
+  return result;
+}
+
+RatingsDataset SyntheticRatings(size_t rows, size_t cols, size_t true_rank,
+                                double density, double noise_sd,
+                                uint64_t seed) {
+  MDE_CHECK(density > 0.0 && density <= 1.0);
+  Rng rng(seed);
+  // Ground-truth factors.
+  std::vector<double> u(rows * true_rank), v(cols * true_rank);
+  for (double& x : u) x = SampleNormal(rng, 0.0, 1.0);
+  for (double& x : v) x = SampleNormal(rng, 0.0, 1.0);
+  RatingsDataset ds;
+  ds.rows = rows;
+  ds.cols = cols;
+  for (size_t i = 0; i < rows; ++i) {
+    for (size_t j = 0; j < cols; ++j) {
+      if (!SampleBernoulli(rng, density)) continue;
+      double value = 0.0;
+      for (size_t k = 0; k < true_rank; ++k) {
+        value += u[i * true_rank + k] * v[j * true_rank + k];
+      }
+      value += SampleNormal(rng, 0.0, noise_sd);
+      // 85/15 train/test split.
+      if (SampleBernoulli(rng, 0.85)) {
+        ds.train.push_back({i, j, value});
+      } else {
+        ds.test.push_back({i, j, value});
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace mde::dsgd

@@ -1,0 +1,103 @@
+#ifndef MDE_DSGD_MATRIX_COMPLETION_H_
+#define MDE_DSGD_MATRIX_COMPLETION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace mde::dsgd {
+
+/// The problem DSGD was invented for (Gemulla et al., paper reference
+/// [21]): low-rank matrix completion for recommender systems. Observed
+/// entries (i, j, v) of an m x n matrix are factorized as V ~ W H' by SGD
+/// over the squared error; DSGD partitions the matrix into d x d blocks
+/// and runs SGD in parallel over "diagonal" strata — block sets sharing no
+/// rows or columns — so workers never conflict and no factor data is
+/// shuffled mid-stratum.
+
+/// One observed matrix entry.
+struct RatingEntry {
+  size_t row = 0;
+  size_t col = 0;
+  double value = 0.0;
+};
+
+/// Rank-k factor model: predicted(i, j) = w_i . h_j.
+class FactorModel {
+ public:
+  FactorModel(size_t rows, size_t cols, size_t rank, uint64_t seed);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t rank() const { return rank_; }
+
+  double Predict(size_t i, size_t j) const;
+
+  /// Root-mean-squared error over the given entries.
+  double Rmse(const std::vector<RatingEntry>& entries) const;
+
+  /// Row factor w_i (length rank), mutable for the SGD kernels.
+  double* RowFactor(size_t i) { return &w_[i * rank_]; }
+  double* ColFactor(size_t j) { return &h_[j * rank_]; }
+  const double* RowFactor(size_t i) const { return &w_[i * rank_]; }
+  const double* ColFactor(size_t j) const { return &h_[j * rank_]; }
+
+ private:
+  size_t rows_, cols_, rank_;
+  std::vector<double> w_;  // rows x rank
+  std::vector<double> h_;  // cols x rank
+};
+
+struct CompletionOptions {
+  size_t rank = 8;
+  /// L2 regularization on the factors.
+  double lambda = 0.01;
+  /// SGD step size (decays per epoch by decay).
+  double step = 0.05;
+  double decay = 0.98;
+  size_t epochs = 40;
+  /// Blocking factor d: the matrix is partitioned into d x d blocks and
+  /// each epoch runs d "sub-epochs", one per diagonal stratum.
+  size_t blocks = 4;
+  uint64_t seed = 7;
+};
+
+struct CompletionResult {
+  FactorModel model;
+  /// Training RMSE after each epoch.
+  std::vector<double> rmse_per_epoch;
+};
+
+/// Sequential SGD baseline: one pass over shuffled entries per epoch.
+Result<CompletionResult> CompleteSgd(const std::vector<RatingEntry>& train,
+                                     size_t rows, size_t cols,
+                                     const CompletionOptions& options);
+
+/// DSGD: each epoch visits `blocks` diagonal strata; within a stratum the
+/// blocks touch disjoint row and column factors and are processed in
+/// parallel on `pool`. Converges to the same solution quality as
+/// sequential SGD (the Gemulla et al. result) while shuffling no factor
+/// state between workers.
+Result<CompletionResult> CompleteDsgd(const std::vector<RatingEntry>& train,
+                                      size_t rows, size_t cols,
+                                      ThreadPool& pool,
+                                      const CompletionOptions& options);
+
+/// Synthetic low-rank ratings: a rank-r ground truth plus Gaussian noise,
+/// sampled at `density` of the cells. Returns (train, test) split.
+struct RatingsDataset {
+  std::vector<RatingEntry> train;
+  std::vector<RatingEntry> test;
+  size_t rows = 0;
+  size_t cols = 0;
+};
+RatingsDataset SyntheticRatings(size_t rows, size_t cols, size_t true_rank,
+                                double density, double noise_sd,
+                                uint64_t seed);
+
+}  // namespace mde::dsgd
+
+#endif  // MDE_DSGD_MATRIX_COMPLETION_H_

@@ -1,0 +1,129 @@
+#ifndef MDE_EPI_INDEMICS_H_
+#define MDE_EPI_INDEMICS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "epi/network.h"
+#include "table/query.h"
+#include "table/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mde::epi {
+
+/// SEIR disease dynamics over the contact network.
+struct DiseaseConfig {
+  /// Per-contact-hour transmission probability from an infectious to a
+  /// susceptible individual.
+  double transmissibility = 0.004;
+  /// Mean days in Exposed (latent) state; durations are geometric.
+  double mean_latent_days = 2.0;
+  /// Mean days infectious.
+  double mean_infectious_days = 5.0;
+  /// Vaccine efficacy: probability a vaccination immunizes a susceptible.
+  double vaccine_efficacy = 0.9;
+  /// Initial infectious seeds.
+  size_t initial_infections = 10;
+  /// Behavioral adaptation: when true, each person's fear level tracks the
+  /// infectious prevalence among their contacts, and fearful people cut
+  /// their contact hours (the Indemics behavioral-transition functions).
+  bool behavioral_adaptation = false;
+  /// Fear update: fear <- fear_decay * fear + fear_gain * local_prevalence.
+  double fear_gain = 2.0;
+  double fear_decay = 0.9;
+  /// Maximum fraction of contact time a fully fearful pair avoids.
+  double max_contact_reduction = 0.8;
+  uint64_t seed = 99;
+};
+
+/// Daily epidemic counts.
+struct DailyStats {
+  size_t day = 0;
+  size_t susceptible = 0;
+  size_t exposed = 0;
+  size_t infectious = 0;
+  size_t recovered = 0;
+  size_t new_infections = 0;
+};
+
+/// The Indemics architecture (Section 2.4): a compute engine (the "HPC"
+/// side) advances the network disease state between observation times; at
+/// each observation time the experimenter queries the state through the
+/// relational engine and can apply query-specified interventions before
+/// resuming the simulation.
+class EpidemicSim {
+ public:
+  EpidemicSim(ContactNetwork network, const DiseaseConfig& config);
+
+  /// Advances `days` simulated days (the HPC phase). Returns the stats of
+  /// the last simulated day.
+  DailyStats Advance(size_t days);
+
+  size_t current_day() const { return day_; }
+  const ContactNetwork& network() const { return network_; }
+  const std::vector<DailyStats>& history() const { return history_; }
+
+  /// Total individuals ever infected (attack count).
+  size_t TotalInfected() const;
+  /// Maximum simultaneous infectious count over the run.
+  size_t PeakInfectious() const;
+
+  /// Exports the current person state as a relation
+  /// (pid, age, household, health, vaccinated, quarantined) for SQL-style
+  /// interrogation — the RDBMS side of Indemics.
+  table::Table PersonTable() const;
+  /// Relation of currently infectious people: (pid).
+  table::Table InfectedPersonTable() const;
+
+  /// Intervention: vaccinate the given pids (immunizes susceptibles with
+  /// the configured efficacy). Returns how many were immunized.
+  size_t Vaccinate(const std::vector<int64_t>& pids);
+  /// Intervention: quarantine the given pids (their contacts stop
+  /// transmitting).
+  void Quarantine(const std::vector<int64_t>& pids);
+
+  /// Intervention on the contact structure itself (Indemics models
+  /// "deletion of edges due to quarantine" and similar): deactivates or
+  /// reactivates every contact of the given type. Deactivated contacts do
+  /// not transmit.
+  void SetContactTypeActive(ContactType type, bool active);
+  bool ContactTypeActive(ContactType type) const;
+
+  /// Extracts the pid column from a query result table.
+  static Result<std::vector<int64_t>> PidsOf(const table::Table& t);
+
+ private:
+  void SeedInfections();
+  Health health(size_t i) const { return network_.person(i).health; }
+
+  ContactNetwork network_;
+  DiseaseConfig config_;
+  Rng rng_;
+  size_t day_ = 0;
+  std::vector<DailyStats> history_;
+  /// Per-ContactType activation flags (all active initially).
+  bool type_active_[4] = {true, true, true, true};
+};
+
+/// A policy evaluated at each observation time: sees the simulator (for
+/// queries and interventions) and the current day. This is how Algorithm 1
+/// ("vaccinate preschoolers when >1% are sick") plugs in.
+using InterventionPolicy = std::function<Status(EpidemicSim&, size_t day)>;
+
+/// Runs `total_days` with an observation (and possible intervention) every
+/// `observe_every` days. Returns the full daily history.
+Result<std::vector<DailyStats>> RunWithPolicy(EpidemicSim& sim,
+                                              size_t total_days,
+                                              size_t observe_every,
+                                              const InterventionPolicy& policy);
+
+/// The paper's Algorithm 1, expressed with the query engine: every
+/// observation, if more than `trigger_fraction` of preschoolers (age 0-4)
+/// are currently infectious, vaccinate all preschoolers.
+InterventionPolicy VaccinatePreschoolersPolicy(double trigger_fraction);
+
+}  // namespace mde::epi
+
+#endif  // MDE_EPI_INDEMICS_H_

@@ -1,0 +1,101 @@
+#include "epi/network.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/distributions.h"
+
+namespace mde::epi {
+
+size_t ContactNetwork::AddPerson(Person p) {
+  people_.push_back(p);
+  adj_.emplace_back();
+  return people_.size() - 1;
+}
+
+void ContactNetwork::AddContact(size_t a, size_t b, ContactType type,
+                                double hours) {
+  MDE_CHECK(a < people_.size() && b < people_.size());
+  MDE_CHECK_NE(a, b);
+  contacts_.push_back({a, b, type, hours});
+  const size_t e = contacts_.size() - 1;
+  adj_[a].push_back(e);
+  adj_[b].push_back(e);
+}
+
+ContactNetwork GeneratePopulation(const PopulationConfig& config) {
+  MDE_CHECK_GT(config.num_people, 0u);
+  Rng rng(config.seed);
+  ContactNetwork net;
+
+  // Households: sizes ~ 1 + Poisson(mean - 1); ages assigned so that
+  // households mix children and adults.
+  int64_t household = 0;
+  while (net.num_people() < config.num_people) {
+    const size_t size = std::min<size_t>(
+        config.num_people - net.num_people(),
+        1 + static_cast<size_t>(
+                SamplePoisson(rng, std::max(0.0, config.mean_household - 1.0))));
+    std::vector<size_t> members;
+    for (size_t k = 0; k < size; ++k) {
+      Person p;
+      p.pid = static_cast<int64_t>(net.num_people());
+      p.household = household;
+      if (k < 2) {
+        p.age = 22 + static_cast<int>(rng.NextBounded(48));  // adults
+      } else {
+        p.age = static_cast<int>(rng.NextBounded(19));  // children
+      }
+      members.push_back(net.AddPerson(p));
+    }
+    // Full household clique with long contact hours.
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        net.AddContact(members[i], members[j], ContactType::kHousehold, 8.0);
+      }
+    }
+    ++household;
+  }
+
+  // School groups: children are assigned to classes of school_size and meet
+  // a subset of classmates daily.
+  std::vector<size_t> children, adults;
+  for (size_t i = 0; i < net.num_people(); ++i) {
+    (net.person(i).age <= 18 ? children : adults).push_back(i);
+  }
+  auto group_contacts = [&](const std::vector<size_t>& pool,
+                            size_t group_size, ContactType type,
+                            double hours, double degree) {
+    for (size_t start = 0; start < pool.size(); start += group_size) {
+      const size_t end = std::min(pool.size(), start + group_size);
+      const size_t n = end - start;
+      if (n < 2) continue;
+      // Each member gets ~`degree` random in-group contacts.
+      const size_t edges =
+          static_cast<size_t>(degree * static_cast<double>(n) / 2.0);
+      for (size_t e = 0; e < edges; ++e) {
+        const size_t a = start + rng.NextBounded(n);
+        size_t b = start + rng.NextBounded(n);
+        if (a == b) continue;
+        net.AddContact(a, b, type, hours);
+      }
+    }
+  };
+  group_contacts(children, config.school_size, ContactType::kSchool, 5.0,
+                 6.0);
+  group_contacts(adults, config.workplace_size, ContactType::kWork, 6.0,
+                 4.0);
+
+  // Sparse random community contacts across everyone.
+  const size_t community_edges = static_cast<size_t>(
+      config.community_degree * static_cast<double>(config.num_people) / 2.0);
+  for (size_t e = 0; e < community_edges; ++e) {
+    const size_t a = rng.NextBounded(net.num_people());
+    const size_t b = rng.NextBounded(net.num_people());
+    if (a == b) continue;
+    net.AddContact(a, b, ContactType::kCommunity, 1.0);
+  }
+  return net;
+}
+
+}  // namespace mde::epi

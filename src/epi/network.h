@@ -1,0 +1,91 @@
+#ifndef MDE_EPI_NETWORK_H_
+#define MDE_EPI_NETWORK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mde::epi {
+
+/// Disease/health state of an individual (SEIR).
+enum class Health { kSusceptible, kExposed, kInfectious, kRecovered };
+
+/// A node: one individual with static demographics and dynamic health /
+/// behavioral state (Indemics' network model, Section 2.4).
+struct Person {
+  int64_t pid = 0;
+  int age = 0;
+  int64_t household = 0;
+  Health health = Health::kSusceptible;
+  bool vaccinated = false;
+  /// True when a vaccination moved this person directly to Recovered
+  /// (distinguishes vaccine immunity from post-infection immunity).
+  bool immunized_by_vaccine = false;
+  bool quarantined = false;
+  /// Behavioral state (Indemics models "changes in behavioral status
+  /// (e.g., fear level)"): in [0, 1]; high fear reduces this person's
+  /// effective contact time.
+  double fear = 0.0;
+  /// Days remaining in the current transient state (E or I).
+  int days_in_state = 0;
+};
+
+/// Contact edge kinds, scaling transmission intensity.
+enum class ContactType { kHousehold, kSchool, kWork, kCommunity };
+
+/// An undirected contact between two individuals with a type and a daily
+/// contact duration in hours.
+struct Contact {
+  size_t a = 0;
+  size_t b = 0;
+  ContactType type = ContactType::kCommunity;
+  double hours = 1.0;
+};
+
+/// The social contact network: people plus typed weighted edges, with an
+/// adjacency index for the transmission sweep.
+class ContactNetwork {
+ public:
+  ContactNetwork() = default;
+
+  size_t AddPerson(Person p);
+  void AddContact(size_t a, size_t b, ContactType type, double hours);
+
+  size_t num_people() const { return people_.size(); }
+  size_t num_contacts() const { return contacts_.size(); }
+
+  Person& person(size_t i) { return people_[i]; }
+  const Person& person(size_t i) const { return people_[i]; }
+  const std::vector<Person>& people() const { return people_; }
+
+  const Contact& contact(size_t e) const { return contacts_[e]; }
+  /// Edge ids incident to person i.
+  const std::vector<size_t>& incident(size_t i) const { return adj_[i]; }
+
+ private:
+  std::vector<Person> people_;
+  std::vector<Contact> contacts_;
+  std::vector<std::vector<size_t>> adj_;
+};
+
+/// Synthetic population generator standing in for the real demographic data
+/// Indemics consumes: households of size 1-6 with age structure, school
+/// contact groups for ages 0-18, workplace groups for adults, plus sparse
+/// random community contacts.
+struct PopulationConfig {
+  size_t num_people = 10000;
+  double mean_household = 3.0;
+  size_t school_size = 30;
+  size_t workplace_size = 12;
+  /// Expected random community contacts per person.
+  double community_degree = 4.0;
+  uint64_t seed = 20140622;
+};
+
+ContactNetwork GeneratePopulation(const PopulationConfig& config);
+
+}  // namespace mde::epi
+
+#endif  // MDE_EPI_NETWORK_H_

@@ -1,0 +1,236 @@
+#include "gridfields/gridfields.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace mde::gridfields {
+
+Grid::Grid(int max_dim) : max_dim_(max_dim) {
+  MDE_CHECK_GE(max_dim, 0);
+  counts_.assign(static_cast<size_t>(max_dim) + 1, 0);
+  faces_.assign(static_cast<size_t>(max_dim) + 1, {});
+}
+
+size_t Grid::num_cells(int dim) const {
+  MDE_CHECK(dim >= 0 && dim <= max_dim_);
+  return counts_[static_cast<size_t>(dim)];
+}
+
+size_t Grid::AddCell(int dim) {
+  MDE_CHECK(dim >= 0 && dim <= max_dim_);
+  faces_[static_cast<size_t>(dim)].emplace_back();
+  return counts_[static_cast<size_t>(dim)]++;
+}
+
+Status Grid::AddIncidence(CellRef lower, CellRef higher) {
+  if (lower.dim >= higher.dim) {
+    return Status::InvalidArgument(
+        "incidence requires dim(lower) < dim(higher)");
+  }
+  if (lower.dim < 0 || higher.dim > max_dim_ ||
+      lower.index >= num_cells(lower.dim) ||
+      higher.index >= num_cells(higher.dim)) {
+    return Status::OutOfRange("cell reference outside grid");
+  }
+  faces_[static_cast<size_t>(higher.dim)][higher.index].push_back(lower);
+  return Status::OK();
+}
+
+bool Grid::Leq(CellRef x, CellRef y) const {
+  if (x == y) return true;
+  if (x.dim >= y.dim) return false;
+  const auto& fy = faces_[static_cast<size_t>(y.dim)][y.index];
+  for (const CellRef& f : fy) {
+    if (f == x) return true;
+    // Transitive closure through intermediate faces.
+    if (f.dim > x.dim && Leq(x, f)) return true;
+  }
+  return false;
+}
+
+std::vector<size_t> Grid::Faces(CellRef higher, int face_dim) const {
+  MDE_CHECK(face_dim >= 0 && face_dim < higher.dim);
+  std::vector<size_t> out;
+  for (const CellRef& f :
+       faces_[static_cast<size_t>(higher.dim)][higher.index]) {
+    if (f.dim == face_dim) out.push_back(f.index);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Grid MakeRegularGrid2D(size_t nx, size_t ny) {
+  MDE_CHECK(nx > 0 && ny > 0);
+  Grid g(2);
+  const size_t node_cols = nx + 1;
+  // 0-cells: nodes, row-major (y * (nx+1) + x).
+  for (size_t i = 0; i < (nx + 1) * (ny + 1); ++i) g.AddCell(0);
+  // 1-cells: horizontal edges first (per row, nx each), then vertical.
+  auto node = [&](size_t x, size_t y) { return y * node_cols + x; };
+  std::vector<std::pair<size_t, size_t>> edges;
+  for (size_t y = 0; y <= ny; ++y) {
+    for (size_t x = 0; x < nx; ++x) {
+      edges.push_back({node(x, y), node(x + 1, y)});
+    }
+  }
+  const size_t h_edges = edges.size();
+  for (size_t y = 0; y < ny; ++y) {
+    for (size_t x = 0; x <= nx; ++x) {
+      edges.push_back({node(x, y), node(x, y + 1)});
+    }
+  }
+  for (const auto& [a, b] : edges) {
+    const size_t e = g.AddCell(1);
+    MDE_CHECK(g.AddIncidence({0, a}, {1, e}).ok());
+    MDE_CHECK(g.AddIncidence({0, b}, {1, e}).ok());
+  }
+  // 2-cells: quads with their four edges and four corners.
+  auto h_edge = [&](size_t x, size_t y) { return y * nx + x; };
+  auto v_edge = [&](size_t x, size_t y) {
+    return h_edges + y * (nx + 1) + x;
+  };
+  for (size_t y = 0; y < ny; ++y) {
+    for (size_t x = 0; x < nx; ++x) {
+      const size_t q = g.AddCell(2);
+      MDE_CHECK(g.AddIncidence({1, h_edge(x, y)}, {2, q}).ok());
+      MDE_CHECK(g.AddIncidence({1, h_edge(x, y + 1)}, {2, q}).ok());
+      MDE_CHECK(g.AddIncidence({1, v_edge(x, y)}, {2, q}).ok());
+      MDE_CHECK(g.AddIncidence({1, v_edge(x + 1, y)}, {2, q}).ok());
+      MDE_CHECK(g.AddIncidence({0, node(x, y)}, {2, q}).ok());
+      MDE_CHECK(g.AddIncidence({0, node(x + 1, y)}, {2, q}).ok());
+      MDE_CHECK(g.AddIncidence({0, node(x, y + 1)}, {2, q}).ok());
+      MDE_CHECK(g.AddIncidence({0, node(x + 1, y + 1)}, {2, q}).ok());
+    }
+  }
+  return g;
+}
+
+GridField::GridField(const Grid* grid, int dim, std::vector<double> data)
+    : grid_(grid), dim_(dim), data_(std::move(data)) {
+  MDE_CHECK(grid != nullptr);
+  MDE_CHECK_EQ(data_.size(), grid->num_cells(dim));
+}
+
+namespace {
+
+struct AggState {
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  size_t count = 0;
+};
+
+double Finalize(const AggState& st, RegridAgg agg, double fill) {
+  if (st.count == 0) return fill;
+  switch (agg) {
+    case RegridAgg::kSum:
+      return st.sum;
+    case RegridAgg::kMean:
+      return st.sum / static_cast<double>(st.count);
+    case RegridAgg::kMax:
+      return st.max;
+    case RegridAgg::kMin:
+      return st.min;
+    case RegridAgg::kCount:
+      return static_cast<double>(st.count);
+  }
+  return fill;
+}
+
+}  // namespace
+
+Result<std::vector<double>> Regrid(const GridField& source,
+                                   size_t num_target_cells,
+                                   const std::vector<size_t>& assignment,
+                                   RegridAgg agg, double fill) {
+  if (assignment.size() != source.size()) {
+    return Status::InvalidArgument("one assignment entry per source cell");
+  }
+  std::vector<AggState> states(num_target_cells);
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    const size_t t = assignment[i];
+    if (t == kUnassigned) continue;
+    if (t >= num_target_cells) {
+      return Status::OutOfRange("assignment outside target grid");
+    }
+    AggState& st = states[t];
+    const double v = source.value(i);
+    st.sum += v;
+    st.min = std::min(st.min, v);
+    st.max = std::max(st.max, v);
+    ++st.count;
+  }
+  std::vector<double> out(num_target_cells);
+  for (size_t t = 0; t < num_target_cells; ++t) {
+    out[t] = Finalize(states[t], agg, fill);
+  }
+  return out;
+}
+
+std::vector<size_t> RestrictCells(const GridField& field,
+                                  const std::function<bool(double)>& pred) {
+  std::vector<size_t> kept;
+  for (size_t i = 0; i < field.size(); ++i) {
+    if (pred(field.value(i))) kept.push_back(i);
+  }
+  return kept;
+}
+
+Result<CommuteResult> RegridThenRestrict(const GridField& source,
+                                         size_t num_target_cells,
+                                         const std::vector<size_t>& assignment,
+                                         RegridAgg agg,
+                                         const std::vector<bool>& keep_target) {
+  if (keep_target.size() != num_target_cells) {
+    return Status::InvalidArgument("one keep flag per target cell");
+  }
+  MDE_ASSIGN_OR_RETURN(std::vector<double> all,
+                       Regrid(source, num_target_cells, assignment, agg));
+  CommuteResult out;
+  // Every assigned source cell was processed.
+  for (size_t t : assignment) {
+    if (t != kUnassigned) ++out.source_cells_processed;
+  }
+  for (size_t t = 0; t < num_target_cells; ++t) {
+    if (keep_target[t]) out.values.push_back(all[t]);
+  }
+  return out;
+}
+
+Result<CommuteResult> RestrictThenRegrid(const GridField& source,
+                                         size_t num_target_cells,
+                                         const std::vector<size_t>& assignment,
+                                         RegridAgg agg,
+                                         const std::vector<bool>& keep_target) {
+  if (keep_target.size() != num_target_cells) {
+    return Status::InvalidArgument("one keep flag per target cell");
+  }
+  if (assignment.size() != source.size()) {
+    return Status::InvalidArgument("one assignment entry per source cell");
+  }
+  // Pushed-down restriction: unassign source cells mapping to dropped
+  // targets before aggregating.
+  std::vector<size_t> pruned = assignment;
+  CommuteResult out;
+  for (size_t i = 0; i < pruned.size(); ++i) {
+    if (pruned[i] == kUnassigned) continue;
+    if (pruned[i] >= num_target_cells) {
+      return Status::OutOfRange("assignment outside target grid");
+    }
+    if (!keep_target[pruned[i]]) {
+      pruned[i] = kUnassigned;
+    } else {
+      ++out.source_cells_processed;
+    }
+  }
+  MDE_ASSIGN_OR_RETURN(std::vector<double> all,
+                       Regrid(source, num_target_cells, pruned, agg));
+  for (size_t t = 0; t < num_target_cells; ++t) {
+    if (keep_target[t]) out.values.push_back(all[t]);
+  }
+  return out;
+}
+
+}  // namespace mde::gridfields

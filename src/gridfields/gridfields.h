@@ -1,0 +1,132 @@
+#ifndef MDE_GRIDFIELDS_GRIDFIELDS_H_
+#define MDE_GRIDFIELDS_GRIDFIELDS_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mde::gridfields {
+
+/// The Howe-Maier gridfield algebra (Section 2.2): a grid is a collection
+/// of heterogeneous cells of various dimensions with an incidence relation
+/// x <= y (x = y, or dim(x) < dim(y) and x touches y). A gridfield binds
+/// data to the cells of one dimension. The central operator for model data
+/// harmonization is regrid: map source cells onto target cells via a
+/// many-to-one assignment and aggregate the bound values.
+
+/// Reference to one cell: its dimension and index within that dimension.
+struct CellRef {
+  int dim = 0;
+  size_t index = 0;
+
+  bool operator==(const CellRef& other) const {
+    return dim == other.dim && index == other.index;
+  }
+};
+
+/// A grid: cell counts per dimension plus the incidence relation, stored as
+/// adjacency from each higher-dimensional cell to its lower-dimensional
+/// faces.
+class Grid {
+ public:
+  explicit Grid(int max_dim);
+
+  int max_dim() const { return max_dim_; }
+  size_t num_cells(int dim) const;
+
+  /// Adds one cell of dimension `dim`; returns its index.
+  size_t AddCell(int dim);
+
+  /// Declares lower <= higher (dim(lower) must be < dim(higher)).
+  Status AddIncidence(CellRef lower, CellRef higher);
+
+  /// True iff x <= y per the paper's definition.
+  bool Leq(CellRef x, CellRef y) const;
+
+  /// Faces of `higher` of dimension `face_dim`.
+  std::vector<size_t> Faces(CellRef higher, int face_dim) const;
+
+ private:
+  int max_dim_;
+  std::vector<size_t> counts_;
+  /// faces_[dim][index] = list of incident (lower-dim, lower-index) pairs.
+  std::vector<std::vector<std::vector<CellRef>>> faces_;
+};
+
+/// Builds the standard regular 2-D grid: (nx+1)*(ny+1) 0-cells (nodes),
+/// horizontal+vertical 1-cells (edges), nx*ny 2-cells (quads), with the full
+/// incidence relation. This is the CORIE-style structured case; irregular
+/// grids use the raw AddCell/AddIncidence API.
+Grid MakeRegularGrid2D(size_t nx, size_t ny);
+
+/// A gridfield: data bound to the cells of one dimension of a grid
+/// (the function f_k of the paper, materialized).
+class GridField {
+ public:
+  GridField(const Grid* grid, int dim, std::vector<double> data);
+
+  const Grid& grid() const { return *grid_; }
+  int dim() const { return dim_; }
+  size_t size() const { return data_.size(); }
+  double value(size_t cell) const { return data_[cell]; }
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  const Grid* grid_;
+  int dim_;
+  std::vector<double> data_;
+};
+
+/// Aggregation functions for regrid.
+enum class RegridAgg { kSum, kMean, kMax, kMin, kCount };
+
+/// Many-to-one cell assignment: assignment[i] is the target cell receiving
+/// source cell i, or kUnassigned to drop it.
+inline constexpr size_t kUnassigned = static_cast<size_t>(-1);
+
+/// regrid(source -> target): aggregates source values into
+/// `num_target_cells` buckets per `assignment`. Target cells receiving no
+/// source cells get `fill`.
+Result<std::vector<double>> Regrid(const GridField& source,
+                                   size_t num_target_cells,
+                                   const std::vector<size_t>& assignment,
+                                   RegridAgg agg, double fill = 0.0);
+
+/// Restriction (the relational-selection analogue): keeps the cells whose
+/// value satisfies `pred`. Returns the kept old indices (sorted) — callers
+/// compact values/assignments through this map.
+std::vector<size_t> RestrictCells(const GridField& field,
+                                  const std::function<bool(double)>& pred);
+
+/// The optimization the paper highlights: a restriction on TARGET cells
+/// commutes with regrid. Both sides of the rewrite are provided so the
+/// equivalence (and the cost difference) can be measured.
+struct CommuteResult {
+  /// Aggregates for kept target cells, in kept-target order.
+  std::vector<double> values;
+  /// Source cells actually aggregated (the work metric).
+  size_t source_cells_processed = 0;
+};
+
+/// Unoptimized order: regrid everything, then keep only targets where
+/// keep_target[t] is true.
+Result<CommuteResult> RegridThenRestrict(const GridField& source,
+                                         size_t num_target_cells,
+                                         const std::vector<size_t>& assignment,
+                                         RegridAgg agg,
+                                         const std::vector<bool>& keep_target);
+
+/// Optimized order: drop source cells assigned to unkept targets first,
+/// then regrid only the survivors. Produces identical values.
+Result<CommuteResult> RestrictThenRegrid(const GridField& source,
+                                         size_t num_target_cells,
+                                         const std::vector<size_t>& assignment,
+                                         RegridAgg agg,
+                                         const std::vector<bool>& keep_target);
+
+}  // namespace mde::gridfields
+
+#endif  // MDE_GRIDFIELDS_GRIDFIELDS_H_

@@ -1,0 +1,99 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+namespace mde::linalg {
+
+Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
+  MDE_CHECK(!rows.empty());
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    MDE_CHECK_EQ(rows[i].size(), m.cols_);
+    for (size_t j = 0; j < m.cols_; ++j) m(i, j) = rows[i][j];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Transpose() const {
+  Matrix t(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& other) const {
+  MDE_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out(i, j) += a * other(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& v) const {
+  MDE_CHECK_EQ(cols_, v.size());
+  Vector out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    const double* row = row_data(i);
+    for (size_t j = 0; j < cols_; ++j) s += row[j] * v[j];
+    out[i] = s;
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& other) const {
+  MDE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] += other.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& other) const {
+  MDE_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  Matrix out = *this;
+  for (size_t i = 0; i < data_.size(); ++i) out.data_[i] -= other.data_[i];
+  return out;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double ss = 0.0;
+  for (double x : data_) ss += x * x;
+  return std::sqrt(ss);
+}
+
+double Norm(const Vector& v) { return std::sqrt(Dot(v, v)); }
+
+double Dot(const Vector& a, const Vector& b) {
+  MDE_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+Vector Axpy(const Vector& a, double s, const Vector& b) {
+  MDE_CHECK_EQ(a.size(), b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
+  return out;
+}
+
+}  // namespace mde::linalg

@@ -1,0 +1,71 @@
+#ifndef MDE_LINALG_MATRIX_H_
+#define MDE_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mde::linalg {
+
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles. Sized for the metamodeling and spline
+/// workloads in this library (up to a few thousand rows/columns); all
+/// operations are straightforward O(n^3)/O(n^2) loops.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds a matrix from nested initializer-style data (rows of equal
+  /// length).
+  static Matrix FromRows(const std::vector<Vector>& rows);
+
+  /// n x n identity.
+  static Matrix Identity(size_t n);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& operator()(size_t i, size_t j) {
+    MDE_CHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(size_t i, size_t j) const {
+    MDE_CHECK(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Raw row pointer (row-major layout).
+  const double* row_data(size_t i) const { return &data_[i * cols_]; }
+
+  Matrix Transpose() const;
+  Matrix operator*(const Matrix& other) const;
+  Vector operator*(const Vector& v) const;
+  Matrix operator+(const Matrix& other) const;
+  Matrix operator-(const Matrix& other) const;
+  Matrix& operator*=(double s);
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm of v.
+double Norm(const Vector& v);
+
+/// Dot product (sizes must match).
+double Dot(const Vector& a, const Vector& b);
+
+/// a + s*b (sizes must match).
+Vector Axpy(const Vector& a, double s, const Vector& b);
+
+}  // namespace mde::linalg
+
+#endif  // MDE_LINALG_MATRIX_H_

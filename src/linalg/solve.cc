@@ -1,0 +1,192 @@
+#include "linalg/solve.h"
+
+#include <cmath>
+
+namespace mde::linalg {
+
+Vector Tridiagonal::Apply(const Vector& x) const {
+  const size_t n = size();
+  MDE_CHECK_EQ(x.size(), n);
+  Vector y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double s = diag[i] * x[i];
+    if (i > 0) s += lower[i - 1] * x[i - 1];
+    if (i + 1 < n) s += upper[i] * x[i + 1];
+    y[i] = s;
+  }
+  return y;
+}
+
+Matrix Tridiagonal::ToDense() const {
+  const size_t n = size();
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    m(i, i) = diag[i];
+    if (i > 0) m(i, i - 1) = lower[i - 1];
+    if (i + 1 < n) m(i, i + 1) = upper[i];
+  }
+  return m;
+}
+
+Result<Vector> SolveTridiagonal(const Tridiagonal& a, const Vector& b) {
+  const size_t n = a.size();
+  MDE_CHECK_EQ(b.size(), n);
+  MDE_CHECK_EQ(a.lower.size() + 1, n);
+  MDE_CHECK_EQ(a.upper.size() + 1, n);
+  if (n == 0) return Vector{};
+  Vector c(n - 1, 0.0);  // modified superdiagonal
+  Vector d(n, 0.0);      // modified rhs
+  double pivot = a.diag[0];
+  if (pivot == 0.0) return Status::NumericError("zero pivot in Thomas solve");
+  if (n > 1) c[0] = a.upper[0] / pivot;
+  d[0] = b[0] / pivot;
+  for (size_t i = 1; i < n; ++i) {
+    pivot = a.diag[i] - a.lower[i - 1] * c[i - 1];
+    if (pivot == 0.0) {
+      return Status::NumericError("zero pivot in Thomas solve");
+    }
+    if (i + 1 < n) c[i] = a.upper[i] / pivot;
+    d[i] = (b[i] - a.lower[i - 1] * d[i - 1]) / pivot;
+  }
+  Vector x(n);
+  x[n - 1] = d[n - 1];
+  for (size_t i = n - 1; i-- > 0;) {
+    x[i] = d[i] - c[i] * x[i + 1];
+  }
+  return x;
+}
+
+Result<Matrix> Cholesky(const Matrix& a) {
+  MDE_CHECK_EQ(a.rows(), a.cols());
+  const size_t n = a.rows();
+  Matrix l(n, n);
+  for (size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (d <= 0.0) {
+      return Status::NumericError("matrix not positive definite");
+    }
+    l(j, j) = std::sqrt(d);
+    for (size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / l(j, j);
+    }
+  }
+  return l;
+}
+
+Vector CholeskySolve(const Matrix& l, const Vector& b) {
+  const size_t n = l.rows();
+  MDE_CHECK_EQ(b.size(), n);
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (size_t k = 0; k < i; ++k) s -= l(i, k) * y[k];
+    y[i] = s / l(i, i);
+  }
+  Vector x(n);
+  for (size_t i = n; i-- > 0;) {
+    double s = y[i];
+    for (size_t k = i + 1; k < n; ++k) s -= l(k, i) * x[k];
+    x[i] = s / l(i, i);
+  }
+  return x;
+}
+
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b, double ridge) {
+  Matrix m = a;
+  if (ridge > 0.0) {
+    for (size_t i = 0; i < m.rows(); ++i) m(i, i) += ridge;
+  }
+  MDE_ASSIGN_OR_RETURN(Matrix l, Cholesky(m));
+  return CholeskySolve(l, b);
+}
+
+namespace {
+
+struct LuFactors {
+  Matrix lu;
+  std::vector<size_t> perm;
+};
+
+Result<LuFactors> LuFactor(const Matrix& a) {
+  MDE_CHECK_EQ(a.rows(), a.cols());
+  const size_t n = a.rows();
+  LuFactors f{a, std::vector<size_t>(n)};
+  for (size_t i = 0; i < n; ++i) f.perm[i] = i;
+  for (size_t k = 0; k < n; ++k) {
+    size_t piv = k;
+    double best = std::fabs(f.lu(k, k));
+    for (size_t i = k + 1; i < n; ++i) {
+      if (std::fabs(f.lu(i, k)) > best) {
+        best = std::fabs(f.lu(i, k));
+        piv = i;
+      }
+    }
+    if (best == 0.0) return Status::NumericError("singular matrix in LU");
+    if (piv != k) {
+      for (size_t j = 0; j < n; ++j) std::swap(f.lu(k, j), f.lu(piv, j));
+      std::swap(f.perm[k], f.perm[piv]);
+    }
+    for (size_t i = k + 1; i < n; ++i) {
+      f.lu(i, k) /= f.lu(k, k);
+      const double m = f.lu(i, k);
+      for (size_t j = k + 1; j < n; ++j) f.lu(i, j) -= m * f.lu(k, j);
+    }
+  }
+  return f;
+}
+
+Vector LuSolveFactored(const LuFactors& f, const Vector& b) {
+  const size_t n = f.lu.rows();
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double s = b[f.perm[i]];
+    for (size_t k = 0; k < i; ++k) s -= f.lu(i, k) * y[k];
+    y[i] = s;
+  }
+  Vector x(n);
+  for (size_t i = n; i-- > 0;) {
+    double s = y[i];
+    for (size_t k = i + 1; k < n; ++k) s -= f.lu(i, k) * x[k];
+    x[i] = s / f.lu(i, i);
+  }
+  return x;
+}
+
+}  // namespace
+
+Result<Vector> SolveLu(const Matrix& a, const Vector& b) {
+  MDE_CHECK_EQ(b.size(), a.rows());
+  MDE_ASSIGN_OR_RETURN(LuFactors f, LuFactor(a));
+  return LuSolveFactored(f, b);
+}
+
+Result<Matrix> Inverse(const Matrix& a) {
+  const size_t n = a.rows();
+  MDE_ASSIGN_OR_RETURN(LuFactors f, LuFactor(a));
+  Matrix inv(n, n);
+  Vector e(n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    Vector col = LuSolveFactored(f, e);
+    for (size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+    e[j] = 0.0;
+  }
+  return inv;
+}
+
+Result<Vector> LeastSquares(const Matrix& x, const Vector& y) {
+  MDE_CHECK_EQ(x.rows(), y.size());
+  MDE_CHECK_GE(x.rows(), x.cols());
+  const Matrix xt = x.Transpose();
+  Matrix xtx = xt * x;
+  const Vector xty = xt * y;
+  // Tiny ridge keeps near-collinear designs solvable without visibly biasing
+  // coefficient estimates at the scales used in this library.
+  const double ridge = 1e-10 * (xtx.FrobeniusNorm() + 1.0);
+  return SolveSpd(xtx, xty, ridge);
+}
+
+}  // namespace mde::linalg

@@ -1,0 +1,61 @@
+#ifndef MDE_LINALG_SOLVE_H_
+#define MDE_LINALG_SOLVE_H_
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace mde::linalg {
+
+/// Tridiagonal system in compact band form. For an n x n system:
+///   lower: n-1 subdiagonal entries (a_1..a_{n-1}),
+///   diag:  n diagonal entries,
+///   upper: n-1 superdiagonal entries.
+/// This is the form taken by the natural-cubic-spline constant system of
+/// Section 2.2 of the paper.
+struct Tridiagonal {
+  Vector lower;
+  Vector diag;
+  Vector upper;
+
+  size_t size() const { return diag.size(); }
+
+  /// y = A x for the tridiagonal A.
+  Vector Apply(const Vector& x) const;
+
+  /// Expands to a dense matrix (testing / small systems only).
+  Matrix ToDense() const;
+};
+
+/// Solves the tridiagonal system A x = b by the Thomas algorithm (O(n)).
+/// Fails with NumericError on a zero pivot. This is the sequential exact
+/// baseline against which the DSGD solver is evaluated.
+Result<Vector> SolveTridiagonal(const Tridiagonal& a, const Vector& b);
+
+/// Cholesky factorization of a symmetric positive-definite matrix:
+/// returns lower-triangular L with A = L Lᵀ. Fails with NumericError if A is
+/// not (numerically) positive definite.
+Result<Matrix> Cholesky(const Matrix& a);
+
+/// Solves A x = b given the Cholesky factor L of A.
+Vector CholeskySolve(const Matrix& l, const Vector& b);
+
+/// Solves the SPD system A x = b by Cholesky; optionally adds `ridge` to the
+/// diagonal first (used by the kriging fitter for ill-conditioned covariance
+/// matrices).
+Result<Vector> SolveSpd(const Matrix& a, const Vector& b, double ridge = 0.0);
+
+/// LU factorization with partial pivoting, then solve. General square
+/// systems; fails with NumericError on singularity.
+Result<Vector> SolveLu(const Matrix& a, const Vector& b);
+
+/// Inverse via LU (testing / small matrices).
+Result<Matrix> Inverse(const Matrix& a);
+
+/// Ordinary least squares: minimizes ||X beta - y||². Solves the normal
+/// equations with a tiny ridge for numerical safety. X must have at least as
+/// many rows as columns.
+Result<Vector> LeastSquares(const Matrix& x, const Vector& y);
+
+}  // namespace mde::linalg
+
+#endif  // MDE_LINALG_SOLVE_H_

@@ -1,0 +1,107 @@
+#ifndef MDE_MCDB_BUNDLE_H_
+#define MDE_MCDB_BUNDLE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mcdb/mcdb.h"
+#include "table/ops.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace mde::mcdb {
+
+/// Tuple-bundle executor (Section 2.1): instead of instantiating the
+/// database and running the query plan once per Monte Carlo repetition, a
+/// BundleTable keeps, for each logical tuple, its deterministic attributes
+/// once and each uncertain attribute as an array of `num_reps` instantiated
+/// values. A query plan is then executed once, with per-repetition activity
+/// masks standing in for per-instance tuple existence.
+class BundleTable {
+ public:
+  /// One logical tuple: deterministic part + per-repetition values of each
+  /// stochastic attribute.
+  struct BundleRow {
+    table::Row det;
+    /// stoch[k][r] = value of stochastic attribute k in repetition r.
+    std::vector<std::vector<double>> stoch;
+    /// active[r] = does this tuple exist in repetition r.
+    std::vector<uint8_t> active;
+  };
+
+  BundleTable(table::Schema det_schema, std::vector<std::string> stoch_names,
+              size_t num_reps);
+
+  const table::Schema& det_schema() const { return det_schema_; }
+  size_t num_reps() const { return num_reps_; }
+  size_t num_rows() const { return rows_.size(); }
+  const BundleRow& row(size_t i) const { return rows_[i]; }
+
+  /// Index of a stochastic attribute by name; error if absent.
+  Result<size_t> StochIndex(const std::string& name) const;
+
+  /// Appends a bundle row (arity- and length-checked).
+  void Append(BundleRow row);
+
+  /// sigma over deterministic attributes — evaluated ONCE for all
+  /// repetitions; this is where tuple bundles beat the naive loop.
+  BundleTable FilterDet(const table::RowPredicate& pred) const;
+
+  /// sigma over a stochastic attribute — updates activity masks
+  /// per-repetition, keeping a tuple if it survives in at least one
+  /// repetition.
+  Result<BundleTable> FilterStoch(const std::string& attr, table::CmpOp op,
+                                  double threshold) const;
+
+  /// Adds stochastic attribute `name` computed per-repetition from the
+  /// deterministic row and the existing stochastic values.
+  Result<BundleTable> MapStoch(
+      const std::string& name,
+      const std::function<double(const table::Row& det,
+                                 const std::vector<double>& stoch_at_rep)>&
+          fn) const;
+
+  /// SUM(attr) per repetition over active tuples: the bundled equivalent of
+  /// running "SELECT SUM(attr)" on every database instance.
+  Result<std::vector<double>> AggregateSum(const std::string& attr) const;
+
+  /// AVG(attr) per repetition over active tuples (0 when none active).
+  Result<std::vector<double>> AggregateAvg(const std::string& attr) const;
+
+  /// COUNT(*) per repetition.
+  std::vector<double> AggregateCount() const;
+
+  /// Grouped SUM(attr): per distinct value of deterministic column
+  /// `det_key`, the per-repetition sums over active tuples — the bundled
+  /// equivalent of "SELECT key, SUM(attr) ... GROUP BY key" per database
+  /// instance. Feeds the paper's threshold queries ("which regions decline
+  /// by more than 2% with at least 50% probability?").
+  struct GroupedSamples {
+    std::string group;
+    std::vector<double> sums;  // one per repetition
+  };
+  Result<std::vector<GroupedSamples>> GroupSum(const std::string& det_key,
+                                               const std::string& attr) const;
+
+ private:
+  table::Schema det_schema_;
+  std::vector<std::string> stoch_names_;
+  size_t num_reps_;
+  std::vector<BundleRow> rows_;
+};
+
+/// Generates a BundleTable realization of `spec` with `num_reps`
+/// repetitions. Restricted to VG functions that emit exactly one row with a
+/// single numeric column per call (the common case; multi-row VGs go
+/// through the naive path). The deterministic part of each bundle is the
+/// outer row; the VG value becomes stochastic attribute `attr_name`.
+/// Statistically equivalent to `num_reps` independent Instantiate() calls.
+Result<BundleTable> GenerateBundles(const MonteCarloDb& db,
+                                    const StochasticTableSpec& spec,
+                                    const std::string& attr_name,
+                                    size_t num_reps, uint64_t seed);
+
+}  // namespace mde::mcdb
+
+#endif  // MDE_MCDB_BUNDLE_H_

@@ -1,0 +1,77 @@
+#ifndef MDE_MCDB_ESTIMATORS_H_
+#define MDE_MCDB_ESTIMATORS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mde::mcdb {
+
+/// Summary of samples from a query-result distribution (Section 2.1: the
+/// features of interest are moments and quantiles of the query result over
+/// database instances).
+struct MonteCarloSummary {
+  size_t n = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+  double std_error = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double q05 = 0.0;
+  double q95 = 0.0;
+};
+
+/// Computes the summary; errors on empty input.
+Result<MonteCarloSummary> Summarize(const std::vector<double>& samples);
+
+/// P(result > threshold) with a normal-approximation confidence half-width
+/// at the given level — the primitive behind MCDB's threshold queries
+/// ("which regions decline by > 2% with >= 50% probability?").
+struct ThresholdEstimate {
+  double probability = 0.0;
+  double half_width = 0.0;
+};
+Result<ThresholdEstimate> ThresholdProbability(
+    const std::vector<double>& samples, double threshold, double level);
+
+/// Extreme-quantile estimate (MCDB-R risk analysis): for p near 0 or 1,
+/// returns the order-statistic estimate of the p-quantile together with a
+/// distribution-free (binomial) confidence interval on the quantile.
+struct QuantileEstimate {
+  double value = 0.0;
+  double ci_low = 0.0;
+  double ci_high = 0.0;
+};
+Result<QuantileEstimate> ExtremeQuantile(std::vector<double> samples,
+                                         double p, double level);
+
+/// Nonparametric bootstrap confidence interval for an arbitrary statistic
+/// of the Monte Carlo samples (median, quantile, trimmed mean, ...):
+/// percentile method over `resamples` bootstrap replicates.
+struct BootstrapCi {
+  double estimate = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+Result<BootstrapCi> BootstrapConfidenceInterval(
+    const std::vector<double>& samples,
+    const std::function<double(const std::vector<double>&)>& statistic,
+    size_t resamples, double level, uint64_t seed);
+
+/// Per-group threshold query: given (group id, per-repetition result) rows,
+/// returns the ids of groups whose P(result > threshold) >= min_probability.
+struct GroupSamples {
+  std::string group;
+  std::vector<double> samples;
+};
+Result<std::vector<std::string>> GroupsExceedingThreshold(
+    const std::vector<GroupSamples>& groups, double threshold,
+    double min_probability);
+
+}  // namespace mde::mcdb
+
+#endif  // MDE_MCDB_ESTIMATORS_H_

@@ -1,0 +1,74 @@
+#ifndef MDE_MCDB_VARIANCE_REDUCTION_H_
+#define MDE_MCDB_VARIANCE_REDUCTION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+
+#include "util/status.h"
+
+namespace mde::mcdb {
+
+/// Classical Monte Carlo efficiency boosters in the Hammersley-Handscomb
+/// cost-times-variance sense the paper adopts (Section 2.3): for a fixed
+/// budget, cutting estimator variance is worth exactly as much as cutting
+/// per-run cost.
+
+/// Plain Monte Carlo estimate of E[f(U)] with U ~ Uniform(0,1).
+struct McEstimate {
+  double mean = 0.0;
+  double variance = 0.0;   // variance of one sample (or pair average)
+  double std_error = 0.0;  // of the mean
+  size_t samples = 0;
+};
+
+McEstimate PlainMonteCarlo(const std::function<double(double)>& f, size_t n,
+                           uint64_t seed);
+
+/// Antithetic variates: evaluates f at U and 1-U and averages the pair.
+/// For monotone f the pair members are negatively correlated, so the
+/// pair-average variance drops below half the plain-sample variance — a
+/// free efficiency gain at the same number of f evaluations.
+McEstimate AntitheticMonteCarlo(const std::function<double(double)>& f,
+                                size_t pairs, uint64_t seed);
+
+/// Control variates: given paired samples (y_i, x_i) where E[X] = mu_x is
+/// known, returns the regression-adjusted estimator
+///   theta = ybar - beta (xbar - mu_x),  beta = Cov(Y, X) / Var(X),
+/// whose variance shrinks by the squared correlation between Y and X.
+struct ControlVariateEstimate {
+  double mean = 0.0;
+  double std_error = 0.0;
+  double beta = 0.0;
+  /// Var(plain) / Var(adjusted): > 1 when the control helps.
+  double variance_reduction_factor = 1.0;
+};
+
+Result<ControlVariateEstimate> ControlVariate(const std::vector<double>& y,
+                                              const std::vector<double>& x,
+                                              double x_mean);
+
+/// Common random numbers: when comparing two system configurations, feeding
+/// both the SAME random-number substream per replication makes their
+/// outputs positively correlated, shrinking Var(A - B) — the right way to
+/// answer "is configuration A better than B" with simulation. `run` maps
+/// (config_id in {0,1}, rng) to one output.
+struct CrnComparison {
+  double mean_difference = 0.0;
+  /// Std error of the difference under CRN.
+  double crn_std_error = 0.0;
+  /// Std error the same budget achieves with independent streams.
+  double independent_std_error = 0.0;
+  /// independent variance / CRN variance (> 1 when CRN helps).
+  double variance_reduction_factor = 1.0;
+};
+
+Result<CrnComparison> CompareWithCrn(
+    const std::function<double(int config, Rng& rng)>& run, size_t reps,
+    uint64_t seed);
+
+}  // namespace mde::mcdb
+
+#endif  // MDE_MCDB_VARIANCE_REDUCTION_H_

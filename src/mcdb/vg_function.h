@@ -1,0 +1,147 @@
+#ifndef MDE_MCDB_VG_FUNCTION_H_
+#define MDE_MCDB_VG_FUNCTION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mde::mcdb {
+
+/// Variable Generation (VG) function: the MCDB mechanism for attaching an
+/// arbitrary stochastic model to a database (Section 2.1). A call generates
+/// a pseudorandom realization of one or more uncertain values, parameterized
+/// by a row of parameters that MCDB obtains from a SQL query over the
+/// non-random tables.
+class VgFunction {
+ public:
+  virtual ~VgFunction() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Schema of the rows this function generates per call.
+  virtual const table::Schema& output_schema() const = 0;
+
+  /// Appends one realization (possibly several correlated rows) to `out`,
+  /// given the bound parameter row.
+  virtual Status Generate(const table::Row& params, Rng& rng,
+                          std::vector<table::Row>* out) const = 0;
+};
+
+/// Normal VG function: params = (mean, std); generates one row (VALUE).
+/// This is the paper's SBP_DATA example.
+class NormalVg : public VgFunction {
+ public:
+  NormalVg();
+  const std::string& name() const override { return name_; }
+  const table::Schema& output_schema() const override { return schema_; }
+  Status Generate(const table::Row& params, Rng& rng,
+                  std::vector<table::Row>* out) const override;
+
+ private:
+  std::string name_;
+  table::Schema schema_;
+};
+
+/// Uniform VG function: params = (lo, hi); one row (VALUE).
+class UniformVg : public VgFunction {
+ public:
+  UniformVg();
+  const std::string& name() const override { return name_; }
+  const table::Schema& output_schema() const override { return schema_; }
+  Status Generate(const table::Row& params, Rng& rng,
+                  std::vector<table::Row>* out) const override;
+
+ private:
+  std::string name_;
+  table::Schema schema_;
+};
+
+/// Poisson VG function: params = (lambda); one row (VALUE, int64).
+class PoissonVg : public VgFunction {
+ public:
+  PoissonVg();
+  const std::string& name() const override { return name_; }
+  const table::Schema& output_schema() const override { return schema_; }
+  Status Generate(const table::Row& params, Rng& rng,
+                  std::vector<table::Row>* out) const override;
+
+ private:
+  std::string name_;
+  table::Schema schema_;
+};
+
+/// Bernoulli VG function: params = (p); one row (VALUE, bool).
+class BernoulliVg : public VgFunction {
+ public:
+  BernoulliVg();
+  const std::string& name() const override { return name_; }
+  const table::Schema& output_schema() const override { return schema_; }
+  Status Generate(const table::Row& params, Rng& rng,
+                  std::vector<table::Row>* out) const override;
+
+ private:
+  std::string name_;
+  table::Schema schema_;
+};
+
+/// Backward geometric random walk, the paper's "estimate missing prior
+/// prices" example: params = (current_price, drift, volatility, steps);
+/// generates `steps` rows (STEP, VALUE) walking backwards from the current
+/// price.
+class BackwardRandomWalkVg : public VgFunction {
+ public:
+  BackwardRandomWalkVg();
+  const std::string& name() const override { return name_; }
+  const table::Schema& output_schema() const override { return schema_; }
+  Status Generate(const table::Row& params, Rng& rng,
+                  std::vector<table::Row>* out) const override;
+
+ private:
+  std::string name_;
+  table::Schema schema_;
+};
+
+/// Discrete (categorical) VG function: params = (w_1, ..., w_k) unnormalized
+/// category weights; one row (VALUE, int64 in [0, k)). Uses O(1) alias-table
+/// sampling per draw for a fixed weight vector; weights are rebuilt per call
+/// since MCDB re-parameterizes per outer row.
+class DiscreteVg : public VgFunction {
+ public:
+  DiscreteVg();
+  const std::string& name() const override { return name_; }
+  const table::Schema& output_schema() const override { return schema_; }
+  Status Generate(const table::Row& params, Rng& rng,
+                  std::vector<table::Row>* out) const override;
+
+ private:
+  std::string name_;
+  table::Schema schema_;
+};
+
+/// Bayesian customer-demand VG function, the paper's personalized-demand
+/// example: a global demand prior (Gamma) is updated with the customer's
+/// own purchase history via conjugate Bayes, then a demand count is drawn
+/// from Poisson(rate * price_sensitivity(price)).
+/// params = (prior_shape, prior_rate, customer_purchases, customer_periods,
+///           price, reference_price, elasticity); one row (DEMAND, int64).
+class BayesianDemandVg : public VgFunction {
+ public:
+  BayesianDemandVg();
+  const std::string& name() const override { return name_; }
+  const table::Schema& output_schema() const override { return schema_; }
+  Status Generate(const table::Row& params, Rng& rng,
+                  std::vector<table::Row>* out) const override;
+
+ private:
+  std::string name_;
+  table::Schema schema_;
+};
+
+}  // namespace mde::mcdb
+
+#endif  // MDE_MCDB_VG_FUNCTION_H_

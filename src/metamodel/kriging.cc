@@ -1,0 +1,213 @@
+#include "metamodel/kriging.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mde::metamodel {
+namespace {
+
+/// Product-exponential correlation of equation (5) with tau^2 factored out.
+double Correlation(const linalg::Vector& a, const linalg::Vector& b,
+                   const std::vector<double>& theta) {
+  double log_r = 0.0;
+  for (size_t k = 0; k < a.size(); ++k) {
+    const double d = a[k] - b[k];
+    log_r -= theta[k] * d * d;
+  }
+  return std::exp(log_r);
+}
+
+linalg::Vector RowOf(const linalg::Matrix& m, size_t i) {
+  linalg::Vector v(m.cols());
+  for (size_t j = 0; j < m.cols(); ++j) v[j] = m(i, j);
+  return v;
+}
+
+std::vector<double> BroadcastTheta(const std::vector<double>& theta,
+                                   size_t dims) {
+  if (theta.size() == dims) return theta;
+  MDE_CHECK_EQ(theta.size(), 1u);
+  return std::vector<double>(dims, theta[0]);
+}
+
+/// Builds the correlation matrix R(theta) with nugget and noise on the
+/// diagonal (noise relative to tau2).
+linalg::Matrix BuildR(const linalg::Matrix& x,
+                      const std::vector<double>& theta, double nugget,
+                      const std::vector<double>& noise_over_tau2) {
+  const size_t r = x.rows();
+  linalg::Matrix R(r, r);
+  for (size_t i = 0; i < r; ++i) {
+    const linalg::Vector xi = RowOf(x, i);
+    for (size_t j = i; j < r; ++j) {
+      const double c = Correlation(xi, RowOf(x, j), theta);
+      R(i, j) = c;
+      R(j, i) = c;
+    }
+    R(i, i) += nugget + (noise_over_tau2.empty() ? 0.0 : noise_over_tau2[i]);
+  }
+  return R;
+}
+
+}  // namespace
+
+Result<double> KrigingLogLikelihood(const linalg::Matrix& x,
+                                    const linalg::Vector& y,
+                                    const std::vector<double>& theta,
+                                    double nugget) {
+  const size_t r = x.rows();
+  if (r == 0 || r != y.size()) {
+    return Status::InvalidArgument("bad design/response sizes");
+  }
+  const std::vector<double> th = BroadcastTheta(theta, x.cols());
+  linalg::Matrix R = BuildR(x, th, nugget, {});
+  MDE_ASSIGN_OR_RETURN(linalg::Matrix l, linalg::Cholesky(R));
+  // log det R from the Cholesky factor.
+  double log_det = 0.0;
+  for (size_t i = 0; i < r; ++i) log_det += 2.0 * std::log(l(i, i));
+  // GLS mean: beta0 = (1' R^-1 y) / (1' R^-1 1).
+  const linalg::Vector ones(r, 1.0);
+  const linalg::Vector ri_y = linalg::CholeskySolve(l, y);
+  const linalg::Vector ri_1 = linalg::CholeskySolve(l, ones);
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < r; ++i) {
+    num += ri_y[i];
+    den += ri_1[i];
+  }
+  const double beta0 = den != 0.0 ? num / den : 0.0;
+  linalg::Vector resid(r);
+  for (size_t i = 0; i < r; ++i) resid[i] = y[i] - beta0;
+  const linalg::Vector ri_resid = linalg::CholeskySolve(l, resid);
+  double quad = 0.0;
+  for (size_t i = 0; i < r; ++i) quad += resid[i] * ri_resid[i];
+  const double sigma2 = std::max(quad / static_cast<double>(r), 1e-300);
+  // Concentrated log-likelihood (up to constants).
+  return -0.5 * (static_cast<double>(r) * std::log(sigma2) + log_det);
+}
+
+Result<KrigingModel> KrigingModel::Fit(const linalg::Matrix& x,
+                                       const linalg::Vector& y,
+                                       const Options& options) {
+  return FitImpl(x, y, {}, options);
+}
+
+Result<KrigingModel> KrigingModel::FitStochastic(
+    const linalg::Matrix& x, const linalg::Vector& y,
+    const std::vector<double>& point_variances, const Options& options) {
+  if (point_variances.size() != x.rows()) {
+    return Status::InvalidArgument("one noise variance per design point");
+  }
+  return FitImpl(x, y, point_variances, options);
+}
+
+Result<KrigingModel> KrigingModel::FitImpl(
+    const linalg::Matrix& x, const linalg::Vector& y,
+    const std::vector<double>& noise_diag, const Options& options) {
+  const size_t r = x.rows();
+  if (r == 0 || r != y.size()) {
+    return Status::InvalidArgument("bad design/response sizes");
+  }
+  KrigingModel model;
+  model.design_ = x;
+  model.theta_ = BroadcastTheta(options.theta, x.cols());
+  model.tau2_ = options.tau2;
+
+  if (options.fit_hyperparameters && noise_diag.empty()) {
+    // Coordinate search over log10(theta_k) maximizing the concentrated
+    // likelihood; 3 sweeps over a bracketing grid is plenty for metamodel
+    // use.
+    for (int sweep = 0; sweep < 3; ++sweep) {
+      for (size_t k = 0; k < model.theta_.size(); ++k) {
+        double best_ll = -1e300;
+        double best_theta = model.theta_[k];
+        for (double log_th = -3.0; log_th <= 3.0; log_th += 0.25) {
+          std::vector<double> trial = model.theta_;
+          trial[k] = std::pow(10.0, log_th);
+          auto ll = KrigingLogLikelihood(x, y, trial, options.nugget);
+          if (ll.ok() && ll.value() > best_ll) {
+            best_ll = ll.value();
+            best_theta = trial[k];
+          }
+        }
+        model.theta_[k] = best_theta;
+      }
+    }
+    // Profile estimate of tau^2 under the chosen theta.
+    linalg::Matrix R = BuildR(x, model.theta_, options.nugget, {});
+    MDE_ASSIGN_OR_RETURN(linalg::Matrix l, linalg::Cholesky(R));
+    const linalg::Vector ones(r, 1.0);
+    const linalg::Vector ri_y = linalg::CholeskySolve(l, y);
+    const linalg::Vector ri_1 = linalg::CholeskySolve(l, ones);
+    double num = 0.0, den = 0.0;
+    for (size_t i = 0; i < r; ++i) {
+      num += ri_y[i];
+      den += ri_1[i];
+    }
+    const double beta0 = den != 0.0 ? num / den : 0.0;
+    linalg::Vector resid(r);
+    for (size_t i = 0; i < r; ++i) resid[i] = y[i] - beta0;
+    const linalg::Vector ri_resid = linalg::CholeskySolve(l, resid);
+    double quad = 0.0;
+    for (size_t i = 0; i < r; ++i) quad += resid[i] * ri_resid[i];
+    model.tau2_ = std::max(quad / static_cast<double>(r), 1e-12);
+  }
+
+  // Sigma = tau^2 R + Sigma_eps (+ nugget).
+  std::vector<double> noise_over_tau2;
+  if (!noise_diag.empty()) {
+    noise_over_tau2.resize(r);
+    for (size_t i = 0; i < r; ++i) {
+      noise_over_tau2[i] = noise_diag[i] / model.tau2_;
+    }
+  }
+  linalg::Matrix R =
+      BuildR(x, model.theta_, options.nugget, noise_over_tau2);
+  R *= model.tau2_;
+  MDE_ASSIGN_OR_RETURN(model.chol_, linalg::Cholesky(R));
+
+  // GLS beta0 then alpha = Sigma^{-1}(y - beta0 1).
+  const linalg::Vector ones(r, 1.0);
+  const linalg::Vector si_y = linalg::CholeskySolve(model.chol_, y);
+  const linalg::Vector si_1 = linalg::CholeskySolve(model.chol_, ones);
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < r; ++i) {
+    num += si_y[i];
+    den += si_1[i];
+  }
+  model.beta0_ = den != 0.0 ? num / den : 0.0;
+  linalg::Vector resid(r);
+  for (size_t i = 0; i < r; ++i) resid[i] = y[i] - model.beta0_;
+  model.alpha_ = linalg::CholeskySolve(model.chol_, resid);
+  return model;
+}
+
+double KrigingModel::Covariance(const linalg::Vector& a,
+                                const linalg::Vector& b) const {
+  return tau2_ * Correlation(a, b, theta_);
+}
+
+double KrigingModel::Predict(const linalg::Vector& point) const {
+  MDE_CHECK_EQ(point.size(), design_.cols());
+  double y = beta0_;
+  for (size_t i = 0; i < design_.rows(); ++i) {
+    y += Covariance(point, RowOf(design_, i)) * alpha_[i];
+  }
+  return y;
+}
+
+double KrigingModel::PredictVariance(const linalg::Vector& point) const {
+  MDE_CHECK_EQ(point.size(), design_.cols());
+  const size_t r = design_.rows();
+  linalg::Vector k(r);
+  for (size_t i = 0; i < r; ++i) {
+    k[i] = Covariance(point, RowOf(design_, i));
+  }
+  const linalg::Vector si_k = linalg::CholeskySolve(chol_, k);
+  double quad = 0.0;
+  for (size_t i = 0; i < r; ++i) quad += k[i] * si_k[i];
+  return std::max(0.0, tau2_ - quad);
+}
+
+}  // namespace mde::metamodel

@@ -1,0 +1,86 @@
+#ifndef MDE_METAMODEL_KRIGING_H_
+#define MDE_METAMODEL_KRIGING_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/solve.h"
+#include "util/status.h"
+
+namespace mde::metamodel {
+
+/// Gaussian-process (kriging) metamodel of Section 4.1, equations (4)-(6):
+///   Y(x) = beta_0 + M(x),
+/// with M a stationary Gaussian process whose covariance is the product
+/// exponential of equation (5):
+///   Cov[M(x_i), M(x_j)] = tau^2 prod_k exp(-theta_k (x_ik - x_jk)^2).
+/// The predictor (6) interpolates the design points exactly (deterministic
+/// simulation) unless per-point noise variances are supplied, in which case
+/// the stochastic-kriging correction [Sigma_M + Sigma_eps]^{-1} applies.
+class KrigingModel {
+ public:
+  struct Options {
+    /// Process variance tau^2.
+    double tau2 = 1.0;
+    /// Per-dimension inverse length-scales theta_k; a single value is
+    /// broadcast to all dimensions.
+    std::vector<double> theta = {1.0};
+    /// Diagonal jitter added to Sigma for numerical stability.
+    double nugget = 1e-8;
+    /// When true, tau2 and theta are tuned by maximizing the concentrated
+    /// Gaussian log-likelihood (coordinate search over log theta).
+    bool fit_hyperparameters = false;
+  };
+
+  /// Deterministic-simulation kriging: exact responses at design points.
+  static Result<KrigingModel> Fit(const linalg::Matrix& x,
+                                  const linalg::Vector& y,
+                                  const Options& options);
+
+  /// Stochastic kriging (Ankenman-Nelson-Staum): `y` holds the average
+  /// response over the replications at each design point and
+  /// `point_variances` the variance OF that average (V(x_i)/n_i), forming
+  /// the diagonal Sigma_eps.
+  static Result<KrigingModel> FitStochastic(
+      const linalg::Matrix& x, const linalg::Vector& y,
+      const std::vector<double>& point_variances, const Options& options);
+
+  /// BLUP prediction (6) at a point.
+  double Predict(const linalg::Vector& point) const;
+
+  /// Kriging mean-squared prediction error at a point (0 at design points
+  /// of a deterministic fit).
+  double PredictVariance(const linalg::Vector& point) const;
+
+  double beta0() const { return beta0_; }
+  const std::vector<double>& theta() const { return theta_; }
+  double tau2() const { return tau2_; }
+
+ private:
+  KrigingModel() = default;
+
+  static Result<KrigingModel> FitImpl(const linalg::Matrix& x,
+                                      const linalg::Vector& y,
+                                      const std::vector<double>& noise_diag,
+                                      const Options& options);
+
+  double Covariance(const linalg::Vector& a, const linalg::Vector& b) const;
+
+  linalg::Matrix design_;  // r x n design points
+  linalg::Vector alpha_;   // Sigma^{-1} (y - beta0 1)
+  linalg::Matrix chol_;    // Cholesky factor of Sigma (for variance)
+  double beta0_ = 0.0;
+  double tau2_ = 1.0;
+  std::vector<double> theta_;
+};
+
+/// Concentrated log-likelihood of a correlation-parameter vector, used for
+/// hyperparameter fitting and exposed for tests.
+Result<double> KrigingLogLikelihood(const linalg::Matrix& x,
+                                    const linalg::Vector& y,
+                                    const std::vector<double>& theta,
+                                    double nugget);
+
+}  // namespace mde::metamodel
+
+#endif  // MDE_METAMODEL_KRIGING_H_

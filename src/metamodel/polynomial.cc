@@ -1,0 +1,111 @@
+#include "metamodel/polynomial.h"
+
+#include <cmath>
+
+#include "linalg/solve.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace mde::metamodel {
+namespace {
+
+void CombinationsFrom(size_t n, size_t order, size_t start,
+                      std::vector<size_t>* current,
+                      std::vector<std::vector<size_t>>* out) {
+  if (current->size() == order) {
+    out->push_back(*current);
+    return;
+  }
+  for (size_t f = start; f < n; ++f) {
+    current->push_back(f);
+    CombinationsFrom(n, order, f + 1, current, out);
+    current->pop_back();
+  }
+}
+
+/// Enumerates all subsets of {0..n-1} of size 0..max_order, in order of
+/// increasing size then lexicographic; the empty set is the intercept.
+std::vector<std::vector<size_t>> EnumerateTerms(size_t n, size_t max_order) {
+  std::vector<std::vector<size_t>> terms;
+  terms.push_back({});  // intercept
+  std::vector<size_t> current;
+  for (size_t order = 1; order <= std::min(max_order, n); ++order) {
+    CombinationsFrom(n, order, 0, &current, &terms);
+  }
+  return terms;
+}
+
+double EvalTerm(const std::vector<size_t>& term,
+                const linalg::Vector& point) {
+  double v = 1.0;
+  for (size_t f : term) v *= point[f];
+  return v;
+}
+
+std::string TermName(const std::vector<size_t>& term) {
+  if (term.empty()) return "1";
+  std::string name;
+  for (size_t i = 0; i < term.size(); ++i) {
+    if (i > 0) name += "*";
+    name += "x" + std::to_string(term[i] + 1);
+  }
+  return name;
+}
+
+}  // namespace
+
+Result<PolynomialMetamodel> PolynomialMetamodel::Fit(const linalg::Matrix& x,
+                                                     const linalg::Vector& y,
+                                                     const Options& options) {
+  if (x.rows() != y.size()) {
+    return Status::InvalidArgument("design/response size mismatch");
+  }
+  if (x.rows() == 0) return Status::InvalidArgument("empty design");
+  PolynomialMetamodel model;
+  model.num_factors_ = x.cols();
+  model.terms_ = EnumerateTerms(x.cols(), options.max_interaction_order);
+  if (x.rows() < model.terms_.size()) {
+    return Status::InvalidArgument(
+        "design has fewer runs than metamodel terms (" +
+        std::to_string(x.rows()) + " < " +
+        std::to_string(model.terms_.size()) + ")");
+  }
+  for (const auto& t : model.terms_) model.names_.push_back(TermName(t));
+  linalg::Matrix design(x.rows(), model.terms_.size());
+  linalg::Vector point(x.cols());
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) point[c] = x(r, c);
+    for (size_t t = 0; t < model.terms_.size(); ++t) {
+      design(r, t) = EvalTerm(model.terms_[t], point);
+    }
+  }
+  MDE_ASSIGN_OR_RETURN(model.beta_, linalg::LeastSquares(design, y));
+  // Training R^2.
+  double ss_res = 0.0;
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) point[c] = x(r, c);
+    const double e = y[r] - model.Predict(point);
+    ss_res += e * e;
+  }
+  const double var_y = Variance(y);
+  const double ss_tot = var_y * static_cast<double>(y.size() - 1);
+  model.r_squared_ = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return model;
+}
+
+double PolynomialMetamodel::Predict(const linalg::Vector& point) const {
+  MDE_CHECK_EQ(point.size(), num_factors_);
+  double y = 0.0;
+  for (size_t t = 0; t < terms_.size(); ++t) {
+    y += beta_[t] * EvalTerm(terms_[t], point);
+  }
+  return y;
+}
+
+double PolynomialMetamodel::MainEffect(size_t i) const {
+  MDE_CHECK_LT(i, num_factors_);
+  // Terms are ordered intercept first, then singletons in factor order.
+  return beta_[1 + i];
+}
+
+}  // namespace mde::metamodel

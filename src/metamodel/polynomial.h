@@ -1,0 +1,58 @@
+#ifndef MDE_METAMODEL_POLYNOMIAL_H_
+#define MDE_METAMODEL_POLYNOMIAL_H_
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace mde::metamodel {
+
+/// Polynomial metamodel of Section 4.1, equation (3):
+///   Y(x) = beta_0 + sum_i beta_i x_i + sum_{i<j} beta_ij x_i x_j + ...
+/// Interaction terms are products of distinct factors up to
+/// `max_interaction_order` (1 = linear / main effects only, 2 = two-way
+/// interactions, ..., n = the full model). Fit by OLS over design points.
+class PolynomialMetamodel {
+ public:
+  struct Options {
+    size_t max_interaction_order = 1;
+  };
+
+  /// Fits to r design points (rows of `x`) and responses `y`.
+  static Result<PolynomialMetamodel> Fit(const linalg::Matrix& x,
+                                         const linalg::Vector& y,
+                                         const Options& options);
+
+  /// Predicted response at a point.
+  double Predict(const linalg::Vector& point) const;
+
+  /// All coefficients (intercept first, then terms in term_names order).
+  const linalg::Vector& coefficients() const { return beta_; }
+
+  /// Human-readable term labels: "1", "x1", "x2", "x1*x2", ...
+  const std::vector<std::string>& term_names() const { return names_; }
+
+  /// Main-effect coefficient of factor i (0-based).
+  double MainEffect(size_t i) const;
+
+  /// R^2 on the training design.
+  double r_squared() const { return r_squared_; }
+
+  size_t num_factors() const { return num_factors_; }
+
+ private:
+  PolynomialMetamodel() = default;
+
+  /// Index sets of the factors in each term (empty set = intercept).
+  std::vector<std::vector<size_t>> terms_;
+  std::vector<std::string> names_;
+  linalg::Vector beta_;
+  size_t num_factors_ = 0;
+  double r_squared_ = 0.0;
+};
+
+}  // namespace mde::metamodel
+
+#endif  // MDE_METAMODEL_POLYNOMIAL_H_

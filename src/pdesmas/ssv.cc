@@ -1,0 +1,126 @@
+#include "pdesmas/ssv.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mde::pdesmas {
+
+Status SharedStateVariable::Write(double t, double value) {
+  if (!history_.empty() && t < history_.back().first) {
+    return Status::InvalidArgument("writes must be time-ordered per SSV");
+  }
+  history_.push_back({t, value});
+  return Status::OK();
+}
+
+Result<double> SharedStateVariable::ValueAt(double t) const {
+  if (history_.empty() || t < history_.front().first) {
+    return Status::NotFound("SSV has no value at or before requested time");
+  }
+  // Last entry with time <= t.
+  auto it = std::upper_bound(
+      history_.begin(), history_.end(), t,
+      [](double time, const std::pair<double, double>& e) {
+        return time < e.first;
+      });
+  return std::prev(it)->second;
+}
+
+Result<double> SharedStateVariable::Current() const {
+  if (history_.empty()) return Status::NotFound("SSV never written");
+  return history_.back().second;
+}
+
+ClpTree::ClpTree(size_t num_ssvs, size_t leaf_size) : ssvs_(num_ssvs) {
+  MDE_CHECK_GT(num_ssvs, 0u);
+  MDE_CHECK_GT(leaf_size, 0u);
+  nodes_.reserve(2 * (num_ssvs / leaf_size + 2));
+  BuildNode(0, num_ssvs, leaf_size);
+  leaf_accesses_.assign(nodes_.size(), 0);
+}
+
+size_t ClpTree::BuildNode(size_t begin, size_t end, size_t leaf_size) {
+  const size_t idx = nodes_.size();
+  nodes_.push_back({begin, end, 0.0, 0.0, false, 0, 0});
+  if (end - begin > leaf_size) {
+    const size_t mid = begin + (end - begin) / 2;
+    const size_t left = BuildNode(begin, mid, leaf_size);
+    const size_t right = BuildNode(mid, end, leaf_size);
+    nodes_[idx].left = left;
+    nodes_[idx].right = right;
+  }
+  return idx;
+}
+
+Status ClpTree::Write(size_t id, double time, double value) {
+  if (id >= ssvs_.size()) return Status::OutOfRange("SSV id out of range");
+  MDE_RETURN_NOT_OK(ssvs_[id].Write(time, value));
+  // Update bounding intervals along the root-to-leaf path. Intervals are
+  // over ALL values ever written (safe for both current and timestamped
+  // pruning; they only widen).
+  size_t node = 0;
+  while (true) {
+    Node& n = nodes_[node];
+    if (!n.has_value) {
+      n.min_value = n.max_value = value;
+      n.has_value = true;
+    } else {
+      n.min_value = std::min(n.min_value, value);
+      n.max_value = std::max(n.max_value, value);
+    }
+    if (n.left == 0 && n.right == 0) {
+      ++leaf_accesses_[node];
+      break;
+    }
+    node = id < nodes_[n.left].end ? n.left : n.right;
+  }
+  return Status::OK();
+}
+
+void ClpTree::Query(size_t node, double lo, double hi, bool timestamped,
+                    double t, std::vector<size_t>* out) const {
+  ++last_visited_;
+  const Node& n = nodes_[node];
+  if (!n.has_value || n.max_value < lo || n.min_value > hi) return;
+  if (n.left == 0 && n.right == 0) {
+    ++leaf_accesses_[node];
+    for (size_t id = n.begin; id < n.end; ++id) {
+      const auto v =
+          timestamped ? ssvs_[id].ValueAt(t) : ssvs_[id].Current();
+      if (v.ok() && v.value() >= lo && v.value() <= hi) {
+        out->push_back(id);
+      }
+    }
+    return;
+  }
+  Query(n.left, lo, hi, timestamped, t, out);
+  Query(n.right, lo, hi, timestamped, t, out);
+}
+
+std::vector<size_t> ClpTree::LeafAccessCounts() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].left == 0 && nodes_[i].right == 0) {
+      out.push_back(leaf_accesses_[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> ClpTree::CurrentRangeQuery(double lo, double hi) const {
+  last_visited_ = 0;
+  std::vector<size_t> out;
+  Query(0, lo, hi, /*timestamped=*/false, 0.0, &out);
+  return out;
+}
+
+std::vector<size_t> ClpTree::RangeQueryAt(double t, double lo,
+                                          double hi) const {
+  last_visited_ = 0;
+  std::vector<size_t> out;
+  Query(0, lo, hi, /*timestamped=*/true, t, &out);
+  return out;
+}
+
+}  // namespace mde::pdesmas

@@ -1,0 +1,95 @@
+#ifndef MDE_PDESMAS_SSV_H_
+#define MDE_PDESMAS_SSV_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mde::pdesmas {
+
+/// A shared state variable (SSV) in the PDES-MAS architecture (Section
+/// 2.4): an externally visible agent attribute (e.g. position) maintained
+/// as a timestamped history, because agent logical processes progress
+/// through simulated time at different rates and queries must be answered
+/// at a specific timestamp.
+class SharedStateVariable {
+ public:
+  /// Records a write at simulation time `t` (must be >= the last write
+  /// time).
+  Status Write(double t, double value);
+
+  /// Value visible at time `t`: the last write at or before `t`. Errors if
+  /// `t` precedes the first write.
+  Result<double> ValueAt(double t) const;
+
+  /// Latest written value (error if never written).
+  Result<double> Current() const;
+
+  size_t history_size() const { return history_.size(); }
+
+ private:
+  std::vector<std::pair<double, double>> history_;
+};
+
+/// A tree of communication logical processes (CLPs) maintaining SSVs in
+/// contiguous leaf ranges, with per-node value intervals for pruning range
+/// queries — a simplified instance of the PDES-MAS CLP tree. Reconfiguration
+/// is modeled by rebuilding with a different leaf size.
+class ClpTree {
+ public:
+  /// `leaf_size` SSVs per leaf CLP.
+  ClpTree(size_t num_ssvs, size_t leaf_size);
+
+  size_t num_ssvs() const { return ssvs_.size(); }
+
+  /// Routes a write for SSV `id` through the tree, updating the bounding
+  /// intervals on the root-to-leaf path.
+  Status Write(size_t id, double time, double value);
+
+  /// Instantaneous range query ("find all agents whose attribute is in
+  /// [lo, hi] right now"): ids of SSVs whose latest value lies in the
+  /// interval. Uses node pruning; records the node-visit count.
+  std::vector<size_t> CurrentRangeQuery(double lo, double hi) const;
+
+  /// Timestamped range query at simulation time `t` — needed because ALPs
+  /// advance at different rates. SSVs never written by time `t` are
+  /// excluded. (Prunes with all-time intervals, then checks history.)
+  std::vector<size_t> RangeQueryAt(double t, double lo, double hi) const;
+
+  /// CLP nodes touched by the most recent query (the load metric PDES-MAS
+  /// balances).
+  size_t last_query_nodes_visited() const { return last_visited_; }
+
+  /// Cumulative leaf-CLP access counts (reads + writes routed to each
+  /// leaf). PDES-MAS migrates SSVs / reconfigures the tree to balance this
+  /// load; the counters expose the signal its reconfiguration would use.
+  std::vector<size_t> LeafAccessCounts() const;
+
+  const SharedStateVariable& ssv(size_t id) const { return ssvs_[id]; }
+
+ private:
+  struct Node {
+    size_t begin = 0;  // SSV id range [begin, end)
+    size_t end = 0;
+    double min_value = 0.0;
+    double max_value = 0.0;
+    bool has_value = false;
+    size_t left = 0;   // child node indices (0 = none; root is index 0)
+    size_t right = 0;
+  };
+
+  size_t BuildNode(size_t begin, size_t end, size_t leaf_size);
+  void Query(size_t node, double lo, double hi, bool timestamped, double t,
+             std::vector<size_t>* out) const;
+
+  std::vector<SharedStateVariable> ssvs_;
+  std::vector<Node> nodes_;
+  mutable size_t last_visited_ = 0;
+  mutable std::vector<size_t> leaf_accesses_;  // indexed by node id
+};
+
+}  // namespace mde::pdesmas
+
+#endif  // MDE_PDESMAS_SSV_H_

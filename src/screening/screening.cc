@@ -1,0 +1,123 @@
+#include "screening/screening.h"
+
+#include <algorithm>
+#include <map>
+
+#include "metamodel/kriging.h"
+#include "util/check.h"
+
+namespace mde::screening {
+namespace {
+
+/// Memoized staircase evaluator: y(k) = mean response with factors [0, k)
+/// high and the rest low.
+class StaircaseOracle {
+ public:
+  StaircaseOracle(const ScreeningResponse& response, size_t num_factors,
+                  size_t replications, uint64_t seed)
+      : response_(response),
+        num_factors_(num_factors),
+        replications_(std::max<size_t>(1, replications)),
+        rng_(seed) {}
+
+  double Eval(size_t k) {
+    auto it = cache_.find(k);
+    if (it != cache_.end()) return it->second;
+    std::vector<int> levels(num_factors_, -1);
+    for (size_t f = 0; f < k; ++f) levels[f] = 1;
+    double total = 0.0;
+    for (size_t rep = 0; rep < replications_; ++rep) {
+      total += response_(levels, rng_);
+      ++runs_;
+    }
+    const double mean = total / static_cast<double>(replications_);
+    cache_.emplace(k, mean);
+    return mean;
+  }
+
+  size_t runs() const { return runs_; }
+
+ private:
+  const ScreeningResponse& response_;
+  size_t num_factors_;
+  size_t replications_;
+  Rng rng_;
+  std::map<size_t, double> cache_;
+  size_t runs_ = 0;
+};
+
+void Bifurcate(StaircaseOracle* oracle, size_t lo, size_t hi,
+               double effect_threshold, std::vector<size_t>* important) {
+  // Group effect over factors (lo, hi]: (y(hi) - y(lo)) / 2 under the
+  // first-order positive-effects model.
+  const double group_effect = (oracle->Eval(hi) - oracle->Eval(lo)) / 2.0;
+  if (group_effect <= effect_threshold) return;  // group has no important factor
+  if (hi - lo == 1) {
+    important->push_back(lo);  // factor index lo (0-based)
+    return;
+  }
+  const size_t mid = lo + (hi - lo) / 2;
+  Bifurcate(oracle, lo, mid, effect_threshold, important);
+  Bifurcate(oracle, mid, hi, effect_threshold, important);
+}
+
+}  // namespace
+
+ScreeningResult SequentialBifurcation(const ScreeningResponse& response,
+                                      size_t num_factors,
+                                      double effect_threshold,
+                                      size_t replications, uint64_t seed) {
+  MDE_CHECK_GT(num_factors, 0u);
+  StaircaseOracle oracle(response, num_factors, replications, seed);
+  ScreeningResult result;
+  Bifurcate(&oracle, 0, num_factors, effect_threshold, &result.important);
+  std::sort(result.important.begin(), result.important.end());
+  result.runs_used = oracle.runs();
+  return result;
+}
+
+ScreeningResult OneAtATimeScreening(const ScreeningResponse& response,
+                                    size_t num_factors,
+                                    double effect_threshold,
+                                    size_t replications, uint64_t seed) {
+  MDE_CHECK_GT(num_factors, 0u);
+  const size_t reps = std::max<size_t>(1, replications);
+  Rng rng(seed);
+  ScreeningResult result;
+  auto eval = [&](const std::vector<int>& levels) {
+    double total = 0.0;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      total += response(levels, rng);
+      ++result.runs_used;
+    }
+    return total / static_cast<double>(reps);
+  };
+  std::vector<int> base(num_factors, -1);
+  const double y0 = eval(base);
+  for (size_t f = 0; f < num_factors; ++f) {
+    std::vector<int> levels = base;
+    levels[f] = 1;
+    const double effect = (eval(levels) - y0) / 2.0;
+    if (effect > effect_threshold) result.important.push_back(f);
+  }
+  return result;
+}
+
+Result<std::vector<size_t>> GpThetaScreening(const linalg::Matrix& design,
+                                             const linalg::Vector& responses,
+                                             double theta_threshold) {
+  metamodel::KrigingModel::Options options;
+  options.theta.assign(design.cols(), 1.0);
+  options.fit_hyperparameters = true;
+  options.nugget = 1e-6;
+  MDE_ASSIGN_OR_RETURN(metamodel::KrigingModel model,
+                       metamodel::KrigingModel::Fit(design, responses,
+                                                    options));
+  std::vector<size_t> important;
+  for (size_t j = 0; j < model.theta().size(); ++j) {
+    if (model.theta()[j] > theta_threshold) important.push_back(j);
+  }
+  return important;
+}
+
+}  // namespace mde::screening

@@ -1,0 +1,63 @@
+#ifndef MDE_SCREENING_SCREENING_H_
+#define MDE_SCREENING_SCREENING_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mde::screening {
+
+/// A screening experiment's black box: maps factor settings (one entry per
+/// factor, -1 = low, +1 = high) to a (possibly noisy) scalar response.
+using ScreeningResponse =
+    std::function<double(const std::vector<int>& levels, Rng& rng)>;
+
+/// Result of a factor-screening procedure.
+struct ScreeningResult {
+  /// Indices of the factors declared important.
+  std::vector<size_t> important;
+  /// Number of simulation runs consumed (the quantity screening exists to
+  /// minimize).
+  size_t runs_used = 0;
+};
+
+/// Sequential bifurcation (Section 4.3): assumes a first-order metamodel
+/// with non-negative main effects. Evaluates the response only at
+/// "staircase" settings y(k) = (factors 1..k high, rest low); the combined
+/// effect of group (i, j] is (y(j) - y(i)) / 2, and groups whose effect
+/// exceeds `effect_threshold` are split recursively until single factors
+/// are isolated. With k important factors among n, run count is
+/// O(k log n) vs n+1 for one-at-a-time.
+///
+/// `replications` responses are averaged per staircase point to suppress
+/// observation noise. Staircase evaluations are memoized.
+ScreeningResult SequentialBifurcation(const ScreeningResponse& response,
+                                      size_t num_factors,
+                                      double effect_threshold,
+                                      size_t replications, uint64_t seed);
+
+/// Baseline: one-at-a-time screening (estimates every main effect by
+/// flipping each factor individually; n+1 staircase... i.e. 2n runs with
+/// replications). Declares factor i important when its estimated effect
+/// exceeds the threshold.
+ScreeningResult OneAtATimeScreening(const ScreeningResponse& response,
+                                    size_t num_factors,
+                                    double effect_threshold,
+                                    size_t replications, uint64_t seed);
+
+/// Gaussian-process screening (Section 4.3): fits a kriging metamodel with
+/// per-dimension theta_j to (design, responses) and declares factor j
+/// important when theta_j exceeds `theta_threshold` — a very low theta_j
+/// means the correlation in dimension j is ~1 everywhere, i.e. the response
+/// does not vary with factor j.
+Result<std::vector<size_t>> GpThetaScreening(const linalg::Matrix& design,
+                                             const linalg::Vector& responses,
+                                             double theta_threshold);
+
+}  // namespace mde::screening
+
+#endif  // MDE_SCREENING_SCREENING_H_

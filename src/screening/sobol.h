@@ -1,0 +1,43 @@
+#ifndef MDE_SCREENING_SOBOL_H_
+#define MDE_SCREENING_SOBOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mde::screening {
+
+/// Variance-based global sensitivity analysis: first-order and total-order
+/// Sobol indices by the Saltelli pick-freeze estimator. This extends the
+/// Section 4.3 screening toolbox beyond metamodel coefficients: S_j is the
+/// fraction of output variance explained by factor j alone, ST_j includes
+/// all interactions involving j. Unlike main effects, Sobol indices need
+/// no linearity assumption.
+struct SobolIndices {
+  /// First-order indices S_j.
+  std::vector<double> first_order;
+  /// Total-order indices ST_j.
+  std::vector<double> total_order;
+  /// Output variance used for normalization.
+  double output_variance = 0.0;
+  /// Model evaluations consumed: n * (dims + 2).
+  size_t evaluations = 0;
+};
+
+/// The model under analysis: factors supplied in [0,1]^d (callers scale
+/// internally).
+using SensitivityModel =
+    std::function<double(const std::vector<double>& unit_point)>;
+
+/// Computes Sobol indices with `base_samples` pick-freeze sample pairs.
+/// Indices are clipped to [0, 1]; small negative estimates (sampling
+/// noise) become 0.
+Result<SobolIndices> ComputeSobolIndices(const SensitivityModel& model,
+                                         size_t dims, size_t base_samples,
+                                         uint64_t seed);
+
+}  // namespace mde::screening
+
+#endif  // MDE_SCREENING_SOBOL_H_

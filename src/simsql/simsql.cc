@@ -1,0 +1,80 @@
+#include "simsql/simsql.h"
+
+namespace mde::simsql {
+
+Status MarkovChainDb::AddDeterministic(const std::string& name,
+                                       table::Table t) {
+  if (deterministic_.count(name) > 0) {
+    return Status::AlreadyExists("table exists: " + name);
+  }
+  deterministic_.emplace(name, std::move(t));
+  return Status::OK();
+}
+
+Status MarkovChainDb::AddChainTable(ChainTableSpec spec) {
+  if (deterministic_.count(spec.name) > 0) {
+    return Status::AlreadyExists("table exists: " + spec.name);
+  }
+  for (const auto& s : specs_) {
+    if (s.name == spec.name) {
+      return Status::AlreadyExists("chain table exists: " + spec.name);
+    }
+  }
+  if (!spec.init || !spec.transition) {
+    return Status::InvalidArgument("chain table needs init and transition");
+  }
+  specs_.push_back(std::move(spec));
+  return Status::OK();
+}
+
+Result<DatabaseState> MarkovChainDb::Run(size_t steps, uint64_t seed,
+                                         uint64_t rep,
+                                         const Observer& observer) {
+  history_.clear();
+  Rng rng = Rng::Substream(seed, rep);
+
+  // Version 0.
+  DatabaseState state = deterministic_;
+  for (const auto& spec : specs_) {
+    MDE_ASSIGN_OR_RETURN(table::Table t, spec.init(state, rng));
+    state.erase(spec.name);
+    state.emplace(spec.name, std::move(t));
+  }
+  if (observer) MDE_RETURN_NOT_OK(observer(0, state));
+  if (history_limit_ > 0) history_.push_back(state);
+
+  // Versions 1..steps.
+  for (size_t i = 1; i <= steps; ++i) {
+    DatabaseState next = deterministic_;
+    for (const auto& spec : specs_) {
+      MDE_ASSIGN_OR_RETURN(table::Table t, spec.transition(state, next, rng));
+      next.erase(spec.name);
+      next.emplace(spec.name, std::move(t));
+    }
+    state = std::move(next);
+    if (observer) MDE_RETURN_NOT_OK(observer(i, state));
+    if (history_limit_ > 0) {
+      history_.push_back(state);
+      if (history_.size() > history_limit_) {
+        history_.erase(history_.begin());
+      }
+    }
+  }
+  return state;
+}
+
+Result<std::vector<double>> MonteCarloChain(
+    MarkovChainDb& db, size_t steps, size_t reps, uint64_t seed,
+    const std::function<Result<double>(const DatabaseState&)>& query) {
+  std::vector<double> samples;
+  samples.reserve(reps);
+  for (size_t rep = 0; rep < reps; ++rep) {
+    MDE_ASSIGN_OR_RETURN(DatabaseState final_state,
+                         db.Run(steps, seed, rep));
+    MDE_ASSIGN_OR_RETURN(double v, query(final_state));
+    samples.push_back(v);
+  }
+  return samples;
+}
+
+}  // namespace mde::simsql

@@ -1,0 +1,84 @@
+#ifndef MDE_SIMSQL_SIMSQL_H_
+#define MDE_SIMSQL_SIMSQL_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mde::simsql {
+
+/// One version of the database-valued Markov chain: every table (chain
+/// tables at this version plus the deterministic tables).
+using DatabaseState = std::map<std::string, table::Table>;
+
+/// Specification of one chain (versioned stochastic) table. SimSQL's
+/// extension over MCDB (Section 2.1): stochastic tables may be
+/// parameterized by other stochastic tables — including earlier versions of
+/// themselves — yielding a database-valued Markov chain D[0], D[1], ...
+struct ChainTableSpec {
+  std::string name;
+  /// Generates version 0 given the deterministic tables and any chain
+  /// tables already generated for version 0 (registration order).
+  std::function<Result<table::Table>(const DatabaseState& current, Rng& rng)>
+      init;
+  /// Generates version i given the FULL previous state D[i-1] plus any
+  /// chain tables already generated for version i. The dependence on
+  /// `previous` is exactly the Markov property: D[i] depends on D[i-1]
+  /// only.
+  std::function<Result<table::Table>(const DatabaseState& previous,
+                                     const DatabaseState& current, Rng& rng)>
+      transition;
+};
+
+/// Driver for database-valued Markov chains.
+class MarkovChainDb {
+ public:
+  /// Registers an ordinary (time-invariant) table.
+  Status AddDeterministic(const std::string& name, table::Table t);
+
+  /// Registers a chain table; generation at each step follows registration
+  /// order, so a spec may consume same-version tables registered before it
+  /// (SimSQL's recursive definitions).
+  Status AddChainTable(ChainTableSpec spec);
+
+  /// Number of versions retained by Run (0 = retain only the latest;
+  /// k = keep the trailing k versions). Versioning lets queries look at
+  /// past states.
+  void set_history_limit(size_t k) { history_limit_ = k; }
+
+  /// Observer invoked after each version is realized: (version index,
+  /// state). Returning a non-OK status aborts the run.
+  using Observer = std::function<Status(size_t, const DatabaseState&)>;
+
+  /// Realizes D[0..steps] for one Monte Carlo replication (substream `rep`
+  /// of `seed`). Returns the final state; `observer` (optional) sees every
+  /// version.
+  Result<DatabaseState> Run(size_t steps, uint64_t seed, uint64_t rep,
+                            const Observer& observer = nullptr);
+
+  /// Retained history after Run (most recent last), per history_limit.
+  const std::vector<DatabaseState>& history() const { return history_; }
+
+ private:
+  DatabaseState deterministic_;
+  std::vector<ChainTableSpec> specs_;
+  size_t history_limit_ = 0;
+  std::vector<DatabaseState> history_;
+};
+
+/// Runs `reps` independent replications of the chain and reports, for a
+/// caller-supplied scalar query evaluated on the final state, the vector of
+/// per-replication results — samples from the time-`steps` marginal of the
+/// chain's query-result distribution.
+Result<std::vector<double>> MonteCarloChain(
+    MarkovChainDb& db, size_t steps, size_t reps, uint64_t seed,
+    const std::function<Result<double>(const DatabaseState&)>& query);
+
+}  // namespace mde::simsql
+
+#endif  // MDE_SIMSQL_SIMSQL_H_

@@ -1,0 +1,65 @@
+#include "smc/importance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "smc/resample.h"
+
+namespace mde::smc {
+
+Result<ImportanceResult> ImportanceSample(
+    const std::function<double(double)>& log_gamma,
+    const std::function<double(Rng&)>& sample_q,
+    const std::function<double(double)>& log_q,
+    const std::function<double(double)>& g, size_t n, uint64_t seed) {
+  if (n == 0) return Status::InvalidArgument("n must be positive");
+  Rng rng(seed);
+  std::vector<double> xs(n), log_w(n);
+  for (size_t i = 0; i < n; ++i) {
+    xs[i] = sample_q(rng);
+    log_w[i] = log_gamma(xs[i]) - log_q(xs[i]);
+  }
+  const double mx = *std::max_element(log_w.begin(), log_w.end());
+  if (!std::isfinite(mx)) {
+    return Status::NumericError("importance weights collapsed");
+  }
+  double sum_w = 0.0;
+  for (double lw : log_w) sum_w += std::exp(lw - mx);
+  ImportanceResult out;
+  out.normalizing_constant =
+      std::exp(mx) * sum_w / static_cast<double>(n);
+  MDE_ASSIGN_OR_RETURN(std::vector<double> w, NormalizedFromLog(log_w));
+  for (size_t i = 0; i < n; ++i) out.expectation += w[i] * g(xs[i]);
+  out.ess = EffectiveSampleSize(w);
+  return out;
+}
+
+Result<SisTrace> SisEssTrace(
+    const std::function<double(double)>& log_f,
+    const std::function<double(double, Rng&)>& sample_q,
+    const std::function<double(double, double)>& log_q, size_t num_particles,
+    size_t steps, uint64_t seed) {
+  if (num_particles == 0 || steps == 0) {
+    return Status::InvalidArgument("need particles and steps");
+  }
+  Rng rng(seed);
+  std::vector<double> x(num_particles, 0.0);
+  std::vector<double> log_w(num_particles, 0.0);
+  SisTrace trace;
+  for (size_t k = 0; k < steps; ++k) {
+    for (size_t i = 0; i < num_particles; ++i) {
+      const double xn = sample_q(x[i], rng);
+      // Recursive weight update: w_n = w_{n-1} * f(x_n)/q(x_n | x_{n-1}).
+      log_w[i] += log_f(xn) - log_q(x[i], xn);
+      x[i] = xn;
+    }
+    MDE_ASSIGN_OR_RETURN(std::vector<double> w, NormalizedFromLog(log_w));
+    trace.ess_per_step.push_back(EffectiveSampleSize(w));
+    if (k == steps - 1) {
+      trace.final_max_weight = *std::max_element(w.begin(), w.end());
+    }
+  }
+  return trace;
+}
+
+}  // namespace mde::smc

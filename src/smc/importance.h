@@ -1,0 +1,50 @@
+#ifndef MDE_SMC_IMPORTANCE_H_
+#define MDE_SMC_IMPORTANCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mde::smc {
+
+/// Static importance sampling (Section 3.2 preliminaries): to approximate a
+/// distribution pi = gamma / Z that is hard to sample, draw from a proposal
+/// q and correct with weights w = gamma / q. Estimates both Z-hat and the
+/// self-normalized expectation of `g`.
+struct ImportanceResult {
+  /// Z-hat = (1/N) sum w(X_i).
+  double normalizing_constant = 0.0;
+  /// Self-normalized estimate of E_pi[g].
+  double expectation = 0.0;
+  /// Effective sample size of the normalized weights.
+  double ess = 0.0;
+};
+
+Result<ImportanceResult> ImportanceSample(
+    const std::function<double(double)>& log_gamma,
+    const std::function<double(Rng&)>& sample_q,
+    const std::function<double(double)>& log_q,
+    const std::function<double(double)>& g, size_t n, uint64_t seed);
+
+/// Sequential importance sampling over a growing product target (no
+/// resampling): demonstrates the exponential weight degeneracy that
+/// motivates SIR. Targets gamma_n(x_1:n) = prod_k f(x_k) with Markov
+/// proposal q(x_k | x_{k-1}); returns the ESS trajectory over n steps.
+struct SisTrace {
+  std::vector<double> ess_per_step;
+  /// max normalized weight at the final step (near 1.0 = collapse).
+  double final_max_weight = 0.0;
+};
+
+Result<SisTrace> SisEssTrace(
+    const std::function<double(double)>& log_f,
+    const std::function<double(double, Rng&)>& sample_q,
+    const std::function<double(double, double)>& log_q, size_t num_particles,
+    size_t steps, uint64_t seed);
+
+}  // namespace mde::smc
+
+#endif  // MDE_SMC_IMPORTANCE_H_

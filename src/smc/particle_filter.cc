@@ -1,0 +1,133 @@
+#include "smc/particle_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace mde::smc {
+
+ParticleFilter::ParticleFilter(const StateSpaceModel& model,
+                               const ParticleFilterOptions& options)
+    : model_(model), options_(options), rng_(options.seed) {
+  MDE_CHECK_GT(options.num_particles, 0u);
+}
+
+Status ParticleFilter::Initialize(const Observation& y1) {
+  const size_t n = options_.num_particles;
+  particles_.clear();
+  particles_.reserve(n);
+  std::vector<double> log_w(n);
+  for (size_t i = 0; i < n; ++i) {
+    particles_.push_back(model_.SampleInitial(y1, rng_));
+    log_w[i] = model_.LogObservation(y1, particles_[i]) +
+               model_.LogInitialRatio(y1, particles_[i]);
+  }
+  initialized_ = true;
+  return WeighAndMaybeResample(log_w);
+}
+
+Status ParticleFilter::Step(const Observation& y) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Initialize first");
+  }
+  const size_t n = options_.num_particles;
+  std::vector<State> next;
+  next.reserve(n);
+  std::vector<double> log_w(n);
+  for (size_t i = 0; i < n; ++i) {
+    State x = model_.SampleProposal(y, particles_[i], rng_);
+    log_w[i] = std::log(std::max(weights_[i], 1e-300)) +
+               model_.LogObservation(y, x) +
+               model_.LogTransitionRatio(y, x, particles_[i]);
+    next.push_back(std::move(x));
+  }
+  particles_ = std::move(next);
+  return WeighAndMaybeResample(log_w);
+}
+
+Status ParticleFilter::WeighAndMaybeResample(
+    const std::vector<double>& log_weights) {
+  const size_t n = options_.num_particles;
+  // Marginal-likelihood increment: log mean of unnormalized weights
+  // relative to the previous normalized weights.
+  const double mx =
+      *std::max_element(log_weights.begin(), log_weights.end());
+  FilterStepStats stats;
+  if (!std::isfinite(mx)) {
+    return Status::NumericError("particle filter weight collapse");
+  }
+  double sum = 0.0;
+  for (double lw : log_weights) sum += std::exp(lw - mx);
+  stats.log_likelihood_increment =
+      mx + std::log(sum);  // note: relative to prior normalized weights
+  MDE_ASSIGN_OR_RETURN(weights_, NormalizedFromLog(log_weights));
+  stats.ess = EffectiveSampleSize(weights_);
+  if (stats.ess <
+      options_.ess_threshold * static_cast<double>(n) + 1e-12) {
+    const std::vector<size_t> idx =
+        ResampleIndices(weights_, n, options_.resample, rng_);
+    std::vector<State> resampled;
+    resampled.reserve(n);
+    for (size_t a : idx) resampled.push_back(particles_[a]);
+    particles_ = std::move(resampled);
+    weights_.assign(n, 1.0 / static_cast<double>(n));
+    stats.resampled = true;
+  }
+  stats_.push_back(stats);
+  return Status::OK();
+}
+
+State ParticleFilter::MeanState() const {
+  MDE_CHECK(!particles_.empty());
+  State mean(particles_[0].size(), 0.0);
+  for (size_t i = 0; i < particles_.size(); ++i) {
+    for (size_t k = 0; k < mean.size(); ++k) {
+      mean[k] += weights_[i] * particles_[i][k];
+    }
+  }
+  return mean;
+}
+
+double ParticleFilter::TotalLogLikelihood() const {
+  double total = 0.0;
+  for (const FilterStepStats& s : stats_) {
+    total += s.log_likelihood_increment;
+  }
+  return total;
+}
+
+KernelDensity::KernelDensity(std::vector<double> samples, double bandwidth,
+                             Kernel kernel)
+    : samples_(std::move(samples)), kernel_(kernel) {
+  MDE_CHECK(!samples_.empty());
+  h_ = bandwidth > 0.0 ? bandwidth : SilvermanBandwidth(samples_);
+  if (h_ <= 0.0) h_ = 1e-3;  // degenerate (constant) samples
+}
+
+double KernelDensity::Density(double x) const {
+  const double m = static_cast<double>(samples_.size());
+  double total = 0.0;
+  for (double xi : samples_) {
+    const double u = (x - xi) / h_;
+    if (kernel_ == Kernel::kGaussian) {
+      total += std::exp(-0.5 * u * u) / std::sqrt(2.0 * M_PI);
+    } else {
+      total += 0.5 * std::exp(-std::fabs(u));
+    }
+  }
+  return total / (m * h_);
+}
+
+double KernelDensity::LogDensity(double x) const {
+  return std::log(std::max(Density(x), 1e-300));
+}
+
+double KernelDensity::SilvermanBandwidth(const std::vector<double>& samples) {
+  const double sd = StdDev(samples);
+  const double n = static_cast<double>(samples.size());
+  return 1.06 * sd * std::pow(n, -0.2);
+}
+
+}  // namespace mde::smc

@@ -1,0 +1,132 @@
+#ifndef MDE_SMC_PARTICLE_FILTER_H_
+#define MDE_SMC_PARTICLE_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "smc/resample.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mde::smc {
+
+/// State vector of a particle; observations are also plain vectors.
+using State = std::vector<double>;
+using Observation = std::vector<double>;
+
+/// Hidden Markov (state-space) model interface for the particle filter of
+/// Section 3.2 / Algorithm 2. Implementations provide the proposal q_n, the
+/// observation density p(y_n | x_n), and the (log) transition/proposal
+/// density ratio needed for the incremental weight
+///   alpha_n = p(y|x) p(x|x_prev) / q(x | y, x_prev).
+/// A bootstrap filter (proposal = transition) returns 0 from the ratio
+/// hooks.
+class StateSpaceModel {
+ public:
+  virtual ~StateSpaceModel() = default;
+
+  /// Samples x_1 ~ q_1(x_1 | y_1).
+  virtual State SampleInitial(const Observation& y1, Rng& rng) const = 0;
+
+  /// Samples x_n ~ q_n(x_n | y_n, x_prev).
+  virtual State SampleProposal(const Observation& y, const State& x_prev,
+                               Rng& rng) const = 0;
+
+  /// log p(y_n | x_n).
+  virtual double LogObservation(const Observation& y,
+                                const State& x) const = 0;
+
+  /// log [ p_1(x_1) / q_1(x_1 | y_1) ]; 0 when q_1 = p_1 (bootstrap).
+  virtual double LogInitialRatio(const Observation& /*y1*/,
+                                 const State& /*x1*/) const {
+    return 0.0;
+  }
+
+  /// log [ p_n(x_n | x_prev) / q_n(x_n | y_n, x_prev) ]; 0 for bootstrap.
+  virtual double LogTransitionRatio(const Observation& /*y*/,
+                                    const State& /*x*/,
+                                    const State& /*x_prev*/) const {
+    return 0.0;
+  }
+};
+
+/// Options for the filter.
+struct ParticleFilterOptions {
+  size_t num_particles = 500;
+  ResampleMethod resample = ResampleMethod::kSystematic;
+  /// Resample only when ESS / N drops below this fraction (1.0 = resample
+  /// every step as in Algorithm 2; 0.0 = plain SIS, no resampling —
+  /// exhibits the weight-collapse pathology the paper describes).
+  double ess_threshold = 1.0;
+  uint64_t seed = 1234;
+};
+
+/// Per-step diagnostics.
+struct FilterStepStats {
+  double ess = 0.0;
+  bool resampled = false;
+  /// log of the incremental marginal-likelihood estimate p(y_n | y_1:n-1).
+  double log_likelihood_increment = 0.0;
+};
+
+/// Sequential importance sampling with resampling, specialized to hidden
+/// Markov models (Algorithm 2 of the paper).
+class ParticleFilter {
+ public:
+  ParticleFilter(const StateSpaceModel& model,
+                 const ParticleFilterOptions& options);
+
+  /// Step 1-4 of Algorithm 2 (initial sample, weight, resample).
+  Status Initialize(const Observation& y1);
+
+  /// Steps 6-11 for one more observation.
+  Status Step(const Observation& y);
+
+  const std::vector<State>& particles() const { return particles_; }
+  const std::vector<double>& weights() const { return weights_; }
+  const std::vector<FilterStepStats>& step_stats() const { return stats_; }
+
+  /// Weighted posterior mean of the state.
+  State MeanState() const;
+
+  /// Total log marginal likelihood of the observations so far.
+  double TotalLogLikelihood() const;
+
+ private:
+  Status WeighAndMaybeResample(const std::vector<double>& log_weights);
+
+  const StateSpaceModel& model_;
+  ParticleFilterOptions options_;
+  Rng rng_;
+  std::vector<State> particles_;
+  std::vector<double> weights_;  // normalized
+  std::vector<FilterStepStats> stats_;
+  bool initialized_ = false;
+};
+
+/// Gaussian / Laplace kernel density estimator (used to approximate the
+/// transition and proposal densities in the sensor-aware wildfire proposal,
+/// Section 3.2): f_hat(x) = (Mh)^-1 sum K((x - x_i)/h).
+class KernelDensity {
+ public:
+  enum class Kernel { kGaussian, kLaplace };
+
+  /// `bandwidth` <= 0 selects Silverman's rule of thumb.
+  KernelDensity(std::vector<double> samples, double bandwidth,
+                Kernel kernel = Kernel::kGaussian);
+
+  double Density(double x) const;
+  double LogDensity(double x) const;
+  double bandwidth() const { return h_; }
+
+  static double SilvermanBandwidth(const std::vector<double>& samples);
+
+ private:
+  std::vector<double> samples_;
+  double h_;
+  Kernel kernel_;
+};
+
+}  // namespace mde::smc
+
+#endif  // MDE_SMC_PARTICLE_FILTER_H_

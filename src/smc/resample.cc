@@ -1,0 +1,83 @@
+#include "smc/resample.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mde::smc {
+
+Status NormalizeWeights(std::vector<double>* weights) {
+  double sum = 0.0;
+  for (double w : *weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      return Status::NumericError("negative or non-finite weight");
+    }
+    sum += w;
+  }
+  if (sum <= 0.0) return Status::NumericError("total weight collapse");
+  for (double& w : *weights) w /= sum;
+  return Status::OK();
+}
+
+double EffectiveSampleSize(const std::vector<double>& normalized_weights) {
+  double ss = 0.0;
+  for (double w : normalized_weights) ss += w * w;
+  return ss > 0.0 ? 1.0 / ss : 0.0;
+}
+
+std::vector<size_t> ResampleIndices(
+    const std::vector<double>& normalized_weights, size_t n,
+    ResampleMethod method, Rng& rng) {
+  const size_t m = normalized_weights.size();
+  MDE_CHECK_GT(m, 0u);
+  std::vector<size_t> out;
+  out.reserve(n);
+  if (method == ResampleMethod::kMultinomial) {
+    // Inverse-CDF per draw.
+    std::vector<double> cdf(m);
+    double acc = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      acc += normalized_weights[i];
+      cdf[i] = acc;
+    }
+    cdf[m - 1] = 1.0;
+    for (size_t k = 0; k < n; ++k) {
+      const double u = rng.NextDouble();
+      const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+      out.push_back(static_cast<size_t>(it - cdf.begin()));
+    }
+  } else {
+    // Systematic: one uniform u ~ U[0, 1/n), comb at u + k/n.
+    const double step = 1.0 / static_cast<double>(n);
+    double u = rng.NextDouble() * step;
+    double acc = normalized_weights[0];
+    size_t i = 0;
+    for (size_t k = 0; k < n; ++k) {
+      const double target = u + static_cast<double>(k) * step;
+      while (acc < target && i + 1 < m) {
+        ++i;
+        acc += normalized_weights[i];
+      }
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<double>> NormalizedFromLog(
+    const std::vector<double>& log_weights) {
+  if (log_weights.empty()) {
+    return Status::InvalidArgument("no weights");
+  }
+  const double mx = *std::max_element(log_weights.begin(), log_weights.end());
+  if (!std::isfinite(mx)) {
+    return Status::NumericError("all log-weights are -inf (collapse)");
+  }
+  std::vector<double> w(log_weights.size());
+  for (size_t i = 0; i < w.size(); ++i) w[i] = std::exp(log_weights[i] - mx);
+  MDE_RETURN_NOT_OK(NormalizeWeights(&w));
+  return w;
+}
+
+}  // namespace mde::smc

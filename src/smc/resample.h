@@ -1,0 +1,40 @@
+#ifndef MDE_SMC_RESAMPLE_H_
+#define MDE_SMC_RESAMPLE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mde::smc {
+
+/// Normalizes weights in place to sum to 1; errors if the sum is zero or
+/// non-finite (total weight collapse).
+Status NormalizeWeights(std::vector<double>* weights);
+
+/// Effective sample size 1 / sum(W_i^2) of normalized weights — the
+/// standard diagnostic for weight degeneracy in SIS.
+double EffectiveSampleSize(const std::vector<double>& normalized_weights);
+
+/// Resampling schemes for the SIR step.
+enum class ResampleMethod {
+  /// N independent draws from the categorical distribution.
+  kMultinomial,
+  /// Single uniform offset, stratified comb — lower variance, O(N).
+  kSystematic,
+};
+
+/// Draws `n` ancestor indices according to the normalized weights.
+std::vector<size_t> ResampleIndices(const std::vector<double>& normalized_weights,
+                                    size_t n, ResampleMethod method, Rng& rng);
+
+/// Converts log-weights to normalized weights with the max-subtraction
+/// trick (stable for very small observation densities). Errors on total
+/// collapse.
+Result<std::vector<double>> NormalizedFromLog(
+    const std::vector<double>& log_weights);
+
+}  // namespace mde::smc
+
+#endif  // MDE_SMC_RESAMPLE_H_

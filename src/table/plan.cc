@@ -1,0 +1,301 @@
+#include "table/plan.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mde::table {
+
+PlanPtr MakeNode(PlanNode&& node) {
+  return std::make_shared<const PlanNode>(std::move(node));
+}
+
+PlanPtr PlanNode::Scan(const Table* table, std::string name) {
+  MDE_CHECK(table != nullptr);
+  PlanNode n;
+  n.kind_ = Kind::kScan;
+  n.table_ = table;
+  n.name_ = std::move(name);
+  return MakeNode(std::move(n));
+}
+
+PlanPtr PlanNode::Filter(PlanPtr child, std::vector<PlanPredicate> preds) {
+  MDE_CHECK(child != nullptr);
+  PlanNode n;
+  n.kind_ = Kind::kFilter;
+  n.child_ = std::move(child);
+  n.preds_ = std::move(preds);
+  return MakeNode(std::move(n));
+}
+
+PlanPtr PlanNode::Project(PlanPtr child, std::vector<std::string> columns) {
+  MDE_CHECK(child != nullptr);
+  PlanNode n;
+  n.kind_ = Kind::kProject;
+  n.child_ = std::move(child);
+  n.columns_ = std::move(columns);
+  return MakeNode(std::move(n));
+}
+
+PlanPtr PlanNode::Join(PlanPtr left, PlanPtr right,
+                       std::vector<std::string> left_keys,
+                       std::vector<std::string> right_keys) {
+  MDE_CHECK(left != nullptr && right != nullptr);
+  PlanNode n;
+  n.kind_ = Kind::kJoin;
+  n.left_ = std::move(left);
+  n.right_ = std::move(right);
+  n.left_keys_ = std::move(left_keys);
+  n.right_keys_ = std::move(right_keys);
+  return MakeNode(std::move(n));
+}
+
+Result<Schema> PlanNode::OutputSchema() const {
+  switch (kind_) {
+    case Kind::kScan:
+      return table_->schema();
+    case Kind::kFilter:
+      return child_->OutputSchema();
+    case Kind::kProject: {
+      MDE_ASSIGN_OR_RETURN(Schema in, child_->OutputSchema());
+      std::vector<ColumnSpec> cols;
+      for (const auto& c : columns_) {
+        MDE_ASSIGN_OR_RETURN(size_t idx, in.IndexOf(c));
+        cols.push_back(in.column(idx));
+      }
+      return Schema(std::move(cols));
+    }
+    case Kind::kJoin: {
+      MDE_ASSIGN_OR_RETURN(Schema l, left_->OutputSchema());
+      MDE_ASSIGN_OR_RETURN(Schema r, right_->OutputSchema());
+      return Schema::Concat(l, r, "r.");
+    }
+  }
+  return Status::Internal("unknown plan node");
+}
+
+Result<Table> ExecutePlan(const PlanPtr& plan, ExecutionStats* stats) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  switch (plan->kind()) {
+    case PlanNode::Kind::kScan: {
+      if (stats != nullptr) stats->rows_scanned += plan->table()->num_rows();
+      return *plan->table();
+    }
+    case PlanNode::Kind::kFilter: {
+      MDE_ASSIGN_OR_RETURN(Table in, ExecutePlan(plan->child(), stats));
+      Table out = in;
+      for (const PlanPredicate& p : plan->predicates()) {
+        MDE_ASSIGN_OR_RETURN(
+            RowPredicate pred,
+            ColumnCompare(out.schema(), p.column, p.op, p.literal));
+        out = Filter(out, pred);
+      }
+      if (stats != nullptr) stats->intermediate_rows += out.num_rows();
+      return out;
+    }
+    case PlanNode::Kind::kProject: {
+      MDE_ASSIGN_OR_RETURN(Table in, ExecutePlan(plan->child(), stats));
+      MDE_ASSIGN_OR_RETURN(Table out, Project(in, plan->columns()));
+      if (stats != nullptr) stats->intermediate_rows += out.num_rows();
+      return out;
+    }
+    case PlanNode::Kind::kJoin: {
+      MDE_ASSIGN_OR_RETURN(Table l, ExecutePlan(plan->left(), stats));
+      MDE_ASSIGN_OR_RETURN(Table r, ExecutePlan(plan->right(), stats));
+      MDE_ASSIGN_OR_RETURN(
+          Table out, HashJoin(l, r, plan->left_keys(), plan->right_keys()));
+      if (stats != nullptr) stats->intermediate_rows += out.num_rows();
+      return out;
+    }
+  }
+  return Status::Internal("unknown plan node");
+}
+
+namespace {
+
+/// Recursively optimizes, returning the rewritten subtree.
+Result<PlanPtr> OptimizeRec(const PlanPtr& plan);
+
+/// Attempts to sink `preds` into `node`. Predicates that cannot sink are
+/// returned in `left_over` to be applied above `node`.
+Result<PlanPtr> SinkPredicates(const PlanPtr& node,
+                               std::vector<PlanPredicate> preds,
+                               std::vector<PlanPredicate>* left_over) {
+  if (preds.empty()) return node;
+  switch (node->kind()) {
+    case PlanNode::Kind::kFilter: {
+      // Merge into the existing filter, then recurse below it.
+      std::vector<PlanPredicate> merged = node->predicates();
+      merged.insert(merged.end(), preds.begin(), preds.end());
+      std::vector<PlanPredicate> deeper_left_over;
+      MDE_ASSIGN_OR_RETURN(
+          PlanPtr child,
+          SinkPredicates(node->child(), merged, &deeper_left_over));
+      if (deeper_left_over.empty()) return child;
+      return PlanNode::Filter(child, std::move(deeper_left_over));
+    }
+    case PlanNode::Kind::kScan: {
+      // Deepest point: apply all predicates here.
+      return PlanNode::Filter(node, std::move(preds));
+    }
+    case PlanNode::Kind::kProject: {
+      // A predicate slides below the projection iff its column survives
+      // (projection only narrows columns, never renames).
+      MDE_ASSIGN_OR_RETURN(Schema child_schema,
+                           node->child()->OutputSchema());
+      std::vector<PlanPredicate> sinkable, stuck;
+      for (auto& p : preds) {
+        (child_schema.Has(p.column) ? sinkable : stuck)
+            .push_back(std::move(p));
+      }
+      // Columns removed by the projection cannot be referenced above it
+      // either, so "stuck" predicates are errors; report them.
+      if (!stuck.empty()) {
+        return Status::InvalidArgument("predicate column not found: " +
+                                       stuck[0].column);
+      }
+      std::vector<PlanPredicate> deeper;
+      MDE_ASSIGN_OR_RETURN(PlanPtr child,
+                           SinkPredicates(node->child(), sinkable, &deeper));
+      if (!deeper.empty()) child = PlanNode::Filter(child, deeper);
+      return PlanNode::Project(child, node->columns());
+    }
+    case PlanNode::Kind::kJoin: {
+      MDE_ASSIGN_OR_RETURN(Schema ls, node->left()->OutputSchema());
+      MDE_ASSIGN_OR_RETURN(Schema rs, node->right()->OutputSchema());
+      std::vector<PlanPredicate> to_left, to_right;
+      for (auto& p : preds) {
+        if (ls.Has(p.column)) {
+          to_left.push_back(std::move(p));
+        } else if (rs.Has(p.column)) {
+          // Unambiguous right-side column (possibly exposed as "r.x"
+          // above the join, but referenced here by its base name).
+          to_right.push_back(std::move(p));
+        } else if (p.column.rfind("r.", 0) == 0 &&
+                   rs.Has(p.column.substr(2))) {
+          PlanPredicate stripped = std::move(p);
+          stripped.column = stripped.column.substr(2);
+          to_right.push_back(std::move(stripped));
+        } else {
+          left_over->push_back(std::move(p));
+        }
+      }
+      std::vector<PlanPredicate> dummy_l, dummy_r;
+      PlanPtr new_left = node->left();
+      PlanPtr new_right = node->right();
+      if (!to_left.empty()) {
+        MDE_ASSIGN_OR_RETURN(new_left,
+                             SinkPredicates(new_left, to_left, &dummy_l));
+      }
+      if (!to_right.empty()) {
+        MDE_ASSIGN_OR_RETURN(new_right,
+                             SinkPredicates(new_right, to_right, &dummy_r));
+      }
+      MDE_CHECK(dummy_l.empty() && dummy_r.empty());
+      return PlanNode::Join(new_left, new_right, node->left_keys(),
+                            node->right_keys());
+    }
+  }
+  return Status::Internal("unknown plan node");
+}
+
+Result<PlanPtr> OptimizeRec(const PlanPtr& plan) {
+  switch (plan->kind()) {
+    case PlanNode::Kind::kScan:
+      return plan;
+    case PlanNode::Kind::kFilter: {
+      MDE_ASSIGN_OR_RETURN(PlanPtr child, OptimizeRec(plan->child()));
+      std::vector<PlanPredicate> left_over;
+      MDE_ASSIGN_OR_RETURN(
+          PlanPtr sunk,
+          SinkPredicates(child, plan->predicates(), &left_over));
+      if (left_over.empty()) return sunk;
+      return PlanNode::Filter(sunk, std::move(left_over));
+    }
+    case PlanNode::Kind::kProject: {
+      MDE_ASSIGN_OR_RETURN(PlanPtr child, OptimizeRec(plan->child()));
+      return PlanNode::Project(child, plan->columns());
+    }
+    case PlanNode::Kind::kJoin: {
+      MDE_ASSIGN_OR_RETURN(PlanPtr l, OptimizeRec(plan->left()));
+      MDE_ASSIGN_OR_RETURN(PlanPtr r, OptimizeRec(plan->right()));
+      return PlanNode::Join(l, r, plan->left_keys(), plan->right_keys());
+    }
+  }
+  return Status::Internal("unknown plan node");
+}
+
+const char* CmpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+void ExplainRec(const PlanPtr& plan, int depth, std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  switch (plan->kind()) {
+    case PlanNode::Kind::kScan:
+      *os << "Scan(" << plan->name() << ")\n";
+      break;
+    case PlanNode::Kind::kFilter: {
+      *os << "Filter(";
+      for (size_t i = 0; i < plan->predicates().size(); ++i) {
+        if (i > 0) *os << " AND ";
+        const auto& p = plan->predicates()[i];
+        *os << p.column << " " << CmpName(p.op) << " "
+            << p.literal.ToString();
+      }
+      *os << ")\n";
+      ExplainRec(plan->child(), depth + 1, os);
+      break;
+    }
+    case PlanNode::Kind::kProject: {
+      *os << "Project(";
+      for (size_t i = 0; i < plan->columns().size(); ++i) {
+        if (i > 0) *os << ", ";
+        *os << plan->columns()[i];
+      }
+      *os << ")\n";
+      ExplainRec(plan->child(), depth + 1, os);
+      break;
+    }
+    case PlanNode::Kind::kJoin: {
+      *os << "HashJoin(";
+      for (size_t i = 0; i < plan->left_keys().size(); ++i) {
+        if (i > 0) *os << ", ";
+        *os << plan->left_keys()[i] << "=" << plan->right_keys()[i];
+      }
+      *os << ")\n";
+      ExplainRec(plan->left(), depth + 1, os);
+      ExplainRec(plan->right(), depth + 1, os);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<PlanPtr> OptimizePlan(const PlanPtr& plan) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  return OptimizeRec(plan);
+}
+
+std::string ExplainPlan(const PlanPtr& plan) {
+  std::ostringstream os;
+  ExplainRec(plan, 0, &os);
+  return os.str();
+}
+
+}  // namespace mde::table

@@ -1,0 +1,96 @@
+#ifndef MDE_TABLE_PLAN_H_
+#define MDE_TABLE_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "table/ops.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace mde::table {
+
+/// A small logical-plan layer with a classical rewrite optimizer. The
+/// paper's Section 2.3 grounds simulation-run optimization in query
+/// optimization ("the problem of simulation-experiment optimization
+/// subsumes the problem of query optimization"); this is the query side of
+/// that analogy: plans are built declaratively, an optimizer pushes
+/// selections below joins, and the executor reports how many intermediate
+/// rows each strategy touched.
+class PlanNode;
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+/// A structured (and therefore optimizable) predicate: column <op> literal.
+struct PlanPredicate {
+  std::string column;
+  CmpOp op = CmpOp::kEq;
+  Value literal;
+};
+
+class PlanNode {
+ public:
+  enum class Kind { kScan, kFilter, kProject, kJoin };
+
+  Kind kind() const { return kind_; }
+
+  // --- constructors (free builders below) ---
+  static PlanPtr Scan(const Table* table, std::string name);
+  static PlanPtr Filter(PlanPtr child, std::vector<PlanPredicate> preds);
+  static PlanPtr Project(PlanPtr child, std::vector<std::string> columns);
+  static PlanPtr Join(PlanPtr left, PlanPtr right,
+                      std::vector<std::string> left_keys,
+                      std::vector<std::string> right_keys);
+
+  // --- accessors used by the optimizer/executor ---
+  const Table* table() const { return table_; }
+  const std::string& name() const { return name_; }
+  const PlanPtr& child() const { return child_; }
+  const PlanPtr& left() const { return left_; }
+  const PlanPtr& right() const { return right_; }
+  const std::vector<PlanPredicate>& predicates() const { return preds_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::string>& left_keys() const { return left_keys_; }
+  const std::vector<std::string>& right_keys() const { return right_keys_; }
+
+  /// The schema this node produces (resolved structurally).
+  Result<Schema> OutputSchema() const;
+
+ private:
+  friend PlanPtr MakeNode(PlanNode&&);
+  PlanNode() = default;
+
+  Kind kind_ = Kind::kScan;
+  const Table* table_ = nullptr;  // kScan
+  std::string name_;              // kScan
+  PlanPtr child_;                 // kFilter / kProject
+  std::vector<PlanPredicate> preds_;
+  std::vector<std::string> columns_;
+  PlanPtr left_, right_;          // kJoin
+  std::vector<std::string> left_keys_, right_keys_;
+};
+
+/// Work counters from one plan execution.
+struct ExecutionStats {
+  /// Rows read from base tables.
+  size_t rows_scanned = 0;
+  /// Rows materialized by intermediate operators (filters, joins,
+  /// projections) — the cost the optimizer minimizes.
+  size_t intermediate_rows = 0;
+};
+
+/// Executes a plan as written (no rewrites).
+Result<Table> ExecutePlan(const PlanPtr& plan, ExecutionStats* stats);
+
+/// Classical rewrite: selection pushdown. Filters above a join are split
+/// by the side whose schema can evaluate them and pushed below the join;
+/// filters above projections slide down when their columns survive;
+/// adjacent filters merge. Returns a semantically equivalent plan.
+Result<PlanPtr> OptimizePlan(const PlanPtr& plan);
+
+/// Pretty-printed operator tree for debugging / EXPLAIN output.
+std::string ExplainPlan(const PlanPtr& plan);
+
+}  // namespace mde::table
+
+#endif  // MDE_TABLE_PLAN_H_

@@ -1,0 +1,117 @@
+#include "table/query.h"
+
+namespace mde::table {
+
+Query& Query::Where(const std::string& column, CmpOp op, Value literal) {
+  if (!status_.ok()) return *this;
+  auto pred = ColumnCompare(table_.schema(), column, op, std::move(literal));
+  if (!pred.ok()) {
+    status_ = pred.status();
+    return *this;
+  }
+  table_ = Filter(table_, pred.value());
+  return *this;
+}
+
+Query& Query::WherePred(RowPredicate pred) {
+  if (!status_.ok()) return *this;
+  table_ = Filter(table_, pred);
+  return *this;
+}
+
+Query& Query::Select(std::vector<std::string> columns) {
+  if (!status_.ok()) return *this;
+  auto res = Project(table_, columns);
+  if (!res.ok()) {
+    status_ = res.status();
+    return *this;
+  }
+  table_ = std::move(res).value();
+  return *this;
+}
+
+Query& Query::Join(const Table& right, std::vector<std::string> left_keys,
+                   std::vector<std::string> right_keys) {
+  if (!status_.ok()) return *this;
+  auto res = HashJoin(table_, right, left_keys, right_keys);
+  if (!res.ok()) {
+    status_ = res.status();
+    return *this;
+  }
+  table_ = std::move(res).value();
+  return *this;
+}
+
+Query& Query::GroupByAgg(std::vector<std::string> keys,
+                         std::vector<AggSpec> aggs) {
+  if (!status_.ok()) return *this;
+  auto res = GroupBy(table_, keys, aggs);
+  if (!res.ok()) {
+    status_ = res.status();
+    return *this;
+  }
+  table_ = std::move(res).value();
+  return *this;
+}
+
+Query& Query::CountStar(const std::string& as) {
+  return GroupByAgg({}, {{AggKind::kCount, "", as}});
+}
+
+Query& Query::OrderByAsc(std::vector<std::string> columns) {
+  if (!status_.ok()) return *this;
+  auto res = OrderBy(table_, columns);
+  if (!res.ok()) {
+    status_ = res.status();
+    return *this;
+  }
+  table_ = std::move(res).value();
+  return *this;
+}
+
+Query& Query::OrderByDesc(std::vector<std::string> columns) {
+  if (!status_.ok()) return *this;
+  std::vector<bool> desc(columns.size(), true);
+  auto res = OrderBy(table_, columns, desc);
+  if (!res.ok()) {
+    status_ = res.status();
+    return *this;
+  }
+  table_ = std::move(res).value();
+  return *this;
+}
+
+Query& Query::Limit(size_t n) {
+  if (!status_.ok()) return *this;
+  table_ = table::Limit(table_, n);
+  return *this;
+}
+
+Query& Query::Distinct() {
+  if (!status_.ok()) return *this;
+  table_ = table::Distinct(table_);
+  return *this;
+}
+
+Query& Query::With(const std::string& name, DataType type,
+                   std::function<Value(const Row&)> fn) {
+  if (!status_.ok()) return *this;
+  table_ = WithColumn(table_, name, type, fn);
+  return *this;
+}
+
+Result<Table> Query::Execute() {
+  if (!status_.ok()) return status_;
+  return std::move(table_);
+}
+
+Result<Value> Query::ExecuteScalar() {
+  MDE_ASSIGN_OR_RETURN(Table t, Execute());
+  if (t.num_rows() != 1 || t.schema().num_columns() != 1) {
+    return Status::FailedPrecondition(
+        "ExecuteScalar requires a 1x1 result, got " + t.schema().ToString());
+  }
+  return t.row(0)[0];
+}
+
+}  // namespace mde::table

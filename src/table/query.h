@@ -1,0 +1,60 @@
+#ifndef MDE_TABLE_QUERY_H_
+#define MDE_TABLE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "table/ops.h"
+#include "table/table.h"
+#include "util/status.h"
+
+namespace mde::table {
+
+/// Fluent, SQL-flavoured query builder over Tables. Errors (unknown column,
+/// schema mismatch) are deferred: the first failure poisons the chain and is
+/// reported by Execute(). Example (the paper's Algorithm 1 condition):
+///
+///   auto n = Query(person)
+///                .Where("age", CmpOp::kLe, 4)
+///                .Join(infected, {"pid"}, {"pid"})
+///                .CountStar("n_infected_preschool")
+///                .Execute();
+class Query {
+ public:
+  explicit Query(Table input) : table_(std::move(input)) {}
+
+  /// sigma: column <op> literal.
+  Query& Where(const std::string& column, CmpOp op, Value literal);
+  /// sigma with an arbitrary predicate (sees the current schema's rows).
+  Query& WherePred(RowPredicate pred);
+  /// pi.
+  Query& Select(std::vector<std::string> columns);
+  /// Equi hash join against `right`.
+  Query& Join(const Table& right, std::vector<std::string> left_keys,
+              std::vector<std::string> right_keys);
+  /// gamma: group by keys with aggregates.
+  Query& GroupByAgg(std::vector<std::string> keys, std::vector<AggSpec> aggs);
+  /// Global COUNT(*) named `as` — produces a 1x1 table.
+  Query& CountStar(const std::string& as);
+  Query& OrderByAsc(std::vector<std::string> columns);
+  Query& OrderByDesc(std::vector<std::string> columns);
+  Query& Limit(size_t n);
+  Query& Distinct();
+  /// Appends a computed column.
+  Query& With(const std::string& name, DataType type,
+              std::function<Value(const Row&)> fn);
+
+  /// Runs the accumulated pipeline.
+  Result<Table> Execute();
+
+  /// Convenience: Execute and return the single scalar cell of a 1x1 result.
+  Result<Value> ExecuteScalar();
+
+ private:
+  Table table_;
+  Status status_;
+};
+
+}  // namespace mde::table
+
+#endif  // MDE_TABLE_QUERY_H_

@@ -1,0 +1,79 @@
+#ifndef MDE_TABLE_SCHEMA_MAPPING_H_
+#define MDE_TABLE_SCHEMA_MAPPING_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "table/table.h"
+#include "util/status.h"
+
+namespace mde::table {
+
+/// A compiled schema mapping in the spirit of Clio / Clio++ (Section 2.2):
+/// Splash users specify, per target column, where its value comes from in
+/// the source relation — a renamed column, a cast, a constant, or a
+/// computed expression — and the specification is compiled once into
+/// per-row code that runs at every Monte Carlo repetition. Compilation
+/// resolves all column references and type checks up front, so Apply() is
+/// a straight loop.
+class SchemaMapping {
+ public:
+  /// How one target column obtains its value.
+  struct ColumnMapping {
+    enum class Kind {
+      /// Copy source column `source` unchanged (types must match).
+      kCopy,
+      /// Copy with a numeric cast between int64 and double.
+      kCast,
+      /// A fixed value for every row.
+      kConstant,
+      /// Arbitrary computed expression over the source row.
+      kComputed,
+    };
+    std::string target;
+    Kind kind = Kind::kCopy;
+    /// Source column (kCopy / kCast).
+    std::string source;
+    /// Constant value (kConstant).
+    Value constant;
+    /// Row expression (kComputed); must produce the target type.
+    std::function<Value(const Row&)> compute;
+  };
+
+  /// Compiles the mapping: resolves source columns against
+  /// `source_schema`, checks types against `target_schema`, and rejects
+  /// unmapped or doubly-mapped target columns.
+  static Result<SchemaMapping> Compile(const Schema& source_schema,
+                                       const Schema& target_schema,
+                                       std::vector<ColumnMapping> mappings);
+
+  /// Transforms a source table (must match the compiled source schema)
+  /// into the target schema.
+  Result<Table> Apply(const Table& source) const;
+
+  const Schema& target_schema() const { return target_; }
+
+ private:
+  struct CompiledColumn {
+    ColumnMapping::Kind kind;
+    size_t source_index = 0;  // kCopy / kCast
+    DataType target_type = DataType::kNull;
+    Value constant;
+    std::function<Value(const Row&)> compute;
+  };
+
+  SchemaMapping(Schema source, Schema target,
+                std::vector<CompiledColumn> columns)
+      : source_(std::move(source)),
+        target_(std::move(target)),
+        columns_(std::move(columns)) {}
+
+  Schema source_;
+  Schema target_;
+  std::vector<CompiledColumn> columns_;
+};
+
+}  // namespace mde::table
+
+#endif  // MDE_TABLE_SCHEMA_MAPPING_H_

@@ -1,0 +1,101 @@
+#include "table/table.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mde::table {
+
+Schema::Schema(std::vector<ColumnSpec> columns) : columns_(std::move(columns)) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    for (size_t j = i + 1; j < columns_.size(); ++j) {
+      MDE_CHECK_MSG(columns_[i].name != columns_[j].name,
+                    "duplicate column name in schema");
+    }
+  }
+}
+
+Result<size_t> Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("column not found: " + name);
+}
+
+bool Schema::Has(const std::string& name) const {
+  return IndexOf(name).ok();
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right,
+                      const std::string& right_prefix) {
+  std::vector<ColumnSpec> cols = left.columns_;
+  for (const auto& c : right.columns_) {
+    std::string name = c.name;
+    if (left.Has(name)) name = right_prefix + name;
+    cols.push_back({std::move(name), c.type});
+  }
+  return Schema(std::move(cols));
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << columns_[i].name << " " << DataTypeName(columns_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+Table::Table(Schema schema, std::vector<Row> rows)
+    : schema_(std::move(schema)), rows_(std::move(rows)) {
+  for (const Row& r : rows_) {
+    MDE_CHECK_EQ(r.size(), schema_.num_columns());
+  }
+}
+
+void Table::Append(Row row) {
+  MDE_CHECK_EQ(row.size(), schema_.num_columns());
+  rows_.push_back(std::move(row));
+}
+
+Result<Value> Table::At(size_t row, const std::string& column) const {
+  MDE_CHECK_LT(row, rows_.size());
+  MDE_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(column));
+  return rows_[row][idx];
+}
+
+void Table::Set(size_t row, size_t col, Value v) {
+  MDE_CHECK_LT(row, rows_.size());
+  MDE_CHECK_LT(col, schema_.num_columns());
+  rows_[row][col] = std::move(v);
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  os << schema_.ToString() << " [" << rows_.size() << " rows]\n";
+  const size_t n = std::min(max_rows, rows_.size());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < rows_[i].size(); ++j) {
+      if (j > 0) os << " | ";
+      os << rows_[i][j].ToString();
+    }
+    os << "\n";
+  }
+  if (n < rows_.size()) os << "... (" << rows_.size() - n << " more)\n";
+  return os.str();
+}
+
+}  // namespace mde::table

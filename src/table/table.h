@@ -1,0 +1,81 @@
+#ifndef MDE_TABLE_TABLE_H_
+#define MDE_TABLE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "table/value.h"
+#include "util/status.h"
+
+namespace mde::table {
+
+/// A named, typed column slot.
+struct ColumnSpec {
+  std::string name;
+  DataType type;
+};
+
+/// Ordered set of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnSpec> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnSpec& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnSpec>& columns() const { return columns_; }
+
+  /// Index of `name`, or error if absent.
+  Result<size_t> IndexOf(const std::string& name) const;
+  bool Has(const std::string& name) const;
+
+  /// Concatenation for join outputs; duplicate names from the right side are
+  /// prefixed with `right_prefix` (e.g. "r.").
+  static Schema Concat(const Schema& left, const Schema& right,
+                       const std::string& right_prefix);
+
+  bool operator==(const Schema& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnSpec> columns_;
+};
+
+using Row = std::vector<Value>;
+
+/// Row-oriented in-memory relation. Acts as the storage substrate for the
+/// MCDB / SimSQL / Indemics layers. Rows are append-only through the public
+/// API; operators produce new tables.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+  Table(Schema schema, std::vector<Row> rows);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const Row& row(size_t i) const { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends a row; aborts if arity mismatches the schema.
+  void Append(Row row);
+
+  /// Value at (row, named column); error if the column is absent.
+  Result<Value> At(size_t row, const std::string& column) const;
+
+  /// In-place mutation used by the simulation layers that model agent state
+  /// as rows (Indemics node updates, SimSQL versions mutate copies).
+  void Set(size_t row, size_t col, Value v);
+
+  /// Pretty-printed preview of up to `max_rows` rows.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace mde::table
+
+#endif  // MDE_TABLE_TABLE_H_

@@ -1,0 +1,285 @@
+#include "timeseries/align.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace mde::timeseries {
+
+AlignmentKind DetermineAlignment(double source_step, double target_step) {
+  MDE_CHECK_GT(source_step, 0.0);
+  MDE_CHECK_GT(target_step, 0.0);
+  if (target_step > source_step * (1.0 + 1e-12)) {
+    return AlignmentKind::kAggregation;
+  }
+  if (target_step < source_step * (1.0 - 1e-12)) {
+    return AlignmentKind::kInterpolation;
+  }
+  return AlignmentKind::kIdentity;
+}
+
+Result<TimeSeries> AggregateAlign(const TimeSeries& source,
+                                  const std::vector<double>& target_times,
+                                  AggMethod method) {
+  if (source.empty()) return Status::InvalidArgument("empty source series");
+  TimeSeries out(source.width());
+  size_t src = 0;
+  double prev_t = -std::numeric_limits<double>::infinity();
+  for (double t : target_times) {
+    std::vector<double> agg(source.width(), 0.0);
+    std::vector<double> mn(source.width(),
+                           std::numeric_limits<double>::infinity());
+    std::vector<double> mx(source.width(),
+                           -std::numeric_limits<double>::infinity());
+    std::vector<double> last(source.width(), 0.0);
+    size_t n = 0;
+    while (src < source.size() && source.time(src) <= t) {
+      if (source.time(src) > prev_t) {
+        for (size_t c = 0; c < source.width(); ++c) {
+          const double v = source.data(src)[c];
+          agg[c] += v;
+          mn[c] = std::min(mn[c], v);
+          mx[c] = std::max(mx[c], v);
+          last[c] = v;
+        }
+        ++n;
+      }
+      ++src;
+    }
+    if (n == 0) {
+      return Status::FailedPrecondition(
+          "target tick received no source observations");
+    }
+    std::vector<double> result(source.width());
+    for (size_t c = 0; c < source.width(); ++c) {
+      switch (method) {
+        case AggMethod::kMean:
+          result[c] = agg[c] / static_cast<double>(n);
+          break;
+        case AggMethod::kSum:
+          result[c] = agg[c];
+          break;
+        case AggMethod::kMin:
+          result[c] = mn[c];
+          break;
+        case AggMethod::kMax:
+          result[c] = mx[c];
+          break;
+        case AggMethod::kLast:
+          result[c] = last[c];
+          break;
+      }
+    }
+    MDE_RETURN_NOT_OK(out.Append(t, std::move(result)));
+    prev_t = t;
+  }
+  return out;
+}
+
+Result<TimeSeries> LinearInterpolate(const TimeSeries& source,
+                                     const std::vector<double>& target_times) {
+  if (source.size() < 2) {
+    return Status::InvalidArgument("need >= 2 source points to interpolate");
+  }
+  TimeSeries out(source.width());
+  for (double t : target_times) {
+    if (t < source.time(0) || t > source.time(source.size() - 1)) {
+      return Status::OutOfRange("target time outside source range");
+    }
+    MDE_ASSIGN_OR_RETURN(size_t j, source.FindSegment(t));
+    if (j == source.size() - 1) j -= 1;  // t == last time
+    const double s0 = source.time(j);
+    const double s1 = source.time(j + 1);
+    const double w = (t - s0) / (s1 - s0);
+    std::vector<double> d(source.width());
+    for (size_t c = 0; c < source.width(); ++c) {
+      d[c] = (1.0 - w) * source.data(j)[c] + w * source.data(j + 1)[c];
+    }
+    MDE_RETURN_NOT_OK(out.Append(t, std::move(d)));
+  }
+  return out;
+}
+
+Result<SplineSystem> BuildSplineSystem(const TimeSeries& source, size_t k) {
+  const size_t m = source.size() == 0 ? 0 : source.size() - 1;
+  if (m < 2) {
+    return Status::InvalidArgument("need >= 3 points for a cubic spline");
+  }
+  MDE_CHECK_LT(k, source.width());
+  // Interior unknowns sigma_1..sigma_{m-1}.
+  const size_t n = m - 1;
+  SplineSystem sys;
+  sys.a.diag.assign(n, 0.0);
+  sys.a.lower.assign(n - 1, 0.0);
+  sys.a.upper.assign(n - 1, 0.0);
+  sys.b.assign(n, 0.0);
+  auto h = [&](size_t j) { return source.time(j + 1) - source.time(j); };
+  auto d = [&](size_t j) { return source.data(j)[k]; };
+  for (size_t j = 1; j <= m - 1; ++j) {
+    const size_t r = j - 1;  // row index
+    sys.a.diag[r] = 2.0 * (h(j - 1) + h(j));
+    if (r > 0) sys.a.lower[r - 1] = h(j - 1);
+    if (r + 1 < n) sys.a.upper[r] = h(j);
+    sys.b[r] =
+        6.0 * ((d(j + 1) - d(j)) / h(j) - (d(j) - d(j - 1)) / h(j - 1));
+  }
+  return sys;
+}
+
+Result<std::vector<double>> SplineConstants(const TimeSeries& source,
+                                            size_t k) {
+  MDE_ASSIGN_OR_RETURN(SplineSystem sys, BuildSplineSystem(source, k));
+  MDE_ASSIGN_OR_RETURN(linalg::Vector interior,
+                       linalg::SolveTridiagonal(sys.a, sys.b));
+  std::vector<double> sigma(source.size(), 0.0);
+  for (size_t i = 0; i < interior.size(); ++i) sigma[i + 1] = interior[i];
+  return sigma;  // natural spline: sigma_0 = sigma_m = 0
+}
+
+namespace {
+
+/// Evaluates the paper's window formula for target time t in window j.
+double EvalSplineWindow(const TimeSeries& src, size_t k,
+                        const std::vector<double>& sigma, size_t j,
+                        double t) {
+  const double sj = src.time(j);
+  const double sj1 = src.time(j + 1);
+  const double hj = sj1 - sj;
+  const double dj = src.data(j)[k];
+  const double dj1 = src.data(j + 1)[k];
+  const double a = sj1 - t;
+  const double b = t - sj;
+  return sigma[j] / (6.0 * hj) * a * a * a +
+         sigma[j + 1] / (6.0 * hj) * b * b * b +
+         (dj1 / hj - sigma[j + 1] * hj / 6.0) * b +
+         (dj / hj - sigma[j] * hj / 6.0) * a;
+}
+
+}  // namespace
+
+Result<TimeSeries> CubicSplineInterpolate(const TimeSeries& source,
+                                          const std::vector<double>& target_times,
+                                          size_t k,
+                                          std::vector<double> sigma) {
+  if (source.size() < 3) {
+    return Status::InvalidArgument("need >= 3 points for a cubic spline");
+  }
+  if (sigma.empty()) {
+    MDE_ASSIGN_OR_RETURN(sigma, SplineConstants(source, k));
+  }
+  if (sigma.size() != source.size()) {
+    return Status::InvalidArgument("sigma size must equal source size");
+  }
+  TimeSeries out(1);
+  for (double t : target_times) {
+    if (t < source.time(0) || t > source.time(source.size() - 1)) {
+      return Status::OutOfRange("target time outside source range");
+    }
+    MDE_ASSIGN_OR_RETURN(size_t j, source.FindSegment(t));
+    if (j == source.size() - 1) j -= 1;
+    MDE_RETURN_NOT_OK(out.Append(t, EvalSplineWindow(source, k, sigma, j, t)));
+  }
+  return out;
+}
+
+Result<long> EstimateLag(const TimeSeries& source, const TimeSeries& target,
+                         size_t max_lag) {
+  const size_t n = std::min(source.size(), target.size());
+  if (n < max_lag + 2) {
+    return Status::InvalidArgument("series too short for requested lag");
+  }
+  auto corr_at = [&](long lag) {
+    // Pearson correlation of overlapping values at the given shift.
+    double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    size_t m = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const long j = static_cast<long>(i) + lag;
+      if (j < 0 || j >= static_cast<long>(target.size()) ||
+          i >= source.size()) {
+        continue;
+      }
+      const double x = source.value(i);
+      const double y = target.value(static_cast<size_t>(j));
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      syy += y * y;
+      sxy += x * y;
+      ++m;
+    }
+    if (m < 3) return -2.0;
+    const double mm = static_cast<double>(m);
+    const double cov = sxy - sx * sy / mm;
+    const double vx = sxx - sx * sx / mm;
+    const double vy = syy - sy * sy / mm;
+    if (vx <= 0.0 || vy <= 0.0) return -2.0;
+    return cov / std::sqrt(vx * vy);
+  };
+  long best_lag = 0;
+  double best = -3.0;
+  for (long lag = -static_cast<long>(max_lag);
+       lag <= static_cast<long>(max_lag); ++lag) {
+    const double c = corr_at(lag);
+    if (c > best) {
+      best = c;
+      best_lag = lag;
+    }
+  }
+  if (best <= -2.0) {
+    return Status::FailedPrecondition("series have no usable overlap");
+  }
+  return best_lag;
+}
+
+Result<TimeSeries> ParallelInterpolate(const TimeSeries& source,
+                                       const std::vector<double>& target_times,
+                                       ThreadPool& pool, bool use_spline) {
+  if (source.size() < 2) {
+    return Status::InvalidArgument("need >= 2 source points");
+  }
+  std::vector<double> sigma;
+  if (use_spline) {
+    MDE_ASSIGN_OR_RETURN(sigma, SplineConstants(source, 0));
+  }
+  // Map phase: each target point is routed to its window {t_i : s_j <= t_i <
+  // s_{j+1}} and windows are evaluated independently in parallel.
+  const size_t n = target_times.size();
+  std::vector<double> out_values(n, 0.0);
+  std::vector<Status> errors(n, Status::OK());
+  pool.ParallelFor(n, [&](size_t i) {
+    const double t = target_times[i];
+    if (t < source.time(0) || t > source.time(source.size() - 1)) {
+      errors[i] = Status::OutOfRange("target time outside source range");
+      return;
+    }
+    auto seg = source.FindSegment(t);
+    if (!seg.ok()) {
+      errors[i] = seg.status();
+      return;
+    }
+    size_t j = seg.value();
+    if (j == source.size() - 1) j -= 1;
+    if (use_spline) {
+      out_values[i] = EvalSplineWindow(source, 0, sigma, j, t);
+    } else {
+      const double w = (t - source.time(j)) /
+                       (source.time(j + 1) - source.time(j));
+      out_values[i] =
+          (1.0 - w) * source.data(j)[0] + w * source.data(j + 1)[0];
+    }
+  });
+  for (const Status& st : errors) {
+    if (!st.ok()) return st;
+  }
+  // Reduce phase: assemble in target time order (target_times is required to
+  // be sorted by the caller, mirroring the parallel-sort assembly).
+  TimeSeries out(1);
+  for (size_t i = 0; i < n; ++i) {
+    MDE_RETURN_NOT_OK(out.Append(target_times[i], out_values[i]));
+  }
+  return out;
+}
+
+}  // namespace mde::timeseries

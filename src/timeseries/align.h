@@ -1,0 +1,83 @@
+#ifndef MDE_TIMESERIES_ALIGN_H_
+#define MDE_TIMESERIES_ALIGN_H_
+
+#include <vector>
+
+#include "linalg/solve.h"
+#include "timeseries/timeseries.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace mde::timeseries {
+
+/// The class of time alignment needed between a source and target model
+/// (Splash's time-aligner decision): aggregation when the target ticks
+/// more coarsely than the source, interpolation when it ticks more finely.
+enum class AlignmentKind { kIdentity, kAggregation, kInterpolation };
+
+/// Chooses the alignment class from the two models' tick lengths.
+AlignmentKind DetermineAlignment(double source_step, double target_step);
+
+/// Aggregation methods for coarsening alignments.
+enum class AggMethod { kMean, kSum, kMin, kMax, kLast };
+
+/// Aggregates source observations into target ticks: target point t_i
+/// receives the aggregate of source observations with time in
+/// (t_{i-1}, t_i] (the first tick takes everything at or before t_0).
+/// Errors if some target tick receives no source observations.
+Result<TimeSeries> AggregateAlign(const TimeSeries& source,
+                                  const std::vector<double>& target_times,
+                                  AggMethod method);
+
+/// Piecewise-linear interpolation of every component at the target times.
+/// All target times must lie within [s_0, s_m].
+Result<TimeSeries> LinearInterpolate(const TimeSeries& source,
+                                     const std::vector<double>& target_times);
+
+/// The tridiagonal system A sigma_interior = b whose solution gives the
+/// natural-cubic-spline constants sigma_1..sigma_{m-1} for component `k`
+/// (sigma_0 = sigma_m = 0). This is the (m-1)x(m-1) system of Section 2.2
+/// that the DSGD solver attacks at scale.
+struct SplineSystem {
+  linalg::Tridiagonal a;
+  linalg::Vector b;
+};
+
+/// Builds the spline-constant system for component `k`. Requires >= 3
+/// observations.
+Result<SplineSystem> BuildSplineSystem(const TimeSeries& source, size_t k);
+
+/// Natural-cubic-spline constants sigma_0..sigma_m for component `k`,
+/// computed exactly via the Thomas algorithm.
+Result<std::vector<double>> SplineConstants(const TimeSeries& source,
+                                            size_t k);
+
+/// Cubic-spline interpolation of component `k` at the target times using
+/// the paper's windowed evaluation formula. If `sigma` is empty it is
+/// computed exactly; callers may instead pass constants obtained from the
+/// DSGD solver.
+Result<TimeSeries> CubicSplineInterpolate(
+    const TimeSeries& source, const std::vector<double>& target_times,
+    size_t k = 0, std::vector<double> sigma = {});
+
+/// Estimates the integer-tick lag of `target` relative to `source` by
+/// maximizing the cross-correlation of their values over lags in
+/// [-max_lag, max_lag] (a time-alignment diagnostic for composite models
+/// whose clocks are offset, complementary to the granularity alignment
+/// above). Both series must be sampled on commensurate ticks and have at
+/// least max_lag + 2 points.
+Result<long> EstimateLag(const TimeSeries& source, const TimeSeries& target,
+                         size_t max_lag);
+
+/// Parallel windowed interpolation: target points are grouped by their
+/// enclosing source window W = <(s_j, d_j), (s_{j+1}, d_{j+1})>, windows are
+/// evaluated independently on `pool`, and the target series is assembled in
+/// time order — the Splash MapReduce pattern on a thread-pool substrate.
+/// `use_spline` selects cubic spline (with exact constants) vs linear.
+Result<TimeSeries> ParallelInterpolate(const TimeSeries& source,
+                                       const std::vector<double>& target_times,
+                                       ThreadPool& pool, bool use_spline);
+
+}  // namespace mde::timeseries
+
+#endif  // MDE_TIMESERIES_ALIGN_H_

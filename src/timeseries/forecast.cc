@@ -1,0 +1,135 @@
+#include "timeseries/forecast.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/solve.h"
+#include "util/check.h"
+#include "util/distributions.h"
+
+namespace mde::timeseries {
+
+Result<TrendAr1Model> TrendAr1Model::Fit(const TimeSeries& history,
+                                         bool quadratic) {
+  const size_t n = history.size();
+  if (n < 5) return Status::InvalidArgument("need >= 5 points to fit");
+  const size_t p = quadratic ? 3 : 2;
+  const double origin = history.time(0);
+  linalg::Matrix x(n, p);
+  linalg::Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double u = history.time(i) - origin;
+    x(i, 0) = 1.0;
+    x(i, 1) = u;
+    if (quadratic) x(i, 2) = u * u;
+    y[i] = history.value(i);
+  }
+  MDE_ASSIGN_OR_RETURN(linalg::Vector beta, linalg::LeastSquares(x, y));
+  // Residuals and Yule-Walker AR(1) fit.
+  std::vector<double> resid(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double u = history.time(i) - origin;
+    double trend = beta[0] + beta[1] * u;
+    if (quadratic) trend += beta[2] * u * u;
+    resid[i] = y[i] - trend;
+  }
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t i = 1; i < n; ++i) {
+    num += resid[i] * resid[i - 1];
+    den += resid[i - 1] * resid[i - 1];
+  }
+  double phi = den > 0.0 ? num / den : 0.0;
+  phi = std::clamp(phi, -0.999, 0.999);
+  double ss = 0.0;
+  for (size_t i = 1; i < n; ++i) {
+    const double innov = resid[i] - phi * resid[i - 1];
+    ss += innov * innov;
+  }
+  Params params;
+  params.trend = beta;
+  params.origin = origin;
+  params.phi = phi;
+  params.sigma = std::sqrt(ss / static_cast<double>(n - 1));
+  return TrendAr1Model(std::move(params), history.time(n - 1), resid[n - 1]);
+}
+
+double TrendAr1Model::Trend(double t) const {
+  const double u = t - params_.origin;
+  double v = params_.trend[0] + params_.trend[1] * u;
+  if (params_.trend.size() > 2) v += params_.trend[2] * u * u;
+  return v;
+}
+
+std::vector<double> TrendAr1Model::Forecast(
+    const std::vector<double>& times) const {
+  std::vector<double> out;
+  out.reserve(times.size());
+  for (double t : times) {
+    const double steps = t - last_time_;
+    const double decay =
+        steps >= 0.0 ? std::pow(params_.phi, steps) : 1.0;
+    out.push_back(Trend(t) + decay * last_residual_);
+  }
+  return out;
+}
+
+std::vector<double> TrendAr1Model::SamplePath(const std::vector<double>& times,
+                                              Rng& rng) const {
+  std::vector<double> out;
+  out.reserve(times.size());
+  double resid = last_residual_;
+  double prev_t = last_time_;
+  for (double t : times) {
+    const double steps = std::max(1.0, t - prev_t);
+    // Aggregate AR(1) innovations across `steps` unit ticks.
+    double var = 0.0;
+    double decay = 1.0;
+    for (int s = 0; s < static_cast<int>(steps); ++s) {
+      var = var * params_.phi * params_.phi + params_.sigma * params_.sigma;
+      decay *= params_.phi;
+    }
+    resid = decay * resid + SampleNormal(rng, 0.0, std::sqrt(var));
+    out.push_back(Trend(t) + resid);
+    prev_t = t;
+  }
+  return out;
+}
+
+TimeSeries SyntheticHousingIndex(double start_year, double end_year,
+                                 double break_time, uint64_t seed) {
+  MDE_CHECK_LT(start_year, break_time);
+  MDE_CHECK_LT(break_time, end_year);
+  Rng rng(seed);
+  TimeSeries ts(1);
+  double level = 100.0;
+  for (double year = start_year; year <= end_year + 1e-9; year += 1.0) {
+    double growth;
+    if (year < break_time - 8.0) {
+      growth = 0.035;  // steady appreciation
+    } else if (year < break_time) {
+      // Bubble: growth accelerates as the break approaches.
+      growth = 0.035 + 0.012 * (8.0 - (break_time - year));
+    } else {
+      growth = -0.09;  // collapse
+    }
+    level *= 1.0 + growth + SampleNormal(rng, 0.0, 0.008);
+    Status st = ts.Append(year, level);
+    MDE_CHECK(st.ok());
+  }
+  return ts;
+}
+
+double ForecastRmse(const std::vector<double>& predicted,
+                    const std::vector<double>& truth) {
+  MDE_CHECK_EQ(predicted.size(), truth.size());
+  MDE_CHECK(!predicted.empty());
+  double ss = 0.0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    const double e = predicted[i] - truth[i];
+    ss += e * e;
+  }
+  return std::sqrt(ss / static_cast<double>(predicted.size()));
+}
+
+}  // namespace mde::timeseries

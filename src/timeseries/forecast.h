@@ -1,0 +1,73 @@
+#ifndef MDE_TIMESERIES_FORECAST_H_
+#define MDE_TIMESERIES_FORECAST_H_
+
+#include <vector>
+
+#include "timeseries/timeseries.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace mde::timeseries {
+
+/// "Shallow" predictive model of the kind Figure 1 warns about: a
+/// deterministic trend (linear or quadratic in time) plus an AR(1) residual
+/// process, fit by OLS + Yule-Walker. Extrapolating it assumes the
+/// data-generating mechanism never changes — exactly the assumption that
+/// fails at a regime break.
+class TrendAr1Model {
+ public:
+  struct Params {
+    /// Trend coefficients in centered time u = t - origin:
+    /// value ~ c0 + c1 u (+ c2 u^2 when quadratic). Centering keeps the
+    /// normal equations well conditioned for calendar-year time axes.
+    std::vector<double> trend;
+    /// Time origin subtracted before evaluating the trend.
+    double origin = 0.0;
+    /// AR(1) coefficient of the detrended residuals.
+    double phi = 0.0;
+    /// Residual innovation standard deviation.
+    double sigma = 0.0;
+  };
+
+  /// Fits to a univariate series. `quadratic` adds a t^2 trend term.
+  static Result<TrendAr1Model> Fit(const TimeSeries& history, bool quadratic);
+
+  const Params& params() const { return params_; }
+
+  /// Deterministic trend value at time t.
+  double Trend(double t) const;
+
+  /// Point forecast at the given times: trend plus AR(1)-decayed last
+  /// residual (the conditional mean path).
+  std::vector<double> Forecast(const std::vector<double>& times) const;
+
+  /// One stochastic sample path of the forecast (for fan charts).
+  std::vector<double> SamplePath(const std::vector<double>& times,
+                                 Rng& rng) const;
+
+ private:
+  TrendAr1Model(Params params, double last_time, double last_residual)
+      : params_(std::move(params)),
+        last_time_(last_time),
+        last_residual_(last_residual) {}
+
+  Params params_;
+  double last_time_;
+  double last_residual_;
+};
+
+/// Synthetic stand-in for the paper's 1970-2006 median U.S. housing-price
+/// series, extended through 2011 with a regime break: smooth growth that
+/// accelerates into a bubble and then collapses after `break_time`. Units
+/// are an arbitrary price index. Deterministic given the seed.
+TimeSeries SyntheticHousingIndex(double start_year, double end_year,
+                                 double break_time, uint64_t seed);
+
+/// Root-mean-squared error between predictions and the truth series
+/// restricted to `times` (sizes must match).
+double ForecastRmse(const std::vector<double>& predicted,
+                    const std::vector<double>& truth);
+
+}  // namespace mde::timeseries
+
+#endif  // MDE_TIMESERIES_FORECAST_H_

@@ -1,0 +1,74 @@
+#include "timeseries/timeseries.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mde::timeseries {
+
+Result<TimeSeries> TimeSeries::FromUnivariate(std::vector<double> times,
+                                              std::vector<double> values) {
+  if (times.size() != values.size()) {
+    return Status::InvalidArgument("times/values size mismatch");
+  }
+  TimeSeries ts(1);
+  for (size_t i = 0; i < times.size(); ++i) {
+    MDE_RETURN_NOT_OK(ts.Append(times[i], values[i]));
+  }
+  return ts;
+}
+
+Status TimeSeries::Append(double t, std::vector<double> d) {
+  if (d.size() != width_) {
+    return Status::InvalidArgument("observation width mismatch");
+  }
+  if (!times_.empty() && t <= times_.back()) {
+    return Status::InvalidArgument("times must be strictly increasing");
+  }
+  times_.push_back(t);
+  data_.push_back(std::move(d));
+  return Status::OK();
+}
+
+Status TimeSeries::Append(double t, double v) {
+  return Append(t, std::vector<double>{v});
+}
+
+std::vector<double> TimeSeries::Column(size_t k) const {
+  MDE_CHECK_LT(k, width_);
+  std::vector<double> out;
+  out.reserve(data_.size());
+  for (const auto& d : data_) out.push_back(d[k]);
+  return out;
+}
+
+TimeSeries TimeSeries::Slice(double t0, double t1) const {
+  TimeSeries out(width_);
+  for (size_t i = 0; i < times_.size(); ++i) {
+    if (times_[i] >= t0 && times_[i] <= t1) {
+      Status st = out.Append(times_[i], data_[i]);
+      MDE_CHECK(st.ok());
+    }
+  }
+  return out;
+}
+
+Result<size_t> TimeSeries::FindSegment(double t) const {
+  if (times_.empty() || t < times_.front()) {
+    return Status::OutOfRange("time precedes series start");
+  }
+  auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  return static_cast<size_t>(it - times_.begin()) - 1;
+}
+
+std::vector<double> UniformGrid(double t0, double t1, size_t n) {
+  MDE_CHECK_GE(n, 2u);
+  MDE_CHECK_LT(t0, t1);
+  std::vector<double> grid(n);
+  const double step = (t1 - t0) / static_cast<double>(n - 1);
+  for (size_t i = 0; i < n; ++i) grid[i] = t0 + step * static_cast<double>(i);
+  grid.back() = t1;  // avoid rounding drift at the endpoint
+  return grid;
+}
+
+}  // namespace mde::timeseries

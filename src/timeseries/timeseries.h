@@ -1,0 +1,62 @@
+#ifndef MDE_TIMESERIES_TIMESERIES_H_
+#define MDE_TIMESERIES_TIMESERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mde::timeseries {
+
+/// A time series S = <(s_0, d_0), ..., (s_m, d_m)> in the paper's notation:
+/// strictly increasing observation times s_i, each carrying a k-tuple d_i.
+/// Width k is fixed per series.
+class TimeSeries {
+ public:
+  TimeSeries() : width_(1) {}
+  explicit TimeSeries(size_t width) : width_(width) {}
+
+  /// Builds a univariate series from parallel vectors (times strictly
+  /// increasing).
+  static Result<TimeSeries> FromUnivariate(std::vector<double> times,
+                                           std::vector<double> values);
+
+  size_t width() const { return width_; }
+  size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+
+  double time(size_t i) const { return times_[i]; }
+  const std::vector<double>& data(size_t i) const { return data_[i]; }
+  /// Univariate convenience accessor (first component).
+  double value(size_t i) const { return data_[i][0]; }
+
+  const std::vector<double>& times() const { return times_; }
+
+  /// Appends an observation; `t` must exceed the last time, `d` must have
+  /// the series width.
+  Status Append(double t, std::vector<double> d);
+  /// Univariate append.
+  Status Append(double t, double v);
+
+  /// First component as a plain vector (for statistics helpers).
+  std::vector<double> Column(size_t k) const;
+
+  /// Sub-series with times in [t0, t1].
+  TimeSeries Slice(double t0, double t1) const;
+
+  /// Index of the last observation with time <= t, or error if t precedes
+  /// the series.
+  Result<size_t> FindSegment(double t) const;
+
+ private:
+  size_t width_;
+  std::vector<double> times_;
+  std::vector<std::vector<double>> data_;
+};
+
+/// Evenly spaced grid of n points covering [t0, t1] inclusive.
+std::vector<double> UniformGrid(double t0, double t1, size_t n);
+
+}  // namespace mde::timeseries
+
+#endif  // MDE_TIMESERIES_TIMESERIES_H_

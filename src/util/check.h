@@ -1,0 +1,37 @@
+#ifndef MDE_UTIL_CHECK_H_
+#define MDE_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// MDE_CHECK family: abort-on-failure assertions for programmer errors
+/// (dimension mismatches, out-of-range indices, broken invariants). These are
+/// always on, including in release builds — the library is used for
+/// statistical experiments where silent corruption is worse than a crash.
+
+#define MDE_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "MDE_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#define MDE_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "MDE_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#define MDE_CHECK_EQ(a, b) MDE_CHECK((a) == (b))
+#define MDE_CHECK_NE(a, b) MDE_CHECK((a) != (b))
+#define MDE_CHECK_LT(a, b) MDE_CHECK((a) < (b))
+#define MDE_CHECK_LE(a, b) MDE_CHECK((a) <= (b))
+#define MDE_CHECK_GT(a, b) MDE_CHECK((a) > (b))
+#define MDE_CHECK_GE(a, b) MDE_CHECK((a) >= (b))
+
+#endif  // MDE_UTIL_CHECK_H_

@@ -1,0 +1,82 @@
+#ifndef MDE_UTIL_DISTRIBUTIONS_H_
+#define MDE_UTIL_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mde {
+
+/// Samplers for the distributions used throughout the library. All are
+/// implemented from scratch (no <random> distribution objects) so that
+/// results are bit-reproducible across standard-library implementations.
+
+/// Uniform real on [lo, hi).
+double SampleUniform(Rng& rng, double lo, double hi);
+
+/// Standard normal via Marsaglia's polar method.
+double SampleStandardNormal(Rng& rng);
+
+/// Normal with the given mean and standard deviation (sigma >= 0).
+double SampleNormal(Rng& rng, double mean, double sigma);
+
+/// Exponential with rate lambda > 0 (mean 1/lambda).
+double SampleExponential(Rng& rng, double lambda);
+
+/// Lognormal: exp(Normal(mu, sigma)).
+double SampleLognormal(Rng& rng, double mu, double sigma);
+
+/// Gamma(shape k > 0, scale theta > 0) via Marsaglia–Tsang squeeze.
+double SampleGamma(Rng& rng, double shape, double scale);
+
+/// Beta(a, b) via two gammas.
+double SampleBeta(Rng& rng, double a, double b);
+
+/// Poisson with mean lambda >= 0. Knuth's product method for small lambda,
+/// PTRS-style transformed rejection fallback for large lambda.
+int64_t SamplePoisson(Rng& rng, double lambda);
+
+/// Binomial(n, p) by inversion / waiting-time decomposition.
+int64_t SampleBinomial(Rng& rng, int64_t n, double p);
+
+/// Geometric number of failures before the first success, p in (0, 1].
+int64_t SampleGeometric(Rng& rng, double p);
+
+/// Bernoulli(p).
+bool SampleBernoulli(Rng& rng, double p);
+
+/// Discrete distribution over {0, ..., n-1} with O(1) sampling after O(n)
+/// setup (Walker/Vose alias method). Weights need not be normalized.
+class AliasTable {
+ public:
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Returns an index in [0, size()) with probability proportional to its
+  /// weight.
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+};
+
+/// Standard normal density.
+double NormalPdf(double x, double mean, double sigma);
+
+/// Log of the normal density (numerically safe for small densities).
+double NormalLogPdf(double x, double mean, double sigma);
+
+/// Standard normal CDF via erfc.
+double NormalCdf(double x, double mean, double sigma);
+
+/// Inverse standard normal CDF (Acklam's rational approximation, |err| <
+/// 1.15e-9). `p` must lie in (0, 1).
+double NormalQuantile(double p);
+
+}  // namespace mde
+
+#endif  // MDE_UTIL_DISTRIBUTIONS_H_

@@ -1,0 +1,120 @@
+#ifndef MDE_UTIL_STATUS_H_
+#define MDE_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace mde {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNumericError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Arrow-style status object: an (code, message) pair where kOk carries no
+/// message. Returned by every fallible operation in the library. Cheap to
+/// copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NumericError(std::string msg) {
+    return Status(StatusCode::kNumericError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> holds either a value or an error Status. Access to the value of
+/// a failed result aborts the program (programmer error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value keeps `return value;` ergonomic.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  /// Returns the value, or `fallback` if this result failed.
+  T value_or(T fallback) const {
+    return ok() ? value_.value() : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mde
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define MDE_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::mde::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+/// Evaluates a Result<T> expression, propagating errors, else binds `lhs`.
+#define MDE_ASSIGN_OR_RETURN(lhs, expr)        \
+  auto MDE_CONCAT_(_res_, __LINE__) = (expr);  \
+  if (!MDE_CONCAT_(_res_, __LINE__).ok())      \
+    return MDE_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(MDE_CONCAT_(_res_, __LINE__)).value()
+
+#define MDE_CONCAT_IMPL_(a, b) a##b
+#define MDE_CONCAT_(a, b) MDE_CONCAT_IMPL_(a, b)
+
+#endif  // MDE_UTIL_STATUS_H_

@@ -1,0 +1,74 @@
+#include "util/thread_pool.h"
+
+#include "util/check.h"
+
+namespace mde {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  MDE_CHECK_GE(num_threads, 1u);
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::WaitAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  // Chunk so each worker gets a contiguous block: preserves cache locality
+  // for the partitioned-data workloads this pool serves.
+  const size_t workers = threads_.size();
+  const size_t chunk = (n + workers - 1) / workers;
+  for (size_t start = 0; start < n; start += chunk) {
+    const size_t end = std::min(n, start + chunk);
+    Submit([&fn, start, end] {
+      for (size_t i = start; i < end; ++i) fn(i);
+    });
+  }
+  WaitAll();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace mde

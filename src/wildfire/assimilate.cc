@@ -1,0 +1,178 @@
+#include "wildfire/assimilate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "smc/particle_filter.h"
+#include "util/check.h"
+#include "util/distributions.h"
+
+namespace mde::wildfire {
+
+WildfireFilter::WildfireFilter(const FireSim& sim, const SensorModel& sensors,
+                               const FireState& initial,
+                               const AssimilationConfig& config)
+    : sim_(sim), sensors_(sensors), config_(config), rng_(config.seed) {
+  MDE_CHECK_GT(config.num_particles, 0u);
+  particles_.assign(config.num_particles, initial);
+  weights_.assign(config.num_particles,
+                  1.0 / static_cast<double>(config.num_particles));
+}
+
+FireState WildfireFilter::AdjustBySensors(const FireState& base,
+                                          const std::vector<double>& readings,
+                                          Rng& rng) const {
+  FireState adjusted = base;
+  const auto& cells = sensors_.sensor_cells();
+  for (size_t s = 0; s < cells.size(); ++s) {
+    const size_t cell = cells[s];
+    if (readings[s] > config_.hot_threshold &&
+        adjusted.cells[cell] == CellState::kUnburned) {
+      if (SampleBernoulli(rng, config_.correction_prob)) {
+        adjusted.cells[cell] = CellState::kBurning;
+        adjusted.burn_remaining[cell] = 2;
+        adjusted.intensity[cell] = sim_.terrain().fuel[cell];
+      }
+    } else if (readings[s] < config_.cool_threshold &&
+               adjusted.cells[cell] == CellState::kBurning) {
+      if (SampleBernoulli(rng, config_.correction_prob)) {
+        adjusted.cells[cell] = CellState::kBurned;
+        adjusted.burn_remaining[cell] = 0;
+        adjusted.intensity[cell] = 0.0;
+      }
+    }
+  }
+  return adjusted;
+}
+
+FireState WildfireFilter::ProposeSensorAware(
+    const FireState& prev, const std::vector<double>& readings, Rng& rng,
+    bool* used_adjusted) const {
+  FireState x = prev;
+  sim_.Step(&x, rng);
+  if (SampleBernoulli(rng, config_.sim_confidence)) {
+    *used_adjusted = false;
+    return x;
+  }
+  *used_adjusted = true;
+  return AdjustBySensors(x, readings, rng);
+}
+
+Status WildfireFilter::Step(const std::vector<double>& readings) {
+  const size_t n = config_.num_particles;
+  std::vector<FireState> next;
+  next.reserve(n);
+  std::vector<double> log_w(n);
+  for (size_t i = 0; i < n; ++i) {
+    const FireState& prev = particles_[i];
+    if (config_.proposal == ProposalKind::kBootstrap) {
+      // Sampling from p(x_n | x_prev): set the simulator to the particle's
+      // state and run Delta-t. The weight reduces to p(y | x).
+      FireState x = prev;
+      sim_.Step(&x, rng_);
+      log_w[i] = std::log(std::max(weights_[i], 1e-300)) +
+                 sensors_.LogLikelihood(x, readings);
+      next.push_back(std::move(x));
+    } else {
+      bool used_adjusted = false;
+      FireState x = ProposeSensorAware(prev, readings, rng_, &used_adjusted);
+      // KDE estimation of p(x | x_prev) and q(x | y, x_prev) over the
+      // burning-count summary statistic, with M auxiliary samples each.
+      const double t_x = static_cast<double>(x.NumBurning());
+      std::vector<double> p_samples, q_samples;
+      p_samples.reserve(config_.kde_samples);
+      q_samples.reserve(config_.kde_samples);
+      for (size_t m = 0; m < config_.kde_samples; ++m) {
+        FireState xs = prev;
+        sim_.Step(&xs, rng_);
+        p_samples.push_back(static_cast<double>(xs.NumBurning()));
+        bool dummy = false;
+        FireState xq = ProposeSensorAware(prev, readings, rng_, &dummy);
+        q_samples.push_back(static_cast<double>(xq.NumBurning()));
+      }
+      smc::KernelDensity p_kde(std::move(p_samples), /*bandwidth=*/0.0,
+                               smc::KernelDensity::Kernel::kLaplace);
+      smc::KernelDensity q_kde(std::move(q_samples), /*bandwidth=*/0.0,
+                               smc::KernelDensity::Kernel::kLaplace);
+      log_w[i] = std::log(std::max(weights_[i], 1e-300)) +
+                 sensors_.LogLikelihood(x, readings) + p_kde.LogDensity(t_x) -
+                 q_kde.LogDensity(t_x);
+      next.push_back(std::move(x));
+    }
+  }
+  particles_ = std::move(next);
+  MDE_ASSIGN_OR_RETURN(weights_, smc::NormalizedFromLog(log_w));
+  last_ess_ = smc::EffectiveSampleSize(weights_);
+  const std::vector<size_t> idx =
+      smc::ResampleIndices(weights_, n, config_.resample, rng_);
+  std::vector<FireState> resampled;
+  resampled.reserve(n);
+  for (size_t a : idx) resampled.push_back(particles_[a]);
+  particles_ = std::move(resampled);
+  weights_.assign(n, 1.0 / static_cast<double>(n));
+  return Status::OK();
+}
+
+std::vector<double> WildfireFilter::BurningProbability() const {
+  MDE_CHECK(!particles_.empty());
+  std::vector<double> prob(particles_[0].cells.size(), 0.0);
+  for (size_t i = 0; i < particles_.size(); ++i) {
+    for (size_t c = 0; c < prob.size(); ++c) {
+      if (particles_[i].cells[c] == CellState::kBurning) {
+        prob[c] += weights_[i];
+      }
+    }
+  }
+  return prob;
+}
+
+FireState WildfireFilter::Classify() const {
+  MDE_CHECK(!particles_.empty());
+  const size_t num_cells = particles_[0].cells.size();
+  FireState out = particles_[0];
+  for (size_t c = 0; c < num_cells; ++c) {
+    double mass[3] = {0.0, 0.0, 0.0};
+    for (size_t i = 0; i < particles_.size(); ++i) {
+      mass[static_cast<size_t>(particles_[i].cells[c])] += weights_[i];
+    }
+    size_t best = 0;
+    for (size_t k = 1; k < 3; ++k) {
+      if (mass[k] > mass[best]) best = k;
+    }
+    out.cells[c] = static_cast<CellState>(best);
+    out.intensity[c] = best == 1 ? sim_.terrain().fuel[c] : 0.0;
+    out.burn_remaining[c] = best == 1 ? 1 : 0;
+  }
+  return out;
+}
+
+Result<AssimilationRun> RunAssimilation(const FireSim& sim,
+                                        const SensorModel& sensors,
+                                        size_t steps,
+                                        const AssimilationConfig& config,
+                                        uint64_t truth_seed) {
+  if (steps == 0) return Status::InvalidArgument("steps must be positive");
+  Rng truth_rng = Rng::Substream(truth_seed, 0);
+  Rng sensor_rng = Rng::Substream(truth_seed, 1);
+  Rng open_rng = Rng::Substream(truth_seed, 2);
+
+  const size_t cx = sim.terrain().width / 2;
+  const size_t cy = sim.terrain().height / 2;
+  FireState truth = sim.Ignite(cx, cy, truth_rng);
+  FireState open_loop = sim.Ignite(cx, cy, open_rng);
+  WildfireFilter filter(sim, sensors, truth, config);
+
+  AssimilationRun run;
+  for (size_t t = 0; t < steps; ++t) {
+    sim.Step(&truth, truth_rng);
+    const std::vector<double> y = sensors.Observe(truth, sensor_rng);
+    sim.Step(&open_loop, open_rng);
+    MDE_RETURN_NOT_OK(filter.Step(y));
+    run.open_loop_error.push_back(truth.CellDisagreement(open_loop));
+    run.filter_error.push_back(truth.CellDisagreement(filter.Classify()));
+    run.ess.push_back(filter.last_ess());
+  }
+  return run;
+}
+
+}  // namespace mde::wildfire

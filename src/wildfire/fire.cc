@@ -1,0 +1,226 @@
+#include "wildfire/fire.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/distributions.h"
+
+namespace mde::wildfire {
+
+Terrain GenerateTerrain(size_t width, size_t height, double wind_x,
+                        double wind_y, uint64_t seed) {
+  MDE_CHECK(width > 0 && height > 0);
+  Rng rng(seed);
+  Terrain t;
+  t.width = width;
+  t.height = height;
+  t.wind_x = wind_x;
+  t.wind_y = wind_y;
+  t.fuel.resize(width * height);
+  t.moisture.resize(width * height);
+  // White noise then box-blur smoothing for spatial coherence.
+  for (auto& f : t.fuel) f = rng.NextDouble();
+  for (auto& m : t.moisture) m = rng.NextDouble() * 0.5;
+  auto blur = [&](std::vector<double>& field) {
+    std::vector<double> out(field.size());
+    for (size_t y = 0; y < height; ++y) {
+      for (size_t x = 0; x < width; ++x) {
+        double sum = 0.0;
+        size_t n = 0;
+        for (long dy = -1; dy <= 1; ++dy) {
+          for (long dx = -1; dx <= 1; ++dx) {
+            const long nx = static_cast<long>(x) + dx;
+            const long ny = static_cast<long>(y) + dy;
+            if (nx < 0 || ny < 0 || nx >= static_cast<long>(width) ||
+                ny >= static_cast<long>(height)) {
+              continue;
+            }
+            sum += field[t.index(static_cast<size_t>(nx),
+                                 static_cast<size_t>(ny))];
+            ++n;
+          }
+        }
+        out[t.index(x, y)] = sum / static_cast<double>(n);
+      }
+    }
+    field = std::move(out);
+  };
+  blur(t.fuel);
+  blur(t.fuel);
+  blur(t.moisture);
+  // Keep fuel bounded away from zero so fire can spread anywhere.
+  for (auto& f : t.fuel) f = 0.3 + 0.7 * f;
+  return t;
+}
+
+size_t FireState::NumBurning() const {
+  size_t n = 0;
+  for (CellState c : cells) {
+    if (c == CellState::kBurning) ++n;
+  }
+  return n;
+}
+
+size_t FireState::NumBurned() const {
+  size_t n = 0;
+  for (CellState c : cells) {
+    if (c == CellState::kBurned) ++n;
+  }
+  return n;
+}
+
+double FireState::CellDisagreement(const FireState& other) const {
+  MDE_CHECK_EQ(cells.size(), other.cells.size());
+  size_t diff = 0;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i] != other.cells[i]) ++diff;
+  }
+  return static_cast<double>(diff) / static_cast<double>(cells.size());
+}
+
+FireSim::FireSim(const Terrain& terrain, const Config& config)
+    : terrain_(&terrain), config_(config) {}
+
+FireState FireSim::Ignite(size_t x, size_t y, Rng& rng) const {
+  FireState s;
+  s.cells.assign(terrain_->size(), CellState::kUnburned);
+  s.burn_remaining.assign(terrain_->size(), 0);
+  s.intensity.assign(terrain_->size(), 0.0);
+  const size_t i = terrain_->index(x, y);
+  s.cells[i] = CellState::kBurning;
+  // A fresh ignition is given a guaranteed minimum burn so a fire cannot
+  // fizzle before its first chance to spread.
+  s.burn_remaining[i] = std::max(3, SampleBurnDuration(i, rng));
+  s.intensity[i] = terrain_->fuel[i];
+  return s;
+}
+
+double FireSim::IgnitionProbability(size_t from, size_t to, long dx,
+                                    long dy) const {
+  (void)from;
+  const double fuel = terrain_->fuel[to];
+  const double moisture = terrain_->moisture[to];
+  // Wind alignment: dot of spread direction with wind.
+  const double len = std::sqrt(static_cast<double>(dx * dx + dy * dy));
+  const double align =
+      len > 0.0
+          ? (static_cast<double>(dx) * terrain_->wind_x +
+             static_cast<double>(dy) * terrain_->wind_y) / len
+          : 0.0;
+  double p = config_.spread_probability * fuel * (1.0 - moisture) *
+             (1.0 + config_.wind_bias * align);
+  return std::clamp(p, 0.0, 1.0);
+}
+
+int FireSim::SampleBurnDuration(size_t cell, Rng& rng) const {
+  const double mean = config_.mean_burn_steps * terrain_->fuel[cell];
+  return 2 + static_cast<int>(SamplePoisson(rng, std::max(0.0, mean - 2.0)));
+}
+
+void FireSim::Step(FireState* state, Rng& rng) const {
+  MDE_CHECK(state != nullptr);
+  const size_t w = terrain_->width;
+  const size_t h = terrain_->height;
+  std::vector<size_t> to_ignite;
+  for (size_t y = 0; y < h; ++y) {
+    for (size_t x = 0; x < w; ++x) {
+      const size_t i = terrain_->index(x, y);
+      if (state->cells[i] != CellState::kBurning) continue;
+      for (long dy = -1; dy <= 1; ++dy) {
+        for (long dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0) continue;
+          const long nx = static_cast<long>(x) + dx;
+          const long ny = static_cast<long>(y) + dy;
+          if (nx < 0 || ny < 0 || nx >= static_cast<long>(w) ||
+              ny >= static_cast<long>(h)) {
+            continue;
+          }
+          const size_t j =
+              terrain_->index(static_cast<size_t>(nx), static_cast<size_t>(ny));
+          if (state->cells[j] != CellState::kUnburned) continue;
+          if (SampleBernoulli(rng, IgnitionProbability(i, j, dx, dy))) {
+            to_ignite.push_back(j);
+          }
+        }
+      }
+    }
+  }
+  // Burn-down sweep.
+  for (size_t i = 0; i < state->cells.size(); ++i) {
+    if (state->cells[i] == CellState::kBurning) {
+      if (--state->burn_remaining[i] <= 0) {
+        state->cells[i] = CellState::kBurned;
+        state->intensity[i] = 0.0;
+      }
+    }
+  }
+  // Ignition sweep (after burn-down, matching a Delta-t batch update).
+  for (size_t j : to_ignite) {
+    if (state->cells[j] == CellState::kUnburned) {
+      state->cells[j] = CellState::kBurning;
+      state->burn_remaining[j] = SampleBurnDuration(j, rng);
+      state->intensity[j] = terrain_->fuel[j];
+    }
+  }
+}
+
+SensorModel::SensorModel(const Terrain& terrain, const Config& config)
+    : terrain_(&terrain), config_(config) {
+  MDE_CHECK_GT(config.stride, 0u);
+  for (size_t y = config.stride / 2; y < terrain.height; y += config.stride) {
+    for (size_t x = config.stride / 2; x < terrain.width;
+         x += config.stride) {
+      cells_.push_back(terrain.index(x, y));
+    }
+  }
+  MDE_CHECK(!cells_.empty());
+}
+
+double SensorModel::ExpectedReading(const FireState& state, size_t s) const {
+  const size_t cell = cells_[s];
+  const size_t w = terrain_->width;
+  const size_t x = cell % w;
+  const size_t y = cell / w;
+  double temp = config_.ambient_temp +
+                config_.heat_per_intensity * state.intensity[cell];
+  // Neighbor bleed: nearby burning cells raise the reading.
+  for (long dy = -1; dy <= 1; ++dy) {
+    for (long dx = -1; dx <= 1; ++dx) {
+      if (dx == 0 && dy == 0) continue;
+      const long nx = static_cast<long>(x) + dx;
+      const long ny = static_cast<long>(y) + dy;
+      if (nx < 0 || ny < 0 || nx >= static_cast<long>(w) ||
+          ny >= static_cast<long>(terrain_->height)) {
+        continue;
+      }
+      temp += config_.neighbor_bleed * config_.heat_per_intensity *
+              state.intensity[terrain_->index(static_cast<size_t>(nx),
+                                              static_cast<size_t>(ny))];
+    }
+  }
+  return temp;
+}
+
+std::vector<double> SensorModel::Observe(const FireState& state,
+                                         Rng& rng) const {
+  std::vector<double> readings(cells_.size());
+  for (size_t s = 0; s < cells_.size(); ++s) {
+    readings[s] =
+        ExpectedReading(state, s) + SampleNormal(rng, 0.0, config_.noise_sd);
+  }
+  return readings;
+}
+
+double SensorModel::LogLikelihood(const FireState& state,
+                                  const std::vector<double>& readings) const {
+  MDE_CHECK_EQ(readings.size(), cells_.size());
+  double ll = 0.0;
+  for (size_t s = 0; s < cells_.size(); ++s) {
+    ll += NormalLogPdf(readings[s], ExpectedReading(state, s),
+                       config_.noise_sd);
+  }
+  return ll;
+}
+
+}  // namespace mde::wildfire

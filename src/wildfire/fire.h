@@ -1,0 +1,130 @@
+#ifndef MDE_WILDFIRE_FIRE_H_
+#define MDE_WILDFIRE_FIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mde::wildfire {
+
+/// Cell fire status as in the DEVS-FIRE gridded model (Section 3.2): each
+/// terrain cell is unburned, burning (with an intensity), or burned out.
+enum class CellState : uint8_t { kUnburned = 0, kBurning = 1, kBurned = 2 };
+
+/// Static terrain: per-cell fuel load and moisture plus a constant wind
+/// vector. Generated synthetically as smoothed random fields (substitute
+/// for GIS terrain data).
+struct Terrain {
+  size_t width = 0;
+  size_t height = 0;
+  std::vector<double> fuel;      // [0, 1] per cell
+  std::vector<double> moisture;  // [0, 1] per cell
+  double wind_x = 0.0;
+  double wind_y = 0.0;
+
+  size_t index(size_t x, size_t y) const { return y * width + x; }
+  size_t size() const { return width * height; }
+};
+
+/// Smoothed random terrain with the given wind.
+Terrain GenerateTerrain(size_t width, size_t height, double wind_x,
+                        double wind_y, uint64_t seed);
+
+/// Dynamic fire state over a terrain grid.
+struct FireState {
+  std::vector<CellState> cells;
+  /// Remaining burn duration for burning cells (steps).
+  std::vector<int> burn_remaining;
+  /// Fire intensity per cell (0 when not burning).
+  std::vector<double> intensity;
+
+  size_t NumBurning() const;
+  size_t NumBurned() const;
+
+  /// Fraction of cells whose CellState differs from `other` (the
+  /// assimilation accuracy metric).
+  double CellDisagreement(const FireState& other) const;
+
+  bool operator==(const FireState& other) const {
+    return cells == other.cells;
+  }
+};
+
+/// Stochastic fire-spread simulator: the transition kernel p(x_n | x_{n-1})
+/// of the hidden Markov model. Burning cells ignite their 8 neighbors with
+/// probability increasing in fuel, decreasing in moisture, and biased by
+/// wind alignment; burning cells burn out after a fuel-dependent duration.
+class FireSim {
+ public:
+  struct Config {
+    /// Base per-step ignition probability from one burning neighbor.
+    double spread_probability = 0.30;
+    /// Strength of the wind alignment bias.
+    double wind_bias = 0.35;
+    /// Mean burn duration in steps for a full-fuel cell.
+    double mean_burn_steps = 5.0;
+  };
+
+  FireSim(const Terrain& terrain, const Config& config);
+
+  const Terrain& terrain() const { return *terrain_; }
+
+  /// Fresh state with a single ignition at (x, y).
+  FireState Ignite(size_t x, size_t y, Rng& rng) const;
+
+  /// Advances the state by one step (Delta-t of simulated time).
+  void Step(FireState* state, Rng& rng) const;
+
+ private:
+  double IgnitionProbability(size_t from, size_t to, long dx, long dy) const;
+  int SampleBurnDuration(size_t cell, Rng& rng) const;
+
+  const Terrain* terrain_;
+  Config config_;
+};
+
+/// Fixed temperature sensors on a subsampled grid; each reads ambient
+/// temperature plus fire-intensity heating, corrupted by Gaussian noise —
+/// the paper's Gaussian sensor-behavior model, which yields the closed-form
+/// observation density p(y_n | x_n).
+class SensorModel {
+ public:
+  struct Config {
+    /// Place a sensor every `stride` cells in each direction.
+    size_t stride = 5;
+    double ambient_temp = 20.0;
+    /// Temperature contribution per unit intensity in the sensor's cell.
+    double heat_per_intensity = 400.0;
+    /// Fraction of neighbor-cell heat that bleeds into a sensor reading.
+    double neighbor_bleed = 0.25;
+    double noise_sd = 15.0;
+  };
+
+  SensorModel(const Terrain& terrain, const Config& config);
+
+  size_t num_sensors() const { return cells_.size(); }
+  const std::vector<size_t>& sensor_cells() const { return cells_; }
+
+  /// Noise-free expected reading of sensor s under `state`.
+  double ExpectedReading(const FireState& state, size_t s) const;
+
+  /// Noisy readings y_n for all sensors.
+  std::vector<double> Observe(const FireState& state, Rng& rng) const;
+
+  /// log p(y | x): product of per-sensor Gaussians.
+  double LogLikelihood(const FireState& state,
+                       const std::vector<double>& readings) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  const Terrain* terrain_;
+  Config config_;
+  std::vector<size_t> cells_;
+};
+
+}  // namespace mde::wildfire
+
+#endif  // MDE_WILDFIRE_FIRE_H_

@@ -1,0 +1,164 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "abs/schelling.h"
+#include "abs/spatial.h"
+#include "abs/traffic.h"
+#include "util/distributions.h"
+#include "util/thread_pool.h"
+
+namespace mde::abs {
+namespace {
+
+TEST(SpatialGridTest, NeighborQueryMatchesBruteForce) {
+  Rng rng(1);
+  std::vector<Point> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.NextDouble() * 100, rng.NextDouble() * 100});
+  }
+  const double radius = 5.0;
+  SpatialGrid grid(pts, radius);
+  for (size_t i = 0; i < pts.size(); i += 37) {
+    std::set<size_t> via_grid;
+    grid.ForEachNeighbor(i, radius, [&](size_t j) { via_grid.insert(j); });
+    std::set<size_t> brute;
+    for (size_t j = 0; j < pts.size(); ++j) {
+      if (j != i && Distance(pts[i], pts[j]) <= radius) brute.insert(j);
+    }
+    EXPECT_EQ(via_grid, brute) << "point " << i;
+  }
+}
+
+TEST(SpatialGridTest, ParallelNeighborListsMatchSequential) {
+  Rng rng(2);
+  std::vector<Point> pts;
+  for (int i = 0; i < 1000; ++i) {
+    pts.push_back({rng.NextDouble() * 50, rng.NextDouble() * 50});
+  }
+  SpatialGrid grid(pts, 3.0);
+  ThreadPool pool(4);
+  auto par = grid.NeighborLists(3.0, &pool);
+  auto seq = grid.NeighborLists(3.0, nullptr);
+  ASSERT_EQ(par.size(), seq.size());
+  for (size_t i = 0; i < par.size(); ++i) {
+    std::sort(par[i].begin(), par[i].end());
+    std::sort(seq[i].begin(), seq[i].end());
+    EXPECT_EQ(par[i], seq[i]);
+  }
+}
+
+TEST(SpatialGridTest, EmptyAndSinglePoint) {
+  std::vector<Point> none;
+  SpatialGrid g0(none, 1.0);
+  EXPECT_GE(g0.num_cells(), 1u);
+  std::vector<Point> one = {{0.0, 0.0}};
+  SpatialGrid g1(one, 1.0);
+  size_t count = 0;
+  g1.ForEachNeighbor(0, 1.0, [&](size_t) { ++count; });
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(TrafficTest, FreeFlowAtLowDensity) {
+  TrafficSim::Config cfg;
+  cfg.num_cells = 1000;
+  cfg.num_cars = 30;  // 3% density
+  cfg.p_slow = 0.1;
+  TrafficSim sim(cfg);
+  for (int t = 0; t < 200; ++t) sim.Step();
+  // Nearly free flow: mean speed close to vmax.
+  EXPECT_GT(sim.MeanSpeed(), 3.5);
+}
+
+TEST(TrafficTest, JamsAtHighDensity) {
+  TrafficSim::Config cfg;
+  cfg.num_cells = 1000;
+  cfg.num_cars = 500;  // 50% density
+  TrafficSim sim(cfg);
+  for (int t = 0; t < 200; ++t) sim.Step();
+  EXPECT_LT(sim.MeanSpeed(), 1.5);
+  EXPECT_GE(sim.CountJams(), 1u);
+}
+
+TEST(TrafficTest, CarsNeverCollide) {
+  TrafficSim::Config cfg;
+  cfg.num_cells = 200;
+  cfg.num_cars = 60;
+  TrafficSim sim(cfg);
+  for (int t = 0; t < 300; ++t) {
+    sim.Step();
+    std::set<size_t> positions;
+    for (size_t c = 0; c < sim.num_cars(); ++c) {
+      EXPECT_TRUE(positions.insert(sim.position(c)).second)
+          << "collision at t=" << t;
+    }
+  }
+}
+
+TEST(TrafficTest, FundamentalDiagramDecreasing) {
+  // Mean speed decreases with density (the jam phase transition).
+  auto speeds = FundamentalDiagram({50, 200, 400, 700}, 1000, 100, 100, 5);
+  ASSERT_EQ(speeds.size(), 4u);
+  EXPECT_GT(speeds[0], speeds[1]);
+  EXPECT_GT(speeds[1], speeds[2]);
+  EXPECT_GT(speeds[2], speeds[3]);
+}
+
+TEST(SchellingTest, SegregationEmergesFromMildPreferences) {
+  SchellingSim::Config cfg;
+  cfg.width = 40;
+  cfg.height = 40;
+  cfg.occupancy = 0.85;
+  cfg.similarity_threshold = 0.35;  // mild preference
+  SchellingSim sim(cfg);
+  const double initial = sim.SegregationIndex();
+  for (int t = 0; t < 60; ++t) sim.Step();
+  const double final_seg = sim.SegregationIndex();
+  // Random layout is near 0.5; dynamics push well above.
+  EXPECT_NEAR(initial, 0.5, 0.06);
+  EXPECT_GT(final_seg, initial + 0.15);
+}
+
+TEST(SchellingTest, ConvergesToContentment) {
+  SchellingSim::Config cfg;
+  cfg.width = 30;
+  cfg.height = 30;
+  cfg.similarity_threshold = 0.3;
+  SchellingSim sim(cfg);
+  size_t moves = 1;
+  for (int t = 0; t < 200 && moves > 0; ++t) moves = sim.Step();
+  EXPECT_GT(sim.ContentFraction(), 0.97);
+}
+
+TEST(SchellingTest, HighThresholdStaysRestless) {
+  SchellingSim::Config cfg;
+  cfg.width = 30;
+  cfg.height = 30;
+  cfg.similarity_threshold = 0.8;  // nearly impossible to satisfy
+  SchellingSim sim(cfg);
+  size_t total_moves = 0;
+  for (int t = 0; t < 20; ++t) total_moves += sim.Step();
+  EXPECT_GT(total_moves, 100u);
+}
+
+// Property sweep over traffic densities: flow is low at both extremes
+// (empty road / gridlock) — the fundamental diagram is unimodal.
+class TrafficDensityTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TrafficDensityTest, SpeedWithinPhysicalBounds) {
+  TrafficSim::Config cfg;
+  cfg.num_cells = 500;
+  cfg.num_cars = GetParam();
+  TrafficSim sim(cfg);
+  for (int t = 0; t < 100; ++t) sim.Step();
+  EXPECT_GE(sim.MeanSpeed(), 0.0);
+  EXPECT_LE(sim.MeanSpeed(), cfg.max_speed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, TrafficDensityTest,
+                         ::testing::Values(10, 100, 250, 450));
+
+}  // namespace
+}  // namespace mde::abs

@@ -1,0 +1,220 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "calibrate/estimation.h"
+#include "calibrate/msm.h"
+#include "calibrate/optimizers.h"
+#include "util/distributions.h"
+#include "util/stats.h"
+
+namespace mde::calibrate {
+namespace {
+
+TEST(MleTest, ExponentialClosedForm) {
+  Rng rng(1);
+  std::vector<double> data;
+  for (int i = 0; i < 50000; ++i) data.push_back(SampleExponential(rng, 3.0));
+  auto theta = ExponentialMle(data);
+  ASSERT_TRUE(theta.ok());
+  EXPECT_NEAR(theta.value(), 3.0, 0.05);
+  // The paper's identity: MM estimator coincides with the MLE.
+  EXPECT_DOUBLE_EQ(ExponentialMm(data).value(), theta.value());
+}
+
+TEST(MleTest, ExponentialRejectsBadData) {
+  EXPECT_FALSE(ExponentialMle({}).ok());
+  EXPECT_FALSE(ExponentialMle({1.0, -2.0}).ok());
+}
+
+TEST(MleTest, NormalClosedForm) {
+  Rng rng(2);
+  std::vector<double> data;
+  for (int i = 0; i < 50000; ++i) data.push_back(SampleNormal(rng, -1.0, 2.5));
+  auto p = NormalMle(data);
+  ASSERT_TRUE(p.ok());
+  EXPECT_NEAR(p.value().mu, -1.0, 0.05);
+  EXPECT_NEAR(p.value().sigma, 2.5, 0.05);
+}
+
+TEST(MleTest, Generic1DMatchesClosedForm) {
+  Rng rng(3);
+  std::vector<double> data;
+  for (int i = 0; i < 10000; ++i) data.push_back(SampleExponential(rng, 2.0));
+  auto generic = GenericMle1D(
+      [&](double theta) {
+        double ll = 0.0;
+        for (double x : data) ll += std::log(theta) - theta * x;
+        return ll;
+      },
+      0.01, 10.0);
+  ASSERT_TRUE(generic.ok());
+  EXPECT_NEAR(generic.value(), ExponentialMle(data).value(), 1e-4);
+}
+
+TEST(MomTest, SolvesMonotoneMomentEquation) {
+  // Poisson: E[X] = lambda. Observed mean 4.2 -> lambda = 4.2.
+  auto lambda = MethodOfMoments1D([](double l) { return l; }, 4.2, 0.0, 100.0);
+  ASSERT_TRUE(lambda.ok());
+  EXPECT_NEAR(lambda.value(), 4.2, 1e-9);
+  // No sign change -> error.
+  EXPECT_FALSE(MethodOfMoments1D([](double) { return 0.0; }, 5.0, 0, 1).ok());
+}
+
+double Rosenbrock(const std::vector<double>& x) {
+  return 100.0 * std::pow(x[1] - x[0] * x[0], 2) + std::pow(1.0 - x[0], 2);
+}
+
+TEST(NelderMeadTest, MinimizesRosenbrock) {
+  Bounds bounds{{-5, -5}, {5, 5}};
+  NelderMeadOptions opt;
+  opt.max_iterations = 2000;
+  auto r = NelderMead(Rosenbrock, {-1.0, 2.0}, bounds, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().x[0], 1.0, 0.05);
+  EXPECT_NEAR(r.value().x[1], 1.0, 0.1);
+  EXPECT_GT(r.value().evaluations, 10u);
+}
+
+TEST(NelderMeadTest, RespectsBounds) {
+  // Minimum of (x+10)^2 subject to x in [0, 5] is at x = 0.
+  Bounds bounds{{0}, {5}};
+  auto r = NelderMead(
+      [](const std::vector<double>& x) { return (x[0] + 10) * (x[0] + 10); },
+      {3.0}, bounds, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value().x[0], 0.0, 1e-3);
+}
+
+TEST(GeneticTest, FindsGlobalBasinOfMultimodal) {
+  // Rastrigin-lite in 2-D: global minimum at 0.
+  auto f = [](const std::vector<double>& x) {
+    double v = 0;
+    for (double xi : x) {
+      v += xi * xi - 3.0 * std::cos(2.0 * M_PI * xi) + 3.0;
+    }
+    return v;
+  };
+  Bounds bounds{{-4, -4}, {4, 4}};
+  GeneticOptions opt;
+  opt.generations = 80;
+  opt.population = 60;
+  auto r = GeneticMinimize(f, bounds, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r.value().value, 1.0);
+}
+
+TEST(GoldenSectionTest, Minimizes1D) {
+  auto r = GoldenSection([](double x) { return (x - 2.5) * (x - 2.5); },
+                         0.0, 10.0);
+  EXPECT_NEAR(r.x[0], 2.5, 1e-6);
+}
+
+TEST(RandomSearchTest, ImprovesWithBudget) {
+  Bounds bounds{{-3, -3}, {3, 3}};
+  auto small = RandomSearch(Rosenbrock, bounds, 20, 5);
+  auto big = RandomSearch(Rosenbrock, bounds, 2000, 5);
+  EXPECT_LE(big.value, small.value);
+}
+
+TEST(WeightMatrixTest, InverseOfDiagonalCovariance) {
+  Rng rng(4);
+  std::vector<std::vector<double>> samples;
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(
+        {SampleNormal(rng, 0, 1), SampleNormal(rng, 0, 2)});
+  }
+  auto w = OptimalWeightMatrix(samples);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR(w.value()(0, 0), 1.0, 0.05);
+  EXPECT_NEAR(w.value()(1, 1), 0.25, 0.02);
+  EXPECT_NEAR(w.value()(0, 1), 0.0, 0.02);
+}
+
+/// Toy "agent herding" simulator for MSM: agents flip between states with
+/// probabilities controlled by theta = (herding, noise); reported moments
+/// are the mean and variance of the final magnetization over agents.
+Result<std::vector<double>> HerdingSimulator(const std::vector<double>& theta,
+                                             uint64_t seed) {
+  const double herding = theta[0];
+  const double noise = theta[1];
+  Rng rng(seed * 2654435761ULL + 17);
+  const int agents = 80;
+  std::vector<int> state(agents);
+  for (auto& s : state) s = SampleBernoulli(rng, 0.5) ? 1 : -1;
+  std::vector<double> magnetization;
+  for (int t = 0; t < 60; ++t) {
+    int total = 0;
+    for (int s : state) total += s;
+    const double m = static_cast<double>(total) / agents;
+    for (auto& s : state) {
+      const double p_up = 0.5 + 0.5 * std::tanh(herding * m + noise *
+                                                SampleStandardNormal(rng));
+      s = SampleBernoulli(rng, p_up) ? 1 : -1;
+    }
+    magnetization.push_back(m);
+  }
+  return std::vector<double>{Mean(magnetization),
+                             Variance(magnetization),
+                             Autocorrelation(magnetization, 1)};
+}
+
+MsmObjective MakeHerdingObjective(const std::vector<double>& theta_true,
+                                  size_t sim_reps) {
+  // "Observed" moments generated from the simulator at the true theta.
+  std::vector<double> observed(3, 0.0);
+  const int reps = 40;
+  for (int r = 0; r < reps; ++r) {
+    auto m = HerdingSimulator(theta_true, 9000 + r);
+    for (int k = 0; k < 3; ++k) observed[k] += m.value()[k];
+  }
+  for (auto& v : observed) v /= reps;
+  linalg::Matrix w = linalg::Matrix::Identity(3);
+  w(1, 1) = 50.0;  // variance moment on a comparable scale
+  w(2, 2) = 5.0;
+  return MsmObjective(observed, w, HerdingSimulator, sim_reps, 314);
+}
+
+TEST(MsmObjectiveTest, NearZeroAtTruthLargerAway) {
+  const std::vector<double> theta_true = {0.8, 0.3};
+  MsmObjective obj = MakeHerdingObjective(theta_true, 30);
+  auto at_truth = obj.Evaluate(theta_true);
+  auto far = obj.Evaluate({0.0, 1.5});
+  ASSERT_TRUE(at_truth.ok() && far.ok());
+  EXPECT_LT(at_truth.value(), far.value());
+  EXPECT_GT(obj.simulator_calls(), 0u);
+}
+
+TEST(MsmCalibrationTest, KrigingUsesFewerSimulatorCalls) {
+  const std::vector<double> theta_true = {0.8, 0.3};
+  MsmObjective obj = MakeHerdingObjective(theta_true, 10);
+  Bounds bounds{{0.0, 0.05}, {2.0, 1.5}};
+
+  KrigingCalibrateOptions kopt;
+  kopt.design_points = 15;
+  auto kriging = CalibrateKriging(obj, bounds, kopt);
+  ASSERT_TRUE(kriging.ok());
+  const size_t kriging_calls = kriging.value().simulator_calls;
+
+  auto random = CalibrateRandomSearch(obj, bounds, 60, 77);
+  ASSERT_TRUE(random.ok());
+  EXPECT_LT(kriging_calls, random.value().simulator_calls);
+  // The kriging result is competitive despite far fewer calls.
+  EXPECT_LT(kriging.value().j_value, random.value().j_value * 5.0 + 0.05);
+}
+
+TEST(MsmCalibrationTest, NelderMeadDrivesObjectiveDown) {
+  const std::vector<double> theta_true = {0.8, 0.3};
+  MsmObjective obj = MakeHerdingObjective(theta_true, 10);
+  Bounds bounds{{0.0, 0.05}, {2.0, 1.5}};
+  NelderMeadOptions opt;
+  opt.max_iterations = 40;
+  auto r = CalibrateNelderMead(obj, bounds, {1.5, 1.0}, opt);
+  ASSERT_TRUE(r.ok());
+  auto start_j = obj.Evaluate({1.5, 1.0});
+  ASSERT_TRUE(start_j.ok());
+  EXPECT_LE(r.value().j_value, start_j.value());
+}
+
+}  // namespace
+}  // namespace mde::calibrate

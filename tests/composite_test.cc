@@ -1,0 +1,233 @@
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "composite/model.h"
+#include "composite/pipeline.h"
+#include "composite/result_caching.h"
+#include "util/distributions.h"
+#include "util/stats.h"
+
+namespace mde::composite {
+namespace {
+
+/// M1: demand model emitting a random "arrival intensity" (lognormal).
+std::shared_ptr<FunctionModel> MakeDemandModel(double cost) {
+  return std::make_shared<FunctionModel>(
+      "demand",
+      [](const std::vector<double>&, Rng& rng)
+          -> Result<std::vector<double>> {
+        return std::vector<double>{SampleLognormal(rng, 0.0, 0.5)};
+      },
+      cost);
+}
+
+/// M2: queueing model — average wait grows with intensity, with noise.
+std::shared_ptr<FunctionModel> MakeQueueModel(double cost,
+                                              double noise_sd) {
+  return std::make_shared<FunctionModel>(
+      "queue",
+      [noise_sd](const std::vector<double>& in, Rng& rng)
+          -> Result<std::vector<double>> {
+        const double intensity = in[0];
+        return std::vector<double>{2.0 * intensity +
+                                   SampleNormal(rng, 0.0, noise_sd)};
+      },
+      cost);
+}
+
+TEST(GAlphaTest, MatchesClosedFormAtAlphaOne) {
+  CostStats s{/*c1=*/4.0, /*c2=*/1.0, /*v1=*/3.0, /*v2=*/1.0};
+  // alpha = 1: r = 1, bracket = 2 - 1*2 = 0 -> g = (c1 + c2) * V1.
+  EXPECT_DOUBLE_EQ(GAlpha(1.0, s), 5.0 * 3.0);
+  // g~ agrees at alpha = 1.
+  EXPECT_DOUBLE_EQ(GTildeAlpha(1.0, s), GAlpha(1.0, s));
+}
+
+TEST(GAlphaTest, AgreesWithTildeAtReciprocalIntegers) {
+  CostStats s{5.0, 1.0, 2.0, 0.5};
+  for (double alpha : {1.0, 0.5, 0.25, 0.2, 0.1}) {
+    EXPECT_NEAR(GAlpha(alpha, s), GTildeAlpha(alpha, s), 1e-12)
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(OptimalAlphaTest, ClosedFormCases) {
+  // Expensive M1, some shared variance -> small alpha.
+  CostStats expensive_m1{100.0, 1.0, 2.0, 0.5};
+  EXPECT_LT(OptimalAlpha(expensive_m1), 0.1);
+  // V2 = 0 (M2 insensitive): run M1 as rarely as possible.
+  CostStats insensitive{1.0, 1.0, 2.0, 0.0};
+  EXPECT_DOUBLE_EQ(OptimalAlpha(insensitive, 1e-3), 1e-3);
+  // V2 = V1 (M2 is a transformer): alpha* = 1.
+  CostStats transformer{1.0, 1.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(OptimalAlpha(transformer), 1.0);
+}
+
+TEST(OptimalAlphaTest, MinimizesGTilde) {
+  CostStats s{20.0, 1.0, 3.0, 1.0};
+  const double astar = OptimalAlpha(s);
+  const double g_star = GTildeAlpha(astar, s);
+  for (double a = 0.01; a <= 1.0; a += 0.01) {
+    EXPECT_GE(GTildeAlpha(a, s), g_star - 1e-9) << "a=" << a;
+  }
+}
+
+TEST(ResultCachingTest, AlphaOneIsPlainMonteCarlo) {
+  auto m1 = MakeDemandModel(1.0);
+  auto m2 = MakeQueueModel(1.0, 0.1);
+  auto run = RunResultCaching(*m1, *m2, {}, 1.0, 100, 3);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.value().m1_runs, 100u);
+  EXPECT_EQ(run.value().m2_runs, 100u);
+  EXPECT_DOUBLE_EQ(run.value().total_cost, 200.0);
+}
+
+TEST(ResultCachingTest, SmallAlphaRunsM1Rarely) {
+  auto m1 = MakeDemandModel(10.0);
+  auto m2 = MakeQueueModel(1.0, 0.1);
+  auto run = RunResultCaching(*m1, *m2, {}, 0.1, 100, 3);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.value().m1_runs, 10u);
+  EXPECT_EQ(run.value().m2_runs, 100u);
+  EXPECT_DOUBLE_EQ(run.value().total_cost, 200.0);
+}
+
+TEST(ResultCachingTest, EstimateIsConsistent) {
+  // E[Y2] = 2 * E[lognormal(0, 0.5)] = 2 * exp(0.125).
+  const double theta = 2.0 * std::exp(0.125);
+  auto m1 = MakeDemandModel(1.0);
+  auto m2 = MakeQueueModel(1.0, 0.2);
+  RunningStat estimates;
+  for (uint64_t rep = 0; rep < 120; ++rep) {
+    auto run = RunResultCaching(*m1, *m2, {}, 0.3, 400, 100 + rep);
+    ASSERT_TRUE(run.ok());
+    estimates.Add(run.value().estimate);
+  }
+  EXPECT_NEAR(estimates.mean(), theta, 3.5 * estimates.std_error());
+}
+
+TEST(ResultCachingTest, RejectsBadArguments) {
+  auto m1 = MakeDemandModel(1.0);
+  auto m2 = MakeQueueModel(1.0, 0.1);
+  EXPECT_FALSE(RunResultCaching(*m1, *m2, {}, 0.0, 10, 1).ok());
+  EXPECT_FALSE(RunResultCaching(*m1, *m2, {}, 1.1, 10, 1).ok());
+  EXPECT_FALSE(RunResultCaching(*m1, *m2, {}, 0.5, 0, 1).ok());
+}
+
+TEST(BudgetedRunTest, RespectsBudget) {
+  auto m1 = MakeDemandModel(5.0);
+  auto m2 = MakeQueueModel(1.0, 0.1);
+  auto run = RunWithBudget(*m1, *m2, {}, 0.5, 100.0, 9);
+  ASSERT_TRUE(run.ok());
+  EXPECT_LE(run.value().total_cost, 100.0);
+  // A bigger budget buys more runs.
+  auto big = RunWithBudget(*m1, *m2, {}, 0.5, 1000.0, 9);
+  ASSERT_TRUE(big.ok());
+  EXPECT_GT(big.value().m2_runs, run.value().m2_runs);
+}
+
+TEST(EstimateStatisticsTest, RecoversVarianceDecomposition) {
+  // Y2 = 2 * Y1 + eps: V2 = Var(2 Y1) = 4 Var(Y1); V1 = V2 + Var(eps).
+  auto m1 = MakeDemandModel(1.0);
+  auto m2 = MakeQueueModel(1.0, 0.5);
+  auto stats = EstimateStatistics(*m1, *m2, {}, 2000, 8, 17);
+  ASSERT_TRUE(stats.ok());
+  // Var(lognormal(0, 0.5)) = (e^{0.25} - 1) e^{0.25} ~ 0.3647. Lognormal
+  // variance estimates are heavy-tailed, so allow 35% relative error.
+  const double v_y1 = (std::exp(0.25) - 1.0) * std::exp(0.25);
+  EXPECT_NEAR(stats.value().v2, 4.0 * v_y1, 0.35 * 4.0 * v_y1);
+  EXPECT_NEAR(stats.value().v1, 4.0 * v_y1 + 0.25,
+              0.35 * (4.0 * v_y1 + 0.25));
+  EXPECT_GT(stats.value().v1, stats.value().v2);
+}
+
+TEST(EmpiricalVarianceTest, MatchesGAlphaShape) {
+  // Verify the CLT: across many independent RC runs at fixed n, the
+  // variance of the estimator scales like g(alpha) (up to the common 1/c
+  // factor). Compare two alphas under equal budget.
+  // Noisy M2 (V2 << V1) and expensive M1: caching pays off.
+  auto m1 = MakeDemandModel(9.0);
+  auto m2 = MakeQueueModel(1.0, 3.0);
+  auto stats = EstimateStatistics(*m1, *m2, {}, 300, 8, 23);
+  ASSERT_TRUE(stats.ok());
+  const CostStats s = stats.value();
+  const double budget = 3000.0;
+  auto measure = [&](double alpha) {
+    RunningStat rs;
+    for (uint64_t rep = 0; rep < 60; ++rep) {
+      auto run = RunWithBudget(*m1, *m2, {}, alpha, budget, 900 + rep);
+      EXPECT_TRUE(run.ok());
+      rs.Add(run.value().estimate);
+    }
+    return rs.variance();
+  };
+  const double astar = OptimalAlpha(s);
+  const double var_opt = measure(astar);
+  const double var_naive = measure(1.0);
+  // g predicts the naive variance exceeds the optimal one.
+  EXPECT_GT(GTildeAlpha(1.0, s), GTildeAlpha(astar, s) * 1.5);
+  EXPECT_GT(var_naive, var_opt);
+}
+
+TEST(MetadataStoreTest, StoreLookupRefine) {
+  MetadataStore store;
+  EXPECT_FALSE(store.Lookup("demand|queue").ok());
+  store.Store("demand|queue", {1, 2, 3, 4});
+  auto s = store.Lookup("demand|queue");
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s.value().c1, 1.0);
+  store.Refine("demand|queue", {3, 2, 3, 4}, 0.5);
+  EXPECT_DOUBLE_EQ(store.Lookup("demand|queue").value().c1, 2.0);
+  // Refine on a missing key inserts.
+  store.Refine("new|pair", {9, 9, 9, 9}, 0.5);
+  EXPECT_TRUE(store.Lookup("new|pair").ok());
+}
+
+TEST(PipelineTest, ExecutesStagesWithTransforms) {
+  Pipeline p;
+  p.AddStage(std::make_shared<FunctionModel>(
+      "double",
+      [](const std::vector<double>& in, Rng&) -> Result<std::vector<double>> {
+        return std::vector<double>{in[0] * 2.0};
+      }));
+  p.AddStage(
+      std::make_shared<FunctionModel>(
+          "add1",
+          [](const std::vector<double>& in, Rng&)
+              -> Result<std::vector<double>> {
+            return std::vector<double>{in[0] + 1.0};
+          }),
+      // Harmonizing transform: convert units by x10 before stage 2.
+      [](const std::vector<double>& in) -> Result<std::vector<double>> {
+        return std::vector<double>{in[0] * 10.0};
+      });
+  Rng rng(1);
+  auto out = p.Execute({3.0}, rng);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out.value()[0], 61.0);  // (3*2)*10 + 1
+  EXPECT_DOUBLE_EQ(p.CostPerRun(), 2.0);
+}
+
+TEST(PipelineTest, MonteCarloCollectsSamples) {
+  Pipeline p;
+  p.AddStage(std::make_shared<FunctionModel>(
+      "noise",
+      [](const std::vector<double>&, Rng& rng) -> Result<std::vector<double>> {
+        return std::vector<double>{SampleNormal(rng, 5.0, 1.0)};
+      }));
+  auto samples = p.MonteCarlo({}, 500, 77);
+  ASSERT_TRUE(samples.ok());
+  EXPECT_EQ(samples.value().size(), 500u);
+  EXPECT_NEAR(Mean(samples.value()), 5.0, 0.15);
+}
+
+TEST(PipelineTest, EmptyPipelineErrors) {
+  Pipeline p;
+  Rng rng(1);
+  EXPECT_FALSE(p.Execute({}, rng).ok());
+}
+
+}  // namespace
+}  // namespace mde::composite

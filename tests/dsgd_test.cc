@@ -1,0 +1,188 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dsgd/dsgd.h"
+#include "linalg/solve.h"
+#include "timeseries/align.h"
+#include "timeseries/timeseries.h"
+#include "util/thread_pool.h"
+
+namespace mde::dsgd {
+namespace {
+
+linalg::Tridiagonal MakeSystem(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  linalg::Tridiagonal t;
+  t.diag.resize(n);
+  t.lower.resize(n - 1);
+  t.upper.resize(n - 1);
+  for (size_t i = 0; i < n; ++i) t.diag[i] = 4.0 + rng.NextDouble();
+  for (size_t i = 0; i + 1 < n; ++i) {
+    t.lower[i] = 1.0;
+    t.upper[i] = 1.0;
+  }
+  return t;
+}
+
+TEST(SparseRowTest, DotProduct) {
+  SparseRow r;
+  r.entries = {{0, 2.0}, {2, 3.0}};
+  EXPECT_DOUBLE_EQ(r.Dot({1.0, 99.0, 2.0}), 8.0);
+}
+
+TEST(RowsFromTridiagonalTest, StructureCorrect) {
+  auto t = MakeSystem(5, 1);
+  auto rows = RowsFromTridiagonal(t, {1, 2, 3, 4, 5});
+  ASSERT_EQ(rows.size(), 5u);
+  EXPECT_EQ(rows[0].entries.size(), 2u);  // first row: diag + upper
+  EXPECT_EQ(rows[2].entries.size(), 3u);  // interior: lower + diag + upper
+  EXPECT_EQ(rows[4].entries.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[3].b, 4.0);
+}
+
+TEST(StrataTest, ThreeStrataConflictFree) {
+  auto t = MakeSystem(100, 2);
+  linalg::Vector b(100, 1.0);
+  auto rows = RowsFromTridiagonal(t, b);
+  auto strata = TridiagonalStrata(100);
+  ASSERT_EQ(strata.size(), 3u);
+  EXPECT_TRUE(StrataAreConflictFree(rows, strata));
+}
+
+TEST(StrataTest, TwoStrataWouldConflict) {
+  // Adjacent rows share unknowns, so a 2-way round-robin split has
+  // conflicts (rows 0 and 2 are fine, but rows 0,2 vs 1,3: stratum {0,2}
+  // is fine; {0,1} is not). Construct a deliberately bad stratification.
+  auto t = MakeSystem(4, 3);
+  linalg::Vector b(4, 1.0);
+  auto rows = RowsFromTridiagonal(t, b);
+  std::vector<std::vector<size_t>> bad = {{0, 1}, {2, 3}};
+  EXPECT_FALSE(StrataAreConflictFree(rows, bad));
+}
+
+TEST(SgdTest, KaczmarzConvergesToSolution) {
+  const size_t n = 50;
+  auto t = MakeSystem(n, 4);
+  Rng rng(5);
+  linalg::Vector x_true(n);
+  for (auto& v : x_true) v = rng.NextDouble() * 2 - 1;
+  linalg::Vector b = t.Apply(x_true);
+  auto rows = RowsFromTridiagonal(t, b);
+
+  SgdOptions opt;
+  opt.rule = StepRule::kKaczmarz;
+  opt.iterations = 20000;
+  SgdResult result = SolveSgd(rows, n, opt);
+  EXPECT_LT(result.residual, 1e-6);
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(result.x[i], x_true[i], 1e-5);
+  }
+}
+
+TEST(SgdTest, PaperSgdRuleDescendsResidual) {
+  const size_t n = 30;
+  auto t = MakeSystem(n, 6);
+  linalg::Vector x_true(n, 0.5);
+  linalg::Vector b = t.Apply(x_true);
+  auto rows = RowsFromTridiagonal(t, b);
+  SgdOptions opt;
+  opt.rule = StepRule::kSgd;
+  opt.step0 = 2e-3;
+  opt.alpha = 0.75;
+  opt.iterations = 40000;
+  opt.trace_every = 10000;
+  SgdResult result = SolveSgd(rows, n, opt);
+  const double initial = ResidualNorm(rows, linalg::Vector(n, 0.0));
+  EXPECT_LT(result.residual, initial * 0.1);
+  // Residual trace is (weakly) decreasing at checkpoints.
+  for (size_t i = 1; i < result.residual_trace.size(); ++i) {
+    EXPECT_LE(result.residual_trace[i], result.residual_trace[i - 1] * 1.5);
+  }
+}
+
+TEST(DsgdTest, MatchesThomasOnSplineSystem) {
+  // Build a genuine spline-constant system and check DSGD converges to the
+  // Thomas solution.
+  timeseries::TimeSeries src(1);
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_TRUE(src.Append(i, std::sin(0.2 * i) + 0.3 * i).ok());
+  }
+  auto sys = timeseries::BuildSplineSystem(src, 0);
+  ASSERT_TRUE(sys.ok());
+  auto exact = linalg::SolveTridiagonal(sys.value().a, sys.value().b);
+  ASSERT_TRUE(exact.ok());
+
+  ThreadPool pool(4);
+  DsgdOptions opt;
+  opt.sgd.rule = StepRule::kKaczmarz;
+  opt.rounds = 3000;
+  SgdResult result =
+      SolveTridiagonalDsgd(sys.value().a, sys.value().b, pool, opt);
+  ASSERT_EQ(result.x.size(), exact.value().size());
+  for (size_t i = 0; i < result.x.size(); ++i) {
+    EXPECT_NEAR(result.x[i], exact.value()[i], 1e-4);
+  }
+}
+
+TEST(DsgdTest, ResidualDecreasesOverRounds) {
+  const size_t n = 3000;
+  auto t = MakeSystem(n, 8);
+  linalg::Vector x_true(n, 1.0);
+  linalg::Vector b = t.Apply(x_true);
+  ThreadPool pool(4);
+  DsgdOptions opt;
+  opt.rounds = 600;
+  opt.sgd.trace_every = 100;
+  SgdResult result = SolveTridiagonalDsgd(t, b, pool, opt);
+  ASSERT_GE(result.residual_trace.size(), 3u);
+  EXPECT_LT(result.residual_trace.back(), result.residual_trace.front());
+  EXPECT_LT(result.residual, 1.0);
+}
+
+TEST(DsgdTest, RoundRobinAlsoConverges) {
+  const size_t n = 500;
+  auto t = MakeSystem(n, 9);
+  linalg::Vector b = t.Apply(linalg::Vector(n, -0.5));
+  ThreadPool pool(2);
+  DsgdOptions opt;
+  opt.random_stratum_order = false;
+  opt.rounds = 1500;
+  SgdResult result = SolveTridiagonalDsgd(t, b, pool, opt);
+  EXPECT_LT(result.residual, 1e-3);
+}
+
+TEST(DsgdTest, SingleThreadMatchesMultiThreadQuality) {
+  const size_t n = 1000;
+  auto t = MakeSystem(n, 10);
+  linalg::Vector b = t.Apply(linalg::Vector(n, 0.25));
+  DsgdOptions opt;
+  opt.rounds = 900;
+  ThreadPool p1(1), p4(4);
+  SgdResult r1 = SolveTridiagonalDsgd(t, b, p1, opt);
+  SgdResult r4 = SolveTridiagonalDsgd(t, b, p4, opt);
+  EXPECT_LT(r1.residual, 1e-2);
+  EXPECT_LT(r4.residual, 1e-2);
+}
+
+// Property sweep: DSGD residual shrinks with round count.
+class DsgdRoundsTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DsgdRoundsTest, MoreRoundsSmallerResidual) {
+  const size_t n = 600;
+  auto t = MakeSystem(n, 11);
+  linalg::Vector b = t.Apply(linalg::Vector(n, 2.0));
+  ThreadPool pool(2);
+  DsgdOptions few, many;
+  few.rounds = GetParam();
+  many.rounds = GetParam() * 4;
+  const double r_few = SolveTridiagonalDsgd(t, b, pool, few).residual;
+  const double r_many = SolveTridiagonalDsgd(t, b, pool, many).residual;
+  EXPECT_LT(r_many, r_few + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, DsgdRoundsTest,
+                         ::testing::Values(30, 90, 300));
+
+}  // namespace
+}  // namespace mde::dsgd

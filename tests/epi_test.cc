@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "epi/indemics.h"
+#include "epi/network.h"
+#include "table/query.h"
+
+namespace mde::epi {
+namespace {
+
+PopulationConfig SmallPopulation(size_t n = 2000, uint64_t seed = 5) {
+  PopulationConfig cfg;
+  cfg.num_people = n;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(PopulationTest, GeneratesRequestedSize) {
+  ContactNetwork net = GeneratePopulation(SmallPopulation(1500));
+  EXPECT_EQ(net.num_people(), 1500u);
+  EXPECT_GT(net.num_contacts(), 1500u);  // households alone give plenty
+}
+
+TEST(PopulationTest, HouseholdsAreCliquesWithAdults) {
+  ContactNetwork net = GeneratePopulation(SmallPopulation());
+  // Every person has >= 0 household id; households have at least one adult
+  // among the first two members by construction.
+  int64_t max_household = 0;
+  for (const Person& p : net.people()) {
+    max_household = std::max(max_household, p.household);
+    EXPECT_GE(p.age, 0);
+    EXPECT_LE(p.age, 70);
+  }
+  EXPECT_GT(max_household, 100);
+}
+
+TEST(PopulationTest, HasPreschoolers) {
+  ContactNetwork net = GeneratePopulation(SmallPopulation(5000));
+  size_t preschool = 0;
+  for (const Person& p : net.people()) {
+    if (p.age <= 4) ++preschool;
+  }
+  EXPECT_GT(preschool, 50u);
+}
+
+TEST(EpidemicSimTest, SeedsInitialInfections) {
+  DiseaseConfig dc;
+  dc.initial_infections = 25;
+  EpidemicSim sim(GeneratePopulation(SmallPopulation()), dc);
+  size_t infectious = 0;
+  for (const Person& p : sim.network().people()) {
+    if (p.health == Health::kInfectious) ++infectious;
+  }
+  EXPECT_EQ(infectious, 25u);
+}
+
+TEST(EpidemicSimTest, ConservesPopulation) {
+  DiseaseConfig dc;
+  EpidemicSim sim(GeneratePopulation(SmallPopulation()), dc);
+  auto last = sim.Advance(30);
+  EXPECT_EQ(last.susceptible + last.exposed + last.infectious +
+                last.recovered,
+            sim.network().num_people());
+}
+
+TEST(EpidemicSimTest, EpidemicSpreads) {
+  DiseaseConfig dc;
+  dc.transmissibility = 0.01;
+  EpidemicSim sim(GeneratePopulation(SmallPopulation(3000)), dc);
+  sim.Advance(60);
+  EXPECT_GT(sim.TotalInfected(), 500u);
+  EXPECT_GT(sim.PeakInfectious(), 50u);
+}
+
+TEST(EpidemicSimTest, NoTransmissionAtZeroTransmissibility) {
+  DiseaseConfig dc;
+  dc.transmissibility = 0.0;
+  dc.initial_infections = 10;
+  EpidemicSim sim(GeneratePopulation(SmallPopulation()), dc);
+  sim.Advance(40);
+  EXPECT_EQ(sim.TotalInfected(), 10u);
+}
+
+TEST(EpidemicSimTest, PersonTableMatchesNetwork) {
+  DiseaseConfig dc;
+  EpidemicSim sim(GeneratePopulation(SmallPopulation(500)), dc);
+  table::Table t = sim.PersonTable();
+  EXPECT_EQ(t.num_rows(), 500u);
+  EXPECT_TRUE(t.schema().Has("pid"));
+  EXPECT_TRUE(t.schema().Has("health"));
+  // Infectious count in the table matches the sim.
+  auto infected = sim.InfectedPersonTable();
+  size_t direct = 0;
+  for (const Person& p : sim.network().people()) {
+    if (p.health == Health::kInfectious) ++direct;
+  }
+  EXPECT_EQ(infected.num_rows(), direct);
+}
+
+TEST(EpidemicSimTest, VaccinationImmunizes) {
+  DiseaseConfig dc;
+  dc.vaccine_efficacy = 1.0;
+  dc.initial_infections = 0;
+  EpidemicSim sim(GeneratePopulation(SmallPopulation(100)), dc);
+  std::vector<int64_t> everyone;
+  for (size_t i = 0; i < 100; ++i) everyone.push_back(i);
+  const size_t immunized = sim.Vaccinate(everyone);
+  EXPECT_EQ(immunized, 100u);
+  EXPECT_EQ(sim.TotalInfected(), 0u);  // vaccine immunity isn't infection
+}
+
+TEST(EpidemicSimTest, QuarantineBlocksTransmission) {
+  DiseaseConfig dc;
+  dc.transmissibility = 0.05;  // aggressive spread
+  dc.initial_infections = 20;
+  ContactNetwork net = GeneratePopulation(SmallPopulation(2000, 8));
+  EpidemicSim sim(net, dc);
+  // Quarantine everybody: epidemic cannot spread beyond the seeds.
+  std::vector<int64_t> everyone;
+  for (size_t i = 0; i < 2000; ++i) everyone.push_back(i);
+  sim.Quarantine(everyone);
+  sim.Advance(30);
+  EXPECT_EQ(sim.TotalInfected(), 20u);
+}
+
+TEST(Algorithm1Test, PolicyReducesAttackRate) {
+  // The paper's Algorithm 1: vaccinate preschoolers when > 1% are sick.
+  DiseaseConfig dc;
+  dc.transmissibility = 0.012;
+  dc.seed = 31;
+  const PopulationConfig pop = SmallPopulation(4000, 9);
+
+  EpidemicSim no_policy(GeneratePopulation(pop), dc);
+  auto base = RunWithPolicy(no_policy, 120, 7, nullptr);
+  ASSERT_TRUE(base.ok());
+
+  EpidemicSim with_policy(GeneratePopulation(pop), dc);
+  auto treated =
+      RunWithPolicy(with_policy, 120, 7, VaccinatePreschoolersPolicy(0.01));
+  ASSERT_TRUE(treated.ok());
+
+  // Preschoolers got vaccinated...
+  size_t vaccinated = 0;
+  for (const Person& p : with_policy.network().people()) {
+    if (p.vaccinated) {
+      ++vaccinated;
+      EXPECT_LE(p.age, 4);
+    }
+  }
+  EXPECT_GT(vaccinated, 0u);
+  // ...and the attack count does not increase (usually strictly drops).
+  EXPECT_LE(with_policy.TotalInfected(), no_policy.TotalInfected());
+}
+
+TEST(Algorithm1Test, NoTriggerNoVaccination) {
+  DiseaseConfig dc;
+  dc.transmissibility = 0.0;  // never passes the 1% trigger
+  dc.initial_infections = 1;
+  EpidemicSim sim(GeneratePopulation(SmallPopulation(1000)), dc);
+  auto run = RunWithPolicy(sim, 50, 5, VaccinatePreschoolersPolicy(0.01));
+  ASSERT_TRUE(run.ok());
+  for (const Person& p : sim.network().people()) {
+    EXPECT_FALSE(p.vaccinated);
+  }
+}
+
+TEST(QueryIntegrationTest, SqlStyleSubpopulationAggregation) {
+  // "Percent infected among school-age children", phrased as a query.
+  DiseaseConfig dc;
+  dc.transmissibility = 0.015;
+  EpidemicSim sim(GeneratePopulation(SmallPopulation(3000, 12)), dc);
+  sim.Advance(40);
+  auto school_age = table::Query(sim.PersonTable())
+                        .Where("age", table::CmpOp::kGe, int64_t{5})
+                        .Where("age", table::CmpOp::kLe, int64_t{18})
+                        .Execute();
+  ASSERT_TRUE(school_age.ok());
+  auto infected = table::Query(school_age.value())
+                      .Where("health", table::CmpOp::kEq, "I")
+                      .CountStar("n")
+                      .ExecuteScalar();
+  ASSERT_TRUE(infected.ok());
+  EXPECT_GE(infected.value().AsInt(), 0);
+  EXPECT_LE(infected.value().AsInt(),
+            static_cast<int64_t>(school_age.value().num_rows()));
+}
+
+TEST(RunWithPolicyTest, RejectsZeroInterval) {
+  DiseaseConfig dc;
+  EpidemicSim sim(GeneratePopulation(SmallPopulation(100)), dc);
+  EXPECT_FALSE(RunWithPolicy(sim, 10, 0, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace mde::epi

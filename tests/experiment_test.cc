@@ -1,0 +1,142 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "composite/experiment.h"
+#include "doe/designs.h"
+#include "doe/main_effects.h"
+#include "metamodel/kriging.h"
+#include "util/distributions.h"
+
+namespace mde::composite {
+namespace {
+
+/// Noisy quadratic test simulation over two named parameters.
+Result<double> BowlSim(const std::map<std::string, double>& p, Rng& rng) {
+  const double a = p.at("alpha");
+  const double b = p.at("beta");
+  return (a - 2.0) * (a - 2.0) + 2.0 * (b - 1.0) * (b - 1.0) +
+         SampleNormal(rng, 0.0, 0.01);
+}
+
+TEST(ExperimentTest, RunsDesignWithReplications) {
+  Rng rng(1);
+  linalg::Matrix design = doe::RandomLatinHypercube(2, 9, rng);
+  std::vector<ParameterSpec> params = {{"alpha", 0.0, 4.0},
+                                       {"beta", 0.0, 2.0}};
+  ExperimentOptions opt;
+  opt.replications = 5;
+  auto result = RunExperiment(design, params, BowlSim, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().mean_response.size(), 9u);
+  // Responses match the true surface closely (small noise, 5 reps).
+  for (size_t p = 0; p < 9; ++p) {
+    const double a = result.value().scaled_design(p, 0);
+    const double b = result.value().scaled_design(p, 1);
+    const double truth =
+        (a - 2.0) * (a - 2.0) + 2.0 * (b - 1.0) * (b - 1.0);
+    EXPECT_NEAR(result.value().mean_response[p], truth, 0.05);
+    EXPECT_LT(result.value().response_variance[p], 0.01);
+  }
+}
+
+TEST(ExperimentTest, Reproducible) {
+  Rng rng(2);
+  linalg::Matrix design = doe::RandomLatinHypercube(2, 5, rng);
+  std::vector<ParameterSpec> params = {{"alpha", 0.0, 4.0},
+                                       {"beta", 0.0, 2.0}};
+  ExperimentOptions opt;
+  opt.seed = 99;
+  auto a = RunExperiment(design, params, BowlSim, opt);
+  auto b = RunExperiment(design, params, BowlSim, opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t p = 0; p < 5; ++p) {
+    EXPECT_DOUBLE_EQ(a.value().mean_response[p],
+                     b.value().mean_response[p]);
+  }
+}
+
+TEST(ExperimentTest, AsTableUnifiedView) {
+  Rng rng(3);
+  linalg::Matrix design = doe::FullFactorial(2);
+  std::vector<ParameterSpec> params = {{"alpha", 1.0, 3.0},
+                                       {"beta", 0.5, 1.5}};
+  auto result = RunExperiment(design, params, BowlSim, {});
+  ASSERT_TRUE(result.ok());
+  auto t = result.value().AsTable(params);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t.value().num_rows(), 4u);
+  EXPECT_TRUE(t.value().schema().Has("alpha"));
+  EXPECT_TRUE(t.value().schema().Has("mean_response"));
+  // Physical units respected.
+  EXPECT_DOUBLE_EQ(t.value().At(0, "alpha").value().AsDouble(), 1.0);
+}
+
+TEST(ExperimentTest, ErrorsOnBadSpecs) {
+  Rng rng(4);
+  linalg::Matrix design = doe::FullFactorial(2);
+  EXPECT_FALSE(
+      RunExperiment(design, {{"only_one", 0, 1}}, BowlSim, {}).ok());
+  EXPECT_FALSE(RunExperiment(design,
+                             {{"a", 1.0, 1.0}, {"b", 0.0, 1.0}},  // empty range
+                             BowlSim, {})
+                   .ok());
+  ExperimentOptions zero;
+  zero.replications = 0;
+  EXPECT_FALSE(RunExperiment(design,
+                             {{"a", 0.0, 1.0}, {"b", 0.0, 1.0}}, BowlSim,
+                             zero)
+                   .ok());
+}
+
+TEST(ExperimentTest, FactorialDesignFeedsMainEffects) {
+  // End-to-end §4.2 workflow: coded factorial -> experiment -> main
+  // effects. Response = 3*alpha_coded - beta_coded.
+  auto sim = [](const std::map<std::string, double>& p,
+                Rng& rng) -> Result<double> {
+    // Map physical back to coded for a known linear truth.
+    const double ac = p.at("alpha") - 1.0;  // ranges [0,2] -> coded [-1,1]
+    const double bc = p.at("beta");         // ranges [-1,1]
+    return 3.0 * ac - bc + SampleNormal(rng, 0.0, 0.01);
+  };
+  linalg::Matrix design = doe::FullFactorial(2);
+  std::vector<ParameterSpec> params = {{"alpha", 0.0, 2.0},
+                                       {"beta", -1.0, 1.0}};
+  ExperimentOptions opt;
+  opt.replications = 8;
+  auto result = RunExperiment(design, params, sim, opt);
+  ASSERT_TRUE(result.ok());
+  auto effects =
+      doe::ComputeMainEffects(result.value().coded_design,
+                              result.value().mean_response);
+  ASSERT_TRUE(effects.ok());
+  EXPECT_NEAR(effects.value()[0].effect, 6.0, 0.1);   // 2 * 3
+  EXPECT_NEAR(effects.value()[1].effect, -2.0, 0.1);  // 2 * -1
+}
+
+TEST(ExperimentTest, LhDesignFeedsKrigingMetamodel) {
+  // §4.1 + §4.2: NOLH experiment -> stochastic kriging surface.
+  Rng rng(5);
+  linalg::Matrix design = doe::NearlyOrthogonalLatinHypercube(2, 17, 64, rng);
+  std::vector<ParameterSpec> params = {{"alpha", 0.0, 4.0},
+                                       {"beta", 0.0, 2.0}};
+  ExperimentOptions opt;
+  opt.replications = 6;
+  auto result = RunExperiment(design, params, BowlSim, opt);
+  ASSERT_TRUE(result.ok());
+  std::vector<double> point_var(17);
+  for (size_t p = 0; p < 17; ++p) {
+    point_var[p] = result.value().response_variance[p] / 6.0;
+  }
+  metamodel::KrigingModel::Options kopt;
+  kopt.fit_hyperparameters = true;
+  auto surface = metamodel::KrigingModel::Fit(
+      result.value().scaled_design, result.value().mean_response, kopt);
+  ASSERT_TRUE(surface.ok());
+  // The metamodel finds the bowl's minimum region.
+  EXPECT_NEAR(surface.value().Predict({2.0, 1.0}), 0.0, 0.35);
+  EXPECT_GT(surface.value().Predict({0.0, 0.0}), 3.0);
+}
+
+}  // namespace
+}  // namespace mde::composite

@@ -1,0 +1,149 @@
+/// Tests for the smaller extensions: contact-type interventions (school
+/// closure), lag estimation between composite-model clocks, and bootstrap
+/// confidence intervals.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "epi/indemics.h"
+#include "mcdb/estimators.h"
+#include "timeseries/align.h"
+#include "util/distributions.h"
+#include "util/stats.h"
+
+namespace mde {
+namespace {
+
+TEST(SchoolClosureTest, ClosingSchoolsReducesChildInfections) {
+  epi::PopulationConfig pop;
+  pop.num_people = 4000;
+  pop.seed = 21;
+  epi::DiseaseConfig dc;
+  dc.transmissibility = 0.012;
+  dc.seed = 22;
+
+  auto child_attack = [&](bool close_schools) {
+    epi::EpidemicSim sim(epi::GeneratePopulation(pop), dc);
+    if (close_schools) {
+      sim.SetContactTypeActive(epi::ContactType::kSchool, false);
+    }
+    sim.Advance(100);
+    size_t infected_children = 0;
+    for (const epi::Person& p : sim.network().people()) {
+      if (p.age <= 18 && p.health != epi::Health::kSusceptible) {
+        ++infected_children;
+      }
+    }
+    return infected_children;
+  };
+  EXPECT_LT(child_attack(true), child_attack(false));
+}
+
+TEST(SchoolClosureTest, FlagsToggle) {
+  epi::PopulationConfig pop;
+  pop.num_people = 100;
+  epi::DiseaseConfig dc;
+  epi::EpidemicSim sim(epi::GeneratePopulation(pop), dc);
+  EXPECT_TRUE(sim.ContactTypeActive(epi::ContactType::kSchool));
+  sim.SetContactTypeActive(epi::ContactType::kSchool, false);
+  EXPECT_FALSE(sim.ContactTypeActive(epi::ContactType::kSchool));
+  sim.SetContactTypeActive(epi::ContactType::kSchool, true);
+  EXPECT_TRUE(sim.ContactTypeActive(epi::ContactType::kSchool));
+}
+
+TEST(SchoolClosureTest, AllContactsClosedStopsEpidemic) {
+  epi::PopulationConfig pop;
+  pop.num_people = 1500;
+  pop.seed = 23;
+  epi::DiseaseConfig dc;
+  dc.transmissibility = 0.05;
+  dc.initial_infections = 15;
+  epi::EpidemicSim sim(epi::GeneratePopulation(pop), dc);
+  for (auto type :
+       {epi::ContactType::kHousehold, epi::ContactType::kSchool,
+        epi::ContactType::kWork, epi::ContactType::kCommunity}) {
+    sim.SetContactTypeActive(type, false);
+  }
+  sim.Advance(50);
+  EXPECT_EQ(sim.TotalInfected(), 15u);
+}
+
+TEST(LagEstimationTest, RecoversKnownShift) {
+  Rng rng(31);
+  // target[t] = source[t - 5]: a 5-tick delayed copy plus noise.
+  std::vector<double> signal;
+  for (int i = 0; i < 300; ++i) {
+    signal.push_back(std::sin(0.15 * i) + 0.5 * std::sin(0.045 * i));
+  }
+  timeseries::TimeSeries source(1), target(1);
+  for (int i = 0; i < 280; ++i) {
+    ASSERT_TRUE(source.Append(i, signal[i + 10]).ok());
+    ASSERT_TRUE(
+        target.Append(i, signal[i + 5] + SampleNormal(rng, 0.0, 0.02)).ok());
+  }
+  auto lag = timeseries::EstimateLag(source, target, 20);
+  ASSERT_TRUE(lag.ok());
+  EXPECT_EQ(lag.value(), 5);
+}
+
+TEST(LagEstimationTest, ZeroLagForAlignedSeries) {
+  timeseries::TimeSeries a(1), b(1);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(a.Append(i, std::sin(0.2 * i)).ok());
+    ASSERT_TRUE(b.Append(i, 2.0 * std::sin(0.2 * i) + 1.0).ok());
+  }
+  auto lag = timeseries::EstimateLag(a, b, 10);
+  ASSERT_TRUE(lag.ok());
+  EXPECT_EQ(lag.value(), 0);
+}
+
+TEST(LagEstimationTest, RejectsShortSeries) {
+  timeseries::TimeSeries a(1), b(1);
+  ASSERT_TRUE(a.Append(0, 1.0).ok());
+  ASSERT_TRUE(b.Append(0, 1.0).ok());
+  EXPECT_FALSE(timeseries::EstimateLag(a, b, 5).ok());
+}
+
+TEST(BootstrapTest, CoversTrueMedian) {
+  Rng rng(41);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(SampleNormal(rng, 10, 2));
+  auto ci = mcdb::BootstrapConfidenceInterval(
+      samples, [](const std::vector<double>& s) { return Quantile(s, 0.5); },
+      500, 0.95, 7);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_LT(ci.value().lo, 10.0);
+  EXPECT_GT(ci.value().hi, 10.0);
+  EXPECT_NEAR(ci.value().estimate, 10.0, 0.3);
+  EXPECT_LT(ci.value().hi - ci.value().lo, 1.0);
+}
+
+TEST(BootstrapTest, WiderIntervalForTailStatistic) {
+  Rng rng(42);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(SampleNormal(rng, 0, 1));
+  auto median = mcdb::BootstrapConfidenceInterval(
+      samples, [](const std::vector<double>& s) { return Quantile(s, 0.5); },
+      400, 0.95, 9);
+  auto p99 = mcdb::BootstrapConfidenceInterval(
+      samples,
+      [](const std::vector<double>& s) { return Quantile(s, 0.99); }, 400,
+      0.95, 9);
+  ASSERT_TRUE(median.ok() && p99.ok());
+  EXPECT_GT(p99.value().hi - p99.value().lo,
+            median.value().hi - median.value().lo);
+}
+
+TEST(BootstrapTest, RejectsBadInput) {
+  auto stat = [](const std::vector<double>& s) { return s[0]; };
+  EXPECT_FALSE(
+      mcdb::BootstrapConfidenceInterval({1.0}, stat, 100, 0.95, 1).ok());
+  EXPECT_FALSE(
+      mcdb::BootstrapConfidenceInterval({1, 2}, stat, 5, 0.95, 1).ok());
+  EXPECT_FALSE(
+      mcdb::BootstrapConfidenceInterval({1, 2}, stat, 100, 1.5, 1).ok());
+}
+
+}  // namespace
+}  // namespace mde

@@ -1,0 +1,151 @@
+/// Statistical property tests: chi-square goodness-of-fit on the samplers
+/// the Monte Carlo layers depend on. With fixed seeds these are
+/// deterministic; bounds are set at the chi-square 99.9% quantile so a
+/// correct sampler passes with huge margin while a biased one fails.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mcdb/vg_function.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace mde {
+namespace {
+
+/// Chi-square statistic of observed bin counts vs expected probabilities.
+double ChiSquare(const std::vector<size_t>& observed,
+                 const std::vector<double>& expected_prob, size_t n) {
+  double stat = 0.0;
+  for (size_t k = 0; k < observed.size(); ++k) {
+    const double expected = expected_prob[k] * static_cast<double>(n);
+    EXPECT_GT(expected, 5.0) << "bin too small for chi-square";
+    const double d = static_cast<double>(observed[k]) - expected;
+    stat += d * d / expected;
+  }
+  return stat;
+}
+
+TEST(GoodnessOfFitTest, UniformBits) {
+  Rng rng(101);
+  const size_t n = 100000;
+  std::vector<size_t> counts(16, 0);
+  for (size_t i = 0; i < n; ++i) {
+    ++counts[static_cast<size_t>(rng.NextDouble() * 16.0)];
+  }
+  // 15 dof, 99.9% quantile ~ 37.7.
+  EXPECT_LT(ChiSquare(counts, std::vector<double>(16, 1.0 / 16), n), 37.7);
+}
+
+TEST(GoodnessOfFitTest, StandardNormalDeciles) {
+  Rng rng(102);
+  const size_t n = 100000;
+  // Bin edges at the deciles of N(0,1): equal 10% mass per bin.
+  std::vector<double> edges;
+  for (int d = 1; d <= 9; ++d) edges.push_back(NormalQuantile(d / 10.0));
+  std::vector<size_t> counts(10, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = SampleStandardNormal(rng);
+    size_t bin = 0;
+    while (bin < edges.size() && x > edges[bin]) ++bin;
+    ++counts[bin];
+  }
+  // 9 dof, 99.9% quantile ~ 27.9.
+  EXPECT_LT(ChiSquare(counts, std::vector<double>(10, 0.1), n), 27.9);
+}
+
+TEST(GoodnessOfFitTest, ExponentialQuartiles) {
+  Rng rng(103);
+  const size_t n = 80000;
+  const double lambda = 1.7;
+  // Quartile edges of Exp(lambda).
+  std::vector<double> edges = {-std::log(0.75) / lambda,
+                               -std::log(0.5) / lambda,
+                               -std::log(0.25) / lambda};
+  std::vector<size_t> counts(4, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = SampleExponential(rng, lambda);
+    size_t bin = 0;
+    while (bin < edges.size() && x > edges[bin]) ++bin;
+    ++counts[bin];
+  }
+  // 3 dof, 99.9% quantile ~ 16.3.
+  EXPECT_LT(ChiSquare(counts, std::vector<double>(4, 0.25), n), 16.3);
+}
+
+TEST(GoodnessOfFitTest, PoissonPmf) {
+  Rng rng(104);
+  const size_t n = 80000;
+  const double lambda = 3.0;
+  // Bins 0..7 plus ">= 8".
+  std::vector<double> probs;
+  double cum = 0.0;
+  double p = std::exp(-lambda);
+  for (int k = 0; k < 8; ++k) {
+    probs.push_back(p);
+    cum += p;
+    p *= lambda / (k + 1);
+  }
+  probs.push_back(1.0 - cum);
+  std::vector<size_t> counts(9, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t x = SamplePoisson(rng, lambda);
+    ++counts[std::min<int64_t>(x, 8)];
+  }
+  // 8 dof, 99.9% quantile ~ 26.1.
+  EXPECT_LT(ChiSquare(counts, probs, n), 26.1);
+}
+
+TEST(GoodnessOfFitTest, DiscreteVgMatchesWeights) {
+  mcdb::DiscreteVg vg;
+  Rng rng(105);
+  const size_t n = 60000;
+  std::vector<size_t> counts(3, 0);
+  std::vector<table::Row> out;
+  for (size_t i = 0; i < n; ++i) {
+    out.clear();
+    ASSERT_TRUE(vg.Generate({table::Value(1.0), table::Value(2.0),
+                             table::Value(7.0)},
+                            rng, &out)
+                    .ok());
+    ++counts[static_cast<size_t>(out[0][0].AsInt())];
+  }
+  // 2 dof, 99.9% quantile ~ 13.8.
+  EXPECT_LT(ChiSquare(counts, {0.1, 0.2, 0.7}, n), 13.8);
+}
+
+TEST(GoodnessOfFitTest, DiscreteVgRejectsBadWeights) {
+  mcdb::DiscreteVg vg;
+  Rng rng(1);
+  std::vector<table::Row> out;
+  EXPECT_FALSE(vg.Generate({}, rng, &out).ok());
+  EXPECT_FALSE(vg.Generate({table::Value(-1.0)}, rng, &out).ok());
+  EXPECT_FALSE(
+      vg.Generate({table::Value(0.0), table::Value(0.0)}, rng, &out).ok());
+}
+
+TEST(GoodnessOfFitTest, GammaMeanVarSkewness) {
+  Rng rng(106);
+  const double shape = 2.5, scale = 1.4;
+  const size_t n = 100000;
+  double m1 = 0, m2 = 0, m3 = 0;
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (size_t i = 0; i < n; ++i) xs.push_back(SampleGamma(rng, shape, scale));
+  for (double x : xs) m1 += x;
+  m1 /= n;
+  for (double x : xs) {
+    m2 += (x - m1) * (x - m1);
+    m3 += (x - m1) * (x - m1) * (x - m1);
+  }
+  m2 /= n;
+  m3 /= n;
+  EXPECT_NEAR(m1, shape * scale, 0.03);
+  EXPECT_NEAR(m2, shape * scale * scale, 0.1);
+  // Skewness 2/sqrt(shape).
+  EXPECT_NEAR(m3 / std::pow(m2, 1.5), 2.0 / std::sqrt(shape), 0.1);
+}
+
+}  // namespace
+}  // namespace mde

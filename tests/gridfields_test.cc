@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "gridfields/gridfields.h"
+#include "util/rng.h"
+
+namespace mde::gridfields {
+namespace {
+
+TEST(GridTest, RegularGridCellCounts) {
+  Grid g = MakeRegularGrid2D(3, 2);
+  EXPECT_EQ(g.num_cells(0), 12u);  // 4 x 3 nodes
+  // Edges: horizontal 3*3=9, vertical 4*2=8.
+  EXPECT_EQ(g.num_cells(1), 17u);
+  EXPECT_EQ(g.num_cells(2), 6u);  // quads
+}
+
+TEST(GridTest, IncidenceRelation) {
+  Grid g = MakeRegularGrid2D(2, 2);
+  // Quad 0 has 4 edges and 4 corner nodes.
+  EXPECT_EQ(g.Faces({2, 0}, 1).size(), 4u);
+  EXPECT_EQ(g.Faces({2, 0}, 0).size(), 4u);
+  // Node 0 is a corner of quad 0: 0-cell <= 2-cell.
+  EXPECT_TRUE(g.Leq({0, 0}, {2, 0}));
+  // Reflexive.
+  EXPECT_TRUE(g.Leq({2, 0}, {2, 0}));
+  // Equal dims, different cells: not <=.
+  EXPECT_FALSE(g.Leq({2, 0}, {2, 1}));
+  // A far-away node is not incident.
+  EXPECT_FALSE(g.Leq({0, 8}, {2, 0}));
+}
+
+TEST(GridTest, IncidenceValidation) {
+  Grid g(2);
+  const size_t n0 = g.AddCell(0);
+  const size_t e0 = g.AddCell(1);
+  EXPECT_TRUE(g.AddIncidence({0, n0}, {1, e0}).ok());
+  // dim(lower) must be < dim(higher).
+  EXPECT_FALSE(g.AddIncidence({1, e0}, {0, n0}).ok());
+  EXPECT_FALSE(g.AddIncidence({0, 99}, {1, e0}).ok());
+}
+
+TEST(GridFieldTest, BindingChecksArity) {
+  Grid g = MakeRegularGrid2D(2, 2);
+  std::vector<double> quad_data = {1, 2, 3, 4};
+  GridField f(&g, 2, quad_data);
+  EXPECT_EQ(f.size(), 4u);
+  EXPECT_DOUBLE_EQ(f.value(2), 3.0);
+}
+
+TEST(RegridTest, AggregationFunctions) {
+  Grid g = MakeRegularGrid2D(4, 1);  // 4 quads in a row
+  GridField src(&g, 2, {1.0, 2.0, 3.0, 4.0});
+  // Coarsen 4 -> 2: cells {0,1} -> 0, {2,3} -> 1.
+  std::vector<size_t> assign = {0, 0, 1, 1};
+  EXPECT_EQ(Regrid(src, 2, assign, RegridAgg::kSum).value(),
+            (std::vector<double>{3.0, 7.0}));
+  EXPECT_EQ(Regrid(src, 2, assign, RegridAgg::kMean).value(),
+            (std::vector<double>{1.5, 3.5}));
+  EXPECT_EQ(Regrid(src, 2, assign, RegridAgg::kMax).value(),
+            (std::vector<double>{2.0, 4.0}));
+  EXPECT_EQ(Regrid(src, 2, assign, RegridAgg::kMin).value(),
+            (std::vector<double>{1.0, 3.0}));
+  EXPECT_EQ(Regrid(src, 2, assign, RegridAgg::kCount).value(),
+            (std::vector<double>{2.0, 2.0}));
+}
+
+TEST(RegridTest, UnassignedAndEmptyTargets) {
+  Grid g = MakeRegularGrid2D(3, 1);
+  GridField src(&g, 2, {5.0, 6.0, 7.0});
+  std::vector<size_t> assign = {0, kUnassigned, 0};
+  auto out = Regrid(src, 2, assign, RegridAgg::kSum, /*fill=*/-1.0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out.value()[0], 12.0);
+  EXPECT_DOUBLE_EQ(out.value()[1], -1.0);  // fill for empty target
+}
+
+TEST(RegridTest, RejectsBadAssignment) {
+  Grid g = MakeRegularGrid2D(2, 1);
+  GridField src(&g, 2, {1.0, 2.0});
+  EXPECT_FALSE(Regrid(src, 2, {0}, RegridAgg::kSum).ok());      // arity
+  EXPECT_FALSE(Regrid(src, 2, {0, 5}, RegridAgg::kSum).ok());   // range
+}
+
+TEST(RestrictTest, KeepsMatchingCells) {
+  Grid g = MakeRegularGrid2D(5, 1);
+  GridField f(&g, 2, {1, 5, 2, 8, 3});
+  auto kept = RestrictCells(f, [](double v) { return v > 2.5; });
+  EXPECT_EQ(kept, (std::vector<size_t>{1, 3, 4}));
+}
+
+TEST(CommuteTest, RestrictCommutesWithRegrid) {
+  // The Howe-Maier optimization: restricting target cells before or after
+  // regrid yields identical values, but pushing the restriction down
+  // processes fewer source cells.
+  Rng rng(1);
+  const size_t nx = 40;
+  Grid g = MakeRegularGrid2D(nx, 1);
+  std::vector<double> data(nx);
+  for (auto& v : data) v = rng.NextDouble() * 10.0;
+  GridField src(&g, 2, data);
+  // Coarsen 40 -> 10 (blocks of 4), keep only 3 of the 10 targets.
+  std::vector<size_t> assign(nx);
+  for (size_t i = 0; i < nx; ++i) assign[i] = i / 4;
+  std::vector<bool> keep(10, false);
+  keep[1] = keep[4] = keep[7] = true;
+
+  for (RegridAgg agg : {RegridAgg::kSum, RegridAgg::kMean, RegridAgg::kMax}) {
+    auto slow = RegridThenRestrict(src, 10, assign, agg, keep);
+    auto fast = RestrictThenRegrid(src, 10, assign, agg, keep);
+    ASSERT_TRUE(slow.ok() && fast.ok());
+    ASSERT_EQ(slow.value().values.size(), fast.value().values.size());
+    for (size_t i = 0; i < slow.value().values.size(); ++i) {
+      EXPECT_DOUBLE_EQ(slow.value().values[i], fast.value().values[i]);
+    }
+    // The pushed-down form touches 12 source cells instead of 40.
+    EXPECT_EQ(fast.value().source_cells_processed, 12u);
+    EXPECT_EQ(slow.value().source_cells_processed, 40u);
+  }
+}
+
+TEST(CommuteTest, KeepAllIsPlainRegrid) {
+  Grid g = MakeRegularGrid2D(6, 1);
+  GridField src(&g, 2, {1, 2, 3, 4, 5, 6});
+  std::vector<size_t> assign = {0, 0, 1, 1, 2, 2};
+  std::vector<bool> keep(3, true);
+  auto fast = RestrictThenRegrid(src, 3, assign, RegridAgg::kSum, keep);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(fast.value().values, (std::vector<double>{3.0, 7.0, 11.0}));
+  EXPECT_EQ(fast.value().source_cells_processed, 6u);
+}
+
+}  // namespace
+}  // namespace mde::gridfields

@@ -1,0 +1,219 @@
+/// Cross-module integration tests: each exercises a pipeline the paper
+/// describes as a composition of the surveyed systems.
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "abs/traffic.h"
+#include "calibrate/msm.h"
+#include "composite/model.h"
+#include "composite/result_caching.h"
+#include "doe/designs.h"
+#include "doe/main_effects.h"
+#include "dsgd/dsgd.h"
+#include "epi/indemics.h"
+#include "metamodel/kriging.h"
+#include "simsql/simsql.h"
+#include "table/query.h"
+#include "timeseries/align.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+
+namespace mde {
+namespace {
+
+// Splash-style harmonization chain: a fine-grained "climate" series is
+// aggregated for a coarse model, whose output is spline-interpolated back
+// to fine granularity — with the spline constants produced by DSGD instead
+// of the exact solver, as Section 2.2 proposes for massive series.
+TEST(Integration, TimeAlignmentWithDsgdSplineConstants) {
+  timeseries::TimeSeries fine(1);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(fine.Append(i * 0.25, std::sin(0.1 * i * 0.25)).ok());
+  }
+  // Aggregate to unit ticks.
+  std::vector<double> coarse_times = timeseries::UniformGrid(1.0, 99.0, 99);
+  auto coarse = timeseries::AggregateAlign(fine, coarse_times,
+                                           timeseries::AggMethod::kMean);
+  ASSERT_TRUE(coarse.ok());
+  // Spline constants via DSGD.
+  auto sys = timeseries::BuildSplineSystem(coarse.value(), 0);
+  ASSERT_TRUE(sys.ok());
+  ThreadPool pool(4);
+  dsgd::DsgdOptions opt;
+  opt.rounds = 3000;
+  auto dsgd_result =
+      dsgd::SolveTridiagonalDsgd(sys.value().a, sys.value().b, pool, opt);
+  std::vector<double> sigma(coarse.value().size(), 0.0);
+  for (size_t i = 0; i < dsgd_result.x.size(); ++i) {
+    sigma[i + 1] = dsgd_result.x[i];
+  }
+  // Interpolate back down to quarter ticks.
+  std::vector<double> targets = timeseries::UniformGrid(1.5, 98.5, 389);
+  auto interp = timeseries::CubicSplineInterpolate(coarse.value(), targets,
+                                                   0, sigma);
+  ASSERT_TRUE(interp.ok());
+  // Matches the exact-solver interpolation closely.
+  auto exact = timeseries::CubicSplineInterpolate(coarse.value(), targets);
+  ASSERT_TRUE(exact.ok());
+  double max_diff = 0.0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(interp.value().value(i) -
+                                            exact.value().value(i)));
+  }
+  EXPECT_LT(max_diff, 1e-3);
+}
+
+// The ABS-in-the-database idea: a SimSQL Markov chain whose state table is
+// the traffic simulator's car table, queried with SQL between steps.
+TEST(Integration, TrafficAbsAsDatabaseMarkovChain) {
+  using table::DataType;
+  using table::Schema;
+  using table::Table;
+  using table::Value;
+  auto sim = std::make_shared<abs::TrafficSim>([] {
+    abs::TrafficSim::Config cfg;
+    cfg.num_cells = 300;
+    cfg.num_cars = 90;
+    return cfg;
+  }());
+  simsql::MarkovChainDb db;
+  simsql::ChainTableSpec spec;
+  spec.name = "CARS";
+  auto snapshot = [sim]() {
+    Table t{Schema({{"car", DataType::kInt64},
+                    {"pos", DataType::kInt64},
+                    {"speed", DataType::kInt64}})};
+    for (size_t c = 0; c < sim->num_cars(); ++c) {
+      t.Append({Value(static_cast<int64_t>(c)),
+                Value(static_cast<int64_t>(sim->position(c))),
+                Value(static_cast<int64_t>(sim->speed(c)))});
+    }
+    return t;
+  };
+  spec.init = [snapshot](const simsql::DatabaseState&,
+                         Rng&) -> Result<Table> { return snapshot(); };
+  spec.transition = [sim, snapshot](const simsql::DatabaseState&,
+                                    const simsql::DatabaseState&,
+                                    Rng&) -> Result<Table> {
+    sim->Step();
+    return snapshot();
+  };
+  ASSERT_TRUE(db.AddChainTable(std::move(spec)).ok());
+  auto final_state = db.Run(80, 1, 0);
+  ASSERT_TRUE(final_state.ok());
+  // SQL over the simulation state: mean speed of cars in the first third
+  // of the ring.
+  auto mean_speed =
+      table::Query(final_state.value().at("CARS"))
+          .Where("pos", table::CmpOp::kLt, int64_t{100})
+          .GroupByAgg({}, {{table::AggKind::kAvg, "speed", "v"}})
+          .ExecuteScalar();
+  ASSERT_TRUE(mean_speed.ok());
+  EXPECT_GE(mean_speed.value().AsDouble(), 0.0);
+  EXPECT_LE(mean_speed.value().AsDouble(), 5.0);
+}
+
+// Result caching around a *real* epidemic model: M1 generates a synthetic
+// population network (expensive), M2 runs an epidemic season on it
+// (stochastic). The optimizer picks alpha < 1 and the budgeted run obeys
+// the analysis of Section 2.3.
+TEST(Integration, ResultCachingOverEpidemicComposite) {
+  auto m1 = std::make_shared<composite::FunctionModel>(
+      "population",
+      [](const std::vector<double>&, Rng& rng)
+          -> Result<std::vector<double>> {
+        // Output: a population seed (stands in for a serialized network).
+        return std::vector<double>{static_cast<double>(rng.Next() % 100000)};
+      },
+      /*cost=*/50.0);
+  auto m2 = std::make_shared<composite::FunctionModel>(
+      "season",
+      [](const std::vector<double>& in, Rng& rng)
+          -> Result<std::vector<double>> {
+        epi::PopulationConfig pc;
+        pc.num_people = 300;
+        pc.seed = static_cast<uint64_t>(in[0]);
+        epi::DiseaseConfig dc;
+        dc.transmissibility = 0.01;
+        dc.seed = rng.Next();
+        epi::EpidemicSim sim(epi::GeneratePopulation(pc), dc);
+        sim.Advance(30);
+        return std::vector<double>{static_cast<double>(sim.TotalInfected())};
+      },
+      /*cost=*/1.0);
+  auto stats = composite::EstimateStatistics(*m1, *m2, {}, 20, 4, 3);
+  ASSERT_TRUE(stats.ok());
+  const double alpha = composite::OptimalAlpha(stats.value());
+  auto run = composite::RunWithBudget(*m1, *m2, {}, alpha, 2000.0, 5);
+  ASSERT_TRUE(run.ok());
+  EXPECT_LE(run.value().total_cost, 2000.0);
+  EXPECT_GT(run.value().estimate, 0.0);
+  EXPECT_LE(run.value().m1_runs, run.value().m2_runs);
+}
+
+// DOE + metamodel over the epidemic simulator: screen transmissibility vs
+// an inert parameter using a factorial design and main effects.
+TEST(Integration, DoeScreensEpidemicParameters) {
+  Rng rng(11);
+  // Factors: x1 = transmissibility in {0.002, 0.02}; x2 = vaccine efficacy
+  // (inert here because nobody is vaccinated).
+  linalg::Matrix design = doe::FullFactorial(2);
+  linalg::Vector response(design.rows());
+  for (size_t r = 0; r < design.rows(); ++r) {
+    epi::DiseaseConfig dc;
+    dc.transmissibility = design(r, 0) < 0 ? 0.002 : 0.02;
+    dc.vaccine_efficacy = design(r, 1) < 0 ? 0.5 : 0.9;
+    dc.seed = 100 + r;
+    epi::PopulationConfig pc;
+    pc.num_people = 1500;
+    pc.seed = 9;
+    epi::EpidemicSim sim(epi::GeneratePopulation(pc), dc);
+    sim.Advance(40);
+    response[r] = static_cast<double>(sim.TotalInfected());
+  }
+  auto effects = doe::ComputeMainEffects(design, response);
+  ASSERT_TRUE(effects.ok());
+  // Transmissibility dominates the inert factor by an order of magnitude.
+  EXPECT_GT(std::fabs(effects.value()[0].effect),
+            10.0 * std::fabs(effects.value()[1].effect));
+}
+
+// Kriging metamodel of the traffic simulator's density-speed response:
+// "simulation on demand" — after 7 runs, predictions at unseen densities
+// match fresh simulations.
+TEST(Integration, KrigingMetamodelOfTrafficSim) {
+  auto simulate = [](double density) {
+    abs::TrafficSim::Config cfg;
+    cfg.num_cells = 600;
+    cfg.num_cars = static_cast<size_t>(density * 600.0);
+    cfg.seed = 21;
+    abs::TrafficSim sim(cfg);
+    for (int t = 0; t < 150; ++t) sim.Step();
+    double total = 0.0;
+    for (int t = 0; t < 50; ++t) {
+      sim.Step();
+      total += sim.MeanSpeed();
+    }
+    return total / 50.0;
+  };
+  linalg::Matrix design(10, 1);
+  linalg::Vector y(10);
+  for (int i = 0; i < 10; ++i) {
+    design(i, 0) = 0.05 + 0.08 * i;  // densities 0.05 .. 0.77
+    y[i] = simulate(design(i, 0));
+  }
+  metamodel::KrigingModel::Options opt;
+  opt.fit_hyperparameters = true;
+  auto surface = metamodel::KrigingModel::Fit(design, y, opt);
+  ASSERT_TRUE(surface.ok());
+  for (double density : {0.11, 0.35, 0.6}) {
+    EXPECT_NEAR(surface.value().Predict({density}), simulate(density), 0.8)
+        << "density " << density;
+  }
+}
+
+}  // namespace
+}  // namespace mde

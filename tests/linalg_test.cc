@@ -1,0 +1,204 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "linalg/solve.h"
+#include "util/rng.h"
+
+namespace mde::linalg {
+namespace {
+
+TEST(MatrixTest, IdentityMultiplication) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix i = Matrix::Identity(2);
+  Matrix p = a * i;
+  EXPECT_DOUBLE_EQ(p(0, 0), 1);
+  EXPECT_DOUBLE_EQ(p(0, 1), 2);
+  EXPECT_DOUBLE_EQ(p(1, 0), 3);
+  EXPECT_DOUBLE_EQ(p(1, 1), 4);
+}
+
+TEST(MatrixTest, TransposeRoundTrip) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = a.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+  Matrix tt = t.Transpose();
+  EXPECT_DOUBLE_EQ((tt - a).FrobeniusNorm(), 0.0);
+}
+
+TEST(MatrixTest, MatVecProduct) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Vector v = {1, 1};
+  Vector r = a * v;
+  EXPECT_DOUBLE_EQ(r[0], 3);
+  EXPECT_DOUBLE_EQ(r[1], 7);
+}
+
+TEST(VectorOpsTest, DotAndNorm) {
+  Vector a = {3, 4};
+  EXPECT_DOUBLE_EQ(Dot(a, a), 25);
+  EXPECT_DOUBLE_EQ(Norm(a), 5);
+  Vector b = Axpy(a, 2.0, {1, 1});
+  EXPECT_DOUBLE_EQ(b[0], 5);
+  EXPECT_DOUBLE_EQ(b[1], 6);
+}
+
+Tridiagonal MakeSplineLikeSystem(size_t n, Rng& rng) {
+  Tridiagonal t;
+  t.diag.resize(n);
+  t.lower.resize(n - 1);
+  t.upper.resize(n - 1);
+  for (size_t i = 0; i < n; ++i) {
+    t.diag[i] = 4.0 + rng.NextDouble();  // diagonally dominant
+  }
+  for (size_t i = 0; i + 1 < n; ++i) {
+    t.lower[i] = 0.5 + rng.NextDouble() * 0.5;
+    t.upper[i] = 0.5 + rng.NextDouble() * 0.5;
+  }
+  return t;
+}
+
+TEST(TridiagonalTest, ThomasSolvesKnownSystem) {
+  // [2 1; 1 2] x = [3; 3] -> x = [1; 1].
+  Tridiagonal t;
+  t.diag = {2, 2};
+  t.lower = {1};
+  t.upper = {1};
+  auto x = SolveTridiagonal(t, {3, 3});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 1.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 1.0, 1e-12);
+}
+
+TEST(TridiagonalTest, ResidualTinyOnRandomSystems) {
+  Rng rng(42);
+  for (size_t n : {3u, 10u, 100u, 1000u}) {
+    Tridiagonal t = MakeSplineLikeSystem(n, rng);
+    Vector b(n);
+    for (auto& v : b) v = rng.NextDouble() * 10 - 5;
+    auto x = SolveTridiagonal(t, b);
+    ASSERT_TRUE(x.ok());
+    Vector r = t.Apply(x.value());
+    double err = 0;
+    for (size_t i = 0; i < n; ++i) err = std::max(err, std::fabs(r[i] - b[i]));
+    EXPECT_LT(err, 1e-9) << "n=" << n;
+  }
+}
+
+TEST(TridiagonalTest, DenseExpansionMatchesApply) {
+  Rng rng(43);
+  Tridiagonal t = MakeSplineLikeSystem(5, rng);
+  Vector x = {1, -2, 3, -4, 5};
+  Vector via_apply = t.Apply(x);
+  Vector via_dense = t.ToDense() * x;
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(via_apply[i], via_dense[i], 1e-12);
+  }
+}
+
+TEST(CholeskyTest, FactorReconstructs) {
+  Matrix a = Matrix::FromRows({{4, 2, 0}, {2, 5, 1}, {0, 1, 3}});
+  auto l = Cholesky(a);
+  ASSERT_TRUE(l.ok());
+  Matrix rec = l.value() * l.value().Transpose();
+  EXPECT_LT((rec - a).FrobeniusNorm(), 1e-10);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 1}});  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky(a).ok());
+}
+
+TEST(SpdSolveTest, SolvesAgainstKnownSolution) {
+  Matrix a = Matrix::FromRows({{4, 1}, {1, 3}});
+  Vector x_true = {1, 2};
+  Vector b = a * x_true;
+  auto x = SolveSpd(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 1.0, 1e-10);
+  EXPECT_NEAR(x.value()[1], 2.0, 1e-10);
+}
+
+TEST(LuTest, SolvesNonSymmetric) {
+  Matrix a = Matrix::FromRows({{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}});
+  Vector x_true = {1, 2, 3};
+  Vector b = a * x_true;
+  auto x = SolveLu(a, b);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(x.value()[i], x_true[i], 1e-10);
+}
+
+TEST(LuTest, DetectsSingular) {
+  Matrix a = Matrix::FromRows({{1, 2}, {2, 4}});
+  EXPECT_FALSE(SolveLu(a, {1, 1}).ok());
+}
+
+TEST(InverseTest, InverseTimesSelfIsIdentity) {
+  Matrix a = Matrix::FromRows({{2, 1, 0}, {1, 3, 1}, {0, 1, 4}});
+  auto inv = Inverse(a);
+  ASSERT_TRUE(inv.ok());
+  Matrix prod = a * inv.value();
+  EXPECT_LT((prod - Matrix::Identity(3)).FrobeniusNorm(), 1e-10);
+}
+
+TEST(LeastSquaresTest, RecoversExactLinearModel) {
+  // y = 2 + 3x, no noise; X = [1 x].
+  Matrix x(5, 2);
+  Vector y(5);
+  for (size_t i = 0; i < 5; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = static_cast<double>(i);
+    y[i] = 2.0 + 3.0 * static_cast<double>(i);
+  }
+  auto beta = LeastSquares(x, y);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR(beta.value()[0], 2.0, 1e-6);
+  EXPECT_NEAR(beta.value()[1], 3.0, 1e-6);
+}
+
+TEST(LeastSquaresTest, ProjectsNoisyData) {
+  Rng rng(44);
+  const size_t n = 2000;
+  Matrix x(n, 3);
+  Vector y(n);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = rng.NextDouble() * 4 - 2;
+    x(i, 2) = rng.NextDouble() * 4 - 2;
+    y[i] = 1.0 - 2.0 * x(i, 1) + 0.5 * x(i, 2) +
+           (rng.NextDouble() - 0.5) * 0.1;
+  }
+  auto beta = LeastSquares(x, y);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR(beta.value()[0], 1.0, 0.01);
+  EXPECT_NEAR(beta.value()[1], -2.0, 0.01);
+  EXPECT_NEAR(beta.value()[2], 0.5, 0.01);
+}
+
+// Property: Thomas solve matches dense LU solve on random tridiagonal
+// systems of varying size.
+class TridiagonalVsDenseTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TridiagonalVsDenseTest, AgreesWithDenseLu) {
+  Rng rng(100 + GetParam());
+  const size_t n = GetParam();
+  Tridiagonal t = MakeSplineLikeSystem(n, rng);
+  Vector b(n);
+  for (auto& v : b) v = rng.NextDouble();
+  auto fast = SolveTridiagonal(t, b);
+  auto dense = SolveLu(t.ToDense(), b);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(dense.ok());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(fast.value()[i], dense.value()[i], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TridiagonalVsDenseTest,
+                         ::testing::Values(2, 3, 5, 17, 64, 129));
+
+}  // namespace
+}  // namespace mde::linalg

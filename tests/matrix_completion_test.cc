@@ -1,0 +1,115 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dsgd/matrix_completion.h"
+#include "util/thread_pool.h"
+
+namespace mde::dsgd {
+namespace {
+
+TEST(FactorModelTest, PredictionIsDotProduct) {
+  FactorModel m(3, 4, 2, 1);
+  double* w = m.RowFactor(1);
+  double* h = m.ColFactor(2);
+  w[0] = 1.0;
+  w[1] = 2.0;
+  h[0] = 3.0;
+  h[1] = -1.0;
+  EXPECT_DOUBLE_EQ(m.Predict(1, 2), 1.0);
+}
+
+TEST(SyntheticRatingsTest, SplitAndDensity) {
+  RatingsDataset ds = SyntheticRatings(100, 80, 3, 0.2, 0.1, 5);
+  const size_t total = ds.train.size() + ds.test.size();
+  EXPECT_NEAR(static_cast<double>(total), 0.2 * 100 * 80, 200.0);
+  EXPECT_GT(ds.train.size(), ds.test.size() * 3);  // ~85/15 split
+  for (const RatingEntry& e : ds.train) {
+    EXPECT_LT(e.row, 100u);
+    EXPECT_LT(e.col, 80u);
+  }
+}
+
+TEST(CompleteSgdTest, LearnsLowRankStructure) {
+  RatingsDataset ds = SyntheticRatings(120, 90, 3, 0.25, 0.05, 7);
+  CompletionOptions opt;
+  opt.rank = 3;
+  opt.epochs = 40;
+  auto result = CompleteSgd(ds.train, ds.rows, ds.cols, opt);
+  ASSERT_TRUE(result.ok());
+  // Training RMSE decreases and ends near the noise floor.
+  const auto& curve = result.value().rmse_per_epoch;
+  EXPECT_LT(curve.back(), curve.front() * 0.3);
+  EXPECT_LT(curve.back(), 0.3);
+  // Generalization: test RMSE far below the raw value scale (sd ~ rank).
+  EXPECT_LT(result.value().model.Rmse(ds.test), 0.6);
+}
+
+TEST(CompleteSgdTest, RejectsBadInput) {
+  CompletionOptions opt;
+  EXPECT_FALSE(CompleteSgd({}, 10, 10, opt).ok());
+  EXPECT_FALSE(CompleteSgd({{11, 0, 1.0}}, 10, 10, opt).ok());
+}
+
+TEST(CompleteDsgdTest, MatchesSequentialQuality) {
+  RatingsDataset ds = SyntheticRatings(150, 110, 3, 0.2, 0.05, 9);
+  CompletionOptions opt;
+  opt.rank = 3;
+  opt.epochs = 40;
+  opt.blocks = 4;
+  ThreadPool pool(4);
+  auto seq = CompleteSgd(ds.train, ds.rows, ds.cols, opt);
+  auto par = CompleteDsgd(ds.train, ds.rows, ds.cols, pool, opt);
+  ASSERT_TRUE(seq.ok() && par.ok());
+  const double seq_rmse = seq.value().model.Rmse(ds.test);
+  const double par_rmse = par.value().model.Rmse(ds.test);
+  // The Gemulla et al. result: stratified DSGD matches sequential SGD.
+  EXPECT_LT(par_rmse, seq_rmse * 1.3);
+  EXPECT_LT(par_rmse, 0.6);
+}
+
+TEST(CompleteDsgdTest, RmseDecreasesMonotonicallyEnough) {
+  RatingsDataset ds = SyntheticRatings(80, 80, 2, 0.3, 0.05, 11);
+  CompletionOptions opt;
+  opt.rank = 2;
+  opt.epochs = 25;
+  ThreadPool pool(2);
+  auto result = CompleteDsgd(ds.train, ds.rows, ds.cols, pool, opt);
+  ASSERT_TRUE(result.ok());
+  const auto& curve = result.value().rmse_per_epoch;
+  // Allow transient bumps but require overall descent.
+  EXPECT_LT(curve.back(), curve.front() * 0.5);
+}
+
+TEST(CompleteDsgdTest, SingleBlockDegeneratesToSequentialStructure) {
+  RatingsDataset ds = SyntheticRatings(50, 50, 2, 0.3, 0.05, 13);
+  CompletionOptions opt;
+  opt.rank = 2;
+  opt.epochs = 15;
+  opt.blocks = 1;
+  ThreadPool pool(2);
+  auto result = CompleteDsgd(ds.train, ds.rows, ds.cols, pool, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.value().rmse_per_epoch.back(), 0.6);
+}
+
+// Property: more observed data -> better test RMSE (at fixed effort).
+class DensitySweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DensitySweepTest, TestRmseReasonable) {
+  RatingsDataset ds = SyntheticRatings(100, 100, 2, GetParam(), 0.05, 17);
+  CompletionOptions opt;
+  opt.rank = 2;
+  opt.epochs = 30;
+  ThreadPool pool(2);
+  auto result = CompleteDsgd(ds.train, ds.rows, ds.cols, pool, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.value().model.Rmse(ds.test), 1.0)
+      << "density " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, DensitySweepTest,
+                         ::testing::Values(0.15, 0.3, 0.5));
+
+}  // namespace
+}  // namespace mde::dsgd

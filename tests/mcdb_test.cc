@@ -1,0 +1,273 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mcdb/bundle.h"
+#include "mcdb/estimators.h"
+#include "mcdb/mcdb.h"
+#include "mcdb/vg_function.h"
+#include "table/query.h"
+#include "util/distributions.h"
+#include "util/stats.h"
+
+namespace mde::mcdb {
+namespace {
+
+using table::CmpOp;
+using table::DataType;
+using table::Row;
+using table::Schema;
+using table::Table;
+using table::Value;
+
+/// Builds the paper's SBP example: PATIENTS plus a single-row SBP_PARAM
+/// table holding (mean, std), and the stochastic SBP_DATA spec.
+MonteCarloDb MakeSbpDb(double mean, double std, size_t patients) {
+  MonteCarloDb db;
+  Table p{Schema({{"PID", DataType::kInt64}, {"GENDER", DataType::kString}})};
+  for (size_t i = 0; i < patients; ++i) {
+    p.Append({Value(static_cast<int64_t>(i)), Value(i % 2 ? "M" : "F")});
+  }
+  EXPECT_TRUE(db.AddTable("PATIENTS", std::move(p)).ok());
+  Table param{Schema({{"MEAN", DataType::kDouble},
+                      {"STD", DataType::kDouble}})};
+  param.Append({Value(mean), Value(std)});
+  EXPECT_TRUE(db.AddTable("SBP_PARAM", std::move(param)).ok());
+
+  StochasticTableSpec spec;
+  spec.name = "SBP_DATA";
+  spec.outer_table = "PATIENTS";
+  spec.vg = std::make_shared<NormalVg>();
+  spec.param_binder = [](const Row&, const DatabaseInstance& det)
+      -> Result<Row> {
+    // WITH SBP AS Normal((SELECT s.MEAN, s.STD FROM SBP_PARAM s)).
+    const Table& param = det.at("SBP_PARAM");
+    return Row{param.row(0)[0], param.row(0)[1]};
+  };
+  spec.output_schema = Schema({{"PID", DataType::kInt64},
+                               {"GENDER", DataType::kString},
+                               {"SBP", DataType::kDouble}});
+  spec.projector = [](const Row& outer, const Row& vg) {
+    return Row{outer[0], outer[1], vg[0]};
+  };
+  EXPECT_TRUE(db.AddStochasticTable(std::move(spec)).ok());
+  return db;
+}
+
+TEST(VgFunctionTest, NormalShape) {
+  NormalVg vg;
+  Rng rng(1);
+  std::vector<Row> out;
+  ASSERT_TRUE(vg.Generate({Value(10.0), Value(0.0)}, rng, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0][0].AsDouble(), 10.0);  // zero std
+  EXPECT_FALSE(vg.Generate({Value(1.0)}, rng, &out).ok());  // arity
+}
+
+TEST(VgFunctionTest, PoissonNonNegative) {
+  PoissonVg vg;
+  Rng rng(2);
+  std::vector<Row> out;
+  for (int i = 0; i < 100; ++i) {
+    out.clear();
+    ASSERT_TRUE(vg.Generate({Value(3.0)}, rng, &out).ok());
+    EXPECT_GE(out[0][0].AsInt(), 0);
+  }
+}
+
+TEST(VgFunctionTest, BackwardWalkProducesSteps) {
+  BackwardRandomWalkVg vg;
+  Rng rng(3);
+  std::vector<Row> out;
+  ASSERT_TRUE(vg.Generate({Value(100.0), Value(0.001), Value(0.02),
+                           Value(int64_t{5})},
+                          rng, &out)
+                  .ok());
+  EXPECT_EQ(out.size(), 5u);
+  for (const Row& r : out) EXPECT_GT(r[1].AsDouble(), 0.0);
+  EXPECT_EQ(out[0][0].AsInt(), -1);
+  EXPECT_EQ(out[4][0].AsInt(), -5);
+}
+
+TEST(VgFunctionTest, BayesianDemandRespondsToPrice) {
+  BayesianDemandVg vg;
+  Rng rng(4);
+  // High price should produce lower average demand than low price.
+  auto mean_demand = [&](double price) {
+    double total = 0;
+    std::vector<Row> out;
+    for (int i = 0; i < 3000; ++i) {
+      out.clear();
+      EXPECT_TRUE(vg.Generate({Value(2.0), Value(1.0), Value(20.0),
+                               Value(10.0), Value(price), Value(10.0),
+                               Value(1.5)},
+                              rng, &out)
+                      .ok());
+      total += static_cast<double>(out[0][0].AsInt());
+    }
+    return total / 3000;
+  };
+  EXPECT_GT(mean_demand(5.0), mean_demand(20.0) * 1.5);
+}
+
+TEST(McdbTest, InstantiateRealizesStochasticTable) {
+  MonteCarloDb db = MakeSbpDb(120.0, 10.0, 50);
+  auto inst = db.Instantiate(7, 0);
+  ASSERT_TRUE(inst.ok());
+  const Table& sbp = inst.value().at("SBP_DATA");
+  EXPECT_EQ(sbp.num_rows(), 50u);
+  // Values look like draws around 120.
+  double mean = table::AvgColumn(sbp, "SBP").value();
+  EXPECT_NEAR(mean, 120.0, 10.0);
+}
+
+TEST(McdbTest, DifferentRepsDiffer) {
+  MonteCarloDb db = MakeSbpDb(120.0, 10.0, 10);
+  auto a = db.Instantiate(7, 0);
+  auto b = db.Instantiate(7, 1);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a.value().at("SBP_DATA").row(0)[2].AsDouble(),
+            b.value().at("SBP_DATA").row(0)[2].AsDouble());
+}
+
+TEST(McdbTest, SameRepReproducible) {
+  MonteCarloDb db = MakeSbpDb(120.0, 10.0, 10);
+  auto a = db.Instantiate(7, 3);
+  auto b = db.Instantiate(7, 3);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a.value().at("SBP_DATA").row(5)[2].AsDouble(),
+                   b.value().at("SBP_DATA").row(5)[2].AsDouble());
+}
+
+TEST(McdbTest, DuplicateNamesRejected) {
+  MonteCarloDb db = MakeSbpDb(120.0, 10.0, 5);
+  Table t{Schema({{"x", DataType::kInt64}})};
+  EXPECT_FALSE(db.AddTable("PATIENTS", t).ok());
+}
+
+TEST(McdbTest, NaiveMonteCarloEstimatesQueryDistribution) {
+  MonteCarloDb db = MakeSbpDb(120.0, 15.0, 200);
+  // Query: average SBP over all patients.
+  auto query = [](const DatabaseInstance& inst) -> Result<double> {
+    return table::AvgColumn(inst.at("SBP_DATA"), "SBP");
+  };
+  auto samples = db.RunNaive(query, 50, 11);
+  ASSERT_TRUE(samples.ok());
+  auto summary = Summarize(samples.value());
+  ASSERT_TRUE(summary.ok());
+  EXPECT_NEAR(summary.value().mean, 120.0, 1.0);
+  // Std error of a 200-patient average with sd 15 is ~1.06.
+  EXPECT_NEAR(std::sqrt(summary.value().variance), 15.0 / std::sqrt(200.0),
+              0.5);
+}
+
+TEST(BundleTest, GenerationShape) {
+  MonteCarloDb db = MakeSbpDb(120.0, 10.0, 30);
+  auto bundles =
+      GenerateBundles(db, db.stochastic_specs()[0], "SBP", 64, 13);
+  ASSERT_TRUE(bundles.ok());
+  EXPECT_EQ(bundles.value().num_rows(), 30u);
+  EXPECT_EQ(bundles.value().num_reps(), 64u);
+}
+
+TEST(BundleTest, AggregateMatchesNaiveDistribution) {
+  MonteCarloDb db = MakeSbpDb(120.0, 15.0, 100);
+  const size_t reps = 200;
+  auto bundles =
+      GenerateBundles(db, db.stochastic_specs()[0], "SBP", reps, 17);
+  ASSERT_TRUE(bundles.ok());
+  auto sums = bundles.value().AggregateAvg("SBP");
+  ASSERT_TRUE(sums.ok());
+  EXPECT_EQ(sums.value().size(), reps);
+  EXPECT_NEAR(Mean(sums.value()), 120.0, 1.0);
+  EXPECT_NEAR(StdDev(sums.value()), 15.0 / std::sqrt(100.0), 0.4);
+}
+
+TEST(BundleTest, FilterDetAppliesOnce) {
+  MonteCarloDb db = MakeSbpDb(120.0, 10.0, 40);
+  auto bundles =
+      GenerateBundles(db, db.stochastic_specs()[0], "SBP", 16, 19);
+  ASSERT_TRUE(bundles.ok());
+  auto pred = table::ColumnCompare(bundles.value().det_schema(), "GENDER",
+                                   CmpOp::kEq, "F");
+  ASSERT_TRUE(pred.ok());
+  BundleTable females = bundles.value().FilterDet(pred.value());
+  EXPECT_EQ(females.num_rows(), 20u);
+}
+
+TEST(BundleTest, FilterStochIsPerRepetition) {
+  MonteCarloDb db = MakeSbpDb(120.0, 15.0, 50);
+  auto bundles =
+      GenerateBundles(db, db.stochastic_specs()[0], "SBP", 32, 23);
+  ASSERT_TRUE(bundles.ok());
+  auto high = bundles.value().FilterStoch("SBP", CmpOp::kGt, 120.0);
+  ASSERT_TRUE(high.ok());
+  auto counts = high.value().AggregateCount();
+  // About half the patients exceed the mean in each repetition.
+  EXPECT_NEAR(Mean(counts), 25.0, 5.0);
+  // Counts vary across repetitions (the per-rep masks differ).
+  EXPECT_GT(StdDev(counts), 0.5);
+}
+
+TEST(BundleTest, MapStochComputesDerivedAttribute) {
+  MonteCarloDb db = MakeSbpDb(120.0, 10.0, 10);
+  auto bundles =
+      GenerateBundles(db, db.stochastic_specs()[0], "SBP", 8, 29);
+  ASSERT_TRUE(bundles.ok());
+  auto mapped = bundles.value().MapStoch(
+      "SBP_SHIFT", [](const Row&, const std::vector<double>& s) {
+        return s[0] - 100.0;
+      });
+  ASSERT_TRUE(mapped.ok());
+  auto a = mapped.value().AggregateSum("SBP").value();
+  auto b = mapped.value().AggregateSum("SBP_SHIFT").value();
+  for (size_t rep = 0; rep < a.size(); ++rep) {
+    EXPECT_NEAR(a[rep] - b[rep], 1000.0, 1e-9);  // 10 rows * 100
+  }
+}
+
+TEST(EstimatorsTest, SummaryFields) {
+  std::vector<double> s = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto sum = Summarize(s);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_DOUBLE_EQ(sum.value().mean, 5.5);
+  EXPECT_DOUBLE_EQ(sum.value().min, 1);
+  EXPECT_DOUBLE_EQ(sum.value().max, 10);
+  EXPECT_DOUBLE_EQ(sum.value().median, 5.5);
+  EXPECT_FALSE(Summarize({}).ok());
+}
+
+TEST(EstimatorsTest, ThresholdProbability) {
+  std::vector<double> s;
+  for (int i = 1; i <= 100; ++i) s.push_back(i);
+  auto est = ThresholdProbability(s, 75.0, 0.95);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est.value().probability, 0.25);
+  EXPECT_GT(est.value().half_width, 0.0);
+}
+
+TEST(EstimatorsTest, ExtremeQuantileBrackets) {
+  Rng rng(31);
+  std::vector<double> s;
+  for (int i = 0; i < 20000; ++i) s.push_back(SampleNormal(rng, 0, 1));
+  auto est = ExtremeQuantile(s, 0.99, 0.95);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est.value().value, 2.326, 0.1);
+  EXPECT_LE(est.value().ci_low, est.value().value);
+  EXPECT_GE(est.value().ci_high, est.value().value);
+}
+
+TEST(EstimatorsTest, GroupThreshold) {
+  std::vector<GroupSamples> groups = {
+      {"declines", {0.03, 0.04, 0.05, 0.01, 0.06}},
+      {"stable", {0.0, 0.01, 0.0, 0.01, 0.0}},
+  };
+  // Which groups decline by > 2% with >= 50% probability?
+  auto hits = GroupsExceedingThreshold(groups, 0.02, 0.5);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits.value().size(), 1u);
+  EXPECT_EQ(hits.value()[0], "declines");
+}
+
+}  // namespace
+}  // namespace mde::mcdb

@@ -1,0 +1,200 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "metamodel/kriging.h"
+#include "metamodel/polynomial.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace mde::metamodel {
+namespace {
+
+TEST(PolynomialTest, FitsExactLinearResponse) {
+  // y = 1 + 2 x1 - 3 x2 on a 2^2 factorial.
+  linalg::Matrix x = linalg::Matrix::FromRows(
+      {{-1, -1}, {1, -1}, {-1, 1}, {1, 1}});
+  linalg::Vector y(4);
+  for (size_t r = 0; r < 4; ++r) y[r] = 1 + 2 * x(r, 0) - 3 * x(r, 1);
+  PolynomialMetamodel::Options opt;
+  opt.max_interaction_order = 1;
+  auto m = PolynomialMetamodel::Fit(x, y, opt);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m.value().coefficients()[0], 1.0, 1e-8);
+  EXPECT_NEAR(m.value().MainEffect(0), 2.0, 1e-8);
+  EXPECT_NEAR(m.value().MainEffect(1), -3.0, 1e-8);
+  EXPECT_NEAR(m.value().r_squared(), 1.0, 1e-9);
+  EXPECT_NEAR(m.value().Predict({0.5, 0.5}), 1.0 + 1.0 - 1.5, 1e-8);
+}
+
+TEST(PolynomialTest, InteractionTerms) {
+  // y = x1 * x2 needs order-2 terms.
+  linalg::Matrix x = linalg::Matrix::FromRows(
+      {{-1, -1}, {1, -1}, {-1, 1}, {1, 1}});
+  linalg::Vector y = {1, -1, -1, 1};
+  PolynomialMetamodel::Options lin{1};
+  PolynomialMetamodel::Options quad{2};
+  auto linear = PolynomialMetamodel::Fit(x, y, lin);
+  auto full = PolynomialMetamodel::Fit(x, y, quad);
+  ASSERT_TRUE(linear.ok() && full.ok());
+  EXPECT_LT(linear.value().r_squared(), 0.1);  // linear can't see it
+  EXPECT_NEAR(full.value().r_squared(), 1.0, 1e-9);
+  // The interaction coefficient is the last term (x1*x2).
+  EXPECT_NEAR(full.value().coefficients().back(), 1.0, 1e-8);
+}
+
+TEST(PolynomialTest, TermNamesEnumerated) {
+  linalg::Matrix x = linalg::Matrix::FromRows(
+      {{-1, -1, -1}, {1, -1, -1}, {-1, 1, -1}, {1, 1, -1},
+       {-1, -1, 1}, {1, -1, 1}, {-1, 1, 1}, {1, 1, 1}});
+  linalg::Vector y(8, 0.0);
+  PolynomialMetamodel::Options opt{3};
+  auto m = PolynomialMetamodel::Fit(x, y, opt);
+  ASSERT_TRUE(m.ok());
+  const auto& names = m.value().term_names();
+  ASSERT_EQ(names.size(), 8u);  // 1 + 3 + 3 + 1
+  EXPECT_EQ(names[0], "1");
+  EXPECT_EQ(names[1], "x1");
+  EXPECT_EQ(names[4], "x1*x2");
+  EXPECT_EQ(names[7], "x1*x2*x3");
+}
+
+TEST(PolynomialTest, RejectsUnderdeterminedFit) {
+  linalg::Matrix x = linalg::Matrix::FromRows({{-1, -1}, {1, 1}});
+  linalg::Vector y = {0, 1};
+  PolynomialMetamodel::Options opt{2};  // 4 terms > 2 runs
+  EXPECT_FALSE(PolynomialMetamodel::Fit(x, y, opt).ok());
+}
+
+linalg::Matrix Grid1D(size_t n, double lo, double hi) {
+  linalg::Matrix x(n, 1);
+  for (size_t i = 0; i < n; ++i) {
+    x(i, 0) = lo + (hi - lo) * static_cast<double>(i) / (n - 1);
+  }
+  return x;
+}
+
+TEST(KrigingTest, InterpolatesDesignPointsExactly) {
+  linalg::Matrix x = Grid1D(8, 0.0, 7.0);
+  linalg::Vector y(8);
+  for (size_t i = 0; i < 8; ++i) y[i] = std::sin(x(i, 0));
+  KrigingModel::Options opt;
+  opt.theta = {1.0};
+  auto m = KrigingModel::Fit(x, y, opt);
+  ASSERT_TRUE(m.ok());
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(m.value().Predict({x(i, 0)}), y[i], 1e-5);
+    EXPECT_NEAR(m.value().PredictVariance({x(i, 0)}), 0.0, 1e-4);
+  }
+}
+
+TEST(KrigingTest, PredictsSmoothFunctionBetweenPoints) {
+  linalg::Matrix x = Grid1D(15, 0.0, 6.28);
+  linalg::Vector y(15);
+  for (size_t i = 0; i < 15; ++i) y[i] = std::sin(x(i, 0));
+  KrigingModel::Options opt;
+  opt.theta = {2.0};
+  auto m = KrigingModel::Fit(x, y, opt);
+  ASSERT_TRUE(m.ok());
+  double max_err = 0.0;
+  for (double t = 0.2; t < 6.1; t += 0.05) {
+    max_err = std::max(max_err,
+                       std::fabs(m.value().Predict({t}) - std::sin(t)));
+  }
+  EXPECT_LT(max_err, 0.05);
+}
+
+TEST(KrigingTest, VarianceGrowsAwayFromDesign) {
+  linalg::Matrix x = Grid1D(5, 0.0, 4.0);
+  linalg::Vector y = {0, 1, 0, -1, 0};
+  KrigingModel::Options opt;
+  opt.theta = {1.0};
+  auto m = KrigingModel::Fit(x, y, opt);
+  ASSERT_TRUE(m.ok());
+  EXPECT_GT(m.value().PredictVariance({10.0}),
+            m.value().PredictVariance({2.1}));
+}
+
+TEST(KrigingTest, HyperparameterFitImprovesLikelihood) {
+  Rng rng(5);
+  // Data from a fast-varying function: theta = 1 underfits unless tuned.
+  linalg::Matrix x = Grid1D(20, 0.0, 2.0);
+  linalg::Vector y(20);
+  for (size_t i = 0; i < 20; ++i) y[i] = std::sin(8.0 * x(i, 0));
+  auto ll_before = KrigingLogLikelihood(x, y, {0.01}, 1e-8);
+  ASSERT_TRUE(ll_before.ok());
+  KrigingModel::Options opt;
+  opt.theta = {0.01};
+  opt.fit_hyperparameters = true;
+  auto m = KrigingModel::Fit(x, y, opt);
+  ASSERT_TRUE(m.ok());
+  auto ll_after = KrigingLogLikelihood(x, y, m.value().theta(), 1e-8);
+  ASSERT_TRUE(ll_after.ok());
+  EXPECT_GT(ll_after.value(), ll_before.value());
+  EXPECT_GT(m.value().theta()[0], 0.5);  // learned a shorter length scale
+}
+
+TEST(StochasticKrigingTest, SmoothsNoisyObservationsInsteadOfInterpolating) {
+  Rng rng(7);
+  // True surface y = x^2 observed with heavy noise, 10 reps per point.
+  linalg::Matrix x = Grid1D(9, -2.0, 2.0);
+  linalg::Vector ybar(9);
+  std::vector<double> point_var(9);
+  const double noise_sd = 0.5;
+  const size_t reps = 10;
+  for (size_t i = 0; i < 9; ++i) {
+    double sum = 0.0;
+    std::vector<double> obs;
+    for (size_t r = 0; r < reps; ++r) {
+      obs.push_back(x(i, 0) * x(i, 0) +
+                    SampleNormal(rng, 0.0, noise_sd));
+      sum += obs.back();
+    }
+    ybar[i] = sum / reps;
+    point_var[i] = noise_sd * noise_sd / reps;  // Var of the average
+  }
+  KrigingModel::Options opt;
+  opt.theta = {0.5};
+  opt.tau2 = 2.0;
+  auto det = KrigingModel::Fit(x, ybar, opt);
+  auto stoch = KrigingModel::FitStochastic(x, ybar, point_var, opt);
+  ASSERT_TRUE(det.ok() && stoch.ok());
+  // Deterministic kriging interpolates the noisy ybar exactly; stochastic
+  // kriging shrinks toward the trend, giving smaller true-surface error.
+  double det_err = 0.0, stoch_err = 0.0;
+  for (double t = -1.9; t <= 1.9; t += 0.1) {
+    det_err += std::fabs(det.value().Predict({t}) - t * t);
+    stoch_err += std::fabs(stoch.value().Predict({t}) - t * t);
+  }
+  EXPECT_LT(stoch_err, det_err * 1.05);
+}
+
+TEST(KrigingTest, MultiDimensional) {
+  // y = x1^2 + x2 on a 5x5 grid.
+  std::vector<linalg::Vector> rows;
+  linalg::Vector y;
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      const double a = -1.0 + 0.5 * i;
+      const double b = -1.0 + 0.5 * j;
+      rows.push_back({a, b});
+      y.push_back(a * a + b);
+    }
+  }
+  linalg::Matrix x = linalg::Matrix::FromRows(rows);
+  KrigingModel::Options opt;
+  opt.theta = {1.0, 1.0};
+  auto m = KrigingModel::Fit(x, y, opt);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m.value().Predict({0.25, -0.25}), 0.0625 - 0.25, 0.02);
+}
+
+TEST(KrigingTest, RejectsBadInput) {
+  linalg::Matrix x = Grid1D(3, 0, 2);
+  EXPECT_FALSE(KrigingModel::Fit(x, {1.0, 2.0}, {}).ok());
+  EXPECT_FALSE(
+      KrigingModel::FitStochastic(x, {1, 2, 3}, {0.1, 0.1}, {}).ok());
+}
+
+}  // namespace
+}  // namespace mde::metamodel

@@ -1,0 +1,84 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "abs/multilane.h"
+
+namespace mde::abs {
+namespace {
+
+TEST(MultiLaneTest, NoCollisionsEver) {
+  MultiLaneTraffic::Config cfg;
+  cfg.num_cells = 300;
+  cfg.num_lanes = 3;
+  cfg.num_cars = 250;
+  MultiLaneTraffic sim(cfg);
+  for (int t = 0; t < 200; ++t) {
+    sim.Step();
+    std::set<std::pair<size_t, size_t>> slots;
+    for (size_t c = 0; c < sim.num_cars(); ++c) {
+      EXPECT_TRUE(slots.insert({sim.lane(c), sim.position(c)}).second)
+          << "two cars share a slot at t=" << t;
+    }
+  }
+}
+
+TEST(MultiLaneTest, LaneChangesHappenUnderCongestion) {
+  MultiLaneTraffic::Config cfg;
+  cfg.num_cells = 500;
+  cfg.num_lanes = 2;
+  cfg.num_cars = 300;  // 30% density: plenty of blocking
+  MultiLaneTraffic sim(cfg);
+  for (int t = 0; t < 100; ++t) sim.Step();
+  EXPECT_GT(sim.total_lane_changes(), 50u);
+}
+
+TEST(MultiLaneTest, NoLaneChangesOnSingleLane) {
+  MultiLaneTraffic::Config cfg;
+  cfg.num_lanes = 1;
+  cfg.num_cells = 200;
+  cfg.num_cars = 60;
+  MultiLaneTraffic sim(cfg);
+  for (int t = 0; t < 50; ++t) sim.Step();
+  EXPECT_EQ(sim.total_lane_changes(), 0u);
+}
+
+TEST(MultiLaneTest, SecondLaneImprovesFlowAtModerateDensity) {
+  // Same total density: 1 lane with n cars per cell-lane vs 2 lanes.
+  auto mean_speed = [](size_t lanes, size_t cars, uint64_t seed) {
+    MultiLaneTraffic::Config cfg;
+    cfg.num_cells = 600;
+    cfg.num_lanes = lanes;
+    cfg.num_cars = cars;
+    cfg.seed = seed;
+    MultiLaneTraffic sim(cfg);
+    for (int t = 0; t < 300; ++t) sim.Step();
+    double total = 0.0;
+    for (int t = 0; t < 100; ++t) {
+      sim.Step();
+      total += sim.MeanSpeed();
+    }
+    return total / 100.0;
+  };
+  // 20% density in both cases; lane changing lets drivers route around
+  // local jams, so the two-lane road flows at least as well.
+  const double one = mean_speed(1, 120, 5);
+  const double two = mean_speed(2, 240, 5);
+  EXPECT_GE(two, one * 0.98);
+}
+
+TEST(MultiLaneTest, SpeedsBounded) {
+  MultiLaneTraffic::Config cfg;
+  cfg.num_cars = 100;
+  MultiLaneTraffic sim(cfg);
+  for (int t = 0; t < 100; ++t) {
+    sim.Step();
+    for (size_t c = 0; c < sim.num_cars(); ++c) {
+      EXPECT_GE(sim.speed(c), 0);
+      EXPECT_LE(sim.speed(c), cfg.max_speed);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mde::abs

@@ -1,0 +1,154 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "pdesmas/ssv.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace mde::pdesmas {
+namespace {
+
+TEST(SsvTest, TimestampedReads) {
+  SharedStateVariable v;
+  EXPECT_FALSE(v.Current().ok());
+  ASSERT_TRUE(v.Write(1.0, 10.0).ok());
+  ASSERT_TRUE(v.Write(3.0, 30.0).ok());
+  EXPECT_FALSE(v.ValueAt(0.5).ok());      // before first write
+  EXPECT_DOUBLE_EQ(v.ValueAt(1.0).value(), 10.0);
+  EXPECT_DOUBLE_EQ(v.ValueAt(2.9).value(), 10.0);
+  EXPECT_DOUBLE_EQ(v.ValueAt(3.0).value(), 30.0);
+  EXPECT_DOUBLE_EQ(v.ValueAt(99.0).value(), 30.0);
+  EXPECT_DOUBLE_EQ(v.Current().value(), 30.0);
+}
+
+TEST(SsvTest, RejectsOutOfOrderWrites) {
+  SharedStateVariable v;
+  ASSERT_TRUE(v.Write(5.0, 1.0).ok());
+  EXPECT_FALSE(v.Write(4.0, 2.0).ok());
+  EXPECT_TRUE(v.Write(5.0, 3.0).ok());  // equal time allowed
+}
+
+TEST(ClpTreeTest, CurrentRangeQueryMatchesBruteForce) {
+  Rng rng(1);
+  const size_t n = 500;
+  ClpTree tree(n, 16);
+  std::vector<double> current(n);
+  for (size_t id = 0; id < n; ++id) {
+    current[id] = rng.NextDouble() * 100.0;
+    ASSERT_TRUE(tree.Write(id, 0.0, current[id]).ok());
+  }
+  for (auto [lo, hi] : std::vector<std::pair<double, double>>{
+           {10.0, 20.0}, {0.0, 100.0}, {95.0, 99.0}, {50.0, 50.0}}) {
+    auto got = tree.CurrentRangeQuery(lo, hi);
+    std::vector<size_t> want;
+    for (size_t id = 0; id < n; ++id) {
+      if (current[id] >= lo && current[id] <= hi) want.push_back(id);
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want) << "range [" << lo << ", " << hi << "]";
+  }
+}
+
+TEST(ClpTreeTest, PruningVisitsFewNodesForNarrowQueries) {
+  // Writes are sorted by id (position ~ id), so narrow range queries prune
+  // most of the tree.
+  const size_t n = 4096;
+  ClpTree tree(n, 8);
+  for (size_t id = 0; id < n; ++id) {
+    ASSERT_TRUE(tree.Write(id, 0.0, static_cast<double>(id)).ok());
+  }
+  tree.CurrentRangeQuery(100.0, 110.0);
+  const size_t narrow = tree.last_query_nodes_visited();
+  tree.CurrentRangeQuery(0.0, 5000.0);
+  const size_t wide = tree.last_query_nodes_visited();
+  EXPECT_LT(narrow * 10, wide);
+}
+
+TEST(ClpTreeTest, TimestampedQueriesSeeConsistentSnapshots) {
+  // Two "agents" advance at different rates: agent 0 writes at t=1,2,3;
+  // agent 1 only at t=1. A query at t=2 must see agent 1's t=1 value.
+  ClpTree tree(2, 1);
+  ASSERT_TRUE(tree.Write(0, 1.0, 10.0).ok());
+  ASSERT_TRUE(tree.Write(1, 1.0, 20.0).ok());
+  ASSERT_TRUE(tree.Write(0, 2.0, 11.0).ok());
+  ASSERT_TRUE(tree.Write(0, 3.0, 99.0).ok());
+  auto at2 = tree.RangeQueryAt(2.0, 0.0, 50.0);
+  std::sort(at2.begin(), at2.end());
+  EXPECT_EQ(at2, (std::vector<size_t>{0, 1}));  // 11 and 20 both in range
+  // At t=3 agent 0's value 99 left the range.
+  auto at3 = tree.RangeQueryAt(3.0, 0.0, 50.0);
+  EXPECT_EQ(at3, (std::vector<size_t>{1}));
+}
+
+TEST(ClpTreeTest, TimestampedMatchesBruteForceUnderRandomWrites) {
+  Rng rng(2);
+  const size_t n = 100;
+  ClpTree tree(n, 4);
+  // Each SSV gets writes at random times with random values ("ALPs at
+  // different rates").
+  std::vector<std::vector<std::pair<double, double>>> history(n);
+  for (size_t id = 0; id < n; ++id) {
+    double t = 0.0;
+    const size_t writes = 1 + rng.NextBounded(5);
+    for (size_t w = 0; w < writes; ++w) {
+      t += 0.1 + rng.NextDouble();
+      const double v = rng.NextDouble() * 10.0;
+      history[id].push_back({t, v});
+      ASSERT_TRUE(tree.Write(id, t, v).ok());
+    }
+  }
+  for (double t : {0.5, 1.5, 3.0, 10.0}) {
+    auto got = tree.RangeQueryAt(t, 2.0, 8.0);
+    std::set<size_t> got_set(got.begin(), got.end());
+    for (size_t id = 0; id < n; ++id) {
+      double latest = -1.0;
+      bool has = false;
+      for (auto [wt, wv] : history[id]) {
+        if (wt <= t) {
+          latest = wv;
+          has = true;
+        }
+      }
+      const bool want = has && latest >= 2.0 && latest <= 8.0;
+      EXPECT_EQ(got_set.count(id) > 0, want) << "id=" << id << " t=" << t;
+    }
+  }
+}
+
+TEST(ClpTreeTest, LeafAccessCountsTrackLoad) {
+  ClpTree tree(64, 8);
+  // Hammer the first SSV range with writes.
+  for (int w = 0; w < 100; ++w) {
+    ASSERT_TRUE(tree.Write(3, static_cast<double>(w), 1.0).ok());
+  }
+  ASSERT_TRUE(tree.Write(60, 0.0, 5.0).ok());
+  auto counts = tree.LeafAccessCounts();
+  ASSERT_EQ(counts.size(), 8u);
+  // The hot leaf (holding SSV 3) dominates the others — the imbalance
+  // signal PDES-MAS reconfiguration would act on.
+  const size_t hot = counts[0];
+  EXPECT_GE(hot, 100u);
+  size_t others = 0;
+  for (size_t i = 1; i < counts.size(); ++i) others += counts[i];
+  EXPECT_LT(others, hot);
+}
+
+TEST(ClpTreeTest, LeafSizeTradesPruningForDepth) {
+  const size_t n = 1024;
+  auto nodes_for = [&](size_t leaf) {
+    ClpTree tree(n, leaf);
+    for (size_t id = 0; id < n; ++id) {
+      EXPECT_TRUE(tree.Write(id, 0.0, static_cast<double>(id)).ok());
+    }
+    tree.CurrentRangeQuery(10.0, 20.0);
+    return tree.last_query_nodes_visited();
+  };
+  // A finer tree visits more nodes but scans fewer SSVs; both finish. This
+  // is the reconfiguration trade-off PDES-MAS tunes dynamically.
+  EXPECT_GT(nodes_for(2), nodes_for(256));
+}
+
+}  // namespace
+}  // namespace mde::pdesmas

@@ -1,0 +1,122 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "doe/designs.h"
+#include "screening/screening.h"
+#include "util/distributions.h"
+
+namespace mde::screening {
+namespace {
+
+/// Linear response with positive main effects for the given important
+/// factors (the sequential-bifurcation model assumptions).
+ScreeningResponse MakeLinearResponse(const std::vector<double>& beta,
+                                     double noise_sd) {
+  return [beta, noise_sd](const std::vector<int>& levels, Rng& rng) {
+    double y = 10.0;
+    for (size_t f = 0; f < beta.size(); ++f) {
+      y += beta[f] * static_cast<double>(levels[f]);
+    }
+    return y + SampleNormal(rng, 0.0, noise_sd);
+  };
+}
+
+TEST(SequentialBifurcationTest, FindsImportantFactors) {
+  std::vector<double> beta(64, 0.0);
+  beta[3] = 4.0;
+  beta[17] = 3.0;
+  beta[50] = 5.0;
+  auto result = SequentialBifurcation(MakeLinearResponse(beta, 0.05), 64,
+                                      /*effect_threshold=*/1.0,
+                                      /*replications=*/3, 7);
+  EXPECT_EQ(result.important, (std::vector<size_t>{3, 17, 50}));
+}
+
+TEST(SequentialBifurcationTest, FarFewerRunsThanOneAtATime) {
+  std::vector<double> beta(64, 0.0);
+  beta[10] = 4.0;
+  beta[42] = 4.0;
+  auto sb = SequentialBifurcation(MakeLinearResponse(beta, 0.05), 64, 1.0, 3,
+                                  11);
+  auto oat = OneAtATimeScreening(MakeLinearResponse(beta, 0.05), 64, 1.0, 3,
+                                 11);
+  EXPECT_EQ(sb.important, oat.important);
+  // Group testing wins decisively: O(k log n) vs n+1 staircase points.
+  EXPECT_LT(sb.runs_used * 2, oat.runs_used);
+}
+
+TEST(SequentialBifurcationTest, NoImportantFactorsOneTest) {
+  std::vector<double> beta(32, 0.0);
+  auto result = SequentialBifurcation(MakeLinearResponse(beta, 0.01), 32,
+                                      1.0, 2, 13);
+  EXPECT_TRUE(result.important.empty());
+  // Only the two endpoint staircase evaluations are needed.
+  EXPECT_LE(result.runs_used, 2u * 2u);
+}
+
+TEST(SequentialBifurcationTest, AllFactorsImportant) {
+  std::vector<double> beta(8, 3.0);
+  auto result = SequentialBifurcation(MakeLinearResponse(beta, 0.05), 8, 1.0,
+                                      3, 17);
+  EXPECT_EQ(result.important.size(), 8u);
+}
+
+TEST(SequentialBifurcationTest, NoiseHandledByReplication) {
+  std::vector<double> beta(16, 0.0);
+  beta[5] = 4.0;
+  auto result = SequentialBifurcation(MakeLinearResponse(beta, 1.0), 16, 1.0,
+                                      /*replications=*/30, 19);
+  EXPECT_EQ(result.important, (std::vector<size_t>{5}));
+}
+
+TEST(OneAtATimeTest, ThresholdRespected) {
+  std::vector<double> beta = {2.0, 0.1, 0.0, 3.0};
+  auto result = OneAtATimeScreening(MakeLinearResponse(beta, 0.01), 4, 1.0,
+                                    2, 23);
+  EXPECT_EQ(result.important, (std::vector<size_t>{0, 3}));
+  EXPECT_EQ(result.runs_used, 2u * 5u);  // base + 4 flips, 2 reps each
+}
+
+TEST(GpScreeningTest, ThetaSeparatesActiveFactors) {
+  // Response depends strongly on x1, not at all on x2/x3.
+  Rng rng(29);
+  linalg::Matrix design =
+      doe::NearlyOrthogonalLatinHypercube(3, 25, 64, rng);
+  // Scale to [0, 1].
+  auto scaled = doe::ScaleDesign(design, {0, 0, 0}, {1, 1, 1});
+  ASSERT_TRUE(scaled.ok());
+  linalg::Vector y(scaled.value().rows());
+  for (size_t r = 0; r < y.size(); ++r) {
+    y[r] = std::sin(6.0 * scaled.value()(r, 0));
+  }
+  auto important = GpThetaScreening(scaled.value(), y, 0.5);
+  ASSERT_TRUE(important.ok());
+  ASSERT_FALSE(important.value().empty());
+  EXPECT_EQ(important.value()[0], 0u);
+  // x2 and x3 should not be flagged.
+  for (size_t f : important.value()) EXPECT_EQ(f, 0u);
+}
+
+// Property sweep: SB scales logarithmically — runs grow slowly with the
+// number of factors when k is fixed.
+class SbScalingTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SbScalingTest, RunCountStaysSmall) {
+  const size_t n = GetParam();
+  std::vector<double> beta(n, 0.0);
+  beta[n / 2] = 4.0;
+  auto result =
+      SequentialBifurcation(MakeLinearResponse(beta, 0.02), n, 1.0, 2, 31);
+  EXPECT_EQ(result.important, (std::vector<size_t>{n / 2}));
+  // ~2 log2(n) staircase points, 2 reps each.
+  const double bound = 2.0 * 2.0 * (std::log2(static_cast<double>(n)) + 2.0);
+  EXPECT_LE(static_cast<double>(result.runs_used), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SbScalingTest,
+                         ::testing::Values(16, 64, 256, 1024));
+
+}  // namespace
+}  // namespace mde::screening

@@ -1,0 +1,99 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mcdb/variance_reduction.h"
+#include "screening/sobol.h"
+#include "util/distributions.h"
+
+namespace mde {
+namespace {
+
+TEST(SobolTest, LinearModelIndicesProportionalToSquaredCoefficients) {
+  // Y = 4 x1 + 2 x2 (+0 x3) with x ~ U(0,1): Var contributions
+  // 16/12 : 4/12 : 0 -> S = 0.8, 0.2, 0.
+  auto model = [](const std::vector<double>& x) {
+    return 4.0 * x[0] + 2.0 * x[1] + 0.0 * x[2];
+  };
+  auto idx = screening::ComputeSobolIndices(model, 3, 20000, 1);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_NEAR(idx.value().first_order[0], 0.8, 0.05);
+  EXPECT_NEAR(idx.value().first_order[1], 0.2, 0.05);
+  EXPECT_NEAR(idx.value().first_order[2], 0.0, 0.03);
+  // No interactions: total == first order.
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_NEAR(idx.value().total_order[j], idx.value().first_order[j],
+                0.05);
+  }
+  EXPECT_EQ(idx.value().evaluations, 20000u * 5u);
+}
+
+TEST(SobolTest, PureInteractionShowsOnlyInTotalOrder) {
+  // Y = (x1 - 1/2)(x2 - 1/2): zero first-order effects, all variance in
+  // the interaction.
+  auto model = [](const std::vector<double>& x) {
+    return (x[0] - 0.5) * (x[1] - 0.5);
+  };
+  auto idx = screening::ComputeSobolIndices(model, 2, 30000, 2);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_LT(idx.value().first_order[0], 0.05);
+  EXPECT_LT(idx.value().first_order[1], 0.05);
+  EXPECT_GT(idx.value().total_order[0], 0.8);
+  EXPECT_GT(idx.value().total_order[1], 0.8);
+}
+
+TEST(SobolTest, IshigamiLikeNonlinearity) {
+  // Y = sin(2 pi x1) + 0.3 * x2^4: x1 dominates.
+  auto model = [](const std::vector<double>& x) {
+    return std::sin(2.0 * M_PI * x[0]) + 0.3 * std::pow(x[1], 4.0);
+  };
+  auto idx = screening::ComputeSobolIndices(model, 2, 20000, 3);
+  ASSERT_TRUE(idx.ok());
+  EXPECT_GT(idx.value().first_order[0], 5.0 * idx.value().first_order[1]);
+}
+
+TEST(SobolTest, ConstantModelAllZero) {
+  auto idx = screening::ComputeSobolIndices(
+      [](const std::vector<double>&) { return 7.0; }, 3, 1000, 4);
+  ASSERT_TRUE(idx.ok());
+  for (double s : idx.value().first_order) EXPECT_DOUBLE_EQ(s, 0.0);
+  EXPECT_DOUBLE_EQ(idx.value().output_variance, 0.0);
+}
+
+TEST(SobolTest, RejectsBadArguments) {
+  auto m = [](const std::vector<double>&) { return 0.0; };
+  EXPECT_FALSE(screening::ComputeSobolIndices(m, 0, 100, 1).ok());
+  EXPECT_FALSE(screening::ComputeSobolIndices(m, 2, 4, 1).ok());
+}
+
+TEST(CrnTest, CommonRandomNumbersShrinkComparisonVariance) {
+  // Two M/M/1-ish queues sharing arrival randomness: config 1 has a
+  // slightly faster server. Outputs are strongly positively correlated
+  // under CRN.
+  auto run = [](int config, Rng& rng) {
+    const double service_rate = config == 0 ? 1.0 : 1.1;
+    double clock = 0.0, busy_until = 0.0, total_wait = 0.0;
+    for (int c = 0; c < 200; ++c) {
+      clock += SampleExponential(rng, 0.8);
+      const double start = std::max(clock, busy_until);
+      total_wait += start - clock;
+      busy_until = start + SampleExponential(rng, service_rate);
+    }
+    return total_wait / 200.0;
+  };
+  auto cmp = mcdb::CompareWithCrn(run, 200, 5);
+  ASSERT_TRUE(cmp.ok());
+  // The faster server has lower waits.
+  EXPECT_GT(cmp.value().mean_difference, 0.0);
+  // CRN variance reduction is substantial.
+  EXPECT_GT(cmp.value().variance_reduction_factor, 3.0);
+  EXPECT_LT(cmp.value().crn_std_error, cmp.value().independent_std_error);
+}
+
+TEST(CrnTest, RejectsTooFewReps) {
+  EXPECT_FALSE(
+      mcdb::CompareWithCrn([](int, Rng&) { return 0.0; }, 2, 1).ok());
+}
+
+}  // namespace
+}  // namespace mde

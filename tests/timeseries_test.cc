@@ -1,0 +1,253 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "timeseries/align.h"
+#include "timeseries/forecast.h"
+#include "timeseries/timeseries.h"
+#include "util/distributions.h"
+#include "util/thread_pool.h"
+
+namespace mde::timeseries {
+namespace {
+
+TimeSeries MakeSine(size_t points, double t0 = 0.0, double t1 = 10.0) {
+  TimeSeries ts(1);
+  for (size_t i = 0; i < points; ++i) {
+    const double t =
+        t0 + (t1 - t0) * static_cast<double>(i) / (points - 1);
+    EXPECT_TRUE(ts.Append(t, std::sin(t)).ok());
+  }
+  return ts;
+}
+
+TEST(TimeSeriesTest, AppendEnforcesOrder) {
+  TimeSeries ts(1);
+  EXPECT_TRUE(ts.Append(1.0, 1.0).ok());
+  EXPECT_FALSE(ts.Append(1.0, 2.0).ok());   // equal time rejected
+  EXPECT_FALSE(ts.Append(0.5, 2.0).ok());   // backwards rejected
+  EXPECT_TRUE(ts.Append(2.0, 2.0).ok());
+}
+
+TEST(TimeSeriesTest, WidthChecked) {
+  TimeSeries ts(2);
+  EXPECT_FALSE(ts.Append(0.0, {1.0}).ok());
+  EXPECT_TRUE(ts.Append(0.0, {1.0, 2.0}).ok());
+}
+
+TEST(TimeSeriesTest, SliceAndFindSegment) {
+  TimeSeries ts = MakeSine(11, 0, 10);
+  TimeSeries mid = ts.Slice(3.0, 7.0);
+  EXPECT_EQ(mid.size(), 5u);
+  EXPECT_EQ(ts.FindSegment(4.5).value(), 4u);
+  EXPECT_EQ(ts.FindSegment(0.0).value(), 0u);
+  EXPECT_FALSE(ts.FindSegment(-1.0).ok());
+}
+
+TEST(UniformGridTest, EndpointsExact) {
+  auto g = UniformGrid(2.0, 5.0, 7);
+  EXPECT_EQ(g.size(), 7u);
+  EXPECT_DOUBLE_EQ(g.front(), 2.0);
+  EXPECT_DOUBLE_EQ(g.back(), 5.0);
+}
+
+TEST(AlignmentKindTest, Classification) {
+  EXPECT_EQ(DetermineAlignment(1.0, 5.0), AlignmentKind::kAggregation);
+  EXPECT_EQ(DetermineAlignment(5.0, 1.0), AlignmentKind::kInterpolation);
+  EXPECT_EQ(DetermineAlignment(2.0, 2.0), AlignmentKind::kIdentity);
+}
+
+TEST(AggregateAlignTest, MeanCoarsening) {
+  TimeSeries src(1);
+  for (int i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(src.Append(i, static_cast<double>(i)).ok());
+  }
+  auto out = AggregateAlign(src, {2.0, 4.0, 6.0}, AggMethod::kMean);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out.value().value(0), 1.5);  // mean of 1, 2
+  EXPECT_DOUBLE_EQ(out.value().value(1), 3.5);  // mean of 3, 4
+  EXPECT_DOUBLE_EQ(out.value().value(2), 5.5);
+}
+
+TEST(AggregateAlignTest, SumMinMaxLast) {
+  TimeSeries src(1);
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(src.Append(i, static_cast<double>(i)).ok());
+  }
+  EXPECT_DOUBLE_EQ(
+      AggregateAlign(src, {4.0}, AggMethod::kSum).value().value(0), 10.0);
+  EXPECT_DOUBLE_EQ(
+      AggregateAlign(src, {4.0}, AggMethod::kMin).value().value(0), 1.0);
+  EXPECT_DOUBLE_EQ(
+      AggregateAlign(src, {4.0}, AggMethod::kMax).value().value(0), 4.0);
+  EXPECT_DOUBLE_EQ(
+      AggregateAlign(src, {4.0}, AggMethod::kLast).value().value(0), 4.0);
+}
+
+TEST(AggregateAlignTest, EmptyTickErrors) {
+  TimeSeries src(1);
+  ASSERT_TRUE(src.Append(1.0, 1.0).ok());
+  auto out = AggregateAlign(src, {1.0, 2.0}, AggMethod::kMean);
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(LinearInterpolateTest, ExactOnLinearData) {
+  TimeSeries src(1);
+  for (int i = 0; i <= 10; ++i) {
+    ASSERT_TRUE(src.Append(i, 2.0 * i + 1.0).ok());
+  }
+  auto out = LinearInterpolate(src, {0.5, 3.25, 9.75});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out.value().value(0), 2.0, 1e-12);
+  EXPECT_NEAR(out.value().value(1), 7.5, 1e-12);
+  EXPECT_NEAR(out.value().value(2), 20.5, 1e-12);
+}
+
+TEST(LinearInterpolateTest, OutOfRangeErrors) {
+  TimeSeries src = MakeSine(5, 0, 4);
+  EXPECT_FALSE(LinearInterpolate(src, {-0.1}).ok());
+  EXPECT_FALSE(LinearInterpolate(src, {4.1}).ok());
+}
+
+TEST(SplineSystemTest, TridiagonalShape) {
+  TimeSeries src = MakeSine(10);
+  auto sys = BuildSplineSystem(src, 0);
+  ASSERT_TRUE(sys.ok());
+  EXPECT_EQ(sys.value().a.size(), 8u);  // m-1 interior unknowns
+  EXPECT_EQ(sys.value().b.size(), 8u);
+}
+
+TEST(SplineConstantsTest, NaturalBoundary) {
+  TimeSeries src = MakeSine(20);
+  auto sigma = SplineConstants(src, 0);
+  ASSERT_TRUE(sigma.ok());
+  EXPECT_DOUBLE_EQ(sigma.value().front(), 0.0);
+  EXPECT_DOUBLE_EQ(sigma.value().back(), 0.0);
+}
+
+TEST(CubicSplineTest, InterpolatesKnotsExactly) {
+  TimeSeries src = MakeSine(15);
+  std::vector<double> knots = src.times();
+  auto out = CubicSplineInterpolate(src, knots);
+  ASSERT_TRUE(out.ok());
+  for (size_t i = 0; i < src.size(); ++i) {
+    EXPECT_NEAR(out.value().value(i), src.value(i), 1e-10);
+  }
+}
+
+TEST(CubicSplineTest, BeatsLinearOnSmoothCurve) {
+  TimeSeries src = MakeSine(12, 0, 6.28);
+  std::vector<double> targets = UniformGrid(0.1, 6.2, 200);
+  auto spline = CubicSplineInterpolate(src, targets);
+  auto linear = LinearInterpolate(src, targets);
+  ASSERT_TRUE(spline.ok() && linear.ok());
+  double spline_err = 0.0, linear_err = 0.0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const double truth = std::sin(targets[i]);
+    spline_err += std::pow(spline.value().value(i) - truth, 2);
+    linear_err += std::pow(linear.value().value(i) - truth, 2);
+  }
+  EXPECT_LT(spline_err, linear_err * 0.1);
+}
+
+TEST(ParallelInterpolateTest, MatchesSequential) {
+  TimeSeries src = MakeSine(40);
+  std::vector<double> targets = UniformGrid(0.05, 9.95, 500);
+  ThreadPool pool(4);
+  auto par = ParallelInterpolate(src, targets, pool, /*use_spline=*/true);
+  auto seq = CubicSplineInterpolate(src, targets);
+  ASSERT_TRUE(par.ok() && seq.ok());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_NEAR(par.value().value(i), seq.value().value(i), 1e-12);
+  }
+}
+
+TEST(ParallelInterpolateTest, LinearModeMatches) {
+  TimeSeries src = MakeSine(40);
+  std::vector<double> targets = UniformGrid(0.05, 9.95, 300);
+  ThreadPool pool(3);
+  auto par = ParallelInterpolate(src, targets, pool, /*use_spline=*/false);
+  auto seq = LinearInterpolate(src, targets);
+  ASSERT_TRUE(par.ok() && seq.ok());
+  for (size_t i = 0; i < targets.size(); ++i) {
+    EXPECT_NEAR(par.value().value(i), seq.value().value(i), 1e-12);
+  }
+}
+
+TEST(TrendAr1Test, RecoversLinearTrend) {
+  TimeSeries ts(1);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(ts.Append(i, 10.0 + 2.0 * i).ok());
+  }
+  auto model = TrendAr1Model::Fit(ts, /*quadratic=*/false);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model.value().params().trend[0], 10.0, 1e-4);
+  EXPECT_NEAR(model.value().params().trend[1], 2.0, 1e-5);
+  auto fc = model.value().Forecast({60.0});
+  EXPECT_NEAR(fc[0], 130.0, 1e-4);
+}
+
+TEST(TrendAr1Test, EstimatesAr1Coefficient) {
+  Rng rng(31);
+  TimeSeries ts(1);
+  double resid = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    resid = 0.7 * resid + SampleNormal(rng, 0.0, 1.0);
+    ASSERT_TRUE(ts.Append(i, 5.0 + resid).ok());
+  }
+  auto model = TrendAr1Model::Fit(ts, false);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model.value().params().phi, 0.7, 0.05);
+}
+
+TEST(SyntheticHousingTest, HasRegimeBreak) {
+  TimeSeries ts = SyntheticHousingIndex(1970, 2011, 2006, 99);
+  // Prices rise until 2006 then fall.
+  double at_2006 = 0.0, at_2011 = 0.0, at_1990 = 0.0;
+  for (size_t i = 0; i < ts.size(); ++i) {
+    if (ts.time(i) == 1990) at_1990 = ts.value(i);
+    if (ts.time(i) == 2006) at_2006 = ts.value(i);
+    if (ts.time(i) == 2011) at_2011 = ts.value(i);
+  }
+  EXPECT_GT(at_2006, at_1990);
+  EXPECT_LT(at_2011, at_2006 * 0.8);
+}
+
+TEST(Figure1Test, ExtrapolationFailsAcrossBreak) {
+  // The Figure 1 phenomenon: a model fit through 2006 predicts continued
+  // growth; reality collapses.
+  TimeSeries truth = SyntheticHousingIndex(1970, 2011, 2006, 7);
+  // Fit on the log scale (prices grow multiplicatively).
+  TimeSeries log_history(1);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth.time(i) <= 2006) {
+      ASSERT_TRUE(
+          log_history.Append(truth.time(i), std::log(truth.value(i))).ok());
+    }
+  }
+  auto model = TrendAr1Model::Fit(log_history, /*quadratic=*/true);
+  ASSERT_TRUE(model.ok());
+  std::vector<double> future_times;
+  std::vector<double> future_truth;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth.time(i) > 2006) {
+      future_times.push_back(truth.time(i));
+      future_truth.push_back(truth.value(i));
+    }
+  }
+  auto log_pred = model.value().Forecast(future_times);
+  // Prediction keeps growing; truth collapses: prediction exceeds truth by
+  // a wide margin at 2011.
+  EXPECT_GT(std::exp(log_pred.back()), future_truth.back() * 1.3);
+  // In-sample fit is good (log-RMSE small).
+  std::vector<double> hist_times, hist_vals;
+  for (size_t i = 0; i < log_history.size(); ++i) {
+    hist_times.push_back(log_history.time(i));
+    hist_vals.push_back(log_history.value(i));
+  }
+  auto fit = model.value().Forecast(hist_times);
+  EXPECT_LT(ForecastRmse(fit, hist_vals), 0.1);
+}
+
+}  // namespace
+}  // namespace mde::timeseries

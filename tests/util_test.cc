@@ -1,0 +1,327 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/distributions.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace mde {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arg");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad arg");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedRespectsLimit) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBounded(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(RngTest, SubstreamsDoNotOverlap) {
+  Rng s0 = Rng::Substream(5, 0);
+  Rng s1 = Rng::Substream(5, 1);
+  std::set<uint64_t> first;
+  for (int i = 0; i < 1000; ++i) first.insert(s0.Next());
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(first.count(s1.Next()), 0u);
+}
+
+TEST(DistributionsTest, NormalMoments) {
+  Rng rng(11);
+  RunningStat stat;
+  for (int i = 0; i < 100000; ++i) stat.Add(SampleNormal(rng, 3.0, 2.0));
+  EXPECT_NEAR(stat.mean(), 3.0, 0.05);
+  EXPECT_NEAR(stat.stddev(), 2.0, 0.05);
+}
+
+TEST(DistributionsTest, ExponentialMoments) {
+  Rng rng(12);
+  RunningStat stat;
+  for (int i = 0; i < 100000; ++i) stat.Add(SampleExponential(rng, 2.0));
+  EXPECT_NEAR(stat.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stat.variance(), 0.25, 0.02);
+}
+
+TEST(DistributionsTest, PoissonSmallLambda) {
+  Rng rng(13);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) {
+    stat.Add(static_cast<double>(SamplePoisson(rng, 4.5)));
+  }
+  EXPECT_NEAR(stat.mean(), 4.5, 0.1);
+  EXPECT_NEAR(stat.variance(), 4.5, 0.2);
+}
+
+TEST(DistributionsTest, PoissonLargeLambda) {
+  Rng rng(14);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) {
+    stat.Add(static_cast<double>(SamplePoisson(rng, 100.0)));
+  }
+  EXPECT_NEAR(stat.mean(), 100.0, 0.5);
+}
+
+TEST(DistributionsTest, GammaMoments) {
+  Rng rng(15);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) stat.Add(SampleGamma(rng, 3.0, 2.0));
+  EXPECT_NEAR(stat.mean(), 6.0, 0.1);       // k * theta
+  EXPECT_NEAR(stat.variance(), 12.0, 0.5);  // k * theta^2
+}
+
+TEST(DistributionsTest, GammaSmallShape) {
+  Rng rng(16);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) stat.Add(SampleGamma(rng, 0.5, 1.0));
+  EXPECT_NEAR(stat.mean(), 0.5, 0.05);
+}
+
+TEST(DistributionsTest, BinomialMoments) {
+  Rng rng(17);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) {
+    stat.Add(static_cast<double>(SampleBinomial(rng, 20, 0.3)));
+  }
+  EXPECT_NEAR(stat.mean(), 6.0, 0.1);
+  EXPECT_NEAR(stat.variance(), 4.2, 0.3);
+}
+
+TEST(DistributionsTest, BinomialEdgeCases) {
+  Rng rng(18);
+  EXPECT_EQ(SampleBinomial(rng, 0, 0.5), 0);
+  EXPECT_EQ(SampleBinomial(rng, 10, 0.0), 0);
+  EXPECT_EQ(SampleBinomial(rng, 10, 1.0), 10);
+}
+
+TEST(DistributionsTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (SampleBernoulli(rng, 0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(DistributionsTest, GeometricMean) {
+  Rng rng(20);
+  RunningStat stat;
+  for (int i = 0; i < 50000; ++i) {
+    stat.Add(static_cast<double>(SampleGeometric(rng, 0.25)));
+  }
+  EXPECT_NEAR(stat.mean(), 3.0, 0.1);  // (1-p)/p
+}
+
+TEST(AliasTableTest, MatchesWeights) {
+  Rng rng(21);
+  AliasTable table({1.0, 2.0, 3.0, 4.0});
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(rng)];
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_NEAR(counts[k] / static_cast<double>(n), (k + 1) / 10.0, 0.01);
+  }
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  Rng rng(22);
+  AliasTable table({0.0, 1.0});
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(table.Sample(rng), 1u);
+}
+
+TEST(NormalFunctionsTest, QuantileInvertsCdf) {
+  for (double p : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double x = NormalQuantile(p);
+    EXPECT_NEAR(NormalCdf(x, 0.0, 1.0), p, 1e-6);
+  }
+}
+
+TEST(NormalFunctionsTest, PdfIntegratesToCdfDelta) {
+  // Riemann check on [-1, 1].
+  double integral = 0.0;
+  const int steps = 20000;
+  for (int i = 0; i < steps; ++i) {
+    const double x = -1.0 + 2.0 * i / steps;
+    integral += NormalPdf(x, 0.0, 1.0) * (2.0 / steps);
+  }
+  EXPECT_NEAR(integral, NormalCdf(1, 0, 1) - NormalCdf(-1, 0, 1), 1e-3);
+}
+
+TEST(RunningStatTest, MatchesBatchFormulas) {
+  std::vector<double> data = {1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStat rs;
+  for (double v : data) rs.Add(v);
+  EXPECT_DOUBLE_EQ(rs.mean(), Mean(data));
+  EXPECT_NEAR(rs.variance(), Variance(data), 1e-12);
+  EXPECT_EQ(rs.min(), 1.0);
+  EXPECT_EQ(rs.max(), 16.0);
+}
+
+TEST(RunningStatTest, MergeEqualsSequential) {
+  Rng rng(23);
+  RunningStat all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = SampleNormal(rng, 0, 1);
+    all.Add(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningCovarianceTest, KnownCovariance) {
+  RunningCovariance rc;
+  // y = 2x exactly: correlation 1, covariance = 2 * var(x).
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) rc.Add(x, 2.0 * x);
+  EXPECT_NEAR(rc.correlation(), 1.0, 1e-12);
+  EXPECT_NEAR(rc.covariance(), 2.0 * 2.5, 1e-12);
+}
+
+TEST(QuantileTest, MedianAndExtremes) {
+  std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.25), 2.0);
+}
+
+TEST(AutocorrelationTest, WhiteNoiseNearZeroAr1High) {
+  Rng rng(24);
+  std::vector<double> white, ar;
+  double prev = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    white.push_back(SampleNormal(rng, 0, 1));
+    prev = 0.9 * prev + SampleNormal(rng, 0, 1);
+    ar.push_back(prev);
+  }
+  EXPECT_NEAR(Autocorrelation(white, 1), 0.0, 0.03);
+  EXPECT_NEAR(Autocorrelation(ar, 1), 0.9, 0.03);
+}
+
+TEST(HistogramTest, CountsAndClamping) {
+  std::vector<double> v = {-10.0, 0.1, 0.5, 0.9, 10.0};
+  auto h = Histogram(v, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0] + h[1], 5u);
+  EXPECT_EQ(h[0], 2u);  // -10 (clamped into the low bin) and 0.1
+  EXPECT_EQ(h[1], 3u);  // 0.5 (bin edge), 0.9, and 10 (clamped)
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitAllBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&] { done++; });
+  }
+  pool.WaitAll();
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ConfidenceTest, HalfWidthShrinksWithN) {
+  Rng rng(25);
+  RunningStat small, big;
+  for (int i = 0; i < 100; ++i) small.Add(SampleNormal(rng, 0, 1));
+  for (int i = 0; i < 10000; ++i) big.Add(SampleNormal(rng, 0, 1));
+  EXPECT_GT(ConfidenceHalfWidth(small, 0.95),
+            ConfidenceHalfWidth(big, 0.95));
+}
+
+// Property sweep: sample means of several distributions match analytic
+// expectations within Monte Carlo error.
+struct MomentCase {
+  const char* name;
+  double expected_mean;
+  double tolerance;
+  std::function<double(Rng&)> sampler;
+};
+
+class DistributionMomentTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistributionMomentTest, MeanMatches) {
+  static const MomentCase kCases[] = {
+      {"normal", 1.5, 0.05, [](Rng& r) { return SampleNormal(r, 1.5, 1.0); }},
+      {"exp", 0.25, 0.01, [](Rng& r) { return SampleExponential(r, 4.0); }},
+      {"lognormal", std::exp(0.5), 0.05,
+       [](Rng& r) { return SampleLognormal(r, 0.0, 1.0); }},
+      {"uniform", 1.0, 0.02, [](Rng& r) { return SampleUniform(r, 0, 2); }},
+      {"beta22", 0.5, 0.01, [](Rng& r) { return SampleBeta(r, 2, 2); }},
+      {"gamma", 4.0, 0.1, [](Rng& r) { return SampleGamma(r, 2.0, 2.0); }},
+  };
+  const MomentCase& c = kCases[GetParam()];
+  Rng rng(1000 + GetParam());
+  RunningStat stat;
+  for (int i = 0; i < 60000; ++i) stat.Add(c.sampler(rng));
+  EXPECT_NEAR(stat.mean(), c.expected_mean, c.tolerance) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDistributions, DistributionMomentTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace mde

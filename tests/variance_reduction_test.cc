@@ -1,0 +1,77 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mcdb/variance_reduction.h"
+#include "util/distributions.h"
+#include "util/rng.h"
+
+namespace mde::mcdb {
+namespace {
+
+TEST(PlainMonteCarloTest, EstimatesIntegral) {
+  // E[U^2] = 1/3.
+  auto e = PlainMonteCarlo([](double u) { return u * u; }, 100000, 1);
+  EXPECT_NEAR(e.mean, 1.0 / 3.0, 0.005);
+  EXPECT_EQ(e.samples, 100000u);
+}
+
+TEST(AntitheticTest, SameAnswerLessVariance) {
+  // Monotone integrand: e^u, E = e - 1.
+  auto f = [](double u) { return std::exp(u); };
+  auto plain = PlainMonteCarlo(f, 20000, 2);
+  auto anti = AntitheticMonteCarlo(f, 10000, 2);  // same # of f calls
+  EXPECT_NEAR(plain.mean, std::exp(1.0) - 1.0, 0.01);
+  EXPECT_NEAR(anti.mean, std::exp(1.0) - 1.0, 0.01);
+  // Pair-average variance far below half of the plain per-sample variance.
+  EXPECT_LT(anti.variance, 0.5 * plain.variance * 0.5);
+  EXPECT_LT(anti.std_error, plain.std_error);
+}
+
+TEST(AntitheticTest, NoHarmOnSymmetricIntegrand) {
+  // f symmetric around u=1/2: antithetic pairs are perfectly correlated,
+  // so the estimate stays valid (variance may not improve).
+  auto f = [](double u) { return (u - 0.5) * (u - 0.5); };
+  auto anti = AntitheticMonteCarlo(f, 50000, 3);
+  EXPECT_NEAR(anti.mean, 1.0 / 12.0, 0.002);
+}
+
+TEST(ControlVariateTest, KnownControlShrinksVariance) {
+  // Y = 3X + noise with X ~ N(0, 1), E[X] = 0 known.
+  Rng rng(4);
+  std::vector<double> y, x;
+  for (int i = 0; i < 20000; ++i) {
+    const double xi = SampleNormal(rng, 0.0, 1.0);
+    x.push_back(xi);
+    y.push_back(5.0 + 3.0 * xi + SampleNormal(rng, 0.0, 0.5));
+  }
+  auto est = ControlVariate(y, x, 0.0);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est.value().mean, 5.0, 0.02);
+  EXPECT_NEAR(est.value().beta, 3.0, 0.05);
+  // Var(Y) = 9.25, adjusted = 0.25 -> factor ~ 37.
+  EXPECT_GT(est.value().variance_reduction_factor, 20.0);
+}
+
+TEST(ControlVariateTest, UncorrelatedControlIsHarmless) {
+  Rng rng(5);
+  std::vector<double> y, x;
+  for (int i = 0; i < 20000; ++i) {
+    y.push_back(SampleNormal(rng, 2.0, 1.0));
+    x.push_back(SampleNormal(rng, 0.0, 1.0));
+  }
+  auto est = ControlVariate(y, x, 0.0);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est.value().mean, 2.0, 0.03);
+  EXPECT_NEAR(est.value().variance_reduction_factor, 1.0, 0.05);
+}
+
+TEST(ControlVariateTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(ControlVariate({1.0}, {1.0}, 0.0).ok());
+  EXPECT_FALSE(
+      ControlVariate({1, 2, 3}, {5, 5, 5}, 5.0).ok());  // constant control
+  EXPECT_FALSE(ControlVariate({1, 2, 3}, {1, 2}, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace mde::mcdb

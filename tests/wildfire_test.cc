@@ -1,0 +1,195 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+#include "wildfire/assimilate.h"
+#include "wildfire/fire.h"
+
+namespace mde::wildfire {
+namespace {
+
+FireSim::Config DefaultFire() {
+  FireSim::Config cfg;
+  return cfg;
+}
+
+TEST(TerrainTest, FieldsInRange) {
+  Terrain t = GenerateTerrain(30, 20, 0.5, 0.0, 1);
+  EXPECT_EQ(t.size(), 600u);
+  for (double f : t.fuel) {
+    EXPECT_GE(f, 0.29);
+    EXPECT_LE(f, 1.01);
+  }
+  for (double m : t.moisture) {
+    EXPECT_GE(m, 0.0);
+    EXPECT_LE(m, 0.55);
+  }
+}
+
+TEST(TerrainTest, SmoothedFieldsAreSpatiallyCorrelated) {
+  Terrain t = GenerateTerrain(50, 50, 0, 0, 2);
+  // Neighboring fuel values are closer than random pairs on average.
+  double neighbor_diff = 0.0, random_diff = 0.0;
+  size_t n = 0;
+  Rng rng(3);
+  for (size_t y = 0; y < 50; ++y) {
+    for (size_t x = 0; x + 1 < 50; ++x) {
+      neighbor_diff += std::fabs(t.fuel[t.index(x, y)] -
+                                 t.fuel[t.index(x + 1, y)]);
+      random_diff += std::fabs(t.fuel[rng.NextBounded(2500)] -
+                               t.fuel[rng.NextBounded(2500)]);
+      ++n;
+    }
+  }
+  EXPECT_LT(neighbor_diff, random_diff * 0.7);
+}
+
+TEST(FireSimTest, IgnitionCreatesSingleBurningCell) {
+  Terrain t = GenerateTerrain(20, 20, 0, 0, 4);
+  FireSim sim(t, DefaultFire());
+  Rng rng(5);
+  FireState s = sim.Ignite(10, 10, rng);
+  EXPECT_EQ(s.NumBurning(), 1u);
+  EXPECT_EQ(s.NumBurned(), 0u);
+  EXPECT_EQ(s.cells[t.index(10, 10)], CellState::kBurning);
+}
+
+TEST(FireSimTest, FireSpreadsAndBurnsOut) {
+  Terrain t = GenerateTerrain(30, 30, 0, 0, 6);
+  FireSim sim(t, DefaultFire());
+  Rng rng(7);
+  FireState s = sim.Ignite(15, 15, rng);
+  size_t max_burning = 1;
+  for (int step = 0; step < 100; ++step) {
+    sim.Step(&s, rng);
+    max_burning = std::max(max_burning, s.NumBurning());
+  }
+  EXPECT_GT(max_burning, 10u);        // it spread
+  EXPECT_GT(s.NumBurned(), 50u);      // and consumed cells
+}
+
+TEST(FireSimTest, WindBiasesSpreadDirection) {
+  // Strong +x wind: after the same number of steps, the burned centroid
+  // shifts in +x.
+  Terrain t = GenerateTerrain(60, 30, 1.0, 0.0, 8);
+  FireSim::Config cfg = DefaultFire();
+  cfg.wind_bias = 0.9;
+  FireSim sim(t, cfg);
+  Rng rng(9);
+  FireState s = sim.Ignite(30, 15, rng);
+  for (int step = 0; step < 25; ++step) sim.Step(&s, rng);
+  double cx = 0.0;
+  size_t n = 0;
+  for (size_t y = 0; y < 30; ++y) {
+    for (size_t x = 0; x < 60; ++x) {
+      if (s.cells[t.index(x, y)] != CellState::kUnburned) {
+        cx += static_cast<double>(x);
+        ++n;
+      }
+    }
+  }
+  ASSERT_GT(n, 10u);
+  EXPECT_GT(cx / static_cast<double>(n), 31.0);
+}
+
+TEST(FireStateTest, DisagreementMetric) {
+  Terrain t = GenerateTerrain(10, 10, 0, 0, 10);
+  FireSim sim(t, DefaultFire());
+  Rng rng(11);
+  FireState a = sim.Ignite(5, 5, rng);
+  FireState b = a;
+  EXPECT_DOUBLE_EQ(a.CellDisagreement(b), 0.0);
+  b.cells[0] = CellState::kBurned;
+  EXPECT_DOUBLE_EQ(a.CellDisagreement(b), 0.01);
+}
+
+TEST(SensorModelTest, ReadingsReflectFire) {
+  Terrain t = GenerateTerrain(25, 25, 0, 0, 12);
+  SensorModel::Config sc;
+  sc.stride = 5;
+  sc.noise_sd = 1.0;
+  SensorModel sensors(t, sc);
+  EXPECT_EQ(sensors.num_sensors(), 25u);
+  FireSim sim(t, DefaultFire());
+  Rng rng(13);
+  FireState cold = sim.Ignite(0, 0, rng);
+  // Put fire directly on a sensor cell.
+  const size_t sensor_cell = sensors.sensor_cells()[12];
+  FireState hot = cold;
+  hot.cells[sensor_cell] = CellState::kBurning;
+  hot.intensity[sensor_cell] = 1.0;
+  EXPECT_GT(sensors.ExpectedReading(hot, 12),
+            sensors.ExpectedReading(cold, 12) + 100.0);
+}
+
+TEST(SensorModelTest, LikelihoodPrefersTrueState) {
+  Terrain t = GenerateTerrain(25, 25, 0, 0, 14);
+  SensorModel sensors(t, {});
+  FireSim sim(t, DefaultFire());
+  Rng rng(15);
+  FireState truth = sim.Ignite(12, 12, rng);
+  for (int i = 0; i < 10; ++i) sim.Step(&truth, rng);
+  FireState wrong = sim.Ignite(2, 2, rng);
+  auto y = sensors.Observe(truth, rng);
+  EXPECT_GT(sensors.LogLikelihood(truth, y),
+            sensors.LogLikelihood(wrong, y));
+}
+
+TEST(WildfireFilterTest, BootstrapTracksBetterThanOpenLoop) {
+  Terrain t = GenerateTerrain(30, 30, 0.3, 0.1, 16);
+  FireSim sim(t, DefaultFire());
+  SensorModel::Config sc;
+  sc.stride = 4;
+  SensorModel sensors(t, sc);
+  AssimilationConfig cfg;
+  cfg.num_particles = 60;
+  cfg.proposal = ProposalKind::kBootstrap;
+  cfg.seed = 17;
+  auto run = RunAssimilation(sim, sensors, 20, cfg, 18);
+  ASSERT_TRUE(run.ok());
+  const double open_mean = Mean(run.value().open_loop_error);
+  const double filter_mean = Mean(run.value().filter_error);
+  EXPECT_LT(filter_mean, open_mean);
+  // ESS is tracked and positive.
+  for (double e : run.value().ess) EXPECT_GT(e, 0.0);
+}
+
+TEST(WildfireFilterTest, SensorAwareProposalRuns) {
+  Terrain t = GenerateTerrain(20, 20, 0, 0, 19);
+  FireSim sim(t, DefaultFire());
+  SensorModel::Config sc;
+  sc.stride = 4;
+  SensorModel sensors(t, sc);
+  AssimilationConfig cfg;
+  cfg.num_particles = 30;
+  cfg.proposal = ProposalKind::kSensorAware;
+  cfg.kde_samples = 4;
+  cfg.seed = 20;
+  auto run = RunAssimilation(sim, sensors, 10, cfg, 21);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run.value().filter_error.size(), 10u);
+  EXPECT_LT(Mean(run.value().filter_error), 0.5);
+}
+
+TEST(WildfireFilterTest, ClassifyMajorityVote) {
+  Terrain t = GenerateTerrain(10, 10, 0, 0, 22);
+  FireSim sim(t, DefaultFire());
+  Rng rng(23);
+  FireState initial = sim.Ignite(5, 5, rng);
+  SensorModel::Config sc;
+  sc.stride = 3;
+  SensorModel sensors(t, sc);
+  AssimilationConfig cfg;
+  cfg.num_particles = 10;
+  WildfireFilter filter(sim, sensors, initial, cfg);
+  FireState classified = filter.Classify();
+  // Before any steps all particles equal the initial state.
+  EXPECT_DOUBLE_EQ(classified.CellDisagreement(initial), 0.0);
+  auto prob = filter.BurningProbability();
+  EXPECT_DOUBLE_EQ(prob[t.index(5, 5)], 1.0);
+  EXPECT_DOUBLE_EQ(prob[t.index(0, 0)], 0.0);
+}
+
+}  // namespace
+}  // namespace mde::wildfire
