@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "calibrate/msm.h"
 #include "util/distributions.h"
 #include "util/stats.h"
@@ -109,9 +111,4 @@ BENCHMARK(BM_ObjectiveEvaluation);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  PrintCalibrationComparison();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MDE_BENCHMARK_MAIN(PrintCalibrationComparison)

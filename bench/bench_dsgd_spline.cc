@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "util/check.h"
 
 #include "dsgd/dsgd.h"
@@ -87,9 +89,4 @@ BENCHMARK(BM_DsgdSweep)
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  PrintConvergence();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MDE_BENCHMARK_MAIN(PrintConvergence)

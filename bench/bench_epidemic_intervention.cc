@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "util/check.h"
 
 #include "epi/indemics.h"
@@ -87,9 +89,4 @@ BENCHMARK(BM_ObservationQuery);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  PrintIntervention();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MDE_BENCHMARK_MAIN(PrintIntervention)

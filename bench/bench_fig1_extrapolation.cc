@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "util/check.h"
 
 #include "timeseries/forecast.h"
@@ -73,9 +75,4 @@ BENCHMARK(BM_FitTrendAr1);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  PrintFigure1();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MDE_BENCHMARK_MAIN(PrintFigure1)

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "composite/model.h"
 #include "composite/result_caching.h"
 #include "util/distributions.h"
@@ -84,9 +86,4 @@ BENCHMARK(BM_ResultCachingRun)->Arg(10)->Arg(50)->Arg(100);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  PrintFigure2();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MDE_BENCHMARK_MAIN(PrintFigure2)

@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "doe/designs.h"
 #include "doe/main_effects.h"
 #include "util/distributions.h"
@@ -90,9 +92,4 @@ BENCHMARK(BM_GenerateFullFactorial)->Arg(7)->Arg(12)->Arg(16);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  PrintFigure3();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MDE_BENCHMARK_MAIN(PrintFigure3)

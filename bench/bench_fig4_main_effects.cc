@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "doe/designs.h"
 #include "doe/main_effects.h"
 #include "util/distributions.h"
@@ -64,9 +66,4 @@ BENCHMARK(BM_MainEffects)->Arg(7)->Arg(12);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  PrintFigure4();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MDE_BENCHMARK_MAIN(PrintFigure4)

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "doe/designs.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -72,9 +74,4 @@ BENCHMARK(BM_Nolh)->Arg(16)->Arg(64)->Arg(256);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  PrintFigure5();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MDE_BENCHMARK_MAIN(PrintFigure5)

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "gridfields/gridfields.h"
 #include "util/rng.h"
 
@@ -100,9 +102,4 @@ BENCHMARK(BM_RestrictThenRegrid);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  PrintCommutation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MDE_BENCHMARK_MAIN(PrintCommutation)

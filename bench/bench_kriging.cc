@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "metamodel/kriging.h"
 #include "metamodel/polynomial.h"
 #include "util/distributions.h"
@@ -149,9 +151,4 @@ BENCHMARK(BM_KrigingPredict)->Arg(25)->Arg(400);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  PrintAccuracy();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MDE_BENCHMARK_MAIN(PrintAccuracy)

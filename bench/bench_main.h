@@ -1,0 +1,50 @@
+#ifndef MDE_BENCH_BENCH_MAIN_H_
+#define MDE_BENCH_BENCH_MAIN_H_
+
+/// Shared benchmark entry point. Every bench binary prints a human-readable
+/// experiment preamble (the DESIGN.md narrative tables) followed by the
+/// google-benchmark timing loop. For machine-readable output the preamble
+/// must be suppressed so that `--benchmark_format=json` emits a single valid
+/// JSON document on stdout:
+///
+///   build/bench/bench_mcdb_tuple_bundles --benchmark_format=json
+///       [--benchmark_out=BENCH.json --benchmark_out_format=json]
+///
+/// MDE_BENCHMARK_MAIN(Preamble) expands to a main() that runs `Preamble()`
+/// only when no machine-readable stdout format was requested.
+
+#include <cstring>
+
+#include <benchmark/benchmark.h>
+
+namespace mde::bench {
+
+/// True when argv requests a non-console stdout format (json/csv), in which
+/// case nothing but the benchmark document may be written to stdout.
+inline bool MachineReadableStdout(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_format=", 19) == 0 &&
+        std::strcmp(argv[i] + 19, "console") != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mde::bench
+
+#define MDE_BENCHMARK_MAIN(Preamble)                            \
+  int main(int argc, char** argv) {                             \
+    if (!mde::bench::MachineReadableStdout(argc, argv)) {       \
+      Preamble();                                               \
+    }                                                           \
+    benchmark::Initialize(&argc, argv);                         \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {   \
+      return 1;                                                 \
+    }                                                           \
+    benchmark::RunSpecifiedBenchmarks();                        \
+    benchmark::Shutdown();                                      \
+    return 0;                                                   \
+  }
+
+#endif  // MDE_BENCH_BENCH_MAIN_H_

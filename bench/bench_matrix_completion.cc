@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "dsgd/matrix_completion.h"
 #include "util/thread_pool.h"
 
@@ -71,9 +73,4 @@ BENCHMARK(BM_DsgdEpochs)->Args({5, 1})->Args({5, 4})->Args({20, 4});
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  PrintComparison();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MDE_BENCHMARK_MAIN(PrintComparison)

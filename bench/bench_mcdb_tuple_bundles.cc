@@ -2,7 +2,8 @@
 /// instantiate-per-repetition loop. Both compute the same query-result
 /// distribution (mean SBP of female patients); the bundle executor runs
 /// the plan once over bundled values. The benchmark sweeps Monte Carlo
-/// repetition counts.
+/// repetition counts, plus a large 10k-tuple x 1k-rep configuration that
+/// exercises the columnar kernels (recorded in BENCH_mcdb.json).
 
 #include <cmath>
 #include <cstdio>
@@ -11,6 +12,7 @@
 
 #include "util/check.h"
 
+#include "bench_main.h"
 #include "mcdb/bundle.h"
 #include "mcdb/estimators.h"
 #include "mcdb/mcdb.h"
@@ -123,11 +125,49 @@ void BM_TupleBundles(benchmark::State& state) {
 }
 BENCHMARK(BM_TupleBundles)->Arg(16)->Arg(64)->Arg(256);
 
+/// Full bundle pipeline (generation + plan) at columnar-kernel scale:
+/// args = (tuples, reps). The 10000 x 1000 point is the BENCH_mcdb.json
+/// before/after configuration.
+void BM_BundleGenerateAndQuery(benchmark::State& state) {
+  MonteCarloDb db = MakeDb(static_cast<size_t>(state.range(0)));
+  const size_t reps = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    auto samples = RunBundleQuery(db, reps);
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(1));
+}
+BENCHMARK(BM_BundleGenerateAndQuery)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({10000, 1000});
+
+/// Query-plan kernels only (FilterDet + stochastic filter + aggregate) over
+/// a pre-generated bundle table: isolates the AoS-vs-SoA executor cost from
+/// VG sampling.
+void BM_BundleQueryExec(benchmark::State& state) {
+  MonteCarloDb db = MakeDb(static_cast<size_t>(state.range(0)));
+  const size_t reps = static_cast<size_t>(state.range(1));
+  auto bundles =
+      GenerateBundles(db, db.stochastic_specs()[0], "SBP", reps, 77).value();
+  auto pred =
+      table::ColumnCompare(bundles.det_schema(), "GENDER", CmpOp::kEq, "F")
+          .value();
+  for (auto _ : state) {
+    auto females = bundles.FilterDet(pred);
+    auto high = females.FilterStoch("SBP", CmpOp::kGt, 120.0).value();
+    auto avg = high.AggregateAvg("SBP").value();
+    auto sum = females.AggregateSum("SBP").value();
+    benchmark::DoNotOptimize(avg);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(1));
+}
+BENCHMARK(BM_BundleQueryExec)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({10000, 1000});
+
 }  // namespace
 
-int main(int argc, char** argv) {
-  PrintEquivalence();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MDE_BENCHMARK_MAIN(PrintEquivalence)

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "util/check.h"
 
 #include "pdesmas/ssv.h"
@@ -92,9 +94,4 @@ BENCHMARK(BM_SsvWrite);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  PrintPruning();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MDE_BENCHMARK_MAIN(PrintPruning)

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "table/plan.h"
 #include "util/check.h"
 
@@ -98,9 +100,4 @@ BENCHMARK(BM_OptimizeItself);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  PrintComparison();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MDE_BENCHMARK_MAIN(PrintComparison)

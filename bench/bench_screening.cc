@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "screening/screening.h"
 #include "util/distributions.h"
 
@@ -68,9 +70,4 @@ BENCHMARK(BM_OneAtATime)->Arg(128)->Arg(1024);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  PrintRunCounts();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MDE_BENCHMARK_MAIN(PrintRunCounts)

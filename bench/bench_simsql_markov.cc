@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "util/check.h"
 
 #include "abs/spatial.h"
@@ -127,9 +129,4 @@ BENCHMARK(BM_NaiveSelfJoin)->Arg(2000)->Arg(8000);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  PrintChainDemo();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MDE_BENCHMARK_MAIN(PrintChainDemo)

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "util/check.h"
 
 #include "timeseries/align.h"
@@ -90,9 +92,4 @@ BENCHMARK(BM_SplineConstantsExact)->Arg(10000)->Arg(100000);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  PrintAlignmentDemo();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MDE_BENCHMARK_MAIN(PrintAlignmentDemo)

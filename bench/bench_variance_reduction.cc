@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "mcdb/variance_reduction.h"
 #include "util/distributions.h"
 
@@ -84,9 +86,4 @@ BENCHMARK(BM_AntitheticMc);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  PrintComparison();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MDE_BENCHMARK_MAIN(PrintComparison)

@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_main.h"
+
 #include "util/check.h"
 
 #include "util/stats.h"
@@ -100,9 +102,4 @@ BENCHMARK(BM_FireSimStep);
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  PrintAccuracy();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+MDE_BENCHMARK_MAIN(PrintAccuracy)

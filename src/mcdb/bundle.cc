@@ -1,15 +1,34 @@
 #include "mcdb/bundle.h"
 
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+
 #include "util/check.h"
 
 namespace mde::mcdb {
+namespace {
+
+/// Per-repetition sums and active counts, reduced together so AVG needs a
+/// single pass over the value block.
+struct SumCount {
+  std::vector<double> sums;
+  std::vector<double> counts;
+};
+
+}  // namespace
 
 BundleTable::BundleTable(table::Schema det_schema,
                          std::vector<std::string> stoch_names,
                          size_t num_reps)
     : det_schema_(std::move(det_schema)),
       stoch_names_(std::move(stoch_names)),
-      num_reps_(num_reps) {
+      num_reps_(num_reps),
+      words_per_row_((num_reps + 63) / 64),
+      stoch_(stoch_names_.size()) {
   MDE_CHECK_GT(num_reps_, 0u);
 }
 
@@ -26,54 +45,183 @@ void BundleTable::Append(BundleRow row) {
   for (const auto& v : row.stoch) MDE_CHECK_EQ(v.size(), num_reps_);
   if (row.active.empty()) row.active.assign(num_reps_, 1);
   MDE_CHECK_EQ(row.active.size(), num_reps_);
-  rows_.push_back(std::move(row));
+  det_rows_.push_back(std::move(row.det));
+  for (size_t k = 0; k < stoch_.size(); ++k) {
+    stoch_[k].insert(stoch_[k].end(), row.stoch[k].begin(),
+                     row.stoch[k].end());
+  }
+  for (size_t w = 0; w < words_per_row_; ++w) {
+    uint64_t word = 0;
+    const size_t base = w * 64;
+    const size_t lim = std::min<size_t>(64, num_reps_ - base);
+    for (size_t b = 0; b < lim; ++b) {
+      word |= static_cast<uint64_t>(row.active[base + b] != 0) << b;
+    }
+    active_.push_back(word);
+  }
+}
+
+BundleTable::BundleRow BundleTable::row(size_t i) const {
+  BundleRow r;
+  r.det = det_rows_[i];
+  r.stoch.resize(stoch_.size());
+  for (size_t k = 0; k < stoch_.size(); ++k) {
+    const double* v = stoch_[k].data() + i * num_reps_;
+    r.stoch[k].assign(v, v + num_reps_);
+  }
+  r.active.resize(num_reps_);
+  for (size_t rep = 0; rep < num_reps_; ++rep) {
+    r.active[rep] = is_active(i, rep) ? 1 : 0;
+  }
+  return r;
+}
+
+void BundleTable::RunRowChunks(
+    size_t n,
+    const std::function<void(size_t, size_t, size_t)>& fn) const {
+  if (n == 0) return;
+  if (pool_ != nullptr) {
+    pool_->ParallelForChunks(n, kRowGrain, fn);
+    return;
+  }
+  const size_t chunks = (n + kRowGrain - 1) / kRowGrain;
+  for (size_t c = 0; c < chunks; ++c) {
+    const size_t begin = c * kRowGrain;
+    fn(c, begin, std::min(n, begin + kRowGrain));
+  }
+}
+
+void BundleTable::GatherRows(const std::vector<uint32_t>& keep,
+                             const std::vector<uint64_t>& masks,
+                             BundleTable* out) const {
+  const size_t m = keep.size();
+  out->det_rows_.reserve(m);
+  for (size_t k = 0; k < stoch_.size(); ++k) {
+    out->stoch_[k].resize(m * num_reps_);
+  }
+  out->active_.resize(m * words_per_row_);
+  for (size_t j = 0; j < m; ++j) {
+    const size_t i = keep[j];
+    out->det_rows_.push_back(det_rows_[i]);
+    for (size_t k = 0; k < stoch_.size(); ++k) {
+      std::memcpy(out->stoch_[k].data() + j * num_reps_,
+                  stoch_[k].data() + i * num_reps_,
+                  num_reps_ * sizeof(double));
+    }
+    std::memcpy(out->active_.data() + j * words_per_row_,
+                masks.data() + i * words_per_row_,
+                words_per_row_ * sizeof(uint64_t));
+  }
 }
 
 BundleTable BundleTable::FilterDet(const table::RowPredicate& pred) const {
   BundleTable out(det_schema_, stoch_names_, num_reps_);
-  for (const BundleRow& r : rows_) {
-    if (pred(r.det)) out.Append(r);
+  out.pool_ = pool_;
+  const size_t n = num_rows();
+  std::vector<uint8_t> match(n, 0);
+  RunRowChunks(n, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      match[i] = pred(det_rows_[i]) ? 1 : 0;
+    }
+  });
+  std::vector<uint32_t> keep;
+  keep.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (match[i]) keep.push_back(static_cast<uint32_t>(i));
   }
+  GatherRows(keep, active_, &out);
   return out;
 }
+
+namespace {
+
+/// Computes, for every row, the conjunction of the existing mask with the
+/// per-repetition comparison result — the columnar core of FilterStoch.
+/// Word-at-a-time over the packed masks; `cmp` is inlined per CmpOp.
+template <typename Cmp>
+void FilterMaskKernel(const double* block, const uint64_t* active,
+                      size_t num_reps, size_t wpr, size_t begin, size_t end,
+                      Cmp cmp, uint64_t* new_active, uint8_t* any) {
+  for (size_t i = begin; i < end; ++i) {
+    const double* v = block + i * num_reps;
+    uint64_t row_any = 0;
+    for (size_t w = 0; w < wpr; ++w) {
+      const uint64_t old_word = active[i * wpr + w];
+      uint64_t word = 0;
+      const size_t base = w * 64;
+      const size_t lim = std::min<size_t>(64, num_reps - base);
+      if (old_word == ~0ULL && lim == 64) {
+        // Dense fast path: branch-free evaluation over the full word.
+        for (size_t b = 0; b < 64; ++b) {
+          word |= static_cast<uint64_t>(cmp(v[base + b])) << b;
+        }
+      } else if (old_word != 0) {
+        // Sparse path: only already-active repetitions can survive.
+        for (uint64_t rest = old_word; rest != 0; rest &= rest - 1) {
+          const size_t b = static_cast<size_t>(std::countr_zero(rest));
+          word |= static_cast<uint64_t>(cmp(v[base + b])) << b;
+        }
+      }
+      new_active[i * wpr + w] = word;
+      row_any |= word;
+    }
+    any[i] = row_any != 0 ? 1 : 0;
+  }
+}
+
+}  // namespace
 
 Result<BundleTable> BundleTable::FilterStoch(const std::string& attr,
                                              table::CmpOp op,
                                              double threshold) const {
   MDE_ASSIGN_OR_RETURN(size_t k, StochIndex(attr));
   BundleTable out(det_schema_, stoch_names_, num_reps_);
-  for (const BundleRow& r : rows_) {
-    BundleRow nr = r;
-    bool any = false;
-    for (size_t rep = 0; rep < num_reps_; ++rep) {
-      if (!nr.active[rep]) continue;
-      const double v = r.stoch[k][rep];
-      bool keep = false;
-      switch (op) {
-        case table::CmpOp::kEq:
-          keep = v == threshold;
-          break;
-        case table::CmpOp::kNe:
-          keep = v != threshold;
-          break;
-        case table::CmpOp::kLt:
-          keep = v < threshold;
-          break;
-        case table::CmpOp::kLe:
-          keep = v <= threshold;
-          break;
-        case table::CmpOp::kGt:
-          keep = v > threshold;
-          break;
-        case table::CmpOp::kGe:
-          keep = v >= threshold;
-          break;
-      }
-      nr.active[rep] = keep ? 1 : 0;
-      any |= keep;
+  out.pool_ = pool_;
+  const size_t n = num_rows();
+  const double* block = stoch_[k].data();
+  std::vector<uint64_t> new_active(active_.size());
+  std::vector<uint8_t> any(n, 0);
+  const double t = threshold;
+  RunRowChunks(n, [&](size_t, size_t begin, size_t end) {
+    switch (op) {
+      case table::CmpOp::kEq:
+        FilterMaskKernel(
+            block, active_.data(), num_reps_, words_per_row_, begin, end,
+            [t](double v) { return v == t; }, new_active.data(), any.data());
+        break;
+      case table::CmpOp::kNe:
+        FilterMaskKernel(
+            block, active_.data(), num_reps_, words_per_row_, begin, end,
+            [t](double v) { return v != t; }, new_active.data(), any.data());
+        break;
+      case table::CmpOp::kLt:
+        FilterMaskKernel(
+            block, active_.data(), num_reps_, words_per_row_, begin, end,
+            [t](double v) { return v < t; }, new_active.data(), any.data());
+        break;
+      case table::CmpOp::kLe:
+        FilterMaskKernel(
+            block, active_.data(), num_reps_, words_per_row_, begin, end,
+            [t](double v) { return v <= t; }, new_active.data(), any.data());
+        break;
+      case table::CmpOp::kGt:
+        FilterMaskKernel(
+            block, active_.data(), num_reps_, words_per_row_, begin, end,
+            [t](double v) { return v > t; }, new_active.data(), any.data());
+        break;
+      case table::CmpOp::kGe:
+        FilterMaskKernel(
+            block, active_.data(), num_reps_, words_per_row_, begin, end,
+            [t](double v) { return v >= t; }, new_active.data(), any.data());
+        break;
     }
-    if (any) out.Append(std::move(nr));
+  });
+  std::vector<uint32_t> keep;
+  keep.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (any[i]) keep.push_back(static_cast<uint32_t>(i));
   }
+  GatherRows(keep, new_active, &out);
   return out;
 }
 
@@ -84,80 +232,174 @@ Result<BundleTable> BundleTable::MapStoch(
   std::vector<std::string> names = stoch_names_;
   names.push_back(name);
   BundleTable out(det_schema_, std::move(names), num_reps_);
-  std::vector<double> at_rep(stoch_names_.size());
-  for (const BundleRow& r : rows_) {
-    BundleRow nr = r;
-    std::vector<double> computed(num_reps_, 0.0);
-    for (size_t rep = 0; rep < num_reps_; ++rep) {
-      for (size_t k = 0; k < stoch_names_.size(); ++k) {
-        at_rep[k] = r.stoch[k][rep];
+  out.pool_ = pool_;
+  const size_t n = num_rows();
+  const size_t num_k = stoch_names_.size();
+  out.det_rows_ = det_rows_;
+  for (size_t k = 0; k < num_k; ++k) out.stoch_[k] = stoch_[k];
+  out.active_ = active_;
+  out.stoch_[num_k].resize(n * num_reps_);
+  double* computed = out.stoch_[num_k].data();
+  RunRowChunks(n, [&](size_t, size_t begin, size_t end) {
+    std::vector<double> at_rep(num_k);  // per-chunk scratch
+    for (size_t i = begin; i < end; ++i) {
+      for (size_t rep = 0; rep < num_reps_; ++rep) {
+        for (size_t k = 0; k < num_k; ++k) {
+          at_rep[k] = stoch_[k][i * num_reps_ + rep];
+        }
+        computed[i * num_reps_ + rep] = fn(det_rows_[i], at_rep);
       }
-      computed[rep] = fn(r.det, at_rep);
     }
-    nr.stoch.push_back(std::move(computed));
-    out.Append(std::move(nr));
-  }
+  });
   return out;
 }
+
+namespace {
+
+/// Adds the active values of rows [begin, end) into sums[0..num_reps),
+/// optionally counting actives. The all-active word fast path keeps the
+/// inner loop a pure vectorizable add; the sparse path visits only set bits
+/// (countr_zero iteration, ascending — same accumulation order as a full
+/// scan, so the result is unchanged).
+void MaskedSumKernel(const double* block, const uint64_t* active,
+                     size_t num_reps, size_t wpr, size_t begin, size_t end,
+                     double* sums, double* counts) {
+  for (size_t i = begin; i < end; ++i) {
+    const double* v = block + i * num_reps;
+    const uint64_t* m = active + i * wpr;
+    for (size_t w = 0; w < wpr; ++w) {
+      const uint64_t word = m[w];
+      if (word == 0) continue;
+      const size_t base = w * 64;
+      const size_t lim = std::min<size_t>(64, num_reps - base);
+      if (word == ~0ULL && lim == 64) {
+        for (size_t b = 0; b < 64; ++b) sums[base + b] += v[base + b];
+        if (counts != nullptr) {
+          for (size_t b = 0; b < 64; ++b) counts[base + b] += 1.0;
+        }
+      } else {
+        for (uint64_t rest = word; rest != 0; rest &= rest - 1) {
+          const size_t b = static_cast<size_t>(std::countr_zero(rest));
+          sums[base + b] += v[base + b];
+          if (counts != nullptr) counts[base + b] += 1.0;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
 
 Result<std::vector<double>> BundleTable::AggregateSum(
     const std::string& attr) const {
   MDE_ASSIGN_OR_RETURN(size_t k, StochIndex(attr));
-  std::vector<double> sums(num_reps_, 0.0);
-  for (const BundleRow& r : rows_) {
-    for (size_t rep = 0; rep < num_reps_; ++rep) {
-      if (r.active[rep]) sums[rep] += r.stoch[k][rep];
-    }
-  }
-  return sums;
+  const double* block = stoch_[k].data();
+  return ReduceRows<std::vector<double>>(
+      std::vector<double>(num_reps_, 0.0),
+      [&](size_t begin, size_t end) {
+        std::vector<double> sums(num_reps_, 0.0);
+        MaskedSumKernel(block, active_.data(), num_reps_, words_per_row_,
+                        begin, end, sums.data(), nullptr);
+        return sums;
+      },
+      [](std::vector<double> a, std::vector<double> b) {
+        for (size_t rep = 0; rep < a.size(); ++rep) a[rep] += b[rep];
+        return a;
+      });
 }
 
 Result<std::vector<double>> BundleTable::AggregateAvg(
     const std::string& attr) const {
   MDE_ASSIGN_OR_RETURN(size_t k, StochIndex(attr));
-  std::vector<double> sums(num_reps_, 0.0);
-  std::vector<size_t> counts(num_reps_, 0);
-  for (const BundleRow& r : rows_) {
-    for (size_t rep = 0; rep < num_reps_; ++rep) {
-      if (r.active[rep]) {
-        sums[rep] += r.stoch[k][rep];
-        ++counts[rep];
-      }
-    }
-  }
+  const double* block = stoch_[k].data();
+  SumCount zero{std::vector<double>(num_reps_, 0.0),
+                std::vector<double>(num_reps_, 0.0)};
+  SumCount total = ReduceRows<SumCount>(
+      zero,
+      [&](size_t begin, size_t end) {
+        SumCount sc{std::vector<double>(num_reps_, 0.0),
+                    std::vector<double>(num_reps_, 0.0)};
+        MaskedSumKernel(block, active_.data(), num_reps_, words_per_row_,
+                        begin, end, sc.sums.data(), sc.counts.data());
+        return sc;
+      },
+      [](SumCount a, SumCount b) {
+        for (size_t rep = 0; rep < a.sums.size(); ++rep) {
+          a.sums[rep] += b.sums[rep];
+          a.counts[rep] += b.counts[rep];
+        }
+        return a;
+      });
   for (size_t rep = 0; rep < num_reps_; ++rep) {
-    sums[rep] = counts[rep] > 0 ? sums[rep] / counts[rep] : 0.0;
+    total.sums[rep] =
+        total.counts[rep] > 0.0 ? total.sums[rep] / total.counts[rep] : 0.0;
   }
-  return sums;
+  return std::move(total.sums);
 }
 
 std::vector<double> BundleTable::AggregateCount() const {
-  std::vector<double> counts(num_reps_, 0.0);
-  for (const BundleRow& r : rows_) {
-    for (size_t rep = 0; rep < num_reps_; ++rep) {
-      if (r.active[rep]) counts[rep] += 1.0;
-    }
-  }
-  return counts;
+  return ReduceRows<std::vector<double>>(
+      std::vector<double>(num_reps_, 0.0),
+      [&](size_t begin, size_t end) {
+        std::vector<double> counts(num_reps_, 0.0);
+        for (size_t i = begin; i < end; ++i) {
+          const uint64_t* m = active_.data() + i * words_per_row_;
+          for (size_t w = 0; w < words_per_row_; ++w) {
+            const size_t base = w * 64;
+            for (uint64_t rest = m[w]; rest != 0; rest &= rest - 1) {
+              counts[base + static_cast<size_t>(std::countr_zero(rest))] +=
+                  1.0;
+            }
+          }
+        }
+        return counts;
+      },
+      [](std::vector<double> a, std::vector<double> b) {
+        for (size_t rep = 0; rep < a.size(); ++rep) a[rep] += b[rep];
+        return a;
+      });
 }
 
 Result<std::vector<BundleTable::GroupedSamples>> BundleTable::GroupSum(
     const std::string& det_key, const std::string& attr) const {
   MDE_ASSIGN_OR_RETURN(size_t key_idx, det_schema_.IndexOf(det_key));
   MDE_ASSIGN_OR_RETURN(size_t k, StochIndex(attr));
+  const size_t n = num_rows();
+  // Serial keying pass preserves first-appearance group order.
+  std::vector<uint32_t> group_of(n);
   std::vector<GroupedSamples> groups;
-  auto find_group = [&](const std::string& g) -> GroupedSamples& {
-    for (auto& existing : groups) {
-      if (existing.group == g) return existing;
+  std::unordered_map<std::string, uint32_t> index;
+  for (size_t i = 0; i < n; ++i) {
+    std::string key = det_rows_[i][key_idx].ToString();
+    auto [it, inserted] =
+        index.emplace(std::move(key), static_cast<uint32_t>(groups.size()));
+    if (inserted) {
+      groups.push_back(
+          {it->first, std::vector<double>(num_reps_, 0.0)});
     }
-    groups.push_back({g, std::vector<double>(num_reps_, 0.0)});
-    return groups.back();
-  };
-  for (const BundleRow& r : rows_) {
-    GroupedSamples& g = find_group(r.det[key_idx].ToString());
-    for (size_t rep = 0; rep < num_reps_; ++rep) {
-      if (r.active[rep]) g.sums[rep] += r.stoch[k][rep];
-    }
+    group_of[i] = it->second;
+  }
+  const size_t g_count = groups.size();
+  const double* block = stoch_[k].data();
+  // Flattened (group x rep) partials, combined in fixed chunk order.
+  std::vector<double> totals = ReduceRows<std::vector<double>>(
+      std::vector<double>(g_count * num_reps_, 0.0),
+      [&](size_t begin, size_t end) {
+        std::vector<double> partial(g_count * num_reps_, 0.0);
+        for (size_t i = begin; i < end; ++i) {
+          MaskedSumKernel(block, active_.data(), num_reps_, words_per_row_, i,
+                          i + 1, partial.data() + group_of[i] * num_reps_,
+                          nullptr);
+        }
+        return partial;
+      },
+      [](std::vector<double> a, std::vector<double> b) {
+        for (size_t j = 0; j < a.size(); ++j) a[j] += b[j];
+        return a;
+      });
+  for (size_t g = 0; g < g_count; ++g) {
+    std::copy(totals.begin() + g * num_reps_,
+              totals.begin() + (g + 1) * num_reps_, groups[g].sums.begin());
   }
   return groups;
 }
@@ -165,7 +407,8 @@ Result<std::vector<BundleTable::GroupedSamples>> BundleTable::GroupSum(
 Result<BundleTable> GenerateBundles(const MonteCarloDb& db,
                                     const StochasticTableSpec& spec,
                                     const std::string& attr_name,
-                                    size_t num_reps, uint64_t seed) {
+                                    size_t num_reps, uint64_t seed,
+                                    ThreadPool* pool) {
   const table::Table* outer = db.FindTable(spec.outer_table);
   if (outer == nullptr) {
     return Status::NotFound("FOR EACH table not found: " + spec.outer_table);
@@ -184,31 +427,78 @@ Result<BundleTable> GenerateBundles(const MonteCarloDb& db,
       if (db.FindTable(name) != nullptr) det_only.emplace(name, t);
     }
   }
+  const size_t n = outer->num_rows();
   BundleTable out(outer->schema(), {attr_name}, num_reps);
-  std::vector<table::Row> vg_rows;
-  for (size_t i = 0; i < outer->num_rows(); ++i) {
-    const table::Row& outer_row = outer->row(i);
-    MDE_ASSIGN_OR_RETURN(table::Row params,
-                         spec.param_binder(outer_row, det_only));
-    BundleTable::BundleRow br;
-    br.det = outer_row;
-    br.stoch.assign(1, std::vector<double>(num_reps, 0.0));
-    for (size_t rep = 0; rep < num_reps; ++rep) {
-      // Independent per-(row, rep) stream via SplitMix64 seeding: O(1) per
-      // stream, unlike Jump-based substreams whose setup cost grows with
-      // the stream index.
-      Rng rng(seed ^ (0x9e3779b97f4a7c15ULL + i * 2654435761ULL +
-                      rep * 0x100000001b3ULL));
-      vg_rows.clear();
-      MDE_RETURN_NOT_OK(spec.vg->Generate(params, rng, &vg_rows));
-      if (vg_rows.size() != 1) {
-        return Status::Unimplemented(
-            "tuple bundles require single-row VG output");
-      }
-      br.stoch[0][rep] = vg_rows[0][0].AsDouble();
+  out.pool_ = pool;
+  out.det_rows_.resize(n);
+  out.stoch_[0].resize(n * num_reps);
+  // All rows start active in every repetition; padding bits stay zero.
+  out.active_.assign(n * out.words_per_row_, ~0ULL);
+  if (const size_t tail = num_reps % 64; tail != 0) {
+    const uint64_t last = (uint64_t{1} << tail) - 1;
+    for (size_t i = 0; i < n; ++i) {
+      out.active_[(i + 1) * out.words_per_row_ - 1] = last;
     }
-    out.Append(std::move(br));
   }
+
+  double* block = out.stoch_[0].data();
+  std::mutex err_mu;
+  Status first_err = Status::OK();
+  std::atomic<bool> failed{false};
+  auto record_error = [&](const Status& st) {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (!failed.exchange(true)) first_err = st;
+  };
+
+  auto chunk_fn = [&](size_t, size_t begin, size_t end) {
+    std::vector<table::Row> vg_rows;
+    for (size_t i = begin; i < end; ++i) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const table::Row& outer_row = outer->row(i);
+      auto params_r = spec.param_binder(outer_row, det_only);
+      if (!params_r.ok()) {
+        record_error(params_r.status());
+        return;
+      }
+      const table::Row& params = params_r.value();
+      out.det_rows_[i] = outer_row;
+      // Independent per-ROW stream via SplitMix64 seeding: O(1) per stream,
+      // unlike Jump-based substreams whose setup cost grows with the stream
+      // index. The row is the unit of parallelism and its repetitions are
+      // drawn sequentially from its own stream, so generation order — and
+      // hence thread count — cannot change the sampled values.
+      Rng rng(seed ^ (0x9e3779b97f4a7c15ULL + i * 2654435761ULL));
+      double* row_out = block + i * num_reps;
+      if (spec.vg->GenerateScalarN(params, rng, num_reps, row_out)) {
+        continue;
+      }
+      for (size_t rep = 0; rep < num_reps; ++rep) {
+        vg_rows.clear();
+        const Status st = spec.vg->Generate(params, rng, &vg_rows);
+        if (!st.ok()) {
+          record_error(st);
+          return;
+        }
+        if (vg_rows.size() != 1) {
+          record_error(Status::Unimplemented(
+              "tuple bundles require single-row VG output"));
+          return;
+        }
+        row_out[rep] = vg_rows[0][0].AsDouble();
+      }
+    }
+  };
+  if (pool != nullptr && n > 0) {
+    pool->ParallelForChunks(n, BundleTable::kRowGrain, chunk_fn);
+  } else {
+    const size_t chunks =
+        (n + BundleTable::kRowGrain - 1) / BundleTable::kRowGrain;
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t begin = c * BundleTable::kRowGrain;
+      chunk_fn(c, begin, std::min(n, begin + BundleTable::kRowGrain));
+    }
+  }
+  if (failed.load()) return first_err;
   return out;
 }
 

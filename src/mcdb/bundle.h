@@ -1,6 +1,7 @@
 #ifndef MDE_MCDB_BUNDLE_H_
 #define MDE_MCDB_BUNDLE_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "table/ops.h"
 #include "table/table.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace mde::mcdb {
 
@@ -18,10 +20,30 @@ namespace mde::mcdb {
 /// once and each uncertain attribute as an array of `num_reps` instantiated
 /// values. A query plan is then executed once, with per-repetition activity
 /// masks standing in for per-instance tuple existence.
+///
+/// Storage is columnar (SoA): stochastic attribute k lives in one
+/// contiguous rep-major block where value (row i, rep r) is
+/// `stoch_block(k)[i * num_reps + r]`, and activity masks are packed into
+/// 64-bit words (`words_per_row()` words per row, padding bits zero). The
+/// filter/aggregate kernels are tight loops over these blocks — this is the
+/// batch-oriented layout that makes tuple-bundle execution amortize plan
+/// work across repetitions instead of chasing per-tuple pointers.
+///
+/// Parallelism: attach a ThreadPool with set_pool() and the kernels split
+/// the row range into fixed chunks of kRowGrain rows. Chunk boundaries and
+/// the partial-aggregate combine order depend only on the row count, so
+/// results are bit-identical for any thread count (and for the serial
+/// pool-less path, which walks the same chunks in order).
 class BundleTable {
  public:
-  /// One logical tuple: deterministic part + per-repetition values of each
-  /// stochastic attribute.
+  /// Fixed row-chunk size for all kernels. A constant — never derived from
+  /// the pool size — so that floating-point combine order, and hence every
+  /// aggregate bit, is independent of the number of threads.
+  static constexpr size_t kRowGrain = 256;
+
+  /// One logical tuple in row form: interchange type for Append()/row().
+  /// Internally the table is columnar; this materialized view exists for
+  /// row-at-a-time construction and debugging.
   struct BundleRow {
     table::Row det;
     /// stoch[k][r] = value of stochastic attribute k in repetition r.
@@ -35,8 +57,31 @@ class BundleTable {
 
   const table::Schema& det_schema() const { return det_schema_; }
   size_t num_reps() const { return num_reps_; }
-  size_t num_rows() const { return rows_.size(); }
-  const BundleRow& row(size_t i) const { return rows_[i]; }
+  size_t num_rows() const { return det_rows_.size(); }
+
+  /// Executor pool for the filter/map/aggregate kernels; nullptr (default)
+  /// runs them serially. Not owned. Derived tables inherit the pool.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* pool() const { return pool_; }
+
+  /// Materializes row `i` (deterministic part, per-rep values, mask bytes).
+  /// O(num_stoch * num_reps) per call — use the columnar accessors below in
+  /// hot code.
+  BundleRow row(size_t i) const;
+
+  const table::Row& det_row(size_t i) const { return det_rows_[i]; }
+
+  /// Contiguous rep-major value block of stochastic attribute k.
+  const std::vector<double>& stoch_block(size_t k) const { return stoch_[k]; }
+
+  /// Packed activity-mask words; row i occupies
+  /// [i * words_per_row(), (i + 1) * words_per_row()).
+  const std::vector<uint64_t>& active_words() const { return active_; }
+  size_t words_per_row() const { return words_per_row_; }
+
+  bool is_active(size_t i, size_t rep) const {
+    return (active_[i * words_per_row_ + rep / 64] >> (rep % 64)) & 1u;
+  }
 
   /// Index of a stochastic attribute by name; error if absent.
   Result<size_t> StochIndex(const std::string& name) const;
@@ -45,7 +90,8 @@ class BundleTable {
   void Append(BundleRow row);
 
   /// sigma over deterministic attributes — evaluated ONCE for all
-  /// repetitions; this is where tuple bundles beat the naive loop.
+  /// repetitions; this is where tuple bundles beat the naive loop. `pred`
+  /// must be safe to call concurrently (pure) when a pool is attached.
   BundleTable FilterDet(const table::RowPredicate& pred) const;
 
   /// sigma over a stochastic attribute — updates activity masks
@@ -55,7 +101,8 @@ class BundleTable {
                                   double threshold) const;
 
   /// Adds stochastic attribute `name` computed per-repetition from the
-  /// deterministic row and the existing stochastic values.
+  /// deterministic row and the existing stochastic values. `fn` must be
+  /// safe to call concurrently (pure) when a pool is attached.
   Result<BundleTable> MapStoch(
       const std::string& name,
       const std::function<double(const table::Row& det,
@@ -75,8 +122,9 @@ class BundleTable {
   /// Grouped SUM(attr): per distinct value of deterministic column
   /// `det_key`, the per-repetition sums over active tuples — the bundled
   /// equivalent of "SELECT key, SUM(attr) ... GROUP BY key" per database
-  /// instance. Feeds the paper's threshold queries ("which regions decline
-  /// by more than 2% with at least 50% probability?").
+  /// instance. Groups appear in order of first appearance. Feeds the
+  /// paper's threshold queries ("which regions decline by more than 2% with
+  /// at least 50% probability?").
   struct GroupedSamples {
     std::string group;
     std::vector<double> sums;  // one per repetition
@@ -85,10 +133,53 @@ class BundleTable {
                                                const std::string& attr) const;
 
  private:
+  /// Runs fn(chunk, begin, end) over fixed kRowGrain row chunks — on the
+  /// pool when attached, otherwise serially in ascending chunk order.
+  void RunRowChunks(
+      size_t n,
+      const std::function<void(size_t chunk, size_t begin, size_t end)>& fn)
+      const;
+
+  /// Deterministic chunked reduction over rows: identical chunking and
+  /// combine order with or without a pool.
+  template <typename T>
+  T ReduceRows(T identity, const std::function<T(size_t, size_t)>& map,
+               const std::function<T(T, T)>& combine) const {
+    const size_t n = num_rows();
+    if (n == 0) return identity;
+    if (pool_ != nullptr) {
+      return pool_->ParallelReduce<T>(n, kRowGrain, identity, map, combine);
+    }
+    const size_t chunks = (n + kRowGrain - 1) / kRowGrain;
+    T acc = map(0, std::min(n, kRowGrain));
+    for (size_t c = 1; c < chunks; ++c) {
+      const size_t begin = c * kRowGrain;
+      acc = combine(std::move(acc), map(begin, std::min(n, begin + kRowGrain)));
+    }
+    return acc;
+  }
+
+  /// Copies the rows listed in `keep` (with per-row mask words taken from
+  /// `masks`, which may alias active_) into `out`.
+  void GatherRows(const std::vector<uint32_t>& keep,
+                  const std::vector<uint64_t>& masks, BundleTable* out) const;
+
   table::Schema det_schema_;
   std::vector<std::string> stoch_names_;
   size_t num_reps_;
-  std::vector<BundleRow> rows_;
+  size_t words_per_row_;
+  std::vector<table::Row> det_rows_;
+  /// stoch_[k] has num_rows * num_reps doubles, rep-major per row.
+  std::vector<std::vector<double>> stoch_;
+  /// num_rows * words_per_row_ packed mask words; padding bits are zero.
+  std::vector<uint64_t> active_;
+  ThreadPool* pool_ = nullptr;
+
+  friend Result<BundleTable> GenerateBundles(const MonteCarloDb& db,
+                                             const StochasticTableSpec& spec,
+                                             const std::string& attr_name,
+                                             size_t num_reps, uint64_t seed,
+                                             ThreadPool* pool);
 };
 
 /// Generates a BundleTable realization of `spec` with `num_reps`
@@ -97,10 +188,16 @@ class BundleTable {
 /// through the naive path). The deterministic part of each bundle is the
 /// outer row; the VG value becomes stochastic attribute `attr_name`.
 /// Statistically equivalent to `num_reps` independent Instantiate() calls.
+///
+/// Each row draws its repetitions sequentially from its own RNG substream,
+/// so generation is parallelized over rows when `pool` is non-null with
+/// bit-identical output for any thread count; the produced table inherits
+/// `pool`.
 Result<BundleTable> GenerateBundles(const MonteCarloDb& db,
                                     const StochasticTableSpec& spec,
                                     const std::string& attr_name,
-                                    size_t num_reps, uint64_t seed);
+                                    size_t num_reps, uint64_t seed,
+                                    ThreadPool* pool = nullptr);
 
 }  // namespace mde::mcdb
 

@@ -74,21 +74,29 @@ Result<QuantileEstimate> ExtremeQuantile(std::vector<double> samples,
 Result<BootstrapCi> BootstrapConfidenceInterval(
     const std::vector<double>& samples,
     const std::function<double(const std::vector<double>&)>& statistic,
-    size_t resamples, double level, uint64_t seed) {
+    size_t resamples, double level, uint64_t seed, ThreadPool* pool) {
   if (samples.size() < 2) return Status::InvalidArgument("need >= 2 samples");
   if (resamples < 10) return Status::InvalidArgument("need >= 10 resamples");
   if (level <= 0.0 || level >= 1.0) {
     return Status::InvalidArgument("level must be in (0,1)");
   }
-  Rng rng(seed);
-  std::vector<double> stats;
-  stats.reserve(resamples);
-  std::vector<double> resample(samples.size());
-  for (size_t b = 0; b < resamples; ++b) {
-    for (size_t i = 0; i < samples.size(); ++i) {
-      resample[i] = samples[rng.NextBounded(samples.size())];
+  // Each replicate b owns substream seed^mix(b), so stats[b] does not
+  // depend on which thread computes it (or whether a pool is used at all).
+  std::vector<double> stats(resamples, 0.0);
+  auto run_range = [&](size_t, size_t begin, size_t end) {
+    std::vector<double> resample(samples.size());  // per-chunk scratch
+    for (size_t b = begin; b < end; ++b) {
+      Rng rng(seed ^ (0x9e3779b97f4a7c15ULL + b * 2654435761ULL));
+      for (size_t i = 0; i < samples.size(); ++i) {
+        resample[i] = samples[rng.NextBounded(samples.size())];
+      }
+      stats[b] = statistic(resample);
     }
-    stats.push_back(statistic(resample));
+  };
+  if (pool != nullptr) {
+    pool->ParallelForChunks(resamples, /*grain=*/0, run_range);
+  } else {
+    run_range(0, 0, resamples);
   }
   BootstrapCi ci;
   ci.estimate = statistic(samples);

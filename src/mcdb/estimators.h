@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace mde::mcdb {
 
@@ -52,6 +53,11 @@ Result<QuantileEstimate> ExtremeQuantile(std::vector<double> samples,
 /// Nonparametric bootstrap confidence interval for an arbitrary statistic
 /// of the Monte Carlo samples (median, quantile, trimmed mean, ...):
 /// percentile method over `resamples` bootstrap replicates.
+///
+/// Each replicate draws from its own RNG substream, so the replicates are
+/// embarrassingly parallel: pass a `pool` to fan them out. Results are
+/// identical with and without a pool, for any thread count. `statistic`
+/// must be safe to call concurrently (pure) when a pool is given.
 struct BootstrapCi {
   double estimate = 0.0;
   double lo = 0.0;
@@ -60,7 +66,8 @@ struct BootstrapCi {
 Result<BootstrapCi> BootstrapConfidenceInterval(
     const std::vector<double>& samples,
     const std::function<double(const std::vector<double>&)>& statistic,
-    size_t resamples, double level, uint64_t seed);
+    size_t resamples, double level, uint64_t seed,
+    ThreadPool* pool = nullptr);
 
 /// Per-group threshold query: given (group id, per-repetition result) rows,
 /// returns the ids of groups whose P(result > threshold) >= min_probability.

@@ -25,6 +25,43 @@ Status NormalVg::Generate(const Row& params, Rng& rng,
   return Status::OK();
 }
 
+bool NormalVg::GenerateScalar(const Row& params, Rng& rng,
+                              double* out) const {
+  // Parameters are validated BEFORE any sampling so that a false return
+  // leaves `rng` untouched (Generate() on the same stream then reproduces
+  // the identical draw).
+  if (params.size() != 2) return false;
+  const double mean = params[0].AsDouble();
+  const double std = params[1].AsDouble();
+  if (std < 0.0) return false;
+  *out = SampleNormal(rng, mean, std);
+  return true;
+}
+
+bool NormalVg::GenerateScalarN(const Row& params, Rng& rng, size_t n,
+                               double* out) const {
+  if (params.size() != 2) return false;
+  const double mean = params[0].AsDouble();
+  const double sigma = params[1].AsDouble();
+  if (sigma < 0.0) return false;
+  // Marsaglia polar, keeping BOTH variates of each accepted pair: the
+  // stateless unit sampler throws the second one away, doubling the
+  // sqrt/log cost that dominates tuple-bundle generation.
+  size_t r = 0;
+  while (r < n) {
+    double u, v, s;
+    do {
+      u = 2.0 * rng.NextDouble() - 1.0;
+      v = 2.0 * rng.NextDouble() - 1.0;
+      s = u * u + v * v;
+    } while (s <= 0.0 || s >= 1.0);
+    const double f = std::sqrt(-2.0 * std::log(s) / s);
+    out[r++] = mean + sigma * (u * f);
+    if (r < n) out[r++] = mean + sigma * (v * f);
+  }
+  return true;
+}
+
 UniformVg::UniformVg()
     : name_("Uniform"),
       schema_(Schema({{"VALUE", DataType::kDouble}})) {}
@@ -41,6 +78,26 @@ Status UniformVg::Generate(const Row& params, Rng& rng,
   return Status::OK();
 }
 
+bool UniformVg::GenerateScalar(const Row& params, Rng& rng,
+                               double* out) const {
+  if (params.size() != 2) return false;
+  const double lo = params[0].AsDouble();
+  const double hi = params[1].AsDouble();
+  if (lo > hi) return false;
+  *out = SampleUniform(rng, lo, hi);
+  return true;
+}
+
+bool UniformVg::GenerateScalarN(const Row& params, Rng& rng, size_t n,
+                                double* out) const {
+  if (params.size() != 2) return false;
+  const double lo = params[0].AsDouble();
+  const double hi = params[1].AsDouble();
+  if (lo > hi) return false;
+  for (size_t r = 0; r < n; ++r) out[r] = SampleUniform(rng, lo, hi);
+  return true;
+}
+
 PoissonVg::PoissonVg()
     : name_("Poisson"),
       schema_(Schema({{"VALUE", DataType::kInt64}})) {}
@@ -54,6 +111,27 @@ Status PoissonVg::Generate(const Row& params, Rng& rng,
   if (lambda < 0.0) return Status::InvalidArgument("lambda must be >= 0");
   out->push_back({Value(SamplePoisson(rng, lambda))});
   return Status::OK();
+}
+
+bool PoissonVg::GenerateScalar(const Row& params, Rng& rng,
+                               double* out) const {
+  if (params.size() != 1) return false;
+  const double lambda = params[0].AsDouble();
+  if (lambda < 0.0) return false;
+  // Matches Value(int64).AsDouble() on the slow path.
+  *out = static_cast<double>(SamplePoisson(rng, lambda));
+  return true;
+}
+
+bool PoissonVg::GenerateScalarN(const Row& params, Rng& rng, size_t n,
+                                double* out) const {
+  if (params.size() != 1) return false;
+  const double lambda = params[0].AsDouble();
+  if (lambda < 0.0) return false;
+  for (size_t r = 0; r < n; ++r) {
+    out[r] = static_cast<double>(SamplePoisson(rng, lambda));
+  }
+  return true;
 }
 
 BernoulliVg::BernoulliVg()
@@ -124,6 +202,45 @@ Status DiscreteVg::Generate(const Row& params, Rng& rng,
   return Status::OK();
 }
 
+bool DiscreteVg::GenerateScalar(const Row& params, Rng& rng,
+                                double* out) const {
+  if (params.empty()) return false;
+  std::vector<double> weights;
+  weights.reserve(params.size());
+  double total = 0.0;
+  for (const Value& v : params) {
+    const double w = v.AsDouble();
+    if (w < 0.0) return false;
+    weights.push_back(w);
+    total += w;
+  }
+  if (total <= 0.0) return false;
+  AliasTable table(weights);
+  *out = static_cast<double>(table.Sample(rng));
+  return true;
+}
+
+bool DiscreteVg::GenerateScalarN(const Row& params, Rng& rng, size_t n,
+                                 double* out) const {
+  if (params.empty()) return false;
+  std::vector<double> weights;
+  weights.reserve(params.size());
+  double total = 0.0;
+  for (const Value& v : params) {
+    const double w = v.AsDouble();
+    if (w < 0.0) return false;
+    weights.push_back(w);
+    total += w;
+  }
+  if (total <= 0.0) return false;
+  // One alias-table build amortized over the whole batch.
+  AliasTable table(weights);
+  for (size_t r = 0; r < n; ++r) {
+    out[r] = static_cast<double>(table.Sample(rng));
+  }
+  return true;
+}
+
 BayesianDemandVg::BayesianDemandVg()
     : name_("BayesianDemand"),
       schema_(Schema({{"DEMAND", DataType::kInt64}})) {}
@@ -154,6 +271,28 @@ Status BayesianDemandVg::Generate(const Row& params, Rng& rng,
   const double rate = base_rate * std::pow(price / ref_price, -elasticity);
   out->push_back({Value(SamplePoisson(rng, rate))});
   return Status::OK();
+}
+
+bool BayesianDemandVg::GenerateScalar(const Row& params, Rng& rng,
+                                      double* out) const {
+  if (params.size() != 7) return false;
+  const double prior_shape = params[0].AsDouble();
+  const double prior_rate = params[1].AsDouble();
+  const double purchases = params[2].AsDouble();
+  const double periods = params[3].AsDouble();
+  const double price = params[4].AsDouble();
+  const double ref_price = params[5].AsDouble();
+  const double elasticity = params[6].AsDouble();
+  if (prior_shape <= 0.0 || prior_rate <= 0.0 || periods < 0.0 ||
+      ref_price <= 0.0 || price <= 0.0) {
+    return false;
+  }
+  const double post_shape = prior_shape + purchases;
+  const double post_rate = prior_rate + periods;
+  const double base_rate = SampleGamma(rng, post_shape, 1.0 / post_rate);
+  const double rate = base_rate * std::pow(price / ref_price, -elasticity);
+  *out = static_cast<double>(SamplePoisson(rng, rate));
+  return true;
 }
 
 }  // namespace mde::mcdb

@@ -30,6 +30,40 @@ class VgFunction {
   /// given the bound parameter row.
   virtual Status Generate(const table::Row& params, Rng& rng,
                           std::vector<table::Row>* out) const = 0;
+
+  /// Allocation-free fast path for single-row, single-numeric-column VG
+  /// functions: writes one realization to *out and returns true, or returns
+  /// false when this function has no scalar form (multi-row output, invalid
+  /// parameters, non-numeric value). A false return must not have consumed
+  /// any randomness from `rng`, so callers can fall back to Generate() on
+  /// the same stream and observe identical samples. The tuple-bundle
+  /// generator calls this once per (row, rep) — the point is to skip the
+  /// table::Row / Value boxing that dominates the naive path.
+  virtual bool GenerateScalar(const table::Row& params, Rng& rng,
+                              double* out) const {
+    (void)params;
+    (void)rng;
+    (void)out;
+    return false;
+  }
+
+  /// Batch form of GenerateScalar: writes `n` independent realizations to
+  /// out[0..n). The bundle generator calls this once per tuple with that
+  /// tuple's private substream, so overrides may validate and bind
+  /// parameters once and sample in a tight loop (and may use a blocked
+  /// sampling scheme — e.g. consuming both Marsaglia polar variates — so
+  /// the realized values need not equal n unit GenerateScalar calls; only
+  /// the joint distribution is contractual). A false return must leave
+  /// `rng` untouched. The default delegates to GenerateScalar, whose
+  /// param-dependent failure is decided before any sampling, so a false
+  /// unit call can only happen at i == 0.
+  virtual bool GenerateScalarN(const table::Row& params, Rng& rng, size_t n,
+                               double* out) const {
+    for (size_t i = 0; i < n; ++i) {
+      if (!GenerateScalar(params, rng, out + i)) return false;
+    }
+    return true;
+  }
 };
 
 /// Normal VG function: params = (mean, std); generates one row (VALUE).
@@ -41,6 +75,12 @@ class NormalVg : public VgFunction {
   const table::Schema& output_schema() const override { return schema_; }
   Status Generate(const table::Row& params, Rng& rng,
                   std::vector<table::Row>* out) const override;
+  bool GenerateScalar(const table::Row& params, Rng& rng,
+                      double* out) const override;
+  /// Blocked sampler: consumes both Marsaglia polar variates per accept,
+  /// halving the log/sqrt cost that dominates bundle generation.
+  bool GenerateScalarN(const table::Row& params, Rng& rng, size_t n,
+                       double* out) const override;
 
  private:
   std::string name_;
@@ -55,6 +95,10 @@ class UniformVg : public VgFunction {
   const table::Schema& output_schema() const override { return schema_; }
   Status Generate(const table::Row& params, Rng& rng,
                   std::vector<table::Row>* out) const override;
+  bool GenerateScalar(const table::Row& params, Rng& rng,
+                      double* out) const override;
+  bool GenerateScalarN(const table::Row& params, Rng& rng, size_t n,
+                       double* out) const override;
 
  private:
   std::string name_;
@@ -69,6 +113,10 @@ class PoissonVg : public VgFunction {
   const table::Schema& output_schema() const override { return schema_; }
   Status Generate(const table::Row& params, Rng& rng,
                   std::vector<table::Row>* out) const override;
+  bool GenerateScalar(const table::Row& params, Rng& rng,
+                      double* out) const override;
+  bool GenerateScalarN(const table::Row& params, Rng& rng, size_t n,
+                       double* out) const override;
 
  private:
   std::string name_;
@@ -117,6 +165,12 @@ class DiscreteVg : public VgFunction {
   const table::Schema& output_schema() const override { return schema_; }
   Status Generate(const table::Row& params, Rng& rng,
                   std::vector<table::Row>* out) const override;
+  bool GenerateScalar(const table::Row& params, Rng& rng,
+                      double* out) const override;
+  /// Builds the alias table ONCE for the whole batch — the unit call pays
+  /// the O(k) table build per draw.
+  bool GenerateScalarN(const table::Row& params, Rng& rng, size_t n,
+                       double* out) const override;
 
  private:
   std::string name_;
@@ -136,6 +190,8 @@ class BayesianDemandVg : public VgFunction {
   const table::Schema& output_schema() const override { return schema_; }
   Status Generate(const table::Row& params, Rng& rng,
                   std::vector<table::Row>* out) const override;
+  bool GenerateScalar(const table::Row& params, Rng& rng,
+                      double* out) const override;
 
  private:
   std::string name_;

@@ -33,13 +33,17 @@ std::vector<double> BroadcastTheta(const std::vector<double>& theta,
 }
 
 /// Builds the correlation matrix R(theta) with nugget and noise on the
-/// diagonal (noise relative to tau2).
+/// diagonal (noise relative to tau2). Row band i (cells (i, j>=i) and
+/// (j>=i, i)) touches no cell of band i' != i, so bands fill in parallel on
+/// `pool` with every cell written exactly once — the result cannot depend
+/// on scheduling.
 linalg::Matrix BuildR(const linalg::Matrix& x,
                       const std::vector<double>& theta, double nugget,
-                      const std::vector<double>& noise_over_tau2) {
+                      const std::vector<double>& noise_over_tau2,
+                      ThreadPool* pool) {
   const size_t r = x.rows();
   linalg::Matrix R(r, r);
-  for (size_t i = 0; i < r; ++i) {
+  auto fill_band = [&](size_t i) {
     const linalg::Vector xi = RowOf(x, i);
     for (size_t j = i; j < r; ++j) {
       const double c = Correlation(xi, RowOf(x, j), theta);
@@ -47,6 +51,11 @@ linalg::Matrix BuildR(const linalg::Matrix& x,
       R(j, i) = c;
     }
     R(i, i) += nugget + (noise_over_tau2.empty() ? 0.0 : noise_over_tau2[i]);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(r, fill_band);
+  } else {
+    for (size_t i = 0; i < r; ++i) fill_band(i);
   }
   return R;
 }
@@ -56,13 +65,13 @@ linalg::Matrix BuildR(const linalg::Matrix& x,
 Result<double> KrigingLogLikelihood(const linalg::Matrix& x,
                                     const linalg::Vector& y,
                                     const std::vector<double>& theta,
-                                    double nugget) {
+                                    double nugget, ThreadPool* pool) {
   const size_t r = x.rows();
   if (r == 0 || r != y.size()) {
     return Status::InvalidArgument("bad design/response sizes");
   }
   const std::vector<double> th = BroadcastTheta(theta, x.cols());
-  linalg::Matrix R = BuildR(x, th, nugget, {});
+  linalg::Matrix R = BuildR(x, th, nugget, {}, pool);
   MDE_ASSIGN_OR_RETURN(linalg::Matrix l, linalg::Cholesky(R));
   // log det R from the Cholesky factor.
   double log_det = 0.0;
@@ -125,7 +134,8 @@ Result<KrigingModel> KrigingModel::FitImpl(
         for (double log_th = -3.0; log_th <= 3.0; log_th += 0.25) {
           std::vector<double> trial = model.theta_;
           trial[k] = std::pow(10.0, log_th);
-          auto ll = KrigingLogLikelihood(x, y, trial, options.nugget);
+          auto ll =
+              KrigingLogLikelihood(x, y, trial, options.nugget, options.pool);
           if (ll.ok() && ll.value() > best_ll) {
             best_ll = ll.value();
             best_theta = trial[k];
@@ -135,7 +145,8 @@ Result<KrigingModel> KrigingModel::FitImpl(
       }
     }
     // Profile estimate of tau^2 under the chosen theta.
-    linalg::Matrix R = BuildR(x, model.theta_, options.nugget, {});
+    linalg::Matrix R =
+        BuildR(x, model.theta_, options.nugget, {}, options.pool);
     MDE_ASSIGN_OR_RETURN(linalg::Matrix l, linalg::Cholesky(R));
     const linalg::Vector ones(r, 1.0);
     const linalg::Vector ri_y = linalg::CholeskySolve(l, y);
@@ -163,7 +174,7 @@ Result<KrigingModel> KrigingModel::FitImpl(
     }
   }
   linalg::Matrix R =
-      BuildR(x, model.theta_, options.nugget, noise_over_tau2);
+      BuildR(x, model.theta_, options.nugget, noise_over_tau2, options.pool);
   R *= model.tau2_;
   MDE_ASSIGN_OR_RETURN(model.chol_, linalg::Cholesky(R));
 

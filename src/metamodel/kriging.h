@@ -6,6 +6,7 @@
 #include "linalg/matrix.h"
 #include "linalg/solve.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace mde::metamodel {
 
@@ -30,6 +31,10 @@ class KrigingModel {
     /// When true, tau2 and theta are tuned by maximizing the concentrated
     /// Gaussian log-likelihood (coordinate search over log theta).
     bool fit_hyperparameters = false;
+    /// Executor for the O(r^2 d) covariance-matrix assembly (each design
+    /// row fills a disjoint band of R, so assembly parallelizes without
+    /// affecting the result); nullptr assembles serially. Not owned.
+    ThreadPool* pool = nullptr;
   };
 
   /// Deterministic-simulation kriging: exact responses at design points.
@@ -75,11 +80,13 @@ class KrigingModel {
 };
 
 /// Concentrated log-likelihood of a correlation-parameter vector, used for
-/// hyperparameter fitting and exposed for tests.
+/// hyperparameter fitting and exposed for tests. `pool` (optional)
+/// parallelizes the R(theta) assembly.
 Result<double> KrigingLogLikelihood(const linalg::Matrix& x,
                                     const linalg::Vector& y,
                                     const std::vector<double>& theta,
-                                    double nugget);
+                                    double nugget,
+                                    ThreadPool* pool = nullptr);
 
 }  // namespace mde::metamodel
 

@@ -14,16 +14,36 @@ ParticleFilter::ParticleFilter(const StateSpaceModel& model,
   MDE_CHECK_GT(options.num_particles, 0u);
 }
 
+Rng ParticleFilter::ParticleRng(size_t step, size_t i) const {
+  // SplitMix64-style mixing gives every (step, particle) pair a private
+  // substream, so the propagate/weight loop parallelizes over particles
+  // with output independent of thread count (and of pool presence).
+  return Rng(options_.seed ^ (0x9e3779b97f4a7c15ULL + i * 2654435761ULL +
+                              step * 0x100000001b3ULL));
+}
+
+void ParticleFilter::RunParticleChunks(
+    size_t n, const std::function<void(size_t, size_t, size_t)>& fn) const {
+  if (options_.pool != nullptr) {
+    options_.pool->ParallelForChunks(n, /*grain=*/0, fn);
+  } else {
+    fn(0, 0, n);
+  }
+}
+
 Status ParticleFilter::Initialize(const Observation& y1) {
   const size_t n = options_.num_particles;
-  particles_.clear();
-  particles_.reserve(n);
+  particles_.assign(n, State{});
   std::vector<double> log_w(n);
-  for (size_t i = 0; i < n; ++i) {
-    particles_.push_back(model_.SampleInitial(y1, rng_));
-    log_w[i] = model_.LogObservation(y1, particles_[i]) +
-               model_.LogInitialRatio(y1, particles_[i]);
-  }
+  step_count_ = 0;
+  RunParticleChunks(n, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      Rng rng = ParticleRng(0, i);
+      particles_[i] = model_.SampleInitial(y1, rng);
+      log_w[i] = model_.LogObservation(y1, particles_[i]) +
+                 model_.LogInitialRatio(y1, particles_[i]);
+    }
+  });
   initialized_ = true;
   return WeighAndMaybeResample(log_w);
 }
@@ -33,16 +53,19 @@ Status ParticleFilter::Step(const Observation& y) {
     return Status::FailedPrecondition("call Initialize first");
   }
   const size_t n = options_.num_particles;
-  std::vector<State> next;
-  next.reserve(n);
+  ++step_count_;
+  std::vector<State> next(n);
   std::vector<double> log_w(n);
-  for (size_t i = 0; i < n; ++i) {
-    State x = model_.SampleProposal(y, particles_[i], rng_);
-    log_w[i] = std::log(std::max(weights_[i], 1e-300)) +
-               model_.LogObservation(y, x) +
-               model_.LogTransitionRatio(y, x, particles_[i]);
-    next.push_back(std::move(x));
-  }
+  RunParticleChunks(n, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      Rng rng = ParticleRng(step_count_, i);
+      State x = model_.SampleProposal(y, particles_[i], rng);
+      log_w[i] = std::log(std::max(weights_[i], 1e-300)) +
+                 model_.LogObservation(y, x) +
+                 model_.LogTransitionRatio(y, x, particles_[i]);
+      next[i] = std::move(x);
+    }
+  });
   particles_ = std::move(next);
   return WeighAndMaybeResample(log_w);
 }

@@ -7,6 +7,7 @@
 #include "smc/resample.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace mde::smc {
 
@@ -59,6 +60,12 @@ struct ParticleFilterOptions {
   /// exhibits the weight-collapse pathology the paper describes).
   double ess_threshold = 1.0;
   uint64_t seed = 1234;
+  /// Executor for the propagate/weight loop (the model hooks must then be
+  /// safe to call concurrently); nullptr runs serially. Each (step,
+  /// particle) pair draws from its own RNG substream, so the filter output
+  /// is identical with and without a pool, for any thread count.
+  /// Resampling stays serial on the filter's own stream. Not owned.
+  ThreadPool* pool = nullptr;
 };
 
 /// Per-step diagnostics.
@@ -94,13 +101,21 @@ class ParticleFilter {
 
  private:
   Status WeighAndMaybeResample(const std::vector<double>& log_weights);
+  /// Private substream for particle `i` at step `step` (0 = initial).
+  Rng ParticleRng(size_t step, size_t i) const;
+  /// Runs fn(chunk, begin, end) over the particle range — on options_.pool
+  /// when set, serially otherwise.
+  void RunParticleChunks(
+      size_t n,
+      const std::function<void(size_t, size_t, size_t)>& fn) const;
 
   const StateSpaceModel& model_;
   ParticleFilterOptions options_;
-  Rng rng_;
+  Rng rng_;  // resampling only; sampling uses per-particle substreams
   std::vector<State> particles_;
   std::vector<double> weights_;  // normalized
   std::vector<FilterStepStats> stats_;
+  size_t step_count_ = 0;
   bool initialized_ = false;
 };
 

@@ -1,74 +1,224 @@
 #include "util/thread_pool.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace mde {
+namespace {
+
+/// Identifies the pool (and worker slot) owning the current thread so that
+/// Submit/WaitAll/ParallelFor can detect reentrant calls from pool tasks.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_worker = 0;
+/// Number of pool tasks currently on this thread's call stack. WaitAll
+/// called from depth d cannot wait for in_flight_ to reach 0 — the d
+/// enclosing tasks are themselves in flight — so it waits for
+/// in_flight_ <= d instead.
+thread_local size_t tls_depth = 0;
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   MDE_CHECK_GE(num_threads, 1u);
+  queues_.resize(num_threads);
+  queue_mus_ = std::make_unique<std::mutex[]>(num_threads);
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
+  shutdown_.store(true, std::memory_order_seq_cst);
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    shutdown_ = true;
+    std::lock_guard<std::mutex> lock(sleep_mu_);
   }
   task_ready_.notify_all();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  // A worker submitting work keeps it on its own deque (front = hot end);
+  // external submitters round-robin across workers.
+  const size_t target = (tls_pool == this)
+                            ? tls_worker
+                            : next_queue_.fetch_add(
+                                  1, std::memory_order_relaxed) %
+                                  queues_.size();
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
-    ++in_flight_;
+    std::lock_guard<std::mutex> lock(queue_mus_[target]);
+    queues_[target].push_front(std::move(task));
+  }
+  pending_.fetch_add(1, std::memory_order_seq_cst);
+  {
+    // Empty critical section: serializes with a worker's checked wait so
+    // the notify below cannot be lost between its predicate check and
+    // going to sleep.
+    std::lock_guard<std::mutex> lock(sleep_mu_);
   }
   task_ready_.notify_one();
 }
 
-void ThreadPool::WaitAll() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
-}
-
-void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
-  // Chunk so each worker gets a contiguous block: preserves cache locality
-  // for the partitioned-data workloads this pool serves.
-  const size_t workers = threads_.size();
-  const size_t chunk = (n + workers - 1) / workers;
-  for (size_t start = 0; start < n; start += chunk) {
-    const size_t end = std::min(n, start + chunk);
-    Submit([&fn, start, end] {
-      for (size_t i = start; i < end; ++i) fn(i);
-    });
+bool ThreadPool::TryGetTask(size_t self, std::function<void()>* out) {
+  const size_t n = queues_.size();
+  // Own deque first (front), then steal from siblings (back).
+  {
+    std::lock_guard<std::mutex> lock(queue_mus_[self]);
+    if (!queues_[self].empty()) {
+      *out = std::move(queues_[self].front());
+      queues_[self].pop_front();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
   }
-  WaitAll();
+  for (size_t k = 1; k < n; ++k) {
+    const size_t victim = (self + k) % n;
+    std::lock_guard<std::mutex> lock(queue_mus_[victim]);
+    if (!queues_[victim].empty()) {
+      *out = std::move(queues_[victim].back());
+      queues_[victim].pop_back();
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::Execute(std::function<void()>& task) {
+  ++tls_depth;
+  task();
+  --tls_depth;
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    {
+      std::lock_guard<std::mutex> lock(wait_mu_);
+    }
+    all_done_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  tls_pool = this;
+  tls_worker = index;
+  std::function<void()> task;
   while (true) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
-      task = std::move(tasks_.front());
-      tasks_.pop();
+    if (TryGetTask(index, &task)) {
+      Execute(task);
+      task = nullptr;
+      continue;
     }
-    task();
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    task_ready_.wait(lock, [this] {
+      return shutdown_.load(std::memory_order_seq_cst) ||
+             pending_.load(std::memory_order_seq_cst) > 0;
+    });
+    if (shutdown_.load(std::memory_order_seq_cst) &&
+        pending_.load(std::memory_order_seq_cst) == 0) {
+      return;
     }
   }
+}
+
+void ThreadPool::WaitAll() {
+  if (tls_pool == this) {
+    // Called from inside a pool task: help-run instead of blocking so the
+    // pool cannot deadlock on its own workers. "Every task finished"
+    // necessarily excludes the tls_depth enclosing tasks paused under this
+    // frame. (Two tasks that each WaitAll on the other still cannot
+    // terminate — use ParallelFor, which waits on its own chunk group, for
+    // composable nesting.)
+    std::function<void()> task;
+    while (in_flight_.load(std::memory_order_acquire) > tls_depth) {
+      if (TryGetTask(tls_worker, &task)) {
+        Execute(task);
+        task = nullptr;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  all_done_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+size_t ThreadPool::ResolveGrain(size_t n, size_t grain) const {
+  if (grain > 0) return grain;
+  // Default: ~8 chunks per worker for steal-friendly load balance, but
+  // never chunks smaller than 1 index.
+  const size_t target_chunks = 8 * threads_.size();
+  return std::max<size_t>(1, n / std::max<size_t>(1, target_chunks));
+}
+
+size_t ThreadPool::NumChunks(size_t n, size_t grain) const {
+  if (n == 0) return 0;
+  const size_t g = ResolveGrain(n, grain);
+  return (n + g - 1) / g;
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  ParallelFor(n, 0, fn);
+}
+
+void ThreadPool::ParallelFor(size_t n, size_t grain,
+                             const std::function<void(size_t)>& fn) {
+  ParallelForChunks(n, grain,
+                    [&fn](size_t /*chunk*/, size_t begin, size_t end) {
+                      for (size_t i = begin; i < end; ++i) fn(i);
+                    });
+}
+
+void ThreadPool::ParallelForChunks(
+    size_t n, size_t grain,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const size_t g = ResolveGrain(n, grain);
+  const size_t chunks = (n + g - 1) / g;
+  if (chunks == 1) {
+    fn(0, 0, n);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->num_chunks = chunks;
+  // Claims chunks until none remain. `fn` is only dereferenced under a
+  // successful claim, which can happen only while the caller is still
+  // blocked in this frame — so capturing it by pointer is safe even though
+  // helper tasks may run (and immediately no-op) after we return.
+  const auto* fn_ptr = &fn;
+  auto run_chunks = [state, fn_ptr, n, g] {
+    while (true) {
+      const size_t c =
+          state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= state->num_chunks) return;
+      const size_t begin = c * g;
+      const size_t end = std::min(n, begin + g);
+      (*fn_ptr)(c, begin, end);
+      if (state->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          state->num_chunks) {
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+        }
+        state->done.notify_all();
+      }
+    }
+  };
+
+  const size_t helpers = std::min(threads_.size(), chunks - 1);
+  for (size_t i = 0; i < helpers; ++i) Submit(run_chunks);
+  // The caller participates: even if every worker is busy (e.g. this is a
+  // nested ParallelFor issued from inside a pool task), all chunks get
+  // executed right here.
+  run_chunks();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&state] {
+    return state->completed.load(std::memory_order_acquire) ==
+           state->num_chunks;
+  });
 }
 
 }  // namespace mde

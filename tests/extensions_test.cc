@@ -11,6 +11,7 @@
 #include "timeseries/align.h"
 #include "util/distributions.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace mde {
 namespace {
@@ -133,6 +134,26 @@ TEST(BootstrapTest, WiderIntervalForTailStatistic) {
   ASSERT_TRUE(median.ok() && p99.ok());
   EXPECT_GT(p99.value().hi - p99.value().lo,
             median.value().hi - median.value().lo);
+}
+
+/// Each bootstrap replicate owns an RNG substream, so fanning the
+/// replicates across a pool must not change a single bit of the interval.
+TEST(BootstrapTest, PooledBootstrapIsBitIdenticalToSerial) {
+  Rng rng(43);
+  std::vector<double> samples;
+  for (int i = 0; i < 200; ++i) samples.push_back(SampleNormal(rng, 5, 1));
+  auto stat = [](const std::vector<double>& s) { return Quantile(s, 0.5); };
+  auto serial = mcdb::BootstrapConfidenceInterval(samples, stat, 200, 0.9, 3);
+  ASSERT_TRUE(serial.ok());
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    auto pooled =
+        mcdb::BootstrapConfidenceInterval(samples, stat, 200, 0.9, 3, &pool);
+    ASSERT_TRUE(pooled.ok());
+    EXPECT_EQ(pooled.value().estimate, serial.value().estimate);
+    EXPECT_EQ(pooled.value().lo, serial.value().lo);
+    EXPECT_EQ(pooled.value().hi, serial.value().hi);
+  }
 }
 
 TEST(BootstrapTest, RejectsBadInput) {

@@ -9,6 +9,7 @@
 #include "table/query.h"
 #include "util/distributions.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace mde::mcdb {
 namespace {
@@ -207,6 +208,69 @@ TEST(BundleTest, FilterStochIsPerRepetition) {
   EXPECT_NEAR(Mean(counts), 25.0, 5.0);
   // Counts vary across repetitions (the per-rep masks differ).
   EXPECT_GT(StdDev(counts), 0.5);
+}
+
+/// The determinism contract of the columnar kernels: generation and the
+/// whole filter/aggregate pipeline must be BIT-identical for the serial
+/// path and for pools of any size. Chunk boundaries (BundleTable::kRowGrain)
+/// and the partial-sum combine order are pure functions of the row count,
+/// and every row owns its RNG substream, so thread count must not leak into
+/// a single bit of the result.
+TEST(BundleTest, ParallelExecutionIsBitIdentical) {
+  MonteCarloDb db = MakeSbpDb(120.0, 15.0, 700);  // > 2 chunks of 256 rows
+  const size_t reps = 100;
+  const uint64_t seed = 31;
+
+  auto run = [&](ThreadPool* pool) {
+    auto bundles = GenerateBundles(db, db.stochastic_specs()[0], "SBP", reps,
+                                   seed, pool);
+    EXPECT_TRUE(bundles.ok());
+    auto sums = bundles.value().AggregateSum("SBP");
+    EXPECT_TRUE(sums.ok());
+    auto high = bundles.value().FilterStoch("SBP", CmpOp::kGt, 120.0);
+    EXPECT_TRUE(high.ok());
+    auto avg = high.value().AggregateAvg("SBP");
+    EXPECT_TRUE(avg.ok());
+    std::vector<double> out = sums.value();
+    out.insert(out.end(), avg.value().begin(), avg.value().end());
+    return out;
+  };
+
+  const std::vector<double> serial = run(nullptr);
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    const std::vector<double> parallel = run(&pool);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      // EXPECT_EQ, not EXPECT_NEAR: the contract is bitwise.
+      EXPECT_EQ(parallel[i], serial[i])
+          << "thread count " << threads << " diverged at sample " << i;
+    }
+  }
+}
+
+/// Row materialization round-trips the packed columnar storage.
+TEST(BundleTest, RowMaterializesPackedMasks) {
+  MonteCarloDb db = MakeSbpDb(120.0, 15.0, 10);
+  auto bundles =
+      GenerateBundles(db, db.stochastic_specs()[0], "SBP", 70, 5);
+  ASSERT_TRUE(bundles.ok());
+  auto high = bundles.value().FilterStoch("SBP", CmpOp::kGt, 120.0).value();
+  ASSERT_GT(high.num_rows(), 0u);
+  const auto r0 = high.row(0);
+  ASSERT_EQ(r0.active.size(), 70u);
+  ASSERT_EQ(r0.stoch.size(), 1u);
+  size_t active_count = 0;
+  for (size_t rep = 0; rep < 70; ++rep) {
+    EXPECT_EQ(r0.active[rep] != 0, high.is_active(0, rep));
+    if (r0.active[rep]) {
+      ++active_count;
+      EXPECT_GT(r0.stoch[0][rep], 120.0);
+      EXPECT_EQ(r0.stoch[0][rep], high.stoch_block(0)[rep]);
+    }
+  }
+  EXPECT_GT(active_count, 0u);
+  EXPECT_LT(active_count, 70u);
 }
 
 TEST(BundleTest, MapStochComputesDerivedAttribute) {

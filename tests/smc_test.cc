@@ -153,6 +153,37 @@ TEST(ParticleFilterTest, TracksLinearGaussianPosterior) {
   }
 }
 
+/// Pooled propagation must reproduce the serial filter bit for bit: every
+/// (step, particle) pair owns its RNG substream and resampling stays on the
+/// filter's serial stream, so the executor cannot perturb the trajectory.
+TEST(ParticleFilterTest, PooledFilterIsBitIdenticalToSerial) {
+  const double a = 0.9, q = 0.5, r = 0.4;
+  LinearGaussianSsm model(a, q, r);
+  const std::vector<double> ys = {0.0, 0.3, -0.2, 0.8, 0.5, -0.1, 0.4};
+
+  auto run = [&](ThreadPool* pool) {
+    ParticleFilterOptions opt;
+    opt.num_particles = 300;
+    opt.seed = 21;
+    opt.pool = pool;
+    ParticleFilter pf(model, opt);
+    EXPECT_TRUE(pf.Initialize({ys[0]}).ok());
+    for (size_t t = 1; t < ys.size(); ++t) {
+      EXPECT_TRUE(pf.Step({ys[t]}).ok());
+    }
+    return std::pair<double, double>(pf.MeanState()[0],
+                                     pf.TotalLogLikelihood());
+  };
+
+  const auto serial = run(nullptr);
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    const auto pooled = run(&pool);
+    EXPECT_EQ(pooled.first, serial.first);
+    EXPECT_EQ(pooled.second, serial.second);
+  }
+}
+
 TEST(ParticleFilterTest, RequiresInitialize) {
   LinearGaussianSsm model(0.9, 0.5, 0.4);
   ParticleFilterOptions opt;

@@ -283,6 +283,89 @@ TEST(ThreadPoolTest, WaitAllBlocksUntilDone) {
   EXPECT_EQ(done.load(), 10);
 }
 
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Regression: a worker calling ParallelFor from inside a pool task used
+  // to block in WaitAll forever once every worker was occupied. The caller
+  // now help-runs its own chunks, so nesting composes at any depth.
+  ThreadPool pool(4);
+  std::atomic<int> inner_hits{0};
+  pool.ParallelFor(8, 1, [&](size_t) {
+    pool.ParallelFor(16, 1, [&](size_t) { inner_hits++; });
+  });
+  EXPECT_EQ(inner_hits.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, NestedSubmitWaitAllFromWorker) {
+  // A task that fans out subtasks and joins them with WaitAll used to
+  // deadlock (the worker blocked on a queue it was supposed to drain, and
+  // its own enclosing task kept in_flight above zero). The worker now
+  // help-runs and waits only for tasks beyond its own stack.
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  std::atomic<int> seen_at_join{-1};
+  pool.Submit([&] {
+    for (int j = 0; j < 8; ++j) {
+      pool.Submit([&] { done++; });
+    }
+    pool.WaitAll();  // from a worker: help-runs the 8 subtasks
+    seen_at_join = done.load();
+  });
+  pool.WaitAll();
+  EXPECT_EQ(done.load(), 8);
+  EXPECT_EQ(seen_at_join.load(), 8);
+}
+
+TEST(ThreadPoolTest, ParallelForEdgeCases) {
+  ThreadPool pool(4);
+  std::atomic<int> hits{0};
+  pool.ParallelFor(0, [&](size_t) { hits++; });  // n == 0: no-op
+  EXPECT_EQ(hits.load(), 0);
+  pool.ParallelFor(1, [&](size_t i) { hits += static_cast<int>(i) + 1; });
+  EXPECT_EQ(hits.load(), 1);  // n == 1: index 0 exactly once
+  hits = 0;
+  pool.ParallelFor(3, [&](size_t) { hits++; });  // n < workers
+  EXPECT_EQ(hits.load(), 3);
+  hits = 0;
+  pool.ParallelFor(10, 128, [&](size_t) { hits++; });  // grain > n
+  EXPECT_EQ(hits.load(), 10);
+}
+
+TEST(ThreadPoolTest, ParallelForChunksPartitionExactly) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelForChunks(100, 7, [&](size_t, size_t begin, size_t end) {
+    EXPECT_LE(end - begin, 7u);
+    for (size_t i = begin; i < end; ++i) hits[i]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(pool.NumChunks(100, 7), 15u);
+  EXPECT_EQ(pool.NumChunks(0, 7), 0u);
+}
+
+TEST(ThreadPoolTest, ParallelReduceDeterministicSum) {
+  // Fixed chunking + in-order combine: the floating-point sum is
+  // bit-identical across thread counts.
+  std::vector<double> data(10000);
+  Rng rng(42);
+  for (double& v : data) v = rng.NextDouble() * 2.0 - 1.0;
+  auto sum_with = [&](size_t threads) {
+    ThreadPool pool(threads);
+    return pool.ParallelReduce<double>(
+        data.size(), 64, 0.0,
+        [&](size_t begin, size_t end) {
+          double s = 0.0;
+          for (size_t i = begin; i < end; ++i) s += data[i];
+          return s;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double s1 = sum_with(1);
+  const double s2 = sum_with(2);
+  const double s8 = sum_with(8);
+  EXPECT_EQ(s1, s2);  // bitwise, not NEAR
+  EXPECT_EQ(s1, s8);
+}
+
 TEST(ConfidenceTest, HalfWidthShrinksWithN) {
   Rng rng(25);
   RunningStat small, big;
