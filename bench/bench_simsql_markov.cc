@@ -15,6 +15,7 @@
 
 #include "abs/spatial.h"
 #include "simsql/simsql.h"
+#include "table/columnar.h"
 #include "table/ops.h"
 #include "util/distributions.h"
 #include "util/stats.h"
@@ -30,24 +31,37 @@ using table::Schema;
 using table::Table;
 using table::Value;
 
+/// Chain tables are built columnar: the transition reads the previous
+/// version's typed position block, writes a fresh position block, and
+/// SHARES the id column across every version — versions differ only in the
+/// one column that actually changed.
 ChainTableSpec WalkerSpec(size_t walkers) {
   ChainTableSpec spec;
   spec.name = "W";
   spec.init = [walkers](const DatabaseState&, Rng&) -> Result<Table> {
-    Table t{Schema({{"id", DataType::kInt64}, {"pos", DataType::kDouble}})};
+    table::ColumnarTableBuilder b{
+        Schema({{"id", DataType::kInt64}, {"pos", DataType::kDouble}})};
+    b.Reserve(walkers);
     for (size_t i = 0; i < walkers; ++i) {
-      t.Append({Value(static_cast<int64_t>(i)), Value(0.0)});
+      b.column(0).AppendInt64(static_cast<int64_t>(i));
+      b.column(1).AppendDouble(0.0);
     }
-    return t;
+    MDE_ASSIGN_OR_RETURN(auto cols, b.Finish());
+    return Table::FromColumnar(std::move(cols));
   };
   spec.transition = [](const DatabaseState& prev, const DatabaseState&,
                        Rng& rng) -> Result<Table> {
     const Table& old = prev.at("W");
-    Table t(old.schema());
-    for (const Row& r : old.rows()) {
-      t.Append({r[0], Value(r[1].AsDouble() + SampleStandardNormal(rng))});
+    MDE_ASSIGN_OR_RETURN(auto old_cols, old.ToColumnar());
+    const table::Column& pos = old_cols->col(1);
+    table::ColumnarTableBuilder b{old.schema()};
+    b.SetColumn(0, old_cols->col_ptr(0));  // ids are immutable: share them
+    b.column(1).Reserve(pos.size);
+    for (size_t i = 0; i < pos.size; ++i) {
+      b.column(1).AppendDouble(pos.f64[i] + SampleStandardNormal(rng));
     }
-    return t;
+    MDE_ASSIGN_OR_RETURN(auto cols, b.Finish());
+    return Table::FromColumnar(std::move(cols));
   };
   return spec;
 }

@@ -150,14 +150,16 @@ size_t EpidemicSim::PeakInfectious() const {
   return peak;
 }
 
-table::Table EpidemicSim::PersonTable() const {
-  Table t{Schema({{"pid", DataType::kInt64},
-                  {"age", DataType::kInt64},
-                  {"household", DataType::kInt64},
-                  {"health", DataType::kString},
-                  {"vaccinated", DataType::kBool},
-                  {"quarantined", DataType::kBool},
-                  {"fear", DataType::kDouble}})};
+std::shared_ptr<const table::ColumnarTable> EpidemicSim::PersonColumnar()
+    const {
+  table::ColumnarTableBuilder b{Schema({{"pid", DataType::kInt64},
+                                        {"age", DataType::kInt64},
+                                        {"household", DataType::kInt64},
+                                        {"health", DataType::kString},
+                                        {"vaccinated", DataType::kBool},
+                                        {"quarantined", DataType::kBool},
+                                        {"fear", DataType::kDouble}})};
+  b.Reserve(network_.num_people());
   auto health_name = [](Health h) -> const char* {
     switch (h) {
       case Health::kSusceptible:
@@ -172,19 +174,36 @@ table::Table EpidemicSim::PersonTable() const {
     return "?";
   };
   for (const Person& p : network_.people()) {
-    t.Append({Value(p.pid), Value(static_cast<int64_t>(p.age)),
-              Value(p.household), Value(health_name(p.health)),
-              Value(p.vaccinated), Value(p.quarantined), Value(p.fear)});
+    b.column(0).AppendInt64(p.pid);
+    b.column(1).AppendInt64(static_cast<int64_t>(p.age));
+    b.column(2).AppendInt64(p.household);
+    b.column(3).AppendString(health_name(p.health));
+    b.column(4).AppendBool(p.vaccinated);
+    b.column(5).AppendBool(p.quarantined);
+    b.column(6).AppendDouble(p.fear);
   }
-  return t;
+  auto cols = b.Finish();
+  MDE_CHECK(cols.ok());
+  return std::move(cols).value();
+}
+
+std::shared_ptr<const table::ColumnarTable>
+EpidemicSim::InfectedPersonColumnar() const {
+  table::ColumnarTableBuilder b{Schema({{"pid", DataType::kInt64}})};
+  for (const Person& p : network_.people()) {
+    if (p.health == Health::kInfectious) b.column(0).AppendInt64(p.pid);
+  }
+  auto cols = b.Finish();
+  MDE_CHECK(cols.ok());
+  return std::move(cols).value();
+}
+
+table::Table EpidemicSim::PersonTable() const {
+  return Table::FromColumnar(PersonColumnar());
 }
 
 table::Table EpidemicSim::InfectedPersonTable() const {
-  Table t{Schema({{"pid", DataType::kInt64}})};
-  for (const Person& p : network_.people()) {
-    if (p.health == Health::kInfectious) t.Append({Value(p.pid)});
-  }
-  return t;
+  return Table::FromColumnar(InfectedPersonColumnar());
 }
 
 size_t EpidemicSim::Vaccinate(const std::vector<int64_t>& pids) {
@@ -225,6 +244,15 @@ Result<std::vector<int64_t>> EpidemicSim::PidsOf(const table::Table& t) {
   MDE_ASSIGN_OR_RETURN(size_t idx, t.schema().IndexOf("pid"));
   std::vector<int64_t> pids;
   pids.reserve(t.num_rows());
+  const auto& cols = t.columnar();
+  if (cols != nullptr &&
+      cols->col(idx).type == table::DataType::kInt64 &&
+      cols->col(idx).valid.empty()) {
+    // Columnar-backed result: read the typed block, skip row boxing.
+    const auto& c = cols->col(idx);
+    pids.assign(c.i64.begin(), c.i64.end());
+    return pids;
+  }
   for (const Row& r : t.rows()) pids.push_back(r[idx].AsInt());
   return pids;
 }

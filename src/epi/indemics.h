@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "epi/network.h"
+#include "table/columnar.h"
 #include "table/query.h"
 #include "table/table.h"
 #include "util/rng.h"
@@ -72,10 +73,17 @@ class EpidemicSim {
 
   /// Exports the current person state as a relation
   /// (pid, age, household, health, vaccinated, quarantined) for SQL-style
-  /// interrogation — the RDBMS side of Indemics.
+  /// interrogation — the RDBMS side of Indemics. Built columnar: the
+  /// returned Table is backed by typed column blocks, so observation
+  /// queries run on the vectorized operators without ever boxing rows.
   table::Table PersonTable() const;
   /// Relation of currently infectious people: (pid).
   table::Table InfectedPersonTable() const;
+
+  /// The columnar form of the relations above, for callers driving the
+  /// vectorized kernels directly.
+  std::shared_ptr<const table::ColumnarTable> PersonColumnar() const;
+  std::shared_ptr<const table::ColumnarTable> InfectedPersonColumnar() const;
 
   /// Intervention: vaccinate the given pids (immunizes susceptibles with
   /// the configured efficacy). Returns how many were immunized.

@@ -8,6 +8,12 @@ Status MonteCarloDb::AddTable(const std::string& name, table::Table t) {
   if (deterministic_.count(name) > 0) {
     return Status::AlreadyExists("table exists: " + name);
   }
+  // Columnar-backed tables make the per-repetition copy in Instantiate()
+  // a shared-pointer copy; tables only read through queries never pay for
+  // row materialization.
+  if (auto cols = t.ToColumnar(); cols.ok()) {
+    t = table::Table::FromColumnar(std::move(cols).value());
+  }
   deterministic_.emplace(name, std::move(t));
   return Status::OK();
 }
@@ -43,6 +49,7 @@ Result<DatabaseInstance> MonteCarloDb::Instantiate(uint64_t seed,
   for (const auto& spec : specs_) {
     const table::Table& outer = instance.at(spec.outer_table);
     table::Table realized(spec.output_schema);
+    realized.Reserve(outer.num_rows());  // >= one realized row per outer row
     std::vector<table::Row> vg_rows;
     for (const table::Row& outer_row : outer.rows()) {
       MDE_ASSIGN_OR_RETURN(table::Row params,

@@ -7,6 +7,12 @@ Status MarkovChainDb::AddDeterministic(const std::string& name,
   if (deterministic_.count(name) > 0) {
     return Status::AlreadyExists("table exists: " + name);
   }
+  // Re-wrap columnar-convertible tables so the per-step state copies in
+  // Run() share immutable column blocks instead of deep-copying boxed rows
+  // (tables with mixed-type columns keep their row storage).
+  if (auto cols = t.ToColumnar(); cols.ok()) {
+    t = table::Table::FromColumnar(std::move(cols).value());
+  }
   deterministic_.emplace(name, std::move(t));
   return Status::OK();
 }

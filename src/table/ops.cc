@@ -8,6 +8,24 @@
 
 namespace mde::table {
 
+bool EvalCmp(const Value& v, CmpOp op, const Value& lit) {
+  switch (op) {
+    case CmpOp::kEq:
+      return v.Equals(lit);
+    case CmpOp::kNe:
+      return !v.Equals(lit);
+    case CmpOp::kLt:
+      return v.LessThan(lit);
+    case CmpOp::kLe:
+      return v.LessThan(lit) || v.Equals(lit);
+    case CmpOp::kGt:
+      return lit.LessThan(v);
+    case CmpOp::kGe:
+      return lit.LessThan(v) || v.Equals(lit);
+  }
+  return false;
+}
+
 Result<RowPredicate> ColumnCompare(const Schema& schema,
                                    const std::string& column, CmpOp op,
                                    Value literal) {
@@ -15,21 +33,7 @@ Result<RowPredicate> ColumnCompare(const Schema& schema,
   return RowPredicate([idx, op, lit = std::move(literal)](const Row& row) {
     const Value& v = row[idx];
     if (v.is_null() || lit.is_null()) return false;
-    switch (op) {
-      case CmpOp::kEq:
-        return v.Equals(lit);
-      case CmpOp::kNe:
-        return !v.Equals(lit);
-      case CmpOp::kLt:
-        return v.LessThan(lit);
-      case CmpOp::kLe:
-        return v.LessThan(lit) || v.Equals(lit);
-      case CmpOp::kGt:
-        return lit.LessThan(v);
-      case CmpOp::kGe:
-        return lit.LessThan(v) || v.Equals(lit);
-    }
-    return false;
+    return EvalCmp(v, op, lit);
   });
 }
 
@@ -51,6 +55,7 @@ RowPredicate Not(RowPredicate a) {
 
 Table Filter(const Table& t, const RowPredicate& pred) {
   Table out(t.schema());
+  out.Reserve(t.num_rows());
   for (const Row& r : t.rows()) {
     if (pred(r)) out.Append(r);
   }
@@ -68,6 +73,7 @@ Result<Table> Project(const Table& t,
     cols.push_back(t.schema().column(i));
   }
   Table out{Schema(std::move(cols))};
+  out.Reserve(t.num_rows());
   for (const Row& r : t.rows()) {
     Row nr;
     nr.reserve(idx.size());
@@ -124,6 +130,7 @@ Result<Table> HashJoin(const Table& left, const Table& right,
   }
   std::unordered_map<std::vector<Value>, std::vector<size_t>, KeyHash, KeyEq>
       index;
+  index.reserve(right.num_rows());
   for (size_t r = 0; r < right.num_rows(); ++r) {
     std::vector<Value> key = ExtractKey(right.row(r), ri);
     bool has_null = false;
@@ -131,6 +138,7 @@ Result<Table> HashJoin(const Table& left, const Table& right,
     if (!has_null) index[std::move(key)].push_back(r);
   }
   Table out{Schema::Concat(left.schema(), right.schema(), "r.")};
+  out.Reserve(left.num_rows());  // one-match-per-left-row estimate
   for (const Row& lrow : left.rows()) {
     std::vector<Value> key = ExtractKey(lrow, li);
     bool has_null = false;
@@ -198,7 +206,9 @@ Result<Table> GroupBy(const Table& t, const std::vector<std::string>& keys,
   std::unordered_map<std::vector<Value>, std::vector<AggState>, KeyHash,
                      KeyEq>
       groups;
+  groups.reserve(std::min<size_t>(t.num_rows(), 1024));
   std::vector<std::vector<Value>> group_order;
+  group_order.reserve(std::min<size_t>(t.num_rows(), 1024));
   for (const Row& r : t.rows()) {
     std::vector<Value> key = ExtractKey(r, key_idx);
     auto it = groups.find(key);
@@ -230,6 +240,7 @@ Result<Table> GroupBy(const Table& t, const std::vector<std::string>& keys,
     out_cols.push_back({a.as, dt});
   }
   Table out{Schema(std::move(out_cols))};
+  out.Reserve(group_order.size());
   for (const auto& key : group_order) {
     const auto& states = groups[key];
     Row r = key;
@@ -291,13 +302,16 @@ Result<Table> Union(const Table& a, const Table& b) {
                                    b.schema().ToString());
   }
   Table out = a;
+  out.Reserve(a.num_rows() + b.num_rows());
   for (const Row& r : b.rows()) out.Append(r);
   return out;
 }
 
 Table Distinct(const Table& t) {
   std::unordered_map<std::vector<Value>, bool, KeyHash, KeyEq> seen;
+  seen.reserve(t.num_rows());
   Table out(t.schema());
+  out.Reserve(t.num_rows());
   for (const Row& r : t.rows()) {
     if (seen.emplace(r, true).second) out.Append(r);
   }
@@ -306,6 +320,7 @@ Table Distinct(const Table& t) {
 
 Table Limit(const Table& t, size_t n) {
   Table out(t.schema());
+  out.Reserve(std::min(n, t.num_rows()));
   for (size_t i = 0; i < std::min(n, t.num_rows()); ++i) out.Append(t.row(i));
   return out;
 }
@@ -315,6 +330,7 @@ Table WithColumn(const Table& t, const std::string& name, DataType type,
   std::vector<ColumnSpec> cols = t.schema().columns();
   cols.push_back({name, type});
   Table out{Schema(std::move(cols))};
+  out.Reserve(t.num_rows());
   for (const Row& r : t.rows()) {
     Row nr = r;
     nr.push_back(fn(r));

@@ -17,6 +17,12 @@ using RowPredicate = std::function<bool(const Row&)>;
 /// Comparison operators for column predicates.
 enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
 
+/// Evaluates `v <op> lit` with the Value comparison semantics shared by the
+/// row and vectorized paths (numeric coercion through double, cross-type
+/// ranking). Nulls are the caller's concern: a predicate over a null value
+/// or literal is false before this is consulted.
+bool EvalCmp(const Value& v, CmpOp op, const Value& lit);
+
 /// Builds a predicate `column <op> literal` resolved against `schema`.
 Result<RowPredicate> ColumnCompare(const Schema& schema,
                                    const std::string& column, CmpOp op,

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "table/vec_ops.h"
 #include "util/check.h"
 
 namespace mde::table {
@@ -74,15 +75,18 @@ Result<Schema> PlanNode::OutputSchema() const {
   return Status::Internal("unknown plan node");
 }
 
-Result<Table> ExecutePlan(const PlanPtr& plan, ExecutionStats* stats) {
-  if (plan == nullptr) return Status::InvalidArgument("null plan");
+namespace {
+
+/// Row-at-a-time executor, kept as the fallback for base tables that do not
+/// convert to columnar form (mixed-type cells in a column).
+Result<Table> ExecutePlanRows(const PlanPtr& plan, ExecutionStats* stats) {
   switch (plan->kind()) {
     case PlanNode::Kind::kScan: {
       if (stats != nullptr) stats->rows_scanned += plan->table()->num_rows();
       return *plan->table();
     }
     case PlanNode::Kind::kFilter: {
-      MDE_ASSIGN_OR_RETURN(Table in, ExecutePlan(plan->child(), stats));
+      MDE_ASSIGN_OR_RETURN(Table in, ExecutePlanRows(plan->child(), stats));
       Table out = in;
       for (const PlanPredicate& p : plan->predicates()) {
         MDE_ASSIGN_OR_RETURN(
@@ -94,14 +98,14 @@ Result<Table> ExecutePlan(const PlanPtr& plan, ExecutionStats* stats) {
       return out;
     }
     case PlanNode::Kind::kProject: {
-      MDE_ASSIGN_OR_RETURN(Table in, ExecutePlan(plan->child(), stats));
+      MDE_ASSIGN_OR_RETURN(Table in, ExecutePlanRows(plan->child(), stats));
       MDE_ASSIGN_OR_RETURN(Table out, Project(in, plan->columns()));
       if (stats != nullptr) stats->intermediate_rows += out.num_rows();
       return out;
     }
     case PlanNode::Kind::kJoin: {
-      MDE_ASSIGN_OR_RETURN(Table l, ExecutePlan(plan->left(), stats));
-      MDE_ASSIGN_OR_RETURN(Table r, ExecutePlan(plan->right(), stats));
+      MDE_ASSIGN_OR_RETURN(Table l, ExecutePlanRows(plan->left(), stats));
+      MDE_ASSIGN_OR_RETURN(Table r, ExecutePlanRows(plan->right(), stats));
       MDE_ASSIGN_OR_RETURN(
           Table out, HashJoin(l, r, plan->left_keys(), plan->right_keys()));
       if (stats != nullptr) stats->intermediate_rows += out.num_rows();
@@ -109,6 +113,83 @@ Result<Table> ExecutePlan(const PlanPtr& plan, ExecutionStats* stats) {
     }
   }
   return Status::Internal("unknown plan node");
+}
+
+/// True when every base table of the plan converts to columnar form (the
+/// conversions are cached on the tables, so this also warms repeated
+/// executions of plans over the same base data).
+bool ScansConvert(const PlanPtr& plan) {
+  switch (plan->kind()) {
+    case PlanNode::Kind::kScan:
+      return plan->table()->ToColumnar().ok();
+    case PlanNode::Kind::kFilter:
+    case PlanNode::Kind::kProject:
+      return ScansConvert(plan->child());
+    case PlanNode::Kind::kJoin:
+      return ScansConvert(plan->left()) && ScansConvert(plan->right());
+  }
+  return false;
+}
+
+/// Vectorized executor: batches of shared column blocks + selection vectors
+/// flow between operators; nothing is materialized until the plan root.
+/// Stats keep the row executor's semantics (scanned base rows, rows each
+/// intermediate operator produced).
+Result<ColumnarBatch> ExecBatch(const PlanPtr& plan, ExecutionStats* stats,
+                                ThreadPool* pool) {
+  switch (plan->kind()) {
+    case PlanNode::Kind::kScan: {
+      MDE_ASSIGN_OR_RETURN(auto cols, plan->table()->ToColumnar());
+      if (stats != nullptr) stats->rows_scanned += cols->num_rows();
+      return ColumnarBatch{std::move(cols), {}, true};
+    }
+    case PlanNode::Kind::kFilter: {
+      MDE_ASSIGN_OR_RETURN(ColumnarBatch in,
+                           ExecBatch(plan->child(), stats, pool));
+      for (const PlanPredicate& p : plan->predicates()) {
+        MDE_ASSIGN_OR_RETURN(
+            SelVector sel,
+            VecFilter(*in.cols, in.whole ? nullptr : &in.sel, p.column, p.op,
+                      p.literal, pool));
+        in.sel = std::move(sel);
+        in.whole = false;
+      }
+      if (stats != nullptr) stats->intermediate_rows += in.size();
+      return in;
+    }
+    case PlanNode::Kind::kProject: {
+      MDE_ASSIGN_OR_RETURN(ColumnarBatch in,
+                           ExecBatch(plan->child(), stats, pool));
+      MDE_ASSIGN_OR_RETURN(ColumnarBatch out,
+                           VecProject(in, plan->columns()));
+      if (stats != nullptr) stats->intermediate_rows += out.size();
+      return out;
+    }
+    case PlanNode::Kind::kJoin: {
+      MDE_ASSIGN_OR_RETURN(ColumnarBatch l,
+                           ExecBatch(plan->left(), stats, pool));
+      MDE_ASSIGN_OR_RETURN(ColumnarBatch r,
+                           ExecBatch(plan->right(), stats, pool));
+      MDE_ASSIGN_OR_RETURN(
+          auto cols,
+          VecHashJoin(l, r, plan->left_keys(), plan->right_keys(), pool));
+      if (stats != nullptr) stats->intermediate_rows += cols->num_rows();
+      return ColumnarBatch{std::move(cols), {}, true};
+    }
+  }
+  return Status::Internal("unknown plan node");
+}
+
+}  // namespace
+
+Result<Table> ExecutePlan(const PlanPtr& plan, ExecutionStats* stats) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  if (ScansConvert(plan)) {
+    ThreadPool* pool = VecPool();
+    MDE_ASSIGN_OR_RETURN(ColumnarBatch out, ExecBatch(plan, stats, pool));
+    return BatchToTable(out, pool);
+  }
+  return ExecutePlanRows(plan, stats);
 }
 
 namespace {

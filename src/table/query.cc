@@ -1,9 +1,41 @@
 #include "table/query.h"
 
+#include <numeric>
+
 namespace mde::table {
+
+bool Query::EnsureColumnar() {
+  if (columnar_) return true;
+  auto cols = table_.ToColumnar();
+  if (!cols.ok()) return false;  // mixed-type cells: stay on the row path
+  batch_.cols = std::move(cols).value();
+  batch_.sel.clear();
+  batch_.whole = true;
+  columnar_ = true;
+  table_ = Table();
+  return true;
+}
+
+void Query::EnsureRowMode() {
+  if (!columnar_) return;
+  table_ = BatchToTable(batch_, VecPool());
+  batch_ = ColumnarBatch{};
+  columnar_ = false;
+}
 
 Query& Query::Where(const std::string& column, CmpOp op, Value literal) {
   if (!status_.ok()) return *this;
+  if (EnsureColumnar()) {
+    auto sel = VecFilter(*batch_.cols, batch_.whole ? nullptr : &batch_.sel,
+                         column, op, literal, VecPool());
+    if (!sel.ok()) {
+      status_ = sel.status();
+      return *this;
+    }
+    batch_.sel = std::move(sel).value();
+    batch_.whole = false;
+    return *this;
+  }
   auto pred = ColumnCompare(table_.schema(), column, op, std::move(literal));
   if (!pred.ok()) {
     status_ = pred.status();
@@ -15,12 +47,22 @@ Query& Query::Where(const std::string& column, CmpOp op, Value literal) {
 
 Query& Query::WherePred(RowPredicate pred) {
   if (!status_.ok()) return *this;
+  EnsureRowMode();
   table_ = Filter(table_, pred);
   return *this;
 }
 
 Query& Query::Select(std::vector<std::string> columns) {
   if (!status_.ok()) return *this;
+  if (EnsureColumnar()) {
+    auto res = VecProject(batch_, columns);
+    if (!res.ok()) {
+      status_ = res.status();
+      return *this;
+    }
+    batch_ = std::move(res).value();
+    return *this;
+  }
   auto res = Project(table_, columns);
   if (!res.ok()) {
     status_ = res.status();
@@ -33,6 +75,19 @@ Query& Query::Select(std::vector<std::string> columns) {
 Query& Query::Join(const Table& right, std::vector<std::string> left_keys,
                    std::vector<std::string> right_keys) {
   if (!status_.ok()) return *this;
+  auto right_cols = right.ToColumnar();
+  if (right_cols.ok() && EnsureColumnar()) {
+    ColumnarBatch rb{std::move(right_cols).value(), {}, true};
+    auto res =
+        VecHashJoin(batch_, rb, left_keys, right_keys, VecPool());
+    if (!res.ok()) {
+      status_ = res.status();
+      return *this;
+    }
+    batch_ = ColumnarBatch{std::move(res).value(), {}, true};
+    return *this;
+  }
+  EnsureRowMode();
   auto res = HashJoin(table_, right, left_keys, right_keys);
   if (!res.ok()) {
     status_ = res.status();
@@ -45,6 +100,15 @@ Query& Query::Join(const Table& right, std::vector<std::string> left_keys,
 Query& Query::GroupByAgg(std::vector<std::string> keys,
                          std::vector<AggSpec> aggs) {
   if (!status_.ok()) return *this;
+  if (EnsureColumnar()) {
+    auto res = VecGroupBy(batch_, keys, aggs, VecPool());
+    if (!res.ok()) {
+      status_ = res.status();
+      return *this;
+    }
+    batch_ = ColumnarBatch{std::move(res).value(), {}, true};
+    return *this;
+  }
   auto res = GroupBy(table_, keys, aggs);
   if (!res.ok()) {
     status_ = res.status();
@@ -60,6 +124,16 @@ Query& Query::CountStar(const std::string& as) {
 
 Query& Query::OrderByAsc(std::vector<std::string> columns) {
   if (!status_.ok()) return *this;
+  if (EnsureColumnar()) {
+    auto res = VecOrderBy(batch_, columns, {});
+    if (!res.ok()) {
+      status_ = res.status();
+      return *this;
+    }
+    batch_.sel = std::move(res).value();
+    batch_.whole = false;
+    return *this;
+  }
   auto res = OrderBy(table_, columns);
   if (!res.ok()) {
     status_ = res.status();
@@ -72,6 +146,16 @@ Query& Query::OrderByAsc(std::vector<std::string> columns) {
 Query& Query::OrderByDesc(std::vector<std::string> columns) {
   if (!status_.ok()) return *this;
   std::vector<bool> desc(columns.size(), true);
+  if (EnsureColumnar()) {
+    auto res = VecOrderBy(batch_, columns, desc);
+    if (!res.ok()) {
+      status_ = res.status();
+      return *this;
+    }
+    batch_.sel = std::move(res).value();
+    batch_.whole = false;
+    return *this;
+  }
   auto res = OrderBy(table_, columns, desc);
   if (!res.ok()) {
     status_ = res.status();
@@ -83,12 +167,28 @@ Query& Query::OrderByDesc(std::vector<std::string> columns) {
 
 Query& Query::Limit(size_t n) {
   if (!status_.ok()) return *this;
+  if (EnsureColumnar()) {
+    const size_t keep = std::min(n, batch_.size());
+    if (batch_.whole) {
+      batch_.sel.resize(keep);
+      std::iota(batch_.sel.begin(), batch_.sel.end(), 0);
+      batch_.whole = false;
+    } else {
+      batch_.sel.resize(keep);
+    }
+    return *this;
+  }
   table_ = table::Limit(table_, n);
   return *this;
 }
 
 Query& Query::Distinct() {
   if (!status_.ok()) return *this;
+  if (EnsureColumnar()) {
+    batch_.sel = VecDistinct(batch_);
+    batch_.whole = false;
+    return *this;
+  }
   table_ = table::Distinct(table_);
   return *this;
 }
@@ -96,12 +196,14 @@ Query& Query::Distinct() {
 Query& Query::With(const std::string& name, DataType type,
                    std::function<Value(const Row&)> fn) {
   if (!status_.ok()) return *this;
+  EnsureRowMode();
   table_ = WithColumn(table_, name, type, fn);
   return *this;
 }
 
 Result<Table> Query::Execute() {
   if (!status_.ok()) return status_;
+  if (columnar_) return BatchToTable(batch_, VecPool());
   return std::move(table_);
 }
 

@@ -6,6 +6,7 @@
 
 #include "table/ops.h"
 #include "table/table.h"
+#include "table/vec_ops.h"
 #include "util/status.h"
 
 namespace mde::table {
@@ -19,6 +20,14 @@ namespace mde::table {
 ///                .Join(infected, {"pid"}, {"pid"})
 ///                .CountStar("n_infected_preschool")
 ///                .Execute();
+///
+/// Execution: the chain runs on the vectorized columnar operators
+/// (vec_ops.h) whenever the input converts to columnar form — structured
+/// steps (Where/Select/Join/GroupByAgg/OrderBy/Limit/Distinct) then pass
+/// selection vectors between kernels and only materialize at Execute().
+/// Steps taking opaque row lambdas (WherePred, With) and inputs with
+/// mixed-type columns fall back to the row-at-a-time operators; both paths
+/// produce identical tables.
 class Query {
  public:
   explicit Query(Table input) : table_(std::move(input)) {}
@@ -51,7 +60,15 @@ class Query {
   Result<Value> ExecuteScalar();
 
  private:
-  Table table_;
+  /// Switches to columnar mode if possible (no-op if already there).
+  /// Returns false when the input only works row-at-a-time.
+  bool EnsureColumnar();
+  /// Materializes the pending batch back into table_ for row-only steps.
+  void EnsureRowMode();
+
+  Table table_;          // row-mode state (valid when !columnar_)
+  ColumnarBatch batch_;  // columnar-mode state (valid when columnar_)
+  bool columnar_ = false;
   Status status_;
 };
 

@@ -74,6 +74,7 @@ Result<Table> SchemaMapping::Apply(const Table& source) const {
         "source table does not match the compiled source schema");
   }
   Table out(target_);
+  out.Reserve(source.num_rows());
   for (const Row& row : source.rows()) {
     Row target_row;
     target_row.reserve(columns_.size());

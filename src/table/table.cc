@@ -2,28 +2,27 @@
 
 #include <sstream>
 
+#include "table/columnar.h"
 #include "util/check.h"
 
 namespace mde::table {
 
 Schema::Schema(std::vector<ColumnSpec> columns) : columns_(std::move(columns)) {
+  index_.reserve(columns_.size());
   for (size_t i = 0; i < columns_.size(); ++i) {
-    for (size_t j = i + 1; j < columns_.size(); ++j) {
-      MDE_CHECK_MSG(columns_[i].name != columns_[j].name,
-                    "duplicate column name in schema");
-    }
+    const bool inserted = index_.emplace(columns_[i].name, i).second;
+    MDE_CHECK_MSG(inserted, "duplicate column name in schema");
   }
 }
 
 Result<size_t> Schema::IndexOf(const std::string& name) const {
-  for (size_t i = 0; i < columns_.size(); ++i) {
-    if (columns_[i].name == name) return i;
-  }
-  return Status::NotFound("column not found: " + name);
+  auto it = index_.find(name);
+  if (it == index_.end()) return Status::NotFound("column not found: " + name);
+  return it->second;
 }
 
 bool Schema::Has(const std::string& name) const {
-  return IndexOf(name).ok();
+  return index_.count(name) > 0;
 }
 
 Schema Schema::Concat(const Schema& left, const Schema& right,
@@ -66,24 +65,92 @@ Table::Table(Schema schema, std::vector<Row> rows)
   }
 }
 
+size_t Table::num_rows() const {
+  return columnar_ != nullptr ? columnar_->num_rows() : rows_.size();
+}
+
+void Table::EnsureRows() const {
+  if (columnar_ == nullptr || rows_.size() == columnar_->num_rows()) return;
+  const size_t n = columnar_->num_rows();
+  rows_.clear();
+  rows_.reserve(n);
+  for (size_t i = 0; i < n; ++i) rows_.push_back(columnar_->MaterializeRow(i));
+}
+
+const Row& Table::row(size_t i) const {
+  EnsureRows();
+  return rows_[i];
+}
+
+const std::vector<Row>& Table::rows() const {
+  EnsureRows();
+  return rows_;
+}
+
 void Table::Append(Row row) {
   MDE_CHECK_EQ(row.size(), schema_.num_columns());
+  EnsureRows();
+  columnar_.reset();
   rows_.push_back(std::move(row));
 }
 
+void Table::Reserve(size_t n) {
+  EnsureRows();
+  rows_.reserve(n);
+}
+
 Result<Value> Table::At(size_t row, const std::string& column) const {
-  MDE_CHECK_LT(row, rows_.size());
+  MDE_CHECK_LT(row, num_rows());
   MDE_ASSIGN_OR_RETURN(size_t idx, schema_.IndexOf(column));
+  if (columnar_ != nullptr && rows_.empty()) {
+    return columnar_->col(idx).ValueAt(row);
+  }
+  EnsureRows();
   return rows_[row][idx];
 }
 
 void Table::Set(size_t row, size_t col, Value v) {
-  MDE_CHECK_LT(row, rows_.size());
+  MDE_CHECK_LT(row, num_rows());
   MDE_CHECK_LT(col, schema_.num_columns());
+  EnsureRows();
+  columnar_.reset();
   rows_[row][col] = std::move(v);
 }
 
+Result<std::shared_ptr<const ColumnarTable>> Table::ToColumnar() const {
+  if (columnar_ != nullptr) return columnar_;
+  std::vector<ColumnBuilder> builders;
+  builders.reserve(schema_.num_columns());
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    builders.emplace_back(schema_.column(c).type);
+    builders.back().Reserve(rows_.size());
+  }
+  for (const Row& r : rows_) {
+    for (size_t c = 0; c < builders.size(); ++c) {
+      if (!builders[c].AppendValue(r[c])) {
+        return Status::FailedPrecondition(
+            "cell type disagrees with declared column type for column " +
+            schema_.column(c).name + "; staying on the row path");
+      }
+    }
+  }
+  std::vector<std::shared_ptr<const Column>> cols;
+  cols.reserve(builders.size());
+  for (auto& b : builders) cols.push_back(b.Finish());
+  columnar_ = std::make_shared<const ColumnarTable>(schema_, std::move(cols),
+                                                    rows_.size());
+  return columnar_;
+}
+
+Table Table::FromColumnar(std::shared_ptr<const ColumnarTable> cols) {
+  MDE_CHECK(cols != nullptr);
+  Table t(cols->schema());
+  t.columnar_ = std::move(cols);
+  return t;
+}
+
 std::string Table::ToString(size_t max_rows) const {
+  EnsureRows();
   std::ostringstream os;
   os << schema_.ToString() << " [" << rows_.size() << " rows]\n";
   const size_t n = std::min(max_rows, rows_.size());

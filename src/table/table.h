@@ -1,7 +1,9 @@
 #ifndef MDE_TABLE_TABLE_H_
 #define MDE_TABLE_TABLE_H_
 
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "table/value.h"
@@ -9,13 +11,17 @@
 
 namespace mde::table {
 
+class ColumnarTable;
+
 /// A named, typed column slot.
 struct ColumnSpec {
   std::string name;
   DataType type;
 };
 
-/// Ordered set of named, typed columns.
+/// Ordered set of named, typed columns. Name lookup is O(1) via an index
+/// built at construction (IndexOf used to be a linear scan, which showed up
+/// in every per-row hot loop that resolved columns late).
 class Schema {
  public:
   Schema() = default;
@@ -40,13 +46,24 @@ class Schema {
 
  private:
   std::vector<ColumnSpec> columns_;
+  std::unordered_map<std::string, size_t> index_;
 };
 
 using Row = std::vector<Value>;
 
-/// Row-oriented in-memory relation. Acts as the storage substrate for the
-/// MCDB / SimSQL / Indemics layers. Rows are append-only through the public
-/// API; operators produce new tables.
+/// In-memory relation. Rows are append-only through the public API;
+/// operators produce new tables.
+///
+/// Storage: a Table is either row-backed (vector of boxed rows, as built by
+/// Append) or columnar-backed — produced by the vectorized operator
+/// pipeline (columnar.h / vec_ops.h), in which case it carries a shared
+/// reference to the typed column blocks and materializes the boxed row view
+/// LAZILY on first row access. The row API is thus a view/materialization
+/// layer: pipelines that stay columnar (Query, plan execution, chained
+/// operators) never pay for boxing. Lazy materialization mutates a cache
+/// under const accessors, so a Table must not be shared across threads
+/// while unmaterialized; the concurrent substrate is ColumnarTable, which
+/// is immutable.
 class Table {
  public:
   Table() = default;
@@ -54,12 +71,16 @@ class Table {
   Table(Schema schema, std::vector<Row> rows);
 
   const Schema& schema() const { return schema_; }
-  size_t num_rows() const { return rows_.size(); }
-  const Row& row(size_t i) const { return rows_[i]; }
-  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const;
+  const Row& row(size_t i) const;
+  const std::vector<Row>& rows() const;
 
-  /// Appends a row; aborts if arity mismatches the schema.
+  /// Appends a row; aborts if arity mismatches the schema. Detaches the
+  /// columnar representation (the blocks are immutable).
   void Append(Row row);
+
+  /// Pre-sizes the row storage (cardinality-estimate reserve in operators).
+  void Reserve(size_t n);
 
   /// Value at (row, named column); error if the column is absent.
   Result<Value> At(size_t row, const std::string& column) const;
@@ -68,12 +89,37 @@ class Table {
   /// as rows (Indemics node updates, SimSQL versions mutate copies).
   void Set(size_t row, size_t col, Value v);
 
+  /// The attached columnar representation, or nullptr for row-backed
+  /// tables. ColumnarTable::FromTable uses this to make Table -> columnar
+  /// conversion O(1) along the vectorized pipeline.
+  const std::shared_ptr<const ColumnarTable>& columnar() const {
+    return columnar_;
+  }
+
+  /// Converts to a columnar representation and caches it on the table, so
+  /// repeated scans of the same base table (plan execution, Query) convert
+  /// once. O(1) when already attached. Fails with FailedPrecondition if a
+  /// cell's runtime type disagrees with its declared column type (such
+  /// mixed-type tables stay on the row path). Mutates the cache under
+  /// const — same single-thread caveat as lazy row materialization.
+  Result<std::shared_ptr<const ColumnarTable>> ToColumnar() const;
+
+  /// Wraps a columnar table; the boxed row view is built on first access.
+  static Table FromColumnar(std::shared_ptr<const ColumnarTable> cols);
+
   /// Pretty-printed preview of up to `max_rows` rows.
   std::string ToString(size_t max_rows = 20) const;
 
  private:
+  /// Materializes rows_ from columnar_ if not yet done.
+  void EnsureRows() const;
+
   Schema schema_;
-  std::vector<Row> rows_;
+  mutable std::vector<Row> rows_;
+  /// Non-null while columnar-backed; rows_ empty until materialized (or the
+  /// table has zero rows). Reset by any mutation; also a cache for
+  /// ToColumnar on row-backed tables, hence mutable.
+  mutable std::shared_ptr<const ColumnarTable> columnar_;
 };
 
 }  // namespace mde::table

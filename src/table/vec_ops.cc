@@ -1,0 +1,852 @@
+#include "table/vec_ops.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+
+#include "util/check.h"
+
+namespace mde::table {
+
+namespace {
+
+std::atomic<ThreadPool*> g_vec_pool{nullptr};
+
+size_t NumChunksFor(size_t n) { return (n + kVecGrain - 1) / kVecGrain; }
+
+/// Runs fn(chunk, begin, end) over the fixed kVecGrain chunking — on the
+/// pool when one is attached, otherwise serially over the SAME chunks in
+/// ascending order, so both paths see identical chunk boundaries.
+template <typename Fn>
+void RunChunks(ThreadPool* pool, size_t n, Fn&& fn) {
+  if (n == 0) return;
+  if (pool != nullptr) {
+    pool->ParallelForChunks(n, kVecGrain, fn);
+    return;
+  }
+  const size_t chunks = NumChunksFor(n);
+  for (size_t c = 0; c < chunks; ++c) {
+    fn(c, c * kVecGrain, std::min(n, (c + 1) * kVecGrain));
+  }
+}
+
+/// Evaluates `pred(row)` over the batch domain (selection or all rows),
+/// collecting matching row indices in ascending order. Chunk-parallel;
+/// per-chunk outputs are concatenated in chunk order, so the result is
+/// independent of thread count.
+template <typename Pred>
+SelVector CollectMatches(size_t domain, const SelVector* sel, ThreadPool* pool,
+                         Pred pred) {
+  std::vector<SelVector> parts(NumChunksFor(domain));
+  RunChunks(pool, domain, [&](size_t c, size_t b, size_t e) {
+    SelVector& out = parts[c];
+    out.reserve(e - b);
+    if (sel != nullptr) {
+      for (size_t j = b; j < e; ++j) {
+        const uint32_t r = (*sel)[j];
+        if (pred(r)) out.push_back(r);
+      }
+    } else {
+      for (size_t j = b; j < e; ++j) {
+        const uint32_t r = static_cast<uint32_t>(j);
+        if (pred(r)) out.push_back(r);
+      }
+    }
+  });
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  SelVector out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+/// Numeric filter: both sides compare as double, exactly like
+/// Value::Equals/LessThan (int64 coerces through AsDouble, so values beyond
+/// 2^53 collapse the same way on both paths).
+template <typename Get>
+SelVector FilterNumeric(size_t domain, const SelVector* sel, ThreadPool* pool,
+                        const Column& c, Get get, CmpOp op, double lit) {
+  switch (op) {
+    case CmpOp::kEq:
+      return CollectMatches(domain, sel, pool, [&c, get, lit](uint32_t r) {
+        return c.IsValid(r) && get(r) == lit;
+      });
+    case CmpOp::kNe:
+      return CollectMatches(domain, sel, pool, [&c, get, lit](uint32_t r) {
+        return c.IsValid(r) && get(r) != lit;
+      });
+    case CmpOp::kLt:
+      return CollectMatches(domain, sel, pool, [&c, get, lit](uint32_t r) {
+        return c.IsValid(r) && get(r) < lit;
+      });
+    case CmpOp::kLe:
+      return CollectMatches(domain, sel, pool, [&c, get, lit](uint32_t r) {
+        return c.IsValid(r) && get(r) <= lit;
+      });
+    case CmpOp::kGt:
+      return CollectMatches(domain, sel, pool, [&c, get, lit](uint32_t r) {
+        return c.IsValid(r) && get(r) > lit;
+      });
+    case CmpOp::kGe:
+      return CollectMatches(domain, sel, pool, [&c, get, lit](uint32_t r) {
+        return c.IsValid(r) && get(r) >= lit;
+      });
+  }
+  return {};
+}
+
+bool CmpStrings(const std::string& a, CmpOp op, const std::string& b) {
+  switch (op) {
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kGt:
+      return a > b;
+    case CmpOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+/// Gathers `sel` out of `c` into a fresh contiguous column. String
+/// dictionaries are shared, not rebuilt (the gathered dict may be a
+/// superset of the codes in use — harmless). kVecGrain is a multiple of 64,
+/// so parallel chunks own disjoint validity-bitmap words.
+std::shared_ptr<const Column> GatherColumn(const Column& c,
+                                           const SelVector& sel,
+                                           ThreadPool* pool) {
+  auto out = std::make_shared<Column>();
+  out->type = c.type;
+  const size_t n = sel.size();
+  out->size = n;
+  switch (c.type) {
+    case DataType::kInt64:
+      out->i64.resize(n);
+      break;
+    case DataType::kDouble:
+      out->f64.resize(n);
+      break;
+    case DataType::kBool:
+      out->b8.resize(n);
+      break;
+    case DataType::kString:
+      out->codes.resize(n);
+      out->dict = c.dict;
+      break;
+    case DataType::kNull:
+      break;
+  }
+  const bool has_nulls = !c.valid.empty();
+  if (has_nulls) out->valid.assign((n + 63) / 64, 0);
+  RunChunks(pool, n, [&](size_t, size_t b, size_t e) {
+    switch (c.type) {
+      case DataType::kInt64:
+        for (size_t j = b; j < e; ++j) out->i64[j] = c.i64[sel[j]];
+        break;
+      case DataType::kDouble:
+        for (size_t j = b; j < e; ++j) out->f64[j] = c.f64[sel[j]];
+        break;
+      case DataType::kBool:
+        for (size_t j = b; j < e; ++j) out->b8[j] = c.b8[sel[j]];
+        break;
+      case DataType::kString:
+        for (size_t j = b; j < e; ++j) out->codes[j] = c.codes[sel[j]];
+        break;
+      case DataType::kNull:
+        break;
+    }
+    if (has_nulls) {
+      for (size_t j = b; j < e; ++j) {
+        if (c.IsValid(sel[j])) out->valid[j >> 6] |= uint64_t{1} << (j & 63);
+      }
+    }
+  });
+  return out;
+}
+
+uint64_t SplitMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// A key column prepared for hashing: strings get a per-dictionary-code
+/// content hash so keys from tables with different dictionaries agree.
+struct KeyCol {
+  const Column* col;
+  std::vector<uint64_t> code_hash;
+};
+
+KeyCol MakeKeyCol(const Column& c) {
+  KeyCol k{&c, {}};
+  if (c.type == DataType::kString) {
+    const auto& dict = *c.dict;
+    k.code_hash.resize(dict.size());
+    std::hash<std::string> h;
+    for (size_t i = 0; i < dict.size(); ++i) k.code_hash[i] = h(dict[i]);
+  }
+  return k;
+}
+
+uint64_t CellHash(const KeyCol& k, uint32_t r) {
+  const Column& c = *k.col;
+  if (!c.IsValid(r)) return 0x9b1f;
+  switch (c.type) {
+    case DataType::kInt64:
+      return SplitMix(static_cast<uint64_t>(c.i64[r]));
+    case DataType::kDouble: {
+      double d = c.f64[r];
+      if (d == 0.0) d = 0.0;  // merge -0.0 and +0.0 (they compare equal)
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return SplitMix(bits);
+    }
+    case DataType::kBool:
+      return c.b8[r] ? 0x51 : 0x52;
+    case DataType::kString:
+      return k.code_hash[c.codes[r]];
+    case DataType::kNull:
+      return 0x9b1f;
+  }
+  return 0;
+}
+
+uint64_t RowKeyHash(const std::vector<KeyCol>& ks, uint32_t r) {
+  uint64_t h = 0x811c9dc5;
+  for (const auto& k : ks) h = h * 1099511628211ULL ^ CellHash(k, r);
+  return h;
+}
+
+/// Strict variant equality between cells of two SAME-TYPED columns: nulls
+/// equal nulls (grouping semantics), doubles by IEEE == (so NaN != NaN and
+/// -0.0 == +0.0, exactly like Value::operator==).
+bool CellEq(const KeyCol& ka, uint32_t ra, const KeyCol& kb, uint32_t rb) {
+  const Column& a = *ka.col;
+  const Column& b = *kb.col;
+  const bool va = a.IsValid(ra);
+  const bool vb = b.IsValid(rb);
+  if (!va || !vb) return va == vb;
+  switch (a.type) {
+    case DataType::kInt64:
+      return a.i64[ra] == b.i64[rb];
+    case DataType::kDouble:
+      return a.f64[ra] == b.f64[rb];
+    case DataType::kBool:
+      return a.b8[ra] == b.b8[rb];
+    case DataType::kString:
+      return a.dict == b.dict ? a.codes[ra] == b.codes[rb]
+                              : a.StringAt(ra) == b.StringAt(rb);
+    case DataType::kNull:
+      return true;
+  }
+  return false;
+}
+
+bool RowKeyEq(const std::vector<KeyCol>& a, uint32_t ra,
+              const std::vector<KeyCol>& b, uint32_t rb) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!CellEq(a[i], ra, b[i], rb)) return false;
+  }
+  return true;
+}
+
+bool AnyNull(const std::vector<KeyCol>& ks, uint32_t r) {
+  for (const auto& k : ks) {
+    if (!k.col->IsValid(r)) return true;
+  }
+  return false;
+}
+
+uint32_t RowAt(const ColumnarBatch& b, size_t j) {
+  return b.whole ? static_cast<uint32_t>(j) : b.sel[j];
+}
+
+/// Same accumulator as the row GroupBy.
+struct AggState {
+  size_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+};
+
+std::shared_ptr<const ColumnarTable> EmptyLike(const Schema& schema) {
+  ColumnarTableBuilder b(schema);
+  auto r = b.Finish();
+  MDE_CHECK(r.ok());
+  return std::move(r).value();
+}
+
+}  // namespace
+
+void SetVecPool(ThreadPool* pool) {
+  g_vec_pool.store(pool, std::memory_order_release);
+}
+
+ThreadPool* VecPool() { return g_vec_pool.load(std::memory_order_acquire); }
+
+Table BatchToTable(const ColumnarBatch& batch, ThreadPool* pool) {
+  if (batch.whole) return Table::FromColumnar(batch.cols);
+  return Table::FromColumnar(VecCompact(*batch.cols, batch.sel, pool));
+}
+
+std::shared_ptr<const ColumnarTable> VecCompact(const ColumnarTable& t,
+                                                const SelVector& sel,
+                                                ThreadPool* pool) {
+  std::vector<std::shared_ptr<const Column>> cols;
+  cols.reserve(t.num_columns());
+  for (size_t i = 0; i < t.num_columns(); ++i) {
+    cols.push_back(GatherColumn(t.col(i), sel, pool));
+  }
+  return std::make_shared<const ColumnarTable>(t.schema(), std::move(cols),
+                                               sel.size());
+}
+
+Result<SelVector> VecFilter(const ColumnarTable& t, const SelVector* sel,
+                            const std::string& column, CmpOp op,
+                            const Value& literal, ThreadPool* pool) {
+  MDE_ASSIGN_OR_RETURN(size_t idx, t.schema().IndexOf(column));
+  if (literal.is_null()) return SelVector{};  // null literal matches nothing
+  const Column& c = t.col(idx);
+  const size_t domain = sel != nullptr ? sel->size() : t.num_rows();
+
+  const DataType lt = literal.type();
+  const bool col_num =
+      c.type == DataType::kInt64 || c.type == DataType::kDouble;
+  const bool lit_num = lt == DataType::kInt64 || lt == DataType::kDouble;
+  if (col_num && lit_num) {
+    const double lit = literal.AsDouble();
+    if (c.type == DataType::kInt64) {
+      const int64_t* data = c.i64.data();
+      return FilterNumeric(
+          domain, sel, pool, c,
+          [data](uint32_t r) { return static_cast<double>(data[r]); }, op,
+          lit);
+    }
+    const double* data = c.f64.data();
+    return FilterNumeric(
+        domain, sel, pool, c, [data](uint32_t r) { return data[r]; }, op, lit);
+  }
+  if (c.type == DataType::kString && lt == DataType::kString) {
+    // One comparison per distinct dictionary entry, then a per-row table
+    // lookup — the payoff of dictionary encoding.
+    const auto& dict = *c.dict;
+    const std::string& ls = literal.AsString();
+    std::vector<uint8_t> match(dict.size());
+    for (size_t k = 0; k < dict.size(); ++k) {
+      match[k] = CmpStrings(dict[k], op, ls) ? 1 : 0;
+    }
+    const uint32_t* codes = c.codes.data();
+    const uint8_t* m = match.data();
+    return CollectMatches(domain, sel, pool, [&c, codes, m](uint32_t r) {
+      return c.IsValid(r) && m[codes[r]] != 0;
+    });
+  }
+  if (c.type == DataType::kBool && lt == DataType::kBool) {
+    const bool keep_false = EvalCmp(Value(false), op, literal);
+    const bool keep_true = EvalCmp(Value(true), op, literal);
+    const uint8_t* data = c.b8.data();
+    return CollectMatches(domain, sel, pool,
+                          [&c, data, keep_false, keep_true](uint32_t r) {
+                            return c.IsValid(r) &&
+                                   (data[r] != 0 ? keep_true : keep_false);
+                          });
+  }
+  if (c.type == DataType::kNull) return SelVector{};  // every cell null
+  // Cross-type-class comparison: Value ranks type classes, so the result is
+  // the same for every non-null cell — evaluate once on a representative.
+  Value rep = c.type == DataType::kInt64    ? Value(int64_t{0})
+              : c.type == DataType::kDouble ? Value(0.0)
+              : c.type == DataType::kBool   ? Value(false)
+                                            : Value(std::string());
+  if (!EvalCmp(rep, op, literal)) return SelVector{};
+  return CollectMatches(domain, sel, pool,
+                        [&c](uint32_t r) { return c.IsValid(r); });
+}
+
+Result<ColumnarBatch> VecProject(const ColumnarBatch& in,
+                                 const std::vector<std::string>& columns) {
+  std::vector<ColumnSpec> specs;
+  std::vector<std::shared_ptr<const Column>> cols;
+  specs.reserve(columns.size());
+  cols.reserve(columns.size());
+  for (const auto& name : columns) {
+    MDE_ASSIGN_OR_RETURN(size_t i, in.cols->schema().IndexOf(name));
+    specs.push_back(in.cols->schema().column(i));
+    cols.push_back(in.cols->col_ptr(i));
+  }
+  ColumnarBatch out;
+  out.cols = std::make_shared<const ColumnarTable>(
+      Schema(std::move(specs)), std::move(cols), in.cols->num_rows());
+  out.sel = in.sel;
+  out.whole = in.whole;
+  return out;
+}
+
+Result<std::shared_ptr<const ColumnarTable>> VecHashJoin(
+    const ColumnarBatch& left, const ColumnarBatch& right,
+    const std::vector<std::string>& left_keys,
+    const std::vector<std::string>& right_keys, ThreadPool* pool) {
+  if (left_keys.size() != right_keys.size() || left_keys.empty()) {
+    return Status::InvalidArgument("join keys must be non-empty and paired");
+  }
+  const ColumnarTable& L = *left.cols;
+  const ColumnarTable& R = *right.cols;
+  std::vector<size_t> li, ri;
+  for (const auto& k : left_keys) {
+    MDE_ASSIGN_OR_RETURN(size_t i, L.schema().IndexOf(k));
+    li.push_back(i);
+  }
+  for (const auto& k : right_keys) {
+    MDE_ASSIGN_OR_RETURN(size_t i, R.schema().IndexOf(k));
+    ri.push_back(i);
+  }
+  Schema out_schema = Schema::Concat(L.schema(), R.schema(), "r.");
+
+  // Keys compare with strict variant equality, so differently-typed key
+  // pairs can never match.
+  bool type_mismatch = false;
+  for (size_t i = 0; i < li.size(); ++i) {
+    if (L.schema().column(li[i]).type != R.schema().column(ri[i]).type) {
+      type_mismatch = true;
+    }
+  }
+  const size_t ln = left.size();
+  const size_t rn = right.size();
+  if (type_mismatch || ln == 0 || rn == 0) return EmptyLike(out_schema);
+
+  // Matching (left row, right row) pairs, per probe chunk; concatenated in
+  // chunk order they reproduce the row HashJoin's output order exactly
+  // (left rows in order, right matches in right insertion order).
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> parts(
+      NumChunksFor(ln));
+
+  if (li.size() == 1 && L.schema().column(li[0]).type == DataType::kInt64) {
+    // Hot path: single int64 key (entity ids everywhere in the sims).
+    const Column& lc = L.col(li[0]);
+    const Column& rc = R.col(ri[0]);
+    std::unordered_map<int64_t, std::vector<uint32_t>> index;
+    index.reserve(rn);
+    for (size_t j = 0; j < rn; ++j) {
+      const uint32_t r = RowAt(right, j);
+      if (rc.IsValid(r)) index[rc.i64[r]].push_back(r);
+    }
+    RunChunks(pool, ln, [&](size_t c, size_t b, size_t e) {
+      auto& out = parts[c];
+      for (size_t j = b; j < e; ++j) {
+        const uint32_t lr = RowAt(left, j);
+        if (!lc.IsValid(lr)) continue;
+        auto it = index.find(lc.i64[lr]);
+        if (it == index.end()) continue;
+        for (uint32_t rr : it->second) out.emplace_back(lr, rr);
+      }
+    });
+  } else {
+    std::vector<KeyCol> lk, rk;
+    for (size_t i : li) lk.push_back(MakeKeyCol(L.col(i)));
+    for (size_t i : ri) rk.push_back(MakeKeyCol(R.col(i)));
+    std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+    index.reserve(rn);
+    for (size_t j = 0; j < rn; ++j) {
+      const uint32_t r = RowAt(right, j);
+      if (AnyNull(rk, r)) continue;
+      index[RowKeyHash(rk, r)].push_back(r);
+    }
+    RunChunks(pool, ln, [&](size_t c, size_t b, size_t e) {
+      auto& out = parts[c];
+      for (size_t j = b; j < e; ++j) {
+        const uint32_t lr = RowAt(left, j);
+        if (AnyNull(lk, lr)) continue;
+        auto it = index.find(RowKeyHash(lk, lr));
+        if (it == index.end()) continue;
+        for (uint32_t rr : it->second) {
+          if (RowKeyEq(lk, lr, rk, rr)) out.emplace_back(lr, rr);
+        }
+      }
+    });
+  }
+
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  SelVector lsel, rsel;
+  lsel.reserve(total);
+  rsel.reserve(total);
+  for (const auto& p : parts) {
+    for (const auto& [lr, rr] : p) {
+      lsel.push_back(lr);
+      rsel.push_back(rr);
+    }
+  }
+  std::vector<std::shared_ptr<const Column>> out_cols;
+  out_cols.reserve(L.num_columns() + R.num_columns());
+  for (size_t i = 0; i < L.num_columns(); ++i) {
+    out_cols.push_back(GatherColumn(L.col(i), lsel, pool));
+  }
+  for (size_t i = 0; i < R.num_columns(); ++i) {
+    out_cols.push_back(GatherColumn(R.col(i), rsel, pool));
+  }
+  return std::make_shared<const ColumnarTable>(
+      std::move(out_schema), std::move(out_cols), total);
+}
+
+Result<std::shared_ptr<const ColumnarTable>> VecNestedLoopJoin(
+    const ColumnarTable& left, const std::string& left_col, CmpOp op,
+    const ColumnarTable& right, const std::string& right_col,
+    ThreadPool* pool) {
+  MDE_ASSIGN_OR_RETURN(size_t li, left.schema().IndexOf(left_col));
+  MDE_ASSIGN_OR_RETURN(size_t ri, right.schema().IndexOf(right_col));
+  Schema out_schema = Schema::Concat(left.schema(), right.schema(), "r.");
+  const Column& a = left.col(li);
+  const Column& b = right.col(ri);
+  const size_t ln = left.num_rows();
+  const size_t rn = right.num_rows();
+  const bool numeric =
+      (a.type == DataType::kInt64 || a.type == DataType::kDouble) &&
+      (b.type == DataType::kInt64 || b.type == DataType::kDouble);
+
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> parts(
+      NumChunksFor(ln));
+  RunChunks(pool, ln, [&](size_t c, size_t lo, size_t hi) {
+    auto& out = parts[c];
+    for (size_t i = lo; i < hi; ++i) {
+      const uint32_t lr = static_cast<uint32_t>(i);
+      if (!a.IsValid(lr)) continue;
+      if (numeric) {
+        const double av = a.type == DataType::kInt64
+                              ? static_cast<double>(a.i64[lr])
+                              : a.f64[lr];
+        for (uint32_t rr = 0; rr < rn; ++rr) {
+          if (!b.IsValid(rr)) continue;
+          const double bv = b.type == DataType::kInt64
+                                ? static_cast<double>(b.i64[rr])
+                                : b.f64[rr];
+          bool keep = false;
+          switch (op) {
+            case CmpOp::kEq:
+              keep = av == bv;
+              break;
+            case CmpOp::kNe:
+              keep = av != bv;
+              break;
+            case CmpOp::kLt:
+              keep = av < bv;
+              break;
+            case CmpOp::kLe:
+              keep = av <= bv;
+              break;
+            case CmpOp::kGt:
+              keep = av > bv;
+              break;
+            case CmpOp::kGe:
+              keep = av >= bv;
+              break;
+          }
+          if (keep) out.emplace_back(lr, rr);
+        }
+      } else {
+        const Value av = a.ValueAt(lr);
+        for (uint32_t rr = 0; rr < rn; ++rr) {
+          const Value bv = b.ValueAt(rr);
+          if (bv.is_null()) continue;
+          if (EvalCmp(av, op, bv)) out.emplace_back(lr, rr);
+        }
+      }
+    }
+  });
+
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  SelVector lsel, rsel;
+  lsel.reserve(total);
+  rsel.reserve(total);
+  for (const auto& p : parts) {
+    for (const auto& [lr, rr] : p) {
+      lsel.push_back(lr);
+      rsel.push_back(rr);
+    }
+  }
+  std::vector<std::shared_ptr<const Column>> out_cols;
+  out_cols.reserve(left.num_columns() + right.num_columns());
+  for (size_t i = 0; i < left.num_columns(); ++i) {
+    out_cols.push_back(GatherColumn(left.col(i), lsel, pool));
+  }
+  for (size_t i = 0; i < right.num_columns(); ++i) {
+    out_cols.push_back(GatherColumn(right.col(i), rsel, pool));
+  }
+  return std::make_shared<const ColumnarTable>(
+      std::move(out_schema), std::move(out_cols), total);
+}
+
+Result<std::shared_ptr<const ColumnarTable>> VecGroupBy(
+    const ColumnarBatch& in, const std::vector<std::string>& keys,
+    const std::vector<AggSpec>& aggs, ThreadPool* pool) {
+  const ColumnarTable& T = *in.cols;
+  std::vector<size_t> key_idx;
+  for (const auto& k : keys) {
+    MDE_ASSIGN_OR_RETURN(size_t i, T.schema().IndexOf(k));
+    key_idx.push_back(i);
+  }
+  std::vector<size_t> agg_idx(aggs.size(), 0);
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (aggs[a].kind != AggKind::kCount) {
+      MDE_ASSIGN_OR_RETURN(size_t i, T.schema().IndexOf(aggs[a].column));
+      const DataType dt = T.schema().column(i).type;
+      if (dt != DataType::kInt64 && dt != DataType::kDouble) {
+        return Status::InvalidArgument("aggregate over non-numeric column: " +
+                                       aggs[a].column);
+      }
+      agg_idx[a] = i;
+    }
+  }
+  const size_t n = in.size();
+  const size_t naggs = aggs.size();
+
+  // Phase 1 (serial): assign dense group ids in first-appearance order —
+  // the order is part of the operator contract, so this pass stays
+  // sequential; it is a cheap hash+compare per row.
+  std::vector<KeyCol> kc;
+  for (size_t i : key_idx) kc.push_back(MakeKeyCol(T.col(i)));
+  std::vector<uint32_t> gid(n);
+  SelVector first_row;  // representative (first) row of each group
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+  buckets.reserve(std::min<size_t>(n, 1024));
+  for (size_t j = 0; j < n; ++j) {
+    const uint32_t r = RowAt(in, j);
+    auto& cand = buckets[RowKeyHash(kc, r)];
+    uint32_t g = std::numeric_limits<uint32_t>::max();
+    for (uint32_t cg : cand) {
+      if (RowKeyEq(kc, r, kc, first_row[cg])) {
+        g = cg;
+        break;
+      }
+    }
+    if (g == std::numeric_limits<uint32_t>::max()) {
+      g = static_cast<uint32_t>(first_row.size());
+      first_row.push_back(r);
+      cand.push_back(g);
+    }
+    gid[j] = g;
+  }
+  const size_t ngroups = first_row.size();
+
+  // Phase 2: accumulate. Chunk-parallel with dense per-chunk partials
+  // combined in ascending chunk order when the group count is small enough
+  // for the partials to be cheap; otherwise one serial row-order pass. The
+  // switch depends only on the data, so any pool size produces identical
+  // bits either way.
+  std::vector<AggState> states(ngroups * naggs);
+  auto accumulate = [&](AggState* st, size_t j, uint32_t r) {
+    AggState* row_states = st + static_cast<size_t>(gid[j]) * naggs;
+    for (size_t a = 0; a < naggs; ++a) {
+      AggState& s = row_states[a];
+      if (aggs[a].kind == AggKind::kCount) {
+        ++s.count;
+        continue;
+      }
+      const Column& ac = T.col(agg_idx[a]);
+      if (!ac.IsValid(r)) continue;
+      const double x = ac.type == DataType::kInt64
+                           ? static_cast<double>(ac.i64[r])
+                           : ac.f64[r];
+      ++s.count;
+      s.sum += x;
+      s.min = std::min(s.min, x);
+      s.max = std::max(s.max, x);
+    }
+  };
+  if (naggs > 0 && ngroups > 0) {
+    if (ngroups <= kMaxParallelGroups) {
+      const size_t chunks = NumChunksFor(n);
+      std::vector<std::vector<AggState>> partials(chunks);
+      RunChunks(pool, n, [&](size_t c, size_t b, size_t e) {
+        auto& st = partials[c];
+        st.assign(ngroups * naggs, AggState{});
+        for (size_t j = b; j < e; ++j) accumulate(st.data(), j, RowAt(in, j));
+      });
+      for (size_t c = 0; c < chunks; ++c) {
+        for (size_t i = 0; i < states.size(); ++i) {
+          const AggState& p = partials[c][i];
+          AggState& s = states[i];
+          s.count += p.count;
+          s.sum += p.sum;
+          s.min = std::min(s.min, p.min);
+          s.max = std::max(s.max, p.max);
+        }
+      }
+    } else {
+      for (size_t j = 0; j < n; ++j) accumulate(states.data(), j, RowAt(in, j));
+    }
+  }
+
+  std::vector<ColumnSpec> out_specs;
+  for (size_t i : key_idx) out_specs.push_back(T.schema().column(i));
+  for (const auto& a : aggs) {
+    out_specs.push_back({a.as, a.kind == AggKind::kCount ? DataType::kInt64
+                                                         : DataType::kDouble});
+  }
+  if (out_specs.empty()) {
+    return std::make_shared<const ColumnarTable>(
+        Schema(std::move(out_specs)),
+        std::vector<std::shared_ptr<const Column>>{}, ngroups);
+  }
+  ColumnarTableBuilder out(Schema(std::move(out_specs)));
+  out.Reserve(ngroups);
+  for (size_t i = 0; i < key_idx.size(); ++i) {
+    out.SetColumn(i, GatherColumn(T.col(key_idx[i]), first_row, pool));
+  }
+  for (size_t a = 0; a < naggs; ++a) {
+    ColumnBuilder& cb = out.column(key_idx.size() + a);
+    for (size_t g = 0; g < ngroups; ++g) {
+      const AggState& st = states[g * naggs + a];
+      switch (aggs[a].kind) {
+        case AggKind::kCount:
+          cb.AppendInt64(static_cast<int64_t>(st.count));
+          break;
+        case AggKind::kSum:
+          cb.AppendDouble(st.sum);
+          break;
+        case AggKind::kAvg:
+          if (st.count > 0) {
+            cb.AppendDouble(st.sum / static_cast<double>(st.count));
+          } else {
+            cb.AppendNull();
+          }
+          break;
+        case AggKind::kMin:
+          if (st.count > 0) {
+            cb.AppendDouble(st.min);
+          } else {
+            cb.AppendNull();
+          }
+          break;
+        case AggKind::kMax:
+          if (st.count > 0) {
+            cb.AppendDouble(st.max);
+          } else {
+            cb.AppendNull();
+          }
+          break;
+      }
+    }
+  }
+  return out.Finish();
+}
+
+Result<SelVector> VecOrderBy(const ColumnarBatch& in,
+                             const std::vector<std::string>& columns,
+                             std::vector<bool> descending) {
+  const ColumnarTable& T = *in.cols;
+  std::vector<size_t> idx;
+  for (const auto& c : columns) {
+    MDE_ASSIGN_OR_RETURN(size_t i, T.schema().IndexOf(c));
+    idx.push_back(i);
+  }
+  if (descending.empty()) descending.assign(columns.size(), false);
+  if (descending.size() != columns.size()) {
+    return Status::InvalidArgument("descending flags arity mismatch");
+  }
+  // Dictionary codes are first-appearance ordered, not sorted, so sort keys
+  // need a code -> lexicographic-rank table (one sort of the dictionary
+  // instead of O(n log n) string compares).
+  struct SortCol {
+    const Column* c;
+    std::vector<uint32_t> rank;
+  };
+  std::vector<SortCol> cols;
+  for (size_t i : idx) {
+    SortCol s{&T.col(i), {}};
+    if (s.c->type == DataType::kString) {
+      const auto& dict = *s.c->dict;
+      std::vector<uint32_t> order(dict.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(),
+                [&dict](uint32_t x, uint32_t y) { return dict[x] < dict[y]; });
+      s.rank.resize(dict.size());
+      for (uint32_t k = 0; k < order.size(); ++k) s.rank[order[k]] = k;
+    }
+    cols.push_back(std::move(s));
+  }
+  auto three_way = [](const SortCol& s, uint32_t a, uint32_t b) -> int {
+    const Column& c = *s.c;
+    const bool va = c.IsValid(a);
+    const bool vb = c.IsValid(b);
+    if (!va || !vb) return static_cast<int>(va) - static_cast<int>(vb);
+    switch (c.type) {
+      case DataType::kInt64: {
+        // Matches Value::LessThan, which compares numerics as double.
+        const double x = static_cast<double>(c.i64[a]);
+        const double y = static_cast<double>(c.i64[b]);
+        return x < y ? -1 : (y < x ? 1 : 0);
+      }
+      case DataType::kDouble: {
+        const double x = c.f64[a];
+        const double y = c.f64[b];
+        return x < y ? -1 : (y < x ? 1 : 0);
+      }
+      case DataType::kBool:
+        return static_cast<int>(c.b8[a]) - static_cast<int>(c.b8[b]);
+      case DataType::kString: {
+        const uint32_t x = s.rank[c.codes[a]];
+        const uint32_t y = s.rank[c.codes[b]];
+        return x < y ? -1 : (y < x ? 1 : 0);
+      }
+      case DataType::kNull:
+        return 0;
+    }
+    return 0;
+  };
+  SelVector items;
+  if (in.whole) {
+    items.resize(in.cols->num_rows());
+    std::iota(items.begin(), items.end(), 0);
+  } else {
+    items = in.sel;
+  }
+  std::stable_sort(items.begin(), items.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     for (size_t k = 0; k < cols.size(); ++k) {
+                       const int cmp = three_way(cols[k], a, b);
+                       if (cmp < 0) return !descending[k];
+                       if (cmp > 0) return static_cast<bool>(descending[k]);
+                     }
+                     return false;
+                   });
+  return items;
+}
+
+SelVector VecDistinct(const ColumnarBatch& in) {
+  const ColumnarTable& T = *in.cols;
+  std::vector<KeyCol> kc;
+  for (size_t i = 0; i < T.num_columns(); ++i) kc.push_back(MakeKeyCol(T.col(i)));
+  std::unordered_map<uint64_t, std::vector<uint32_t>> buckets;
+  buckets.reserve(in.size());
+  SelVector out;
+  for (size_t j = 0; j < in.size(); ++j) {
+    const uint32_t r = RowAt(in, j);
+    auto& cand = buckets[RowKeyHash(kc, r)];
+    bool dup = false;
+    for (uint32_t rr : cand) {
+      if (RowKeyEq(kc, r, kc, rr)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) {
+      cand.push_back(r);
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace mde::table

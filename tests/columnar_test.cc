@@ -1,0 +1,683 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "table/columnar.h"
+#include "table/ops.h"
+#include "table/plan.h"
+#include "table/query.h"
+#include "table/table.h"
+#include "table/value.h"
+#include "table/vec_ops.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace mde::table {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Comparison helpers
+// ---------------------------------------------------------------------------
+
+/// Cell-level equality via Value's strict variant operator== (null equals
+/// null). Tests steer clear of NaN, so this is an equivalence.
+void ExpectTablesIdentical(const Table& a, const Table& b,
+                           const std::string& what) {
+  ASSERT_TRUE(a.schema() == b.schema())
+      << what << ": " << a.schema().ToString() << " vs "
+      << b.schema().ToString();
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << what;
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    const Row& ra = a.row(i);
+    const Row& rb = b.row(i);
+    for (size_t j = 0; j < ra.size(); ++j) {
+      ASSERT_TRUE(ra[j] == rb[j])
+          << what << ": row " << i << " col " << j << ": " << ra[j].ToString()
+          << " vs " << rb[j].ToString();
+    }
+  }
+}
+
+uint64_t Bits(double d) {
+  uint64_t b;
+  std::memcpy(&b, &d, sizeof(b));
+  return b;
+}
+
+/// Bit-exact equality of the underlying blocks — the determinism contract:
+/// results must not merely be numerically close across pool sizes, they
+/// must be the same bits.
+void ExpectColumnarBitIdentical(const ColumnarTable& a,
+                                const ColumnarTable& b,
+                                const std::string& what) {
+  ASSERT_TRUE(a.schema() == b.schema()) << what;
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << what;
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    const Column& ca = a.col(c);
+    const Column& cb = b.col(c);
+    ASSERT_EQ(ca.type, cb.type) << what;
+    ASSERT_EQ(ca.i64, cb.i64) << what << " col " << c;
+    ASSERT_EQ(ca.f64.size(), cb.f64.size()) << what;
+    for (size_t i = 0; i < ca.f64.size(); ++i) {
+      ASSERT_EQ(Bits(ca.f64[i]), Bits(cb.f64[i]))
+          << what << " col " << c << " row " << i;
+    }
+    ASSERT_EQ(ca.b8, cb.b8) << what << " col " << c;
+    ASSERT_EQ(ca.codes, cb.codes) << what << " col " << c;
+    if (ca.dict != nullptr || cb.dict != nullptr) {
+      ASSERT_TRUE(ca.dict != nullptr && cb.dict != nullptr) << what;
+      ASSERT_EQ(*ca.dict, *cb.dict) << what << " col " << c;
+    }
+    ASSERT_EQ(ca.valid, cb.valid) << what << " col " << c;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Random data generation for the differential tests. Doubles stay on the
+// 0.25 lattice with small magnitude, so chunked sums are exact in IEEE
+// arithmetic and row-order vs chunk-order accumulation cannot diverge.
+// int64 values occasionally sit at the 2^53 double-precision edge to
+// exercise Value's coerce-through-double comparison semantics.
+// ---------------------------------------------------------------------------
+
+const char* kStrings[] = {"a", "b", "c", "apple", "zed", ""};
+
+Value RandomValueOfType(Rng& rng, DataType type, bool allow_null) {
+  if (allow_null && rng.NextBounded(12) == 0) return Value();
+  switch (type) {
+    case DataType::kInt64: {
+      if (rng.NextBounded(20) == 0) {
+        const int64_t edge = int64_t{1} << 53;
+        return Value(edge + static_cast<int64_t>(rng.NextBounded(3)) - 1);
+      }
+      return Value(static_cast<int64_t>(rng.NextBounded(13)) - 6);
+    }
+    case DataType::kDouble:
+      return Value((static_cast<double>(rng.NextBounded(81)) - 40.0) * 0.25);
+    case DataType::kBool:
+      return Value(rng.NextBounded(2) == 1);
+    case DataType::kString:
+      return Value(kStrings[rng.NextBounded(6)]);
+    case DataType::kNull:
+      return Value();
+  }
+  return Value();
+}
+
+DataType RandomType(Rng& rng) {
+  constexpr DataType kTypes[] = {DataType::kInt64, DataType::kDouble,
+                                 DataType::kBool, DataType::kString};
+  return kTypes[rng.NextBounded(4)];
+}
+
+Table RandomTable(Rng& rng, const std::string& prefix, size_t max_rows) {
+  const size_t ncols = 1 + rng.NextBounded(4);
+  std::vector<ColumnSpec> specs;
+  for (size_t c = 0; c < ncols; ++c) {
+    specs.push_back({prefix + std::to_string(c), RandomType(rng)});
+  }
+  Table t{Schema(specs)};
+  const size_t rows = rng.NextBounded(max_rows + 1);
+  for (size_t i = 0; i < rows; ++i) {
+    Row r;
+    for (size_t c = 0; c < ncols; ++c) {
+      r.push_back(RandomValueOfType(rng, specs[c].type, /*allow_null=*/true));
+    }
+    t.Append(std::move(r));
+  }
+  return t;
+}
+
+std::string RandomColumn(Rng& rng, const Table& t, bool sometimes_bogus) {
+  if (sometimes_bogus && rng.NextBounded(15) == 0) return "no_such_column";
+  return t.schema().column(rng.NextBounded(t.schema().num_columns())).name;
+}
+
+CmpOp RandomOp(Rng& rng) {
+  constexpr CmpOp kOps[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                            CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+  return kOps[rng.NextBounded(6)];
+}
+
+// ---------------------------------------------------------------------------
+// Storage-layer unit tests
+// ---------------------------------------------------------------------------
+
+TEST(ColumnBuilderTest, LateNullBackfillsBitmap) {
+  ColumnBuilder b(DataType::kInt64);
+  for (int i = 0; i < 100; ++i) b.AppendInt64(i);
+  b.AppendNull();
+  b.AppendInt64(100);
+  auto col = b.Finish();
+  ASSERT_EQ(col->size, 102u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(col->IsValid(i));
+    EXPECT_TRUE(col->ValueAt(i) == Value(int64_t{i}));
+  }
+  EXPECT_FALSE(col->IsValid(100));
+  EXPECT_TRUE(col->ValueAt(100).is_null());
+  EXPECT_TRUE(col->IsValid(101));
+}
+
+TEST(ColumnBuilderTest, NoNullsMeansEmptyBitmap) {
+  ColumnBuilder b(DataType::kDouble);
+  for (int i = 0; i < 200; ++i) b.AppendDouble(i * 0.5);
+  auto col = b.Finish();
+  EXPECT_TRUE(col->valid.empty());
+  EXPECT_TRUE(col->IsValid(199));
+}
+
+TEST(ColumnBuilderTest, StringsAreInternedInFirstAppearanceOrder) {
+  ColumnBuilder b(DataType::kString);
+  b.AppendString("x");
+  b.AppendString("y");
+  b.AppendString("x");
+  b.AppendString("z");
+  b.AppendString("y");
+  auto col = b.Finish();
+  ASSERT_EQ(col->dict->size(), 3u);
+  EXPECT_EQ((*col->dict)[0], "x");
+  EXPECT_EQ((*col->dict)[1], "y");
+  EXPECT_EQ((*col->dict)[2], "z");
+  EXPECT_EQ(col->codes, (std::vector<uint32_t>{0, 1, 0, 2, 1}));
+}
+
+TEST(ColumnarTableTest, RoundTripsThroughTable) {
+  Rng rng(7);
+  Table t = RandomTable(rng, "c", 300);
+  auto cols = t.ToColumnar();
+  ASSERT_TRUE(cols.ok());
+  Table back = Table::FromColumnar(cols.value());
+  ExpectTablesIdentical(t, back, "round trip");
+}
+
+TEST(ColumnarTableTest, ToColumnarCachesOnTheTable) {
+  Rng rng(8);
+  Table t = RandomTable(rng, "c", 50);
+  auto first = t.ToColumnar();
+  auto second = t.ToColumnar();
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(first.value().get(), second.value().get());
+}
+
+TEST(ColumnarTableTest, MutationDetachesColumnarRepresentation) {
+  Table t{Schema({{"a", DataType::kInt64}})};
+  t.Append({Value(int64_t{1})});
+  ASSERT_TRUE(t.ToColumnar().ok());
+  EXPECT_NE(t.columnar(), nullptr);
+  t.Append({Value(int64_t{2})});
+  EXPECT_EQ(t.columnar(), nullptr);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(ColumnarTableTest, MixedTypeColumnStaysOnRowPath) {
+  Table t{Schema({{"a", DataType::kInt64}})};
+  t.Append({Value(int64_t{1})});
+  t.Append({Value(2.5)});  // runtime double in a declared-int64 column
+  auto cols = t.ToColumnar();
+  EXPECT_FALSE(cols.ok());
+  EXPECT_EQ(cols.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ColumnarTableTest, LazyRowMaterialization) {
+  ColumnarTableBuilder b{Schema({{"a", DataType::kInt64}})};
+  for (int i = 0; i < 10; ++i) b.column(0).AppendInt64(i);
+  auto cols = b.Finish();
+  ASSERT_TRUE(cols.ok());
+  Table t = Table::FromColumnar(cols.value());
+  EXPECT_EQ(t.num_rows(), 10u);
+  auto v = t.At(3, "a");  // cell access without materializing
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v.value() == Value(int64_t{3}));
+  EXPECT_EQ(t.rows().size(), 10u);  // materializes
+  EXPECT_TRUE(t.row(9)[0] == Value(int64_t{9}));
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential tests: the vectorized kernels must agree with the
+// retained row-at-a-time operators row for row, cell for cell — including
+// null handling, cross-type predicates, and the int64-through-double
+// comparison edge at 2^53.
+// ---------------------------------------------------------------------------
+
+Value RandomLiteral(Rng& rng) {
+  if (rng.NextBounded(10) == 0) return Value();  // null literal
+  return RandomValueOfType(rng, RandomType(rng), /*allow_null=*/false);
+}
+
+void RunFilterDifferential(Rng& rng, ThreadPool* pool) {
+  Table t = RandomTable(rng, "c", 120);
+  const std::string col = RandomColumn(rng, t, /*sometimes_bogus=*/true);
+  const CmpOp op = RandomOp(rng);
+  const Value lit = RandomLiteral(rng);
+
+  auto pred = ColumnCompare(t.schema(), col, op, lit);
+  auto cols = t.ToColumnar();
+  ASSERT_TRUE(cols.ok());
+  auto sel = VecFilter(*cols.value(), nullptr, col, op, lit, pool);
+  ASSERT_EQ(pred.ok(), sel.ok());
+  if (!pred.ok()) {
+    EXPECT_EQ(pred.status().code(), sel.status().code());
+    return;
+  }
+  Table ref = Filter(t, pred.value());
+  Table vec = BatchToTable(
+      ColumnarBatch{cols.value(), std::move(sel).value(), false}, pool);
+  ExpectTablesIdentical(ref, vec, "filter " + col);
+}
+
+void RunJoinDifferential(Rng& rng, ThreadPool* pool) {
+  Table l = RandomTable(rng, "l", 80);
+  Table r = RandomTable(rng, "r", 80);
+  const size_t nkeys = 1 + rng.NextBounded(2);
+  std::vector<std::string> lk, rk;
+  for (size_t i = 0; i < nkeys; ++i) {
+    lk.push_back(RandomColumn(rng, l, /*sometimes_bogus=*/false));
+    rk.push_back(RandomColumn(rng, r, /*sometimes_bogus=*/false));
+  }
+  auto ref = HashJoin(l, r, lk, rk);
+  auto lc = l.ToColumnar();
+  auto rc = r.ToColumnar();
+  ASSERT_TRUE(lc.ok() && rc.ok());
+  auto vec = VecHashJoin(ColumnarBatch{lc.value(), {}, true},
+                         ColumnarBatch{rc.value(), {}, true}, lk, rk, pool);
+  ASSERT_EQ(ref.ok(), vec.ok());
+  if (!ref.ok()) {
+    EXPECT_EQ(ref.status().code(), vec.status().code());
+    return;
+  }
+  ExpectTablesIdentical(ref.value(), Table::FromColumnar(vec.value()),
+                        "join");
+}
+
+void RunGroupByDifferential(Rng& rng, ThreadPool* pool) {
+  Table t = RandomTable(rng, "c", 120);
+  std::vector<std::string> keys;
+  const size_t nkeys = rng.NextBounded(3);
+  for (size_t i = 0; i < nkeys; ++i) {
+    std::string k = RandomColumn(rng, t, /*sometimes_bogus=*/false);
+    // Duplicate keys would put the same name twice in the output schema.
+    if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+      keys.push_back(std::move(k));
+    }
+  }
+  constexpr AggKind kKinds[] = {AggKind::kCount, AggKind::kSum, AggKind::kAvg,
+                                AggKind::kMin, AggKind::kMax};
+  std::vector<AggSpec> aggs;
+  const size_t naggs = 1 + rng.NextBounded(2);
+  for (size_t i = 0; i < naggs; ++i) {
+    aggs.push_back({kKinds[rng.NextBounded(5)],
+                    RandomColumn(rng, t, /*sometimes_bogus=*/false),
+                    "agg" + std::to_string(i)});
+  }
+  auto ref = GroupBy(t, keys, aggs);
+  auto cols = t.ToColumnar();
+  ASSERT_TRUE(cols.ok());
+  auto vec = VecGroupBy(ColumnarBatch{cols.value(), {}, true}, keys, aggs,
+                        pool);
+  ASSERT_EQ(ref.ok(), vec.ok());
+  if (!ref.ok()) {
+    EXPECT_EQ(ref.status().code(), vec.status().code());
+    return;
+  }
+  ExpectTablesIdentical(ref.value(), Table::FromColumnar(vec.value()),
+                        "group-by");
+}
+
+void RunOrderByDifferential(Rng& rng, ThreadPool* pool) {
+  Table t = RandomTable(rng, "c", 120);
+  const size_t ncols = 1 + rng.NextBounded(2);
+  std::vector<std::string> by;
+  std::vector<bool> desc;
+  for (size_t i = 0; i < ncols; ++i) {
+    by.push_back(RandomColumn(rng, t, /*sometimes_bogus=*/false));
+    desc.push_back(rng.NextBounded(2) == 1);
+  }
+  auto ref = OrderBy(t, by, desc);
+  auto cols = t.ToColumnar();
+  ASSERT_TRUE(cols.ok());
+  auto sel = VecOrderBy(ColumnarBatch{cols.value(), {}, true}, by, desc);
+  ASSERT_EQ(ref.ok(), sel.ok());
+  if (!ref.ok()) return;
+  Table vec = BatchToTable(
+      ColumnarBatch{cols.value(), std::move(sel).value(), false}, pool);
+  ExpectTablesIdentical(ref.value(), vec, "order-by");
+}
+
+void RunDistinctDifferential(Rng& rng, ThreadPool* pool) {
+  Table t = RandomTable(rng, "c", 120);
+  Table ref = Distinct(t);
+  auto cols = t.ToColumnar();
+  ASSERT_TRUE(cols.ok());
+  SelVector sel = VecDistinct(ColumnarBatch{cols.value(), {}, true});
+  Table vec =
+      BatchToTable(ColumnarBatch{cols.value(), std::move(sel), false}, pool);
+  ExpectTablesIdentical(ref, vec, "distinct");
+}
+
+TEST(ColumnarDifferentialTest, TwoHundredRandomOperatorRuns) {
+  Rng rng(20260806);
+  ThreadPool pool(3);
+  for (int iter = 0; iter < 200; ++iter) {
+    ThreadPool* p = iter % 2 == 0 ? nullptr : &pool;
+    switch (iter % 5) {
+      case 0:
+        RunFilterDifferential(rng, p);
+        break;
+      case 1:
+        RunJoinDifferential(rng, p);
+        break;
+      case 2:
+        RunGroupByDifferential(rng, p);
+        break;
+      case 3:
+        RunOrderByDifferential(rng, p);
+        break;
+      case 4:
+        RunDistinctDifferential(rng, p);
+        break;
+    }
+    if (HasFatalFailure()) {
+      ADD_FAILURE() << "failing iteration: " << iter;
+      return;
+    }
+  }
+}
+
+TEST(ColumnarDifferentialTest, QueryChainMatchesRowComposition) {
+  Rng rng(99);
+  for (int iter = 0; iter < 60; ++iter) {
+    Table t = RandomTable(rng, "c", 100);
+    Table u = RandomTable(rng, "c", 60);  // join partner, same name space
+    const std::string fcol = RandomColumn(rng, t, false);
+    const CmpOp op = RandomOp(rng);
+    const Value lit = RandomLiteral(rng);
+    const std::string lk = RandomColumn(rng, t, false);
+    const std::string rk = RandomColumn(rng, u, false);
+
+    auto q = Query(t)
+                 .Where(fcol, op, lit)
+                 .Join(u, {lk}, {rk})
+                 .Limit(25)
+                 .Execute();
+
+    auto pred = ColumnCompare(t.schema(), fcol, op, lit);
+    ASSERT_TRUE(pred.ok());
+    auto joined = HashJoin(Filter(t, pred.value()), u, {lk}, {rk});
+    ASSERT_EQ(q.ok(), joined.ok());
+    if (!q.ok()) continue;
+    Table ref = Limit(joined.value(), 25);
+    ExpectTablesIdentical(ref, q.value(), "query chain");
+  }
+}
+
+TEST(ColumnarDifferentialTest, RowFallbackStepsInterleaveWithColumnar) {
+  Rng rng(42);
+  for (int iter = 0; iter < 40; ++iter) {
+    Table t = RandomTable(rng, "c", 100);
+    const std::string fcol = RandomColumn(rng, t, false);
+    // Opaque row predicate: forces the row path mid-chain.
+    auto idx = t.schema().IndexOf(fcol);
+    ASSERT_TRUE(idx.ok());
+    const size_t i = idx.value();
+    RowPredicate opaque = [i](const Row& r) { return !r[i].is_null(); };
+
+    const std::string fcol2 = RandomColumn(rng, t, false);
+    const CmpOp op = RandomOp(rng);
+    const Value lit = RandomLiteral(rng);
+
+    auto q = Query(t)
+                 .Where(fcol2, op, lit)  // columnar
+                 .WherePred(opaque)      // row fallback
+                 .Distinct()             // back to columnar
+                 .Execute();
+    ASSERT_TRUE(q.ok());
+
+    auto pred = ColumnCompare(t.schema(), fcol2, op, lit);
+    ASSERT_TRUE(pred.ok());
+    Table ref = Distinct(Filter(Filter(t, pred.value()), opaque));
+    ExpectTablesIdentical(ref, q.value(), "mixed-path chain");
+  }
+}
+
+TEST(ColumnarDifferentialTest, PlanExecutorMatchesRowOperators) {
+  Rng rng(314);
+  for (int iter = 0; iter < 40; ++iter) {
+    Table l = RandomTable(rng, "l", 90);
+    Table r = RandomTable(rng, "r", 60);
+    const std::string lk = RandomColumn(rng, l, false);
+    const std::string rk = RandomColumn(rng, r, false);
+    const std::string fc = RandomColumn(rng, l, false);
+    const CmpOp op = RandomOp(rng);
+    const Value lit = RandomLiteral(rng);
+
+    auto plan = PlanNode::Filter(
+        PlanNode::Join(PlanNode::Scan(&l, "l"), PlanNode::Scan(&r, "r"),
+                       {lk}, {rk}),
+        {{fc, op, lit}});
+    ExecutionStats stats;
+    auto got = ExecutePlan(plan, &stats);
+
+    auto joined = HashJoin(l, r, {lk}, {rk});
+    ASSERT_EQ(got.ok(), joined.ok());
+    if (!got.ok()) continue;
+    auto pred = ColumnCompare(joined.value().schema(), fc, op, lit);
+    ASSERT_TRUE(pred.ok());
+    Table ref = Filter(joined.value(), pred.value());
+    ExpectTablesIdentical(ref, got.value(), "plan execution");
+    EXPECT_EQ(stats.rows_scanned, l.num_rows() + r.num_rows());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: bit-identical results for pool sizes {serial, 2, 8}. These
+// use arbitrary (non-lattice) doubles and enough rows for many chunks, so
+// any thread-count-dependent accumulation order would show up as a bit
+// difference.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const ColumnarTable> BigMixedTable(size_t n) {
+  Rng rng(5150);
+  ColumnarTableBuilder b{Schema({{"k", DataType::kInt64},
+                                 {"x", DataType::kDouble},
+                                 {"s", DataType::kString},
+                                 {"f", DataType::kBool}})};
+  b.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    b.column(0).AppendInt64(static_cast<int64_t>(rng.NextBounded(100)));
+    if (rng.NextBounded(20) == 0) {
+      b.column(1).AppendNull();
+    } else {
+      b.column(1).AppendDouble((rng.NextDouble() - 0.5) * 1e6);
+    }
+    b.column(2).AppendString(kStrings[rng.NextBounded(6)]);
+    b.column(3).AppendBool(rng.NextBounded(2) == 1);
+  }
+  auto cols = b.Finish();
+  EXPECT_TRUE(cols.ok());
+  return std::move(cols).value();
+}
+
+TEST(VecDeterminismTest, KernelsBitIdenticalAcrossPoolSizes) {
+  const auto cols = BigMixedTable(50000);
+  const ColumnarBatch batch{cols, {}, true};
+  ThreadPool pool2(2);
+  ThreadPool pool8(8);
+  std::vector<ThreadPool*> pools = {nullptr, &pool2, &pool8};
+
+  // Filter: selection vectors must match element for element.
+  std::vector<SelVector> sels;
+  for (ThreadPool* p : pools) {
+    auto sel =
+        VecFilter(*cols, nullptr, "x", CmpOp::kGt, Value(0.0), p);
+    ASSERT_TRUE(sel.ok());
+    sels.push_back(std::move(sel).value());
+  }
+  EXPECT_EQ(sels[0], sels[1]);
+  EXPECT_EQ(sels[0], sels[2]);
+
+  // Compact: gathered blocks (incl. validity bitmaps) must be identical.
+  std::vector<std::shared_ptr<const ColumnarTable>> compacts;
+  for (ThreadPool* p : pools) compacts.push_back(VecCompact(*cols, sels[0], p));
+  ExpectColumnarBitIdentical(*compacts[0], *compacts[1], "compact serial/2");
+  ExpectColumnarBitIdentical(*compacts[0], *compacts[2], "compact serial/8");
+
+  // GroupBy: chunk-order partial-sum combination must be thread-invariant.
+  const std::vector<AggSpec> aggs = {{AggKind::kSum, "x", "sx"},
+                                     {AggKind::kAvg, "x", "ax"},
+                                     {AggKind::kMin, "x", "mn"},
+                                     {AggKind::kMax, "x", "mx"},
+                                     {AggKind::kCount, "", "n"}};
+  std::vector<std::shared_ptr<const ColumnarTable>> groups;
+  for (ThreadPool* p : pools) {
+    auto g = VecGroupBy(batch, {"k", "s"}, aggs, p);
+    ASSERT_TRUE(g.ok());
+    groups.push_back(std::move(g).value());
+  }
+  ExpectColumnarBitIdentical(*groups[0], *groups[1], "group-by serial/2");
+  ExpectColumnarBitIdentical(*groups[0], *groups[2], "group-by serial/8");
+
+  // HashJoin (self-join on the key column).
+  std::vector<std::shared_ptr<const ColumnarTable>> joins;
+  const auto right = BigMixedTable(3000);
+  for (ThreadPool* p : pools) {
+    auto j = VecHashJoin(batch, ColumnarBatch{right, {}, true}, {"k"}, {"k"},
+                         p);
+    ASSERT_TRUE(j.ok());
+    joins.push_back(std::move(j).value());
+  }
+  ExpectColumnarBitIdentical(*joins[0], *joins[1], "join serial/2");
+  ExpectColumnarBitIdentical(*joins[0], *joins[2], "join serial/8");
+}
+
+TEST(VecDeterminismTest, NestedLoopJoinBitIdenticalAcrossPoolSizes) {
+  const auto left = BigMixedTable(9000);
+  const auto right = BigMixedTable(40);
+  ThreadPool pool2(2);
+  ThreadPool pool8(8);
+  std::vector<std::shared_ptr<const ColumnarTable>> outs;
+  for (ThreadPool* p : {static_cast<ThreadPool*>(nullptr), &pool2, &pool8}) {
+    auto j = VecNestedLoopJoin(*left, "x", CmpOp::kLt, *right, "x", p);
+    ASSERT_TRUE(j.ok());
+    outs.push_back(std::move(j).value());
+  }
+  ExpectColumnarBitIdentical(*outs[0], *outs[1], "nlj serial/2");
+  ExpectColumnarBitIdentical(*outs[0], *outs[2], "nlj serial/8");
+}
+
+// ---------------------------------------------------------------------------
+// Targeted semantics tests
+// ---------------------------------------------------------------------------
+
+TEST(VecOpsTest, GroupByEmptyInputProducesNoGroups) {
+  Table t{Schema({{"k", DataType::kInt64}, {"x", DataType::kDouble}})};
+  auto cols = t.ToColumnar();
+  ASSERT_TRUE(cols.ok());
+  auto g = VecGroupBy(ColumnarBatch{cols.value(), {}, true}, {},
+                      {{AggKind::kCount, "", "n"}}, nullptr);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value()->num_rows(), 0u);
+}
+
+TEST(VecOpsTest, AggregatesOverAllNullGroupMatchRowSemantics) {
+  Table t{Schema({{"k", DataType::kInt64}, {"x", DataType::kDouble}})};
+  t.Append({Value(int64_t{1}), Value()});
+  t.Append({Value(int64_t{1}), Value()});
+  const std::vector<AggSpec> aggs = {{AggKind::kSum, "x", "s"},
+                                     {AggKind::kAvg, "x", "a"},
+                                     {AggKind::kMin, "x", "mn"},
+                                     {AggKind::kCount, "", "n"}};
+  auto ref = GroupBy(t, {"k"}, aggs);
+  ASSERT_TRUE(ref.ok());
+  auto cols = t.ToColumnar();
+  ASSERT_TRUE(cols.ok());
+  auto vec =
+      VecGroupBy(ColumnarBatch{cols.value(), {}, true}, {"k"}, aggs, nullptr);
+  ASSERT_TRUE(vec.ok());
+  ExpectTablesIdentical(ref.value(), Table::FromColumnar(vec.value()),
+                        "null aggregates");
+  // SUM over an empty set is 0.0, AVG/MIN are null, COUNT counts rows.
+  const Table& out = ref.value();
+  EXPECT_TRUE(out.row(0)[1] == Value(0.0));
+  EXPECT_TRUE(out.row(0)[2].is_null());
+  EXPECT_TRUE(out.row(0)[3].is_null());
+  EXPECT_TRUE(out.row(0)[4] == Value(int64_t{2}));
+}
+
+TEST(VecOpsTest, NullKeysNeverJoin) {
+  Table l{Schema({{"k", DataType::kInt64}})};
+  l.Append({Value()});
+  l.Append({Value(int64_t{1})});
+  Table r{Schema({{"k", DataType::kInt64}})};
+  r.Append({Value()});
+  r.Append({Value(int64_t{1})});
+  auto lc = l.ToColumnar();
+  auto rc = r.ToColumnar();
+  ASSERT_TRUE(lc.ok() && rc.ok());
+  auto j = VecHashJoin(ColumnarBatch{lc.value(), {}, true},
+                       ColumnarBatch{rc.value(), {}, true}, {"k"}, {"k"},
+                       nullptr);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j.value()->num_rows(), 1u);  // only the 1=1 match
+}
+
+TEST(VecOpsTest, MismatchedKeyTypesProduceEmptyJoin) {
+  Table l{Schema({{"k", DataType::kInt64}})};
+  l.Append({Value(int64_t{1})});
+  Table r{Schema({{"k", DataType::kDouble}})};
+  r.Append({Value(1.0)});
+  auto ref = HashJoin(l, r, {"k"}, {"k"});
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref.value().num_rows(), 0u);  // strict typing: 1 != 1.0 as keys
+  auto lc = l.ToColumnar();
+  auto rc = r.ToColumnar();
+  auto j = VecHashJoin(ColumnarBatch{lc.value(), {}, true},
+                       ColumnarBatch{rc.value(), {}, true}, {"k"}, {"k"},
+                       nullptr);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j.value()->num_rows(), 0u);
+}
+
+TEST(VecOpsTest, Int64FilterCoercesThroughDoubleAt2To53) {
+  // 2^53 and 2^53+1 are the same double; the row path compares via
+  // AsDouble(), so the vectorized path must collapse them too.
+  const int64_t edge = int64_t{1} << 53;
+  Table t{Schema({{"v", DataType::kInt64}})};
+  t.Append({Value(edge)});
+  t.Append({Value(edge + 1)});
+  auto pred = ColumnCompare(t.schema(), "v", CmpOp::kEq, Value(edge));
+  ASSERT_TRUE(pred.ok());
+  Table ref = Filter(t, pred.value());
+  EXPECT_EQ(ref.num_rows(), 2u);  // both "equal" after coercion
+  auto cols = t.ToColumnar();
+  ASSERT_TRUE(cols.ok());
+  auto sel =
+      VecFilter(*cols.value(), nullptr, "v", CmpOp::kEq, Value(edge), nullptr);
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ(sel.value().size(), 2u);
+}
+
+TEST(VecOpsTest, CrossTypePredicateFollowsValueRanking)
+{
+  // String column vs numeric literal: Value ranks numerics below strings,
+  // so s > 5 is true for every non-null string and s < 5 is false.
+  Table t{Schema({{"s", DataType::kString}})};
+  t.Append({Value("a")});
+  t.Append({Value()});
+  auto cols = t.ToColumnar();
+  ASSERT_TRUE(cols.ok());
+  auto gt = VecFilter(*cols.value(), nullptr, "s", CmpOp::kGt,
+                      Value(int64_t{5}), nullptr);
+  auto lt = VecFilter(*cols.value(), nullptr, "s", CmpOp::kLt,
+                      Value(int64_t{5}), nullptr);
+  ASSERT_TRUE(gt.ok() && lt.ok());
+  EXPECT_EQ(gt.value().size(), 1u);  // "a" only; null never matches
+  EXPECT_EQ(lt.value().size(), 0u);
+}
+
+}  // namespace
+}  // namespace mde::table
