@@ -12,39 +12,122 @@
 ///
 /// MDE_BENCHMARK_MAIN(Preamble) expands to a main() that runs `Preamble()`
 /// only when no machine-readable stdout format was requested.
+///
+/// Every bench binary also accepts `--mde_trace_out=FILE` (or the
+/// space-separated `--mde_trace_out FILE`): trace spans are enabled for the
+/// whole run and a Chrome trace-event JSON is written to FILE on exit. The
+/// per-thread span rings drop their OLDEST events on overflow, so the file
+/// holds the final iterations of each benchmark — open it at
+/// chrome://tracing or https://ui.perfetto.dev.
 
 #include <cstring>
+#include <fstream>
+#include <string>
 
 #include <benchmark/benchmark.h>
+
+#include "obs/trace.h"
 
 namespace mde::bench {
 
 /// True when argv requests a non-console stdout format (json/csv), in which
 /// case nothing but the benchmark document may be written to stdout.
+/// Recognizes both `--benchmark_format=json` and the space-separated
+/// `--benchmark_format json` spelling.
 inline bool MachineReadableStdout(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--benchmark_format=", 19) == 0 &&
         std::strcmp(argv[i] + 19, "console") != 0) {
       return true;
     }
+    if (std::strcmp(argv[i], "--benchmark_format") == 0 && i + 1 < argc &&
+        std::strcmp(argv[i + 1], "console") != 0) {
+      return true;
+    }
   }
   return false;
 }
 
+/// benchmark::Initialize only understands `--flag=value`; folds the
+/// space-separated `--benchmark_foo bar` spelling into `--benchmark_foo=bar`
+/// so both work. Rewritten flags are owned by a function-local static that
+/// outlives argv use.
+inline void CanonicalizeBenchmarkFlags(int* argc, char** argv) {
+  static std::vector<std::string> storage;
+  storage.reserve(static_cast<size_t>(*argc));
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_", 12) == 0 &&
+        std::strchr(argv[i], '=') == nullptr && i + 1 < *argc &&
+        argv[i + 1][0] != '-') {
+      storage.push_back(std::string(argv[i]) + "=" + argv[i + 1]);
+      argv[w++] = storage.back().data();
+      ++i;
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  *argc = w;
+}
+
+/// Consumes `--mde_trace_out=FILE` / `--mde_trace_out FILE` from argv
+/// (benchmark::Initialize rejects flags it does not know) and returns the
+/// requested path, or "" when the flag is absent.
+inline std::string ExtractTraceOut(int* argc, char** argv) {
+  std::string path;
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--mde_trace_out=", 16) == 0) {
+      path = argv[i] + 16;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--mde_trace_out") == 0 && i + 1 < *argc) {
+      path = argv[i + 1];
+      ++i;
+      continue;
+    }
+    argv[w++] = argv[i];
+  }
+  *argc = w;
+  return path;
+}
+
+/// Enables tracing when a path was requested; dumps the trace on
+/// destruction so the file exists however the benchmarks exit the happy
+/// path.
+class TraceDump {
+ public:
+  explicit TraceDump(std::string path) : path_(std::move(path)) {
+    if (!path_.empty()) mde::obs::Tracer::Global().Enable();
+  }
+  ~TraceDump() {
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    mde::obs::Tracer::Global().WriteChromeTrace(out);
+  }
+
+ private:
+  std::string path_;
+};
+
 }  // namespace mde::bench
 
-#define MDE_BENCHMARK_MAIN(Preamble)                            \
-  int main(int argc, char** argv) {                             \
-    if (!mde::bench::MachineReadableStdout(argc, argv)) {       \
-      Preamble();                                               \
-    }                                                           \
-    benchmark::Initialize(&argc, argv);                         \
-    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {   \
-      return 1;                                                 \
-    }                                                           \
-    benchmark::RunSpecifiedBenchmarks();                        \
-    benchmark::Shutdown();                                      \
-    return 0;                                                   \
+#define MDE_BENCHMARK_MAIN(Preamble)                                    \
+  int main(int argc, char** argv) {                                     \
+    mde::bench::CanonicalizeBenchmarkFlags(&argc, argv);                \
+    const std::string mde_trace_path =                                  \
+        mde::bench::ExtractTraceOut(&argc, argv);                       \
+    mde::bench::TraceDump mde_trace_dump(mde_trace_path);               \
+    if (!mde::bench::MachineReadableStdout(argc, argv)) {               \
+      Preamble();                                                       \
+    }                                                                   \
+    benchmark::Initialize(&argc, argv);                                 \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {           \
+      return 1;                                                         \
+    }                                                                   \
+    benchmark::RunSpecifiedBenchmarks();                                \
+    benchmark::Shutdown();                                              \
+    return 0;                                                           \
   }
 
 #endif  // MDE_BENCH_BENCH_MAIN_H_

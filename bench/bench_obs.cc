@@ -1,0 +1,119 @@
+/// Observability-layer microbenchmarks: the per-event cost of the obs
+/// primitives that ride inside every engine hot path, plus the end-to-end
+/// price of EXPLAIN ANALYZE profiling. The overhead GUARD for the engine
+/// itself (BM_OptimizedPlan / BM_ChainStep with obs compiled in vs
+/// -DMDE_OBS_DISABLED=ON) runs those benches from their own binaries in two
+/// build trees; results live in BENCH_obs.json.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_main.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "table/plan.h"
+
+namespace {
+
+using namespace mde;  // NOLINT
+
+void PrintPreamble() {
+  std::printf("=== obs: metrics/trace primitive costs ===\n");
+  std::printf("counters and histograms are thread-sharded relaxed atomics; "
+              "disabled spans are one relaxed load + branch.\n\n");
+}
+
+void BM_CounterAdd(benchmark::State& state) {
+  obs::Counter* c = obs::Registry::Global().counter("bench.counter");
+  for (auto _ : state) {
+    c->Add(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterAdd);
+
+void BM_CounterMacro(benchmark::State& state) {
+  // The engine's spelling: function-local static pointer + Add.
+  for (auto _ : state) {
+    MDE_OBS_COUNT("bench.counter_macro", 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterMacro);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Histogram* h = obs::Registry::Global().histogram(
+      "bench.histogram", obs::ExponentialBounds());
+  double v = 0.0;
+  for (auto _ : state) {
+    h->Observe(v);
+    v = v < 1e6 ? v + 17.0 : 0.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_SpanDisabled(benchmark::State& state) {
+  obs::Tracer::Global().Disable();
+  for (auto _ : state) {
+    MDE_TRACE_SPAN("bench.span");
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  obs::Tracer::Global().Enable();
+  for (auto _ : state) {
+    MDE_TRACE_SPAN("bench.span");
+    benchmark::ClobberMemory();
+  }
+  obs::Tracer::Global().Disable();
+  obs::Tracer::Global().Clear();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanEnabled);
+
+table::Table MakeTable(size_t n) {
+  table::Table t{table::Schema(
+      {{"id", table::DataType::kInt64}, {"x", table::DataType::kDouble}})};
+  for (size_t i = 0; i < n; ++i) {
+    t.Append({table::Value(static_cast<int64_t>(i)),
+              table::Value(static_cast<double>(i % 97))});
+  }
+  return t;
+}
+
+/// ExecutePlan without profiling vs with the EXPLAIN ANALYZE stats sink —
+/// the per-node steady_clock reads are the only delta.
+void BM_PlanNoProfile(benchmark::State& state) {
+  static table::Table t = MakeTable(100000);
+  table::PlanPtr plan = table::PlanNode::Filter(
+      table::PlanNode::Scan(&t, "t"),
+      {{"x", table::CmpOp::kGt, table::Value(50.0)}});
+  for (auto _ : state) {
+    auto r = table::ExecutePlan(plan, nullptr);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PlanNoProfile);
+
+void BM_PlanWithProfile(benchmark::State& state) {
+  static table::Table t = MakeTable(100000);
+  table::PlanPtr plan = table::PlanNode::Filter(
+      table::PlanNode::Scan(&t, "t"),
+      {{"x", table::CmpOp::kGt, table::Value(50.0)}});
+  table::ExecutionStats stats;
+  for (auto _ : state) {
+    auto r = table::ExecutePlan(plan, &stats);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_PlanWithProfile);
+
+}  // namespace
+
+MDE_BENCHMARK_MAIN(PrintPreamble)

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace mde::dsgd {
@@ -132,6 +134,8 @@ SgdResult SolveDsgd(const std::vector<SparseRow>& rows, size_t dim,
     }
     const auto& stratum = strata[order[round % strata.size()]];
     if (stratum.empty()) continue;
+    MDE_TRACE_SPAN("dsgd.stratum_visit");
+    MDE_OBS_COUNT("dsgd.stratum_visits", 1);
     const size_t visit_updates = options.updates_per_visit == 0
                                      ? stratum.size()
                                      : options.updates_per_visit;
@@ -161,6 +165,7 @@ SgdResult SolveDsgd(const std::vector<SparseRow>& rows, size_t dim,
     });
     global_updates += visit_updates;
     result.updates += visit_updates;
+    MDE_OBS_COUNT("dsgd.updates", visit_updates);
     if (options.sgd.trace_every > 0 &&
         (round + 1) % options.sgd.trace_every == 0) {
       result.residual_trace.push_back(ResidualNorm(rows, result.x));

@@ -7,6 +7,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace mde::mcdb {
@@ -409,6 +411,7 @@ Result<BundleTable> GenerateBundles(const MonteCarloDb& db,
                                     const std::string& attr_name,
                                     size_t num_reps, uint64_t seed,
                                     ThreadPool* pool) {
+  MDE_TRACE_SPAN("mcdb.generate_bundles");
   const table::Table* outer = db.FindTable(spec.outer_table);
   if (outer == nullptr) {
     return Status::NotFound("FOR EACH table not found: " + spec.outer_table);
@@ -428,6 +431,8 @@ Result<BundleTable> GenerateBundles(const MonteCarloDb& db,
     }
   }
   const size_t n = outer->num_rows();
+  MDE_OBS_COUNT("mcdb.bundle_rows", n);
+  MDE_OBS_COUNT("mcdb.vg_samples", n * num_reps);
   BundleTable out(outer->schema(), {attr_name}, num_reps);
   out.pool_ = pool;
   out.det_rows_.resize(n);

@@ -1,0 +1,209 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace mde::obs {
+
+namespace {
+
+thread_local uint32_t tls_span_depth = 0;
+
+/// Minimal JSON string escape (span names are identifiers in practice, but
+/// the exporter must never emit malformed JSON).
+void EscapeJson(const char* s, std::ostream& os) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-thread event ring. Owned by the Tracer (threads may exit before the
+/// trace is exported); the owning thread holds only a raw pointer. The ring
+/// drops the OLDEST events on overflow, so the retained window is the tail
+/// of the run. `mu` serializes the owner's appends with Collect/Clear —
+/// uncontended in steady state, and spans are operator-granularity, so the
+/// lock cost is noise.
+struct Tracer::ThreadBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> ring;  // allocated lazily on first event
+  size_t head = 0;               // index of the oldest retained event
+  size_t count = 0;              // retained events (<= kRingCapacity)
+  uint32_t tid = 0;
+};
+
+Tracer& Tracer::Global() {
+  static Tracer* t = new Tracer();  // leaked: outlives static destructors
+  return *t;
+}
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  thread_local ThreadBuffer* buf = nullptr;
+  thread_local const Tracer* owner = nullptr;
+  if (buf == nullptr || owner != this) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(mu_);
+    owned->tid = static_cast<uint32_t>(buffers_.size());
+    buf = owned.get();
+    owner = this;
+    buffers_.push_back(std::move(owned));
+  }
+  return buf;
+}
+
+void Tracer::Record(const char* name, uint64_t ts_ns, uint64_t dur_ns,
+                    uint32_t depth) {
+  ThreadBuffer* buf = BufferForThisThread();
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(buf->mu);
+  if (buf->ring.empty()) buf->ring.resize(kRingCapacity);
+  TraceEvent& e = buf->ring[(buf->head + buf->count) % kRingCapacity];
+  e.name = name;
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  e.tid = buf->tid;
+  e.depth = depth;
+  if (buf->count < kRingCapacity) {
+    ++buf->count;
+  } else {
+    buf->head = (buf->head + 1) % kRingCapacity;  // evict the oldest
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::vector<TraceEvent> Tracer::Collect() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& b : buffers_) {
+      std::lock_guard<std::mutex> bl(b->mu);
+      out.reserve(out.size() + b->count);
+      for (size_t i = 0; i < b->count; ++i) {
+        out.push_back(b->ring[(b->head + i) % kRingCapacity]);
+      }
+    }
+  }
+  // Start-time order; ties broken shallow-first so a parent precedes a
+  // child it opened on the same tick.
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.depth < b.depth;
+            });
+  return out;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& b : buffers_) {
+    std::lock_guard<std::mutex> bl(b->mu);
+    b->head = 0;
+    b->count = 0;
+  }
+  recorded_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  const std::vector<TraceEvent> events = Collect();
+  uint64_t t0 = events.empty() ? 0 : events.front().ts_ns;
+  os << "{\"traceEvents\":[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) os << ",";
+    os << "{\"name\":\"";
+    EscapeJson(e.name, os);
+    os << "\",\"cat\":\"mde\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.tid
+       << ",\"ts\":" << static_cast<double>(e.ts_ns - t0) / 1000.0
+       << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0 << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::ostringstream os;
+  WriteChromeTrace(os);
+  return os.str();
+}
+
+std::string Tracer::FlameSummary() const {
+  const std::vector<TraceEvent> events = Collect();
+  struct Agg {
+    uint64_t calls = 0;
+    uint64_t incl_ns = 0;
+    int64_t self_ns = 0;
+  };
+  std::map<std::string, Agg> byname;
+  // Same-thread stack replay over start-ordered events: when event e opens
+  // inside the interval at the top of its thread's stack, e's duration is
+  // child time of that interval — subtract it from the parent's self time.
+  struct Open {
+    uint64_t end_ns;
+    std::string name;
+  };
+  std::map<uint32_t, std::vector<Open>> stacks;
+  for (const TraceEvent& e : events) {
+    Agg& a = byname[e.name];
+    ++a.calls;
+    a.incl_ns += e.dur_ns;
+    a.self_ns += static_cast<int64_t>(e.dur_ns);
+    auto& stack = stacks[e.tid];
+    while (!stack.empty() && stack.back().end_ns <= e.ts_ns) stack.pop_back();
+    if (!stack.empty()) {
+      byname[stack.back().name].self_ns -= static_cast<int64_t>(e.dur_ns);
+    }
+    stack.push_back({e.ts_ns + e.dur_ns, e.name});
+  }
+  std::vector<std::pair<std::string, Agg>> rows(byname.begin(), byname.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.self_ns > b.second.self_ns;
+  });
+  std::ostringstream os;
+  os << "span                              calls    incl_ms    self_ms\n";
+  for (const auto& [name, a] : rows) {
+    os << name;
+    for (size_t p = name.size(); p < 32; ++p) os << ' ';
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %8llu %10.3f %10.3f\n",
+                  static_cast<unsigned long long>(a.calls),
+                  static_cast<double>(a.incl_ns) / 1e6,
+                  static_cast<double>(a.self_ns) / 1e6);
+    os << buf;
+  }
+  return os.str();
+}
+
+SpanGuard::SpanGuard(const char* name) : name_(name) {
+  Tracer& t = Tracer::Global();
+  if (!t.enabled()) return;
+  active_ = true;
+  depth_ = tls_span_depth++;
+  start_ns_ = NowNanos();
+}
+
+SpanGuard::~SpanGuard() {
+  if (!active_) return;
+  --tls_span_depth;
+  Tracer::Global().Record(name_, start_ns_, NowNanos() - start_ns_, depth_);
+}
+
+}  // namespace mde::obs

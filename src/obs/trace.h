@@ -1,0 +1,132 @@
+#ifndef MDE_OBS_TRACE_H_
+#define MDE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+/// Scoped tracing for the mde engine (EFECT's argument: a stochastic-
+/// simulation run is only comparable to another run if it is instrumented
+/// enough to see what it did). `MDE_TRACE_SPAN("vec.hash_join")` opens an
+/// RAII span; completed spans land in a per-thread ring buffer and are
+/// exported either as Chrome trace-event JSON (load chrome://tracing or
+/// https://ui.perfetto.dev) or as a plain-text flame summary.
+///
+/// Cost model: tracing is globally OFF by default — a span on a disabled
+/// tracer is one relaxed atomic load and a branch. When enabled, a span is
+/// two steady_clock reads plus one short critical section on a mutex owned
+/// by the recording thread's buffer (spans wrap operator-granularity work,
+/// micro- to milliseconds, so this never shows up in profiles). Ring
+/// buffers keep the NEWEST events: a long benchmark run retains its final
+/// iteration(s), which is exactly what --mde_trace_out wants. Span names
+/// must be string literals (storage is never copied).
+///
+/// Determinism: spans observe the clock and write to side-band buffers
+/// only; enabling tracing cannot change any engine output.
+namespace mde::obs {
+
+/// A completed span. `ts_ns`/`dur_ns` come from steady_clock; `tid` is a
+/// small sequential id assigned per recording thread; `depth` is the
+/// span-nesting depth on that thread at open time (0 = top level).
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t ts_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;
+  uint32_t depth = 0;
+};
+
+/// Monotonic nanoseconds (steady_clock).
+uint64_t NowNanos();
+
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  /// Ring capacity per recording thread, in events.
+  static constexpr size_t kRingCapacity = 1 << 14;
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends a completed span to the calling thread's ring.
+  void Record(const char* name, uint64_t ts_ns, uint64_t dur_ns,
+              uint32_t depth);
+
+  /// Drains a copy of every thread's retained events, oldest-first within a
+  /// thread, sorted globally by start time. Includes events recorded by
+  /// threads that have since exited.
+  std::vector<TraceEvent> Collect() const;
+
+  /// Total events ever recorded / events evicted by ring wrap-around.
+  uint64_t recorded() const { return recorded_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Discards all retained events (buffers stay registered).
+  void Clear();
+
+  /// Chrome trace-event JSON: {"traceEvents":[...]} with complete ("ph":
+  /// "X") events, timestamps in microseconds relative to the earliest
+  /// retained event.
+  std::string ChromeTraceJson() const;
+  void WriteChromeTrace(std::ostream& os) const;
+
+  /// Plain-text flame summary: per span name, call count, inclusive and
+  /// self wall time (self = inclusive minus same-thread child spans),
+  /// sorted by self time descending.
+  std::string FlameSummary() const;
+
+ private:
+  struct ThreadBuffer;
+
+  Tracer() = default;
+  ThreadBuffer* BufferForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;  // guards buffers_ registration and collection
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span. Open/close cost when tracing is disabled: one relaxed load.
+class SpanGuard {
+ public:
+  explicit SpanGuard(const char* name);
+  ~SpanGuard();
+
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  const char* name_;
+  uint64_t start_ns_ = 0;
+  uint32_t depth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace mde::obs
+
+#ifndef MDE_OBS_DISABLED
+
+#define MDE_OBS_CONCAT_INNER(a, b) a##b
+#define MDE_OBS_CONCAT(a, b) MDE_OBS_CONCAT_INNER(a, b)
+/// Opens a span covering the rest of the enclosing scope. `name` must be a
+/// string literal (or otherwise outlive the tracer).
+#define MDE_TRACE_SPAN(name) \
+  ::mde::obs::SpanGuard MDE_OBS_CONCAT(_mde_trace_span_, __LINE__)(name)
+
+#else  // MDE_OBS_DISABLED
+
+#define MDE_TRACE_SPAN(name) \
+  do {                       \
+  } while (0)
+
+#endif  // MDE_OBS_DISABLED
+
+#endif  // MDE_OBS_TRACE_H_

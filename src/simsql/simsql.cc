@@ -1,5 +1,8 @@
 #include "simsql/simsql.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace mde::simsql {
 
 Status MarkovChainDb::AddDeterministic(const std::string& name,
@@ -36,6 +39,7 @@ Status MarkovChainDb::AddChainTable(ChainTableSpec spec) {
 Result<DatabaseState> MarkovChainDb::Run(size_t steps, uint64_t seed,
                                          uint64_t rep,
                                          const Observer& observer) {
+  MDE_TRACE_SPAN("simsql.run");
   history_.clear();
   Rng rng = Rng::Substream(seed, rep);
 
@@ -51,11 +55,14 @@ Result<DatabaseState> MarkovChainDb::Run(size_t steps, uint64_t seed,
 
   // Versions 1..steps.
   for (size_t i = 1; i <= steps; ++i) {
+    MDE_TRACE_SPAN("simsql.step");
+    MDE_OBS_COUNT("simsql.steps", 1);
     DatabaseState next = deterministic_;
     for (const auto& spec : specs_) {
       MDE_ASSIGN_OR_RETURN(table::Table t, spec.transition(state, next, rng));
       next.erase(spec.name);
       next.emplace(spec.name, std::move(t));
+      MDE_OBS_COUNT("simsql.chain_tables", 1);
     }
     state = std::move(next);
     if (observer) MDE_RETURN_NOT_OK(observer(i, state));

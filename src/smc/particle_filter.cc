@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/stats.h"
 
@@ -49,6 +51,7 @@ Status ParticleFilter::Initialize(const Observation& y1) {
 }
 
 Status ParticleFilter::Step(const Observation& y) {
+  MDE_TRACE_SPAN("smc.pf_step");
   if (!initialized_) {
     return Status::FailedPrecondition("call Initialize first");
   }
@@ -89,6 +92,9 @@ Status ParticleFilter::WeighAndMaybeResample(
   stats.ess = EffectiveSampleSize(weights_);
   if (stats.ess <
       options_.ess_threshold * static_cast<double>(n) + 1e-12) {
+    MDE_TRACE_SPAN("smc.resample");
+    MDE_OBS_COUNT("smc.resamples", 1);
+    MDE_OBS_COUNT("smc.resampled_particles", n);
     const std::vector<size_t> idx =
         ResampleIndices(weights_, n, options_.resample, rng_);
     std::vector<State> resampled;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace mde::smc {
@@ -31,6 +32,7 @@ std::vector<size_t> ResampleIndices(
     ResampleMethod method, Rng& rng) {
   const size_t m = normalized_weights.size();
   MDE_CHECK_GT(m, 0u);
+  MDE_OBS_COUNT("smc.resample_draws", n);
   std::vector<size_t> out;
   out.reserve(n);
   if (method == ResampleMethod::kMultinomial) {

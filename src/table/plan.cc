@@ -1,7 +1,11 @@
 #include "table/plan.h"
 
+#include <chrono>
+#include <cstdio>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "table/vec_ops.h"
 #include "util/check.h"
 
@@ -77,9 +81,24 @@ Result<Schema> PlanNode::OutputSchema() const {
 
 namespace {
 
+using ProfileClock = std::chrono::steady_clock;
+
+/// Opens a NodeProfile slot for the node about to execute and returns its
+/// pre-order index. Profiles are appended node-first, then children (left
+/// before right), so both executors assign identical indices to identical
+/// tree positions.
+size_t OpenProfile(ExecutionStats* stats) {
+  const size_t index = stats->nodes.size();
+  stats->nodes.emplace_back();
+  return index;
+}
+
+Result<Table> ExecutePlanRows(const PlanPtr& plan, ExecutionStats* stats);
+
 /// Row-at-a-time executor, kept as the fallback for base tables that do not
 /// convert to columnar form (mixed-type cells in a column).
-Result<Table> ExecutePlanRows(const PlanPtr& plan, ExecutionStats* stats) {
+Result<Table> ExecutePlanRowsImpl(const PlanPtr& plan,
+                                  ExecutionStats* stats) {
   switch (plan->kind()) {
     case PlanNode::Kind::kScan: {
       if (stats != nullptr) stats->rows_scanned += plan->table()->num_rows();
@@ -115,6 +134,25 @@ Result<Table> ExecutePlanRows(const PlanPtr& plan, ExecutionStats* stats) {
   return Status::Internal("unknown plan node");
 }
 
+/// Profiling shim: times the node (inclusive of children) and records rows
+/// out. Timing happens only when a stats sink was passed, and is write-only
+/// side-band state — results never depend on it.
+Result<Table> ExecutePlanRows(const PlanPtr& plan, ExecutionStats* stats) {
+  if (stats == nullptr) return ExecutePlanRowsImpl(plan, stats);
+  const size_t index = OpenProfile(stats);
+  const auto t0 = ProfileClock::now();
+  Result<Table> r = ExecutePlanRowsImpl(plan, stats);
+  ExecutionStats::NodeProfile& prof = stats->nodes[index];
+  prof.wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          ProfileClock::now() - t0)
+          .count());
+  prof.vectorized = false;
+  prof.chunks = 0;
+  if (r.ok()) prof.rows_out = r.value().num_rows();
+  return r;
+}
+
 /// True when every base table of the plan converts to columnar form (the
 /// conversions are cached on the tables, so this also warms repeated
 /// executions of plans over the same base data).
@@ -131,12 +169,15 @@ bool ScansConvert(const PlanPtr& plan) {
   return false;
 }
 
+Result<ColumnarBatch> ExecBatch(const PlanPtr& plan, ExecutionStats* stats,
+                                ThreadPool* pool);
+
 /// Vectorized executor: batches of shared column blocks + selection vectors
 /// flow between operators; nothing is materialized until the plan root.
 /// Stats keep the row executor's semantics (scanned base rows, rows each
 /// intermediate operator produced).
-Result<ColumnarBatch> ExecBatch(const PlanPtr& plan, ExecutionStats* stats,
-                                ThreadPool* pool) {
+Result<ColumnarBatch> ExecBatchImpl(const PlanPtr& plan,
+                                    ExecutionStats* stats, ThreadPool* pool) {
   switch (plan->kind()) {
     case PlanNode::Kind::kScan: {
       MDE_ASSIGN_OR_RETURN(auto cols, plan->table()->ToColumnar());
@@ -180,17 +221,54 @@ Result<ColumnarBatch> ExecBatch(const PlanPtr& plan, ExecutionStats* stats,
   return Status::Internal("unknown plan node");
 }
 
+/// Profiling shim for the vectorized path. The chunk count is derived from
+/// the operator's input domain: the node's first child's output cardinality
+/// (pre-order puts that child's profile at index + 1), or the scanned table
+/// itself for leaves.
+Result<ColumnarBatch> ExecBatch(const PlanPtr& plan, ExecutionStats* stats,
+                                ThreadPool* pool) {
+  if (stats == nullptr) return ExecBatchImpl(plan, stats, pool);
+  const size_t index = OpenProfile(stats);
+  const auto t0 = ProfileClock::now();
+  Result<ColumnarBatch> r = ExecBatchImpl(plan, stats, pool);
+  ExecutionStats::NodeProfile& prof = stats->nodes[index];
+  prof.wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          ProfileClock::now() - t0)
+          .count());
+  prof.vectorized = true;
+  if (r.ok()) prof.rows_out = r.value().size();
+  const size_t in_rows = plan->kind() == PlanNode::Kind::kScan
+                             ? prof.rows_out
+                             : stats->nodes[index + 1].rows_out;
+  prof.chunks = (in_rows + kVecGrain - 1) / kVecGrain;
+  return r;
+}
+
 }  // namespace
 
 Result<Table> ExecutePlan(const PlanPtr& plan, ExecutionStats* stats) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
+  MDE_TRACE_SPAN("plan.execute");
+  if (stats != nullptr) stats->nodes.clear();
   if (ScansConvert(plan)) {
     ThreadPool* pool = VecPool();
     MDE_ASSIGN_OR_RETURN(ColumnarBatch out, ExecBatch(plan, stats, pool));
     return BatchToTable(out, pool);
   }
+  MDE_OBS_COUNT("plan.fallback_to_row_path", 1);
   return ExecutePlanRows(plan, stats);
 }
+
+namespace internal {
+
+Result<Table> ExecutePlanRowPath(const PlanPtr& plan, ExecutionStats* stats) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  if (stats != nullptr) stats->nodes.clear();
+  return ExecutePlanRows(plan, stats);
+}
+
+}  // namespace internal
 
 namespace {
 
@@ -324,11 +402,13 @@ const char* CmpName(CmpOp op) {
   return "?";
 }
 
-void ExplainRec(const PlanPtr& plan, int depth, std::ostringstream* os) {
-  for (int i = 0; i < depth; ++i) *os << "  ";
+/// Prints the operator label shared by EXPLAIN and EXPLAIN ANALYZE:
+/// "Scan(name)", "Filter(a = 1 AND b < 2)", "Project(x, y)",
+/// "HashJoin(k=k)".
+void PrintNodeLabel(const PlanPtr& plan, std::ostringstream* os) {
   switch (plan->kind()) {
     case PlanNode::Kind::kScan:
-      *os << "Scan(" << plan->name() << ")\n";
+      *os << "Scan(" << plan->name() << ")";
       break;
     case PlanNode::Kind::kFilter: {
       *os << "Filter(";
@@ -338,8 +418,7 @@ void ExplainRec(const PlanPtr& plan, int depth, std::ostringstream* os) {
         *os << p.column << " " << CmpName(p.op) << " "
             << p.literal.ToString();
       }
-      *os << ")\n";
-      ExplainRec(plan->child(), depth + 1, os);
+      *os << ")";
       break;
     }
     case PlanNode::Kind::kProject: {
@@ -348,8 +427,7 @@ void ExplainRec(const PlanPtr& plan, int depth, std::ostringstream* os) {
         if (i > 0) *os << ", ";
         *os << plan->columns()[i];
       }
-      *os << ")\n";
-      ExplainRec(plan->child(), depth + 1, os);
+      *os << ")";
       break;
     }
     case PlanNode::Kind::kJoin: {
@@ -358,11 +436,70 @@ void ExplainRec(const PlanPtr& plan, int depth, std::ostringstream* os) {
         if (i > 0) *os << ", ";
         *os << plan->left_keys()[i] << "=" << plan->right_keys()[i];
       }
-      *os << ")\n";
+      *os << ")";
+      break;
+    }
+  }
+}
+
+void ExplainRec(const PlanPtr& plan, int depth, std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  PrintNodeLabel(plan, os);
+  *os << "\n";
+  switch (plan->kind()) {
+    case PlanNode::Kind::kScan:
+      break;
+    case PlanNode::Kind::kFilter:
+    case PlanNode::Kind::kProject:
+      ExplainRec(plan->child(), depth + 1, os);
+      break;
+    case PlanNode::Kind::kJoin:
       ExplainRec(plan->left(), depth + 1, os);
       ExplainRec(plan->right(), depth + 1, os);
       break;
-    }
+  }
+}
+
+std::string FormatNanos(double ns) {
+  char buf[32];
+  if (ns < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  } else if (ns < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else if (ns < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  }
+  return buf;
+}
+
+/// Walks the tree in the executors' pre-order, consuming one profile per
+/// node from `*next`.
+void AnalyzeRec(const PlanPtr& plan, const ExecutionStats& stats, int depth,
+                size_t* next, std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  PrintNodeLabel(plan, os);
+  if (*next < stats.nodes.size()) {
+    const ExecutionStats::NodeProfile& p = stats.nodes[(*next)++];
+    *os << " [rows=" << p.rows_out << " time=" << FormatNanos(p.wall_ns);
+    if (p.vectorized) *os << " chunks=" << p.chunks;
+    *os << (p.vectorized ? " vec]" : " row]");
+  } else {
+    *os << " [no profile]";
+  }
+  *os << "\n";
+  switch (plan->kind()) {
+    case PlanNode::Kind::kScan:
+      break;
+    case PlanNode::Kind::kFilter:
+    case PlanNode::Kind::kProject:
+      AnalyzeRec(plan->child(), stats, depth + 1, next, os);
+      break;
+    case PlanNode::Kind::kJoin:
+      AnalyzeRec(plan->left(), stats, depth + 1, next, os);
+      AnalyzeRec(plan->right(), stats, depth + 1, next, os);
+      break;
   }
 }
 
@@ -376,6 +513,13 @@ Result<PlanPtr> OptimizePlan(const PlanPtr& plan) {
 std::string ExplainPlan(const PlanPtr& plan) {
   std::ostringstream os;
   ExplainRec(plan, 0, &os);
+  return os.str();
+}
+
+std::string ExplainAnalyze(const PlanPtr& plan, const ExecutionStats& stats) {
+  std::ostringstream os;
+  size_t next = 0;
+  AnalyzeRec(plan, stats, 0, &next, &os);
   return os.str();
 }
 

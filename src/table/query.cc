@@ -2,12 +2,18 @@
 
 #include <numeric>
 
+#include "obs/metrics.h"
+
 namespace mde::table {
 
 bool Query::EnsureColumnar() {
   if (columnar_) return true;
   auto cols = table_.ToColumnar();
-  if (!cols.ok()) return false;  // mixed-type cells: stay on the row path
+  if (!cols.ok()) {
+    // Mixed-type cells: stay on the row path.
+    MDE_OBS_COUNT("table.fallback_to_row_path", 1);
+    return false;
+  }
   batch_.cols = std::move(cols).value();
   batch_.sel.clear();
   batch_.whole = true;
@@ -18,6 +24,7 @@ bool Query::EnsureColumnar() {
 
 void Query::EnsureRowMode() {
   if (!columnar_) return;
+  MDE_OBS_COUNT("table.row_mode_switches", 1);
   table_ = BatchToTable(batch_, VecPool());
   batch_ = ColumnarBatch{};
   columnar_ = false;

@@ -8,6 +8,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace mde::table {
@@ -303,6 +305,8 @@ Table BatchToTable(const ColumnarBatch& batch, ThreadPool* pool) {
 std::shared_ptr<const ColumnarTable> VecCompact(const ColumnarTable& t,
                                                 const SelVector& sel,
                                                 ThreadPool* pool) {
+  MDE_TRACE_SPAN("vec.compact");
+  MDE_OBS_COUNT("vec.compact.rows_out", sel.size());
   std::vector<std::shared_ptr<const Column>> cols;
   cols.reserve(t.num_columns());
   for (size_t i = 0; i < t.num_columns(); ++i) {
@@ -312,9 +316,11 @@ std::shared_ptr<const ColumnarTable> VecCompact(const ColumnarTable& t,
                                                sel.size());
 }
 
-Result<SelVector> VecFilter(const ColumnarTable& t, const SelVector* sel,
-                            const std::string& column, CmpOp op,
-                            const Value& literal, ThreadPool* pool) {
+namespace {
+
+Result<SelVector> VecFilterImpl(const ColumnarTable& t, const SelVector* sel,
+                                const std::string& column, CmpOp op,
+                                const Value& literal, ThreadPool* pool) {
   MDE_ASSIGN_OR_RETURN(size_t idx, t.schema().IndexOf(column));
   if (literal.is_null()) return SelVector{};  // null literal matches nothing
   const Column& c = t.col(idx);
@@ -374,8 +380,23 @@ Result<SelVector> VecFilter(const ColumnarTable& t, const SelVector* sel,
                         [&c](uint32_t r) { return c.IsValid(r); });
 }
 
+}  // namespace
+
+Result<SelVector> VecFilter(const ColumnarTable& t, const SelVector* sel,
+                            const std::string& column, CmpOp op,
+                            const Value& literal, ThreadPool* pool) {
+  MDE_TRACE_SPAN("vec.filter");
+  const size_t domain = sel != nullptr ? sel->size() : t.num_rows();
+  MDE_OBS_COUNT("vec.filter.rows_in", domain);
+  MDE_OBS_COUNT("vec.chunks", NumChunksFor(domain));
+  auto r = VecFilterImpl(t, sel, column, op, literal, pool);
+  if (r.ok()) MDE_OBS_COUNT("vec.filter.rows_out", r.value().size());
+  return r;
+}
+
 Result<ColumnarBatch> VecProject(const ColumnarBatch& in,
                                  const std::vector<std::string>& columns) {
+  MDE_TRACE_SPAN("vec.project");
   std::vector<ColumnSpec> specs;
   std::vector<std::shared_ptr<const Column>> cols;
   specs.reserve(columns.size());
@@ -397,9 +418,12 @@ Result<std::shared_ptr<const ColumnarTable>> VecHashJoin(
     const ColumnarBatch& left, const ColumnarBatch& right,
     const std::vector<std::string>& left_keys,
     const std::vector<std::string>& right_keys, ThreadPool* pool) {
+  MDE_TRACE_SPAN("vec.hash_join");
   if (left_keys.size() != right_keys.size() || left_keys.empty()) {
     return Status::InvalidArgument("join keys must be non-empty and paired");
   }
+  MDE_OBS_COUNT("vec.hash_join.rows_in", left.size() + right.size());
+  MDE_OBS_COUNT("vec.chunks", NumChunksFor(left.size()));
   const ColumnarTable& L = *left.cols;
   const ColumnarTable& R = *right.cols;
   std::vector<size_t> li, ri;
@@ -495,6 +519,7 @@ Result<std::shared_ptr<const ColumnarTable>> VecHashJoin(
   for (size_t i = 0; i < R.num_columns(); ++i) {
     out_cols.push_back(GatherColumn(R.col(i), rsel, pool));
   }
+  MDE_OBS_COUNT("vec.hash_join.rows_out", total);
   return std::make_shared<const ColumnarTable>(
       std::move(out_schema), std::move(out_cols), total);
 }
@@ -503,6 +528,10 @@ Result<std::shared_ptr<const ColumnarTable>> VecNestedLoopJoin(
     const ColumnarTable& left, const std::string& left_col, CmpOp op,
     const ColumnarTable& right, const std::string& right_col,
     ThreadPool* pool) {
+  MDE_TRACE_SPAN("vec.nested_loop_join");
+  MDE_OBS_COUNT("vec.nested_loop_join.rows_in",
+                left.num_rows() + right.num_rows());
+  MDE_OBS_COUNT("vec.chunks", NumChunksFor(left.num_rows()));
   MDE_ASSIGN_OR_RETURN(size_t li, left.schema().IndexOf(left_col));
   MDE_ASSIGN_OR_RETURN(size_t ri, right.schema().IndexOf(right_col));
   Schema out_schema = Schema::Concat(left.schema(), right.schema(), "r.");
@@ -590,6 +619,9 @@ Result<std::shared_ptr<const ColumnarTable>> VecNestedLoopJoin(
 Result<std::shared_ptr<const ColumnarTable>> VecGroupBy(
     const ColumnarBatch& in, const std::vector<std::string>& keys,
     const std::vector<AggSpec>& aggs, ThreadPool* pool) {
+  MDE_TRACE_SPAN("vec.group_by");
+  MDE_OBS_COUNT("vec.group_by.rows_in", in.size());
+  MDE_OBS_COUNT("vec.chunks", NumChunksFor(in.size()));
   const ColumnarTable& T = *in.cols;
   std::vector<size_t> key_idx;
   for (const auto& k : keys) {
@@ -694,6 +726,7 @@ Result<std::shared_ptr<const ColumnarTable>> VecGroupBy(
     out_specs.push_back({a.as, a.kind == AggKind::kCount ? DataType::kInt64
                                                          : DataType::kDouble});
   }
+  MDE_OBS_COUNT("vec.group_by.rows_out", ngroups);
   if (out_specs.empty()) {
     return std::make_shared<const ColumnarTable>(
         Schema(std::move(out_specs)),
@@ -745,6 +778,8 @@ Result<std::shared_ptr<const ColumnarTable>> VecGroupBy(
 Result<SelVector> VecOrderBy(const ColumnarBatch& in,
                              const std::vector<std::string>& columns,
                              std::vector<bool> descending) {
+  MDE_TRACE_SPAN("vec.order_by");
+  MDE_OBS_COUNT("vec.order_by.rows_in", in.size());
   const ColumnarTable& T = *in.cols;
   std::vector<size_t> idx;
   for (const auto& c : columns) {
@@ -825,6 +860,8 @@ Result<SelVector> VecOrderBy(const ColumnarBatch& in,
 }
 
 SelVector VecDistinct(const ColumnarBatch& in) {
+  MDE_TRACE_SPAN("vec.distinct");
+  MDE_OBS_COUNT("vec.distinct.rows_in", in.size());
   const ColumnarTable& T = *in.cols;
   std::vector<KeyCol> kc;
   for (size_t i = 0; i < T.num_columns(); ++i) kc.push_back(MakeKeyCol(T.col(i)));
@@ -846,6 +883,7 @@ SelVector VecDistinct(const ColumnarBatch& in) {
       out.push_back(r);
     }
   }
+  MDE_OBS_COUNT("vec.distinct.rows_out", out.size());
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace mde {
@@ -19,7 +21,8 @@ thread_local size_t tls_depth = 0;
 
 }  // namespace
 
-ThreadPool::ThreadPool(size_t num_threads) {
+ThreadPool::ThreadPool(size_t num_threads)
+    : worker_counters_(num_threads) {
   MDE_CHECK_GE(num_threads, 1u);
   queues_.resize(num_threads);
   queue_mus_ = std::make_unique<std::mutex[]>(num_threads);
@@ -51,7 +54,9 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(queue_mus_[target]);
     queues_[target].push_front(std::move(task));
   }
-  pending_.fetch_add(1, std::memory_order_seq_cst);
+  const size_t depth = pending_.fetch_add(1, std::memory_order_seq_cst) + 1;
+  MDE_OBS_COUNT("pool.submitted", 1);
+  MDE_OBS_OBSERVE("pool.queue_depth", depth);
   {
     // Empty critical section: serializes with a worker's checked wait so
     // the notify below cannot be lost between its predicate check and
@@ -80,13 +85,33 @@ bool ThreadPool::TryGetTask(size_t self, std::function<void()>* out) {
       *out = std::move(queues_[victim].back());
       queues_[victim].pop_back();
       pending_.fetch_sub(1, std::memory_order_relaxed);
+      worker_counters_[self].steals.fetch_add(1, std::memory_order_relaxed);
+      MDE_OBS_COUNT("pool.steals", 1);
       return true;
     }
   }
   return false;
 }
 
+std::vector<ThreadPool::WorkerStats> ThreadPool::WorkerStatsSnapshot() const {
+  std::vector<WorkerStats> out(worker_counters_.size());
+  for (size_t i = 0; i < worker_counters_.size(); ++i) {
+    out[i].tasks_executed =
+        worker_counters_[i].tasks_executed.load(std::memory_order_relaxed);
+    out[i].steals =
+        worker_counters_[i].steals.load(std::memory_order_relaxed);
+    out[i].help_runs =
+        worker_counters_[i].help_runs.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
 void ThreadPool::Execute(std::function<void()>& task) {
+  MDE_OBS_COUNT("pool.tasks_executed", 1);
+  if (tls_pool == this) {
+    worker_counters_[tls_worker].tasks_executed.fetch_add(
+        1, std::memory_order_relaxed);
+  }
   ++tls_depth;
   task();
   --tls_depth;
@@ -131,6 +156,9 @@ void ThreadPool::WaitAll() {
     std::function<void()> task;
     while (in_flight_.load(std::memory_order_acquire) > tls_depth) {
       if (TryGetTask(tls_worker, &task)) {
+        worker_counters_[tls_worker].help_runs.fetch_add(
+            1, std::memory_order_relaxed);
+        MDE_OBS_COUNT("pool.help_runs", 1);
         Execute(task);
         task = nullptr;
       } else {
@@ -176,8 +204,11 @@ void ThreadPool::ParallelForChunks(
     size_t n, size_t grain,
     const std::function<void(size_t, size_t, size_t)>& fn) {
   if (n == 0) return;
+  MDE_TRACE_SPAN("pool.parallel_for");
   const size_t g = ResolveGrain(n, grain);
   const size_t chunks = (n + g - 1) / g;
+  MDE_OBS_COUNT("pool.parallel_for.calls", 1);
+  MDE_OBS_COUNT("pool.parallel_for.chunks", chunks);
   if (chunks == 1) {
     fn(0, 0, n);
     return;

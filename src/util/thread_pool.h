@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -42,6 +43,20 @@ class ThreadPool {
 
   /// Enqueues a task for execution.
   void Submit(std::function<void()> task);
+
+  /// Point-in-time copy of one worker's execution counters. Readable while
+  /// the pool runs (the cells are relaxed atomics updated only by their
+  /// owning worker): tasks_executed counts tasks run in the worker loop,
+  /// steals counts tasks taken from a sibling's deque, help_runs counts
+  /// tasks the worker drained from inside WaitAll instead of blocking.
+  struct WorkerStats {
+    uint64_t tasks_executed = 0;
+    uint64_t steals = 0;
+    uint64_t help_runs = 0;
+  };
+
+  /// Per-worker counters, index-aligned with the worker threads.
+  std::vector<WorkerStats> WorkerStatsSnapshot() const;
 
   /// Blocks until every submitted task has finished. When called from a
   /// worker thread of this pool, help-runs queued tasks instead of
@@ -113,7 +128,15 @@ class ThreadPool {
   void Execute(std::function<void()>& task);
   size_t ResolveGrain(size_t n, size_t grain) const;
 
+  /// One cache line per worker so counter updates never contend.
+  struct alignas(64) WorkerCounters {
+    std::atomic<uint64_t> tasks_executed{0};
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> help_runs{0};
+  };
+
   std::vector<std::thread> threads_;
+  std::vector<WorkerCounters> worker_counters_;
   /// queues_[i] is worker i's deque; guarded by queue_mus_[i].
   std::vector<std::deque<std::function<void()>>> queues_;
   std::unique_ptr<std::mutex[]> queue_mus_;
