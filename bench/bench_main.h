@@ -13,19 +13,33 @@
 /// MDE_BENCHMARK_MAIN(Preamble) expands to a main() that runs `Preamble()`
 /// only when no machine-readable stdout format was requested.
 ///
-/// Every bench binary also accepts `--mde_trace_out=FILE` (or the
-/// space-separated `--mde_trace_out FILE`): trace spans are enabled for the
-/// whole run and a Chrome trace-event JSON is written to FILE on exit. The
-/// per-thread span rings drop their OLDEST events on overflow, so the file
-/// holds the final iterations of each benchmark — open it at
-/// chrome://tracing or https://ui.perfetto.dev.
+/// Every bench binary also accepts (each in `--flag=VALUE` or the
+/// space-separated `--flag VALUE` spelling):
+///
+///   --mde_trace_out=FILE      enable trace spans for the whole run and
+///                             write a Chrome trace-event JSON to FILE on
+///                             exit. The per-thread span rings drop their
+///                             OLDEST events on overflow, so the file holds
+///                             the final iterations of each benchmark —
+///                             open it at chrome://tracing or
+///                             https://ui.perfetto.dev.
+///   --mde_metrics_out=FILE    write the final registry snapshot to FILE in
+///                             the Prometheus text exposition format on
+///                             exit.
+///   --mde_metrics_jsonl=FILE  run a background Sampler (obs/export.h) for
+///                             the whole run, appending one JSONL registry
+///                             record per period to FILE.
+///   --mde_metrics_period_ms=N Sampler period (default 50).
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include <benchmark/benchmark.h>
 
+#include "obs/export.h"
 #include "obs/trace.h"
 
 namespace mde::bench {
@@ -70,26 +84,32 @@ inline void CanonicalizeBenchmarkFlags(int* argc, char** argv) {
   *argc = w;
 }
 
-/// Consumes `--mde_trace_out=FILE` / `--mde_trace_out FILE` from argv
+/// Consumes `--<name>=VALUE` / `--<name> VALUE` from argv
 /// (benchmark::Initialize rejects flags it does not know) and returns the
-/// requested path, or "" when the flag is absent.
-inline std::string ExtractTraceOut(int* argc, char** argv) {
-  std::string path;
+/// value, or "" when the flag is absent. `name` includes the leading
+/// dashes, e.g. "--mde_trace_out".
+inline std::string ExtractMdeFlag(int* argc, char** argv, const char* name) {
+  const size_t len = std::strlen(name);
+  std::string value;
   int w = 1;
   for (int i = 1; i < *argc; ++i) {
-    if (std::strncmp(argv[i], "--mde_trace_out=", 16) == 0) {
-      path = argv[i] + 16;
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      value = argv[i] + len + 1;
       continue;
     }
-    if (std::strcmp(argv[i], "--mde_trace_out") == 0 && i + 1 < *argc) {
-      path = argv[i + 1];
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < *argc) {
+      value = argv[i + 1];
       ++i;
       continue;
     }
     argv[w++] = argv[i];
   }
   *argc = w;
-  return path;
+  return value;
+}
+
+inline std::string ExtractTraceOut(int* argc, char** argv) {
+  return ExtractMdeFlag(argc, argv, "--mde_trace_out");
 }
 
 /// Enables tracing when a path was requested; dumps the trace on
@@ -110,6 +130,37 @@ class TraceDump {
   std::string path_;
 };
 
+/// Writes the final registry snapshot (Prometheus text exposition) on
+/// destruction when a path was requested.
+class MetricsDump {
+ public:
+  explicit MetricsDump(std::string path) : path_(std::move(path)) {}
+  ~MetricsDump() {
+    if (path_.empty()) return;
+    std::ofstream out(path_);
+    out << mde::obs::PrometheusText();
+  }
+
+ private:
+  std::string path_;
+};
+
+/// Starts the background Sampler when a JSONL path was requested; the
+/// returned pointer (null when absent) stops the sampler — writing the
+/// final record — when it goes out of scope.
+inline std::unique_ptr<mde::obs::Sampler> MaybeStartSampler(
+    const std::string& path, const std::string& period_ms) {
+  if (path.empty()) return nullptr;
+  mde::obs::SamplerOptions options;
+  options.path = path;
+  options.period = std::chrono::milliseconds(50);
+  if (!period_ms.empty()) {
+    const long ms = std::strtol(period_ms.c_str(), nullptr, 10);
+    if (ms > 0) options.period = std::chrono::milliseconds(ms);
+  }
+  return std::make_unique<mde::obs::Sampler>(std::move(options));
+}
+
 }  // namespace mde::bench
 
 #define MDE_BENCHMARK_MAIN(Preamble)                                    \
@@ -117,7 +168,17 @@ class TraceDump {
     mde::bench::CanonicalizeBenchmarkFlags(&argc, argv);                \
     const std::string mde_trace_path =                                  \
         mde::bench::ExtractTraceOut(&argc, argv);                       \
+    const std::string mde_metrics_path =                                \
+        mde::bench::ExtractMdeFlag(&argc, argv, "--mde_metrics_out");   \
+    const std::string mde_metrics_jsonl =                               \
+        mde::bench::ExtractMdeFlag(&argc, argv, "--mde_metrics_jsonl"); \
+    const std::string mde_metrics_period = mde::bench::ExtractMdeFlag(  \
+        &argc, argv, "--mde_metrics_period_ms");                        \
     mde::bench::TraceDump mde_trace_dump(mde_trace_path);               \
+    mde::bench::MetricsDump mde_metrics_dump(mde_metrics_path);         \
+    auto mde_sampler =                                                  \
+        mde::bench::MaybeStartSampler(mde_metrics_jsonl,                \
+                                      mde_metrics_period);              \
     if (!mde::bench::MachineReadableStdout(argc, argv)) {               \
       Preamble();                                                       \
     }                                                                   \

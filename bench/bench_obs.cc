@@ -11,7 +11,9 @@
 
 #include "bench_main.h"
 
+#include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/stat.h"
 #include "obs/trace.h"
 #include "table/plan.h"
 
@@ -76,6 +78,55 @@ void BM_SpanEnabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SpanEnabled);
+
+void BM_WelfordAdd(benchmark::State& state) {
+  obs::Welford w;
+  double v = 0.0;
+  for (auto _ : state) {
+    w.Add(v);
+    v = v < 1e6 ? v + 17.0 : 0.0;
+  }
+  benchmark::DoNotOptimize(w);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WelfordAdd);
+
+void BM_P2Observe(benchmark::State& state) {
+  obs::P2Quantile q(0.95);
+  double v = 0.0;
+  for (auto _ : state) {
+    q.Add(v);
+    v = v < 1e6 ? v + 17.0 : 0.0;
+  }
+  benchmark::DoNotOptimize(q);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_P2Observe);
+
+void BM_CiMonitorObserve(benchmark::State& state) {
+  // Publishing variant: every Add updates the half-width + count gauges.
+  obs::CiMonitor ci("bench.ci_halfwidth");
+  double v = 0.0;
+  for (auto _ : state) {
+    ci.Add(v);
+    v = v < 1e6 ? v + 17.0 : 0.0;
+  }
+  benchmark::DoNotOptimize(ci);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CiMonitorObserve);
+
+/// Full scrape cost: Registry::Snapshot + derived gauges + text rendering,
+/// on whatever metrics this binary has registered so far. This is what one
+/// Sampler tick or Prometheus pull pays.
+void BM_PrometheusText(benchmark::State& state) {
+  for (auto _ : state) {
+    std::string text = obs::PrometheusText();
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrometheusText);
 
 table::Table MakeTable(size_t n) {
   table::Table t{table::Schema(

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Checks a Prometheus text-exposition (0.0.4) file, as written by
+--mde_metrics_out / mde::obs::PrometheusText.
+
+Validates, stdlib-only:
+  * line grammar: `# TYPE <name> <kind>`, `<name> <value>`, or
+    `<name>_bucket{le="<bound>"} <count>`;
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*;
+  * every sample belongs to the family declared by the preceding # TYPE;
+  * histogram buckets are cumulative (non-decreasing), end with le="+Inf",
+    and the +Inf bucket equals the family's _count;
+  * histograms carry exactly one _sum and one _count.
+
+Usage: check_prometheus.py FILE...   (exit 0 = all files pass)
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$")
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|[0-9]+)|[+-]?Inf|NaN)$")
+BUCKET_LABEL_RE = re.compile(r'^\{le="([^"]+)"\}$')
+
+
+class Checker:
+    def __init__(self, path):
+        self.path = path
+        self.errors = []
+        # Per-histogram-family state.
+        self.family = None
+        self.family_kind = None
+        self.buckets = []  # (le, cumulative_count)
+        self.sums = 0
+        self.counts = 0
+        self.count_value = None
+
+    def error(self, lineno, msg):
+        self.errors.append("%s:%d: %s" % (self.path, lineno, msg))
+
+    def close_family(self, lineno):
+        """Validates the accumulated histogram family, if any."""
+        if self.family is None or self.family_kind != "histogram":
+            self.family = None
+            return
+        name = self.family
+        if not self.buckets:
+            self.error(lineno, "histogram %s has no _bucket samples" % name)
+        else:
+            prev = -1.0
+            prev_le = None
+            for le, cum in self.buckets:
+                if prev_le is not None and le <= prev_le and le != float("inf"):
+                    self.error(lineno, "histogram %s bucket bounds not ascending" % name)
+                if cum < prev:
+                    self.error(lineno, "histogram %s buckets not cumulative" % name)
+                prev = cum
+                prev_le = le
+            if self.buckets[-1][0] != float("inf"):
+                self.error(lineno, 'histogram %s does not end with le="+Inf"' % name)
+            elif self.count_value is not None and self.buckets[-1][1] != self.count_value:
+                self.error(
+                    lineno,
+                    "histogram %s: +Inf bucket (%g) != _count (%g)"
+                    % (name, self.buckets[-1][1], self.count_value),
+                )
+        if self.sums != 1:
+            self.error(lineno, "histogram %s has %d _sum samples" % (name, self.sums))
+        if self.counts != 1:
+            self.error(lineno, "histogram %s has %d _count samples" % (name, self.counts))
+        self.family = None
+
+    def start_family(self, lineno, name, kind):
+        self.close_family(lineno)
+        self.family = name
+        self.family_kind = kind
+        self.buckets = []
+        self.sums = 0
+        self.counts = 0
+        self.count_value = None
+
+    def check_sample(self, lineno, line):
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            self.error(lineno, "unparseable sample line: %r" % line)
+            return
+        name, labels, value = m.group(1), m.group(2), m.group(3)
+        if self.family is None:
+            self.error(lineno, "sample %s has no preceding # TYPE" % name)
+            return
+        base = self.family
+        if self.family_kind == "histogram":
+            if name == base + "_bucket":
+                if labels is None:
+                    self.error(lineno, "%s_bucket without le label" % base)
+                    return
+                lm = BUCKET_LABEL_RE.match(labels)
+                if lm is None:
+                    self.error(lineno, "bad bucket labels %r" % labels)
+                    return
+                le = float("inf") if lm.group(1) == "+Inf" else float(lm.group(1))
+                self.buckets.append((le, float(value)))
+            elif name == base + "_sum":
+                self.sums += 1
+            elif name == base + "_count":
+                self.counts += 1
+                self.count_value = float(value)
+            else:
+                self.error(lineno, "sample %s outside family %s" % (name, base))
+        else:
+            if name != base:
+                self.error(lineno, "sample %s under # TYPE %s" % (name, base))
+            if labels is not None:
+                self.error(lineno, "unexpected labels on %s" % name)
+
+    def run(self, text):
+        lineno = 0
+        for raw in text.splitlines():
+            lineno += 1
+            line = raw.rstrip("\n")
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                tm = TYPE_RE.match(line)
+                if tm is not None:
+                    self.start_family(lineno, tm.group(1), tm.group(2))
+                elif not line.startswith("# HELP"):
+                    self.error(lineno, "unrecognized comment line: %r" % line)
+                continue
+            self.check_sample(lineno, line)
+        self.close_family(lineno + 1)
+        return self.errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_prometheus.py FILE...", file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print("%s: %s" % (path, e), file=sys.stderr)
+            failed = True
+            continue
+        errors = Checker(path).run(text)
+        if errors:
+            failed = True
+            for e in errors:
+                print(e, file=sys.stderr)
+        else:
+            print("%s: OK (%d lines)" % (path, len(text.splitlines())))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "obs/metrics.h"
+#include "obs/stat.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
@@ -120,6 +121,12 @@ SgdResult SolveDsgd(const std::vector<SparseRow>& rows, size_t dim,
   const double m = static_cast<double>(rows.size());
   size_t global_updates = 0;
 
+#ifndef MDE_OBS_DISABLED
+  // Stall/divergence detector over the residual trace; publishes the
+  // obs.health.dsgd verdict and dsgd.loss gauges as the solve progresses.
+  obs::ConvergenceMonitor health("dsgd");
+#endif
+
   // Regenerative stratum schedule: each cycle visits every stratum exactly
   // once in (optionally random) order, so equal time is spent in each
   // stratum in the long run — the condition for w.p.-1 convergence.
@@ -168,10 +175,19 @@ SgdResult SolveDsgd(const std::vector<SparseRow>& rows, size_t dim,
     MDE_OBS_COUNT("dsgd.updates", visit_updates);
     if (options.sgd.trace_every > 0 &&
         (round + 1) % options.sgd.trace_every == 0) {
-      result.residual_trace.push_back(ResidualNorm(rows, result.x));
+      const double res = ResidualNorm(rows, result.x);
+      result.residual_trace.push_back(res);
+      MDE_OBS_GAUGE_SET("dsgd.epoch_loss", res);
+#ifndef MDE_OBS_DISABLED
+      health.Add(res);
+#endif
     }
   }
   result.residual = ResidualNorm(rows, result.x);
+  MDE_OBS_GAUGE_SET("dsgd.epoch_loss", result.residual);
+#ifndef MDE_OBS_DISABLED
+  health.Add(result.residual);
+#endif
   return result;
 }
 

@@ -34,6 +34,15 @@ BundleTable::BundleTable(table::Schema det_schema,
   MDE_CHECK_GT(num_reps_, 0u);
 }
 
+uint64_t BundleTable::ApproxBytes() const {
+  uint64_t b = det_rows_.capacity() * sizeof(table::Row);
+  for (const auto& blockv : stoch_) {
+    b += blockv.capacity() * sizeof(double);
+  }
+  b += active_.capacity() * sizeof(uint64_t);
+  return b;
+}
+
 Result<size_t> BundleTable::StochIndex(const std::string& name) const {
   for (size_t i = 0; i < stoch_names_.size(); ++i) {
     if (stoch_names_[i] == name) return i;
@@ -61,6 +70,7 @@ void BundleTable::Append(BundleRow row) {
     }
     active_.push_back(word);
   }
+  AccountStorage();
 }
 
 BundleTable::BundleRow BundleTable::row(size_t i) const {
@@ -114,6 +124,7 @@ void BundleTable::GatherRows(const std::vector<uint32_t>& keep,
                 masks.data() + i * words_per_row_,
                 words_per_row_ * sizeof(uint64_t));
   }
+  out->AccountStorage();
 }
 
 BundleTable BundleTable::FilterDet(const table::RowPredicate& pred) const {
@@ -253,6 +264,7 @@ Result<BundleTable> BundleTable::MapStoch(
       }
     }
   });
+  out.AccountStorage();
   return out;
 }
 
@@ -504,6 +516,7 @@ Result<BundleTable> GenerateBundles(const MonteCarloDb& db,
     }
   }
   if (failed.load()) return first_err;
+  out.AccountStorage();
   return out;
 }
 

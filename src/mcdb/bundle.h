@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "mcdb/mcdb.h"
+#include "obs/mem.h"
 #include "table/ops.h"
 #include "table/table.h"
 #include "util/status.h"
@@ -85,6 +86,12 @@ class BundleTable {
 
   /// Index of a stochastic attribute by name; error if absent.
   Result<size_t> StochIndex(const std::string& name) const;
+
+  /// Approximate heap footprint of the bundle storage: stochastic value
+  /// blocks, packed mask words, and the deterministic rows counted
+  /// shallowly (vector capacities, not boxed Value payloads). This is what
+  /// the table reports to the `mcdb.bundle` memory pool (obs/mem.h).
+  uint64_t ApproxBytes() const;
 
   /// Appends a bundle row (arity- and length-checked).
   void Append(BundleRow row);
@@ -174,6 +181,14 @@ class BundleTable {
   /// num_rows * words_per_row_ packed mask words; padding bits are zero.
   std::vector<uint64_t> active_;
   ThreadPool* pool_ = nullptr;
+  /// Reports ApproxBytes() to the `mcdb.bundle` pool; capacity-based, so
+  /// counter writes happen on geometric growth, not per appended row.
+  /// Copy/move/destroy semantics keep live-byte accounting exact for
+  /// by-value derived tables.
+  obs::MemAccount mem_{"mcdb.bundle"};
+
+  /// Re-reports the current footprint after storage-changing operations.
+  void AccountStorage() { mem_.Set(ApproxBytes()); }
 
   friend Result<BundleTable> GenerateBundles(const MonteCarloDb& db,
                                              const StochasticTableSpec& spec,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 
 namespace mde::obs {
@@ -124,7 +126,17 @@ Histogram* Registry::histogram(const std::string& name,
                                std::vector<double> bounds) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
-  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  } else if (slot->bounds() != bounds) {
+    // First registration wins; count the conflict so mismatched bucket
+    // layouts at different call sites are visible instead of silent.
+    // mu_ is non-recursive, so bump the counter via the map directly
+    // rather than re-entering counter().
+    auto& conflict = counters_["obs.histogram.bounds_conflict"];
+    if (conflict == nullptr) conflict = std::make_unique<Counter>();
+    conflict->Add(1);
+  }
   return slot.get();
 }
 
@@ -165,6 +177,9 @@ std::vector<MetricSnapshot> Registry::Snapshot() const {
 
 std::string Registry::TextDump() const {
   std::ostringstream os;
+  // Round-trip precision: parsing a dumped gauge back recovers the exact
+  // stored double (default ostream precision truncates to 6 digits).
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
   for (const MetricSnapshot& m : Snapshot()) {
     switch (m.kind) {
       case MetricSnapshot::Kind::kCounter:

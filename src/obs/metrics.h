@@ -130,7 +130,10 @@ class Registry {
   Counter* counter(const std::string& name);
   Gauge* gauge(const std::string& name);
   /// First registration fixes the bounds; later calls with the same name
-  /// return the existing histogram regardless of `bounds`.
+  /// return the existing histogram regardless of `bounds` (first wins). A
+  /// later call whose `bounds` differ from the registered ones increments
+  /// the `obs.histogram.bounds_conflict` counter — observations from that
+  /// call site land in buckets it did not ask for, which is worth seeing.
   Histogram* histogram(const std::string& name, std::vector<double> bounds);
 
   /// All metrics, sorted by name.

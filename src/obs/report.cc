@@ -1,0 +1,640 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iomanip>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "obs/stat.h"
+
+namespace mde::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON DOM + recursive-descent parser. obs sits below every other
+// library (and the container has no JSON dependency), so the report reader
+// carries its own ~150-line parser: objects keep insertion order, numbers
+// are doubles, and parse failure reports an offset for diagnostics.
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Json> arr;
+  std::vector<std::pair<std::string, Json>> obj;
+
+  const Json* Get(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  double NumOr(double def) const {
+    return type == Type::kNumber ? num : def;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool Parse(Json* out, std::string* error) {
+    ok_ = true;
+    pos_ = 0;
+    ParseValue(out);
+    SkipSpace();
+    if (ok_ && pos_ != s_.size()) Fail("trailing characters");
+    if (!ok_ && error != nullptr) {
+      *error = err_ + " at offset " + std::to_string(pos_);
+    }
+    return ok_;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void Fail(const char* what) {
+    if (ok_) {
+      ok_ = false;
+      err_ = what;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void Expect(char c, const char* what) {
+    if (!Consume(c)) Fail(what);
+  }
+
+  void ParseValue(Json* out) {
+    SkipSpace();
+    if (pos_ >= s_.size()) {
+      Fail("unexpected end of input");
+      return;
+    }
+    const char c = s_[pos_];
+    if (c == '{') {
+      ParseObject(out);
+    } else if (c == '[') {
+      ParseArray(out);
+    } else if (c == '"') {
+      out->type = Json::Type::kString;
+      ParseString(&out->str);
+    } else if (c == 't' || c == 'f') {
+      const char* word = c == 't' ? "true" : "false";
+      if (s_.compare(pos_, c == 't' ? 4 : 5, word) == 0) {
+        out->type = Json::Type::kBool;
+        out->b = c == 't';
+        pos_ += c == 't' ? 4 : 5;
+      } else {
+        Fail("bad literal");
+      }
+    } else if (c == 'n') {
+      if (s_.compare(pos_, 4, "null") == 0) {
+        out->type = Json::Type::kNull;
+        pos_ += 4;
+      } else {
+        Fail("bad literal");
+      }
+    } else {
+      ParseNumber(out);
+    }
+  }
+
+  void ParseObject(Json* out) {
+    out->type = Json::Type::kObject;
+    Expect('{', "expected '{'");
+    if (Consume('}')) return;
+    while (ok_) {
+      std::string key;
+      SkipSpace();
+      ParseString(&key);
+      Expect(':', "expected ':'");
+      Json value;
+      ParseValue(&value);
+      out->obj.emplace_back(std::move(key), std::move(value));
+      if (Consume('}')) return;
+      Expect(',', "expected ',' or '}'");
+    }
+  }
+
+  void ParseArray(Json* out) {
+    out->type = Json::Type::kArray;
+    Expect('[', "expected '['");
+    if (Consume(']')) return;
+    while (ok_) {
+      Json value;
+      ParseValue(&value);
+      out->arr.push_back(std::move(value));
+      if (Consume(']')) return;
+      Expect(',', "expected ',' or ']'");
+    }
+  }
+
+  void ParseString(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') {
+      Fail("expected string");
+      return;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c == '\\' && pos_ < s_.size()) {
+        const char e = s_[pos_++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u':
+            // Escaped BMP code point; metric/span names are ASCII, so a
+            // replacement character preserves well-formedness.
+            pos_ = std::min(s_.size(), pos_ + 4);
+            c = '?';
+            break;
+          default: c = e; break;
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= s_.size()) {
+      Fail("unterminated string");
+      return;
+    }
+    ++pos_;  // closing quote
+  }
+
+  void ParseNumber(Json* out) {
+    const size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      Fail("expected value");
+      return;
+    }
+    out->type = Json::Type::kNumber;
+    out->num = std::strtod(s_.substr(start, pos_ - start).c_str(), nullptr);
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+  std::string err_;
+};
+
+// ---------------------------------------------------------------------------
+// Report model.
+// ---------------------------------------------------------------------------
+
+struct SpanAgg {
+  uint64_t calls = 0;
+  double incl_us = 0.0;
+  double self_us = 0.0;
+};
+
+struct HistFinal {
+  uint64_t count = 0;
+  double sum = 0.0;
+  std::vector<double> bounds;
+  std::vector<uint64_t> buckets;
+};
+
+struct MetricsSeries {
+  double t_first_ms = 0.0;
+  double t_last_ms = 0.0;
+  size_t samples = 0;
+  std::map<std::string, double> counter_first;
+  std::map<std::string, double> counter_last;
+  std::map<std::string, double> gauges;  // final values
+  std::map<std::string, HistFinal> hists;
+  bool have_mem = false;
+  double rss_kb = 0.0;
+  double peak_rss_kb = 0.0;
+};
+
+/// Same-thread stack replay over start-ordered events (the FlameSummary
+/// algorithm, applied to the parsed file instead of the live rings).
+std::map<std::string, SpanAgg> AggregateSpans(const Json& trace) {
+  struct Ev {
+    std::string name;
+    double ts = 0.0, dur = 0.0;
+    double tid = 0.0;
+  };
+  std::vector<Ev> events;
+  if (const Json* list = trace.Get("traceEvents");
+      list != nullptr && list->type == Json::Type::kArray) {
+    events.reserve(list->arr.size());
+    for (const Json& e : list->arr) {
+      Ev ev;
+      if (const Json* n = e.Get("name")) ev.name = n->str;
+      ev.ts = e.Get("ts") != nullptr ? e.Get("ts")->NumOr(0.0) : 0.0;
+      ev.dur = e.Get("dur") != nullptr ? e.Get("dur")->NumOr(0.0) : 0.0;
+      ev.tid = e.Get("tid") != nullptr ? e.Get("tid")->NumOr(0.0) : 0.0;
+      if (!ev.name.empty()) events.push_back(std::move(ev));
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Ev& a, const Ev& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.ts != b.ts) return a.ts < b.ts;
+                     return a.dur > b.dur;  // parent before child on a tie
+                   });
+  std::map<std::string, SpanAgg> agg;
+  struct Open {
+    double end;
+    std::string name;
+  };
+  std::vector<Open> stack;
+  double current_tid = std::numeric_limits<double>::quiet_NaN();
+  for (const Ev& e : events) {
+    if (e.tid != current_tid) {
+      stack.clear();
+      current_tid = e.tid;
+    }
+    SpanAgg& a = agg[e.name];
+    ++a.calls;
+    a.incl_us += e.dur;
+    a.self_us += e.dur;
+    while (!stack.empty() && stack.back().end <= e.ts) stack.pop_back();
+    if (!stack.empty()) agg[stack.back().name].self_us -= e.dur;
+    stack.push_back({e.ts + e.dur, e.name});
+  }
+  return agg;
+}
+
+bool ParseMetricsJsonl(const std::string& jsonl, MetricsSeries* out,
+                       std::string* error) {
+  size_t line_no = 0;
+  size_t begin = 0;
+  while (begin < jsonl.size()) {
+    size_t end = jsonl.find('\n', begin);
+    if (end == std::string::npos) end = jsonl.size();
+    const std::string line = jsonl.substr(begin, end - begin);
+    begin = end + 1;
+    ++line_no;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Json rec;
+    std::string perr;
+    if (!JsonParser(line).Parse(&rec, &perr)) {
+      if (error != nullptr) {
+        *error = "metrics line " + std::to_string(line_no) + ": " + perr;
+      }
+      return false;
+    }
+    const double t_ms =
+        rec.Get("t_ms") != nullptr ? rec.Get("t_ms")->NumOr(0.0) : 0.0;
+    if (out->samples == 0) out->t_first_ms = t_ms;
+    out->t_last_ms = t_ms;
+    if (const Json* counters = rec.Get("counters")) {
+      for (const auto& [name, c] : counters->obj) {
+        const double v =
+            c.Get("v") != nullptr ? c.Get("v")->NumOr(0.0) : c.NumOr(0.0);
+        if (out->samples == 0) out->counter_first[name] = v;
+        out->counter_first.try_emplace(name, 0.0);
+        out->counter_last[name] = v;
+      }
+    }
+    if (const Json* gauges = rec.Get("gauges")) {
+      for (const auto& [name, g] : gauges->obj) {
+        out->gauges[name] = g.NumOr(0.0);
+      }
+    }
+    if (const Json* hists = rec.Get("hist")) {
+      for (const auto& [name, h] : hists->obj) {
+        HistFinal hf;
+        hf.count = static_cast<uint64_t>(
+            h.Get("count") != nullptr ? h.Get("count")->NumOr(0.0) : 0.0);
+        hf.sum = h.Get("sum") != nullptr ? h.Get("sum")->NumOr(0.0) : 0.0;
+        if (const Json* bounds = h.Get("bounds")) {
+          for (const Json& b : bounds->arr) hf.bounds.push_back(b.NumOr(0.0));
+        }
+        if (const Json* buckets = h.Get("buckets")) {
+          for (const Json& b : buckets->arr) {
+            hf.buckets.push_back(static_cast<uint64_t>(b.NumOr(0.0)));
+          }
+        }
+        out->hists[name] = std::move(hf);
+      }
+    }
+    if (const Json* mem = rec.Get("mem")) {
+      out->have_mem = true;
+      if (const Json* v = mem->Get("rss_kb")) out->rss_kb = v->NumOr(0.0);
+      if (const Json* v = mem->Get("peak_rss_kb")) {
+        out->peak_rss_kb = v->NumOr(0.0);
+      }
+    }
+    ++out->samples;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering.
+// ---------------------------------------------------------------------------
+
+/// Emits either a Markdown pipe table or aligned plain-text columns.
+class TableWriter {
+ public:
+  TableWriter(std::vector<std::string> headers, bool markdown)
+      : headers_(std::move(headers)), markdown_(markdown) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+  bool empty() const { return rows_.empty(); }
+
+  void Render(std::ostream& os) const {
+    std::vector<size_t> width(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : kEmpty;
+        if (markdown_) {
+          os << "| " << cell << " ";
+        } else {
+          os << cell;
+          for (size_t p = cell.size(); p < width[c] + 2; ++p) os << ' ';
+        }
+      }
+      if (markdown_) os << "|";
+      os << "\n";
+    };
+    line(headers_);
+    if (markdown_) {
+      for (size_t c = 0; c < headers_.size(); ++c) os << "|---";
+      os << "|\n";
+    } else {
+      std::vector<std::string> rules;
+      for (size_t c = 0; c < headers_.size(); ++c) {
+        rules.push_back(std::string(width[c], '-'));
+      }
+      line(rules);
+    }
+    for (const auto& row : rows_) line(row);
+  }
+
+ private:
+  static const std::string kEmpty;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  bool markdown_;
+};
+
+const std::string TableWriter::kEmpty;
+
+std::string Fixed(double v, int digits = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string Compact(double v) {
+  std::ostringstream os;
+  os << std::setprecision(9) << v;
+  return os.str();
+}
+
+void Heading(std::ostream& os, bool markdown, const std::string& title) {
+  if (markdown) {
+    os << "## " << title << "\n\n";
+  } else {
+    os << title << "\n" << std::string(title.size(), '-') << "\n";
+  }
+}
+
+}  // namespace
+
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<uint64_t>& buckets, double q) {
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    const double next = cum + static_cast<double>(buckets[b]);
+    if (next >= target || b + 1 == buckets.size()) {
+      if (b >= bounds.size()) {
+        // +inf bucket: no finite upper edge — report the largest bound.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lo = b == 0 ? std::min(0.0, bounds[0]) : bounds[b - 1];
+      const double hi = bounds[b];
+      if (buckets[b] == 0) return hi;
+      const double frac =
+          (target - cum) / static_cast<double>(buckets[b]);
+      return lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+    }
+    cum = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+bool RenderRunReport(const std::string& trace_json,
+                     const std::string& metrics_jsonl,
+                     const RunReportOptions& options, std::string* out,
+                     std::string* error) {
+  Json trace;
+  std::map<std::string, SpanAgg> spans;
+  if (!trace_json.empty()) {
+    std::string perr;
+    if (!JsonParser(trace_json).Parse(&trace, &perr)) {
+      if (error != nullptr) *error = "trace: " + perr;
+      return false;
+    }
+    spans = AggregateSpans(trace);
+  }
+  MetricsSeries series;
+  if (!metrics_jsonl.empty() &&
+      !ParseMetricsJsonl(metrics_jsonl, &series, error)) {
+    return false;
+  }
+
+  const bool md = options.markdown;
+  std::ostringstream os;
+  if (md) {
+    os << "# mde run report\n\n";
+  } else {
+    os << "=== mde run report ===\n\n";
+  }
+
+  // --- Run summary -------------------------------------------------------
+  Heading(os, md, "Run summary");
+  {
+    TableWriter t({"what", "value"}, md);
+    if (!spans.empty()) {
+      uint64_t calls = 0;
+      double total_self_us = 0.0;
+      for (const auto& [name, a] : spans) {
+        calls += a.calls;
+        total_self_us += a.self_us;
+      }
+      t.AddRow({"trace spans", std::to_string(calls)});
+      t.AddRow({"span self time", Fixed(total_self_us / 1000.0) + " ms"});
+    }
+    if (series.samples > 0) {
+      t.AddRow({"metrics samples", std::to_string(series.samples)});
+      t.AddRow({"metrics window",
+                Fixed(series.t_last_ms - series.t_first_ms) + " ms"});
+    }
+    if (series.have_mem) {
+      t.AddRow({"final RSS", Fixed(series.rss_kb / 1024.0, 1) + " MiB"});
+      t.AddRow({"peak RSS", Fixed(series.peak_rss_kb / 1024.0, 1) + " MiB"});
+    }
+    if (t.empty()) t.AddRow({"(no inputs)", ""});
+    t.Render(os);
+    os << "\n";
+  }
+
+  // --- Top self-time spans ----------------------------------------------
+  if (!spans.empty()) {
+    Heading(os, md, "Top self-time spans");
+    std::vector<std::pair<std::string, SpanAgg>> rows(spans.begin(),
+                                                      spans.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      return a.second.self_us > b.second.self_us;
+    });
+    double total_self = 0.0;
+    for (const auto& [name, a] : rows) total_self += std::max(a.self_us, 0.0);
+    TableWriter t({"span", "calls", "incl ms", "self ms", "self %"}, md);
+    for (size_t i = 0; i < rows.size() && i < options.top_spans; ++i) {
+      const auto& [name, a] = rows[i];
+      const double pct =
+          total_self > 0.0 ? 100.0 * std::max(a.self_us, 0.0) / total_self
+                           : 0.0;
+      t.AddRow({name, std::to_string(a.calls), Fixed(a.incl_us / 1000.0),
+                Fixed(a.self_us / 1000.0), Fixed(pct, 1)});
+    }
+    t.Render(os);
+    if (rows.size() > options.top_spans) {
+      os << "(" << rows.size() - options.top_spans << " more spans)\n";
+    }
+    os << "\n";
+  }
+
+  // --- Counters ----------------------------------------------------------
+  if (!series.counter_last.empty()) {
+    Heading(os, md, "Counters");
+    const double window_s =
+        (series.t_last_ms - series.t_first_ms) / 1000.0;
+    std::vector<std::pair<std::string, double>> rows(
+        series.counter_last.begin(), series.counter_last.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    TableWriter t({"counter", "total", "rate/s"}, md);
+    for (size_t i = 0; i < rows.size() && i < options.top_counters; ++i) {
+      const auto& [name, total] = rows[i];
+      const double delta = total - series.counter_first[name];
+      t.AddRow({name, Compact(total),
+                window_s > 0.0 ? Fixed(delta / window_s, 1) : "-"});
+    }
+    t.Render(os);
+    if (rows.size() > options.top_counters) {
+      os << "(" << rows.size() - options.top_counters << " more counters)\n";
+    }
+    os << "\n";
+  }
+
+  // --- Histogram quantiles ----------------------------------------------
+  if (!series.hists.empty()) {
+    Heading(os, md, "Histogram quantiles (bucket interpolation)");
+    TableWriter t({"histogram", "count", "mean", "p50", "p90", "p99"}, md);
+    for (const auto& [name, h] : series.hists) {
+      const double mean =
+          h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+      t.AddRow({name, std::to_string(h.count), Compact(mean),
+                Compact(HistogramQuantile(h.bounds, h.buckets, 0.50)),
+                Compact(HistogramQuantile(h.bounds, h.buckets, 0.90)),
+                Compact(HistogramQuantile(h.bounds, h.buckets, 0.99))});
+    }
+    t.Render(os);
+    os << "\n";
+  }
+
+  // --- Memory ------------------------------------------------------------
+  {
+    TableWriter t({"pool / process", "bytes"}, md);
+    for (const auto& [name, v] : series.gauges) {
+      static const std::string kLive = ".live_bytes";
+      if (name.rfind("obs.mem.", 0) == 0 && name.size() > kLive.size() &&
+          name.compare(name.size() - kLive.size(), kLive.size(), kLive) ==
+              0) {
+        t.AddRow({name, Compact(v)});
+      }
+    }
+    if (series.have_mem) {
+      t.AddRow({"process RSS (kB)", Compact(series.rss_kb)});
+      t.AddRow({"process peak RSS (kB)", Compact(series.peak_rss_kb)});
+    }
+    if (!t.empty()) {
+      Heading(os, md, "Memory");
+      t.Render(os);
+      os << "\n";
+    }
+  }
+
+  // --- Health verdicts ---------------------------------------------------
+  {
+    TableWriter t({"monitor", "verdict / value"}, md);
+    for (const auto& [name, v] : series.gauges) {
+      if (name.rfind("obs.health.", 0) == 0) {
+        const auto verdict = static_cast<ConvergenceMonitor::Verdict>(
+            static_cast<int>(v));
+        t.AddRow({name.substr(11),
+                  ConvergenceMonitor::VerdictName(verdict)});
+      }
+    }
+    // Key estimator gauges the monitors publish alongside verdicts.
+    for (const char* key :
+         {"smc.ess", "mcdb.ci_halfwidth", "simsql.mc.ci_halfwidth",
+          "simsql.mc.q50", "simsql.mc.q95", "dsgd.epoch_loss",
+          "dsgd.residual"}) {
+      auto it = series.gauges.find(key);
+      if (it != series.gauges.end()) {
+        t.AddRow({key, Compact(it->second)});
+      }
+    }
+    if (!t.empty()) {
+      Heading(os, md, "Statistical health (final)");
+      t.Render(os);
+      os << "\n";
+    }
+  }
+
+  *out = os.str();
+  return true;
+}
+
+}  // namespace mde::obs

@@ -1,0 +1,50 @@
+#ifndef MDE_OBS_REPORT_H_
+#define MDE_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// Run-report rendering: merges the two artifacts a run leaves behind — a
+/// Chrome trace-event JSON (obs/trace.h, --mde_trace_out) and a metrics
+/// JSONL time series (obs/export.h Sampler, --mde_metrics_jsonl) — into one
+/// plain-text/Markdown report that grades the run: where the time went (top
+/// self-time spans), what the engine did (counter totals and rates),
+/// latency shape (histogram p50/p90/p99 by cumulative-bucket
+/// interpolation), memory (live pool bytes, peak RSS), and the final
+/// statistical-health verdicts (obs.health.* gauges from the monitors in
+/// obs/stat.h). Consumed by tools/mde_report and by bench tooling.
+///
+/// obs sits below util, so this API reports failure via a bool + error
+/// string instead of Status. Parsing is tolerant: either input may be
+/// empty/absent and its sections are skipped.
+namespace mde::obs {
+
+struct RunReportOptions {
+  /// Markdown headers/tables (default) vs plain-text underlines.
+  bool markdown = true;
+  /// Rows kept in the span and counter tables.
+  size_t top_spans = 12;
+  size_t top_counters = 24;
+};
+
+/// Renders the report from raw file contents. `trace_json` is a Chrome
+/// trace-event document ({"traceEvents":[...]}); `metrics_jsonl` is the
+/// Sampler's line format. Either may be empty. Returns false and sets
+/// `*error` when a non-empty input fails to parse.
+bool RenderRunReport(const std::string& trace_json,
+                     const std::string& metrics_jsonl,
+                     const RunReportOptions& options, std::string* out,
+                     std::string* error);
+
+/// Interpolated quantile from a fixed-bucket histogram (per-bucket counts,
+/// `bounds`-aligned with one trailing +inf bucket), the same linear
+/// interpolation Prometheus' histogram_quantile applies to cumulative
+/// buckets. The +inf bucket reports the last finite bound (no upper edge
+/// to interpolate toward). Returns 0 for an empty histogram.
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<uint64_t>& buckets, double q);
+
+}  // namespace mde::obs
+
+#endif  // MDE_OBS_REPORT_H_

@@ -1,6 +1,7 @@
 #include "simsql/simsql.h"
 
 #include "obs/metrics.h"
+#include "obs/stat.h"
 #include "obs/trace.h"
 
 namespace mde::simsql {
@@ -42,6 +43,9 @@ Result<DatabaseState> MarkovChainDb::Run(size_t steps, uint64_t seed,
   MDE_TRACE_SPAN("simsql.run");
   history_.clear();
   Rng rng = Rng::Substream(seed, rep);
+#ifndef MDE_OBS_DISABLED
+  const uint64_t run_start_ns = obs::NowNanos();
+#endif
 
   // Version 0.
   DatabaseState state = deterministic_;
@@ -73,6 +77,17 @@ Result<DatabaseState> MarkovChainDb::Run(size_t steps, uint64_t seed,
       }
     }
   }
+#ifndef MDE_OBS_DISABLED
+  // Chain throughput for this Run: the sampled time series shows step-rate
+  // collapse (e.g. a transition that grows its table) long before a
+  // wall-clock budget trips.
+  const double secs =
+      static_cast<double>(obs::NowNanos() - run_start_ns) * 1e-9;
+  if (steps > 0 && secs > 0.0) {
+    MDE_OBS_GAUGE_SET("simsql.steps_per_sec",
+                      static_cast<double>(steps) / secs);
+  }
+#endif
   return state;
 }
 
@@ -81,11 +96,37 @@ Result<std::vector<double>> MonteCarloChain(
     const std::function<Result<double>(const DatabaseState&)>& query) {
   std::vector<double> samples;
   samples.reserve(reps);
+#ifndef MDE_OBS_DISABLED
+  // Chain-diagnostics monitors: running CLT half-width and P² quantile
+  // sketches over the replication samples, published as gauges so the
+  // Sampler's time series shows the estimate tightening rep by rep.
+  obs::CiMonitor ci("simsql.mc.ci_halfwidth");
+  obs::P2Quantile q50(0.5);
+  obs::P2Quantile q95(0.95);
+#endif
   for (size_t rep = 0; rep < reps; ++rep) {
-    MDE_ASSIGN_OR_RETURN(DatabaseState final_state,
-                         db.Run(steps, seed, rep));
-    MDE_ASSIGN_OR_RETURN(double v, query(final_state));
-    samples.push_back(v);
+    Result<DatabaseState> final_state = db.Run(steps, seed, rep);
+    if (!final_state.ok()) {
+      MDE_OBS_COUNT("simsql.mc.reps_failed", 1);
+      return final_state.status();
+    }
+    Result<double> v = query(final_state.value());
+    if (!v.ok()) {
+      MDE_OBS_COUNT("simsql.mc.reps_failed", 1);
+      return v.status();
+    }
+    samples.push_back(v.value());
+    MDE_OBS_COUNT("simsql.mc.reps", 1);
+#ifndef MDE_OBS_DISABLED
+    ci.Add(v.value());
+    q50.Add(v.value());
+    q95.Add(v.value());
+    MDE_OBS_GAUGE_SET("simsql.mc.q50", q50.Value());
+    MDE_OBS_GAUGE_SET("simsql.mc.q95", q95.Value());
+    MDE_OBS_GAUGE_SET("simsql.mc.acceptance_rate",
+                      static_cast<double>(samples.size()) /
+                          static_cast<double>(rep + 1));
+#endif
   }
   return samples;
 }

@@ -90,6 +90,8 @@ Status ParticleFilter::WeighAndMaybeResample(
       mx + std::log(sum);  // note: relative to prior normalized weights
   MDE_ASSIGN_OR_RETURN(weights_, NormalizedFromLog(log_weights));
   stats.ess = EffectiveSampleSize(weights_);
+  MDE_OBS_COUNT("smc.steps", 1);
+  MDE_OBS_GAUGE_SET("smc.ess", stats.ess);
   if (stats.ess <
       options_.ess_threshold * static_cast<double>(n) + 1e-12) {
     MDE_TRACE_SPAN("smc.resample");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/mem.h"
 #include "util/check.h"
 
 namespace mde::table {
@@ -167,9 +168,46 @@ bool ColumnBuilder::AppendValue(const Value& v) {
   return false;
 }
 
+namespace {
+
+/// Directly-owned footprint of one column block. The string dictionary is
+/// excluded: it is shared across columns/tables by shared_ptr, so charging
+/// it to every holder would overstate the pool.
+uint64_t ApproxColumnBytes(const Column& c) {
+  uint64_t b = sizeof(Column);
+  b += c.i64.capacity() * sizeof(int64_t);
+  b += c.f64.capacity() * sizeof(double);
+  b += c.b8.capacity() * sizeof(uint8_t);
+  b += c.codes.capacity() * sizeof(uint32_t);
+  b += c.valid.capacity() * sizeof(uint64_t);
+  return b;
+}
+
+}  // namespace
+
+std::shared_ptr<const Column> AccountColumnBlock(
+    std::shared_ptr<Column> col) {
+#ifndef MDE_OBS_DISABLED
+  // Account the block to the table.columnar pool for exactly as long as any
+  // owner keeps it alive: alloc here, free in the shared_ptr deleter. The
+  // pool handle is resolved once; each event is a relaxed fetch_add.
+  static obs::MemPool pool("table.columnar");
+  const uint64_t bytes = ApproxColumnBytes(*col);
+  pool.RecordAlloc(bytes);
+  const Column* raw = col.get();
+  return std::shared_ptr<const Column>(
+      raw, [col = std::move(col), bytes](const Column*) mutable {
+        pool.RecordFree(bytes);
+        col.reset();
+      });
+#else
+  return col;
+#endif
+}
+
 std::shared_ptr<const Column> ColumnBuilder::Finish() {
   if (!has_nulls_) col_.valid.clear();
-  return std::make_shared<const Column>(std::move(col_));
+  return AccountColumnBlock(std::make_shared<Column>(std::move(col_)));
 }
 
 ColumnarTable::ColumnarTable(Schema schema,

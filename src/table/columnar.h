@@ -82,6 +82,13 @@ class ColumnBuilder {
   bool has_nulls_ = false;
 };
 
+/// Wraps a freshly built column block with `table.columnar` memory-pool
+/// accounting (obs/mem.h): its directly-owned footprint is recorded as
+/// allocated now and as freed when the last owner drops the block. Used by
+/// ColumnBuilder::Finish and the vectorized operators' gather path; under
+/// MDE_OBS_DISABLED this is a pass-through.
+std::shared_ptr<const Column> AccountColumnBlock(std::shared_ptr<Column> col);
+
 /// Column-oriented relation: the storage representation behind the
 /// vectorized operator suite (vec_ops.h). Schemas are identical to Table
 /// schemas; `FromTable` / `ToTable` convert between the two, and Table keeps

@@ -173,7 +173,7 @@ std::shared_ptr<const Column> GatherColumn(const Column& c,
       }
     }
   });
-  return out;
+  return AccountColumnBlock(std::move(out));
 }
 
 uint64_t SplitMix(uint64_t x) {

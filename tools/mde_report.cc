@@ -1,0 +1,103 @@
+// mde_report: renders a run report from the artifacts a run leaves behind.
+//
+//   mde_report [--trace trace.json] [--metrics metrics.jsonl]
+//              [--format markdown|text] [--top-spans N] [--top-counters N]
+//
+// `--trace` is a Chrome trace-event JSON (--mde_trace_out); `--metrics` is
+// the Sampler's JSONL time series (--mde_metrics_jsonl). Either may be
+// omitted; at least one must be given. The report goes to stdout.
+//
+// Exit codes: 0 success, 1 bad usage or parse failure, 2 unreadable file —
+// nonzero in CI means the run's artifacts are malformed.
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/report.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--trace FILE] [--metrics FILE] [--format markdown|text]"
+               " [--top-spans N] [--top-counters N]\n";
+  return 1;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  if (!in.is_open()) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  mde::obs::RunReportOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      trace_path = v;
+    } else if (arg == "--metrics") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      metrics_path = v;
+    } else if (arg == "--format") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      if (std::strcmp(v, "markdown") == 0) {
+        options.markdown = true;
+      } else if (std::strcmp(v, "text") == 0) {
+        options.markdown = false;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--top-spans") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.top_spans = static_cast<size_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--top-counters") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.top_counters =
+          static_cast<size_t>(std::strtoul(v, nullptr, 10));
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (trace_path.empty() && metrics_path.empty()) return Usage(argv[0]);
+
+  std::string trace_json;
+  if (!trace_path.empty() && !ReadFile(trace_path, &trace_json)) {
+    std::cerr << "mde_report: cannot read " << trace_path << "\n";
+    return 2;
+  }
+  std::string metrics_jsonl;
+  if (!metrics_path.empty() && !ReadFile(metrics_path, &metrics_jsonl)) {
+    std::cerr << "mde_report: cannot read " << metrics_path << "\n";
+    return 2;
+  }
+
+  std::string report;
+  std::string error;
+  if (!mde::obs::RenderRunReport(trace_json, metrics_jsonl, options, &report,
+                                 &error)) {
+    std::cerr << "mde_report: " << error << "\n";
+    return 1;
+  }
+  std::cout << report;
+  return 0;
+}
