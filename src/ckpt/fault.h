@@ -1,0 +1,127 @@
+#ifndef MDE_CKPT_FAULT_H_
+#define MDE_CKPT_FAULT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+/// Deterministic fault injection for the engine loops. Engines register
+/// fault points (`MDE_FAULT_POINT("dsgd.round")`) at step boundaries; the
+/// process-wide FaultInjector decides — deterministically, off its own RNG
+/// substream or an exact hit count — whether the point fires, simulating a
+/// worker loss by throwing FaultInjected. The recovery runner
+/// (ckpt/recovery.h) catches the throw, restores the last snapshot, and
+/// replays; because injection is keyed on per-point hit counts rather than
+/// wall clock, a faulty run is exactly reproducible.
+///
+/// Environment knobs (read once by FaultInjector::Global()):
+///   MDE_FAULT_POINT  fire only at this point name (empty/unset = any)
+///   MDE_FAULT_AT     fire on the k-th hit of the matching point (1-based)
+///   MDE_FAULT_PROB   per-hit fire probability in [0,1] (alternative to _AT)
+///   MDE_FAULT_SEED   RNG seed for MDE_FAULT_PROB mode (default 0xfau17)
+///   MDE_FAULT_MAX    stop firing after this many faults (default 1)
+/// Setting MDE_FAULT_AT or MDE_FAULT_PROB enables injection.
+namespace mde::ckpt {
+
+/// Thrown by a firing fault point: simulates losing the worker mid-step.
+class FaultInjected : public std::runtime_error {
+ public:
+  FaultInjected(const std::string& point, uint64_t hit)
+      : std::runtime_error("injected fault at '" + point + "' (hit " +
+                          std::to_string(hit) + ")"),
+        point_(point),
+        hit_(hit) {}
+
+  const std::string& point() const { return point_; }
+  uint64_t hit() const { return hit_; }
+
+ private:
+  std::string point_;
+  uint64_t hit_;
+};
+
+class FaultInjector {
+ public:
+  struct Config {
+    bool enabled = false;
+    /// Fire only at this point ("" = any registered point).
+    std::string point;
+    /// Fire on exactly the k-th hit of the matching point (1-based;
+    /// 0 = disabled, use probability instead).
+    uint64_t fire_at_hit = 0;
+    /// Per-hit fire probability; drawn from a dedicated RNG substream so
+    /// fault schedules are reproducible run to run.
+    double probability = 0.0;
+    uint64_t seed = 0xfa;
+    /// Total faults to inject before going quiet (bounded injection lets
+    /// retried steps eventually succeed).
+    uint64_t max_faults = 1;
+  };
+
+  FaultInjector() : FaultInjector(Config{}) {}
+  explicit FaultInjector(const Config& config) { Configure(config); }
+
+  /// Parses the MDE_FAULT_* environment variables.
+  static Config FromEnv();
+
+  /// Process-wide injector, configured from the environment on first use.
+  /// Tests and tools reconfigure it via Configure().
+  static FaultInjector& Global();
+
+  /// Replaces the configuration and resets all hit/fire counters.
+  void Configure(const Config& config);
+
+  /// Counts a hit at `point`; returns true if a fault fires now.
+  bool ShouldFail(const std::string& point);
+
+  /// Throws FaultInjected if ShouldFail(point).
+  void MaybeFail(const std::string& point);
+
+  /// Faults fired since the last Configure.
+  uint64_t faults_fired() const;
+  /// Hits recorded at `point` since the last Configure.
+  uint64_t hits(const std::string& point) const;
+
+ private:
+  mutable std::mutex mu_;
+  Config config_;
+  Rng rng_{0xfa};
+  std::map<std::string, uint64_t> hits_;
+  uint64_t fired_ = 0;
+};
+
+/// Bounded retry with exponential backoff, the graceful-degradation wrapper
+/// around an engine step: a step that throws FaultInjected (worker loss) is
+/// retried up to `max_retries` times, sleeping backoff_initial_ms *
+/// backoff_factor^attempt between attempts. Retries are counted on the
+/// `fault.retries` obs counter.
+struct RetryPolicy {
+  size_t max_retries = 3;
+  double backoff_initial_ms = 1.0;
+  double backoff_factor = 2.0;
+  /// Tests disable real sleeping; the backoff schedule is still computed.
+  bool sleep = true;
+
+  /// Backoff before retry `attempt` (0-based), in milliseconds.
+  double BackoffMs(size_t attempt) const;
+
+  /// Runs `fn`, retrying on FaultInjected. Returns fn's first OK/non-OK
+  /// Status, or Internal after exhausting retries.
+  Status Run(const std::string& what, const std::function<Status()>& fn) const;
+};
+
+}  // namespace mde::ckpt
+
+/// Registers a fault point: counts a hit on the global injector and throws
+/// FaultInjected when the configured fault fires. Call at step boundaries
+/// (before the step mutates engine state) so a retry replays cleanly.
+#define MDE_FAULT_POINT(name) \
+  ::mde::ckpt::FaultInjector::Global().MaybeFail(name)
+
+#endif  // MDE_CKPT_FAULT_H_

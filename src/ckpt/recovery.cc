@@ -1,0 +1,86 @@
+#include "ckpt/recovery.h"
+
+#include <chrono>
+#include <thread>
+
+#include "ckpt/snapshot.h"
+#include "obs/metrics.h"
+
+namespace mde::ckpt {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+Result<RecoveryStats> RunWithRecovery(Checkpointable& engine,
+                                      const RecoveryOptions& options) {
+  RecoveryStats stats;
+
+  const auto save = [&](std::string* snapshot) -> Status {
+    const uint64_t t0 = NowNs();
+    MDE_ASSIGN_OR_RETURN(*snapshot, engine.Save());
+    MDE_OBS_COUNT("ckpt.saves", 1);
+    MDE_OBS_COUNT("ckpt.save_ns", NowNs() - t0);
+    MDE_OBS_COUNT("ckpt.bytes", snapshot->size());
+    ++stats.saves;
+    if (!options.checkpoint_path.empty()) {
+      MDE_RETURN_NOT_OK(WriteFileAtomic(options.checkpoint_path, *snapshot));
+    }
+    return Status::OK();
+  };
+
+  // The t=0 snapshot bounds the worst case: a fault on the very first step
+  // restores to a clean start instead of failing the run.
+  std::string snapshot;
+  MDE_RETURN_NOT_OK(save(&snapshot));
+
+  size_t steps_since_save = 0;
+  size_t consecutive_failures = 0;
+  while (!engine.Done()) {
+    try {
+      MDE_RETURN_NOT_OK(engine.StepOnce());
+    } catch (const FaultInjected&) {
+      ++stats.faults;
+      if (consecutive_failures >= options.retry.max_retries) {
+        return Status::Internal(engine.engine_name() +
+                                ": retries exhausted after " +
+                                std::to_string(consecutive_failures) +
+                                " consecutive faults");
+      }
+      MDE_OBS_COUNT("fault.retries", 1);
+      if (options.retry.sleep) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            options.retry.BackoffMs(consecutive_failures)));
+      }
+      ++consecutive_failures;
+      // Roll back to the last known-good state and replay. The restore is
+      // what makes retry sound: a step that faulted after partial mutation
+      // is discarded wholesale.
+      const uint64_t t0 = NowNs();
+      MDE_RETURN_NOT_OK(engine.Restore(snapshot));
+      MDE_OBS_COUNT("ckpt.restores", 1);
+      MDE_OBS_COUNT("ckpt.restore_ns", NowNs() - t0);
+      ++stats.restores;
+      steps_since_save = 0;
+      continue;
+    }
+    ++stats.steps;
+    ++steps_since_save;
+    consecutive_failures = 0;
+    if (options.checkpoint_every > 0 &&
+        steps_since_save >= options.checkpoint_every && !engine.Done()) {
+      MDE_RETURN_NOT_OK(save(&snapshot));
+      steps_since_save = 0;
+    }
+  }
+  return stats;
+}
+
+}  // namespace mde::ckpt

@@ -1,0 +1,73 @@
+#ifndef MDE_CKPT_RECOVERY_H_
+#define MDE_CKPT_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ckpt/fault.h"
+#include "util/status.h"
+
+/// The crash-safe step loop shared by all checkpointable engines: drive the
+/// engine one step at a time, snapshot every k steps, and on an injected
+/// fault (or a real exception thrown through a step) restore the last
+/// snapshot and replay with bounded exponential-backoff retries. Because
+/// every engine's Save captures its complete working state — RNG substream
+/// positions, progress cursors, accumulators — replay after restore is
+/// bit-identical to a run that never failed, at any thread count.
+namespace mde::ckpt {
+
+/// An engine that can make stepwise progress and serialize its complete
+/// in-flight state. Implementations: dsgd::DsgdRun, dsgd::
+/// MatrixCompletionRun, simsql::ChainRunner, smc::FilterRun,
+/// wildfire::AssimilationDriver.
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+
+  /// Engine tag written into the snapshot header (e.g. "dsgd").
+  virtual std::string engine_name() const = 0;
+
+  /// True when no steps remain.
+  virtual bool Done() const = 0;
+
+  /// One unit of progress (a stratum visit, a chain version, a filter
+  /// step). May throw FaultInjected from a registered fault point; must
+  /// only mutate state it serializes, so Restore + replay is exact.
+  virtual Status StepOnce() = 0;
+
+  /// Complete serialized state (ckpt/snapshot.h container).
+  virtual Result<std::string> Save() const = 0;
+
+  /// Replaces the engine's state with the snapshot's. The engine must have
+  /// been constructed over the same inputs (rows, specs, observations —
+  /// checkpoints capture progress, not the immutable problem data).
+  virtual Status Restore(const std::string& snapshot) = 0;
+};
+
+struct RecoveryOptions {
+  /// Snapshot every k successful steps (0 = only the initial snapshot).
+  size_t checkpoint_every = 1;
+  /// When non-empty, every snapshot is also persisted here atomically.
+  std::string checkpoint_path;
+  /// Retry budget per incident; consecutive-failure count resets after any
+  /// successful step.
+  RetryPolicy retry;
+};
+
+/// What the recovery loop did (also mirrored on obs counters ckpt.saves,
+/// ckpt.restores, ckpt.save_ns, ckpt.restore_ns, fault.retries).
+struct RecoveryStats {
+  size_t steps = 0;
+  size_t saves = 0;
+  size_t restores = 0;
+  size_t faults = 0;
+};
+
+/// Runs `engine` to completion with checkpointing and fault recovery.
+/// Returns the recovery statistics, or the first non-retryable error.
+Result<RecoveryStats> RunWithRecovery(Checkpointable& engine,
+                                      const RecoveryOptions& options);
+
+}  // namespace mde::ckpt
+
+#endif  // MDE_CKPT_RECOVERY_H_

@@ -2,9 +2,12 @@
 #define MDE_DSGD_DSGD_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "ckpt/recovery.h"
 #include "linalg/solve.h"
+#include "obs/stat.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -95,11 +98,52 @@ struct DsgdOptions {
   bool random_stratum_order = true;
 };
 
+/// Resumable DSGD solve: one StepOnce() per stratum visit ("round"), with
+/// complete state capture — schedule RNG position, stratum visit order,
+/// epoch cursor, iterate x, residual trace, convergence-monitor
+/// accumulators — so a snapshot taken between rounds restores to a solver
+/// that finishes bit-identically to one that never stopped, at any pool
+/// width (within-stratum updates are conflict-free, PR 1). Fault point:
+/// "dsgd.round". The rows/strata are the immutable problem data and are
+/// NOT serialized; Restore expects a run constructed over the same inputs.
+class DsgdRun : public ckpt::Checkpointable {
+ public:
+  DsgdRun(const std::vector<SparseRow>& rows, size_t dim,
+          const std::vector<std::vector<size_t>>& strata, ThreadPool& pool,
+          const DsgdOptions& options);
+
+  std::string engine_name() const override { return "dsgd"; }
+  bool Done() const override { return round_ >= options_.rounds; }
+  /// One stratum visit.
+  Status StepOnce() override;
+  Result<std::string> Save() const override;
+  Status Restore(const std::string& snapshot) override;
+
+  size_t round() const { return round_; }
+  /// Final residual + solution; call after Done() (or early to inspect).
+  SgdResult Finish();
+
+ private:
+  const std::vector<SparseRow>& rows_;
+  size_t dim_;
+  const std::vector<std::vector<size_t>>& strata_;
+  ThreadPool& pool_;
+  DsgdOptions options_;
+  Rng rng_;
+  std::vector<size_t> order_;
+  size_t round_ = 0;
+  size_t global_updates_ = 0;
+  SgdResult result_;
+  /// Stall/divergence detector over the residual trace; publishes the
+  /// obs.health.dsgd verdict and dsgd.loss gauges as the solve progresses.
+  obs::ConvergenceMonitor health_;
+};
+
 /// Distributed stratified SGD (DSGD, Section 2.2 / Gemulla et al.): runs
 /// SGD within one stratum at a time, partitioning the stratum's rows across
 /// the thread pool; switches strata per a regenerative schedule. Converges
 /// to the least-squares solution with probability 1 while shuffling no data
-/// between workers.
+/// between workers. One-shot wrapper over DsgdRun.
 SgdResult SolveDsgd(const std::vector<SparseRow>& rows, size_t dim,
                     const std::vector<std::vector<size_t>>& strata,
                     ThreadPool& pool, const DsgdOptions& options);

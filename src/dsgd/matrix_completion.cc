@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ckpt/snapshot.h"
 #include "util/check.h"
 #include "util/distributions.h"
 
@@ -26,6 +27,15 @@ double FactorModel::Predict(size_t i, size_t j) const {
   double s = 0.0;
   for (size_t k = 0; k < rank_; ++k) s += wi[k] * hj[k];
   return s;
+}
+
+Status FactorModel::SetData(std::vector<double> w, std::vector<double> h) {
+  if (w.size() != rows_ * rank_ || h.size() != cols_ * rank_) {
+    return Status::InvalidArgument("factor data does not match model shape");
+  }
+  w_ = std::move(w);
+  h_ = std::move(h);
+  return Status::OK();
 }
 
 double FactorModel::Rmse(const std::vector<RatingEntry>& entries) const {
@@ -93,45 +103,115 @@ Result<CompletionResult> CompleteSgd(const std::vector<RatingEntry>& train,
   return result;
 }
 
+MatrixCompletionRun::MatrixCompletionRun(
+    const std::vector<RatingEntry>& train, size_t rows, size_t cols,
+    ThreadPool& pool, const CompletionOptions& options)
+    : train_(train),
+      rows_(rows),
+      cols_(cols),
+      pool_(pool),
+      options_(options),
+      status_(ValidateEntries(train, rows, cols)),
+      d_(std::max<size_t>(1, options.blocks)),
+      result_{FactorModel(rows, cols, options.rank, options.seed), {}},
+      rng_(options.seed + 1),
+      step_(options.step) {
+  if (!status_.ok()) return;
+  // Bucket entries into d x d blocks (derived data; never serialized).
+  block_.resize(d_ * d_);
+  const size_t row_span = (rows + d_ - 1) / d_;
+  const size_t col_span = (cols + d_ - 1) / d_;
+  for (const RatingEntry& e : train) {
+    block_[(e.row / row_span) * d_ + e.col / col_span].push_back(e);
+  }
+  perm_.resize(d_);
+  for (size_t i = 0; i < d_; ++i) perm_[i] = i;
+}
+
+Status MatrixCompletionRun::StepOnce() {
+  MDE_RETURN_NOT_OK(status_);
+  if (Done()) {
+    return Status::FailedPrecondition("matrix completion: already finished");
+  }
+  MDE_FAULT_POINT("mc.sub_epoch");
+  if (sub_ == 0) {
+    // A fresh random column permutation per epoch: the strata are
+    // {(b, perm[(b + s) mod d]) : b} for sub-epoch s. Within a stratum the
+    // blocks share no rows or columns, so the parallel updates commute.
+    for (size_t i = d_; i > 1; --i) {
+      std::swap(perm_[i - 1], perm_[rng_.NextBounded(i)]);
+    }
+  }
+  const size_t sub = sub_;
+  pool_.ParallelFor(d_, [&](size_t b) {
+    const size_t col_block = perm_[(b + sub) % d_];
+    for (const RatingEntry& e : block_[b * d_ + col_block]) {
+      SgdUpdate(&result_.model, e, step_, options_.lambda);
+    }
+  });
+  if (++sub_ == d_) {
+    sub_ = 0;
+    ++epoch_;
+    step_ *= options_.decay;
+    result_.rmse_per_epoch.push_back(result_.model.Rmse(train_));
+  }
+  return Status::OK();
+}
+
+Result<std::string> MatrixCompletionRun::Save() const {
+  MDE_RETURN_NOT_OK(status_);
+  ckpt::SnapshotWriter snap(engine_name());
+  ckpt::SectionWriter* s = snap.AddSection("state");
+  s->PutU64(epoch_);
+  s->PutU64(sub_);
+  s->PutDouble(step_);
+  s->PutRngState(rng_.state());
+  s->PutSizeVec(perm_);
+  s->PutDoubleVec(result_.model.row_data());
+  s->PutDoubleVec(result_.model.col_data());
+  s->PutDoubleVec(result_.rmse_per_epoch);
+  return snap.Finish();
+}
+
+Status MatrixCompletionRun::Restore(const std::string& snapshot) {
+  MDE_RETURN_NOT_OK(status_);
+  MDE_ASSIGN_OR_RETURN(ckpt::SnapshotReader snap,
+                       ckpt::SnapshotReader::Parse(snapshot));
+  if (snap.engine() != engine_name()) {
+    return Status::InvalidArgument("checkpoint is for engine '" +
+                                   snap.engine() +
+                                   "', not matrix_completion");
+  }
+  MDE_ASSIGN_OR_RETURN(ckpt::SectionReader s, snap.section("state"));
+  epoch_ = s.U64();
+  sub_ = s.U64();
+  step_ = s.Double();
+  rng_.set_state(s.RngState());
+  perm_ = s.SizeVec();
+  std::vector<double> w = s.DoubleVec();
+  std::vector<double> h = s.DoubleVec();
+  result_.rmse_per_epoch = s.DoubleVec();
+  MDE_RETURN_NOT_OK(s.ExpectEnd());
+  if (perm_.size() != d_) {
+    return Status::InvalidArgument(
+        "matrix-completion checkpoint does not match this problem");
+  }
+  return result_.model.SetData(std::move(w), std::move(h));
+}
+
+Result<CompletionResult> MatrixCompletionRun::Finish() {
+  MDE_RETURN_NOT_OK(status_);
+  return result_;
+}
+
 Result<CompletionResult> CompleteDsgd(const std::vector<RatingEntry>& train,
                                       size_t rows, size_t cols,
                                       ThreadPool& pool,
                                       const CompletionOptions& options) {
-  MDE_RETURN_NOT_OK(ValidateEntries(train, rows, cols));
-  const size_t d = std::max<size_t>(1, options.blocks);
-  // Bucket entries into d x d blocks.
-  std::vector<std::vector<RatingEntry>> block(d * d);
-  const size_t row_span = (rows + d - 1) / d;
-  const size_t col_span = (cols + d - 1) / d;
-  for (const RatingEntry& e : train) {
-    block[(e.row / row_span) * d + e.col / col_span].push_back(e);
-  }
-  CompletionResult result{FactorModel(rows, cols, options.rank,
-                                      options.seed),
-                          {}};
-  Rng rng(options.seed + 1);
-  double step = options.step;
-  std::vector<size_t> perm(d);
-  for (size_t i = 0; i < d; ++i) perm[i] = i;
-  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
-    // A fresh random column permutation per epoch: the strata are
-    // {(b, perm[(b + s) mod d]) : b} for sub-epoch s. Within a stratum the
-    // blocks share no rows or columns, so the parallel updates commute.
-    for (size_t i = d; i > 1; --i) {
-      std::swap(perm[i - 1], perm[rng.NextBounded(i)]);
-    }
-    for (size_t sub = 0; sub < d; ++sub) {
-      pool.ParallelFor(d, [&](size_t b) {
-        const size_t col_block = perm[(b + sub) % d];
-        for (const RatingEntry& e : block[b * d + col_block]) {
-          SgdUpdate(&result.model, e, step, options.lambda);
-        }
-      });
-    }
-    step *= options.decay;
-    result.rmse_per_epoch.push_back(result.model.Rmse(train));
-  }
-  return result;
+  MatrixCompletionRun run(train, rows, cols, pool, options);
+  MDE_RETURN_NOT_OK(run.status());
+  while (!run.Done()) MDE_RETURN_NOT_OK(run.StepOnce());
+  return run.Finish();
 }
 
 RatingsDataset SyntheticRatings(size_t rows, size_t cols, size_t true_rank,

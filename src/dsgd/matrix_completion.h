@@ -2,8 +2,10 @@
 #define MDE_DSGD_MATRIX_COMPLETION_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "ckpt/recovery.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -45,6 +47,13 @@ class FactorModel {
   const double* RowFactor(size_t i) const { return &w_[i * rank_]; }
   const double* ColFactor(size_t j) const { return &h_[j * rank_]; }
 
+  /// Flat factor storage (rows x rank / cols x rank), for checkpoint
+  /// serialization.
+  const std::vector<double>& row_data() const { return w_; }
+  const std::vector<double>& col_data() const { return h_; }
+  /// Replaces the factor storage; sizes must match the model's shape.
+  Status SetData(std::vector<double> w, std::vector<double> h);
+
  private:
   size_t rows_, cols_, rank_;
   std::vector<double> w_;  // rows x rank
@@ -76,11 +85,58 @@ Result<CompletionResult> CompleteSgd(const std::vector<RatingEntry>& train,
                                      size_t rows, size_t cols,
                                      const CompletionOptions& options);
 
+/// Resumable DSGD matrix completion: one StepOnce() per diagonal stratum
+/// ("sub-epoch"), with a (epoch, stratum) block cursor, the per-epoch
+/// column permutation, the decayed step size, the schedule RNG position,
+/// and both factor matrices captured in the snapshot — restore finishes
+/// bit-identically to an uninterrupted run at any pool width. Fault point:
+/// "mc.sub_epoch". The rating entries are immutable problem data and are
+/// not serialized.
+class MatrixCompletionRun : public ckpt::Checkpointable {
+ public:
+  /// Fails (via status()) on invalid entries; check before stepping.
+  MatrixCompletionRun(const std::vector<RatingEntry>& train, size_t rows,
+                      size_t cols, ThreadPool& pool,
+                      const CompletionOptions& options);
+
+  /// Construction-time validation result.
+  const Status& status() const { return status_; }
+
+  std::string engine_name() const override { return "matrix_completion"; }
+  bool Done() const override { return epoch_ >= options_.epochs; }
+  /// One diagonal stratum (d blocks in parallel).
+  Status StepOnce() override;
+  Result<std::string> Save() const override;
+  Status Restore(const std::string& snapshot) override;
+
+  size_t epoch() const { return epoch_; }
+  size_t sub_epoch() const { return sub_; }
+  Result<CompletionResult> Finish();
+
+ private:
+  const std::vector<RatingEntry>& train_;
+  size_t rows_, cols_;
+  ThreadPool& pool_;
+  CompletionOptions options_;
+  Status status_;
+  size_t d_ = 1;
+  /// Entries bucketed into d x d blocks (derived from train_, rebuilt on
+  /// construction — not serialized).
+  std::vector<std::vector<RatingEntry>> block_;
+  CompletionResult result_;
+  Rng rng_;
+  double step_ = 0.0;
+  std::vector<size_t> perm_;
+  /// Block cursor: next stratum `sub_` of epoch `epoch_`.
+  size_t epoch_ = 0;
+  size_t sub_ = 0;
+};
+
 /// DSGD: each epoch visits `blocks` diagonal strata; within a stratum the
 /// blocks touch disjoint row and column factors and are processed in
 /// parallel on `pool`. Converges to the same solution quality as
 /// sequential SGD (the Gemulla et al. result) while shuffling no factor
-/// state between workers.
+/// state between workers. One-shot wrapper over MatrixCompletionRun.
 Result<CompletionResult> CompleteDsgd(const std::vector<RatingEntry>& train,
                                       size_t rows, size_t cols,
                                       ThreadPool& pool,

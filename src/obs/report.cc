@@ -434,30 +434,38 @@ void Heading(std::ostream& os, bool markdown, const std::string& title) {
 
 }  // namespace
 
-double HistogramQuantile(const std::vector<double>& bounds,
-                         const std::vector<uint64_t>& buckets, double q) {
+HistogramQuantileResult HistogramQuantileEx(
+    const std::vector<double>& bounds, const std::vector<uint64_t>& buckets,
+    double q) {
   uint64_t total = 0;
   for (uint64_t b : buckets) total += b;
-  if (total == 0) return 0.0;
+  if (total == 0) return {0.0, false};
   const double target = q * static_cast<double>(total);
   double cum = 0.0;
   for (size_t b = 0; b < buckets.size(); ++b) {
     const double next = cum + static_cast<double>(buckets[b]);
     if (next >= target || b + 1 == buckets.size()) {
       if (b >= bounds.size()) {
-        // +inf bucket: no finite upper edge — report the largest bound.
-        return bounds.empty() ? 0.0 : bounds.back();
+        // +inf bucket: no finite upper edge to interpolate toward. The
+        // value is a lower bound on the true quantile, not an estimate —
+        // flag it so renderers don't silently underreport the tail.
+        return {bounds.empty() ? 0.0 : bounds.back(), true};
       }
       const double lo = b == 0 ? std::min(0.0, bounds[0]) : bounds[b - 1];
       const double hi = bounds[b];
-      if (buckets[b] == 0) return hi;
+      if (buckets[b] == 0) return {hi, false};
       const double frac =
           (target - cum) / static_cast<double>(buckets[b]);
-      return lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+      return {lo + std::clamp(frac, 0.0, 1.0) * (hi - lo), false};
     }
     cum = next;
   }
-  return bounds.empty() ? 0.0 : bounds.back();
+  return {bounds.empty() ? 0.0 : bounds.back(), false};
+}
+
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<uint64_t>& buckets, double q) {
+  return HistogramQuantileEx(bounds, buckets, q).value;
 }
 
 bool RenderRunReport(const std::string& trace_json,
@@ -571,13 +579,19 @@ bool RenderRunReport(const std::string& trace_json,
   if (!series.hists.empty()) {
     Heading(os, md, "Histogram quantiles (bucket interpolation)");
     TableWriter t({"histogram", "count", "mean", "p50", "p90", "p99"}, md);
+    // Overflow-bucket quantiles are lower bounds, not estimates: render
+    // them as ">= bound" rather than underreporting the tail.
+    const auto quantile_cell = [](const HistFinal& h, double q) {
+      const HistogramQuantileResult r =
+          HistogramQuantileEx(h.bounds, h.buckets, q);
+      return r.overflow ? ">= " + Compact(r.value) : Compact(r.value);
+    };
     for (const auto& [name, h] : series.hists) {
       const double mean =
           h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
       t.AddRow({name, std::to_string(h.count), Compact(mean),
-                Compact(HistogramQuantile(h.bounds, h.buckets, 0.50)),
-                Compact(HistogramQuantile(h.bounds, h.buckets, 0.90)),
-                Compact(HistogramQuantile(h.bounds, h.buckets, 0.99))});
+                quantile_cell(h, 0.50), quantile_cell(h, 0.90),
+                quantile_cell(h, 0.99)});
     }
     t.Render(os);
     os << "\n";

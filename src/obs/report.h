@@ -40,8 +40,20 @@ bool RenderRunReport(const std::string& trace_json,
 /// Interpolated quantile from a fixed-bucket histogram (per-bucket counts,
 /// `bounds`-aligned with one trailing +inf bucket), the same linear
 /// interpolation Prometheus' histogram_quantile applies to cumulative
-/// buckets. The +inf bucket reports the last finite bound (no upper edge
-/// to interpolate toward). Returns 0 for an empty histogram.
+/// buckets. When the quantile lands in the +inf overflow bucket there is no
+/// upper edge to interpolate toward: `value` is the last finite bound and
+/// `overflow` is set, so renderers can report ">= bound" instead of
+/// silently underreporting the tail.
+struct HistogramQuantileResult {
+  double value = 0.0;
+  bool overflow = false;
+};
+HistogramQuantileResult HistogramQuantileEx(const std::vector<double>& bounds,
+                                            const std::vector<uint64_t>& buckets,
+                                            double q);
+
+/// Value-only convenience (overflow collapses to the last finite bound).
+/// Returns 0 for an empty histogram.
 double HistogramQuantile(const std::vector<double>& bounds,
                          const std::vector<uint64_t>& buckets, double q);
 

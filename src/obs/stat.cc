@@ -116,6 +116,28 @@ void P2Quantile::Add(double x) {
   }
 }
 
+P2Quantile::State P2Quantile::state() const {
+  State s;
+  s.n = n_;
+  for (int i = 0; i < 5; ++i) {
+    s.q[i] = q_[i];
+    s.pos[i] = pos_[i];
+    s.des[i] = des_[i];
+  }
+  return s;
+}
+
+void P2Quantile::set_state(const State& s) {
+  n_ = s.n;
+  for (int i = 0; i < 5; ++i) {
+    q_[i] = s.q[i];
+    pos_[i] = s.pos[i];
+    des_[i] = s.des[i];
+  }
+  // inc_ is a pure function of p and is untouched by Add; nothing to
+  // restore.
+}
+
 double P2Quantile::Value() const {
   if (n_ == 0) return 0.0;
   if (n_ < 5) {

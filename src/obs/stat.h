@@ -43,6 +43,21 @@ class Welford {
   /// Standard error of the mean; 0 when n < 2.
   double std_error() const;
 
+  /// Complete accumulator state, for checkpoint serialization (src/ckpt):
+  /// restoring it and continuing the stream is bit-identical to never
+  /// having stopped.
+  struct State {
+    uint64_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+  };
+  State state() const { return {n_, mean_, m2_}; }
+  void set_state(const State& s) {
+    n_ = s.n;
+    mean_ = s.mean;
+    m2_ = s.m2;
+  }
+
  private:
   uint64_t n_ = 0;
   double mean_ = 0.0;
@@ -64,6 +79,16 @@ class P2Quantile {
   double p() const { return p_; }
   /// Current quantile estimate (0 before any observation).
   double Value() const;
+
+  /// Complete marker state (checkpoint serialization; see Welford::State).
+  struct State {
+    uint64_t n = 0;
+    double q[5] = {};
+    double pos[5] = {};
+    double des[5] = {};
+  };
+  State state() const;
+  void set_state(const State& s);
 
  private:
   double p_;
@@ -92,6 +117,11 @@ class CiMonitor {
   /// z * stddev / sqrt(n); 0 when n < 2.
   double half_width() const;
   const Welford& stat() const { return stat_; }
+
+  /// Checkpoint serialization: the underlying Welford state is the whole
+  /// mutable state (gauges are re-resolved from the constructor name).
+  Welford::State state() const { return stat_.state(); }
+  void set_state(const Welford::State& s) { stat_.set_state(s); }
 
  private:
   Welford stat_;
@@ -126,6 +156,23 @@ class ConvergenceMonitor {
   double best() const { return best_; }
 
   static const char* VerdictName(Verdict v);
+
+  /// Checkpoint serialization (window/tolerances are construction config).
+  struct State {
+    uint64_t n = 0;
+    double best = 0.0;
+    uint64_t since_improvement = 0;
+    uint8_t verdict = 0;
+  };
+  State state() const {
+    return {n_, best_, since_improvement_, static_cast<uint8_t>(verdict_)};
+  }
+  void set_state(const State& s) {
+    n_ = s.n;
+    best_ = s.best;
+    since_improvement_ = s.since_improvement;
+    verdict_ = static_cast<Verdict>(s.verdict);
+  }
 
  private:
   void Publish(double loss);

@@ -1,10 +1,106 @@
 #include "simsql/simsql.h"
 
+#include "ckpt/fault.h"
+#include "ckpt/snapshot.h"
 #include "obs/metrics.h"
 #include "obs/stat.h"
 #include "obs/trace.h"
 
 namespace mde::simsql {
+
+namespace {
+
+/// Cell-exact table serialization for checkpoints: schema (names + declared
+/// types), then every cell as a runtime-type tag + payload. Doubles travel
+/// as IEEE-754 bits, so a restored chain state is bit-identical.
+void PutValue(ckpt::SectionWriter* s, const table::Value& v) {
+  s->PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case table::DataType::kNull:
+      break;
+    case table::DataType::kBool:
+      s->PutBool(v.AsBool());
+      break;
+    case table::DataType::kInt64:
+      s->PutI64(v.AsInt());
+      break;
+    case table::DataType::kDouble:
+      s->PutDouble(v.AsDouble());
+      break;
+    case table::DataType::kString:
+      s->PutString(v.AsString());
+      break;
+  }
+}
+
+table::Value TakeValue(ckpt::SectionReader* s) {
+  switch (static_cast<table::DataType>(s->U8())) {
+    case table::DataType::kBool:
+      return table::Value(s->Bool());
+    case table::DataType::kInt64:
+      return table::Value(s->I64());
+    case table::DataType::kDouble:
+      return table::Value(s->Double());
+    case table::DataType::kString:
+      return table::Value(s->String());
+    case table::DataType::kNull:
+    default:
+      return table::Value();
+  }
+}
+
+void PutTable(ckpt::SectionWriter* s, const table::Table& t) {
+  const table::Schema& schema = t.schema();
+  s->PutU32(static_cast<uint32_t>(schema.num_columns()));
+  for (const table::ColumnSpec& c : schema.columns()) {
+    s->PutString(c.name);
+    s->PutU8(static_cast<uint8_t>(c.type));
+  }
+  s->PutU64(t.num_rows());
+  for (size_t i = 0; i < t.num_rows(); ++i) {
+    for (const table::Value& v : t.row(i)) PutValue(s, v);
+  }
+}
+
+table::Table TakeTable(ckpt::SectionReader* s) {
+  const uint32_t ncols = s->U32();
+  std::vector<table::ColumnSpec> cols;
+  cols.reserve(ncols);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    std::string name = s->String();
+    const auto type = static_cast<table::DataType>(s->U8());
+    cols.push_back({std::move(name), type});
+  }
+  table::Table t{table::Schema(std::move(cols))};
+  const uint64_t nrows = s->U64();
+  for (uint64_t r = 0; r < nrows && s->status().ok(); ++r) {
+    table::Row row;
+    row.reserve(ncols);
+    for (uint32_t c = 0; c < ncols; ++c) row.push_back(TakeValue(s));
+    t.Append(std::move(row));
+  }
+  return t;
+}
+
+void PutState(ckpt::SectionWriter* s, const DatabaseState& state) {
+  s->PutU32(static_cast<uint32_t>(state.size()));
+  for (const auto& [name, t] : state) {
+    s->PutString(name);
+    PutTable(s, t);
+  }
+}
+
+DatabaseState TakeState(ckpt::SectionReader* s) {
+  DatabaseState state;
+  const uint32_t n = s->U32();
+  for (uint32_t i = 0; i < n && s->status().ok(); ++i) {
+    std::string name = s->String();
+    state.emplace(std::move(name), TakeTable(s));
+  }
+  return state;
+}
+
+}  // namespace
 
 Status MarkovChainDb::AddDeterministic(const std::string& name,
                                        table::Table t) {
@@ -42,41 +138,12 @@ Result<DatabaseState> MarkovChainDb::Run(size_t steps, uint64_t seed,
                                          const Observer& observer) {
   MDE_TRACE_SPAN("simsql.run");
   history_.clear();
-  Rng rng = Rng::Substream(seed, rep);
 #ifndef MDE_OBS_DISABLED
   const uint64_t run_start_ns = obs::NowNanos();
 #endif
-
-  // Version 0.
-  DatabaseState state = deterministic_;
-  for (const auto& spec : specs_) {
-    MDE_ASSIGN_OR_RETURN(table::Table t, spec.init(state, rng));
-    state.erase(spec.name);
-    state.emplace(spec.name, std::move(t));
-  }
-  if (observer) MDE_RETURN_NOT_OK(observer(0, state));
-  if (history_limit_ > 0) history_.push_back(state);
-
-  // Versions 1..steps.
-  for (size_t i = 1; i <= steps; ++i) {
-    MDE_TRACE_SPAN("simsql.step");
-    MDE_OBS_COUNT("simsql.steps", 1);
-    DatabaseState next = deterministic_;
-    for (const auto& spec : specs_) {
-      MDE_ASSIGN_OR_RETURN(table::Table t, spec.transition(state, next, rng));
-      next.erase(spec.name);
-      next.emplace(spec.name, std::move(t));
-      MDE_OBS_COUNT("simsql.chain_tables", 1);
-    }
-    state = std::move(next);
-    if (observer) MDE_RETURN_NOT_OK(observer(i, state));
-    if (history_limit_ > 0) {
-      history_.push_back(state);
-      if (history_.size() > history_limit_) {
-        history_.erase(history_.begin());
-      }
-    }
-  }
+  ChainRunner runner(*this, steps, seed, rep, observer);
+  while (!runner.Done()) MDE_RETURN_NOT_OK(runner.StepOnce());
+  MDE_ASSIGN_OR_RETURN(DatabaseState final_state, runner.Finish());
 #ifndef MDE_OBS_DISABLED
   // Chain throughput for this Run: the sampled time series shows step-rate
   // collapse (e.g. a transition that grows its table) long before a
@@ -88,7 +155,105 @@ Result<DatabaseState> MarkovChainDb::Run(size_t steps, uint64_t seed,
                       static_cast<double>(steps) / secs);
   }
 #endif
-  return state;
+  return final_state;
+}
+
+ChainRunner::ChainRunner(MarkovChainDb& db, size_t steps, uint64_t seed,
+                         uint64_t rep, MarkovChainDb::Observer observer)
+    : db_(db),
+      steps_(steps),
+      observer_(std::move(observer)),
+      rng_(Rng::Substream(seed, rep)) {}
+
+Status ChainRunner::StepOnce() {
+  if (Done()) {
+    return Status::FailedPrecondition("simsql: chain already realized");
+  }
+  // Before any mutation: a fault here leaves state_/rng_ exactly at the
+  // previous version boundary.
+  MDE_FAULT_POINT("simsql.version");
+  const size_t version = next_version_;
+  DatabaseState next = db_.deterministic_;
+  if (version == 0) {
+    for (const auto& spec : db_.specs_) {
+      MDE_ASSIGN_OR_RETURN(table::Table t, spec.init(next, rng_));
+      next.erase(spec.name);
+      next.emplace(spec.name, std::move(t));
+    }
+  } else {
+    MDE_TRACE_SPAN("simsql.step");
+    MDE_OBS_COUNT("simsql.steps", 1);
+    for (const auto& spec : db_.specs_) {
+      MDE_ASSIGN_OR_RETURN(table::Table t,
+                           spec.transition(state_, next, rng_));
+      next.erase(spec.name);
+      next.emplace(spec.name, std::move(t));
+      MDE_OBS_COUNT("simsql.chain_tables", 1);
+    }
+  }
+  state_ = std::move(next);
+  if (observer_) MDE_RETURN_NOT_OK(observer_(version, state_));
+  if (db_.history_limit_ > 0) {
+    history_.push_back(state_);
+    if (history_.size() > db_.history_limit_) history_.erase(history_.begin());
+  }
+  ++next_version_;
+  return Status::OK();
+}
+
+Result<std::string> ChainRunner::Save() const {
+  ckpt::SnapshotWriter snap(engine_name());
+  ckpt::SectionWriter* c = snap.AddSection("cursor");
+  c->PutU64(next_version_);
+  c->PutU64(steps_);
+  c->PutRngState(rng_.state());
+  PutState(snap.AddSection("state"), state_);
+  ckpt::SectionWriter* h = snap.AddSection("history");
+  h->PutU32(static_cast<uint32_t>(history_.size()));
+  for (const DatabaseState& s : history_) PutState(h, s);
+  return snap.Finish();
+}
+
+Status ChainRunner::Restore(const std::string& snapshot) {
+  MDE_ASSIGN_OR_RETURN(ckpt::SnapshotReader snap,
+                       ckpt::SnapshotReader::Parse(snapshot));
+  if (snap.engine() != engine_name()) {
+    return Status::InvalidArgument("checkpoint is for engine '" +
+                                   snap.engine() + "', not simsql");
+  }
+  MDE_ASSIGN_OR_RETURN(ckpt::SectionReader c, snap.section("cursor"));
+  const uint64_t version = c.U64();
+  const uint64_t steps = c.U64();
+  const Rng::State rng_state = c.RngState();
+  MDE_RETURN_NOT_OK(c.ExpectEnd());
+  if (steps != steps_) {
+    return Status::InvalidArgument(
+        "simsql checkpoint is for a different chain length");
+  }
+  MDE_ASSIGN_OR_RETURN(ckpt::SectionReader st, snap.section("state"));
+  DatabaseState state = TakeState(&st);
+  MDE_RETURN_NOT_OK(st.ExpectEnd());
+  MDE_ASSIGN_OR_RETURN(ckpt::SectionReader h, snap.section("history"));
+  std::vector<DatabaseState> history;
+  const uint32_t nh = h.U32();
+  for (uint32_t i = 0; i < nh && h.status().ok(); ++i) {
+    history.push_back(TakeState(&h));
+  }
+  MDE_RETURN_NOT_OK(h.ExpectEnd());
+  next_version_ = version;
+  rng_.set_state(rng_state);
+  state_ = std::move(state);
+  history_ = std::move(history);
+  return Status::OK();
+}
+
+Result<DatabaseState> ChainRunner::Finish() {
+  if (!Done()) {
+    return Status::FailedPrecondition("simsql: chain not fully realized");
+  }
+  db_.history_ = std::move(history_);
+  history_.clear();
+  return state_;
 }
 
 Result<std::vector<double>> MonteCarloChain(

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/recovery.h"
 #include "table/table.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -65,10 +66,48 @@ class MarkovChainDb {
   const std::vector<DatabaseState>& history() const { return history_; }
 
  private:
+  friend class ChainRunner;
+
   DatabaseState deterministic_;
   std::vector<ChainTableSpec> specs_;
   size_t history_limit_ = 0;
   std::vector<DatabaseState> history_;
+};
+
+/// Resumable chain realization: one StepOnce() per chain version, with the
+/// full database state D[t] (every table, cell-exact), retained history,
+/// version cursor, and RNG substream position captured in the snapshot —
+/// the Hadoop-style restartable step SimSQL inherits, made bit-identical.
+/// Fault point: "simsql.version". The table specs (init/transition
+/// closures) are code, not state; Restore expects a runner over the same
+/// MarkovChainDb.
+class ChainRunner : public ckpt::Checkpointable {
+ public:
+  /// Prepares replication `rep` of `seed` on `db` (same substream contract
+  /// as MarkovChainDb::Run).
+  ChainRunner(MarkovChainDb& db, size_t steps, uint64_t seed, uint64_t rep,
+              MarkovChainDb::Observer observer = nullptr);
+
+  std::string engine_name() const override { return "simsql"; }
+  bool Done() const override { return next_version_ > steps_; }
+  /// Realizes the next version (0 = init specs, else transitions).
+  Status StepOnce() override;
+  Result<std::string> Save() const override;
+  Status Restore(const std::string& snapshot) override;
+
+  size_t next_version() const { return next_version_; }
+  /// Writes the retained history back to the db and returns the final
+  /// state; call after Done().
+  Result<DatabaseState> Finish();
+
+ private:
+  MarkovChainDb& db_;
+  size_t steps_;
+  MarkovChainDb::Observer observer_;
+  Rng rng_;
+  DatabaseState state_;
+  std::vector<DatabaseState> history_;
+  size_t next_version_ = 0;
 };
 
 /// Runs `reps` independent replications of the chain and reports, for a

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "ckpt/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -127,6 +129,130 @@ double ParticleFilter::TotalLogLikelihood() const {
     total += s.log_likelihood_increment;
   }
   return total;
+}
+
+void ParticleFilter::SaveState(ckpt::SectionWriter* s) const {
+  s->PutBool(initialized_);
+  s->PutU64(step_count_);
+  s->PutRngState(rng_.state());
+  s->PutU64(particles_.size());
+  for (const State& p : particles_) s->PutDoubleVec(p);
+  s->PutDoubleVec(weights_);
+  s->PutU64(stats_.size());
+  for (const FilterStepStats& st : stats_) {
+    s->PutDouble(st.ess);
+    s->PutBool(st.resampled);
+    s->PutDouble(st.log_likelihood_increment);
+  }
+}
+
+Status ParticleFilter::RestoreState(ckpt::SectionReader* s) {
+  const bool initialized = s->Bool();
+  const uint64_t step_count = s->U64();
+  const Rng::State rng_state = s->RngState();
+  const uint64_t np = s->U64();
+  std::vector<State> particles;
+  particles.reserve(np);
+  for (uint64_t i = 0; i < np && s->status().ok(); ++i) {
+    particles.push_back(s->DoubleVec());
+  }
+  std::vector<double> weights = s->DoubleVec();
+  const uint64_t ns = s->U64();
+  std::vector<FilterStepStats> stats;
+  stats.reserve(ns);
+  for (uint64_t i = 0; i < ns && s->status().ok(); ++i) {
+    FilterStepStats st;
+    st.ess = s->Double();
+    st.resampled = s->Bool();
+    st.log_likelihood_increment = s->Double();
+    stats.push_back(st);
+  }
+  MDE_RETURN_NOT_OK(s->status());
+  if (initialized && (particles.size() != options_.num_particles ||
+                      weights.size() != options_.num_particles)) {
+    return Status::InvalidArgument(
+        "particle-filter checkpoint does not match num_particles");
+  }
+  initialized_ = initialized;
+  step_count_ = step_count;
+  rng_.set_state(rng_state);
+  particles_ = std::move(particles);
+  weights_ = std::move(weights);
+  stats_ = std::move(stats);
+  return Status::OK();
+}
+
+Result<std::string> ParticleFilter::SaveSnapshot() const {
+  ckpt::SnapshotWriter snap("particle_filter");
+  SaveState(snap.AddSection("filter"));
+  return snap.Finish();
+}
+
+Status ParticleFilter::RestoreSnapshot(const std::string& snapshot) {
+  MDE_ASSIGN_OR_RETURN(ckpt::SnapshotReader snap,
+                       ckpt::SnapshotReader::Parse(snapshot));
+  if (snap.engine() != "particle_filter") {
+    return Status::InvalidArgument("checkpoint is for engine '" +
+                                   snap.engine() + "', not particle_filter");
+  }
+  MDE_ASSIGN_OR_RETURN(ckpt::SectionReader s, snap.section("filter"));
+  MDE_RETURN_NOT_OK(RestoreState(&s));
+  return s.ExpectEnd();
+}
+
+FilterRun::FilterRun(const StateSpaceModel& model,
+                     std::vector<Observation> observations,
+                     const ParticleFilterOptions& options)
+    : observations_(std::move(observations)), filter_(model, options) {}
+
+Status FilterRun::StepOnce() {
+  if (Done()) {
+    return Status::FailedPrecondition("particle filter: already finished");
+  }
+  // Fault point before the filter mutates: restore replays this
+  // observation exactly.
+  MDE_FAULT_POINT("smc.step");
+  const size_t i = next_obs_;
+  if (i == 0) {
+    MDE_RETURN_NOT_OK(filter_.Initialize(observations_[0]));
+  } else {
+    MDE_RETURN_NOT_OK(filter_.Step(observations_[i]));
+  }
+  ++next_obs_;
+  return Status::OK();
+}
+
+Result<std::string> FilterRun::Save() const {
+  ckpt::SnapshotWriter snap(engine_name());
+  ckpt::SectionWriter* r = snap.AddSection("run");
+  r->PutU64(next_obs_);
+  r->PutU64(observations_.size());
+  filter_.SaveState(snap.AddSection("filter"));
+  return snap.Finish();
+}
+
+Status FilterRun::Restore(const std::string& snapshot) {
+  MDE_ASSIGN_OR_RETURN(ckpt::SnapshotReader snap,
+                       ckpt::SnapshotReader::Parse(snapshot));
+  if (snap.engine() != engine_name()) {
+    return Status::InvalidArgument("checkpoint is for engine '" +
+                                   snap.engine() + "', not particle_filter");
+  }
+  MDE_ASSIGN_OR_RETURN(ckpt::SectionReader r, snap.section("run"));
+  const uint64_t next_obs = r.U64();
+  const uint64_t total_obs = r.U64();
+  MDE_RETURN_NOT_OK(r.ExpectEnd());
+  if (total_obs != observations_.size() ||
+      next_obs > observations_.size()) {
+    return Status::InvalidArgument(
+        "particle-filter checkpoint is for a different observation "
+        "sequence");
+  }
+  MDE_ASSIGN_OR_RETURN(ckpt::SectionReader f, snap.section("filter"));
+  MDE_RETURN_NOT_OK(filter_.RestoreState(&f));
+  MDE_RETURN_NOT_OK(f.ExpectEnd());
+  next_obs_ = next_obs;
+  return Status::OK();
 }
 
 KernelDensity::KernelDensity(std::vector<double> samples, double bandwidth,

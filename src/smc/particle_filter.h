@@ -2,8 +2,11 @@
 #define MDE_SMC_PARTICLE_FILTER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "ckpt/recovery.h"
+#include "ckpt/snapshot.h"
 #include "smc/resample.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -99,6 +102,20 @@ class ParticleFilter {
   /// Total log marginal likelihood of the observations so far.
   double TotalLogLikelihood() const;
 
+  /// Standalone snapshot of the filter state (particles, normalized
+  /// weights, per-step stats, step cursor, resampling-RNG position).
+  /// Sampling RNGs are per-(step, particle) substreams and need no
+  /// capture, so a restored filter continues bit-identically at any pool
+  /// width.
+  Result<std::string> SaveSnapshot() const;
+  Status RestoreSnapshot(const std::string& snapshot);
+
+  /// Section-level (de)serialization, for embedding the filter state in a
+  /// larger engine snapshot (FilterRun, the wildfire driver). RestoreState
+  /// does not call ExpectEnd; the caller owns the section.
+  void SaveState(ckpt::SectionWriter* s) const;
+  Status RestoreState(ckpt::SectionReader* s);
+
  private:
   Status WeighAndMaybeResample(const std::vector<double>& log_weights);
   /// Private substream for particle `i` at step `step` (0 = initial).
@@ -117,6 +134,33 @@ class ParticleFilter {
   std::vector<FilterStepStats> stats_;
   size_t step_count_ = 0;
   bool initialized_ = false;
+};
+
+/// Resumable filtering of a fixed observation sequence: one StepOnce() per
+/// observation (the first initializes the filter). Snapshots capture the
+/// observation cursor plus the full filter state, so kill-at-step-k +
+/// restore finishes bit-identically to an uninterrupted run. Fault point:
+/// "smc.step". The observation sequence itself is immutable input and is
+/// not serialized.
+class FilterRun : public ckpt::Checkpointable {
+ public:
+  FilterRun(const StateSpaceModel& model,
+            std::vector<Observation> observations,
+            const ParticleFilterOptions& options);
+
+  std::string engine_name() const override { return "particle_filter"; }
+  bool Done() const override { return next_obs_ >= observations_.size(); }
+  Status StepOnce() override;
+  Result<std::string> Save() const override;
+  Status Restore(const std::string& snapshot) override;
+
+  size_t next_observation() const { return next_obs_; }
+  const ParticleFilter& filter() const { return filter_; }
+
+ private:
+  std::vector<Observation> observations_;
+  ParticleFilter filter_;
+  size_t next_obs_ = 0;
 };
 
 /// Gaussian / Laplace kernel density estimator (used to approximate the

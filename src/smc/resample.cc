@@ -9,12 +9,20 @@
 namespace mde::smc {
 
 Status NormalizeWeights(std::vector<double>* weights) {
+  // Compensated (Kahan) summation: with 1e6+ particles spanning extreme
+  // magnitude ratios, naive accumulation loses the small weights entirely
+  // and the normalized sum drifts from 1 by O(n) ulps — which is what made
+  // the multinomial CDF overshoot 1.0 before its last entry.
   double sum = 0.0;
+  double comp = 0.0;
   for (double w : *weights) {
     if (w < 0.0 || !std::isfinite(w)) {
       return Status::NumericError("negative or non-finite weight");
     }
-    sum += w;
+    const double y = w - comp;
+    const double t = sum + y;
+    comp = (t - sum) - y;
+    sum = t;
   }
   if (sum <= 0.0) return Status::NumericError("total weight collapse");
   for (double& w : *weights) w /= sum;
@@ -36,12 +44,15 @@ std::vector<size_t> ResampleIndices(
   std::vector<size_t> out;
   out.reserve(n);
   if (method == ResampleMethod::kMultinomial) {
-    // Inverse-CDF per draw.
+    // Inverse-CDF per draw. The running clamp keeps the CDF monotone even
+    // when FP accumulation overshoots 1.0 before the last entry — forcing
+    // only cdf[m-1] = 1.0 after a naive sum could leave cdf[m-2] > 1.0,
+    // an unsorted range on which std::lower_bound is undefined.
     std::vector<double> cdf(m);
     double acc = 0.0;
     for (size_t i = 0; i < m; ++i) {
       acc += normalized_weights[i];
-      cdf[i] = acc;
+      cdf[i] = std::min(acc, 1.0);
     }
     cdf[m - 1] = 1.0;
     for (size_t k = 0; k < n; ++k) {
@@ -50,18 +61,26 @@ std::vector<size_t> ResampleIndices(
       out.push_back(static_cast<size_t>(it - cdf.begin()));
     }
   } else {
-    // Systematic: one uniform u ~ U[0, 1/n), comb at u + k/n.
+    // Systematic: one uniform u ~ U[0, 1/n), comb at u + k/n. Only indices
+    // that carry mass may be returned: when FP accumulation undershoots the
+    // final targets, the scan runs off into a zero-weight tail, so clamping
+    // to the last index would hand back a particle with weight 0. Track the
+    // last positive-weight index seen and clamp to that instead.
     const double step = 1.0 / static_cast<double>(n);
     double u = rng.NextDouble() * step;
-    double acc = normalized_weights[0];
     size_t i = 0;
+    // Skip any leading zero-weight particles (u may be exactly 0).
+    while (i + 1 < m && normalized_weights[i] <= 0.0) ++i;
+    size_t last_positive = i;
+    double acc = normalized_weights[i];
     for (size_t k = 0; k < n; ++k) {
       const double target = u + static_cast<double>(k) * step;
       while (acc < target && i + 1 < m) {
         ++i;
         acc += normalized_weights[i];
+        if (normalized_weights[i] > 0.0) last_positive = i;
       }
-      out.push_back(i);
+      out.push_back(normalized_weights[i] > 0.0 ? i : last_positive);
     }
   }
   return out;

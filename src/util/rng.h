@@ -1,6 +1,7 @@
 #ifndef MDE_UTIL_RNG_H_
 #define MDE_UTIL_RNG_H_
 
+#include <array>
 #include <cstdint>
 
 namespace mde {
@@ -55,6 +56,18 @@ class Rng {
   /// equivalent to seeding then calling Jump() `index` times, but documents
   /// intent at call sites that fan out replications.
   static Rng Substream(uint64_t seed, uint64_t index);
+
+  /// The four Xoshiro256++ state words. Exporting and re-importing the
+  /// state positions a generator exactly where it was — the basis of the
+  /// checkpoint/restart layer's bit-identical replay (src/ckpt).
+  using State = std::array<uint64_t, 4>;
+  State state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+  void set_state(const State& s) {
+    s_[0] = s[0];
+    s_[1] = s[1];
+    s_[2] = s[2];
+    s_[3] = s[3];
+  }
 
  private:
   uint64_t s_[4];

@@ -2,12 +2,44 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "ckpt/fault.h"
 #include "smc/particle_filter.h"
 #include "util/check.h"
 #include "util/distributions.h"
 
 namespace mde::wildfire {
+
+namespace {
+
+/// Cell grids travel as raw tags/durations, intensities as IEEE-754 bits —
+/// a restored state is bit-identical.
+void PutFireState(ckpt::SectionWriter* s, const FireState& f) {
+  s->PutU64(f.cells.size());
+  for (CellState c : f.cells) s->PutU8(static_cast<uint8_t>(c));
+  s->PutU64(f.burn_remaining.size());
+  for (int b : f.burn_remaining) s->PutI64(b);
+  s->PutDoubleVec(f.intensity);
+}
+
+FireState TakeFireState(ckpt::SectionReader* s) {
+  FireState f;
+  const uint64_t nc = s->U64();
+  f.cells.reserve(nc);
+  for (uint64_t i = 0; i < nc && s->status().ok(); ++i) {
+    f.cells.push_back(static_cast<CellState>(s->U8()));
+  }
+  const uint64_t nb = s->U64();
+  f.burn_remaining.reserve(nb);
+  for (uint64_t i = 0; i < nb && s->status().ok(); ++i) {
+    f.burn_remaining.push_back(static_cast<int>(s->I64()));
+  }
+  f.intensity = s->DoubleVec();
+  return f;
+}
+
+}  // namespace
 
 WildfireFilter::WildfireFilter(const FireSim& sim, const SensorModel& sensors,
                                const FireState& initial,
@@ -146,33 +178,150 @@ FireState WildfireFilter::Classify() const {
   return out;
 }
 
+void WildfireFilter::SaveState(ckpt::SectionWriter* s) const {
+  s->PutRngState(rng_.state());
+  s->PutDouble(last_ess_);
+  s->PutDoubleVec(weights_);
+  s->PutU64(particles_.size());
+  for (const FireState& p : particles_) PutFireState(s, p);
+}
+
+Status WildfireFilter::RestoreState(ckpt::SectionReader* s) {
+  const Rng::State rng_state = s->RngState();
+  const double last_ess = s->Double();
+  std::vector<double> weights = s->DoubleVec();
+  const uint64_t np = s->U64();
+  std::vector<FireState> particles;
+  particles.reserve(np);
+  for (uint64_t i = 0; i < np && s->status().ok(); ++i) {
+    particles.push_back(TakeFireState(s));
+  }
+  MDE_RETURN_NOT_OK(s->status());
+  if (particles.size() != config_.num_particles ||
+      weights.size() != config_.num_particles) {
+    return Status::InvalidArgument(
+        "wildfire checkpoint does not match num_particles");
+  }
+  rng_.set_state(rng_state);
+  last_ess_ = last_ess;
+  weights_ = std::move(weights);
+  particles_ = std::move(particles);
+  return Status::OK();
+}
+
+AssimilationDriver::AssimilationDriver(const FireSim& sim,
+                                       const SensorModel& sensors,
+                                       size_t steps,
+                                       const AssimilationConfig& config,
+                                       uint64_t truth_seed)
+    : sim_(sim),
+      sensors_(sensors),
+      steps_(steps),
+      truth_rng_(Rng::Substream(truth_seed, 0)),
+      sensor_rng_(Rng::Substream(truth_seed, 1)),
+      open_rng_(Rng::Substream(truth_seed, 2)),
+      truth_(sim.Ignite(sim.terrain().width / 2, sim.terrain().height / 2,
+                        truth_rng_)),
+      open_loop_(sim.Ignite(sim.terrain().width / 2,
+                            sim.terrain().height / 2, open_rng_)),
+      filter_(sim, sensors, truth_, config) {}
+
+Status AssimilationDriver::StepOnce() {
+  if (Done()) {
+    return Status::FailedPrecondition("wildfire: already finished");
+  }
+  // Before any mutation: a fault here leaves truth/open-loop/filter and all
+  // three RNG substreams exactly at the previous step boundary.
+  MDE_FAULT_POINT("wildfire.step");
+  sim_.Step(&truth_, truth_rng_);
+  const std::vector<double> y = sensors_.Observe(truth_, sensor_rng_);
+  sim_.Step(&open_loop_, open_rng_);
+  MDE_RETURN_NOT_OK(filter_.Step(y));
+  run_.open_loop_error.push_back(truth_.CellDisagreement(open_loop_));
+  run_.filter_error.push_back(truth_.CellDisagreement(filter_.Classify()));
+  run_.ess.push_back(filter_.last_ess());
+  ++t_;
+  return Status::OK();
+}
+
+Result<std::string> AssimilationDriver::Save() const {
+  ckpt::SnapshotWriter snap(engine_name());
+  ckpt::SectionWriter* r = snap.AddSection("run");
+  r->PutU64(t_);
+  r->PutU64(steps_);
+  r->PutRngState(truth_rng_.state());
+  r->PutRngState(sensor_rng_.state());
+  r->PutRngState(open_rng_.state());
+  r->PutDoubleVec(run_.open_loop_error);
+  r->PutDoubleVec(run_.filter_error);
+  r->PutDoubleVec(run_.ess);
+  ckpt::SectionWriter* g = snap.AddSection("grids");
+  PutFireState(g, truth_);
+  PutFireState(g, open_loop_);
+  filter_.SaveState(snap.AddSection("filter"));
+  return snap.Finish();
+}
+
+Status AssimilationDriver::Restore(const std::string& snapshot) {
+  MDE_ASSIGN_OR_RETURN(ckpt::SnapshotReader snap,
+                       ckpt::SnapshotReader::Parse(snapshot));
+  if (snap.engine() != engine_name()) {
+    return Status::InvalidArgument("checkpoint is for engine '" +
+                                   snap.engine() + "', not wildfire");
+  }
+  MDE_ASSIGN_OR_RETURN(ckpt::SectionReader r, snap.section("run"));
+  const uint64_t t = r.U64();
+  const uint64_t steps = r.U64();
+  const Rng::State truth_state = r.RngState();
+  const Rng::State sensor_state = r.RngState();
+  const Rng::State open_state = r.RngState();
+  AssimilationRun run;
+  run.open_loop_error = r.DoubleVec();
+  run.filter_error = r.DoubleVec();
+  run.ess = r.DoubleVec();
+  MDE_RETURN_NOT_OK(r.ExpectEnd());
+  if (steps != steps_) {
+    return Status::InvalidArgument(
+        "wildfire checkpoint is for a different run length");
+  }
+  MDE_ASSIGN_OR_RETURN(ckpt::SectionReader g, snap.section("grids"));
+  FireState truth = TakeFireState(&g);
+  FireState open_loop = TakeFireState(&g);
+  MDE_RETURN_NOT_OK(g.ExpectEnd());
+  if (truth.cells.size() != sim_.terrain().size() ||
+      open_loop.cells.size() != sim_.terrain().size()) {
+    return Status::InvalidArgument(
+        "wildfire checkpoint does not match this terrain");
+  }
+  MDE_ASSIGN_OR_RETURN(ckpt::SectionReader f, snap.section("filter"));
+  MDE_RETURN_NOT_OK(filter_.RestoreState(&f));
+  MDE_RETURN_NOT_OK(f.ExpectEnd());
+  t_ = t;
+  truth_rng_.set_state(truth_state);
+  sensor_rng_.set_state(sensor_state);
+  open_rng_.set_state(open_state);
+  truth_ = std::move(truth);
+  open_loop_ = std::move(open_loop);
+  run_ = std::move(run);
+  return Status::OK();
+}
+
+Result<AssimilationRun> AssimilationDriver::Finish() {
+  if (!Done()) {
+    return Status::FailedPrecondition("wildfire: run not finished");
+  }
+  return run_;
+}
+
 Result<AssimilationRun> RunAssimilation(const FireSim& sim,
                                         const SensorModel& sensors,
                                         size_t steps,
                                         const AssimilationConfig& config,
                                         uint64_t truth_seed) {
   if (steps == 0) return Status::InvalidArgument("steps must be positive");
-  Rng truth_rng = Rng::Substream(truth_seed, 0);
-  Rng sensor_rng = Rng::Substream(truth_seed, 1);
-  Rng open_rng = Rng::Substream(truth_seed, 2);
-
-  const size_t cx = sim.terrain().width / 2;
-  const size_t cy = sim.terrain().height / 2;
-  FireState truth = sim.Ignite(cx, cy, truth_rng);
-  FireState open_loop = sim.Ignite(cx, cy, open_rng);
-  WildfireFilter filter(sim, sensors, truth, config);
-
-  AssimilationRun run;
-  for (size_t t = 0; t < steps; ++t) {
-    sim.Step(&truth, truth_rng);
-    const std::vector<double> y = sensors.Observe(truth, sensor_rng);
-    sim.Step(&open_loop, open_rng);
-    MDE_RETURN_NOT_OK(filter.Step(y));
-    run.open_loop_error.push_back(truth.CellDisagreement(open_loop));
-    run.filter_error.push_back(truth.CellDisagreement(filter.Classify()));
-    run.ess.push_back(filter.last_ess());
-  }
-  return run;
+  AssimilationDriver driver(sim, sensors, steps, config, truth_seed);
+  while (!driver.Done()) MDE_RETURN_NOT_OK(driver.StepOnce());
+  return driver.Finish();
 }
 
 }  // namespace mde::wildfire

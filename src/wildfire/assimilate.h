@@ -2,8 +2,11 @@
 #define MDE_WILDFIRE_ASSIMILATE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "ckpt/recovery.h"
+#include "ckpt/snapshot.h"
 #include "smc/resample.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -63,6 +66,13 @@ class WildfireFilter {
   double last_ess() const { return last_ess_; }
   const std::vector<FireState>& particles() const { return particles_; }
 
+  /// Section-level (de)serialization of the filter's mutable state (RNG
+  /// position, particle ensemble, weights, last ESS) for embedding in an
+  /// engine snapshot. RestoreState does not ExpectEnd; the caller owns the
+  /// section.
+  void SaveState(ckpt::SectionWriter* s) const;
+  Status RestoreState(ckpt::SectionReader* s);
+
  private:
   FireState ProposeSensorAware(const FireState& prev,
                                const std::vector<double>& readings, Rng& rng,
@@ -88,6 +98,44 @@ struct AssimilationRun {
   std::vector<double> open_loop_error;
   std::vector<double> filter_error;
   std::vector<double> ess;
+};
+
+/// Resumable assimilation experiment: one StepOnce() per assimilation step
+/// (truth evolves, sensors observe, open-loop and filter track). Snapshots
+/// capture the step cursor, all three RNG substream positions, the truth
+/// and open-loop cell grids, the error/ESS series, and the full filter
+/// ensemble — kill-at-step-k + restore finishes bit-identically to an
+/// uninterrupted run. Fault point: "wildfire.step". The terrain, sensor
+/// layout, and config are immutable inputs and are not serialized.
+class AssimilationDriver : public ckpt::Checkpointable {
+ public:
+  AssimilationDriver(const FireSim& sim, const SensorModel& sensors,
+                     size_t steps, const AssimilationConfig& config,
+                     uint64_t truth_seed);
+
+  std::string engine_name() const override { return "wildfire"; }
+  bool Done() const override { return t_ >= steps_; }
+  Status StepOnce() override;
+  Result<std::string> Save() const override;
+  Status Restore(const std::string& snapshot) override;
+
+  size_t step() const { return t_; }
+  const WildfireFilter& filter() const { return filter_; }
+  /// The error/ESS series; call after Done().
+  Result<AssimilationRun> Finish();
+
+ private:
+  const FireSim& sim_;
+  const SensorModel& sensors_;
+  size_t steps_;
+  Rng truth_rng_;
+  Rng sensor_rng_;
+  Rng open_rng_;
+  FireState truth_;
+  FireState open_loop_;
+  WildfireFilter filter_;
+  AssimilationRun run_;
+  size_t t_ = 0;
 };
 
 Result<AssimilationRun> RunAssimilation(const FireSim& sim,

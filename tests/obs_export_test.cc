@@ -416,6 +416,41 @@ TEST(ObsReportTest, HistogramQuantileInterpolates) {
   EXPECT_DOUBLE_EQ(obs::HistogramQuantile(bounds, {0, 0, 0, 0}, 0.5), 0.0);
 }
 
+TEST(ObsReportTest, HistogramQuantileFlagsOverflowBucket) {
+  // Regression: a quantile landing in the +inf bucket used to be reported
+  // as a plain value at the last finite bound, silently understating the
+  // tail. The Ex variant must flag it so callers can render ">= bound".
+  const std::vector<double> bounds = {10.0, 20.0, 30.0};
+  const auto all_over = obs::HistogramQuantileEx(bounds, {0, 0, 0, 4}, 0.99);
+  EXPECT_TRUE(all_over.overflow);
+  EXPECT_DOUBLE_EQ(all_over.value, 30.0);
+
+  // Mass split between the first bucket and the overflow bucket: p25 is a
+  // real interpolated value, p99 is censored.
+  const auto low = obs::HistogramQuantileEx(bounds, {5, 0, 0, 5}, 0.25);
+  EXPECT_FALSE(low.overflow);
+  EXPECT_DOUBLE_EQ(low.value, 5.0);
+  const auto high = obs::HistogramQuantileEx(bounds, {5, 0, 0, 5}, 0.99);
+  EXPECT_TRUE(high.overflow);
+  EXPECT_DOUBLE_EQ(high.value, 30.0);
+
+  // Empty histograms are not "overflowed".
+  EXPECT_FALSE(obs::HistogramQuantileEx(bounds, {0, 0, 0, 0}, 0.5).overflow);
+}
+
+TEST(ObsReportTest, ReportRendersOverflowQuantilesAsLowerBound) {
+  // One observation in (10, 20] and three past the last bound: p50/p99 sit
+  // in the overflow bucket and must render as ">= 20", not as "20".
+  const std::string jsonl =
+      R"({"t_ms":1.0,"hist":{"lat":{"count":4,"sum":400,)"
+      R"("bounds":[10,20],"buckets":[0,1,3]}}})"
+      "\n";
+  std::string report;
+  std::string error;
+  ASSERT_TRUE(obs::RenderRunReport("", jsonl, {}, &report, &error)) << error;
+  EXPECT_NE(report.find(">= 20"), std::string::npos) << report;
+}
+
 TEST(ObsReportTest, RendersSectionsFromInlineArtifacts) {
   const std::string trace = R"({"traceEvents":[
     {"name":"plan.execute","cat":"mde","ph":"X","ts":0,"dur":100,"pid":1,"tid":1},

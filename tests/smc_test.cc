@@ -51,6 +51,78 @@ TEST(ResampleTest, SystematicFrequenciesAndLowVariance) {
   EXPECT_NEAR(counts[2], 200.0, 1.0);
 }
 
+TEST(ResampleTest, SystematicZeroWeightTailRegression) {
+  // Regression: with trailing zero-weight particles and a CDF that rounds
+  // just below 1.0, comb positions past the last positive-weight bucket
+  // used to fall through to a zero-weight (or out-of-range) ancestor. They
+  // must clamp to the last particle with positive weight.
+  std::vector<double> w = {0.5, 0.48, 0.0, 0.0};
+  const double sum = w[0] + w[1];
+  for (double& x : w) x /= sum;
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    Rng rng(seed);
+    auto idx = ResampleIndices(w, 1000, ResampleMethod::kSystematic, rng);
+    ASSERT_EQ(idx.size(), 1000u);
+    for (size_t i : idx) EXPECT_LE(i, 1u);  // never a zero-weight ancestor
+  }
+}
+
+TEST(ResampleTest, SystematicSkipsLeadingZeroWeights) {
+  std::vector<double> w = {0.0, 0.0, 1.0};
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    Rng rng(seed);
+    for (size_t i : ResampleIndices(w, 100, ResampleMethod::kSystematic, rng)) {
+      EXPECT_EQ(i, 2u);
+    }
+  }
+}
+
+TEST(ResampleTest, MultinomialMonotoneCdfExtremeRatios) {
+  // Regression: 1e6 particles with weight ratios spanning 12 orders of
+  // magnitude. Rounding in the running CDF sum used to produce a final
+  // entry slightly below (or non-monotone around) 1.0, so draws near 1.0
+  // could bisect past the end. Every index must stay in range and the
+  // heavy particles must absorb essentially all of the mass.
+  const size_t m = 1000000;
+  std::vector<double> w(m, 1e-12);
+  size_t heavy = 0;
+  for (size_t i = 0; i < m; i += 100000) {
+    w[i] = 1.0;
+    ++heavy;
+  }
+  ASSERT_TRUE(NormalizeWeights(&w).ok());
+  Rng rng(5);
+  const size_t n = 20000;
+  auto idx = ResampleIndices(w, n, ResampleMethod::kMultinomial, rng);
+  ASSERT_EQ(idx.size(), n);
+  size_t heavy_draws = 0;
+  for (size_t i : idx) {
+    ASSERT_LT(i, m);
+    if (i % 100000 == 0) ++heavy_draws;
+  }
+  // Light particles hold ~1e-7 of the total mass; seeing more than a
+  // handful of light draws means the CDF leaked mass.
+  EXPECT_GE(heavy_draws, n - 5);
+  (void)heavy;
+}
+
+TEST(ResampleTest, NormalizeWeightsCompensatedSummation) {
+  // Regression: one unit weight plus a million tiny weights. A naive
+  // accumulation loses the tiny contributions entirely; the compensated
+  // sum keeps the normalized total at 1 to near machine precision.
+  std::vector<double> w(1, 1.0);
+  w.resize(1 + 1000000, 1e-16);
+  ASSERT_TRUE(NormalizeWeights(&w).ok());
+  double sum = 0.0, c = 0.0;
+  for (double x : w) {  // Kahan re-sum so the check itself is exact
+    const double y = x - c;
+    const double t = sum + y;
+    c = (t - sum) - y;
+    sum = t;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
 TEST(ResampleTest, LogWeightsStable) {
   // Very negative log-weights must not underflow to total collapse.
   auto w = NormalizedFromLog({-1000.0, -1001.0});
