@@ -41,6 +41,7 @@
 
 #include "obs/export.h"
 #include "obs/trace.h"
+#include "simd/simd.h"
 
 namespace mde::bench {
 
@@ -186,6 +187,11 @@ inline std::unique_ptr<mde::obs::Sampler> MaybeStartSampler(
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) {           \
       return 1;                                                         \
     }                                                                   \
+    /* Kernel tier into the JSON/console context: numbers from different \
+       dispatch tiers must never be compared as like for like. */       \
+    benchmark::AddCustomContext(                                        \
+        "mde_simd_tier",                                                \
+        mde::simd::TierName(mde::simd::ActiveTier()));                  \
     benchmark::RunSpecifiedBenchmarks();                                \
     benchmark::Shutdown();                                              \
     return 0;                                                           \

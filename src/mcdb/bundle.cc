@@ -9,6 +9,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "simd/simd.h"
 #include "util/check.h"
 
 namespace mde::mcdb {
@@ -32,12 +33,19 @@ BundleTable::BundleTable(table::Schema det_schema,
       words_per_row_((num_reps + 63) / 64),
       stoch_(stoch_names_.size()) {
   MDE_CHECK_GT(num_reps_, 0u);
+  for (auto& block : stoch_) {
+    block = std::make_shared<AlignedVector<double>>();
+  }
 }
 
 uint64_t BundleTable::ApproxBytes() const {
   uint64_t b = det_rows_.capacity() * sizeof(table::Row);
   for (const auto& blockv : stoch_) {
-    b += blockv.capacity() * sizeof(double);
+    // A block shared with another table is charged only to its first owner,
+    // mirroring how the columnar layer excludes shared string dictionaries.
+    if (blockv != nullptr && blockv.use_count() == 1) {
+      b += blockv->capacity() * sizeof(double);
+    }
   }
   b += active_.capacity() * sizeof(uint64_t);
   return b;
@@ -58,8 +66,8 @@ void BundleTable::Append(BundleRow row) {
   MDE_CHECK_EQ(row.active.size(), num_reps_);
   det_rows_.push_back(std::move(row.det));
   for (size_t k = 0; k < stoch_.size(); ++k) {
-    stoch_[k].insert(stoch_[k].end(), row.stoch[k].begin(),
-                     row.stoch[k].end());
+    AlignedVector<double>& block = MutableStoch(k);
+    block.insert(block.end(), row.stoch[k].begin(), row.stoch[k].end());
   }
   for (size_t w = 0; w < words_per_row_; ++w) {
     uint64_t word = 0;
@@ -78,7 +86,7 @@ BundleTable::BundleRow BundleTable::row(size_t i) const {
   r.det = det_rows_[i];
   r.stoch.resize(stoch_.size());
   for (size_t k = 0; k < stoch_.size(); ++k) {
-    const double* v = stoch_[k].data() + i * num_reps_;
+    const double* v = stoch_[k]->data() + i * num_reps_;
     r.stoch[k].assign(v, v + num_reps_);
   }
   r.active.resize(num_reps_);
@@ -104,25 +112,39 @@ void BundleTable::RunRowChunks(
 }
 
 void BundleTable::GatherRows(const std::vector<uint32_t>& keep,
-                             const std::vector<uint64_t>& masks,
-                             BundleTable* out) const {
+                             const uint64_t* masks, BundleTable* out) const {
   const size_t m = keep.size();
-  out->det_rows_.reserve(m);
-  for (size_t k = 0; k < stoch_.size(); ++k) {
-    out->stoch_[k].resize(m * num_reps_);
+  // `keep` is strictly ascending indices into [0, num_rows), so m == n
+  // means the identity gather: every value block survives unchanged and is
+  // SHARED with the source instead of copied (the masks may still differ —
+  // a stochastic filter that kills repetitions but no whole row). This is
+  // the common FilterStoch outcome at realistic repetition counts.
+  const bool identity = m == num_rows();
+  if (identity) {
+    out->det_rows_ = det_rows_;
+    out->stoch_ = stoch_;
+  } else {
+    // reserve + tail-insert rather than resize + overwrite: the gather
+    // output is written exactly once, so value-initializing it first would
+    // double the first-touch traffic on the largest allocation in the
+    // filter pipeline.
+    out->det_rows_.reserve(m);
+    for (size_t k = 0; k < stoch_.size(); ++k) {
+      out->stoch_[k]->reserve(m * num_reps_);
+    }
   }
-  out->active_.resize(m * words_per_row_);
+  out->active_.reserve(m * words_per_row_);
   for (size_t j = 0; j < m; ++j) {
     const size_t i = keep[j];
-    out->det_rows_.push_back(det_rows_[i]);
-    for (size_t k = 0; k < stoch_.size(); ++k) {
-      std::memcpy(out->stoch_[k].data() + j * num_reps_,
-                  stoch_[k].data() + i * num_reps_,
-                  num_reps_ * sizeof(double));
+    if (!identity) {
+      out->det_rows_.push_back(det_rows_[i]);
+      for (size_t k = 0; k < stoch_.size(); ++k) {
+        const double* src = stoch_[k]->data() + i * num_reps_;
+        out->stoch_[k]->insert(out->stoch_[k]->end(), src, src + num_reps_);
+      }
     }
-    std::memcpy(out->active_.data() + j * words_per_row_,
-                masks.data() + i * words_per_row_,
-                words_per_row_ * sizeof(uint64_t));
+    const uint64_t* msrc = masks + i * words_per_row_;
+    out->active_.insert(out->active_.end(), msrc, msrc + words_per_row_);
   }
   out->AccountStorage();
 }
@@ -142,7 +164,7 @@ BundleTable BundleTable::FilterDet(const table::RowPredicate& pred) const {
   for (size_t i = 0; i < n; ++i) {
     if (match[i]) keep.push_back(static_cast<uint32_t>(i));
   }
-  GatherRows(keep, active_, &out);
+  GatherRows(keep, active_.data(), &out);
   return out;
 }
 
@@ -150,30 +172,23 @@ namespace {
 
 /// Computes, for every row, the conjunction of the existing mask with the
 /// per-repetition comparison result — the columnar core of FilterStoch.
-/// Word-at-a-time over the packed masks; `cmp` is inlined per CmpOp.
-template <typename Cmp>
+/// One dispatched comparison kernel per packed word, ANDed with the old
+/// mask: evaluating the masked-off lanes too is output-identical (their
+/// bits are cleared by the AND) and keeps the hot loop branch-free.
 void FilterMaskKernel(const double* block, const uint64_t* active,
                       size_t num_reps, size_t wpr, size_t begin, size_t end,
-                      Cmp cmp, uint64_t* new_active, uint8_t* any) {
+                      simd::Cmp op, double threshold, uint64_t* new_active,
+                      uint8_t* any) {
   for (size_t i = begin; i < end; ++i) {
     const double* v = block + i * num_reps;
     uint64_t row_any = 0;
     for (size_t w = 0; w < wpr; ++w) {
       const uint64_t old_word = active[i * wpr + w];
       uint64_t word = 0;
-      const size_t base = w * 64;
-      const size_t lim = std::min<size_t>(64, num_reps - base);
-      if (old_word == ~0ULL && lim == 64) {
-        // Dense fast path: branch-free evaluation over the full word.
-        for (size_t b = 0; b < 64; ++b) {
-          word |= static_cast<uint64_t>(cmp(v[base + b])) << b;
-        }
-      } else if (old_word != 0) {
-        // Sparse path: only already-active repetitions can survive.
-        for (uint64_t rest = old_word; rest != 0; rest &= rest - 1) {
-          const size_t b = static_cast<size_t>(std::countr_zero(rest));
-          word |= static_cast<uint64_t>(cmp(v[base + b])) << b;
-        }
+      if (old_word != 0) {
+        const size_t base = w * 64;
+        const size_t lim = std::min<size_t>(64, num_reps - base);
+        word = simd::CmpF64MaskWord(v + base, lim, op, threshold) & old_word;
       }
       new_active[i * wpr + w] = word;
       row_any |= word;
@@ -191,50 +206,23 @@ Result<BundleTable> BundleTable::FilterStoch(const std::string& attr,
   BundleTable out(det_schema_, stoch_names_, num_reps_);
   out.pool_ = pool_;
   const size_t n = num_rows();
-  const double* block = stoch_[k].data();
-  std::vector<uint64_t> new_active(active_.size());
+  const double* block = stoch_[k]->data();
+  AlignedVector<uint64_t> new_active(active_.size());
   std::vector<uint8_t> any(n, 0);
-  const double t = threshold;
+  // table::CmpOp and simd::Cmp enumerate the six comparisons in the same
+  // order (checked in simd_test); the kernel gets the dispatched form.
+  const auto sop = static_cast<simd::Cmp>(op);
+  simd::CountKernel(simd::KernelId::kCmpF64MaskWord);
   RunRowChunks(n, [&](size_t, size_t begin, size_t end) {
-    switch (op) {
-      case table::CmpOp::kEq:
-        FilterMaskKernel(
-            block, active_.data(), num_reps_, words_per_row_, begin, end,
-            [t](double v) { return v == t; }, new_active.data(), any.data());
-        break;
-      case table::CmpOp::kNe:
-        FilterMaskKernel(
-            block, active_.data(), num_reps_, words_per_row_, begin, end,
-            [t](double v) { return v != t; }, new_active.data(), any.data());
-        break;
-      case table::CmpOp::kLt:
-        FilterMaskKernel(
-            block, active_.data(), num_reps_, words_per_row_, begin, end,
-            [t](double v) { return v < t; }, new_active.data(), any.data());
-        break;
-      case table::CmpOp::kLe:
-        FilterMaskKernel(
-            block, active_.data(), num_reps_, words_per_row_, begin, end,
-            [t](double v) { return v <= t; }, new_active.data(), any.data());
-        break;
-      case table::CmpOp::kGt:
-        FilterMaskKernel(
-            block, active_.data(), num_reps_, words_per_row_, begin, end,
-            [t](double v) { return v > t; }, new_active.data(), any.data());
-        break;
-      case table::CmpOp::kGe:
-        FilterMaskKernel(
-            block, active_.data(), num_reps_, words_per_row_, begin, end,
-            [t](double v) { return v >= t; }, new_active.data(), any.data());
-        break;
-    }
+    FilterMaskKernel(block, active_.data(), num_reps_, words_per_row_, begin,
+                     end, sop, threshold, new_active.data(), any.data());
   });
   std::vector<uint32_t> keep;
   keep.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     if (any[i]) keep.push_back(static_cast<uint32_t>(i));
   }
-  GatherRows(keep, new_active, &out);
+  GatherRows(keep, new_active.data(), &out);
   return out;
 }
 
@@ -249,16 +237,18 @@ Result<BundleTable> BundleTable::MapStoch(
   const size_t n = num_rows();
   const size_t num_k = stoch_names_.size();
   out.det_rows_ = det_rows_;
+  // Inherited value blocks are shared, not copied (clone-on-write guards
+  // any later mutation).
   for (size_t k = 0; k < num_k; ++k) out.stoch_[k] = stoch_[k];
   out.active_ = active_;
-  out.stoch_[num_k].resize(n * num_reps_);
-  double* computed = out.stoch_[num_k].data();
+  out.stoch_[num_k]->resize(n * num_reps_);
+  double* computed = out.stoch_[num_k]->data();
   RunRowChunks(n, [&](size_t, size_t begin, size_t end) {
     std::vector<double> at_rep(num_k);  // per-chunk scratch
     for (size_t i = begin; i < end; ++i) {
       for (size_t rep = 0; rep < num_reps_; ++rep) {
         for (size_t k = 0; k < num_k; ++k) {
-          at_rep[k] = stoch_[k][i * num_reps_ + rep];
+          at_rep[k] = (*stoch_[k])[i * num_reps_ + rep];
         }
         computed[i * num_reps_ + rep] = fn(det_rows_[i], at_rep);
       }
@@ -271,10 +261,10 @@ Result<BundleTable> BundleTable::MapStoch(
 namespace {
 
 /// Adds the active values of rows [begin, end) into sums[0..num_reps),
-/// optionally counting actives. The all-active word fast path keeps the
-/// inner loop a pure vectorizable add; the sparse path visits only set bits
-/// (countr_zero iteration, ascending — same accumulation order as a full
-/// scan, so the result is unchanged).
+/// optionally counting actives. The all-active full-word fast path uses the
+/// dispatched dense add kernel; partial words go through the masked-add
+/// kernels, which visit only set bits in ascending order — the same
+/// accumulation order as a full scan, so the result is unchanged.
 void MaskedSumKernel(const double* block, const uint64_t* active,
                      size_t num_reps, size_t wpr, size_t begin, size_t end,
                      double* sums, double* counts) {
@@ -287,15 +277,12 @@ void MaskedSumKernel(const double* block, const uint64_t* active,
       const size_t base = w * 64;
       const size_t lim = std::min<size_t>(64, num_reps - base);
       if (word == ~0ULL && lim == 64) {
-        for (size_t b = 0; b < 64; ++b) sums[base + b] += v[base + b];
-        if (counts != nullptr) {
-          for (size_t b = 0; b < 64; ++b) counts[base + b] += 1.0;
-        }
+        simd::AddF64(sums + base, v + base, 64);
+        if (counts != nullptr) simd::AddConstF64(counts + base, 1.0, 64);
       } else {
-        for (uint64_t rest = word; rest != 0; rest &= rest - 1) {
-          const size_t b = static_cast<size_t>(std::countr_zero(rest));
-          sums[base + b] += v[base + b];
-          if (counts != nullptr) counts[base + b] += 1.0;
+        simd::MaskedAddF64Word(sums + base, v + base, word);
+        if (counts != nullptr) {
+          simd::MaskedAddConstF64Word(counts + base, 1.0, word);
         }
       }
     }
@@ -307,7 +294,8 @@ void MaskedSumKernel(const double* block, const uint64_t* active,
 Result<std::vector<double>> BundleTable::AggregateSum(
     const std::string& attr) const {
   MDE_ASSIGN_OR_RETURN(size_t k, StochIndex(attr));
-  const double* block = stoch_[k].data();
+  const double* block = stoch_[k]->data();
+  simd::CountKernel(simd::KernelId::kMaskedAddF64);
   return ReduceRows<std::vector<double>>(
       std::vector<double>(num_reps_, 0.0),
       [&](size_t begin, size_t end) {
@@ -325,7 +313,8 @@ Result<std::vector<double>> BundleTable::AggregateSum(
 Result<std::vector<double>> BundleTable::AggregateAvg(
     const std::string& attr) const {
   MDE_ASSIGN_OR_RETURN(size_t k, StochIndex(attr));
-  const double* block = stoch_[k].data();
+  const double* block = stoch_[k]->data();
+  simd::CountKernel(simd::KernelId::kMaskedAddF64);
   SumCount zero{std::vector<double>(num_reps_, 0.0),
                 std::vector<double>(num_reps_, 0.0)};
   SumCount total = ReduceRows<SumCount>(
@@ -352,6 +341,7 @@ Result<std::vector<double>> BundleTable::AggregateAvg(
 }
 
 std::vector<double> BundleTable::AggregateCount() const {
+  simd::CountKernel(simd::KernelId::kMaskedAddF64);
   return ReduceRows<std::vector<double>>(
       std::vector<double>(num_reps_, 0.0),
       [&](size_t begin, size_t end) {
@@ -359,10 +349,14 @@ std::vector<double> BundleTable::AggregateCount() const {
         for (size_t i = begin; i < end; ++i) {
           const uint64_t* m = active_.data() + i * words_per_row_;
           for (size_t w = 0; w < words_per_row_; ++w) {
+            const uint64_t word = m[w];
+            if (word == 0) continue;
             const size_t base = w * 64;
-            for (uint64_t rest = m[w]; rest != 0; rest &= rest - 1) {
-              counts[base + static_cast<size_t>(std::countr_zero(rest))] +=
-                  1.0;
+            const size_t lim = std::min<size_t>(64, num_reps_ - base);
+            if (word == ~0ULL && lim == 64) {
+              simd::AddConstF64(counts.data() + base, 1.0, 64);
+            } else {
+              simd::MaskedAddConstF64Word(counts.data() + base, 1.0, word);
             }
           }
         }
@@ -394,7 +388,8 @@ Result<std::vector<BundleTable::GroupedSamples>> BundleTable::GroupSum(
     group_of[i] = it->second;
   }
   const size_t g_count = groups.size();
-  const double* block = stoch_[k].data();
+  const double* block = stoch_[k]->data();
+  simd::CountKernel(simd::KernelId::kMaskedAddF64);
   // Flattened (group x rep) partials, combined in fixed chunk order.
   std::vector<double> totals = ReduceRows<std::vector<double>>(
       std::vector<double>(g_count * num_reps_, 0.0),
@@ -448,7 +443,7 @@ Result<BundleTable> GenerateBundles(const MonteCarloDb& db,
   BundleTable out(outer->schema(), {attr_name}, num_reps);
   out.pool_ = pool;
   out.det_rows_.resize(n);
-  out.stoch_[0].resize(n * num_reps);
+  out.stoch_[0]->resize(n * num_reps);
   // All rows start active in every repetition; padding bits stay zero.
   out.active_.assign(n * out.words_per_row_, ~0ULL);
   if (const size_t tail = num_reps % 64; tail != 0) {
@@ -458,7 +453,7 @@ Result<BundleTable> GenerateBundles(const MonteCarloDb& db,
     }
   }
 
-  double* block = out.stoch_[0].data();
+  double* block = out.stoch_[0]->data();
   std::mutex err_mu;
   Status first_err = Status::OK();
   std::atomic<bool> failed{false};

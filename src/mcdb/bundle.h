@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "obs/mem.h"
 #include "table/ops.h"
 #include "table/table.h"
+#include "util/aligned.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -41,6 +43,11 @@ class BundleTable {
   /// the pool size — so that floating-point combine order, and hence every
   /// aggregate bit, is independent of the number of threads.
   static constexpr size_t kRowGrain = 256;
+  /// Row chunks must cover whole 64-bit activity words when masks are
+  /// addressed by row index (one word per 64 rows) — the SIMD mask kernels
+  /// rely on chunk boundaries never tearing a packed word.
+  static_assert(kRowGrain % 64 == 0,
+                "row chunks must cover whole 64-bit mask words");
 
   /// One logical tuple in row form: interchange type for Append()/row().
   /// Internally the table is columnar; this materialized view exists for
@@ -72,12 +79,15 @@ class BundleTable {
 
   const table::Row& det_row(size_t i) const { return det_rows_[i]; }
 
-  /// Contiguous rep-major value block of stochastic attribute k.
-  const std::vector<double>& stoch_block(size_t k) const { return stoch_[k]; }
+  /// Contiguous rep-major value block of stochastic attribute k (64-byte
+  /// aligned for the SIMD kernels).
+  const AlignedVector<double>& stoch_block(size_t k) const {
+    return *stoch_[k];
+  }
 
   /// Packed activity-mask words; row i occupies
   /// [i * words_per_row(), (i + 1) * words_per_row()).
-  const std::vector<uint64_t>& active_words() const { return active_; }
+  const AlignedVector<uint64_t>& active_words() const { return active_; }
   size_t words_per_row() const { return words_per_row_; }
 
   bool is_active(size_t i, size_t rep) const {
@@ -167,19 +177,33 @@ class BundleTable {
   }
 
   /// Copies the rows listed in `keep` (with per-row mask words taken from
-  /// `masks`, which may alias active_) into `out`.
-  void GatherRows(const std::vector<uint32_t>& keep,
-                  const std::vector<uint64_t>& masks, BundleTable* out) const;
+  /// `masks`, which may alias active_.data()) into `out`.
+  void GatherRows(const std::vector<uint32_t>& keep, const uint64_t* masks,
+                  BundleTable* out) const;
+
+  /// Clone-on-write access to stochastic block k: derived tables share
+  /// value blocks by shared_ptr (an all-rows-surviving filter or a MapStoch
+  /// is then O(1) per inherited attribute), so any mutation must first
+  /// un-share the block.
+  AlignedVector<double>& MutableStoch(size_t k) {
+    if (stoch_[k].use_count() > 1) {
+      stoch_[k] = std::make_shared<AlignedVector<double>>(*stoch_[k]);
+    }
+    return *stoch_[k];
+  }
 
   table::Schema det_schema_;
   std::vector<std::string> stoch_names_;
   size_t num_reps_;
   size_t words_per_row_;
   std::vector<table::Row> det_rows_;
-  /// stoch_[k] has num_rows * num_reps doubles, rep-major per row.
-  std::vector<std::vector<double>> stoch_;
+  /// stoch_[k] has num_rows * num_reps doubles, rep-major per row. 64-byte
+  /// aligned so a full activity word's 64 doubles share cache lines cleanly
+  /// with the widest vector loads. Blocks are shared across derived tables
+  /// (never null); mutate only through MutableStoch.
+  std::vector<std::shared_ptr<AlignedVector<double>>> stoch_;
   /// num_rows * words_per_row_ packed mask words; padding bits are zero.
-  std::vector<uint64_t> active_;
+  AlignedVector<uint64_t> active_;
   ThreadPool* pool_ = nullptr;
   /// Reports ApproxBytes() to the `mcdb.bundle` pool; capacity-based, so
   /// counter writes happen on geometric growth, not per appended row.

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "simd/simd.h"
+
 namespace mde::mcdb {
 
 using table::DataType;
@@ -40,25 +42,21 @@ bool NormalVg::GenerateScalar(const Row& params, Rng& rng,
 
 bool NormalVg::GenerateScalarN(const Row& params, Rng& rng, size_t n,
                                double* out) const {
+  // Validation precedes the BatchRng seed draws so a false return leaves
+  // `rng` untouched.
   if (params.size() != 2) return false;
   const double mean = params[0].AsDouble();
   const double sigma = params[1].AsDouble();
   if (sigma < 0.0) return false;
-  // Marsaglia polar, keeping BOTH variates of each accepted pair: the
-  // stateless unit sampler throws the second one away, doubling the
-  // sqrt/log cost that dominates tuple-bundle generation.
-  size_t r = 0;
-  while (r < n) {
-    double u, v, s;
-    do {
-      u = 2.0 * rng.NextDouble() - 1.0;
-      v = 2.0 * rng.NextDouble() - 1.0;
-      s = u * u + v * v;
-    } while (s <= 0.0 || s >= 1.0);
-    const double f = std::sqrt(-2.0 * std::log(s) / s);
-    out[r++] = mean + sigma * (u * f);
-    if (r < n) out[r++] = mean + sigma * (v * f);
-  }
+  // Batched Box-Muller over four interleaved vectorized generator lanes
+  // (util/rng.h BatchRng): fills whole simd::kRngBatch blocks of unit
+  // normals through the dispatched kernel tier, then applies the affine
+  // parameter map in one dense pass. A different (but still i.i.d. N(0,1))
+  // stream than the scalar Generate() path — the N-draw contract makes only
+  // the joint distribution contractual.
+  BatchRng batch(rng);
+  batch.FillNormal(out, n);
+  simd::AffineMapF64(out, n, sigma, mean, out);
   return true;
 }
 
@@ -94,7 +92,11 @@ bool UniformVg::GenerateScalarN(const Row& params, Rng& rng, size_t n,
   const double lo = params[0].AsDouble();
   const double hi = params[1].AsDouble();
   if (lo > hi) return false;
-  for (size_t r = 0; r < n; ++r) out[r] = SampleUniform(rng, lo, hi);
+  // Batched unit uniforms + affine map to [lo, hi); same blocked-stream
+  // caveat as NormalVg::GenerateScalarN.
+  BatchRng batch(rng);
+  batch.FillUniform(out, n);
+  simd::AffineMapF64(out, n, hi - lo, lo, out);
   return true;
 }
 

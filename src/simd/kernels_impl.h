@@ -1,0 +1,444 @@
+#ifndef MDE_SIMD_KERNELS_IMPL_H_
+#define MDE_SIMD_KERNELS_IMPL_H_
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include "simd/simd.h"
+
+/// Shared kernel bodies, included by every tier's translation unit.
+///
+/// Two kinds of code live here:
+///  1. Scalar reference implementations (*Ref). The scalar tier IS these
+///     functions; the vector tiers reuse them for sub-lane tails, which is
+///     trivially bit-identical.
+///  2. Templates over a lane-ops policy (ScalarOps here; Sse2Ops/Avx2Ops in
+///     their TUs). The transcendental pipeline (log, sin/cos of 2*pi*u,
+///     Box-Muller) is written ONCE against the policy, so every tier
+///     executes the identical IEEE operation DAG and produces identical
+///     bits per element — the property the differential suite locks in.
+///
+/// All TUs including this header are compiled with -ffp-contract=off and
+/// without -mfma: a contracted a*b+c rounds once instead of twice and would
+/// silently desynchronize tiers.
+namespace mde::simd::internal {
+
+// ---------------------------------------------------------------------------
+// Scalar comparison semantics (match the AVX2 predicates used by the
+// vector tiers: ordered except kNe, which is NEQ_UQ).
+// ---------------------------------------------------------------------------
+
+inline bool CmpScalar(double x, Cmp op, double lit) {
+  switch (op) {
+    case Cmp::kEq:
+      return x == lit;
+    case Cmp::kNe:
+      return x != lit;
+    case Cmp::kLt:
+      return x < lit;
+    case Cmp::kLe:
+      return x <= lit;
+    case Cmp::kGt:
+      return x > lit;
+    case Cmp::kGe:
+      return x >= lit;
+  }
+  return false;
+}
+
+/// Builds a dense bitmap from pred(j); tail bits zero. `pred` is inlined
+/// per instantiation so the scalar tier still compiles to a tight loop.
+template <typename Pred>
+inline void BuildBitmap(size_t n, uint64_t* out, Pred pred) {
+  const size_t nwords = (n + 63) / 64;
+  for (size_t w = 0; w < nwords; ++w) {
+    const size_t base = w * 64;
+    const size_t lim = n - base < 64 ? n - base : 64;
+    uint64_t word = 0;
+    for (size_t b = 0; b < lim; ++b) {
+      word |= static_cast<uint64_t>(pred(base + b)) << b;
+    }
+    out[w] = word;
+  }
+}
+
+inline void CmpF64BitmapRef(const double* data, size_t n, Cmp op, double lit,
+                            uint64_t* out) {
+  switch (op) {
+    case Cmp::kEq:
+      BuildBitmap(n, out, [&](size_t j) { return data[j] == lit; });
+      break;
+    case Cmp::kNe:
+      BuildBitmap(n, out, [&](size_t j) { return data[j] != lit; });
+      break;
+    case Cmp::kLt:
+      BuildBitmap(n, out, [&](size_t j) { return data[j] < lit; });
+      break;
+    case Cmp::kLe:
+      BuildBitmap(n, out, [&](size_t j) { return data[j] <= lit; });
+      break;
+    case Cmp::kGt:
+      BuildBitmap(n, out, [&](size_t j) { return data[j] > lit; });
+      break;
+    case Cmp::kGe:
+      BuildBitmap(n, out, [&](size_t j) { return data[j] >= lit; });
+      break;
+  }
+}
+
+inline void CmpI64RangeBitmapRef(const int64_t* data, size_t n, int64_t lo,
+                                 int64_t hi, bool negate, uint64_t* out) {
+  if (negate) {
+    BuildBitmap(n, out,
+                [&](size_t j) { return !(lo <= data[j] && data[j] <= hi); });
+  } else {
+    BuildBitmap(n, out,
+                [&](size_t j) { return lo <= data[j] && data[j] <= hi; });
+  }
+}
+
+inline void CmpU32EqBitmapRef(const uint32_t* data, size_t n, uint32_t code,
+                              bool negate, uint64_t* out) {
+  if (negate) {
+    BuildBitmap(n, out, [&](size_t j) { return data[j] != code; });
+  } else {
+    BuildBitmap(n, out, [&](size_t j) { return data[j] == code; });
+  }
+}
+
+inline void CmpU8BitmapRef(const uint8_t* data, size_t n, bool match_nonzero,
+                           uint64_t* out) {
+  if (match_nonzero) {
+    BuildBitmap(n, out, [&](size_t j) { return data[j] != 0; });
+  } else {
+    BuildBitmap(n, out, [&](size_t j) { return data[j] == 0; });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bitmap words.
+// ---------------------------------------------------------------------------
+
+inline void AndWordsRef(const uint64_t* a, const uint64_t* b, size_t nwords,
+                        uint64_t* out) {
+  for (size_t w = 0; w < nwords; ++w) out[w] = a[w] & b[w];
+}
+
+inline void OrWordsRef(const uint64_t* a, const uint64_t* b, size_t nwords,
+                       uint64_t* out) {
+  for (size_t w = 0; w < nwords; ++w) out[w] = a[w] | b[w];
+}
+
+inline void AndNotWordsRef(const uint64_t* a, const uint64_t* b, size_t nwords,
+                           uint64_t* out) {
+  for (size_t w = 0; w < nwords; ++w) out[w] = a[w] & ~b[w];
+}
+
+inline uint64_t PopcountWordsRef(const uint64_t* w, size_t nwords) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < nwords; ++i) {
+    total += static_cast<uint64_t>(std::popcount(w[i]));
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Mask-word float kernels. Each element receives at most one independent
+// add, so accumulation order cannot matter — any tier is bit-identical to
+// this reference by construction.
+// ---------------------------------------------------------------------------
+
+inline uint64_t CmpF64MaskWordRef(const double* data, size_t nbits, Cmp op,
+                                  double lit) {
+  uint64_t word = 0;
+  switch (op) {
+    case Cmp::kEq:
+      for (size_t b = 0; b < nbits; ++b)
+        word |= static_cast<uint64_t>(data[b] == lit) << b;
+      break;
+    case Cmp::kNe:
+      for (size_t b = 0; b < nbits; ++b)
+        word |= static_cast<uint64_t>(data[b] != lit) << b;
+      break;
+    case Cmp::kLt:
+      for (size_t b = 0; b < nbits; ++b)
+        word |= static_cast<uint64_t>(data[b] < lit) << b;
+      break;
+    case Cmp::kLe:
+      for (size_t b = 0; b < nbits; ++b)
+        word |= static_cast<uint64_t>(data[b] <= lit) << b;
+      break;
+    case Cmp::kGt:
+      for (size_t b = 0; b < nbits; ++b)
+        word |= static_cast<uint64_t>(data[b] > lit) << b;
+      break;
+    case Cmp::kGe:
+      for (size_t b = 0; b < nbits; ++b)
+        word |= static_cast<uint64_t>(data[b] >= lit) << b;
+      break;
+  }
+  return word;
+}
+
+inline void MaskedAddF64WordRef(double* acc, const double* x, uint64_t mask) {
+  for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    const int b = std::countr_zero(rest);
+    acc[b] += x[b];
+  }
+}
+
+inline void MaskedAddConstF64WordRef(double* acc, double c, uint64_t mask) {
+  for (uint64_t rest = mask; rest != 0; rest &= rest - 1) {
+    acc[std::countr_zero(rest)] += c;
+  }
+}
+
+inline void AddF64Ref(double* acc, const double* x, size_t n) {
+  for (size_t i = 0; i < n; ++i) acc[i] += x[i];
+}
+
+inline void AddConstF64Ref(double* acc, double c, size_t n) {
+  for (size_t i = 0; i < n; ++i) acc[i] += c;
+}
+
+inline void AffineMapF64Ref(const double* in, size_t n, double scale,
+                            double offset, double* out) {
+  for (size_t i = 0; i < n; ++i) out[i] = offset + scale * in[i];
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-shape reductions: 4 strided accumulators, tail folded into lane
+// (i % 4), lanes combined as (l0 op l1) op (l2 op l3). The min/max lane op
+// matches vminpd/vmaxpd (acc if acc < x else x), so NaN inputs propagate
+// identically on every tier.
+// ---------------------------------------------------------------------------
+
+inline double MinLane(double acc, double x) { return acc < x ? acc : x; }
+inline double MaxLane(double acc, double x) { return acc > x ? acc : x; }
+
+inline double SumF64Ref(const double* x, size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  const size_t n4 = n & ~size_t{3};
+  for (size_t i = 0; i < n4; i += 4) {
+    lane[0] += x[i];
+    lane[1] += x[i + 1];
+    lane[2] += x[i + 2];
+    lane[3] += x[i + 3];
+  }
+  for (size_t j = n4; j < n; ++j) lane[j & 3] += x[j];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+inline double MinF64Ref(const double* x, size_t n) {
+  double lane[4];
+  for (double& l : lane) l = std::numeric_limits<double>::infinity();
+  const size_t n4 = n & ~size_t{3};
+  for (size_t i = 0; i < n4; i += 4) {
+    lane[0] = MinLane(lane[0], x[i]);
+    lane[1] = MinLane(lane[1], x[i + 1]);
+    lane[2] = MinLane(lane[2], x[i + 2]);
+    lane[3] = MinLane(lane[3], x[i + 3]);
+  }
+  for (size_t j = n4; j < n; ++j) lane[j & 3] = MinLane(lane[j & 3], x[j]);
+  return MinLane(MinLane(lane[0], lane[1]), MinLane(lane[2], lane[3]));
+}
+
+inline double MaxF64Ref(const double* x, size_t n) {
+  double lane[4];
+  for (double& l : lane) l = -std::numeric_limits<double>::infinity();
+  const size_t n4 = n & ~size_t{3};
+  for (size_t i = 0; i < n4; i += 4) {
+    lane[0] = MaxLane(lane[0], x[i]);
+    lane[1] = MaxLane(lane[1], x[i + 1]);
+    lane[2] = MaxLane(lane[2], x[i + 2]);
+    lane[3] = MaxLane(lane[3], x[i + 3]);
+  }
+  for (size_t j = n4; j < n; ++j) lane[j & 3] = MaxLane(lane[j & 3], x[j]);
+  return MaxLane(MaxLane(lane[0], lane[1]), MaxLane(lane[2], lane[3]));
+}
+
+// ---------------------------------------------------------------------------
+// RNG block: 4 interleaved xoshiro256++ lanes, 16 steps. Pure integer —
+// every tier that follows the lane layout is exact.
+// ---------------------------------------------------------------------------
+
+inline uint64_t Rotl64(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+inline void RngBlockRef(uint64_t* state, uint64_t* raw) {
+  for (int step = 0; step < 16; ++step) {
+    for (int l = 0; l < 4; ++l) {
+      uint64_t s0 = state[0 + l];
+      uint64_t s1 = state[4 + l];
+      uint64_t s2 = state[8 + l];
+      uint64_t s3 = state[12 + l];
+      raw[step * 4 + l] = Rotl64(s0 + s3, 23) + s0;
+      const uint64_t t = s1 << 17;
+      s2 ^= s0;
+      s3 ^= s1;
+      s1 ^= s2;
+      s0 ^= s3;
+      s2 ^= t;
+      s3 = Rotl64(s3, 45);
+      state[0 + l] = s0;
+      state[4 + l] = s1;
+      state[8 + l] = s2;
+      state[12 + l] = s3;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lane-ops policy + the shared transcendental pipeline.
+// ---------------------------------------------------------------------------
+
+struct ScalarOps {
+  using V = double;
+  using U = uint64_t;
+  using M = bool;
+  static constexpr size_t kWidth = 1;
+
+  static V set1(double c) { return c; }
+  static V load(const double* p) { return *p; }
+  static U load_u(const uint64_t* p) { return *p; }
+  static void store(double* p, V v) { *p = v; }
+  static V add(V a, V b) { return a + b; }
+  static V sub(V a, V b) { return a - b; }
+  static V mul(V a, V b) { return a * b; }
+  static V div(V a, V b) { return a / b; }
+  static V sqrt_(V a) { return std::sqrt(a); }
+  static V floor_(V a) { return std::floor(a); }
+  static U to_bits(V a) { return std::bit_cast<U>(a); }
+  static V from_bits(U a) { return std::bit_cast<V>(a); }
+  static U shr(U a, int k) { return a >> k; }
+  static U and_u(U a, uint64_t c) { return a & c; }
+  static U or_u(U a, uint64_t c) { return a | c; }
+  static M lt(V a, V b) { return a < b; }
+  static M eq(V a, V b) { return a == b; }
+  static M or_m(M a, M b) { return a || b; }
+  /// true lane -> a.
+  static V blend(M m, V a, V b) { return m ? a : b; }
+  static V neg_if(M m, V x) { return m ? -x : x; }
+};
+
+/// (raw >> 12) * 2^-52 in [0, 1). The 52-bit payload stays below 2^52, so
+/// the OR-with-2^52-exponent magic conversion is exact on every tier.
+template <typename O>
+inline typename O::V ToUnit(typename O::U raw) {
+  const typename O::U y = O::shr(raw, 12);
+  const typename O::V d =
+      O::sub(O::from_bits(O::or_u(y, 0x4330000000000000ULL)), O::set1(0x1p52));
+  return O::mul(d, O::set1(0x1p-52));
+}
+
+/// log(x) for normal positive x (here: x in [2^-52, 1]). Cephes log.c
+/// ported onto the ops policy: exponent/mantissa split by bit surgery,
+/// rational approximation on [sqrt(1/2), sqrt(2)).
+template <typename O>
+inline typename O::V LogV(typename O::V x) {
+  using V = typename O::V;
+  using U = typename O::U;
+  using M = typename O::M;
+  const U bits = O::to_bits(x);
+  // Biased exponent to double, exactly, via the 2^52 magic constant.
+  const U ebits = O::and_u(O::shr(bits, 52), 0x7ffULL);
+  V e = O::sub(O::from_bits(O::or_u(ebits, 0x4330000000000000ULL)),
+               O::set1(0x1p52));
+  e = O::sub(e, O::set1(1022.0));
+  // Mantissa rescaled to [0.5, 1).
+  V m = O::from_bits(O::or_u(O::and_u(bits, 0x000fffffffffffffULL),
+                             0x3fe0000000000000ULL));
+  const M lo = O::lt(m, O::set1(0.70710678118654752440));
+  m = O::blend(lo, O::add(m, m), m);
+  e = O::blend(lo, O::sub(e, O::set1(1.0)), e);
+  const V xr = O::sub(m, O::set1(1.0));
+  const V z = O::mul(xr, xr);
+  V p = O::set1(1.01875663804580931796e-4);
+  p = O::add(O::mul(p, xr), O::set1(4.97494994976747001425e-1));
+  p = O::add(O::mul(p, xr), O::set1(4.70579119878881725854e0));
+  p = O::add(O::mul(p, xr), O::set1(1.44989225341610930846e1));
+  p = O::add(O::mul(p, xr), O::set1(1.79368678507819816313e1));
+  p = O::add(O::mul(p, xr), O::set1(7.70838733755885391666e0));
+  V q = O::add(xr, O::set1(1.12873587189167450590e1));
+  q = O::add(O::mul(q, xr), O::set1(4.52279145837532221105e1));
+  q = O::add(O::mul(q, xr), O::set1(8.29875266912776603211e1));
+  q = O::add(O::mul(q, xr), O::set1(7.11544750618563894466e1));
+  q = O::add(O::mul(q, xr), O::set1(2.31251620126765340583e1));
+  V y = O::mul(xr, O::div(O::mul(z, p), q));
+  y = O::add(y, O::mul(e, O::set1(-2.121944400546905827679e-4)));
+  y = O::sub(y, O::mul(z, O::set1(0.5)));
+  V r = O::add(xr, y);
+  r = O::add(r, O::mul(e, O::set1(0.693359375)));
+  return r;
+}
+
+/// sin and cos of 2*pi*u for u in [0, 1). Reduction happens in TURNS:
+/// k = floor(4u + 0.5) picks the quadrant and v = u - k/4 is EXACT (operands
+/// within a factor of two), so no extended-precision argument reduction is
+/// needed; the Cephes polynomials then run on 2*pi*v in [-pi/4, pi/4].
+template <typename O>
+inline void SinCosTwoPi(typename O::V u, typename O::V* s_out,
+                        typename O::V* c_out) {
+  using V = typename O::V;
+  using M = typename O::M;
+  const V k = O::floor_(O::add(O::mul(u, O::set1(4.0)), O::set1(0.5)));
+  const V v = O::sub(u, O::mul(k, O::set1(0.25)));
+  const V x = O::mul(v, O::set1(6.283185307179586476925286766559));
+  const V z = O::mul(x, x);
+  V sp = O::set1(1.58962301576546568060e-10);
+  sp = O::add(O::mul(sp, z), O::set1(-2.50507477628578072866e-8));
+  sp = O::add(O::mul(sp, z), O::set1(2.75573136213857245213e-6));
+  sp = O::add(O::mul(sp, z), O::set1(-1.98412698295895385996e-4));
+  sp = O::add(O::mul(sp, z), O::set1(8.33333333332211858878e-3));
+  sp = O::add(O::mul(sp, z), O::set1(-1.66666666666666307295e-1));
+  const V s = O::add(x, O::mul(O::mul(x, z), sp));
+  V cp = O::set1(-1.13585365213876817300e-11);
+  cp = O::add(O::mul(cp, z), O::set1(2.08757008419747316778e-9));
+  cp = O::add(O::mul(cp, z), O::set1(-2.75573141792967388112e-7));
+  cp = O::add(O::mul(cp, z), O::set1(2.48015872888517179954e-5));
+  cp = O::add(O::mul(cp, z), O::set1(-1.38888888888730564116e-3));
+  cp = O::add(O::mul(cp, z), O::set1(4.16666666666665929218e-2));
+  const V c = O::add(O::sub(O::set1(1.0), O::mul(z, O::set1(0.5))),
+                     O::mul(O::mul(z, z), cp));
+  // Quadrant fixup. k is in {0,1,2,3,4}; 4 means "just below a full turn"
+  // (v negative) and needs no adjustment, like 0.
+  const M swap = O::or_m(O::eq(k, O::set1(1.0)), O::eq(k, O::set1(3.0)));
+  const M sneg = O::or_m(O::eq(k, O::set1(2.0)), O::eq(k, O::set1(3.0)));
+  const M cneg = O::or_m(O::eq(k, O::set1(1.0)), O::eq(k, O::set1(2.0)));
+  *s_out = O::neg_if(sneg, O::blend(swap, c, s));
+  *c_out = O::neg_if(cneg, O::blend(swap, s, c));
+}
+
+/// 64 raw draws -> 64 uniforms in [0, 1). out[j] depends only on raw[j],
+/// so vector width cannot change any value.
+template <typename O>
+inline void UniformBlockT(const uint64_t* raw, double* out) {
+  for (size_t i = 0; i < kRngBatch; i += O::kWidth) {
+    O::store(out + i, ToUnit<O>(O::load_u(raw + i)));
+  }
+}
+
+/// 64 raw draws -> 64 standard normals (see simd.h for the exact layout).
+/// out[i] / out[32+i] depend only on raw[i] and raw[32+i]: elementwise, so
+/// identical for every vector width given the shared LogV / SinCosTwoPi.
+template <typename O>
+inline void NormalBlockT(const uint64_t* raw, double* out) {
+  using V = typename O::V;
+  for (size_t i = 0; i < kRngBatch / 2; i += O::kWidth) {
+    // u1 in (0, 1]: (payload + 1) * 2^-52, computed as ToUnit + 2^-52 which
+    // is exact (both terms are multiples of 2^-52 with sum <= 1).
+    const V u1 = O::add(ToUnit<O>(O::load_u(raw + i)), O::set1(0x1p-52));
+    const V u2 = ToUnit<O>(O::load_u(raw + kRngBatch / 2 + i));
+    const V r = O::sqrt_(O::mul(O::set1(-2.0), LogV<O>(u1)));
+    V s, c;
+    SinCosTwoPi<O>(u2, &s, &c);
+    O::store(out + i, O::mul(r, c));
+    O::store(out + kRngBatch / 2 + i, O::mul(r, s));
+  }
+}
+
+}  // namespace mde::simd::internal
+
+#endif  // MDE_SIMD_KERNELS_IMPL_H_

@@ -1,0 +1,206 @@
+#ifndef MDE_SIMD_SIMD_H_
+#define MDE_SIMD_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// Runtime-dispatched SIMD kernel layer (ROADMAP item 3).
+///
+/// Three implementations of every kernel — portable scalar, SSE4.2, AVX2 —
+/// are selected ONCE at startup from CPUID (overridable with the MDE_SIMD
+/// environment variable: "scalar", "sse4" or "avx2", clamped to what the
+/// hardware supports). Callers go through the free functions below, which
+/// jump through a per-process dispatch table.
+///
+/// The contract that makes this layer safe to drop under the deterministic
+/// execution engine: every kernel produces BITWISE-IDENTICAL output on
+/// every tier.
+///  - Integer / comparison / bitmap kernels are exact by nature.
+///  - Elementwise float kernels (adds, affine maps) perform the same IEEE
+///    operation per element; IEEE +,-,*,/,sqrt are correctly rounded, so
+///    scalar and vector agree operation-for-operation. FMA contraction is
+///    disabled in all kernel translation units (-ffp-contract=off, no
+///    -mfma) precisely so the op DAG stays identical.
+///  - Horizontal float reductions (SumF64/MinF64/MaxF64) use a FIXED
+///    4-lane-strided tree implemented with the same shape on every tier.
+///  - Transcendentals (the batched RNG's log / sin / cos) share one
+///    templated polynomial implementation instantiated per lane type, so
+///    the operation DAG is identical by construction.
+/// The differential suite (tests/simd_test.cc) sweeps every kernel across
+/// tiers x thread counts and asserts equality bit-for-bit.
+namespace mde::simd {
+
+/// Dispatch tiers, ordered: higher value = wider vectors.
+enum class Tier : int { kScalar = 0, kSse4 = 1, kAvx2 = 2 };
+
+/// Lowercase tier name ("scalar" / "sse4" / "avx2") — stable strings used
+/// by MDE_SIMD parsing, the obs gauge and benchmark context.
+const char* TierName(Tier t);
+
+/// The tier the dispatch table currently points at.
+Tier ActiveTier();
+
+/// Best tier this CPU (and this build) supports.
+Tier BestSupportedTier();
+
+/// Re-points the dispatch table at `t` (clamped to BestSupportedTier) and
+/// refreshes the `simd.tier` gauge. For tests and tools only; not safe to
+/// call concurrently with running kernels.
+void SetTier(Tier t);
+
+/// Re-reads MDE_SIMD and the CPU, as done once at startup. Returns the tier
+/// now active.
+Tier InitFromEnv();
+
+/// Comparison predicate with C++ operator semantics on doubles: ordered
+/// (false on NaN operands) except kNe, which is true when either side is
+/// NaN — exactly `!=`.
+enum class Cmp : int { kEq = 0, kNe, kLt, kLe, kGt, kGe };
+
+/// Kernel identifiers for the per-kernel dispatch counters
+/// (`simd.dispatch.<kernel>.<tier>`). Block-level kernels count themselves
+/// once per call; word-level kernels are counted by their caller at
+/// operator granularity via CountKernel() to keep the per-word path free
+/// of counter traffic.
+enum class KernelId : int {
+  kCmpF64Bitmap = 0,
+  kCmpI64RangeBitmap,
+  kCmpU32EqBitmap,
+  kCmpU8Bitmap,
+  kBitmapWords,
+  kPopcountWords,
+  kCmpF64MaskWord,
+  kMaskedAddF64,
+  kAddF64,
+  kSumF64,
+  kMinMaxF64,
+  kAffineMapF64,
+  kRngBlock,
+  kUniformBlock,
+  kNormalBlock,
+  kNumKernels
+};
+
+/// Records one dispatch of `k` on the active tier. Cheap (one relaxed
+/// fetch_add through a cached handle); still, call it per OPERATOR, not per
+/// word.
+void CountKernel(KernelId k);
+
+// ---------------------------------------------------------------------------
+// Bitmap-producing comparisons (dense, position-addressed).
+// `out` receives ceil(n/64) words, fully overwritten; bit j of the bitmap
+// corresponds to element j; padding bits of the last word are zero.
+// ---------------------------------------------------------------------------
+
+/// bit j = (data[j] op lit), IEEE semantics as documented on Cmp.
+void CmpF64Bitmap(const double* data, size_t n, Cmp op, double lit,
+                  uint64_t* out);
+
+/// bit j = (lo <= data[j] && data[j] <= hi) XOR negate. Pure int64
+/// compares; an empty range (lo > hi) yields all-zero (or all-one when
+/// negated). This is the engine's int64-compared-as-double filter: the
+/// monotone int64->double conversion turns any double-threshold predicate
+/// into an int64 range test (see table/vec_ops.cc).
+void CmpI64RangeBitmap(const int64_t* data, size_t n, int64_t lo, int64_t hi,
+                       bool negate, uint64_t* out);
+
+/// bit j = (data[j] == code) XOR negate. Dictionary-code equality.
+void CmpU32EqBitmap(const uint32_t* data, size_t n, uint32_t code,
+                    bool negate, uint64_t* out);
+
+/// bit j = (data[j] != 0) == match_nonzero. Bool-column filter.
+void CmpU8Bitmap(const uint8_t* data, size_t n, bool match_nonzero,
+                 uint64_t* out);
+
+// ---------------------------------------------------------------------------
+// Packed 64-bit bitmap words.
+// ---------------------------------------------------------------------------
+
+void AndWords(const uint64_t* a, const uint64_t* b, size_t nwords,
+              uint64_t* out);
+void OrWords(const uint64_t* a, const uint64_t* b, size_t nwords,
+             uint64_t* out);
+/// out = a & ~b.
+void AndNotWords(const uint64_t* a, const uint64_t* b, size_t nwords,
+                 uint64_t* out);
+/// Total set bits.
+uint64_t PopcountWords(const uint64_t* w, size_t nwords);
+
+/// Appends the positions of set bits as `base + bit_index`, ascending.
+/// `out` must have room for PopcountWords(words, nwords) entries; returns
+/// the number written. Selection-vector compaction.
+size_t BitmapToSel(const uint64_t* words, size_t nwords, uint32_t base,
+                   uint32_t* out);
+
+// ---------------------------------------------------------------------------
+// Mask-word kernels for the tuple-bundle executor (mcdb/bundle.cc):
+// one packed 64-bit activity word at a time.
+// ---------------------------------------------------------------------------
+
+/// Returns the mask with bit b = (data[b] op lit) for b < nbits (<= 64);
+/// higher bits zero. Evaluates every lane in [0, nbits), so callers AND the
+/// result with the previous activity word.
+uint64_t CmpF64MaskWord(const double* data, size_t nbits, Cmp op, double lit);
+
+/// acc[b] += x[b] for every set bit b of mask (bits must address valid
+/// elements of both arrays). Each element receives exactly one independent
+/// add, so the result is order-invariant and tier-invariant.
+void MaskedAddF64Word(double* acc, const double* x, uint64_t mask);
+
+/// acc[b] += c for every set bit b of mask.
+void MaskedAddConstF64Word(double* acc, double c, uint64_t mask);
+
+/// Dense elementwise: acc[i] += x[i].
+void AddF64(double* acc, const double* x, size_t n);
+
+/// Dense elementwise: acc[i] += c.
+void AddConstF64(double* acc, double c, size_t n);
+
+/// Elementwise affine map: out[i] = offset + scale * in[i] (exactly two
+/// rounding steps per element, never contracted to FMA). in == out allowed.
+void AffineMapF64(const double* in, size_t n, double scale, double offset,
+                  double* out);
+
+// ---------------------------------------------------------------------------
+// Fixed-shape horizontal reductions: 4 strided accumulators
+// (acc[l] over elements i with i % 4 == l), tail folded into acc[i % 4],
+// combined as (acc0 + acc1) + (acc2 + acc3). Every tier implements this
+// exact tree, so the (single, deterministic) result is tier-invariant.
+// ---------------------------------------------------------------------------
+
+double SumF64(const double* x, size_t n);
+/// Reduction op matches vminpd/vmaxpd: acc = (acc < x) ? acc : x, i.e. NaN
+/// inputs propagate into the result. Returns +inf / -inf for n == 0.
+double MinF64(const double* x, size_t n);
+double MaxF64(const double* x, size_t n);
+
+// ---------------------------------------------------------------------------
+// Batched RNG blocks (util/rng.h's BatchRng is the stateful consumer).
+// The batch grain is 64 draws — a divisor of table::kVecGrain and exactly
+// one activity-bitmap word — fixed across tiers so per-row substreams are
+// byte-identical regardless of dispatch tier or thread count.
+// ---------------------------------------------------------------------------
+
+inline constexpr size_t kRngBatch = 64;
+
+/// Advances 4 interleaved xoshiro256++ lanes 16 steps each. `state` holds
+/// the 16 state words in struct-of-arrays order (word w of lane l at
+/// state[w * 4 + l]); `raw` receives the 64 outputs with lane l's s-th
+/// output at raw[s * 4 + l].
+void RngBlock(uint64_t* state, uint64_t* raw);
+
+/// raw -> uniforms in [0, 1): out[j] = (raw[j] >> 12) * 2^-52. The 52-bit
+/// mapping keeps the integer->double conversion exact on every tier.
+void UniformBlock(const uint64_t* raw, double* out);
+
+/// raw -> 64 standard normals via Box-Muller: for i < 32, with
+/// u1 = ((raw[i] >> 12) + 1) * 2^-52 in (0, 1] and
+/// u2 = (raw[32+i] >> 12) * 2^-52 in [0, 1),
+///   r = sqrt(-2 log u1),  out[i] = r cos(2 pi u2),  out[32+i] = r sin(2 pi u2).
+/// log/sin/cos are the shared polynomial implementations, so all tiers
+/// produce identical bits.
+void NormalBlock(const uint64_t* raw, double* out);
+
+}  // namespace mde::simd
+
+#endif  // MDE_SIMD_SIMD_H_

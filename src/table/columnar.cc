@@ -1,6 +1,7 @@
 #include "table/columnar.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "obs/mem.h"
 #include "util/check.h"
@@ -10,8 +11,23 @@ namespace mde::table {
 namespace {
 
 /// Sets bit i of a packed bitmap sized for `n` bits.
-void SetBit(std::vector<uint64_t>* bits, size_t i) {
+void SetBit(AlignedVector<uint64_t>* bits, size_t i) {
   (*bits)[i >> 6] |= uint64_t{1} << (i & 63);
+}
+
+/// Debug-only check that a finished block's storage honours the 64-byte
+/// alignment contract the SIMD kernels assume for cache-line-aligned
+/// chunk starts. Compiled out under NDEBUG.
+void AssertColumnAligned(const Column& c) {
+#ifndef NDEBUG
+  assert(c.i64.empty() || IsAligned(c.i64.data(), 64));
+  assert(c.f64.empty() || IsAligned(c.f64.data(), 64));
+  assert(c.b8.empty() || IsAligned(c.b8.data(), 64));
+  assert(c.codes.empty() || IsAligned(c.codes.data(), 64));
+  assert(c.valid.empty() || IsAligned(c.valid.data(), 64));
+#else
+  (void)c;
+#endif
 }
 
 }  // namespace
@@ -207,6 +223,7 @@ std::shared_ptr<const Column> AccountColumnBlock(
 
 std::shared_ptr<const Column> ColumnBuilder::Finish() {
   if (!has_nulls_) col_.valid.clear();
+  AssertColumnAligned(col_);
   return AccountColumnBlock(std::make_shared<Column>(std::move(col_)));
 }
 

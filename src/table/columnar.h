@@ -9,6 +9,7 @@
 
 #include "table/table.h"
 #include "table/value.h"
+#include "util/aligned.h"
 #include "util/status.h"
 
 namespace mde::table {
@@ -26,19 +27,22 @@ struct Column {
   DataType type = DataType::kNull;
   size_t size = 0;
 
-  /// Exactly one of these carries data, selected by `type`.
-  std::vector<int64_t> i64;  // kInt64
-  std::vector<double> f64;   // kDouble
-  std::vector<uint8_t> b8;   // kBool (0/1)
+  /// Exactly one of these carries data, selected by `type`. The blocks are
+  /// 64-byte aligned (AlignedVector) so the SIMD kernel layer's widest loads
+  /// start cache-line aligned and a 64-row bitmap word always covers one
+  /// cache line of doubles.
+  AlignedVector<int64_t> i64;  // kInt64
+  AlignedVector<double> f64;   // kDouble
+  AlignedVector<uint8_t> b8;   // kBool (0/1)
   /// kString: codes[i] indexes *dict. The dictionary is deduplicated
   /// (interned), ordered by first appearance, and shared by shared_ptr so
   /// projections / joins / compactions reuse it at zero cost.
-  std::vector<uint32_t> codes;
+  AlignedVector<uint32_t> codes;
   std::shared_ptr<const std::vector<std::string>> dict;
 
   /// Packed validity bitmap: bit i set = row i non-null. Empty means every
   /// row is valid. Padding bits of the last word are zero.
-  std::vector<uint64_t> valid;
+  AlignedVector<uint64_t> valid;
 
   bool IsValid(size_t i) const {
     return valid.empty() || ((valid[i >> 6] >> (i & 63)) & 1u);

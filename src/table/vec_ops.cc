@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
+#include <cmath>
 #include <cstring>
 #include <limits>
 #include <numeric>
@@ -10,6 +12,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "simd/simd.h"
 #include "util/check.h"
 
 namespace mde::table {
@@ -102,6 +105,138 @@ SelVector FilterNumeric(size_t domain, const SelVector* sel, ThreadPool* pool,
   return {};
 }
 
+/// CmpOp and simd::Cmp enumerate the predicates in the same order with the
+/// same semantics (C++ operators on double; kNe true on NaN).
+simd::Cmp ToSimdCmp(CmpOp op) { return static_cast<simd::Cmp>(op); }
+
+/// Dense (no selection vector) filter driver: per kVecGrain chunk a kernel
+/// writes the predicate bitmap, validity words are ANDed in (kVecGrain is a
+/// multiple of 64, so a chunk owns whole bitmap words), and BitmapToSel
+/// compacts the set bits into the chunk's part of the selection. Chunk parts
+/// concatenate in chunk order, so the result is byte-identical to the
+/// scalar row loop for every dispatch tier and thread count.
+template <typename Kernel>
+SelVector CollectMatchesDense(size_t n, const Column& c, ThreadPool* pool,
+                              Kernel kernel) {
+  std::vector<SelVector> parts(NumChunksFor(n));
+  const bool has_nulls = !c.valid.empty();
+  RunChunks(pool, n, [&](size_t ck, size_t b, size_t e) {
+    const size_t len = e - b;
+    const size_t nwords = (len + 63) / 64;
+    uint64_t words[kVecGrain / 64];
+    kernel(b, len, words);
+    if (has_nulls) {
+      simd::AndWords(words, c.valid.data() + (b >> 6), nwords, words);
+    }
+    SelVector& out = parts[ck];
+    out.resize(simd::PopcountWords(words, nwords));
+    simd::BitmapToSel(words, nwords, static_cast<uint32_t>(b), out.data());
+  });
+  size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  SelVector out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+/// All-rows kernel (padding bits of the tail word zero): the dense form of
+/// the "every non-null cell matches" filters.
+void AllOnesBitmap(size_t len, uint64_t* words) {
+  const size_t nwords = (len + 63) / 64;
+  for (size_t w = 0; w < nwords; ++w) words[w] = ~uint64_t{0};
+  if (len % 64 != 0) words[nwords - 1] = (uint64_t{1} << (len % 64)) - 1;
+}
+
+/// The int64 set {x : double(x) op lit} for the numeric filter. double() is
+/// monotone over int64, so the set is a contiguous range [lo, hi] (possibly
+/// empty, possibly complemented for kNe) — which turns the mixed
+/// int64-compared-as-double predicate into pure integer compares.
+struct I64CmpRange {
+  int64_t lo = 1;
+  int64_t hi = 0;  // lo > hi: empty range
+  bool negate = false;
+};
+
+/// Smallest x with pred(x) true, where pred is monotone (all-false prefix,
+/// all-true suffix). Returns false when pred is false everywhere.
+template <typename Pred>
+bool FirstTrueI64(Pred pred, int64_t* out) {
+  int64_t hi = std::numeric_limits<int64_t>::max();
+  if (!pred(hi)) return false;
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  if (pred(lo)) {
+    *out = lo;
+    return true;
+  }
+  // Invariant: !pred(lo) && pred(hi). The unsigned difference is exact for
+  // lo < hi even across the full int64 span.
+  while (static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) > 1) {
+    const int64_t mid =
+        lo + static_cast<int64_t>(
+                 (static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo)) / 2);
+    (pred(mid) ? hi : lo) = mid;
+  }
+  *out = hi;
+  return true;
+}
+
+I64CmpRange RangeForI64Cmp(CmpOp op, double lit) {
+  I64CmpRange r;
+  if (std::isnan(lit)) {
+    // x op NaN is false for every op except !=, which is always true.
+    if (op == CmpOp::kNe) r.negate = true;  // empty range, complemented
+    return r;
+  }
+  const auto ge = [lit](int64_t x) { return static_cast<double>(x) >= lit; };
+  const auto gt = [lit](int64_t x) { return static_cast<double>(x) > lit; };
+  int64_t first_ge = 0, first_gt = 0;
+  const bool has_ge = FirstTrueI64(ge, &first_ge);
+  const bool has_gt = FirstTrueI64(gt, &first_gt);
+  const int64_t kMin = std::numeric_limits<int64_t>::min();
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  switch (op) {
+    case CmpOp::kEq:
+    case CmpOp::kNe:
+      if (!has_ge) return r;  // nothing reaches lit
+      r.lo = first_ge;
+      r.hi = has_gt ? first_gt - 1 : kMax;
+      r.negate = op == CmpOp::kNe;
+      return r;
+    case CmpOp::kLt:
+      if (!has_ge) {
+        r.lo = kMin;
+        r.hi = kMax;
+        return r;  // everything is < lit
+      }
+      if (first_ge == kMin) return r;  // nothing is < lit
+      r.lo = kMin;
+      r.hi = first_ge - 1;
+      return r;
+    case CmpOp::kLe:
+      if (!has_gt) {
+        r.lo = kMin;
+        r.hi = kMax;
+        return r;
+      }
+      if (first_gt == kMin) return r;
+      r.lo = kMin;
+      r.hi = first_gt - 1;
+      return r;
+    case CmpOp::kGt:
+      if (!has_gt) return r;
+      r.lo = first_gt;
+      r.hi = kMax;
+      return r;
+    case CmpOp::kGe:
+      if (!has_ge) return r;
+      r.lo = first_ge;
+      r.hi = kMax;
+      return r;
+  }
+  return r;
+}
+
 bool CmpStrings(const std::string& a, CmpOp op, const std::string& b) {
   switch (op) {
     case CmpOp::kEq:
@@ -150,6 +285,11 @@ std::shared_ptr<const Column> GatherColumn(const Column& c,
   }
   const bool has_nulls = !c.valid.empty();
   if (has_nulls) out->valid.assign((n + 63) / 64, 0);
+  // The typed blocks come from AlignedVector: cache-line-aligned starts for
+  // the kernels that scan them later.
+  assert(out->i64.empty() || IsAligned(out->i64.data(), 64));
+  assert(out->f64.empty() || IsAligned(out->f64.data(), 64));
+  assert(out->valid.empty() || IsAligned(out->valid.data(), 64));
   RunChunks(pool, n, [&](size_t, size_t b, size_t e) {
     switch (c.type) {
       case DataType::kInt64:
@@ -334,12 +474,29 @@ Result<SelVector> VecFilterImpl(const ColumnarTable& t, const SelVector* sel,
     const double lit = literal.AsDouble();
     if (c.type == DataType::kInt64) {
       const int64_t* data = c.i64.data();
+      if (sel == nullptr) {
+        const I64CmpRange rr = RangeForI64Cmp(op, lit);
+        return CollectMatchesDense(
+            domain, c, pool,
+            [data, rr](size_t b, size_t len, uint64_t* words) {
+              simd::CmpI64RangeBitmap(data + b, len, rr.lo, rr.hi, rr.negate,
+                                      words);
+            });
+      }
       return FilterNumeric(
           domain, sel, pool, c,
           [data](uint32_t r) { return static_cast<double>(data[r]); }, op,
           lit);
     }
     const double* data = c.f64.data();
+    if (sel == nullptr) {
+      const simd::Cmp sop = ToSimdCmp(op);
+      return CollectMatchesDense(
+          domain, c, pool, [data, sop, lit](size_t b, size_t len,
+                                            uint64_t* words) {
+            simd::CmpF64Bitmap(data + b, len, sop, lit, words);
+          });
+    }
     return FilterNumeric(
         domain, sel, pool, c, [data](uint32_t r) { return data[r]; }, op, lit);
   }
@@ -354,6 +511,31 @@ Result<SelVector> VecFilterImpl(const ColumnarTable& t, const SelVector* sel,
     }
     const uint32_t* codes = c.codes.data();
     const uint8_t* m = match.data();
+    if (sel == nullptr) {
+      // Most dictionary filters resolve to one matching (or one excluded)
+      // code — an equality bitmap kernel. Degenerate LUTs (all/none) reduce
+      // to the valid-only / empty filters; multi-code LUTs stay scalar.
+      const size_t nmatch = static_cast<size_t>(
+          std::count(match.begin(), match.end(), uint8_t{1}));
+      if (nmatch == 0) return SelVector{};
+      if (nmatch == match.size()) {
+        return CollectMatchesDense(domain, c, pool,
+                                   [](size_t, size_t len, uint64_t* words) {
+                                     AllOnesBitmap(len, words);
+                                   });
+      }
+      if (nmatch == 1 || nmatch == match.size() - 1) {
+        const bool negate = nmatch != 1;
+        const uint8_t want = negate ? 0 : 1;
+        const uint32_t code = static_cast<uint32_t>(
+            std::find(match.begin(), match.end(), want) - match.begin());
+        return CollectMatchesDense(
+            domain, c, pool,
+            [codes, code, negate](size_t b, size_t len, uint64_t* words) {
+              simd::CmpU32EqBitmap(codes + b, len, code, negate, words);
+            });
+      }
+    }
     return CollectMatches(domain, sel, pool, [&c, codes, m](uint32_t r) {
       return c.IsValid(r) && m[codes[r]] != 0;
     });
@@ -362,6 +544,20 @@ Result<SelVector> VecFilterImpl(const ColumnarTable& t, const SelVector* sel,
     const bool keep_false = EvalCmp(Value(false), op, literal);
     const bool keep_true = EvalCmp(Value(true), op, literal);
     const uint8_t* data = c.b8.data();
+    if (sel == nullptr) {
+      if (!keep_false && !keep_true) return SelVector{};
+      if (keep_false && keep_true) {
+        return CollectMatchesDense(domain, c, pool,
+                                   [](size_t, size_t len, uint64_t* words) {
+                                     AllOnesBitmap(len, words);
+                                   });
+      }
+      return CollectMatchesDense(
+          domain, c, pool,
+          [data, keep_true](size_t b, size_t len, uint64_t* words) {
+            simd::CmpU8Bitmap(data + b, len, keep_true, words);
+          });
+    }
     return CollectMatches(domain, sel, pool,
                           [&c, data, keep_false, keep_true](uint32_t r) {
                             return c.IsValid(r) &&
@@ -376,6 +572,12 @@ Result<SelVector> VecFilterImpl(const ColumnarTable& t, const SelVector* sel,
               : c.type == DataType::kBool   ? Value(false)
                                             : Value(std::string());
   if (!EvalCmp(rep, op, literal)) return SelVector{};
+  if (sel == nullptr) {
+    return CollectMatchesDense(domain, c, pool,
+                               [](size_t, size_t len, uint64_t* words) {
+                                 AllOnesBitmap(len, words);
+                               });
+  }
   return CollectMatches(domain, sel, pool,
                         [&c](uint32_t r) { return c.IsValid(r); });
 }

@@ -29,6 +29,12 @@ using SelVector = std::vector<uint32_t>;
 /// mcdb::BundleTable::kRowGrain.
 inline constexpr size_t kVecGrain = 4096;
 
+/// Chunk boundaries must never tear a packed 64-bit validity/predicate
+/// bitmap word: the SIMD filter path ANDs whole words per chunk, and
+/// parallel gathers write disjoint words only under this invariant.
+static_assert(kVecGrain % 64 == 0,
+              "vector chunks must cover whole 64-bit bitmap words");
+
 /// Dense per-chunk group-by partials are allocated num_chunks x num_groups;
 /// above this many groups the aggregate kernel switches to a single serial
 /// accumulation pass (the switch depends only on the data, so pooled and

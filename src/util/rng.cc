@@ -75,4 +75,61 @@ Rng Rng::Substream(uint64_t seed, uint64_t index) {
   return rng;
 }
 
+BatchRng::BatchRng(Rng& seeder) {
+  for (int l = 0; l < 4; ++l) {
+    SplitMix64 sm(seeder.Next());
+    for (int w = 0; w < 4; ++w) state_[w * 4 + l] = sm.Next();
+  }
+}
+
+void BatchRng::RefillUniform() {
+  simd::RngBlock(state_, raw_);
+  simd::UniformBlock(raw_, uni_);
+  upos_ = 0;
+}
+
+void BatchRng::RefillNormal() {
+  simd::RngBlock(state_, raw_);
+  simd::NormalBlock(raw_, nrm_);
+  npos_ = 0;
+}
+
+double BatchRng::NextUniform() {
+  if (upos_ == simd::kRngBatch) RefillUniform();
+  return uni_[upos_++];
+}
+
+double BatchRng::NextNormal() {
+  if (npos_ == simd::kRngBatch) RefillNormal();
+  return nrm_[npos_++];
+}
+
+void BatchRng::FillUniform(double* out, size_t n) {
+  size_t i = 0;
+  while (upos_ < simd::kRngBatch && i < n) out[i++] = uni_[upos_++];
+  while (n - i >= simd::kRngBatch) {
+    simd::RngBlock(state_, raw_);
+    simd::UniformBlock(raw_, out + i);
+    i += simd::kRngBatch;
+  }
+  if (i < n) {
+    RefillUniform();
+    while (i < n) out[i++] = uni_[upos_++];
+  }
+}
+
+void BatchRng::FillNormal(double* out, size_t n) {
+  size_t i = 0;
+  while (npos_ < simd::kRngBatch && i < n) out[i++] = nrm_[npos_++];
+  while (n - i >= simd::kRngBatch) {
+    simd::RngBlock(state_, raw_);
+    simd::NormalBlock(raw_, out + i);
+    i += simd::kRngBatch;
+  }
+  if (i < n) {
+    RefillNormal();
+    while (i < n) out[i++] = nrm_[npos_++];
+  }
+}
+
 }  // namespace mde

@@ -2,7 +2,10 @@
 #define MDE_UTIL_RNG_H_
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
+
+#include "simd/simd.h"
 
 namespace mde {
 
@@ -71,6 +74,48 @@ class Rng {
 
  private:
   uint64_t s_[4];
+};
+
+/// Batched variate generator over the SIMD kernel layer: four interleaved
+/// xoshiro256++ lanes advanced simd::kRngBatch (= 64) draws at a time, with
+/// the raw bits mapped to uniforms or Box-Muller normals by the dispatched
+/// block kernels. The produced stream is a pure function of the seeding Rng
+/// and the sequence of calls — independent of dispatch tier (bitwise, see
+/// simd/simd.h) and of how consumers chunk their Fill requests.
+///
+/// This is deliberately NOT the same stream as Rng::NextDouble() or the
+/// scalar one-at-a-time samplers; consumers switching to BatchRng change
+/// their sampled values (but not their distribution). Within BatchRng the
+/// stream is stable and reproducible.
+class BatchRng {
+ public:
+  /// Seeds the four lanes by drawing exactly four values from `seeder`
+  /// (advancing it deterministically), each expanded to a lane state via
+  /// SplitMix64.
+  explicit BatchRng(Rng& seeder);
+
+  /// Next uniform draw in [0, 1).
+  double NextUniform();
+  /// Next standard normal draw.
+  double NextNormal();
+
+  /// Fills out[0..n) with the next n uniforms in [0, 1). Full 64-draw
+  /// blocks are written directly to `out`; partial blocks go through an
+  /// internal buffer, so chunking does not change the stream.
+  void FillUniform(double* out, size_t n);
+  /// Fills out[0..n) with the next n standard normals.
+  void FillNormal(double* out, size_t n);
+
+ private:
+  void RefillUniform();
+  void RefillNormal();
+
+  alignas(64) uint64_t state_[16];  // lane l word w at state_[w * 4 + l]
+  alignas(64) uint64_t raw_[simd::kRngBatch];
+  alignas(64) double uni_[simd::kRngBatch];
+  alignas(64) double nrm_[simd::kRngBatch];
+  size_t upos_ = simd::kRngBatch;  // buffer drained
+  size_t npos_ = simd::kRngBatch;
 };
 
 }  // namespace mde

@@ -183,7 +183,9 @@ TEST(ColumnBuilderTest, StringsAreInternedInFirstAppearanceOrder) {
   EXPECT_EQ((*col->dict)[0], "x");
   EXPECT_EQ((*col->dict)[1], "y");
   EXPECT_EQ((*col->dict)[2], "z");
-  EXPECT_EQ(col->codes, (std::vector<uint32_t>{0, 1, 0, 2, 1}));
+  EXPECT_TRUE(std::equal(col->codes.begin(), col->codes.end(),
+                         std::vector<uint32_t>{0, 1, 0, 2, 1}.begin()));
+  EXPECT_EQ(col->codes.size(), 5u);
 }
 
 TEST(ColumnarTableTest, RoundTripsThroughTable) {

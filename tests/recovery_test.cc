@@ -16,6 +16,8 @@
 #include "ckpt/recovery.h"
 #include "dsgd/dsgd.h"
 #include "dsgd/matrix_completion.h"
+#include "mcdb/vg_function.h"
+#include "simd/simd.h"
 #include "simsql/simsql.h"
 #include "smc/particle_filter.h"
 #include "table/table.h"
@@ -224,6 +226,74 @@ TEST(RecoveryTest, SimsqlChainInjectedFaultRecovery) {
   };
   ExpectBitIdenticalInjectedRecovery(make, "simsql.version",
                                      /*fire_at_hit=*/5);
+}
+
+TEST(RecoveryTest, SimsqlCrossTierCheckpointRestoreIsBitIdentical) {
+  // Checkpoints carry no SIMD-tier state and every dispatched kernel is
+  // bitwise tier-identical, so a snapshot written while running on the
+  // scalar tier must restore and finish bit-identically on the best
+  // (e.g. AVX2) tier. The chain transition draws through the batched
+  // vectorized sampler so the run genuinely exercises the kernels.
+  simsql::ChainTableSpec spec;
+  spec.name = "WALKERS";
+  spec.init = [](const simsql::DatabaseState&,
+                 Rng&) -> Result<table::Table> {
+    table::Table t{table::Schema({{"id", table::DataType::kInt64},
+                                  {"pos", table::DataType::kDouble}})};
+    for (int64_t i = 0; i < 6; ++i) t.Append({i, 0.0});
+    return t;
+  };
+  const auto vg = std::make_shared<mcdb::NormalVg>();
+  spec.transition = [vg](const simsql::DatabaseState& prev,
+                         const simsql::DatabaseState&,
+                         Rng& rng) -> Result<table::Table> {
+    const table::Table& old = prev.at("WALKERS");
+    std::vector<double> steps(old.num_rows());
+    const table::Row params{table::Value(0.0), table::Value(1.0)};
+    if (!vg->GenerateScalarN(params, rng, steps.size(), steps.data())) {
+      return Status::Internal("normal batch draw failed");
+    }
+    table::Table t(old.schema());
+    for (size_t i = 0; i < old.num_rows(); ++i) {
+      t.Append({old.row(i)[0],
+                table::Value(old.row(i)[1].AsDouble() + steps[i])});
+    }
+    return t;
+  };
+  simsql::MarkovChainDb db;
+  ASSERT_TRUE(db.AddChainTable(std::move(spec)).ok());
+  const Factory make = [&]() {
+    return std::make_unique<simsql::ChainRunner>(db, /*steps=*/12,
+                                                 /*seed=*/63, /*rep=*/0);
+  };
+
+  const simd::Tier best = simd::BestSupportedTier();
+  // Reference: uninterrupted run on the best tier.
+  simd::SetTier(best);
+  auto reference = make();
+  while (!reference->Done()) ASSERT_TRUE(reference->StepOnce().ok());
+  auto ref_snap = reference->Save();
+  ASSERT_TRUE(ref_snap.ok());
+
+  // Checkpoint half-way under the scalar tier, then "kill".
+  simd::SetTier(simd::Tier::kScalar);
+  std::string mid;
+  {
+    auto victim = make();
+    for (size_t s = 0; s < 6; ++s) ASSERT_TRUE(victim->StepOnce().ok());
+    auto m = victim->Save();
+    ASSERT_TRUE(m.ok());
+    mid = m.value();
+  }
+
+  // Restore and finish on the best tier.
+  simd::SetTier(best);
+  auto recovered = make();
+  ASSERT_TRUE(recovered->Restore(mid).ok());
+  while (!recovered->Done()) ASSERT_TRUE(recovered->StepOnce().ok());
+  auto rec_snap = recovered->Save();
+  ASSERT_TRUE(rec_snap.ok());
+  EXPECT_EQ(rec_snap.value(), ref_snap.value());
 }
 
 TEST(RecoveryTest, SimsqlRunnerMatchesMarkovChainDbRun) {

@@ -29,6 +29,7 @@
 #include "ckpt/recovery.h"
 #include "dsgd/dsgd.h"
 #include "dsgd/matrix_completion.h"
+#include "simd/simd.h"
 #include "simsql/simsql.h"
 #include "smc/particle_filter.h"
 #include "table/table.h"
@@ -47,7 +48,12 @@ using mde::ThreadPool;
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--engine dsgd|mc|simsql|pf|wildfire|all] [--fault-frac F]"
-               " [--threads N] [--mode manual|inject|both]\n";
+               " [--threads N] [--mode manual|inject|both]"
+               " [--ckpt-tier scalar|sse4|avx2]\n"
+               "  --ckpt-tier runs the pre-kill half of the manual mode "
+               "under the given\n  SIMD tier and the restore+finish under "
+               "the session tier, verifying that\n  checkpoints written on "
+               "one kernel tier restore bit-identically on another.\n";
   return 1;
 }
 
@@ -205,14 +211,27 @@ Result<std::string> Reference(const Harness& h) {
 }
 
 /// Run to step k, Save, destroy, Restore into a fresh engine, finish.
-Result<std::string> ManualKillRestore(const Harness& h, size_t k) {
+/// When `ckpt_tier` is set, the pre-kill half runs under that SIMD kernel
+/// tier and the restore+finish under the ambient tier — snapshots carry no
+/// tier state, and the kernels are bitwise tier-identical, so the final
+/// snapshot must still match the reference byte for byte.
+Result<std::string> ManualKillRestore(const Harness& h, size_t k,
+                                      const mde::simd::Tier* ckpt_tier) {
+  const mde::simd::Tier session_tier = mde::simd::ActiveTier();
   std::string mid;
   {
+    if (ckpt_tier != nullptr) mde::simd::SetTier(*ckpt_tier);
     auto victim = h.make();
     for (size_t s = 0; s < k && !victim->Done(); ++s) {
-      MDE_RETURN_NOT_OK(victim->StepOnce());
+      if (!victim->StepOnce().ok()) {
+        mde::simd::SetTier(session_tier);
+        return Status::Internal("pre-kill step failed");
+      }
     }
-    MDE_ASSIGN_OR_RETURN(mid, victim->Save());
+    auto m = victim->Save();
+    mde::simd::SetTier(session_tier);
+    MDE_RETURN_NOT_OK(m.status());
+    mid = m.value();
   }  // victim destroyed: the "kill"
   auto engine = h.make();
   MDE_RETURN_NOT_OK(engine->Restore(mid));
@@ -250,6 +269,8 @@ int main(int argc, char** argv) {
   std::string mode = "both";
   double fault_frac = 0.5;
   size_t threads = 2;
+  bool have_ckpt_tier = false;
+  mde::simd::Tier ckpt_tier = mde::simd::Tier::kScalar;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -271,6 +292,26 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       threads = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--ckpt-tier") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      const std::string tier_name = v;
+      if (tier_name == "scalar") {
+        ckpt_tier = mde::simd::Tier::kScalar;
+      } else if (tier_name == "sse4") {
+        ckpt_tier = mde::simd::Tier::kSse4;
+      } else if (tier_name == "avx2") {
+        ckpt_tier = mde::simd::Tier::kAvx2;
+      } else {
+        return Usage(argv[0]);
+      }
+      if (static_cast<int>(ckpt_tier) >
+          static_cast<int>(mde::simd::BestSupportedTier())) {
+        std::cerr << "--ckpt-tier " << tier_name
+                  << " not supported on this machine\n";
+        return 1;
+      }
+      have_ckpt_tier = true;
     } else {
       return Usage(argv[0]);
     }
@@ -296,7 +337,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (mode == "manual" || mode == "both") {
-      const Result<std::string> got = ManualKillRestore(h, k);
+      const Result<std::string> got = ManualKillRestore(
+          h, k, have_ckpt_tier ? &ckpt_tier : nullptr);
       if (!got.ok()) {
         std::cerr << h.name << ": kill/restore failed: "
                   << got.status().message() << "\n";
@@ -304,8 +346,12 @@ int main(int argc, char** argv) {
       }
       const bool match = got.value() == ref.value();
       all_ok = all_ok && match;
-      std::cout << h.name << " manual  kill@" << k << "/" << h.total_steps
-                << (match ? "  bit-identical" : "  MISMATCH") << "\n";
+      std::cout << h.name << " manual  kill@" << k << "/" << h.total_steps;
+      if (have_ckpt_tier) {
+        std::cout << "  ckpt-tier=" << mde::simd::TierName(ckpt_tier)
+                  << "->" << mde::simd::TierName(mde::simd::ActiveTier());
+      }
+      std::cout << (match ? "  bit-identical" : "  MISMATCH") << "\n";
     }
     if (mode == "inject" || mode == "both") {
       const Result<std::string> got = InjectAndRecover(h, k);
