@@ -16,6 +16,7 @@
 #include "mcdb/bundle.h"
 #include "mcdb/estimators.h"
 #include "mcdb/mcdb.h"
+#include "mcdb/pregen.h"
 #include "mcdb/vg_function.h"
 #include "table/query.h"
 #include "util/stats.h"
@@ -139,6 +140,27 @@ void BM_BundleGenerateAndQuery(benchmark::State& state) {
                           state.range(1));
 }
 BENCHMARK(BM_BundleGenerateAndQuery)
+    ->Unit(benchmark::kMillisecond)
+    ->Args({10000, 1000});
+
+/// Same pipeline with the deterministic GENDER filter hoisted below VG
+/// generation (pregen.h): half the tuples never draw their repetitions.
+/// Bit-identical output to BM_BundleGenerateAndQuery's filter-after form.
+void BM_BundleGenerateAndQueryPushdown(benchmark::State& state) {
+  MonteCarloDb db = MakeDb(static_cast<size_t>(state.range(0)));
+  const size_t reps = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    auto females =
+        GenerateBundlesWhere(db, db.stochastic_specs()[0], "SBP", reps, 77,
+                             {{"GENDER", CmpOp::kEq, Value("F")}})
+            .value();
+    auto samples = females.AggregateAvg("SBP").value();
+    benchmark::DoNotOptimize(samples);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(1));
+}
+BENCHMARK(BM_BundleGenerateAndQueryPushdown)
     ->Unit(benchmark::kMillisecond)
     ->Args({10000, 1000});
 

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Checks a google-benchmark JSON file from bench_query_pushdown: the
+cost-based optimizer path (BM_CostBasedPlan = OptimizePlan + execute of
+the naive spelling) must not be slower than executing the plan as
+written (BM_NaivePlan).
+
+The naive plan filters above the join, so the optimized plan has a
+several-fold advantage at the benchmark's data size; TOLERANCE only
+absorbs CI-runner jitter, it does not let a regression that erases the
+pushdown win slip through.
+
+Usage: check_bench_opt.py BENCH_JSON   (exit 0 = pass)
+"""
+
+import json
+import sys
+
+# The cost-based path may be at most this fraction of the as-written
+# time. Locally it sits near 0.13x; anything close to 1.0 means the
+# optimizer stopped finding the pushed-down shape.
+TOLERANCE = 0.85
+
+NAIVE = "BM_NaivePlan"
+COST_BASED = "BM_CostBasedPlan"
+
+
+def real_time_ms(benchmarks, name):
+    """Mean real time in ms for `name`, robust to --benchmark_repetitions
+    (prefers the *_mean aggregate when present)."""
+    agg = [b for b in benchmarks if b["name"] == name + "_mean"]
+    plain = [b for b in benchmarks if b["name"] == name]
+    chosen = agg if agg else plain
+    if not chosen:
+        raise SystemExit("missing benchmark: %s" % name)
+    unit = chosen[0].get("time_unit", "ns")
+    scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}[unit]
+    times = [b["real_time"] * scale for b in chosen]
+    return sum(times) / len(times)
+
+
+def main(argv):
+    if len(argv) != 2:
+        raise SystemExit(__doc__)
+    with open(argv[1]) as f:
+        benchmarks = json.load(f)["benchmarks"]
+    naive = real_time_ms(benchmarks, NAIVE)
+    cost = real_time_ms(benchmarks, COST_BASED)
+    ratio = cost / naive
+    print("as-written %s: %.3f ms" % (NAIVE, naive))
+    print("cost-based %s: %.3f ms" % (COST_BASED, cost))
+    print("ratio: %.3f (must be <= %.2f)" % (ratio, TOLERANCE))
+    if ratio > TOLERANCE:
+        raise SystemExit(
+            "FAIL: cost-based plan is not beating the as-written plan "
+            "(ratio %.3f > %.2f)" % (ratio, TOLERANCE))
+    print("OK: cost-based optimization beats the as-written plan")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

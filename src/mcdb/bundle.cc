@@ -413,11 +413,14 @@ Result<std::vector<BundleTable::GroupedSamples>> BundleTable::GroupSum(
   return groups;
 }
 
-Result<BundleTable> GenerateBundles(const MonteCarloDb& db,
-                                    const StochasticTableSpec& spec,
-                                    const std::string& attr_name,
-                                    size_t num_reps, uint64_t seed,
-                                    ThreadPool* pool) {
+namespace internal {
+
+Result<BundleTable> GenerateBundlesImpl(const MonteCarloDb& db,
+                                        const StochasticTableSpec& spec,
+                                        const std::string& attr_name,
+                                        size_t num_reps, uint64_t seed,
+                                        ThreadPool* pool,
+                                        const std::vector<uint32_t>* keep) {
   MDE_TRACE_SPAN("mcdb.generate_bundles");
   const table::Table* outer = db.FindTable(spec.outer_table);
   if (outer == nullptr) {
@@ -437,7 +440,10 @@ Result<BundleTable> GenerateBundles(const MonteCarloDb& db,
       if (db.FindTable(name) != nullptr) det_only.emplace(name, t);
     }
   }
-  const size_t n = outer->num_rows();
+  // Output row j realizes outer row `keep[j]` (or j when keep is null):
+  // rows a pre-generation filter eliminated never bind parameters and
+  // never touch their VG substream.
+  const size_t n = keep != nullptr ? keep->size() : outer->num_rows();
   MDE_OBS_COUNT("mcdb.bundle_rows", n);
   MDE_OBS_COUNT("mcdb.vg_samples", n * num_reps);
   BundleTable out(outer->schema(), {attr_name}, num_reps);
@@ -464,8 +470,9 @@ Result<BundleTable> GenerateBundles(const MonteCarloDb& db,
 
   auto chunk_fn = [&](size_t, size_t begin, size_t end) {
     std::vector<table::Row> vg_rows;
-    for (size_t i = begin; i < end; ++i) {
+    for (size_t j = begin; j < end; ++j) {
       if (failed.load(std::memory_order_relaxed)) return;
+      const size_t i = keep != nullptr ? (*keep)[j] : j;
       const table::Row& outer_row = outer->row(i);
       auto params_r = spec.param_binder(outer_row, det_only);
       if (!params_r.ok()) {
@@ -473,14 +480,17 @@ Result<BundleTable> GenerateBundles(const MonteCarloDb& db,
         return;
       }
       const table::Row& params = params_r.value();
-      out.det_rows_[i] = outer_row;
+      out.det_rows_[j] = outer_row;
       // Independent per-ROW stream via SplitMix64 seeding: O(1) per stream,
       // unlike Jump-based substreams whose setup cost grows with the stream
       // index. The row is the unit of parallelism and its repetitions are
       // drawn sequentially from its own stream, so generation order — and
-      // hence thread count — cannot change the sampled values.
+      // hence thread count — cannot change the sampled values. The stream
+      // is keyed by the ORIGINAL outer index `i`, not the output position,
+      // so a keep-list run reproduces exactly the values a full run would
+      // have drawn for the surviving rows.
       Rng rng(seed ^ (0x9e3779b97f4a7c15ULL + i * 2654435761ULL));
-      double* row_out = block + i * num_reps;
+      double* row_out = block + j * num_reps;
       if (spec.vg->GenerateScalarN(params, rng, num_reps, row_out)) {
         continue;
       }
@@ -513,6 +523,17 @@ Result<BundleTable> GenerateBundles(const MonteCarloDb& db,
   if (failed.load()) return first_err;
   out.AccountStorage();
   return out;
+}
+
+}  // namespace internal
+
+Result<BundleTable> GenerateBundles(const MonteCarloDb& db,
+                                    const StochasticTableSpec& spec,
+                                    const std::string& attr_name,
+                                    size_t num_reps, uint64_t seed,
+                                    ThreadPool* pool) {
+  return internal::GenerateBundlesImpl(db, spec, attr_name, num_reps, seed,
+                                       pool, nullptr);
 }
 
 }  // namespace mde::mcdb

@@ -17,6 +17,25 @@
 
 namespace mde::mcdb {
 
+class BundleTable;
+class MonteCarloDb;
+struct StochasticTableSpec;
+
+namespace internal {
+/// Keep-list generation core shared by GenerateBundles and the
+/// pre-generation planner (pregen.h). Generates bundles only for the outer
+/// rows listed in `keep` (strictly ascending ORIGINAL row indices; nullptr
+/// = every row). Each generated row seeds its RNG substream by its original
+/// outer index, never its output position, so the result is bit-identical
+/// to generating every row and then dropping the non-kept ones.
+Result<BundleTable> GenerateBundlesImpl(const MonteCarloDb& db,
+                                        const StochasticTableSpec& spec,
+                                        const std::string& attr_name,
+                                        size_t num_reps, uint64_t seed,
+                                        ThreadPool* pool,
+                                        const std::vector<uint32_t>* keep);
+}  // namespace internal
+
 /// Tuple-bundle executor (Section 2.1): instead of instantiating the
 /// database and running the query plan once per Monte Carlo repetition, a
 /// BundleTable keeps, for each logical tuple, its deterministic attributes
@@ -219,6 +238,10 @@ class BundleTable {
                                              const std::string& attr_name,
                                              size_t num_reps, uint64_t seed,
                                              ThreadPool* pool);
+  friend Result<BundleTable> internal::GenerateBundlesImpl(
+      const MonteCarloDb& db, const StochasticTableSpec& spec,
+      const std::string& attr_name, size_t num_reps, uint64_t seed,
+      ThreadPool* pool, const std::vector<uint32_t>* keep);
 };
 
 /// Generates a BundleTable realization of `spec` with `num_reps`

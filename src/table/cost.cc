@@ -1,0 +1,362 @@
+#include "table/cost.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace mde::table {
+
+namespace {
+
+const char* CmpToken(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool IsNumericType(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kDouble ||
+         t == DataType::kBool;
+}
+
+/// Approximate fraction of non-null values strictly below `v`, from the
+/// equi-width histogram (values smeared uniformly within a bucket) or,
+/// lacking one, linear interpolation over [min, max].
+double FractionBelow(const ColumnStats& s, double v) {
+  if (!s.has_range) return 1.0 / 3.0;
+  if (v <= s.min) return 0.0;
+  if (v > s.max) return 1.0;
+  if (s.min >= s.max) return 0.0;  // constant column, v in (min, max] empty
+  if (!s.hist.empty() && s.hist_rows > 0) {
+    const double width =
+        (s.max - s.min) / static_cast<double>(s.hist.size());
+    size_t b = static_cast<size_t>((v - s.min) / width);
+    b = std::min(b, s.hist.size() - 1);
+    double below = 0.0;
+    for (size_t i = 0; i < b; ++i) below += static_cast<double>(s.hist[i]);
+    const double frac_in =
+        std::clamp((v - (s.min + static_cast<double>(b) * width)) / width,
+                   0.0, 1.0);
+    below += static_cast<double>(s.hist[b]) * frac_in;
+    return std::clamp(below / static_cast<double>(s.hist_rows), 0.0, 1.0);
+  }
+  return std::clamp((v - s.min) / (s.max - s.min), 0.0, 1.0);
+}
+
+// Defaults when no statistics can be traced (textbook guesses).
+constexpr double kDefaultEqSel = 0.1;
+constexpr double kDefaultRangeSel = 1.0 / 3.0;
+
+}  // namespace
+
+std::string PlanFingerprint(const PlanPtr& plan) {
+  switch (plan->kind()) {
+    case PlanNode::Kind::kScan: {
+      const size_t rows =
+          plan->table() != nullptr ? plan->table()->num_rows() : 0;
+      return "S(" + plan->name() + "#" + std::to_string(rows) + ")";
+    }
+    case PlanNode::Kind::kFilter: {
+      std::vector<std::string> preds;
+      preds.reserve(plan->predicates().size());
+      for (const auto& p : plan->predicates()) {
+        preds.push_back(p.column + CmpToken(p.op) + p.literal.ToString());
+      }
+      std::sort(preds.begin(), preds.end());
+      std::string joined;
+      for (size_t i = 0; i < preds.size(); ++i) {
+        if (i > 0) joined += "&";
+        joined += preds[i];
+      }
+      return "F(" + PlanFingerprint(plan->child()) + "|" + joined + ")";
+    }
+    case PlanNode::Kind::kProject:
+      // Projections never change cardinality: transparent, so feedback
+      // learned under one projection applies under any other (including
+      // the optimizer's ProjectAs schema-restoring wrapper).
+      return PlanFingerprint(plan->child());
+    case PlanNode::Kind::kJoin: {
+      std::string a = PlanFingerprint(plan->left());
+      std::string b = PlanFingerprint(plan->right());
+      std::vector<std::string> keys;
+      keys.reserve(plan->left_keys().size());
+      const bool swap = b < a;
+      for (size_t i = 0; i < plan->left_keys().size(); ++i) {
+        keys.push_back(swap
+                           ? plan->right_keys()[i] + "=" + plan->left_keys()[i]
+                           : plan->left_keys()[i] + "=" +
+                                 plan->right_keys()[i]);
+      }
+      if (swap) std::swap(a, b);
+      std::sort(keys.begin(), keys.end());
+      std::string joined;
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (i > 0) joined += ",";
+        joined += keys[i];
+      }
+      return "J(" + a + "|" + b + "|" + joined + ")";
+    }
+  }
+  return "?";
+}
+
+const ColumnStats* CostModel::FindColumnStats(const PlanPtr& plan,
+                                              const std::string& name) const {
+  switch (plan->kind()) {
+    case PlanNode::Kind::kScan: {
+      if (catalog_ == nullptr || plan->table() == nullptr) return nullptr;
+      // The shared_ptr is memoized on the Table, so the pointer stays
+      // valid for the duration of the optimization pass.
+      auto stats = catalog_->StatsFor(*plan->table());
+      return stats->Find(name);
+    }
+    case PlanNode::Kind::kFilter:
+      // Post-filter distributions shift, but base-column stats remain the
+      // best available single-column summary.
+      return FindColumnStats(plan->child(), name);
+    case PlanNode::Kind::kProject: {
+      const auto& cols = plan->columns();
+      const auto& aliases = plan->aliases();
+      if (aliases.empty()) {
+        for (const auto& c : cols) {
+          if (c == name) return FindColumnStats(plan->child(), name);
+        }
+        return nullptr;
+      }
+      for (size_t i = 0; i < aliases.size(); ++i) {
+        if (aliases[i] == name) {
+          return FindColumnStats(plan->child(), cols[i]);
+        }
+      }
+      return nullptr;
+    }
+    case PlanNode::Kind::kJoin: {
+      auto ls = plan->left()->OutputSchema();
+      if (ls.ok() && ls.value().Has(name)) {
+        return FindColumnStats(plan->left(), name);
+      }
+      auto rs = plan->right()->OutputSchema();
+      if (name.rfind("r.", 0) == 0) {
+        const std::string stripped = name.substr(2);
+        if (rs.ok() && rs.value().Has(stripped)) {
+          return FindColumnStats(plan->right(), stripped);
+        }
+      }
+      if (rs.ok() && rs.value().Has(name)) {
+        return FindColumnStats(plan->right(), name);
+      }
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+double CostModel::PredicateSelectivity(const PlanPtr& input,
+                                       const PlanPredicate& pred) const {
+  if (pred.literal.is_null()) return 0.0;  // SQL: comparisons to null fail
+  const ColumnStats* s = FindColumnStats(input, pred.column);
+  const bool numeric_lit = IsNumericType(pred.literal.type());
+  if (s == nullptr ||
+      (numeric_lit != IsNumericType(s->type) && s->type != DataType::kNull)) {
+    switch (pred.op) {
+      case CmpOp::kEq: return kDefaultEqSel;
+      case CmpOp::kNe: return 1.0 - kDefaultEqSel;
+      default: return kDefaultRangeSel;
+    }
+  }
+  const double non_null = std::clamp(1.0 - s->null_fraction, 0.0, 1.0);
+  const double ndv = std::max(s->distinct, 1.0);
+  const double eq_frac = 1.0 / ndv;
+  if (!numeric_lit || !s->has_range) {
+    // Strings (and rangeless columns): uniform over the distinct values.
+    switch (pred.op) {
+      case CmpOp::kEq: return non_null * eq_frac;
+      case CmpOp::kNe: return non_null * (1.0 - eq_frac);
+      default: return non_null * kDefaultRangeSel;
+    }
+  }
+  // Value::AsDouble coerces int64 but aborts on bool — widen by hand.
+  const double v = pred.literal.type() == DataType::kBool
+                       ? (pred.literal.AsBool() ? 1.0 : 0.0)
+                       : pred.literal.AsDouble();
+  const bool in_range = v >= s->min && v <= s->max;
+  switch (pred.op) {
+    case CmpOp::kEq:
+      return in_range ? non_null * eq_frac : 0.0;
+    case CmpOp::kNe:
+      return in_range ? non_null * (1.0 - eq_frac) : non_null;
+    case CmpOp::kLt:
+      return non_null * FractionBelow(*s, v);
+    case CmpOp::kLe:
+      return non_null *
+             std::min(1.0, FractionBelow(*s, v) + (in_range ? eq_frac : 0.0));
+    case CmpOp::kGe:
+      return non_null * (1.0 - FractionBelow(*s, v));
+    case CmpOp::kGt:
+      return non_null *
+             std::max(0.0, 1.0 - FractionBelow(*s, v) -
+                               (in_range ? eq_frac : 0.0));
+  }
+  return kDefaultRangeSel;
+}
+
+double CostModel::EstimateRows(const PlanPtr& plan) const {
+  auto it = rows_memo_.find(plan.get());
+  if (it != rows_memo_.end()) return it->second;
+  double rows = -1.0;
+  double fb = 0.0;
+  if (catalog_ != nullptr &&
+      catalog_->LookupActual(PlanFingerprint(plan), &fb)) {
+    rows = fb;
+  } else {
+    switch (plan->kind()) {
+      case PlanNode::Kind::kScan:
+        rows = plan->table() != nullptr
+                   ? static_cast<double>(plan->table()->num_rows())
+                   : 0.0;
+        break;
+      case PlanNode::Kind::kFilter: {
+        rows = EstimateRows(plan->child());
+        for (const auto& p : plan->predicates()) {
+          rows *= PredicateSelectivity(plan->child(), p);
+        }
+        break;
+      }
+      case PlanNode::Kind::kProject:
+        rows = EstimateRows(plan->child());
+        break;
+      case PlanNode::Kind::kJoin: {
+        const double l = EstimateRows(plan->left());
+        const double r = EstimateRows(plan->right());
+        rows = l * r;
+        for (size_t i = 0; i < plan->left_keys().size(); ++i) {
+          const ColumnStats* ls =
+              FindColumnStats(plan->left(), plan->left_keys()[i]);
+          const ColumnStats* rs =
+              FindColumnStats(plan->right(), plan->right_keys()[i]);
+          const double ndv_l = ls != nullptr && ls->distinct > 0.0
+                                   ? ls->distinct
+                                   : std::max(l, 1.0);
+          const double ndv_r = rs != nullptr && rs->distinct > 0.0
+                                   ? rs->distinct
+                                   : std::max(r, 1.0);
+          rows /= std::max({ndv_l, ndv_r, 1.0});
+        }
+        break;
+      }
+    }
+  }
+  rows = std::max(rows, 0.0);
+  rows_memo_[plan.get()] = rows;
+  return rows;
+}
+
+double CostModel::EstimateCost(const PlanPtr& plan) const {
+  auto it = cost_memo_.find(plan.get());
+  if (it != cost_memo_.end()) return it->second;
+  double cost = 0.0;
+  switch (plan->kind()) {
+    case PlanNode::Kind::kScan:
+      cost = EstimateRows(plan);
+      break;
+    case PlanNode::Kind::kFilter: {
+      // Each predicate touches the rows surviving the ones before it —
+      // this is what makes selectivity-ordered predicates cheaper.
+      cost = EstimateCost(plan->child());
+      double domain = EstimateRows(plan->child());
+      for (const auto& p : plan->predicates()) {
+        cost += domain;
+        domain *= PredicateSelectivity(plan->child(), p);
+      }
+      break;
+    }
+    case PlanNode::Kind::kProject:
+      // Near-free on the vectorized path (column pointer reshuffle).
+      cost = EstimateCost(plan->child()) + 0.05 * EstimateRows(plan->child());
+      break;
+    case PlanNode::Kind::kJoin:
+      // Hash join: build the right side, probe with the left, materialize
+      // the output gather.
+      cost = EstimateCost(plan->left()) + EstimateCost(plan->right()) +
+             1.5 * EstimateRows(plan->right()) + EstimateRows(plan->left()) +
+             EstimateRows(plan);
+      break;
+  }
+  cost_memo_[plan.get()] = cost;
+  return cost;
+}
+
+namespace {
+
+void AnnotateRec(const PlanPtr& plan, const CostModel& model,
+                 ExecutionStats* stats, size_t* idx) {
+  if (*idx >= stats->nodes.size()) return;
+  stats->nodes[*idx].est_rows = model.EstimateRows(plan);
+  ++*idx;
+  switch (plan->kind()) {
+    case PlanNode::Kind::kScan:
+      break;
+    case PlanNode::Kind::kFilter:
+    case PlanNode::Kind::kProject:
+      AnnotateRec(plan->child(), model, stats, idx);
+      break;
+    case PlanNode::Kind::kJoin:
+      AnnotateRec(plan->left(), model, stats, idx);
+      AnnotateRec(plan->right(), model, stats, idx);
+      break;
+  }
+}
+
+void RecordRec(const PlanPtr& plan, const ExecutionStats& stats,
+               Catalog* catalog, size_t* idx) {
+  if (*idx >= stats.nodes.size()) return;
+  const ExecutionStats::NodeProfile& np = stats.nodes[*idx];
+  catalog->RecordActual(PlanFingerprint(plan),
+                        static_cast<double>(np.rows_out));
+  if (np.est_rows >= 0.0) {
+    const double denom = std::max(static_cast<double>(np.rows_out), 1.0);
+    MDE_OBS_OBSERVE("opt.est.rel_error",
+                    std::abs(np.est_rows - static_cast<double>(np.rows_out)) /
+                        denom);
+  }
+  ++*idx;
+  switch (plan->kind()) {
+    case PlanNode::Kind::kScan:
+      break;
+    case PlanNode::Kind::kFilter:
+    case PlanNode::Kind::kProject:
+      RecordRec(plan->child(), stats, catalog, idx);
+      break;
+    case PlanNode::Kind::kJoin:
+      RecordRec(plan->left(), stats, catalog, idx);
+      RecordRec(plan->right(), stats, catalog, idx);
+      break;
+  }
+}
+
+}  // namespace
+
+void AnnotateEstimates(const PlanPtr& plan, const CostModel& model,
+                       ExecutionStats* stats) {
+  size_t idx = 0;
+  AnnotateRec(plan, model, stats, &idx);
+}
+
+void RecordActuals(const PlanPtr& plan, const ExecutionStats& stats,
+                   Catalog* catalog) {
+  if (catalog == nullptr) return;
+  size_t idx = 0;
+  RecordRec(plan, stats, catalog, &idx);
+  MDE_OBS_COUNT("opt.plans_profiled", 1);
+}
+
+}  // namespace mde::table

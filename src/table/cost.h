@@ -1,0 +1,79 @@
+#ifndef MDE_TABLE_COST_H_
+#define MDE_TABLE_COST_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "table/catalog.h"
+#include "table/plan.h"
+
+namespace mde::table {
+
+/// Canonical structural fingerprint of a plan (sub)tree, used as the key
+/// for execution feedback. Canonicalizations so equivalent shapes share
+/// feedback: scan fingerprints include the base-table row count (stale
+/// actuals for a since-mutated table never apply), filter predicates are
+/// order-insensitive, projections are transparent (they never change
+/// cardinality), and joins are commutative.
+std::string PlanFingerprint(const PlanPtr& plan);
+
+/// Cardinality estimation and a coarse cost model over PlanNode trees.
+///
+/// Estimates consult the catalog's execution feedback first (actual row
+/// counts observed by earlier profiled runs of the same subplan), then
+/// fall back to textbook analytic estimates from per-column statistics:
+/// equality selects 1/distinct, ranges interpolate the equi-width
+/// histogram, equi-joins contribute 1/max(ndv_left, ndv_right) per key
+/// pair. Costs charge each operator for the rows it touches, which is the
+/// quantity the vectorized executor's wall time actually tracks.
+///
+/// A CostModel instance memoizes per-node results, so it is cheap to call
+/// repeatedly during join-order search; make a fresh instance per
+/// optimization pass (memos key on node identity).
+class CostModel {
+ public:
+  explicit CostModel(Catalog* catalog = &Catalog::Global())
+      : catalog_(catalog) {}
+
+  /// Estimated output rows of `plan` (feedback-first). Always >= 0.
+  double EstimateRows(const PlanPtr& plan) const;
+
+  /// Estimated total work to execute `plan` (abstract row-touch units).
+  double EstimateCost(const PlanPtr& plan) const;
+
+  /// Estimated fraction of `input`'s rows that satisfy `pred`, in [0, 1].
+  double PredicateSelectivity(const PlanPtr& input,
+                              const PlanPredicate& pred) const;
+
+  /// Statistics for the named output column of `plan`, traced through
+  /// filters / projections / joins to the base-table column that feeds
+  /// it. Returns nullptr when the column cannot be traced. The pointer
+  /// lives as long as the base table's memoized stats (dropped on table
+  /// mutation) — use it immediately, inside one optimization pass.
+  const ColumnStats* FindColumnStats(const PlanPtr& plan,
+                                     const std::string& name) const;
+
+ private:
+  Catalog* catalog_;
+  mutable std::unordered_map<const PlanNode*, double> rows_memo_;
+  mutable std::unordered_map<const PlanNode*, double> cost_memo_;
+};
+
+/// Fills stats->nodes[i].est_rows for every plan node (pre-order, the
+/// same traversal both executors use). Call after execution but before
+/// RecordActuals so the estimates reflect what the model believed going
+/// in, not what this run just taught it.
+void AnnotateEstimates(const PlanPtr& plan, const CostModel& model,
+                       ExecutionStats* stats);
+
+/// Folds the observed rows_out of every plan node back into the catalog,
+/// keyed by fingerprint, and publishes opt.* metrics (estimation error,
+/// feedback volume). The next estimate of the same subplan starts from
+/// these actuals.
+void RecordActuals(const PlanPtr& plan, const ExecutionStats& stats,
+                   Catalog* catalog = &Catalog::Global());
+
+}  // namespace mde::table
+
+#endif  // MDE_TABLE_COST_H_

@@ -1,0 +1,54 @@
+#ifndef MDE_TABLE_OPTIMIZER_H_
+#define MDE_TABLE_OPTIMIZER_H_
+
+#include <cstddef>
+
+#include "table/cost.h"
+#include "table/plan.h"
+#include "util/status.h"
+
+namespace mde::table {
+
+/// Knobs for CostBasedOptimize. OptimizePlan (plan.h) runs with defaults;
+/// tests and benchmarks toggle individual passes to measure them in
+/// isolation.
+struct OptimizerOptions {
+  /// Classical selection pushdown: filters sink below projections and
+  /// joins to the deepest schema that can evaluate them; adjacent filters
+  /// merge.
+  bool push_selections = true;
+  /// Cost-based join reordering over each maximal join cluster:
+  /// exhaustive left-deep dynamic programming up to dp_max_relations
+  /// relations, greedy chaining above. Only orders connected by join
+  /// edges are considered (never introduces cross products), and the
+  /// as-written output schema is restored with a zero-copy renaming
+  /// projection when the new order changes which side the "r." duplicate
+  /// prefix lands on.
+  bool reorder_joins = true;
+  /// Projection pushdown: under an explicit projection, narrow scans to
+  /// the columns the rest of the plan actually consumes, so joins gather
+  /// and materialize fewer blocks.
+  bool push_projections = true;
+  /// Reorder conjunctive filter predicates by estimated selectivity
+  /// (most selective first), so later predicates scan shorter selection
+  /// vectors.
+  bool order_predicates = true;
+  size_t dp_max_relations = 6;
+  /// Join clusters larger than this are left as written (search space
+  /// guard; greedy handles everything up to here).
+  size_t max_relations = 16;
+};
+
+/// Cost-based plan optimization driven by the statistics catalog
+/// (catalog.h) and cost model (cost.h). Returns a semantically equivalent
+/// plan: same rows, same output schema (column names, types, and order),
+/// with row order preserved except across join reorders (hash join output
+/// order is an implementation detail; use order-insensitive comparison
+/// when asserting on reordered plans). `OptimizePlan` in plan.h is this
+/// entry point with default options.
+Result<PlanPtr> CostBasedOptimize(const PlanPtr& plan,
+                                  const OptimizerOptions& opts);
+
+}  // namespace mde::table
+
+#endif  // MDE_TABLE_OPTIMIZER_H_

@@ -1,11 +1,15 @@
 #include "table/plan.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "table/cost.h"
+#include "table/optimizer.h"
 #include "table/vec_ops.h"
 #include "util/check.h"
 
@@ -42,6 +46,18 @@ PlanPtr PlanNode::Project(PlanPtr child, std::vector<std::string> columns) {
   return MakeNode(std::move(n));
 }
 
+PlanPtr PlanNode::ProjectAs(PlanPtr child, std::vector<std::string> columns,
+                            std::vector<std::string> aliases) {
+  MDE_CHECK(child != nullptr);
+  MDE_CHECK_EQ(columns.size(), aliases.size());
+  PlanNode n;
+  n.kind_ = Kind::kProject;
+  n.child_ = std::move(child);
+  n.columns_ = std::move(columns);
+  n.aliases_ = std::move(aliases);
+  return MakeNode(std::move(n));
+}
+
 PlanPtr PlanNode::Join(PlanPtr left, PlanPtr right,
                        std::vector<std::string> left_keys,
                        std::vector<std::string> right_keys) {
@@ -64,9 +80,11 @@ Result<Schema> PlanNode::OutputSchema() const {
     case Kind::kProject: {
       MDE_ASSIGN_OR_RETURN(Schema in, child_->OutputSchema());
       std::vector<ColumnSpec> cols;
-      for (const auto& c : columns_) {
-        MDE_ASSIGN_OR_RETURN(size_t idx, in.IndexOf(c));
-        cols.push_back(in.column(idx));
+      for (size_t i = 0; i < columns_.size(); ++i) {
+        MDE_ASSIGN_OR_RETURN(size_t idx, in.IndexOf(columns_[i]));
+        cols.push_back(
+            {aliases_.empty() ? columns_[i] : aliases_[i],
+             in.column(idx).type});
       }
       return Schema(std::move(cols));
     }
@@ -119,6 +137,16 @@ Result<Table> ExecutePlanRowsImpl(const PlanPtr& plan,
     case PlanNode::Kind::kProject: {
       MDE_ASSIGN_OR_RETURN(Table in, ExecutePlanRows(plan->child(), stats));
       MDE_ASSIGN_OR_RETURN(Table out, Project(in, plan->columns()));
+      if (!plan->aliases().empty()) {
+        std::vector<ColumnSpec> specs;
+        specs.reserve(out.schema().num_columns());
+        for (size_t i = 0; i < out.schema().num_columns(); ++i) {
+          specs.push_back(
+              {plan->aliases()[i], out.schema().column(i).type});
+        }
+        std::vector<Row> rows = out.rows();
+        out = Table(Schema(std::move(specs)), std::move(rows));
+      }
       if (stats != nullptr) stats->intermediate_rows += out.num_rows();
       return out;
     }
@@ -203,6 +231,22 @@ Result<ColumnarBatch> ExecBatchImpl(const PlanPtr& plan,
                            ExecBatch(plan->child(), stats, pool));
       MDE_ASSIGN_OR_RETURN(ColumnarBatch out,
                            VecProject(in, plan->columns()));
+      if (!plan->aliases().empty()) {
+        // Renaming projection: rewrap the same column blocks under the
+        // alias schema — zero copies, zero row work.
+        std::vector<ColumnSpec> specs;
+        std::vector<std::shared_ptr<const Column>> ptrs;
+        specs.reserve(out.cols->num_columns());
+        ptrs.reserve(out.cols->num_columns());
+        for (size_t i = 0; i < out.cols->num_columns(); ++i) {
+          specs.push_back(
+              {plan->aliases()[i], out.cols->schema().column(i).type});
+          ptrs.push_back(out.cols->col_ptr(i));
+        }
+        out.cols = std::make_shared<const ColumnarTable>(
+            Schema(std::move(specs)), std::move(ptrs),
+            out.cols->num_rows());
+      }
       if (stats != nullptr) stats->intermediate_rows += out.size();
       return out;
     }
@@ -247,17 +291,36 @@ Result<ColumnarBatch> ExecBatch(const PlanPtr& plan, ExecutionStats* stats,
 
 }  // namespace
 
+namespace {
+
+/// Post-execution bookkeeping for profiled runs: annotate each profile
+/// with the cost model's estimate (computed from the catalog state the
+/// optimizer saw — feedback from THIS run is folded in afterwards), then
+/// record the actuals so the next run of the same (sub)plans estimates
+/// from observation.
+void FeedbackProfiledRun(const PlanPtr& plan, ExecutionStats* stats) {
+  CostModel model;
+  AnnotateEstimates(plan, model, stats);
+  RecordActuals(plan, *stats);
+}
+
+}  // namespace
+
 Result<Table> ExecutePlan(const PlanPtr& plan, ExecutionStats* stats) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
   MDE_TRACE_SPAN("plan.execute");
   if (stats != nullptr) stats->nodes.clear();
-  if (ScansConvert(plan)) {
-    ThreadPool* pool = VecPool();
-    MDE_ASSIGN_OR_RETURN(ColumnarBatch out, ExecBatch(plan, stats, pool));
-    return BatchToTable(out, pool);
-  }
-  MDE_OBS_COUNT("plan.fallback_to_row_path", 1);
-  return ExecutePlanRows(plan, stats);
+  Result<Table> out = [&]() -> Result<Table> {
+    if (ScansConvert(plan)) {
+      ThreadPool* pool = VecPool();
+      MDE_ASSIGN_OR_RETURN(ColumnarBatch batch, ExecBatch(plan, stats, pool));
+      return BatchToTable(batch, pool);
+    }
+    MDE_OBS_COUNT("plan.fallback_to_row_path", 1);
+    return ExecutePlanRows(plan, stats);
+  }();
+  if (out.ok() && stats != nullptr) FeedbackProfiledRun(plan, stats);
+  return out;
 }
 
 namespace internal {
@@ -265,124 +328,14 @@ namespace internal {
 Result<Table> ExecutePlanRowPath(const PlanPtr& plan, ExecutionStats* stats) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
   if (stats != nullptr) stats->nodes.clear();
-  return ExecutePlanRows(plan, stats);
+  Result<Table> out = ExecutePlanRows(plan, stats);
+  if (out.ok() && stats != nullptr) FeedbackProfiledRun(plan, stats);
+  return out;
 }
 
 }  // namespace internal
 
 namespace {
-
-/// Recursively optimizes, returning the rewritten subtree.
-Result<PlanPtr> OptimizeRec(const PlanPtr& plan);
-
-/// Attempts to sink `preds` into `node`. Predicates that cannot sink are
-/// returned in `left_over` to be applied above `node`.
-Result<PlanPtr> SinkPredicates(const PlanPtr& node,
-                               std::vector<PlanPredicate> preds,
-                               std::vector<PlanPredicate>* left_over) {
-  if (preds.empty()) return node;
-  switch (node->kind()) {
-    case PlanNode::Kind::kFilter: {
-      // Merge into the existing filter, then recurse below it.
-      std::vector<PlanPredicate> merged = node->predicates();
-      merged.insert(merged.end(), preds.begin(), preds.end());
-      std::vector<PlanPredicate> deeper_left_over;
-      MDE_ASSIGN_OR_RETURN(
-          PlanPtr child,
-          SinkPredicates(node->child(), merged, &deeper_left_over));
-      if (deeper_left_over.empty()) return child;
-      return PlanNode::Filter(child, std::move(deeper_left_over));
-    }
-    case PlanNode::Kind::kScan: {
-      // Deepest point: apply all predicates here.
-      return PlanNode::Filter(node, std::move(preds));
-    }
-    case PlanNode::Kind::kProject: {
-      // A predicate slides below the projection iff its column survives
-      // (projection only narrows columns, never renames).
-      MDE_ASSIGN_OR_RETURN(Schema child_schema,
-                           node->child()->OutputSchema());
-      std::vector<PlanPredicate> sinkable, stuck;
-      for (auto& p : preds) {
-        (child_schema.Has(p.column) ? sinkable : stuck)
-            .push_back(std::move(p));
-      }
-      // Columns removed by the projection cannot be referenced above it
-      // either, so "stuck" predicates are errors; report them.
-      if (!stuck.empty()) {
-        return Status::InvalidArgument("predicate column not found: " +
-                                       stuck[0].column);
-      }
-      std::vector<PlanPredicate> deeper;
-      MDE_ASSIGN_OR_RETURN(PlanPtr child,
-                           SinkPredicates(node->child(), sinkable, &deeper));
-      if (!deeper.empty()) child = PlanNode::Filter(child, deeper);
-      return PlanNode::Project(child, node->columns());
-    }
-    case PlanNode::Kind::kJoin: {
-      MDE_ASSIGN_OR_RETURN(Schema ls, node->left()->OutputSchema());
-      MDE_ASSIGN_OR_RETURN(Schema rs, node->right()->OutputSchema());
-      std::vector<PlanPredicate> to_left, to_right;
-      for (auto& p : preds) {
-        if (ls.Has(p.column)) {
-          to_left.push_back(std::move(p));
-        } else if (rs.Has(p.column)) {
-          // Unambiguous right-side column (possibly exposed as "r.x"
-          // above the join, but referenced here by its base name).
-          to_right.push_back(std::move(p));
-        } else if (p.column.rfind("r.", 0) == 0 &&
-                   rs.Has(p.column.substr(2))) {
-          PlanPredicate stripped = std::move(p);
-          stripped.column = stripped.column.substr(2);
-          to_right.push_back(std::move(stripped));
-        } else {
-          left_over->push_back(std::move(p));
-        }
-      }
-      std::vector<PlanPredicate> dummy_l, dummy_r;
-      PlanPtr new_left = node->left();
-      PlanPtr new_right = node->right();
-      if (!to_left.empty()) {
-        MDE_ASSIGN_OR_RETURN(new_left,
-                             SinkPredicates(new_left, to_left, &dummy_l));
-      }
-      if (!to_right.empty()) {
-        MDE_ASSIGN_OR_RETURN(new_right,
-                             SinkPredicates(new_right, to_right, &dummy_r));
-      }
-      MDE_CHECK(dummy_l.empty() && dummy_r.empty());
-      return PlanNode::Join(new_left, new_right, node->left_keys(),
-                            node->right_keys());
-    }
-  }
-  return Status::Internal("unknown plan node");
-}
-
-Result<PlanPtr> OptimizeRec(const PlanPtr& plan) {
-  switch (plan->kind()) {
-    case PlanNode::Kind::kScan:
-      return plan;
-    case PlanNode::Kind::kFilter: {
-      MDE_ASSIGN_OR_RETURN(PlanPtr child, OptimizeRec(plan->child()));
-      std::vector<PlanPredicate> left_over;
-      MDE_ASSIGN_OR_RETURN(
-          PlanPtr sunk,
-          SinkPredicates(child, plan->predicates(), &left_over));
-      if (left_over.empty()) return sunk;
-      return PlanNode::Filter(sunk, std::move(left_over));
-    }
-    case PlanNode::Kind::kProject: {
-      MDE_ASSIGN_OR_RETURN(PlanPtr child, OptimizeRec(plan->child()));
-      return PlanNode::Project(child, plan->columns());
-    }
-    case PlanNode::Kind::kJoin: {
-      MDE_ASSIGN_OR_RETURN(PlanPtr l, OptimizeRec(plan->left()));
-      MDE_ASSIGN_OR_RETURN(PlanPtr r, OptimizeRec(plan->right()));
-      return PlanNode::Join(l, r, plan->left_keys(), plan->right_keys());
-    }
-  }
-  return Status::Internal("unknown plan node");
-}
 
 const char* CmpName(CmpOp op) {
   switch (op) {
@@ -426,6 +379,10 @@ void PrintNodeLabel(const PlanPtr& plan, std::ostringstream* os) {
       for (size_t i = 0; i < plan->columns().size(); ++i) {
         if (i > 0) *os << ", ";
         *os << plan->columns()[i];
+        if (!plan->aliases().empty() &&
+            plan->aliases()[i] != plan->columns()[i]) {
+          *os << " AS " << plan->aliases()[i];
+        }
       }
       *os << ")";
       break;
@@ -474,15 +431,63 @@ std::string FormatNanos(double ns) {
   return buf;
 }
 
+size_t CountNodes(const PlanPtr& plan) {
+  switch (plan->kind()) {
+    case PlanNode::Kind::kScan:
+      return 1;
+    case PlanNode::Kind::kFilter:
+    case PlanNode::Kind::kProject:
+      return 1 + CountNodes(plan->child());
+    case PlanNode::Kind::kJoin:
+      return 1 + CountNodes(plan->left()) + CountNodes(plan->right());
+  }
+  return 1;
+}
+
+/// Sum of the children's inclusive wall times for the node whose profile
+/// sits at `index` (children follow in pre-order, offset by subtree size).
+double ChildrenInclusiveNs(const PlanPtr& plan, const ExecutionStats& stats,
+                           size_t index) {
+  double ns = 0.0;
+  size_t ci = index + 1;
+  auto add = [&](const PlanPtr& child) {
+    if (ci < stats.nodes.size()) ns += stats.nodes[ci].wall_ns;
+    ci += CountNodes(child);
+  };
+  switch (plan->kind()) {
+    case PlanNode::Kind::kScan:
+      break;
+    case PlanNode::Kind::kFilter:
+    case PlanNode::Kind::kProject:
+      add(plan->child());
+      break;
+    case PlanNode::Kind::kJoin:
+      add(plan->left());
+      add(plan->right());
+      break;
+  }
+  return ns;
+}
+
 /// Walks the tree in the executors' pre-order, consuming one profile per
-/// node from `*next`.
+/// node from `*next`. Renders actual rows next to the optimizer's
+/// estimate (when the run was estimated), inclusive wall time, and self
+/// time (inclusive minus children — where the time was actually spent).
 void AnalyzeRec(const PlanPtr& plan, const ExecutionStats& stats, int depth,
                 size_t* next, std::ostringstream* os) {
   for (int i = 0; i < depth; ++i) *os << "  ";
   PrintNodeLabel(plan, os);
   if (*next < stats.nodes.size()) {
-    const ExecutionStats::NodeProfile& p = stats.nodes[(*next)++];
-    *os << " [rows=" << p.rows_out << " time=" << FormatNanos(p.wall_ns);
+    const size_t index = (*next)++;
+    const ExecutionStats::NodeProfile& p = stats.nodes[index];
+    *os << " [rows=" << p.rows_out;
+    if (p.est_rows >= 0.0) {
+      *os << " est=" << static_cast<long long>(std::llround(p.est_rows));
+    }
+    const double self_ns =
+        std::max(0.0, p.wall_ns - ChildrenInclusiveNs(plan, stats, index));
+    *os << " time=" << FormatNanos(p.wall_ns)
+        << " self=" << FormatNanos(self_ns);
     if (p.vectorized) *os << " chunks=" << p.chunks;
     *os << (p.vectorized ? " vec]" : " row]");
   } else {
@@ -506,8 +511,7 @@ void AnalyzeRec(const PlanPtr& plan, const ExecutionStats& stats, int depth,
 }  // namespace
 
 Result<PlanPtr> OptimizePlan(const PlanPtr& plan) {
-  if (plan == nullptr) return Status::InvalidArgument("null plan");
-  return OptimizeRec(plan);
+  return CostBasedOptimize(plan, OptimizerOptions{});
 }
 
 std::string ExplainPlan(const PlanPtr& plan) {

@@ -38,6 +38,13 @@ class PlanNode {
   static PlanPtr Scan(const Table* table, std::string name);
   static PlanPtr Filter(PlanPtr child, std::vector<PlanPredicate> preds);
   static PlanPtr Project(PlanPtr child, std::vector<std::string> columns);
+  /// Projection with output renaming: column i of the result is source
+  /// column `columns[i]` under the name `aliases[i]`. The optimizer uses
+  /// this to restore the exact as-written output schema after a join
+  /// reorder changes which side gets the "r." duplicate prefix; the
+  /// vectorized executor implements it as a zero-copy schema rewrap.
+  static PlanPtr ProjectAs(PlanPtr child, std::vector<std::string> columns,
+                           std::vector<std::string> aliases);
   static PlanPtr Join(PlanPtr left, PlanPtr right,
                       std::vector<std::string> left_keys,
                       std::vector<std::string> right_keys);
@@ -50,6 +57,9 @@ class PlanNode {
   const PlanPtr& right() const { return right_; }
   const std::vector<PlanPredicate>& predicates() const { return preds_; }
   const std::vector<std::string>& columns() const { return columns_; }
+  /// Output names for kProject, parallel to columns(); empty when the
+  /// projection does not rename.
+  const std::vector<std::string>& aliases() const { return aliases_; }
   const std::vector<std::string>& left_keys() const { return left_keys_; }
   const std::vector<std::string>& right_keys() const { return right_keys_; }
 
@@ -66,6 +76,7 @@ class PlanNode {
   PlanPtr child_;                 // kFilter / kProject
   std::vector<PlanPredicate> preds_;
   std::vector<std::string> columns_;
+  std::vector<std::string> aliases_;  // kProject renames (may be empty)
   PlanPtr left_, right_;          // kJoin
   std::vector<std::string> left_keys_, right_keys_;
 };
@@ -90,6 +101,12 @@ struct ExecutionStats {
     size_t chunks = 0;
     /// True when the columnar executor ran this node.
     bool vectorized = false;
+    /// The optimizer's cardinality estimate for this node, or -1 when the
+    /// plan was executed without estimation (no cost model consulted).
+    /// Compared against rows_out by ExplainAnalyze and folded back into
+    /// the catalog so the next run of the same (sub)plan estimates from
+    /// observed actuals.
+    double est_rows = -1.0;
   };
   /// Per-operator profiles indexed by the plan's pre-order position (node,
   /// then child — left before right for joins). Both executors traverse in
@@ -114,10 +131,10 @@ namespace internal {
 Result<Table> ExecutePlanRowPath(const PlanPtr& plan, ExecutionStats* stats);
 }  // namespace internal
 
-/// Classical rewrite: selection pushdown. Filters above a join are split
-/// by the side whose schema can evaluate them and pushed below the join;
-/// filters above projections slide down when their columns survive;
-/// adjacent filters merge. Returns a semantically equivalent plan.
+/// Cost-based optimization (optimizer.h): selection pushdown, predicate
+/// ordering by estimated selectivity, projection pushdown, and join
+/// reordering driven by the statistics catalog (catalog.h) and cost model
+/// (cost.h). Returns a semantically equivalent plan.
 Result<PlanPtr> OptimizePlan(const PlanPtr& plan);
 
 /// Pretty-printed operator tree for debugging / EXPLAIN output.

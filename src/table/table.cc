@@ -91,6 +91,7 @@ void Table::Append(Row row) {
   MDE_CHECK_EQ(row.size(), schema_.num_columns());
   EnsureRows();
   columnar_.reset();
+  stats_.reset();
   rows_.push_back(std::move(row));
 }
 
@@ -114,6 +115,7 @@ void Table::Set(size_t row, size_t col, Value v) {
   MDE_CHECK_LT(col, schema_.num_columns());
   EnsureRows();
   columnar_.reset();
+  stats_.reset();
   rows_[row][col] = std::move(v);
 }
 

@@ -12,6 +12,7 @@
 namespace mde::table {
 
 class ColumnarTable;
+struct TableStats;
 
 /// A named, typed column slot.
 struct ColumnSpec {
@@ -107,6 +108,17 @@ class Table {
   /// Wraps a columnar table; the boxed row view is built on first access.
   static Table FromColumnar(std::shared_ptr<const ColumnarTable> cols);
 
+  /// Memoized per-column statistics (catalog.h). Computed on first
+  /// Catalog::StatsFor call and dropped by any mutation, the same
+  /// discipline as the cached columnar conversion. Same single-thread
+  /// caveat: the cache mutates under const.
+  const std::shared_ptr<const TableStats>& stats_cache() const {
+    return stats_;
+  }
+  void set_stats_cache(std::shared_ptr<const TableStats> s) const {
+    stats_ = std::move(s);
+  }
+
   /// Pretty-printed preview of up to `max_rows` rows.
   std::string ToString(size_t max_rows = 20) const;
 
@@ -120,6 +132,8 @@ class Table {
   /// table has zero rows). Reset by any mutation; also a cache for
   /// ToColumnar on row-backed tables, hence mutable.
   mutable std::shared_ptr<const ColumnarTable> columnar_;
+  /// Memoized statistics; reset together with columnar_ on mutation.
+  mutable std::shared_ptr<const TableStats> stats_;
 };
 
 }  // namespace mde::table

@@ -501,10 +501,51 @@ Result<SelVector> VecFilterImpl(const ColumnarTable& t, const SelVector* sel,
         domain, sel, pool, c, [data](uint32_t r) { return data[r]; }, op, lit);
   }
   if (c.type == DataType::kString && lt == DataType::kString) {
-    // One comparison per distinct dictionary entry, then a per-row table
-    // lookup — the payoff of dictionary encoding.
     const auto& dict = *c.dict;
     const std::string& ls = literal.AsString();
+    const uint32_t* codes_eq = c.codes.data();
+    if (op == CmpOp::kEq || op == CmpOp::kNe) {
+      // Equality never needs string comparisons per row OR per entry:
+      // resolve the literal to its (unique, interned) dictionary code
+      // once, then the filter is a pure integer compare on the code
+      // block — on both the dense and the selection-vector paths.
+      const bool negate = op == CmpOp::kNe;
+      uint32_t code = static_cast<uint32_t>(dict.size());
+      for (size_t k = 0; k < dict.size(); ++k) {
+        if (dict[k] == ls) {
+          code = static_cast<uint32_t>(k);
+          break;
+        }
+      }
+      if (code == dict.size()) {
+        // Literal absent from the dictionary: eq matches nothing, ne
+        // matches every valid row.
+        if (!negate) return SelVector{};
+        if (sel == nullptr) {
+          return CollectMatchesDense(domain, c, pool,
+                                     [](size_t, size_t len, uint64_t* words) {
+                                       AllOnesBitmap(len, words);
+                                     });
+        }
+        return CollectMatches(domain, sel, pool,
+                              [&c](uint32_t r) { return c.IsValid(r); });
+      }
+      if (sel == nullptr) {
+        return CollectMatchesDense(
+            domain, c, pool,
+            [codes_eq, code, negate](size_t b, size_t len, uint64_t* words) {
+              simd::CmpU32EqBitmap(codes_eq + b, len, code, negate, words);
+            });
+      }
+      return CollectMatches(domain, sel, pool,
+                            [&c, codes_eq, code, negate](uint32_t r) {
+                              return c.IsValid(r) &&
+                                     ((codes_eq[r] == code) != negate);
+                            });
+    }
+    // Ordered comparisons: one string comparison per distinct dictionary
+    // entry, then a per-row table lookup — the payoff of dictionary
+    // encoding.
     std::vector<uint8_t> match(dict.size());
     for (size_t k = 0; k < dict.size(); ++k) {
       match[k] = CmpStrings(dict[k], op, ls) ? 1 : 0;

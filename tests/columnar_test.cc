@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "table/catalog.h"
 #include "table/columnar.h"
 #include "table/ops.h"
 #include "table/plan.h"
@@ -679,6 +680,136 @@ TEST(VecOpsTest, CrossTypePredicateFollowsValueRanking)
   ASSERT_TRUE(gt.ok() && lt.ok());
   EXPECT_EQ(gt.value().size(), 1u);  // "a" only; null never matches
   EXPECT_EQ(lt.value().size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Dictionary-code pushdown: string eq/ne runs as an integer compare on
+// dictionary codes; the observable behavior must stay exactly the row
+// path's, including literals absent from the dictionary and null cells.
+// ---------------------------------------------------------------------------
+
+TEST(DictPushdownTest, StringEqNeMatchesRowPath) {
+  Table t{Schema({{"s", DataType::kString}, {"x", DataType::kInt64}})};
+  for (int64_t i = 0; i < 300; ++i) {
+    if (i % 7 == 0) {
+      t.Append({Value(), Value(i)});  // null string cell
+    } else {
+      t.Append({Value(kStrings[i % 5]), Value(i)});
+    }
+  }
+  auto cols = t.ToColumnar();
+  ASSERT_TRUE(cols.ok());
+  const ColumnarTable& ct = *cols.value();
+
+  // A narrowing prefix filter to also exercise the selection-vector path.
+  auto pre = VecFilter(ct, nullptr, "x", CmpOp::kLt, Value(int64_t{150}),
+                       nullptr);
+  ASSERT_TRUE(pre.ok());
+
+  const Value literals[] = {Value("apple"), Value("durian"), Value(""),
+                            Value("zed")};
+  for (const Value& lit : literals) {
+    for (CmpOp op : {CmpOp::kEq, CmpOp::kNe}) {
+      auto pred = ColumnCompare(t.schema(), "s", op, lit);
+      ASSERT_TRUE(pred.ok());
+      // Dense path.
+      auto sel = VecFilter(ct, nullptr, "s", op, lit, nullptr);
+      ASSERT_TRUE(sel.ok());
+      SelVector expect;
+      for (size_t i = 0; i < t.num_rows(); ++i) {
+        if (pred.value()(t.row(i))) expect.push_back(static_cast<uint32_t>(i));
+      }
+      EXPECT_EQ(sel.value(), expect)
+          << "dense " << lit.ToString() << " op " << static_cast<int>(op);
+      // Selection-vector path.
+      auto sel2 = VecFilter(ct, &pre.value(), "s", op, lit, nullptr);
+      ASSERT_TRUE(sel2.ok());
+      SelVector expect2;
+      for (uint32_t i : pre.value()) {
+        if (pred.value()(t.row(i))) expect2.push_back(i);
+      }
+      EXPECT_EQ(sel2.value(), expect2)
+          << "sel " << lit.ToString() << " op " << static_cast<int>(op);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cost-based join reordering, differentially against naive execution: the
+// reordered plan must return the same bag of rows under the same schema,
+// whatever order the optimizer picked.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> SortedRowStrings(const Table& t) {
+  std::vector<std::string> out;
+  out.reserve(t.num_rows());
+  for (const Row& r : t.rows()) {
+    std::string s;
+    for (const Value& v : r) {
+      s += v.ToString();
+      s += '|';
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(ColumnarDifferentialTest, CostBasedReorderMatchesNaiveExecution) {
+  Catalog::Global().ClearFeedback();
+  Rng rng(2718);
+  for (int iter = 0; iter < 200; ++iter) {
+    // 2-4 relations with globally unique column names; table t carries an
+    // int64 join key k<t> over a small domain so joins actually match.
+    const size_t ntab = 2 + rng.NextBounded(3);
+    std::vector<std::unique_ptr<Table>> tabs;
+    for (size_t t = 0; t < ntab; ++t) {
+      std::vector<ColumnSpec> specs;
+      specs.push_back({"k" + std::to_string(t), DataType::kInt64});
+      const size_t extra = rng.NextBounded(3);
+      for (size_t c = 0; c < extra; ++c) {
+        specs.push_back({"t" + std::to_string(t) + "c" + std::to_string(c),
+                         RandomType(rng)});
+      }
+      auto tab = std::make_unique<Table>(Schema(specs));
+      const size_t rows = rng.NextBounded(51);
+      for (size_t i = 0; i < rows; ++i) {
+        Row r;
+        r.push_back(Value(static_cast<int64_t>(rng.NextBounded(8))));
+        for (size_t c = 1; c < specs.size(); ++c) {
+          r.push_back(
+              RandomValueOfType(rng, specs[c].type, /*allow_null=*/true));
+        }
+        tab->Append(std::move(r));
+      }
+      tabs.push_back(std::move(tab));
+    }
+    // Tree-shaped cluster: each new relation joins the key of any earlier
+    // one, so the reorderer sees chains, stars, and mixtures.
+    PlanPtr plan = PlanNode::Scan(tabs[0].get(), "t0");
+    for (size_t t = 1; t < ntab; ++t) {
+      plan = PlanNode::Join(
+          plan, PlanNode::Scan(tabs[t].get(), "t" + std::to_string(t)),
+          {"k" + std::to_string(rng.NextBounded(t))},
+          {"k" + std::to_string(t)});
+    }
+    if (rng.NextBounded(2) == 0) {
+      const Table& ft = *tabs[rng.NextBounded(ntab)];
+      plan = PlanNode::Filter(plan, {{RandomColumn(rng, ft, false),
+                                      RandomOp(rng), RandomLiteral(rng)}});
+    }
+    auto opt = OptimizePlan(plan);
+    ASSERT_TRUE(opt.ok()) << "iter " << iter;
+    auto a = ExecutePlan(plan, nullptr);
+    auto b = ExecutePlan(opt.value(), nullptr);
+    ASSERT_EQ(a.ok(), b.ok()) << "iter " << iter;
+    if (!a.ok()) continue;
+    ASSERT_TRUE(a.value().schema() == b.value().schema())
+        << "iter " << iter << ": " << a.value().schema().ToString() << " vs "
+        << b.value().schema().ToString();
+    ASSERT_EQ(SortedRowStrings(a.value()), SortedRowStrings(b.value()))
+        << "iter " << iter;
+  }
 }
 
 }  // namespace

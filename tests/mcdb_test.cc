@@ -1,10 +1,12 @@
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
 #include "mcdb/bundle.h"
 #include "mcdb/estimators.h"
 #include "mcdb/mcdb.h"
+#include "mcdb/pregen.h"
 #include "mcdb/vg_function.h"
 #include "table/query.h"
 #include "util/distributions.h"
@@ -331,6 +333,152 @@ TEST(EstimatorsTest, GroupThreshold) {
   ASSERT_TRUE(hits.ok());
   ASSERT_EQ(hits.value().size(), 1u);
   EXPECT_EQ(hits.value()[0], "declines");
+}
+
+// ---------------------------------------------------------------------------
+// Pre-generation pushdown (pregen.h): deterministic predicates hoisted
+// below VG generation must reproduce generate-then-FilterDet bit for bit —
+// same deterministic rows, same sampled doubles, same mask words — for any
+// thread count.
+// ---------------------------------------------------------------------------
+
+void ExpectBundlesBitIdentical(const BundleTable& a, const BundleTable& b,
+                               const std::string& what) {
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << what;
+  ASSERT_EQ(a.num_reps(), b.num_reps()) << what;
+  for (size_t i = 0; i < a.num_rows(); ++i) {
+    const Row& ra = a.det_row(i);
+    const Row& rb = b.det_row(i);
+    ASSERT_EQ(ra.size(), rb.size()) << what;
+    for (size_t c = 0; c < ra.size(); ++c) {
+      ASSERT_TRUE(ra[c] == rb[c]) << what << ": det row " << i;
+    }
+  }
+  const auto& sa = a.stoch_block(0);
+  const auto& sb = b.stoch_block(0);
+  ASSERT_EQ(sa.size(), sb.size()) << what;
+  if (!sa.empty()) {
+    EXPECT_EQ(std::memcmp(sa.data(), sb.data(), sa.size() * sizeof(double)),
+              0)
+        << what << ": stochastic blocks differ";
+  }
+  const auto& wa = a.active_words();
+  const auto& wb = b.active_words();
+  ASSERT_EQ(wa.size(), wb.size()) << what;
+  for (size_t i = 0; i < wa.size(); ++i) {
+    ASSERT_EQ(wa[i], wb[i]) << what << ": mask word " << i;
+  }
+}
+
+TEST(PregenTest, PushdownMatchesGenerateThenFilterBitIdentically) {
+  MonteCarloDb db = MakeSbpDb(120.0, 10.0, 500);
+  const size_t reps = 70;  // not a multiple of 64: tail mask bits in play
+  auto full = GenerateBundles(db, db.stochastic_specs()[0], "SBP", reps, 31);
+  ASSERT_TRUE(full.ok());
+  auto pred = table::ColumnCompare(full.value().det_schema(), "GENDER",
+                                   CmpOp::kEq, Value("F"));
+  ASSERT_TRUE(pred.ok());
+  BundleTable expect = full.value().FilterDet(pred.value());
+  ASSERT_GT(expect.num_rows(), 0u);
+  ASSERT_LT(expect.num_rows(), 500u);
+
+  PregenReport report;
+  auto pushed = GenerateBundlesWhere(db, db.stochastic_specs()[0], "SBP",
+                                     reps, 31,
+                                     {{"GENDER", CmpOp::kEq, Value("F")}},
+                                     nullptr, &report);
+  ASSERT_TRUE(pushed.ok());
+  ExpectBundlesBitIdentical(expect, pushed.value(), "pushdown vs filter");
+  EXPECT_EQ(report.outer_rows, 500u);
+  EXPECT_EQ(report.kept_rows, expect.num_rows());
+  EXPECT_EQ(report.rows_pruned, 500u - expect.num_rows());
+  EXPECT_EQ(report.draws_saved, (500u - expect.num_rows()) * reps);
+}
+
+TEST(PregenTest, BitIdenticalAcrossThreadCounts) {
+  MonteCarloDb db = MakeSbpDb(100.0, 5.0, 999);
+  const size_t reps = 33;
+  std::vector<table::PlanPredicate> preds = {
+      {"GENDER", CmpOp::kEq, Value("M")},
+      {"PID", CmpOp::kLt, Value(int64_t{700})}};
+  auto serial = GenerateBundlesWhere(db, db.stochastic_specs()[0], "SBP",
+                                     reps, 77, preds);
+  ASSERT_TRUE(serial.ok());
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    ThreadPool pool(threads);
+    auto parallel = GenerateBundlesWhere(db, db.stochastic_specs()[0], "SBP",
+                                         reps, 77, preds, &pool);
+    ASSERT_TRUE(parallel.ok());
+    ExpectBundlesBitIdentical(serial.value(), parallel.value(),
+                              "threads=" + std::to_string(threads));
+  }
+  // The two-predicate conjunction equals generate-then-filter too.
+  auto full =
+      GenerateBundles(db, db.stochastic_specs()[0], "SBP", reps, 77);
+  ASSERT_TRUE(full.ok());
+  auto p1 = table::ColumnCompare(full.value().det_schema(), "GENDER",
+                                 CmpOp::kEq, Value("M"));
+  auto p2 = table::ColumnCompare(full.value().det_schema(), "PID", CmpOp::kLt,
+                                 Value(int64_t{700}));
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  BundleTable expect =
+      full.value().FilterDet(table::And(p1.value(), p2.value()));
+  ExpectBundlesBitIdentical(expect, serial.value(), "conjunction");
+}
+
+TEST(PregenTest, NoPredicatesEqualsGenerateBundles) {
+  MonteCarloDb db = MakeSbpDb(120.0, 10.0, 128);
+  auto a = GenerateBundles(db, db.stochastic_specs()[0], "SBP", 16, 9);
+  PregenReport report;
+  auto b = GenerateBundlesWhere(db, db.stochastic_specs()[0], "SBP", 16, 9,
+                                {}, nullptr, &report);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ExpectBundlesBitIdentical(a.value(), b.value(), "no predicates");
+  EXPECT_EQ(report.kept_rows, 128u);
+  EXPECT_EQ(report.draws_saved, 0u);
+}
+
+TEST(PregenTest, EmptySurvivorSetAndBadPredicates) {
+  MonteCarloDb db = MakeSbpDb(120.0, 10.0, 64);
+  // Nothing survives: a well-formed, zero-row bundle (no draws made).
+  PregenReport report;
+  auto none = GenerateBundlesWhere(db, db.stochastic_specs()[0], "SBP", 8, 3,
+                                   {{"PID", CmpOp::kLt, Value(int64_t{0})}},
+                                   nullptr, &report);
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.value().num_rows(), 0u);
+  EXPECT_EQ(report.draws_saved, 64u * 8u);
+  auto sums = none.value().AggregateSum("SBP");
+  ASSERT_TRUE(sums.ok());
+  for (double s : sums.value()) EXPECT_EQ(s, 0.0);
+  // Unknown predicate column: an error, same as FilterDet's ColumnCompare.
+  auto bad = GenerateBundlesWhere(db, db.stochastic_specs()[0], "SBP", 8, 3,
+                                  {{"NOPE", CmpOp::kEq, Value(int64_t{1})}});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(PregenTest, AggregatesMatchBetweenPushdownAndFilter) {
+  MonteCarloDb db = MakeSbpDb(150.0, 20.0, 400);
+  const size_t reps = 64;
+  auto full = GenerateBundles(db, db.stochastic_specs()[0], "SBP", reps, 55);
+  ASSERT_TRUE(full.ok());
+  auto pred = table::ColumnCompare(full.value().det_schema(), "GENDER",
+                                   CmpOp::kEq, Value("F"));
+  ASSERT_TRUE(pred.ok());
+  auto ref = full.value().FilterDet(pred.value()).AggregateSum("SBP");
+  auto pushed = GenerateBundlesWhere(db, db.stochastic_specs()[0], "SBP",
+                                     reps, 55,
+                                     {{"GENDER", CmpOp::kEq, Value("F")}});
+  ASSERT_TRUE(pushed.ok());
+  auto got = pushed.value().AggregateSum("SBP");
+  ASSERT_TRUE(ref.ok() && got.ok());
+  ASSERT_EQ(ref.value().size(), got.value().size());
+  for (size_t r = 0; r < ref.value().size(); ++r) {
+    uint64_t ba, bb;
+    std::memcpy(&ba, &ref.value()[r], sizeof(ba));
+    std::memcpy(&bb, &got.value()[r], sizeof(bb));
+    EXPECT_EQ(ba, bb) << "rep " << r;
+  }
 }
 
 }  // namespace
