@@ -11,11 +11,13 @@
 
 #include "bench_main.h"
 
+#include "obs/context.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/stat.h"
 #include "obs/trace.h"
 #include "table/plan.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -127,6 +129,77 @@ void BM_PrometheusText(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PrometheusText);
+
+/// One query-scope open/close at an engine entry point: fresh trace id,
+/// attribution-row acquire (a map hit after the first iteration), context
+/// install + restore, and the cpu-ns fold on close.
+void BM_QueryScope(benchmark::State& state) {
+  for (auto _ : state) {
+    MDE_OBS_QUERY_SCOPE("bench.scope", 0x9e3779b97f4a7c15ull);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryScope);
+
+/// Scope opened under an already-active query: adopts the outer context
+/// instead of installing a new one — what nested engine calls pay.
+void BM_QueryScopeNested(benchmark::State& state) {
+  MDE_OBS_QUERY_SCOPE("bench.scope_outer", 0x517cc1b727220a95ull);
+  for (auto _ : state) {
+    MDE_OBS_QUERY_SCOPE("bench.scope", 0x9e3779b97f4a7c15ull);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueryScopeNested);
+
+/// Attribution add with an active query: thread-local context read + one
+/// relaxed fetch_add on the row field.
+void BM_AttrAddActive(benchmark::State& state) {
+  MDE_OBS_QUERY_SCOPE("bench.attr", 0x2545f4914f6cdd1dull);
+  for (auto _ : state) {
+    MDE_OBS_ATTR_ADD(rows_in, 1);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AttrAddActive);
+
+/// Attribution add with no active query: the thread-local load + branch
+/// every unattributed hot path pays.
+void BM_AttrAddInactive(benchmark::State& state) {
+  for (auto _ : state) {
+    MDE_OBS_ATTR_ADD(rows_in, 1);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AttrAddInactive);
+
+/// Context capture/restore across the work-stealing pool: 64 empty tasks
+/// per iteration under an active query. Against BM_SubmitNoContext, the
+/// per-task delta prices the ContextGuard each (possibly stolen) task runs.
+void BM_SubmitWithContext(benchmark::State& state) {
+  static ThreadPool pool(2);
+  MDE_OBS_QUERY_SCOPE("bench.submit", 0xd1b54a32d192ed03ull);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) pool.Submit([] {});
+    pool.WaitAll();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SubmitWithContext);
+
+void BM_SubmitNoContext(benchmark::State& state) {
+  static ThreadPool pool(2);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) pool.Submit([] {});
+    pool.WaitAll();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SubmitNoContext);
 
 table::Table MakeTable(size_t n) {
   table::Table t{table::Schema(

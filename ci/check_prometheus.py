@@ -3,10 +3,15 @@
 --mde_metrics_out / mde::obs::PrometheusText.
 
 Validates, stdlib-only:
-  * line grammar: `# TYPE <name> <kind>`, `<name> <value>`, or
+  * line grammar: `# TYPE <name> <kind>`, `<name>[{labels}] <value>`, or
     `<name>_bucket{le="<bound>"} <count>`;
   * metric names match [a-zA-Z_:][a-zA-Z0-9_:]*;
   * every sample belongs to the family declared by the preceding # TYPE;
+  * label sets parse (`name="value"` pairs, \\ \" \n escapes), carry no
+    duplicate label names, and no two samples in a family repeat the same
+    label set;
+  * the per-query attribution families (mde_query_*) label every sample
+    with query="0x<hex fingerprint>" and tag="<entry point>";
   * histogram buckets are cumulative (non-decreasing), end with le="+Inf",
     and the +Inf bucket equals the family's _count;
   * histograms carry exactly one _sum and one _count.
@@ -21,6 +26,9 @@ NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$")
 SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?(?:[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|[0-9]+)|[+-]?Inf|NaN)$")
 BUCKET_LABEL_RE = re.compile(r'^\{le="([^"]+)"\}$')
+LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+# FingerprintHex output: 0x + lowercase hex, as emitted by AttributionText.
+QUERY_LABEL_RE = re.compile(r"^0x[0-9a-f]+$")
 
 
 class Checker:
@@ -34,6 +42,7 @@ class Checker:
         self.sums = 0
         self.counts = 0
         self.count_value = None
+        self.seen_labelsets = set()
 
     def error(self, lineno, msg):
         self.errors.append("%s:%d: %s" % (self.path, lineno, msg))
@@ -78,6 +87,30 @@ class Checker:
         self.sums = 0
         self.counts = 0
         self.count_value = None
+        self.seen_labelsets = set()
+
+    def parse_labels(self, lineno, name, labels):
+        """Parses a `{k="v",...}` label block into a dict, or None on error."""
+        body = labels[1:-1]
+        result = {}
+        pos = 0
+        while pos < len(body):
+            m = LABEL_PAIR_RE.match(body, pos)
+            if m is None:
+                self.error(lineno, "bad label set %r on %s" % (labels, name))
+                return None
+            if m.group(1) in result:
+                self.error(lineno, "duplicate label %r on %s" % (m.group(1), name))
+                return None
+            result[m.group(1)] = m.group(2)
+            pos = m.end()
+            if pos < len(body):
+                # Commas separate pairs; a trailing comma is legal.
+                if body[pos] != ",":
+                    self.error(lineno, "bad label set %r on %s" % (labels, name))
+                    return None
+                pos += 1
+        return result
 
     def check_sample(self, lineno, line):
         m = SAMPLE_RE.match(line)
@@ -110,8 +143,31 @@ class Checker:
         else:
             if name != base:
                 self.error(lineno, "sample %s under # TYPE %s" % (name, base))
+                return
+            parsed = {}
             if labels is not None:
-                self.error(lineno, "unexpected labels on %s" % name)
+                parsed = self.parse_labels(lineno, name, labels)
+                if parsed is None:
+                    return
+            labelset = tuple(sorted(parsed.items()))
+            if labelset in self.seen_labelsets:
+                self.error(
+                    lineno, "duplicate series %s%s" % (name, labels or ""))
+            self.seen_labelsets.add(labelset)
+            if base.startswith("mde_query_"):
+                # Attribution families: every sample is one query's row and
+                # must be keyed by fingerprint + entry-point tag.
+                for required in ("query", "tag"):
+                    if required not in parsed:
+                        self.error(
+                            lineno,
+                            "%s sample missing %s= label" % (name, required))
+                query = parsed.get("query")
+                if query is not None and QUERY_LABEL_RE.match(query) is None:
+                    self.error(
+                        lineno,
+                        "%s query label %r is not a 0x-hex fingerprint"
+                        % (name, query))
 
     def run(self, text):
         lineno = 0

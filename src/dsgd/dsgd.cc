@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "ckpt/snapshot.h"
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/stat.h"
 #include "obs/trace.h"
@@ -129,10 +130,20 @@ DsgdRun::DsgdRun(const std::vector<SparseRow>& rows, size_t dim,
   // stratum in the long run — the condition for w.p.-1 convergence.
   order_.resize(strata.size());
   for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+#ifndef MDE_OBS_DISABLED
+  uint64_t fp = obs::FingerprintString("dsgd.run");
+  fp = obs::FingerprintMix(fp, dim);
+  fp = obs::FingerprintMix(fp, strata.size());
+  fp = obs::FingerprintMix(fp, options.rounds);
+  fingerprint_ = obs::FingerprintMix(fp, options.sgd.seed);
+#endif
 }
 
 Status DsgdRun::StepOnce() {
   if (Done()) return Status::FailedPrecondition("dsgd: already finished");
+  // Per-round attribution root: the per-stratum worker tasks inherit this
+  // context through ThreadPool::Submit.
+  MDE_OBS_QUERY_SCOPE("dsgd.run", fingerprint_);
   // Fault point before any mutation: a throw here leaves the run exactly
   // at the last round boundary, so restore + replay is bit-identical.
   MDE_FAULT_POINT("dsgd.round");

@@ -133,6 +133,9 @@ class DsgdRun : public ckpt::Checkpointable {
   std::vector<size_t> order_;
   size_t round_ = 0;
   size_t global_updates_ = 0;
+  /// Attribution fingerprint: (dim, strata count, rounds, seed), computed
+  /// once in the constructor.
+  uint64_t fingerprint_ = 0;
   SgdResult result_;
   /// Stall/divergence detector over the residual trace; publishes the
   /// obs.health.dsgd verdict and dsgd.loss gauges as the solve progresses.

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "simd/simd.h"
@@ -421,6 +422,13 @@ Result<BundleTable> GenerateBundlesImpl(const MonteCarloDb& db,
                                         size_t num_reps, uint64_t seed,
                                         ThreadPool* pool,
                                         const std::vector<uint32_t>* keep) {
+  // Attribution root for direct GenerateBundles calls; adopts the outer
+  // query when one is already active (GenerateBundlesWhere, chain steps).
+  MDE_OBS_QUERY_SCOPE(
+      "mcdb.generate",
+      obs::FingerprintMix(
+          obs::FingerprintString(spec.outer_table + "/" + attr_name),
+          num_reps));
   MDE_TRACE_SPAN("mcdb.generate_bundles");
   const table::Table* outer = db.FindTable(spec.outer_table);
   if (outer == nullptr) {
@@ -440,12 +448,18 @@ Result<BundleTable> GenerateBundlesImpl(const MonteCarloDb& db,
       if (db.FindTable(name) != nullptr) det_only.emplace(name, t);
     }
   }
+  // Row access is a lazy const-cache (table.h: an unmaterialized Table
+  // must not be shared across threads), so force materialization of every
+  // table the chunk workers will touch while still on the driver.
+  (void)outer->rows();
+  for (auto& [det_name, det_table] : det_only) (void)det_table.rows();
   // Output row j realizes outer row `keep[j]` (or j when keep is null):
   // rows a pre-generation filter eliminated never bind parameters and
   // never touch their VG substream.
   const size_t n = keep != nullptr ? keep->size() : outer->num_rows();
   MDE_OBS_COUNT("mcdb.bundle_rows", n);
   MDE_OBS_COUNT("mcdb.vg_samples", n * num_reps);
+  MDE_OBS_ATTR_ADD(vg_draws, n * num_reps);
   BundleTable out(outer->schema(), {attr_name}, num_reps);
   out.pool_ = pool;
   out.det_rows_.resize(n);

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "mcdb/mcdb.h"
+#include "obs/context.h"
 #include "obs/mem.h"
 #include "table/ops.h"
 #include "table/table.h"
@@ -231,7 +232,16 @@ class BundleTable {
   obs::MemAccount mem_{"mcdb.bundle"};
 
   /// Re-reports the current footprint after storage-changing operations.
-  void AccountStorage() { mem_.Set(ApproxBytes()); }
+  /// Growth is also attributed to the active query (bundle_bytes counts
+  /// bytes ALLOCATED on the query's behalf, mirroring the pool's monotone
+  /// alloc_bytes counter, not a live-byte gauge).
+  void AccountStorage() {
+    const uint64_t bytes = ApproxBytes();
+    if (bytes > mem_.bytes()) {
+      MDE_OBS_ATTR_ADD(bundle_bytes, bytes - mem_.bytes());
+    }
+    mem_.Set(bytes);
+  }
 
   friend Result<BundleTable> GenerateBundles(const MonteCarloDb& db,
                                              const StochasticTableSpec& spec,

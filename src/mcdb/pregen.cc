@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "table/catalog.h"
@@ -69,6 +70,13 @@ Result<BundleTable> GenerateBundlesWhere(
     const std::string& attr_name, size_t num_reps, uint64_t seed,
     std::vector<table::PlanPredicate> det_preds, ThreadPool* pool,
     PregenReport* report) {
+  // Opened before predicate evaluation so the pre-generation filter's row
+  // counts attribute to this query, not to no one.
+  MDE_OBS_QUERY_SCOPE(
+      "mcdb.generate_where",
+      obs::FingerprintMix(
+          obs::FingerprintString(spec.outer_table + "/" + attr_name),
+          num_reps * 1000003 + det_preds.size()));
   MDE_TRACE_SPAN("mcdb.pregen_plan");
   const table::Table* outer = db.FindTable(spec.outer_table);
   if (outer == nullptr) {

@@ -6,6 +6,7 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/context.h"
 #include "obs/mem.h"
 
 namespace mde::obs {
@@ -105,9 +106,95 @@ std::string PrometheusText(const std::vector<MetricSnapshot>& snapshot) {
 }
 
 std::string PrometheusText() {
+  RunSampleHooks();
   std::vector<MetricSnapshot> snapshot = Registry::Global().Snapshot();
   AppendDerivedGauges(&snapshot);
-  return PrometheusText(snapshot);
+  return PrometheusText(snapshot) + AttributionText();
+}
+
+std::string AttributionText() {
+  const std::vector<AttributionTable::Row> rows =
+      AttributionTable::Global().Snapshot();
+  if (rows.empty()) return "";
+  // One labeled sample per (query, field). Label values: the fingerprint in
+  // hex and the entry-point tag; tags are literals like "table.query", but
+  // escape anyway per the exposition grammar.
+  const auto escape_label = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '\\' || c == '"') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  };
+  struct Field {
+    const char* name;
+    uint64_t AttributionTable::Row::*member;
+  };
+  static constexpr Field kFields[] = {
+      {"mde_query_cpu_ns", &AttributionTable::Row::cpu_ns},
+      {"mde_query_tasks", &AttributionTable::Row::tasks},
+      {"mde_query_spans", &AttributionTable::Row::spans},
+      {"mde_query_rows_in", &AttributionTable::Row::rows_in},
+      {"mde_query_rows_out", &AttributionTable::Row::rows_out},
+      {"mde_query_vg_draws", &AttributionTable::Row::vg_draws},
+      {"mde_query_bundle_bytes", &AttributionTable::Row::bundle_bytes},
+      {"mde_query_cache_hits", &AttributionTable::Row::cache_hits},
+  };
+  std::ostringstream os;
+  for (const Field& f : kFields) {
+    os << "# TYPE " << f.name << " counter\n";
+    for (const AttributionTable::Row& r : rows) {
+      os << f.name << "{query=\"" << FingerprintHex(r.fingerprint)
+         << "\",tag=\"" << escape_label(r.tag) << "\"} " << r.*f.member
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+struct HookRegistry {
+  std::mutex mu;
+  std::map<uint64_t, SampleHook> hooks;
+  uint64_t next_id = 1;
+};
+
+HookRegistry& Hooks() {
+  static HookRegistry* h = new HookRegistry();  // leaked: outlives statics
+  return *h;
+}
+
+}  // namespace
+
+uint64_t RegisterSampleHook(SampleHook hook) {
+  HookRegistry& reg = Hooks();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  const uint64_t id = reg.next_id++;
+  reg.hooks.emplace(id, std::move(hook));
+  return id;
+}
+
+void UnregisterSampleHook(uint64_t id) {
+  HookRegistry& reg = Hooks();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  reg.hooks.erase(id);
+}
+
+void RunSampleHooks() {
+  HookRegistry& reg = Hooks();
+  // Hooks run under the lock on purpose: UnregisterSampleHook blocks until
+  // an in-flight run finishes, so "unregister then destruct" is race-free
+  // for hook owners (see export.h).
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const auto& [id, hook] : reg.hooks) hook();
 }
 
 void AppendDerivedGauges(std::vector<MetricSnapshot>* snapshot) {
@@ -192,6 +279,7 @@ void Sampler::Loop() {
 
 void Sampler::WriteSample(double t_ms) {
   if (!out_.is_open()) return;
+  RunSampleHooks();
   if (options_.include_process_memory) PublishProcessMemoryGauges();
   std::vector<MetricSnapshot> snapshot = Registry::Global().Snapshot();
   AppendDerivedGauges(&snapshot);
@@ -249,6 +337,27 @@ void Sampler::WriteSample(double t_ms) {
     os << "]}";
   }
   os << "}";
+  // Per-query attribution rows (obs/context.h), keyed by fingerprint hex.
+  // Omitted entirely when no query has run, so pre-attribution readers of
+  // the JSONL format see identical records.
+  const std::vector<AttributionTable::Row> queries =
+      AttributionTable::Global().Snapshot();
+  if (!queries.empty()) {
+    os << ",\"queries\":{";
+    first = true;
+    for (const AttributionTable::Row& q : queries) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"" << FingerprintHex(q.fingerprint) << "\":{\"tag\":\"";
+      JsonEscape(q.tag, os);
+      os << "\",\"cpu_ns\":" << q.cpu_ns << ",\"tasks\":" << q.tasks
+         << ",\"spans\":" << q.spans << ",\"rows_in\":" << q.rows_in
+         << ",\"rows_out\":" << q.rows_out << ",\"vg_draws\":" << q.vg_draws
+         << ",\"bundle_bytes\":" << q.bundle_bytes
+         << ",\"cache_hits\":" << q.cache_hits << "}";
+    }
+    os << "}";
+  }
   const ProcessMemory mem = SampleProcessMemory();
   if (mem.ok) {
     os << ",\"mem\":{\"rss_kb\":" << mem.rss_kb

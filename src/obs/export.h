@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <ostream>
@@ -41,8 +42,32 @@ std::string SanitizeMetricName(const std::string& name);
 std::string PrometheusText(const std::vector<MetricSnapshot>& snapshot);
 
 /// Convenience: PrometheusText(Registry::Global().Snapshot()) with derived
-/// memory gauges appended (see AppendDerivedGauges).
+/// memory gauges appended (see AppendDerivedGauges), sample hooks run
+/// first, and the per-query attribution table appended as LABELED counter
+/// families (see AppendAttributionText).
 std::string PrometheusText();
+
+/// Renders the per-query attribution table (obs/context.h) as Prometheus
+/// counter families labeled by query fingerprint and tag:
+///
+///   mde_query_cpu_ns{query="0x9a...",tag="table.query"} 1234567
+///
+/// One family per QueryStats field (cpu_ns, tasks, spans, rows_in,
+/// rows_out, vg_draws, bundle_bytes, cache_hits); empty table renders
+/// nothing.
+std::string AttributionText();
+
+/// Sample hooks run immediately before each export surface snapshots the
+/// registry (every Sampler tick and every no-arg PrometheusText call), so
+/// subsystems can publish instant-valued gauges — e.g. the ThreadPool's
+/// per-worker queue_depth. Hooks run WITH the hook registry lock held:
+/// UnregisterSampleHook therefore blocks until any in-flight run finishes,
+/// which is what makes "unregister, then destruct" safe for a hook that
+/// captures its owner. A hook must not call Register/Unregister itself.
+using SampleHook = std::function<void()>;
+uint64_t RegisterSampleHook(SampleHook hook);
+void UnregisterSampleHook(uint64_t id);
+void RunSampleHooks();
 
 /// Appends synthesized gauges to a snapshot: for every memory pool with
 /// `obs.mem.<pool>.alloc_bytes` / `.freed_bytes` counter pairs (obs/mem.h),

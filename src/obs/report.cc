@@ -226,6 +226,21 @@ struct HistFinal {
   std::vector<uint64_t> buckets;
 };
 
+/// One row of the per-query attribution table (obs/context.h), as sampled
+/// into the JSONL "queries" object. Fields are cumulative, so the last
+/// sample wins.
+struct QueryAgg {
+  std::string tag;
+  double cpu_ns = 0.0;
+  double tasks = 0.0;
+  double spans = 0.0;
+  double rows_in = 0.0;
+  double rows_out = 0.0;
+  double vg_draws = 0.0;
+  double bundle_bytes = 0.0;
+  double cache_hits = 0.0;
+};
+
 struct MetricsSeries {
   double t_first_ms = 0.0;
   double t_last_ms = 0.0;
@@ -234,6 +249,7 @@ struct MetricsSeries {
   std::map<std::string, double> counter_last;
   std::map<std::string, double> gauges;  // final values
   std::map<std::string, HistFinal> hists;
+  std::map<std::string, QueryAgg> queries;  // final values, keyed by "0x.."
   bool have_mem = false;
   double rss_kb = 0.0;
   double peak_rss_kb = 0.0;
@@ -341,6 +357,25 @@ bool ParseMetricsJsonl(const std::string& jsonl, MetricsSeries* out,
           }
         }
         out->hists[name] = std::move(hf);
+      }
+    }
+    if (const Json* queries = rec.Get("queries")) {
+      for (const auto& [fp, q] : queries->obj) {
+        QueryAgg agg;
+        if (const Json* t = q.Get("tag")) agg.tag = t->str;
+        const auto field = [&q](const char* key) {
+          const Json* v = q.Get(key);
+          return v != nullptr ? v->NumOr(0.0) : 0.0;
+        };
+        agg.cpu_ns = field("cpu_ns");
+        agg.tasks = field("tasks");
+        agg.spans = field("spans");
+        agg.rows_in = field("rows_in");
+        agg.rows_out = field("rows_out");
+        agg.vg_draws = field("vg_draws");
+        agg.bundle_bytes = field("bundle_bytes");
+        agg.cache_hits = field("cache_hits");
+        out->queries[fp] = std::move(agg);
       }
     }
     if (const Json* mem = rec.Get("mem")) {
@@ -575,6 +610,30 @@ bool RenderRunReport(const std::string& trace_json,
     os << "\n";
   }
 
+  // --- Per-query attribution --------------------------------------------
+  if (!series.queries.empty()) {
+    Heading(os, md, "Per-query attribution");
+    std::vector<std::pair<std::string, QueryAgg>> rows(series.queries.begin(),
+                                                       series.queries.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      if (a.second.cpu_ns != b.second.cpu_ns) {
+        return a.second.cpu_ns > b.second.cpu_ns;
+      }
+      return a.first < b.first;
+    });
+    TableWriter t({"query", "tag", "cpu ms", "tasks", "rows in", "rows out",
+                   "vg draws", "bundle MiB", "cache hits"},
+                  md);
+    for (const auto& [fp, q] : rows) {
+      t.AddRow({fp, q.tag, Fixed(q.cpu_ns / 1e6), Compact(q.tasks),
+                Compact(q.rows_in), Compact(q.rows_out), Compact(q.vg_draws),
+                Fixed(q.bundle_bytes / (1024.0 * 1024.0), 2),
+                Compact(q.cache_hits)});
+    }
+    t.Render(os);
+    os << "\n";
+  }
+
   // --- Histogram quantiles ----------------------------------------------
   if (!series.hists.empty()) {
     Heading(os, md, "Histogram quantiles (bucket interpolation)");
@@ -645,6 +704,139 @@ bool RenderRunReport(const std::string& trace_json,
       t.Render(os);
       os << "\n";
     }
+  }
+
+  *out = os.str();
+  return true;
+}
+
+bool RenderFlightReport(const std::string& flight_json,
+                        const RunReportOptions& options, std::string* out,
+                        std::string* error) {
+  Json doc;
+  std::string perr;
+  if (!JsonParser(flight_json).Parse(&doc, &perr)) {
+    if (error != nullptr) *error = "flight: " + perr;
+    return false;
+  }
+  const Json* flight = doc.Get("flight");
+  if (flight == nullptr || flight->type != Json::Type::kObject) {
+    if (error != nullptr) *error = "flight: missing \"flight\" object";
+    return false;
+  }
+
+  const bool md = options.markdown;
+  std::ostringstream os;
+  if (md) {
+    os << "# mde flight recorder\n\n";
+  } else {
+    os << "=== mde flight recorder ===\n\n";
+  }
+
+  // --- Dump header -------------------------------------------------------
+  Heading(os, md, "Dump");
+  {
+    TableWriter t({"what", "value"}, md);
+    if (const Json* r = flight->Get("reason")) t.AddRow({"reason", r->str});
+    if (const Json* v = flight->Get("version")) {
+      t.AddRow({"version", Compact(v->NumOr(0.0))});
+    }
+    if (const Json* ts = flight->Get("ts_ns")) {
+      t.AddRow({"ts_ns", Compact(ts->NumOr(0.0))});
+    }
+    if (t.empty()) t.AddRow({"(empty header)", ""});
+    t.Render(os);
+    os << "\n";
+  }
+
+  // --- Live query contexts ----------------------------------------------
+  if (const Json* contexts = flight->Get("contexts");
+      contexts != nullptr && !contexts->arr.empty()) {
+    Heading(os, md, "Live query contexts");
+    TableWriter t({"thread", "trace_id", "query", "tag"}, md);
+    for (const Json& c : contexts->arr) {
+      const auto cell = [&c](const char* key) {
+        const Json* v = c.Get(key);
+        if (v == nullptr) return std::string();
+        return v->type == Json::Type::kString ? v->str : Compact(v->num);
+      };
+      t.AddRow({cell("thread"), cell("trace_id"), cell("fingerprint"),
+                cell("tag")});
+    }
+    t.Render(os);
+    os << "\n";
+  }
+
+  // --- Recent spans ------------------------------------------------------
+  if (const Json* spans = flight->Get("spans");
+      spans != nullptr && !spans->arr.empty()) {
+    Heading(os, md, "Recent spans (newest first)");
+    struct FlightSpan {
+      std::string thread, name;
+      double ts_ns = 0.0, trace_id = 0.0, span_id = 0.0, parent = 0.0;
+    };
+    std::vector<FlightSpan> rows;
+    rows.reserve(spans->arr.size());
+    for (const Json& sp : spans->arr) {
+      FlightSpan fs;
+      if (const Json* v = sp.Get("thread")) fs.thread = v->str;
+      if (const Json* v = sp.Get("name")) fs.name = v->str;
+      if (const Json* v = sp.Get("ts_ns")) fs.ts_ns = v->NumOr(0.0);
+      if (const Json* v = sp.Get("trace_id")) fs.trace_id = v->NumOr(0.0);
+      if (const Json* v = sp.Get("span_id")) fs.span_id = v->NumOr(0.0);
+      if (const Json* v = sp.Get("parent_span_id")) fs.parent = v->NumOr(0.0);
+      rows.push_back(std::move(fs));
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const FlightSpan& a, const FlightSpan& b) {
+                       return a.ts_ns > b.ts_ns;
+                     });
+    TableWriter t({"thread", "span", "ts_ns", "trace", "span id", "parent"},
+                  md);
+    const size_t limit = std::max<size_t>(options.top_spans, 1) * 4;
+    for (size_t i = 0; i < rows.size() && i < limit; ++i) {
+      const FlightSpan& fs = rows[i];
+      t.AddRow({fs.thread, fs.name, Compact(fs.ts_ns), Compact(fs.trace_id),
+                Compact(fs.span_id), Compact(fs.parent)});
+    }
+    t.Render(os);
+    if (rows.size() > limit) {
+      os << "(" << rows.size() - limit << " older spans)\n";
+    }
+    os << "\n";
+  }
+
+  // --- Counter/gauge snapshot (absent in signal-path dumps) --------------
+  if (const Json* counters = flight->Get("counters");
+      counters != nullptr && !counters->obj.empty()) {
+    Heading(os, md, "Counters at dump");
+    std::vector<std::pair<std::string, double>> rows;
+    for (const auto& [name, v] : counters->obj) {
+      rows.emplace_back(name, v.NumOr(0.0));
+    }
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    TableWriter t({"counter", "total"}, md);
+    for (size_t i = 0; i < rows.size() && i < options.top_counters; ++i) {
+      t.AddRow({rows[i].first, Compact(rows[i].second)});
+    }
+    t.Render(os);
+    if (rows.size() > options.top_counters) {
+      os << "(" << rows.size() - options.top_counters << " more counters)\n";
+    }
+    os << "\n";
+  }
+  if (const Json* gauges = flight->Get("gauges");
+      gauges != nullptr && !gauges->obj.empty()) {
+    Heading(os, md, "Gauges at dump");
+    TableWriter t({"gauge", "value"}, md);
+    for (const auto& [name, v] : gauges->obj) {
+      t.AddRow({name, Compact(v.NumOr(0.0))});
+    }
+    t.Render(os);
+    os << "\n";
   }
 
   *out = os.str();

@@ -37,6 +37,17 @@ bool RenderRunReport(const std::string& trace_json,
                      const RunReportOptions& options, std::string* out,
                      std::string* error);
 
+/// Renders a crash flight-recorder dump (obs/flight.h DumpToFile or the
+/// signal-path variant) as a report: dump reason, the query contexts that
+/// were live on each thread, the most recent spans per thread (newest
+/// first), and — when present — the counter/gauge snapshot. The signal-path
+/// dump omits counters/gauges (they sit behind a mutex the handler cannot
+/// take), so both are optional. Returns false and sets `*error` when the
+/// document fails to parse or is not a flight dump.
+bool RenderFlightReport(const std::string& flight_json,
+                        const RunReportOptions& options, std::string* out,
+                        std::string* error);
+
 /// Interpolated quantile from a fixed-bucket histogram (per-bucket counts,
 /// `bounds`-aligned with one trailing +inf bucket), the same linear
 /// interpolation Prometheus' histogram_quantile applies to cumulative

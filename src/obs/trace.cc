@@ -6,11 +6,15 @@
 #include <map>
 #include <sstream>
 
+#include "obs/context.h"
+#include "obs/flight.h"
+
 namespace mde::obs {
 
 namespace {
 
 thread_local uint32_t tls_span_depth = 0;
+thread_local bool tls_thread_named = false;
 
 /// Minimal JSON string escape (span names are identifiers in practice, but
 /// the exporter must never emit malformed JSON).
@@ -48,6 +52,7 @@ struct Tracer::ThreadBuffer {
   size_t head = 0;               // index of the oldest retained event
   size_t count = 0;              // retained events (<= kRingCapacity)
   uint32_t tid = 0;
+  std::string name;  // lane name for Chrome metadata ("" = unnamed)
 };
 
 Tracer& Tracer::Global() {
@@ -70,7 +75,8 @@ Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
 }
 
 void Tracer::Record(const char* name, uint64_t ts_ns, uint64_t dur_ns,
-                    uint32_t depth) {
+                    uint32_t depth, uint64_t trace_id, uint64_t span_id,
+                    uint64_t parent_span_id) {
   ThreadBuffer* buf = BufferForThisThread();
   recorded_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(buf->mu);
@@ -79,6 +85,9 @@ void Tracer::Record(const char* name, uint64_t ts_ns, uint64_t dur_ns,
   e.name = name;
   e.ts_ns = ts_ns;
   e.dur_ns = dur_ns;
+  e.trace_id = trace_id;
+  e.span_id = span_id;
+  e.parent_span_id = parent_span_id;
   e.tid = buf->tid;
   e.depth = depth;
   if (buf->count < kRingCapacity) {
@@ -87,6 +96,12 @@ void Tracer::Record(const char* name, uint64_t ts_ns, uint64_t dur_ns,
     buf->head = (buf->head + 1) % kRingCapacity;  // evict the oldest
     dropped_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void Tracer::SetCurrentThreadName(const std::string& name) {
+  ThreadBuffer* buf = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  buf->name = name;
 }
 
 std::vector<TraceEvent> Tracer::Collect() const {
@@ -125,16 +140,72 @@ void Tracer::Clear() {
 
 void Tracer::WriteChromeTrace(std::ostream& os) const {
   const std::vector<TraceEvent> events = Collect();
+  // Thread lane names for "ph":"M" metadata (every registered buffer, even
+  // ones with no retained events — a named idle worker still gets a lane).
+  std::vector<std::pair<uint32_t, std::string>> lanes;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lanes.reserve(buffers_.size());
+    for (const auto& b : buffers_) {
+      std::lock_guard<std::mutex> bl(b->mu);
+      lanes.emplace_back(b->tid, b->name);
+    }
+  }
   uint64_t t0 = events.empty() ? 0 : events.front().ts_ns;
   os << "{\"traceEvents\":[";
-  for (size_t i = 0; i < events.size(); ++i) {
-    const TraceEvent& e = events[i];
-    if (i > 0) os << ",";
-    os << "{\"name\":\"";
+  // Metadata first: process name, then one thread_name record per lane so
+  // Perfetto labels rows "worker-3" instead of bare tids.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+        "\"args\":{\"name\":\"mde\"}}";
+  for (const auto& [tid, name] : lanes) {
+    os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"";
+    if (name.empty()) {
+      os << "thread-" << tid;
+    } else {
+      EscapeJson(name.c_str(), os);
+    }
+    os << "\"}}";
+  }
+  // Complete ("X") events, ids in args when the span belongs to a query or
+  // causal chain.
+  for (const TraceEvent& e : events) {
+    os << ",{\"name\":\"";
     EscapeJson(e.name, os);
     os << "\",\"cat\":\"mde\",\"ph\":\"X\",\"pid\":0,\"tid\":" << e.tid
        << ",\"ts\":" << static_cast<double>(e.ts_ns - t0) / 1000.0
-       << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0 << "}";
+       << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0;
+    if (e.span_id != 0) {
+      os << ",\"args\":{\"trace_id\":" << e.trace_id
+         << ",\"span_id\":" << e.span_id
+         << ",\"parent_span_id\":" << e.parent_span_id << "}";
+    }
+    os << "}";
+  }
+  // Flow events: for every parent->child edge that crosses threads (a
+  // stolen or help-run task), emit a "s"/"f" pair keyed by the child's
+  // span id so the viewer draws an arrow from the parent slice to the
+  // child slice. The start point must land inside the parent slice, so
+  // clamp the child's open time into the parent's interval.
+  std::map<uint64_t, const TraceEvent*> by_span;
+  for (const TraceEvent& e : events) {
+    if (e.span_id != 0) by_span[e.span_id] = &e;
+  }
+  for (const TraceEvent& e : events) {
+    if (e.parent_span_id == 0) continue;
+    auto it = by_span.find(e.parent_span_id);
+    if (it == by_span.end()) continue;
+    const TraceEvent& p = *it->second;
+    if (p.tid == e.tid) continue;  // same-thread nesting needs no arrow
+    const uint64_t s_ts =
+        std::min(std::max(e.ts_ns, p.ts_ns), p.ts_ns + p.dur_ns);
+    os << ",{\"name\":\"ctx\",\"cat\":\"mde\",\"ph\":\"s\",\"id\":"
+       << e.span_id << ",\"pid\":0,\"tid\":" << p.tid
+       << ",\"ts\":" << static_cast<double>(s_ts - t0) / 1000.0 << "}";
+    os << ",{\"name\":\"ctx\",\"cat\":\"mde\",\"ph\":\"f\",\"bp\":\"e\","
+          "\"id\":"
+       << e.span_id << ",\"pid\":0,\"tid\":" << e.tid
+       << ",\"ts\":" << static_cast<double>(e.ts_ns - t0) / 1000.0 << "}";
   }
   os << "],\"displayTimeUnit\":\"ms\"}";
 }
@@ -194,16 +265,45 @@ std::string Tracer::FlameSummary() const {
 
 SpanGuard::SpanGuard(const char* name) : name_(name) {
   Tracer& t = Tracer::Global();
-  if (!t.enabled()) return;
+  Context& ctx = internal::MutableCurrentContext();
+  traced_ = t.enabled();
+  // Fast path (no tracer, no query): one relaxed load + one TLS read.
+  if (!traced_ && !ctx.active()) return;
   active_ = true;
   depth_ = tls_span_depth++;
+  span_id_ = internal::NextId();
+  trace_id_ = ctx.trace_id;
+  parent_span_id_ = ctx.span_id;
+  ctx.span_id = span_id_;  // children opened under us parent to us
+  if (ctx.stats != nullptr) {
+    ctx.stats->spans.fetch_add(1, std::memory_order_relaxed);
+  }
   start_ns_ = NowNanos();
+  // Flight recorder sees every span OPEN (crash forensics wants the spans
+  // that never closed), for traced and query-scoped work alike.
+  FlightRecorder::Global().RecordSpanOpen(name, start_ns_, trace_id_,
+                                          span_id_, parent_span_id_);
 }
 
 SpanGuard::~SpanGuard() {
   if (!active_) return;
   --tls_span_depth;
-  Tracer::Global().Record(name_, start_ns_, NowNanos() - start_ns_, depth_);
+  internal::MutableCurrentContext().span_id = parent_span_id_;
+  if (traced_) {
+    Tracer::Global().Record(name_, start_ns_, NowNanos() - start_ns_, depth_,
+                            trace_id_, span_id_, parent_span_id_);
+  }
+}
+
+void SetCurrentThreadName(const std::string& name) {
+  tls_thread_named = true;
+  Tracer::Global().SetCurrentThreadName(name);
+  FlightRecorder::Global().SetCurrentThreadName(name);
+}
+
+void EnsureCurrentThreadNamed(const char* fallback) {
+  if (tls_thread_named) return;
+  SetCurrentThreadName(fallback);
 }
 
 }  // namespace mde::obs

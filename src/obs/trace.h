@@ -32,10 +32,17 @@ namespace mde::obs {
 /// A completed span. `ts_ns`/`dur_ns` come from steady_clock; `tid` is a
 /// small sequential id assigned per recording thread; `depth` is the
 /// span-nesting depth on that thread at open time (0 = top level).
+/// `trace_id` groups all spans of one query (0 = outside any query);
+/// `span_id`/`parent_span_id` form the causal tree — the parent may live on
+/// a DIFFERENT thread when the task was stolen or help-run, which is
+/// exactly what the context-propagation layer (obs/context.h) preserves.
 struct TraceEvent {
   const char* name = nullptr;
   uint64_t ts_ns = 0;
   uint64_t dur_ns = 0;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
   uint32_t tid = 0;
   uint32_t depth = 0;
 };
@@ -56,7 +63,12 @@ class Tracer {
 
   /// Appends a completed span to the calling thread's ring.
   void Record(const char* name, uint64_t ts_ns, uint64_t dur_ns,
-              uint32_t depth);
+              uint32_t depth, uint64_t trace_id = 0, uint64_t span_id = 0,
+              uint64_t parent_span_id = 0);
+
+  /// Names the calling thread's lane in Chrome trace output ("worker-3",
+  /// "driver"); copies `name`. Unnamed threads render as "thread-<tid>".
+  void SetCurrentThreadName(const std::string& name);
 
   /// Drains a copy of every thread's retained events, oldest-first within a
   /// thread, sorted globally by start time. Includes events recorded by
@@ -72,7 +84,10 @@ class Tracer {
 
   /// Chrome trace-event JSON: {"traceEvents":[...]} with complete ("ph":
   /// "X") events, timestamps in microseconds relative to the earliest
-  /// retained event.
+  /// retained event. Leads with "ph":"M" metadata naming the process and
+  /// every recording thread's lane; spans carry trace/span ids in "args",
+  /// and cross-thread parent->child edges emit flow events ("ph":"s"/"f")
+  /// so Perfetto draws arrows across stolen tasks.
   std::string ChromeTraceJson() const;
   void WriteChromeTrace(std::ostream& os) const;
 
@@ -94,7 +109,11 @@ class Tracer {
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
 };
 
-/// RAII span. Open/close cost when tracing is disabled: one relaxed load.
+/// RAII span. Open/close cost when the tracer is disabled AND no query
+/// context is active: one relaxed load plus one thread-local read. A span
+/// under an active query context is additionally recorded in the crash
+/// flight recorder (obs/flight.h) at open and threads its span id through
+/// the context so children — on any thread — know their parent.
 class SpanGuard {
  public:
   explicit SpanGuard(const char* name);
@@ -106,9 +125,22 @@ class SpanGuard {
  private:
   const char* name_;
   uint64_t start_ns_ = 0;
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
   uint32_t depth_ = 0;
   bool active_ = false;
+  bool traced_ = false;
 };
+
+/// Names the calling thread everywhere it appears: Chrome trace lanes and
+/// flight-recorder dumps. Copies `name`; call once per thread (workers call
+/// it on start; the first QueryScope on an unnamed thread applies
+/// "driver").
+void SetCurrentThreadName(const std::string& name);
+/// SetCurrentThreadName(fallback) if this thread was never named (cheap:
+/// one thread-local check).
+void EnsureCurrentThreadNamed(const char* fallback);
 
 }  // namespace mde::obs
 

@@ -2,6 +2,7 @@
 
 #include "ckpt/fault.h"
 #include "ckpt/snapshot.h"
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/stat.h"
 #include "obs/trace.h"
@@ -163,12 +164,25 @@ ChainRunner::ChainRunner(MarkovChainDb& db, size_t steps, uint64_t seed,
     : db_(db),
       steps_(steps),
       observer_(std::move(observer)),
-      rng_(Rng::Substream(seed, rep)) {}
+      rng_(Rng::Substream(seed, rep)) {
+#ifndef MDE_OBS_DISABLED
+  uint64_t fp = obs::FingerprintString("simsql.chain");
+  for (const auto& spec : db_.specs_) {
+    fp = obs::FingerprintMix(fp, obs::FingerprintString(spec.name));
+  }
+  fp = obs::FingerprintMix(fp, steps);
+  fp = obs::FingerprintMix(fp, seed);
+  fingerprint_ = obs::FingerprintMix(fp, rep);
+#endif
+}
 
 Status ChainRunner::StepOnce() {
   if (Done()) {
     return Status::FailedPrecondition("simsql: chain already realized");
   }
+  // Per-step attribution root: inner table queries issued by transitions
+  // adopt this chain's context.
+  MDE_OBS_QUERY_SCOPE("simsql.chain", fingerprint_);
   // Before any mutation: a fault here leaves state_/rng_ exactly at the
   // previous version boundary.
   MDE_FAULT_POINT("simsql.version");

@@ -108,6 +108,10 @@ class ChainRunner : public ckpt::Checkpointable {
   DatabaseState state_;
   std::vector<DatabaseState> history_;
   size_t next_version_ = 0;
+  /// Attribution fingerprint: chain-table names + steps + (seed, rep), so
+  /// every replication of the same chain spec shares one attribution row
+  /// per substream. Computed once in the constructor.
+  uint64_t fingerprint_ = 0;
 };
 
 /// Runs `reps` independent replications of the chain and reports, for a

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "ckpt/fault.h"
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -16,6 +17,12 @@ ParticleFilter::ParticleFilter(const StateSpaceModel& model,
                                const ParticleFilterOptions& options)
     : model_(model), options_(options), rng_(options.seed) {
   MDE_CHECK_GT(options.num_particles, 0u);
+#ifndef MDE_OBS_DISABLED
+  fingerprint_ = obs::FingerprintMix(
+      obs::FingerprintMix(obs::FingerprintString("smc.filter"),
+                          options.num_particles),
+      options.seed);
+#endif
 }
 
 Rng ParticleFilter::ParticleRng(size_t step, size_t i) const {
@@ -36,6 +43,9 @@ void ParticleFilter::RunParticleChunks(
 }
 
 Status ParticleFilter::Initialize(const Observation& y1) {
+  // Attribution root for the initial sweep; the chunk tasks submitted by
+  // RunParticleChunks inherit this context across steals.
+  MDE_OBS_QUERY_SCOPE("smc.filter", fingerprint_);
   const size_t n = options_.num_particles;
   particles_.assign(n, State{});
   std::vector<double> log_w(n);
@@ -53,6 +63,7 @@ Status ParticleFilter::Initialize(const Observation& y1) {
 }
 
 Status ParticleFilter::Step(const Observation& y) {
+  MDE_OBS_QUERY_SCOPE("smc.filter", fingerprint_);
   MDE_TRACE_SPAN("smc.pf_step");
   if (!initialized_) {
     return Status::FailedPrecondition("call Initialize first");

@@ -127,6 +127,9 @@ class ParticleFilter {
       const std::function<void(size_t, size_t, size_t)>& fn) const;
 
   const StateSpaceModel& model_;
+  /// Attribution fingerprint: (num_particles, seed), so every run of the
+  /// same filter configuration shares one attribution row.
+  uint64_t fingerprint_ = 0;
   ParticleFilterOptions options_;
   Rng rng_;  // resampling only; sampling uses per-particle substreams
   std::vector<State> particles_;

@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -58,12 +59,14 @@ RowPredicate Not(RowPredicate a) {
 Table Filter(const Table& t, const RowPredicate& pred) {
   MDE_TRACE_SPAN("row.filter");
   MDE_OBS_COUNT("row.filter.rows_in", t.num_rows());
+  MDE_OBS_ATTR_ADD(rows_in, t.num_rows());
   Table out(t.schema());
   out.Reserve(t.num_rows());
   for (const Row& r : t.rows()) {
     if (pred(r)) out.Append(r);
   }
   MDE_OBS_COUNT("row.filter.rows_out", out.num_rows());
+  MDE_OBS_ATTR_ADD(rows_out, out.num_rows());
   return out;
 }
 
@@ -123,6 +126,7 @@ Result<Table> HashJoin(const Table& left, const Table& right,
                        const std::vector<std::string>& right_keys) {
   MDE_TRACE_SPAN("row.hash_join");
   MDE_OBS_COUNT("row.hash_join.rows_in", left.num_rows() + right.num_rows());
+  MDE_OBS_ATTR_ADD(rows_in, left.num_rows() + right.num_rows());
   if (left_keys.size() != right_keys.size() || left_keys.empty()) {
     return Status::InvalidArgument("join keys must be non-empty and paired");
   }
@@ -161,6 +165,7 @@ Result<Table> HashJoin(const Table& left, const Table& right,
     }
   }
   MDE_OBS_COUNT("row.hash_join.rows_out", out.num_rows());
+  MDE_OBS_ATTR_ADD(rows_out, out.num_rows());
   return out;
 }
 
@@ -170,6 +175,7 @@ Table NestedLoopJoin(
   MDE_TRACE_SPAN("row.nested_loop_join");
   MDE_OBS_COUNT("row.nested_loop_join.rows_in",
                 left.num_rows() + right.num_rows());
+  MDE_OBS_ATTR_ADD(rows_in, left.num_rows() + right.num_rows());
   Table out{Schema::Concat(left.schema(), right.schema(), "r.")};
   for (const Row& lrow : left.rows()) {
     for (const Row& rrow : right.rows()) {
@@ -198,6 +204,7 @@ Result<Table> GroupBy(const Table& t, const std::vector<std::string>& keys,
                       const std::vector<AggSpec>& aggs) {
   MDE_TRACE_SPAN("row.group_by");
   MDE_OBS_COUNT("row.group_by.rows_in", t.num_rows());
+  MDE_OBS_ATTR_ADD(rows_in, t.num_rows());
   std::vector<size_t> key_idx;
   for (const auto& k : keys) {
     MDE_ASSIGN_OR_RETURN(size_t i, t.schema().IndexOf(k));
@@ -281,6 +288,7 @@ Result<Table> GroupBy(const Table& t, const std::vector<std::string>& keys,
     out.Append(std::move(r));
   }
   MDE_OBS_COUNT("row.group_by.rows_out", out.num_rows());
+  MDE_OBS_ATTR_ADD(rows_out, out.num_rows());
   return out;
 }
 
@@ -288,6 +296,7 @@ Result<Table> OrderBy(const Table& t, const std::vector<std::string>& columns,
                       std::vector<bool> descending) {
   MDE_TRACE_SPAN("row.order_by");
   MDE_OBS_COUNT("row.order_by.rows_in", t.num_rows());
+  MDE_OBS_ATTR_ADD(rows_in, t.num_rows());
   std::vector<size_t> idx;
   for (const auto& c : columns) {
     MDE_ASSIGN_OR_RETURN(size_t i, t.schema().IndexOf(c));
@@ -326,6 +335,7 @@ Result<Table> Union(const Table& a, const Table& b) {
 Table Distinct(const Table& t) {
   MDE_TRACE_SPAN("row.distinct");
   MDE_OBS_COUNT("row.distinct.rows_in", t.num_rows());
+  MDE_OBS_ATTR_ADD(rows_in, t.num_rows());
   std::unordered_map<std::vector<Value>, bool, KeyHash, KeyEq> seen;
   seen.reserve(t.num_rows());
   Table out(t.schema());

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "table/cost.h"
@@ -308,6 +309,10 @@ void FeedbackProfiledRun(const PlanPtr& plan, ExecutionStats* stats) {
 
 Result<Table> ExecutePlan(const PlanPtr& plan, ExecutionStats* stats) {
   if (plan == nullptr) return Status::InvalidArgument("null plan");
+  // Root of per-query attribution: every span, row count, and cpu-ns below
+  // here — on any pool thread — lands on this plan's fingerprint.
+  MDE_OBS_QUERY_SCOPE("table.query",
+                      obs::FingerprintString(PlanFingerprint(plan)));
   MDE_TRACE_SPAN("plan.execute");
   if (stats != nullptr) stats->nodes.clear();
   Result<Table> out = [&]() -> Result<Table> {

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/context.h"
+#include "obs/metrics.h"
 #include "table/columnar.h"
 #include "util/check.h"
 
@@ -120,7 +122,13 @@ void Table::Set(size_t row, size_t col, Value v) {
 }
 
 Result<std::shared_ptr<const ColumnarTable>> Table::ToColumnar() const {
-  if (columnar_ != nullptr) return columnar_;
+  if (columnar_ != nullptr) {
+    // A reused cached conversion is work the active query did NOT pay for;
+    // the attribution row records how often each query rode the cache.
+    MDE_OBS_COUNT("table.columnar_cache_hits", 1);
+    MDE_OBS_ATTR_ADD(cache_hits, 1);
+    return columnar_;
+  }
   std::vector<ColumnBuilder> builders;
   builders.reserve(schema_.num_columns());
   for (size_t c = 0; c < schema_.num_columns(); ++c) {

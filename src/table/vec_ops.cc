@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/context.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "simd/simd.h"
@@ -447,6 +448,7 @@ std::shared_ptr<const ColumnarTable> VecCompact(const ColumnarTable& t,
                                                 ThreadPool* pool) {
   MDE_TRACE_SPAN("vec.compact");
   MDE_OBS_COUNT("vec.compact.rows_out", sel.size());
+  MDE_OBS_ATTR_ADD(rows_out, sel.size());
   std::vector<std::shared_ptr<const Column>> cols;
   cols.reserve(t.num_columns());
   for (size_t i = 0; i < t.num_columns(); ++i) {
@@ -631,9 +633,13 @@ Result<SelVector> VecFilter(const ColumnarTable& t, const SelVector* sel,
   MDE_TRACE_SPAN("vec.filter");
   const size_t domain = sel != nullptr ? sel->size() : t.num_rows();
   MDE_OBS_COUNT("vec.filter.rows_in", domain);
+  MDE_OBS_ATTR_ADD(rows_in, domain);
   MDE_OBS_COUNT("vec.chunks", NumChunksFor(domain));
   auto r = VecFilterImpl(t, sel, column, op, literal, pool);
-  if (r.ok()) MDE_OBS_COUNT("vec.filter.rows_out", r.value().size());
+  if (r.ok()) {
+    MDE_OBS_COUNT("vec.filter.rows_out", r.value().size());
+    MDE_OBS_ATTR_ADD(rows_out, r.value().size());
+  }
   return r;
 }
 
@@ -666,6 +672,7 @@ Result<std::shared_ptr<const ColumnarTable>> VecHashJoin(
     return Status::InvalidArgument("join keys must be non-empty and paired");
   }
   MDE_OBS_COUNT("vec.hash_join.rows_in", left.size() + right.size());
+  MDE_OBS_ATTR_ADD(rows_in, left.size() + right.size());
   MDE_OBS_COUNT("vec.chunks", NumChunksFor(left.size()));
   const ColumnarTable& L = *left.cols;
   const ColumnarTable& R = *right.cols;
@@ -763,6 +770,7 @@ Result<std::shared_ptr<const ColumnarTable>> VecHashJoin(
     out_cols.push_back(GatherColumn(R.col(i), rsel, pool));
   }
   MDE_OBS_COUNT("vec.hash_join.rows_out", total);
+  MDE_OBS_ATTR_ADD(rows_out, total);
   return std::make_shared<const ColumnarTable>(
       std::move(out_schema), std::move(out_cols), total);
 }
@@ -774,6 +782,7 @@ Result<std::shared_ptr<const ColumnarTable>> VecNestedLoopJoin(
   MDE_TRACE_SPAN("vec.nested_loop_join");
   MDE_OBS_COUNT("vec.nested_loop_join.rows_in",
                 left.num_rows() + right.num_rows());
+  MDE_OBS_ATTR_ADD(rows_in, left.num_rows() + right.num_rows());
   MDE_OBS_COUNT("vec.chunks", NumChunksFor(left.num_rows()));
   MDE_ASSIGN_OR_RETURN(size_t li, left.schema().IndexOf(left_col));
   MDE_ASSIGN_OR_RETURN(size_t ri, right.schema().IndexOf(right_col));
@@ -864,6 +873,7 @@ Result<std::shared_ptr<const ColumnarTable>> VecGroupBy(
     const std::vector<AggSpec>& aggs, ThreadPool* pool) {
   MDE_TRACE_SPAN("vec.group_by");
   MDE_OBS_COUNT("vec.group_by.rows_in", in.size());
+  MDE_OBS_ATTR_ADD(rows_in, in.size());
   MDE_OBS_COUNT("vec.chunks", NumChunksFor(in.size()));
   const ColumnarTable& T = *in.cols;
   std::vector<size_t> key_idx;
@@ -970,6 +980,7 @@ Result<std::shared_ptr<const ColumnarTable>> VecGroupBy(
                                                          : DataType::kDouble});
   }
   MDE_OBS_COUNT("vec.group_by.rows_out", ngroups);
+  MDE_OBS_ATTR_ADD(rows_out, ngroups);
   if (out_specs.empty()) {
     return std::make_shared<const ColumnarTable>(
         Schema(std::move(out_specs)),
@@ -1023,6 +1034,7 @@ Result<SelVector> VecOrderBy(const ColumnarBatch& in,
                              std::vector<bool> descending) {
   MDE_TRACE_SPAN("vec.order_by");
   MDE_OBS_COUNT("vec.order_by.rows_in", in.size());
+  MDE_OBS_ATTR_ADD(rows_in, in.size());
   const ColumnarTable& T = *in.cols;
   std::vector<size_t> idx;
   for (const auto& c : columns) {
@@ -1105,6 +1117,7 @@ Result<SelVector> VecOrderBy(const ColumnarBatch& in,
 SelVector VecDistinct(const ColumnarBatch& in) {
   MDE_TRACE_SPAN("vec.distinct");
   MDE_OBS_COUNT("vec.distinct.rows_in", in.size());
+  MDE_OBS_ATTR_ADD(rows_in, in.size());
   const ColumnarTable& T = *in.cols;
   std::vector<KeyCol> kc;
   for (size_t i = 0; i < T.num_columns(); ++i) kc.push_back(MakeKeyCol(T.col(i)));
@@ -1127,6 +1140,7 @@ SelVector VecDistinct(const ColumnarBatch& in) {
     }
   }
   MDE_OBS_COUNT("vec.distinct.rows_out", out.size());
+  MDE_OBS_ATTR_ADD(rows_out, out.size());
   return out;
 }
 

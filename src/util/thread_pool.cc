@@ -1,7 +1,10 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/context.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -30,9 +33,33 @@ ThreadPool::ThreadPool(size_t num_threads)
   for (size_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
+#ifndef MDE_OBS_DISABLED
+  // Publish each worker's INSTANT queue depth at sample time (the
+  // cumulative submitted/steals/help_runs counters cannot show backlog).
+  // Gauge handles are resolved once here; the hook itself only reads the
+  // snapshot and stores.
+  std::vector<obs::Gauge*> gauges;
+  gauges.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    gauges.push_back(obs::Registry::Global().gauge(
+        "pool.worker." + std::to_string(i) + ".queue_depth"));
+  }
+  sample_hook_id_ =
+      obs::RegisterSampleHook([this, gauges = std::move(gauges)] {
+        const std::vector<WorkerStats> stats = WorkerStatsSnapshot();
+        for (size_t i = 0; i < stats.size() && i < gauges.size(); ++i) {
+          gauges[i]->Set(static_cast<double>(stats[i].queue_depth));
+        }
+      });
+#endif
 }
 
 ThreadPool::~ThreadPool() {
+#ifndef MDE_OBS_DISABLED
+  // Before anything else: the hook captures `this`, and UnregisterSampleHook
+  // blocks until any in-flight hook run completes.
+  if (sample_hook_id_ != 0) obs::UnregisterSampleHook(sample_hook_id_);
+#endif
   shutdown_.store(true, std::memory_order_seq_cst);
   {
     std::lock_guard<std::mutex> lock(sleep_mu_);
@@ -42,6 +69,18 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+#ifndef MDE_OBS_DISABLED
+  // Causal context propagation: capture the submitter's query context and
+  // restore it in whichever thread executes the task — the chosen worker, a
+  // thief, or a help-running waiter. Write-only side-band state, so this
+  // cannot affect task results or scheduling.
+  if (const obs::Context& ctx = obs::CurrentContext(); ctx.active()) {
+    task = [ctx, inner = std::move(task)] {
+      obs::ContextGuard guard(ctx);
+      inner();
+    };
+  }
+#endif
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   // A worker submitting work keeps it on its own deque (front = hot end);
   // external submitters round-robin across workers.
@@ -102,6 +141,8 @@ std::vector<ThreadPool::WorkerStats> ThreadPool::WorkerStatsSnapshot() const {
         worker_counters_[i].steals.load(std::memory_order_relaxed);
     out[i].help_runs =
         worker_counters_[i].help_runs.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(queue_mus_[i]);
+    out[i].queue_depth = queues_[i].size();
   }
   return out;
 }
@@ -126,6 +167,9 @@ void ThreadPool::Execute(std::function<void()>& task) {
 void ThreadPool::WorkerLoop(size_t index) {
   tls_pool = this;
   tls_worker = index;
+#ifndef MDE_OBS_DISABLED
+  obs::SetCurrentThreadName("worker-" + std::to_string(index));
+#endif
   std::function<void()> task;
   while (true) {
     if (TryGetTask(index, &task)) {

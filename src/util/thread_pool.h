@@ -49,10 +49,14 @@ class ThreadPool {
   /// owning worker): tasks_executed counts tasks run in the worker loop,
   /// steals counts tasks taken from a sibling's deque, help_runs counts
   /// tasks the worker drained from inside WaitAll instead of blocking.
+  /// queue_depth is the worker deque's CURRENT length (read under the
+  /// queue lock at snapshot time, not cumulative) — the backlog signal the
+  /// per-worker sample-time gauges publish.
   struct WorkerStats {
     uint64_t tasks_executed = 0;
     uint64_t steals = 0;
     uint64_t help_runs = 0;
+    uint64_t queue_depth = 0;
   };
 
   /// Per-worker counters, index-aligned with the worker threads.
@@ -149,6 +153,11 @@ class ThreadPool {
   std::condition_variable task_ready_;
   std::mutex wait_mu_;
   std::condition_variable all_done_;
+  /// Sampler-hook registration publishing per-worker queue_depth gauges
+  /// (0 = none registered). Unregistered FIRST in the destructor — the
+  /// hook runner blocks unregistration until in-flight hooks finish, so a
+  /// hook can never observe a dying pool.
+  uint64_t sample_hook_id_ = 0;
 };
 
 }  // namespace mde

@@ -1,11 +1,14 @@
 // mde_report: renders a run report from the artifacts a run leaves behind.
 //
 //   mde_report [--trace trace.json] [--metrics metrics.jsonl]
+//              [--flight flight.json]
 //              [--format markdown|text] [--top-spans N] [--top-counters N]
 //
 // `--trace` is a Chrome trace-event JSON (--mde_trace_out); `--metrics` is
-// the Sampler's JSONL time series (--mde_metrics_jsonl). Either may be
-// omitted; at least one must be given. The report goes to stdout.
+// the Sampler's JSONL time series (--mde_metrics_jsonl); `--flight` is a
+// crash flight-recorder dump (obs/flight.h, MDE_FLIGHT_PATH). Any may be
+// omitted; at least one must be given. Reports go to stdout (the flight
+// report after the run report when both are requested).
 //
 // Exit codes: 0 success, 1 bad usage or parse failure, 2 unreadable file —
 // nonzero in CI means the run's artifacts are malformed.
@@ -22,8 +25,8 @@ namespace {
 
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--trace FILE] [--metrics FILE] [--format markdown|text]"
-               " [--top-spans N] [--top-counters N]\n";
+            << " [--trace FILE] [--metrics FILE] [--flight FILE]"
+               " [--format markdown|text] [--top-spans N] [--top-counters N]\n";
   return 1;
 }
 
@@ -41,6 +44,7 @@ bool ReadFile(const std::string& path, std::string* out) {
 int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
+  std::string flight_path;
   mde::obs::RunReportOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -55,6 +59,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       metrics_path = v;
+    } else if (arg == "--flight") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      flight_path = v;
     } else if (arg == "--format") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -78,7 +86,9 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (trace_path.empty() && metrics_path.empty()) return Usage(argv[0]);
+  if (trace_path.empty() && metrics_path.empty() && flight_path.empty()) {
+    return Usage(argv[0]);
+  }
 
   std::string trace_json;
   if (!trace_path.empty() && !ReadFile(trace_path, &trace_json)) {
@@ -91,13 +101,30 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::string report;
-  std::string error;
-  if (!mde::obs::RenderRunReport(trace_json, metrics_jsonl, options, &report,
-                                 &error)) {
-    std::cerr << "mde_report: " << error << "\n";
-    return 1;
+  std::string flight_json;
+  if (!flight_path.empty() && !ReadFile(flight_path, &flight_json)) {
+    std::cerr << "mde_report: cannot read " << flight_path << "\n";
+    return 2;
   }
-  std::cout << report;
+
+  std::string error;
+  if (!trace_path.empty() || !metrics_path.empty()) {
+    std::string report;
+    if (!mde::obs::RenderRunReport(trace_json, metrics_jsonl, options,
+                                   &report, &error)) {
+      std::cerr << "mde_report: " << error << "\n";
+      return 1;
+    }
+    std::cout << report;
+  }
+  if (!flight_path.empty()) {
+    std::string report;
+    if (!mde::obs::RenderFlightReport(flight_json, options, &report,
+                                      &error)) {
+      std::cerr << "mde_report: " << error << "\n";
+      return 1;
+    }
+    std::cout << report;
+  }
   return 0;
 }
