@@ -30,6 +30,15 @@
 ///                             the whole run, appending one JSONL registry
 ///                             record per period to FILE.
 ///   --mde_metrics_period_ms=N Sampler period (default 50).
+///
+/// Env knobs (no flags, so they compose with any harness):
+///
+///   MDE_DIAG_PORT=N   serve live diagnostics on http://127.0.0.1:N for the
+///                     whole run (0 = ephemeral; the chosen port is printed
+///                     to stderr). Endpoints: /metrics /statusz /queryz
+///                     /tracez /flightz /profilez — see obs/http.h.
+///   MDE_PROF_HZ=N     with MDE_DIAG_PORT: also run the continuous CPU
+///                     profiler at N Hz ("default" = 97).
 
 #include <cstdlib>
 #include <cstring>
@@ -40,6 +49,7 @@
 #include <benchmark/benchmark.h>
 
 #include "obs/export.h"
+#include "obs/http.h"
 #include "obs/trace.h"
 #include "simd/simd.h"
 
@@ -180,6 +190,7 @@ inline std::unique_ptr<mde::obs::Sampler> MaybeStartSampler(
     auto mde_sampler =                                                  \
         mde::bench::MaybeStartSampler(mde_metrics_jsonl,                \
                                       mde_metrics_period);              \
+    mde::obs::DiagServer::MaybeStartFromEnv();                          \
     if (!mde::bench::MachineReadableStdout(argc, argv)) {               \
       Preamble();                                                       \
     }                                                                   \

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Checks a folded-stack CPU profile, as served by /profilez and rendered
+by mde::obs::Profiler::Folded.
+
+Validates, stdlib-only:
+  * exactly one header comment `# mde_profile hz=H samples=N window_s=S`
+    (first non-blank line; hz is a positive integer, samples a
+    non-negative integer, window_s a positive float);
+  * every other non-blank line is `frame;frame;...;frame count` — the
+    count is split off the LAST space, so frames may contain spaces
+    (demangled C++ signatures do) but never ';' (the folder sanitizes it);
+  * counts are positive integers and non-increasing top to bottom
+    (Folded sorts count-descending);
+  * no frame is empty (no ";;" runs, no leading/trailing ';');
+  * synthetic query roots, when present, are the FIRST frame and match
+    `query:0x<hex>` or `query:-`;
+  * the per-line counts sum to the header's samples= value.
+
+A header with samples=0 and no stack lines is legal (an idle window).
+
+Usage: check_folded.py FILE...   (exit 0 = all files pass)
+"""
+
+import re
+import sys
+
+HEADER_RE = re.compile(
+    r"^# mde_profile hz=([0-9]+) samples=([0-9]+) window_s=([0-9.]+)$")
+QUERY_ROOT_RE = re.compile(r"^query:(0x[0-9a-f]+|-)$")
+
+
+def check(path, text):
+    errors = []
+    lines = text.splitlines()
+    header = None
+    total = 0
+    prev_count = None
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            m = HEADER_RE.match(line)
+            if m is None:
+                errors.append("%s:%d: bad comment line %r" % (path, lineno, line))
+                continue
+            if header is not None:
+                errors.append("%s:%d: duplicate header" % (path, lineno))
+                continue
+            if int(m.group(1)) <= 0:
+                errors.append("%s:%d: hz must be positive" % (path, lineno))
+            if float(m.group(3)) <= 0:
+                errors.append("%s:%d: window_s must be positive" % (path, lineno))
+            header = (int(m.group(1)), int(m.group(2)), float(m.group(3)))
+            continue
+        if header is None:
+            errors.append("%s:%d: stack line before header" % (path, lineno))
+        # Count comes after the last space: frames may contain spaces
+        # (demangled signatures), the count never does.
+        stack, sep, count_str = line.rpartition(" ")
+        if not sep or not count_str.isdigit():
+            errors.append("%s:%d: no trailing count: %r" % (path, lineno, line))
+            continue
+        count = int(count_str)
+        if count <= 0:
+            errors.append("%s:%d: non-positive count" % (path, lineno))
+        if prev_count is not None and count > prev_count:
+            errors.append("%s:%d: counts not descending (%d after %d)"
+                          % (path, lineno, count, prev_count))
+        prev_count = count
+        total += count
+        frames = stack.split(";")
+        if any(f == "" for f in frames):
+            errors.append("%s:%d: empty frame in %r" % (path, lineno, stack))
+            continue
+        for i, frame in enumerate(frames):
+            if frame.startswith("query:"):
+                if i != 0:
+                    errors.append("%s:%d: query root %r not first"
+                                  % (path, lineno, frame))
+                elif QUERY_ROOT_RE.match(frame) is None:
+                    errors.append("%s:%d: bad query root %r"
+                                  % (path, lineno, frame))
+    if header is None:
+        errors.append("%s: missing '# mde_profile ...' header" % path)
+    elif total != header[1]:
+        errors.append("%s: stack counts sum to %d but header says samples=%d"
+                      % (path, total, header[1]))
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_folded.py FILE...", file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print("%s: %s" % (path, e), file=sys.stderr)
+            failed = True
+            continue
+        errors = check(path, text)
+        if errors:
+            failed = True
+            for e in errors:
+                print(e, file=sys.stderr)
+        else:
+            print("%s: OK (%d stacks)" % (path, sum(
+                1 for l in text.splitlines() if l.strip() and not l.startswith("#"))))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,6 +8,7 @@
 
 #include "epi/indemics.h"
 #include "epi/network.h"
+#include "obs/http.h"
 #include "table/query.h"
 
 using namespace mde;           // NOLINT — example brevity
@@ -41,6 +42,7 @@ void PrintCurve(const char* label, const std::vector<DailyStats>& history) {
 }  // namespace
 
 int main() {
+  mde::obs::DiagServer::MaybeStartFromEnv();
   std::printf("Indemics-style epidemic intervention (Algorithm 1)\n\n");
 
   EpidemicSim baseline = MakeSim(7);

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "calibrate/msm.h"
+#include "obs/http.h"
 #include "util/distributions.h"
 #include "util/stats.h"
 
@@ -48,6 +49,7 @@ Result<std::vector<double>> MarketSimulator(const std::vector<double>& theta,
 }  // namespace
 
 int main() {
+  mde::obs::DiagServer::MaybeStartFromEnv();
   std::printf("ABS calibration by the method of simulated moments\n\n");
   const std::vector<double> theta_true = {0.5, 0.08};
   std::printf("hidden true parameters: influence=%.2f churn=%.2f\n\n",

@@ -12,6 +12,7 @@
 #include "util/check.h"
 #include "mcdb/mcdb.h"
 #include "mcdb/vg_function.h"
+#include "obs/http.h"
 #include "table/query.h"
 
 using mde::mcdb::DatabaseInstance;
@@ -89,6 +90,7 @@ void Report(const char* label, const std::vector<double>& samples) {
 }  // namespace
 
 int main() {
+  mde::obs::DiagServer::MaybeStartFromEnv();
   std::printf("MCDB quickstart: revenue under uncertainty (Section 2.1)\n\n");
   const size_t reps = 200;
 

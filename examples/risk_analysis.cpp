@@ -9,6 +9,7 @@
 
 #include "mcdb/estimators.h"
 #include "mcdb/vg_function.h"
+#include "obs/http.h"
 #include "util/check.h"
 #include "util/distributions.h"
 #include "util/stats.h"
@@ -17,6 +18,7 @@ using namespace mde;        // NOLINT — example brevity
 using namespace mde::mcdb;  // NOLINT
 
 int main() {
+  mde::obs::DiagServer::MaybeStartFromEnv();
   std::printf("MCDB-R style risk analysis\n\n");
 
   // 1. Impute missing prior prices with the BackwardRandomWalk VG function.

@@ -12,6 +12,7 @@
 #include "composite/experiment.h"
 #include "doe/designs.h"
 #include "metamodel/kriging.h"
+#include "obs/http.h"
 #include "table/schema_mapping.h"
 #include "timeseries/align.h"
 #include "util/check.h"
@@ -98,6 +99,7 @@ Result<double> CompositeSim(const std::map<std::string, double>& params,
 }  // namespace
 
 int main() {
+  mde::obs::DiagServer::MaybeStartFromEnv();
   std::printf("Splash-style composite: weather -> (harmonize) -> crop\n\n");
 
   // One end-to-end run, narrated.

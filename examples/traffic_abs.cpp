@@ -10,10 +10,12 @@
 
 #include "abs/schelling.h"
 #include "abs/traffic.h"
+#include "obs/http.h"
 
 using namespace mde::abs;  // NOLINT — example brevity
 
 int main() {
+  mde::obs::DiagServer::MaybeStartFromEnv();
   std::printf("Agent-based traffic on a 1000-cell ring road\n\n");
   std::printf("%9s %12s %7s\n", "density", "mean speed", "jams");
   for (size_t cars : {50, 150, 250, 350, 500, 700}) {

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "obs/http.h"
 #include "util/stats.h"
 #include "wildfire/assimilate.h"
 #include "wildfire/fire.h"
@@ -14,6 +15,7 @@
 using namespace mde::wildfire;  // NOLINT — example brevity
 
 int main() {
+  mde::obs::DiagServer::MaybeStartFromEnv();
   std::printf("Wildfire data assimilation via particle filtering\n\n");
 
   Terrain terrain = GenerateTerrain(40, 40, /*wind_x=*/0.6, /*wind_y=*/0.2,

@@ -7,6 +7,7 @@
 
 #include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace mde::obs {
@@ -66,6 +67,9 @@ Context Install(const Context& ctx) {
   // say which query every thread was serving.
   FlightRecorder::Global().NoteContext(ctx.trace_id, ctx.fingerprint,
                                        ctx.tag);
+  // Same mirror for the sampling profiler: its SIGPROF handler reads only
+  // the slot's own atomics, never this TLS.
+  Profiler::Global().NoteContext(ctx.fingerprint, ctx.tag);
   return prev;
 }
 
@@ -132,6 +136,7 @@ QueryScope::QueryScope(const char* tag, uint64_t fingerprint) {
     return;
   }
   EnsureCurrentThreadNamed("driver");
+  Profiler::Global().RegisterCurrentThread();
   Context ctx;
   ctx.trace_id = internal::NextId();
   // Inherit the innermost open span so the query's spans parent correctly

@@ -8,10 +8,44 @@
 
 #include "obs/context.h"
 #include "obs/mem.h"
+#include "obs/trace.h"
+
+#ifndef MDE_GIT_HASH
+#define MDE_GIT_HASH "unknown"
+#endif
 
 namespace mde::obs {
 
 namespace {
+
+struct LabelStore {
+  std::mutex mu;
+  std::map<std::string, std::string> labels;
+};
+
+LabelStore& Labels() {
+  static LabelStore* s = new LabelStore();  // leaked: outlives static dtors
+  return *s;
+}
+
+/// Captured when the obs library initializes (static init of this TU),
+/// which for all practical purposes is process start.
+const uint64_t g_process_start_ns = NowNanos();
+
+std::string EscapeLabelValue(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
 
 /// Round-trip double formatting: enough digits that parsing the text
 /// recovers the exact bit pattern (integers render without a point).
@@ -109,7 +143,45 @@ std::string PrometheusText() {
   RunSampleHooks();
   std::vector<MetricSnapshot> snapshot = Registry::Global().Snapshot();
   AppendDerivedGauges(&snapshot);
-  return PrometheusText(snapshot) + AttributionText();
+  return PrometheusText(snapshot) + BuildInfoText() + AttributionText();
+}
+
+void SetRuntimeLabel(const std::string& key, const std::string& value) {
+  LabelStore& s = Labels();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.labels[key] = value;
+}
+
+std::string GetRuntimeLabel(const std::string& key) {
+  LabelStore& s = Labels();
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.labels.find(key);
+  return it != s.labels.end() ? it->second : "unknown";
+}
+
+const char* BuildGitHash() { return MDE_GIT_HASH; }
+
+double ProcessUptimeSeconds() {
+  return static_cast<double>(NowNanos() - g_process_start_ns) * 1e-9;
+}
+
+std::string BuildInfoText() {
+  std::ostringstream os;
+  os << "# TYPE mde_build_info gauge\n"
+     << "mde_build_info{git_hash=\"" << EscapeLabelValue(BuildGitHash())
+     << "\",simd_tier=\"" << EscapeLabelValue(GetRuntimeLabel("simd_tier"))
+     << "\"} 1\n";
+  os << "# TYPE mde_process_uptime_seconds gauge\n"
+     << "mde_process_uptime_seconds " << RoundTrip(ProcessUptimeSeconds())
+     << "\n";
+  const ProcessMemory mem = SampleProcessMemory();
+  if (mem.ok) {
+    os << "# TYPE mde_process_rss_bytes gauge\n"
+       << "mde_process_rss_bytes " << mem.rss_kb * 1024 << "\n";
+    os << "# TYPE mde_process_peak_rss_bytes gauge\n"
+       << "mde_process_peak_rss_bytes " << mem.peak_rss_kb * 1024 << "\n";
+  }
+  return os.str();
 }
 
 std::string AttributionText() {

@@ -47,6 +47,26 @@ std::string PrometheusText(const std::vector<MetricSnapshot>& snapshot);
 /// families (see AppendAttributionText).
 std::string PrometheusText();
 
+/// Process-identity string labels, set once at startup by subsystems that
+/// live ABOVE obs in the layering (obs cannot call into them): e.g. the
+/// SIMD dispatcher writes SetRuntimeLabel("simd_tier", "avx2") when it
+/// picks a tier. Unset keys read as "unknown". Thread-safe.
+void SetRuntimeLabel(const std::string& key, const std::string& value);
+std::string GetRuntimeLabel(const std::string& key);
+
+/// Compile-time git hash (MDE_GIT_HASH from the build; "unknown" without
+/// git) and seconds since this process initialized the obs library.
+const char* BuildGitHash();
+double ProcessUptimeSeconds();
+
+/// Identity-and-liveness families appended to every /metrics exposition so
+/// it agrees with /statusz:
+///
+///   mde_build_info{git_hash="...",simd_tier="..."} 1
+///   mde_process_uptime_seconds <s>
+///   mde_process_rss_bytes / mde_process_peak_rss_bytes   (procfs only)
+std::string BuildInfoText();
+
 /// Renders the per-query attribution table (obs/context.h) as Prometheus
 /// counter families labeled by query fingerprint and tag:
 ///

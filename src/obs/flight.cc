@@ -24,6 +24,12 @@ FlightRecorder* g_recorder = nullptr;
 char g_signal_path[512] = "mde_flight.json";
 std::atomic<bool> g_handlers_installed{false};
 
+/// Dispositions that preceded ours, saved at install time so the fatal
+/// handler can CHAIN instead of clobbering: a pre-existing handler (test
+/// harness, sanitizer runtime) still runs after the dump.
+constexpr int kMaxSavedSignal = 32;
+struct sigaction g_prev_actions[kMaxSavedSignal];
+
 /// Loops ::write until `len` bytes land (or an error). Async-signal-safe.
 void WriteAll(int fd, const char* buf, size_t len) {
   size_t off = 0;
@@ -53,9 +59,20 @@ const char* SignalName(int sig) {
 void CrashSignalHandler(int sig) {
   FlightRecorder* r = g_recorder;
   if (r != nullptr) r->DumpFromSignal(SignalName(sig));
-  // Restore default disposition and re-raise so exit status / core dumps
-  // behave exactly as without the recorder.
-  std::signal(sig, SIG_DFL);
+  // Chain: restore whatever disposition preceded ours and re-raise. A saved
+  // real handler gets the signal next (then presumably dies its own way);
+  // SIG_IGN would swallow a fatal re-raise, so it degrades to SIG_DFL —
+  // exit status and core dumps behave as without the recorder.
+  if (sig >= 0 && sig < kMaxSavedSignal) {
+    struct sigaction prev = g_prev_actions[sig];
+    const bool prev_is_handler =
+        (prev.sa_flags & SA_SIGINFO) != 0 ||
+        (prev.sa_handler != SIG_DFL && prev.sa_handler != SIG_IGN);
+    if (!prev_is_handler) prev.sa_handler = SIG_DFL;
+    sigaction(sig, &prev, nullptr);
+  } else {
+    std::signal(sig, SIG_DFL);
+  }
   std::raise(sig);
 }
 
@@ -71,8 +88,15 @@ void InstallHandlersOnce() {
   std::memset(&sa, 0, sizeof(sa));
   sa.sa_handler = CrashSignalHandler;
   sigemptyset(&sa.sa_mask);
+  // Block the profiler's SIGPROF while dumping: a sampling tick landing
+  // mid-dump would interleave with the crash artifact's write loop.
+  sigaddset(&sa.sa_mask, SIGPROF);
   for (int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
-    sigaction(sig, &sa, nullptr);
+    if (sig < kMaxSavedSignal) {
+      sigaction(sig, &sa, &g_prev_actions[sig]);
+    } else {
+      sigaction(sig, &sa, nullptr);
+    }
   }
 }
 
@@ -279,8 +303,7 @@ void FlightRecorder::AppendSlotsJson(std::string* out) const {
   out->append("]");
 }
 
-bool FlightRecorder::DumpToFile(const std::string& path,
-                                const std::string& reason) {
+std::string FlightRecorder::RenderJson(const std::string& reason) const {
   std::string doc;
   doc.reserve(1 << 14);
   doc.append("{\"flight\":{\"version\":1,\"reason\":\"");
@@ -315,7 +338,12 @@ bool FlightRecorder::DumpToFile(const std::string& path,
     doc.append(buf);
   }
   doc.append("}}}\n");
+  return doc;
+}
 
+bool FlightRecorder::DumpToFile(const std::string& path,
+                                const std::string& reason) {
+  const std::string doc = RenderJson(reason);
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return false;

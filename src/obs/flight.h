@@ -57,6 +57,11 @@ class FlightRecorder {
   /// Names the calling thread in dump output. Copies (interns) `name`.
   void SetCurrentThreadName(const std::string& name);
 
+  /// Renders the full live artifact `{"flight":{...}}` (contexts + spans +
+  /// metrics snapshot) as one JSON document — exactly what DumpToFile
+  /// writes; /flightz serves it without crashing anything.
+  std::string RenderJson(const std::string& reason) const;
+
   /// Writes the full artifact (contexts + spans + metrics snapshot) to
   /// `path` atomically via tmp+rename. Returns false on I/O failure.
   bool DumpToFile(const std::string& path, const std::string& reason);

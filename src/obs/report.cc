@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <iomanip>
 #include <limits>
 #include <map>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -834,6 +836,198 @@ bool RenderFlightReport(const std::string& flight_json,
     TableWriter t({"gauge", "value"}, md);
     for (const auto& [name, v] : gauges->obj) {
       t.AddRow({name, Compact(v.NumOr(0.0))});
+    }
+    t.Render(os);
+    os << "\n";
+  }
+
+  *out = os.str();
+  return true;
+}
+
+bool RenderProfileReport(const std::string& profile_text,
+                         const std::string& metrics_jsonl,
+                         const RunReportOptions& options, std::string* out,
+                         std::string* error) {
+  const bool md = options.markdown;
+
+  // Parse the folded format: "# mde_profile hz=H samples=N window_s=S"
+  // then one "frame;frame;...;frame count" line per distinct stack.
+  int hz = 0;
+  double window_s = 0.0;
+  bool saw_header = false;
+  struct Stack {
+    std::vector<std::string> frames;  // root first
+    uint64_t count = 0;
+  };
+  std::vector<Stack> stacks;
+  size_t line_no = 0;
+  size_t begin = 0;
+  while (begin < profile_text.size()) {
+    size_t end = profile_text.find('\n', begin);
+    if (end == std::string::npos) end = profile_text.size();
+    std::string line = profile_text.substr(begin, end - begin);
+    begin = end + 1;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    if (line[0] == '#') {
+      if (line.rfind("# mde_profile ", 0) == 0) {
+        saw_header = true;
+        std::istringstream kv(line.substr(14));
+        std::string token;
+        while (kv >> token) {
+          if (token.rfind("hz=", 0) == 0) {
+            hz = std::atoi(token.c_str() + 3);
+          } else if (token.rfind("window_s=", 0) == 0) {
+            window_s = std::atof(token.c_str() + 9);
+          }
+        }
+      }
+      continue;
+    }
+    const size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp + 1 >= line.size()) {
+      if (error != nullptr) {
+        *error = "profile line " + std::to_string(line_no) +
+                 ": expected 'stack count'";
+      }
+      return false;
+    }
+    char* num_end = nullptr;
+    const uint64_t count =
+        std::strtoull(line.c_str() + sp + 1, &num_end, 10);
+    if (num_end == nullptr || *num_end != '\0') {
+      if (error != nullptr) {
+        *error = "profile line " + std::to_string(line_no) +
+                 ": trailing count is not a number";
+      }
+      return false;
+    }
+    Stack s;
+    s.count = count;
+    size_t fb = 0;
+    const std::string stack_str = line.substr(0, sp);
+    while (fb <= stack_str.size()) {
+      size_t fe = stack_str.find(';', fb);
+      if (fe == std::string::npos) fe = stack_str.size();
+      if (fe > fb) s.frames.push_back(stack_str.substr(fb, fe - fb));
+      fb = fe + 1;
+    }
+    if (!s.frames.empty()) stacks.push_back(std::move(s));
+  }
+  if (!saw_header && stacks.empty()) {
+    if (error != nullptr) *error = "not a folded profile (no header, no stacks)";
+    return false;
+  }
+
+  uint64_t total = 0;
+  for (const Stack& s : stacks) total += s.count;
+
+  // Leaf-frame (self) and anywhere-on-stack (inclusive) sample counts per
+  // function; the synthetic "query:..." roots stay out of this table.
+  struct FuncAgg {
+    uint64_t self = 0;
+    uint64_t incl = 0;
+  };
+  std::map<std::string, FuncAgg> funcs;
+  std::map<std::string, uint64_t> query_counts;
+  for (const Stack& s : stacks) {
+    size_t first = 0;
+    if (s.frames[0].rfind("query:", 0) == 0) {
+      query_counts[s.frames[0].substr(6)] += s.count;
+      first = 1;
+    }
+    if (first >= s.frames.size()) continue;
+    std::set<std::string> seen;
+    for (size_t f = first; f < s.frames.size(); ++f) {
+      if (seen.insert(s.frames[f]).second) funcs[s.frames[f]].incl += s.count;
+    }
+    funcs[s.frames.back()].self += s.count;
+  }
+
+  std::ostringstream os;
+  Heading(os, md, "CPU profile");
+  {
+    TableWriter t({"what", "value"}, md);
+    t.AddRow({"samples", std::to_string(total)});
+    if (hz > 0) t.AddRow({"rate (hz)", std::to_string(hz)});
+    if (window_s > 0.0) t.AddRow({"window (s)", Fixed(window_s)});
+    if (hz > 0) {
+      t.AddRow({"sampled cpu (s)",
+                Fixed(static_cast<double>(total) / static_cast<double>(hz))});
+    }
+    t.Render(os);
+    os << "\n";
+  }
+
+  if (!funcs.empty()) {
+    Heading(os, md, "Top functions (self samples)");
+    std::vector<std::pair<std::string, FuncAgg>> rows(funcs.begin(),
+                                                      funcs.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      if (a.second.self != b.second.self) return a.second.self > b.second.self;
+      return a.first < b.first;
+    });
+    TableWriter t({"function", "self", "self %", "incl"}, md);
+    for (size_t i = 0; i < rows.size() && i < options.top_spans; ++i) {
+      const double pct =
+          total > 0
+              ? 100.0 * static_cast<double>(rows[i].second.self) / total
+              : 0.0;
+      t.AddRow({rows[i].first, std::to_string(rows[i].second.self),
+                Fixed(pct, 1), std::to_string(rows[i].second.incl)});
+    }
+    t.Render(os);
+    if (rows.size() > options.top_spans) {
+      os << "(" << rows.size() - options.top_spans << " more functions)\n";
+    }
+    os << "\n";
+  }
+
+  if (!query_counts.empty()) {
+    // Reconciliation column: the attribution table's own cpu-ns totals from
+    // the Sampler JSONL, when provided. Sample-estimated cpu vs attributed
+    // cpu should agree within sampling error (the 10% acceptance gate).
+    MetricsSeries series;
+    if (!metrics_jsonl.empty() &&
+        !ParseMetricsJsonl(metrics_jsonl, &series, error)) {
+      return false;
+    }
+    Heading(os, md, "Per-query samples");
+    std::vector<std::pair<std::string, uint64_t>> rows(query_counts.begin(),
+                                                       query_counts.end());
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    const bool have_attr = !series.queries.empty();
+    std::vector<std::string> headers = {"query", "samples", "est cpu s"};
+    if (have_attr) {
+      headers.push_back("attr cpu s");
+      headers.push_back("est/attr");
+    }
+    TableWriter t(std::move(headers), md);
+    for (const auto& [query, count] : rows) {
+      std::vector<std::string> row;
+      row.push_back(query == "-" ? "(no query)" : query);
+      row.push_back(std::to_string(count));
+      const double est_s =
+          hz > 0 ? static_cast<double>(count) / static_cast<double>(hz)
+                 : 0.0;
+      row.push_back(hz > 0 ? Fixed(est_s) : "?");
+      if (have_attr) {
+        auto it = series.queries.find(query);
+        if (it != series.queries.end() && it->second.cpu_ns > 0.0) {
+          const double attr_s = it->second.cpu_ns * 1e-9;
+          row.push_back(Fixed(attr_s));
+          row.push_back(hz > 0 ? Fixed(est_s / attr_s, 2) : "?");
+        } else {
+          row.push_back("-");
+          row.push_back("-");
+        }
+      }
+      t.AddRow(std::move(row));
     }
     t.Render(os);
     os << "\n";

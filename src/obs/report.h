@@ -48,6 +48,22 @@ bool RenderFlightReport(const std::string& flight_json,
                         const RunReportOptions& options, std::string* out,
                         std::string* error);
 
+/// Renders a CPU profile captured from /profilez (obs/profiler.h Folded
+/// format: one "# mde_profile hz=H samples=N window_s=S" header comment,
+/// then "frame;frame;...;frame count" lines, root first) as a report: the
+/// top functions by SELF samples (leaf-frame attribution) with inclusive
+/// counts alongside, and — when the stacks carry "query:0x<fp>" synthetic
+/// roots — per-query sample counts with estimated CPU seconds
+/// (samples / hz). When `metrics_jsonl` (the Sampler's line format) is
+/// non-empty, each query row is reconciled against the final
+/// mde_query_cpu_ns from the JSONL's "queries" object: the report prints
+/// both and their ratio. Returns false and sets `*error` when the profile
+/// text fails to parse.
+bool RenderProfileReport(const std::string& profile_text,
+                         const std::string& metrics_jsonl,
+                         const RunReportOptions& options, std::string* out,
+                         std::string* error);
+
 /// Interpolated quantile from a fixed-bucket histogram (per-bucket counts,
 /// `bounds`-aligned with one trailing +inf bucket), the same linear
 /// interpolation Prometheus' histogram_quantile applies to cumulative

@@ -4,6 +4,9 @@
 #include <string>
 
 #include "obs/metrics.h"
+#ifndef MDE_OBS_DISABLED
+#include "obs/export.h"
+#endif
 #include "simd/kernels.h"
 #include "simd/simd.h"
 
@@ -76,6 +79,11 @@ struct DispatchState {
     }
 #endif
     MDE_OBS_GAUGE_SET("simd.tier", static_cast<int>(t));
+#ifndef MDE_OBS_DISABLED
+    // Name flows INTO obs (obs sits below simd in the layering) so
+    // mde_build_info and /statusz can report the active tier by name.
+    obs::SetRuntimeLabel("simd_tier", TierName(t));
+#endif
   }
 
   DispatchState() { Apply(RequestedTier()); }

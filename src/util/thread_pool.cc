@@ -6,6 +6,7 @@
 #include "obs/context.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
@@ -34,21 +35,37 @@ ThreadPool::ThreadPool(size_t num_threads)
     threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 #ifndef MDE_OBS_DISABLED
-  // Publish each worker's INSTANT queue depth at sample time (the
-  // cumulative submitted/steals/help_runs counters cannot show backlog).
-  // Gauge handles are resolved once here; the hook itself only reads the
-  // snapshot and stores.
-  std::vector<obs::Gauge*> gauges;
+  // Publish each worker's WorkerStats at sample time: the INSTANT queue
+  // depth (the cumulative counters cannot show backlog) plus the cumulative
+  // execution counters, so /statusz and /metrics see the same
+  // WorkerStatsSnapshot the API returns. Gauge handles are resolved once
+  // here; the hook itself only reads the snapshot and stores.
+  struct WorkerGauges {
+    obs::Gauge* queue_depth;
+    obs::Gauge* tasks_executed;
+    obs::Gauge* steals;
+    obs::Gauge* help_runs;
+  };
+  std::vector<WorkerGauges> gauges;
   gauges.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    gauges.push_back(obs::Registry::Global().gauge(
-        "pool.worker." + std::to_string(i) + ".queue_depth"));
+    const std::string prefix = "pool.worker." + std::to_string(i);
+    gauges.push_back(
+        {obs::Registry::Global().gauge(prefix + ".queue_depth"),
+         obs::Registry::Global().gauge(prefix + ".tasks_executed"),
+         obs::Registry::Global().gauge(prefix + ".steals"),
+         obs::Registry::Global().gauge(prefix + ".help_runs")});
   }
   sample_hook_id_ =
       obs::RegisterSampleHook([this, gauges = std::move(gauges)] {
         const std::vector<WorkerStats> stats = WorkerStatsSnapshot();
         for (size_t i = 0; i < stats.size() && i < gauges.size(); ++i) {
-          gauges[i]->Set(static_cast<double>(stats[i].queue_depth));
+          gauges[i].queue_depth->Set(
+              static_cast<double>(stats[i].queue_depth));
+          gauges[i].tasks_executed->Set(
+              static_cast<double>(stats[i].tasks_executed));
+          gauges[i].steals->Set(static_cast<double>(stats[i].steals));
+          gauges[i].help_runs->Set(static_cast<double>(stats[i].help_runs));
         }
       });
 #endif
@@ -169,6 +186,9 @@ void ThreadPool::WorkerLoop(size_t index) {
   tls_worker = index;
 #ifndef MDE_OBS_DISABLED
   obs::SetCurrentThreadName("worker-" + std::to_string(index));
+  // Register with the sampling profiler so a running (or later-started)
+  // session arms a per-thread CPU timer for this worker.
+  obs::Profiler::Global().RegisterCurrentThread();
 #endif
   std::function<void()> task;
   while (true) {

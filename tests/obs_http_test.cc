@@ -1,0 +1,552 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mcdb/bundle.h"
+#include "mcdb/mcdb.h"
+#include "mcdb/vg_function.h"
+#include "obs/context.h"
+#include "obs/export.h"
+#include "obs/flight.h"
+#include "obs/http.h"
+#include "obs/profiler.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "util/distributions.h"
+#include "util/thread_pool.h"
+
+namespace mde {
+namespace {
+
+using table::DataType;
+using table::Row;
+using table::Schema;
+using table::Table;
+using table::Value;
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Burns `seconds` of THREAD CPU time (not wall time) so profiler sample
+/// counts — which are CPU-time driven — have a known expectation.
+void SpinCpu(double seconds) {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  const double start = ts.tv_sec + ts.tv_nsec * 1e-9;
+  volatile double sink = 0.0;
+  for (;;) {
+    for (int i = 0; i < 20000; ++i) sink = sink + i * 1e-9;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    if (ts.tv_sec + ts.tv_nsec * 1e-9 - start >= seconds) break;
+  }
+}
+
+/// Minimal blocking HTTP/1.1 GET against the loopback diagnostics server.
+/// Returns the body; status code goes to `*status_out` (0 on socket
+/// failure).
+std::string HttpGet(int port, const std::string& target, int* status_out) {
+  *status_out = 0;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + target +
+                          " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                          "Connection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (raw.compare(0, 5, "HTTP/") != 0) return "";
+  *status_out = std::atoi(raw.c_str() + 9);
+  const size_t hdr_end = raw.find("\r\n\r\n");
+  return hdr_end == std::string::npos ? "" : raw.substr(hdr_end + 4);
+}
+
+/// The paper's SBP stochastic table (same shape as the mcdb tests): a real
+/// engine workload whose bundle generation fans out over a pool.
+mcdb::MonteCarloDb MakeSbpDb(size_t patients) {
+  mcdb::MonteCarloDb db;
+  Table p{Schema({{"PID", DataType::kInt64}, {"GENDER", DataType::kString}})};
+  for (size_t i = 0; i < patients; ++i) {
+    p.Append({Value(static_cast<int64_t>(i)), Value(i % 2 ? "M" : "F")});
+  }
+  EXPECT_TRUE(db.AddTable("PATIENTS", std::move(p)).ok());
+  Table param{
+      Schema({{"MEAN", DataType::kDouble}, {"STD", DataType::kDouble}})};
+  param.Append({Value(120.0), Value(9.0)});
+  EXPECT_TRUE(db.AddTable("SBP_PARAM", std::move(param)).ok());
+
+  mcdb::StochasticTableSpec spec;
+  spec.name = "SBP_DATA";
+  spec.outer_table = "PATIENTS";
+  spec.vg = std::make_shared<mcdb::NormalVg>();
+  spec.param_binder = [](const Row&, const mcdb::DatabaseInstance& det)
+      -> Result<Row> {
+    const Table& param = det.at("SBP_PARAM");
+    return Row{param.row(0)[0], param.row(0)[1]};
+  };
+  spec.output_schema = Schema({{"PID", DataType::kInt64},
+                               {"GENDER", DataType::kString},
+                               {"SBP", DataType::kDouble}});
+  spec.projector = [](const Row& outer, const Row& vg) {
+    return Row{outer[0], outer[1], vg[0]};
+  };
+  EXPECT_TRUE(db.AddStochasticTable(std::move(spec)).ok());
+  return db;
+}
+
+// ---------------------------------------------------------------------------
+// Fatal-signal chaining. FIRST in the file on purpose: InstallCrashHandler
+// is once-per-process, and the child must inherit a state where OUR handler
+// was installed on top of the marker handler — no earlier test may have
+// installed it already.
+// ---------------------------------------------------------------------------
+
+void MarkerSegvHandler(int) { ::_exit(42); }
+
+TEST(ObsFatalChainTest, CrashHandlerChainsToPreviousAndDumps) {
+  const std::string path = ::testing::TempDir() + "/obs_http_chain_flight.json";
+  std::remove(path.c_str());
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: a pre-existing SIGSEGV handler (the "application's" handler),
+    // then ours on top. The crash must run our dump AND still reach the
+    // application's handler — which exits 42 instead of dying by signal.
+    ::setenv("MDE_FLIGHT_PATH", path.c_str(), 1);
+    struct sigaction marker;
+    std::memset(&marker, 0, sizeof(marker));
+    marker.sa_handler = MarkerSegvHandler;
+    ::sigemptyset(&marker.sa_mask);
+    if (::sigaction(SIGSEGV, &marker, nullptr) != 0) ::_exit(3);
+    obs::FlightRecorder::InstallCrashHandler();
+    {
+      obs::QueryScope scope("test.chain", 0xC0FFEEu);
+      ::raise(SIGSEGV);
+    }
+    ::_exit(4);  // unreachable: the marker handler exits first
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "child died by signal instead of "
+                                    "chaining to the previous handler";
+  EXPECT_EQ(WEXITSTATUS(status), 42);
+
+  // The signal-path dump landed before the chain and parses as a flight
+  // report carrying the live query context.
+  const std::string json = ReadFile(path);
+  ASSERT_FALSE(json.empty());
+  std::string report;
+  std::string error;
+  ASSERT_TRUE(obs::RenderFlightReport(json, obs::RunReportOptions{}, &report,
+                                      &error))
+      << error;
+  EXPECT_NE(report.find("test.chain"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsFatalChainTest, CrashWithDefaultDispositionDiesBySignal) {
+#if defined(__SANITIZE_THREAD__)
+#define MDE_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MDE_TEST_TSAN 1
+#endif
+#endif
+#if defined(MDE_TEST_TSAN)
+  // TSan installs its own SEGV reporter that exits the process instead of
+  // letting the re-raised signal's default disposition kill it, so the
+  // WIFSIGNALED half of this test cannot hold under TSan. The chained
+  // variant above still runs (it exits via the marker handler first).
+  GTEST_SKIP() << "default-disposition death is replaced by TSan's reporter";
+#endif
+  const std::string path = ::testing::TempDir() + "/obs_http_dfl_flight.json";
+  std::remove(path.c_str());
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // No previous handler: after the dump the process must still die by
+    // SIGSEGV (default disposition re-raised), not exit cleanly.
+    ::setenv("MDE_FLIGHT_PATH", path.c_str(), 1);
+    obs::FlightRecorder::InstallCrashHandler();
+    ::raise(SIGSEGV);
+    ::_exit(4);
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+  EXPECT_FALSE(ReadFile(path).empty());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics server.
+// ---------------------------------------------------------------------------
+
+TEST(DiagServerTest, EphemeralPortStartStop) {
+  obs::DiagServer server;
+  ASSERT_TRUE(server.Start(0));
+  EXPECT_TRUE(server.running());
+  EXPECT_GT(server.port(), 0);
+  EXPECT_FALSE(server.Start(0)) << "double Start must fail";
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  EXPECT_EQ(server.port(), 0);
+  server.Stop();  // idempotent
+
+  // Restartable on a fresh ephemeral port.
+  ASSERT_TRUE(server.Start(0));
+  EXPECT_GT(server.port(), 0);
+  server.Stop();
+}
+
+TEST(DiagServerTest, ServesEndpointsWhileEngineRunsEightThreads) {
+  obs::DiagServer server;
+  ASSERT_TRUE(server.Start(0));
+  const int port = server.port();
+
+  // 8 threads of real engine work (bundle generation under QueryScopes)
+  // while the scrape runs — the server reads side-band state only.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&stop, t] {
+      mcdb::MonteCarloDb db = MakeSbpDb(50);
+      uint64_t rep = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        obs::QueryScope scope("test.scrape",
+                              0x9000u + static_cast<uint64_t>(t));
+        auto bundles = mcdb::GenerateBundles(db, db.stochastic_specs()[0],
+                                             "SBP", 4, /*seed=*/rep++,
+                                             /*pool=*/nullptr);
+        ASSERT_TRUE(bundles.ok());
+      }
+    });
+  }
+
+  int status = 0;
+  EXPECT_EQ(HttpGet(port, "/healthz", &status), "ok\n");
+  EXPECT_EQ(status, 200);
+
+  const std::string metrics = HttpGet(port, "/metrics", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(metrics.find("mde_build_info{git_hash=\""), std::string::npos);
+  EXPECT_NE(metrics.find("simd_tier=\""), std::string::npos);
+  EXPECT_NE(metrics.find("mde_process_uptime_seconds"), std::string::npos);
+
+  const std::string statusz = HttpGet(port, "/statusz", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(statusz.find("git_hash"), std::string::npos);
+  EXPECT_NE(statusz.find("uptime"), std::string::npos);
+
+  const std::string queryz = HttpGet(port, "/queryz?format=json", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(queryz.find("\"queries\""), std::string::npos);
+  EXPECT_NE(queryz.find("test.scrape"), std::string::npos);
+
+  const std::string flightz = HttpGet(port, "/flightz", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(flightz.find("\"flight\""), std::string::npos);
+
+  HttpGet(port, "/tracez", &status);
+  EXPECT_EQ(status, 200);
+
+  HttpGet(port, "/profilez?seconds=bogus", &status);
+  EXPECT_EQ(status, 400);
+  HttpGet(port, "/nosuch", &status);
+  EXPECT_EQ(status, 404);
+
+  EXPECT_GE(server.requests_served(), 8u);
+
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  server.Stop();
+}
+
+TEST(DiagServerTest, ConcurrentScrapersAllAnswered) {
+  obs::DiagServer server;
+  ASSERT_TRUE(server.Start(0));
+  const int port = server.port();
+
+  std::atomic<int> ok{0};
+  std::vector<std::thread> scrapers;
+  for (int i = 0; i < 16; ++i) {
+    scrapers.emplace_back([port, &ok] {
+      for (int j = 0; j < 8; ++j) {
+        int status = 0;
+        const std::string body = HttpGet(port, "/healthz", &status);
+        // 503 shedding is an acceptable answer under burst; a hung or
+        // dropped connection is not.
+        if ((status == 200 && body == "ok\n") || status == 503) ++ok;
+      }
+    });
+  }
+  for (auto& s : scrapers) s.join();
+  EXPECT_EQ(ok.load(), 16 * 8);
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Profiler: scaling, filtering, folded format, determinism.
+// ---------------------------------------------------------------------------
+
+TEST(ProfilerTest, StartStopIdempotentAndRegistered) {
+  obs::Profiler& prof = obs::Profiler::Global();
+  prof.RegisterCurrentThread();
+  ASSERT_TRUE(prof.Start(250));
+  EXPECT_TRUE(prof.running());
+  EXPECT_EQ(prof.hz(), 250);
+  EXPECT_FALSE(prof.Start(97)) << "double Start must fail";
+  prof.Stop();
+  EXPECT_FALSE(prof.running());
+  prof.Stop();  // idempotent
+}
+
+TEST(ProfilerTest, SampleCountScalesWithCpuTime) {
+  obs::Profiler& prof = obs::Profiler::Global();
+  prof.RegisterCurrentThread();
+  prof.Reset();
+  ASSERT_TRUE(prof.Start(250));
+
+  const uint64_t t0 = obs::NowNanos();
+  SpinCpu(0.2);
+  const uint64_t t1 = obs::NowNanos();
+  SpinCpu(0.6);
+  const uint64_t t2 = obs::NowNanos();
+  prof.Stop();
+
+  const size_t short_window = prof.Collect(t0, t1).size();
+  const size_t long_window = prof.Collect(t1, t2).size();
+  // 0.2 s at 250 Hz expects ~50 samples, 0.6 s expects ~150. Bounds are
+  // loose — CI machines jitter — but the 3x CPU ratio must show through.
+  EXPECT_GT(short_window, 10u);
+  EXPECT_GT(long_window, short_window * 2)
+      << "short=" << short_window << " long=" << long_window;
+
+  // Samples carry non-empty stacks.
+  for (const auto& s : prof.Collect(t0, t2)) {
+    EXPECT_FALSE(s.pcs.empty());
+  }
+}
+
+TEST(ProfilerTest, FiltersByQueryFingerprint) {
+  obs::Profiler& prof = obs::Profiler::Global();
+  prof.RegisterCurrentThread();
+  prof.Reset();
+  ASSERT_TRUE(prof.Start(250));
+
+  constexpr uint64_t kFp = 0xFEEDBEEF12345678u;
+  const uint64_t t0 = obs::NowNanos();
+  {
+    obs::QueryScope scope("test.filter", kFp);
+    SpinCpu(0.3);
+  }
+  const uint64_t t1 = obs::NowNanos();
+  prof.Stop();
+
+  const auto matching = prof.Collect(t0, t1, kFp);
+  ASSERT_GT(matching.size(), 5u);
+  for (const auto& s : matching) {
+    EXPECT_EQ(s.fingerprint, kFp);
+    ASSERT_NE(s.tag, nullptr);
+    EXPECT_STREQ(s.tag, "test.filter");
+  }
+  EXPECT_TRUE(prof.Collect(t0, t1, 0xDEAD0000u).empty());
+}
+
+TEST(ProfilerTest, CpuSecondsReconcileWithAttribution) {
+  obs::Profiler& prof = obs::Profiler::Global();
+  prof.RegisterCurrentThread();
+  prof.Reset();
+  ASSERT_TRUE(prof.Start(250));
+
+  constexpr uint64_t kFp = 0xAB12CD34u;
+  const uint64_t t0 = obs::NowNanos();
+  {
+    obs::QueryScope scope("test.reconcile", kFp);
+    SpinCpu(0.5);
+  }
+  const uint64_t t1 = obs::NowNanos();
+  prof.Stop();
+
+  const double est_s =
+      static_cast<double>(prof.Collect(t0, t1, kFp).size()) / 250.0;
+  // 0.5 s of spin at 250 Hz: sampling noise is ~sqrt(125)/125 ~ 9%, so a
+  // 2x band is comfortably beyond flake territory while still proving the
+  // estimate tracks real CPU.
+  EXPECT_GT(est_s, 0.25);
+  EXPECT_LT(est_s, 1.0);
+}
+
+TEST(ProfilerTest, FoldedOutputWellFormedAndReportable) {
+  obs::Profiler& prof = obs::Profiler::Global();
+  prof.RegisterCurrentThread();
+
+  // Busy worker under a QueryScope so stacks get a query root.
+  std::atomic<bool> stop{false};
+  std::thread worker([&stop] {
+    obs::Profiler::Global().RegisterCurrentThread();
+    obs::QueryScope scope("test.folded", 0x0F01DEDu);
+    while (!stop.load(std::memory_order_relaxed)) SpinCpu(0.05);
+  });
+
+  const std::string folded =
+      prof.CaptureFolded(/*seconds=*/0.4, /*query_fp=*/0,
+                         /*query_roots=*/true, /*hz=*/250);
+  stop.store(true, std::memory_order_relaxed);
+  worker.join();
+
+  ASSERT_EQ(folded.compare(0, 14, "# mde_profile "), 0) << folded;
+  EXPECT_NE(folded.find("hz=250"), std::string::npos);
+  EXPECT_NE(folded.find("window_s="), std::string::npos);
+
+  std::istringstream lines(folded);
+  std::string line;
+  size_t stacks = 0;
+  uint64_t prev_count = ~0ull;
+  bool saw_query_root = false;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    ++stacks;
+    // Grammar: "frame;frame;...;frame count", count after the LAST space.
+    const size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    char* end = nullptr;
+    const uint64_t count = std::strtoull(line.c_str() + sp + 1, &end, 10);
+    ASSERT_GT(count, 0u) << line;
+    ASSERT_EQ(*end, '\0') << line;
+    EXPECT_LE(count, prev_count) << "counts must be descending";
+    prev_count = count;
+    const std::string stack = line.substr(0, sp);
+    EXPECT_FALSE(stack.empty());
+    if (stack.compare(0, 6, "query:") == 0) saw_query_root = true;
+  }
+  ASSERT_GT(stacks, 0u) << folded;
+  EXPECT_TRUE(saw_query_root);
+
+  // The folded text renders as an mde_report profile section.
+  std::string report;
+  std::string error;
+  ASSERT_TRUE(obs::RenderProfileReport(folded, /*metrics_jsonl=*/"",
+                                       obs::RunReportOptions{}, &report,
+                                       &error))
+      << error;
+  EXPECT_NE(report.find("CPU profile"), std::string::npos);
+  EXPECT_NE(report.find("Per-query samples"), std::string::npos);
+}
+
+TEST(ProfilerTest, ProfilezEndpointReturnsFoldedStacks) {
+  obs::DiagServer server;
+  ASSERT_TRUE(server.Start(0));
+
+  std::atomic<bool> stop{false};
+  std::thread worker([&stop] {
+    obs::Profiler::Global().RegisterCurrentThread();
+    obs::QueryScope scope("test.profilez", 0xBEEF01u);
+    while (!stop.load(std::memory_order_relaxed)) SpinCpu(0.05);
+  });
+
+  int status = 0;
+  const std::string body =
+      HttpGet(server.port(), "/profilez?seconds=0.4&hz=250", &status);
+  stop.store(true, std::memory_order_relaxed);
+  worker.join();
+
+  EXPECT_EQ(status, 200);
+  ASSERT_EQ(body.compare(0, 14, "# mde_profile "), 0) << body;
+  EXPECT_NE(body.find("query:0xbeef01"), std::string::npos) << body;
+
+  // Query-filtered slice only keeps that fingerprint's stacks.
+  stop.store(false, std::memory_order_relaxed);
+  std::thread worker2([&stop] {
+    obs::Profiler::Global().RegisterCurrentThread();
+    obs::QueryScope scope("test.profilez2", 0xBEEF02u);
+    while (!stop.load(std::memory_order_relaxed)) SpinCpu(0.05);
+  });
+  const std::string filtered = HttpGet(
+      server.port(), "/profilez?seconds=0.4&hz=250&query=0xbeef02", &status);
+  stop.store(true, std::memory_order_relaxed);
+  worker2.join();
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(filtered.find("query:0xbeef01"), std::string::npos);
+
+  server.Stop();
+}
+
+TEST(ProfilerTest, EngineResultsBitIdenticalWithProfilerRunning) {
+  mcdb::MonteCarloDb db = MakeSbpDb(300);
+  constexpr size_t kReps = 48;
+
+  auto run = [&db](size_t threads) {
+    ThreadPool pool(threads);
+    auto bundles = mcdb::GenerateBundles(db, db.stochastic_specs()[0], "SBP",
+                                         kReps, /*seed=*/13, &pool);
+    EXPECT_TRUE(bundles.ok());
+    auto agg = bundles.value().AggregateSum("SBP");
+    EXPECT_TRUE(agg.ok());
+    return std::move(agg).value();
+  };
+
+  const std::vector<double> baseline = run(4);  // profiler off
+
+  obs::Profiler& prof = obs::Profiler::Global();
+  prof.RegisterCurrentThread();
+  ASSERT_TRUE(prof.Start(obs::Profiler::kDefaultHz));
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    const std::vector<double> sampled = run(threads);
+    ASSERT_EQ(sampled.size(), baseline.size());
+    // Bitwise, not approximate: memcmp over the IEEE-754 payloads.
+    EXPECT_EQ(std::memcmp(baseline.data(), sampled.data(),
+                          baseline.size() * sizeof(double)),
+              0)
+        << "profiler perturbed engine output at " << threads << " threads";
+  }
+  prof.Stop();
+}
+
+}  // namespace
+}  // namespace mde

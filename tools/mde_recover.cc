@@ -27,6 +27,7 @@
 
 #include "ckpt/fault.h"
 #include "ckpt/recovery.h"
+#include "obs/http.h"
 #include "dsgd/dsgd.h"
 #include "dsgd/matrix_completion.h"
 #include "simd/simd.h"
@@ -265,6 +266,7 @@ Result<std::string> InjectAndRecover(const Harness& h, size_t k) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  mde::obs::DiagServer::MaybeStartFromEnv();
   std::string engine_filter = "all";
   std::string mode = "both";
   double fault_frac = 0.5;

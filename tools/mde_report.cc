@@ -1,14 +1,17 @@
 // mde_report: renders a run report from the artifacts a run leaves behind.
 //
 //   mde_report [--trace trace.json] [--metrics metrics.jsonl]
-//              [--flight flight.json]
+//              [--flight flight.json] [--profile profile.folded]
 //              [--format markdown|text] [--top-spans N] [--top-counters N]
 //
 // `--trace` is a Chrome trace-event JSON (--mde_trace_out); `--metrics` is
 // the Sampler's JSONL time series (--mde_metrics_jsonl); `--flight` is a
-// crash flight-recorder dump (obs/flight.h, MDE_FLIGHT_PATH). Any may be
-// omitted; at least one must be given. Reports go to stdout (the flight
-// report after the run report when both are requested).
+// crash flight-recorder dump (obs/flight.h, MDE_FLIGHT_PATH); `--profile`
+// is folded-stack text saved from /profilez (obs/profiler.h). Any may be
+// omitted; at least one must be given. Reports go to stdout (run report,
+// then flight report, then profile report). When --profile and --metrics
+// are both given, per-query sample counts are reconciled against the
+// JSONL's final mde_query_cpu_ns.
 //
 // Exit codes: 0 success, 1 bad usage or parse failure, 2 unreadable file —
 // nonzero in CI means the run's artifacts are malformed.
@@ -26,6 +29,7 @@ namespace {
 int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--trace FILE] [--metrics FILE] [--flight FILE]"
+               " [--profile FILE]"
                " [--format markdown|text] [--top-spans N] [--top-counters N]\n";
   return 1;
 }
@@ -45,6 +49,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string metrics_path;
   std::string flight_path;
+  std::string profile_path;
   mde::obs::RunReportOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -63,6 +68,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       flight_path = v;
+    } else if (arg == "--profile") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      profile_path = v;
     } else if (arg == "--format") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -86,7 +95,8 @@ int main(int argc, char** argv) {
       return Usage(argv[0]);
     }
   }
-  if (trace_path.empty() && metrics_path.empty() && flight_path.empty()) {
+  if (trace_path.empty() && metrics_path.empty() && flight_path.empty() &&
+      profile_path.empty()) {
     return Usage(argv[0]);
   }
 
@@ -107,6 +117,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  std::string profile_text;
+  if (!profile_path.empty() && !ReadFile(profile_path, &profile_text)) {
+    std::cerr << "mde_report: cannot read " << profile_path << "\n";
+    return 2;
+  }
+
   std::string error;
   if (!trace_path.empty() || !metrics_path.empty()) {
     std::string report;
@@ -121,6 +137,15 @@ int main(int argc, char** argv) {
     std::string report;
     if (!mde::obs::RenderFlightReport(flight_json, options, &report,
                                       &error)) {
+      std::cerr << "mde_report: " << error << "\n";
+      return 1;
+    }
+    std::cout << report;
+  }
+  if (!profile_path.empty()) {
+    std::string report;
+    if (!mde::obs::RenderProfileReport(profile_text, metrics_jsonl, options,
+                                       &report, &error)) {
       std::cerr << "mde_report: " << error << "\n";
       return 1;
     }
