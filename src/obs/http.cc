@@ -95,12 +95,22 @@ const char* StatusText(int status) {
 }
 
 /// Loops ::send (MSG_NOSIGNAL: a peer that hung up must not SIGPIPE the
-/// handler thread) until the buffer drains or the socket errors.
+/// handler thread) until the buffer drains or the socket genuinely errors.
+/// Short writes are normal on a large body against a slow reader (the
+/// kernel send buffer fills and send returns a partial count), and EINTR
+/// can interrupt a blocked send at any time — both must RESUME, not abort:
+/// aborting used to truncate large /metrics and /profilez bodies under
+/// throttled scrapes. EPIPE/ECONNRESET (peer hung up) and EAGAIN (the
+/// SO_SNDTIMEO budget expired on a stalled client) end the attempt.
 void SendAll(int fd, const char* buf, size_t len) {
   size_t off = 0;
   while (off < len) {
     const ssize_t w = ::send(fd, buf + off, len - off, MSG_NOSIGNAL);
-    if (w <= 0) return;
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return;  // EPIPE, ECONNRESET, EAGAIN/EWOULDBLOCK (send timeout), ...
+    }
+    if (w == 0) return;
     off += static_cast<size_t>(w);
   }
 }
@@ -122,7 +132,7 @@ void SendResponse(int fd, int status, const std::string& content_type,
   SendAll(fd, body.data(), body.size());
 }
 
-constexpr char kIndexHtml[] =
+constexpr char kIndexPrefix[] =
     "<!doctype html><html><head><title>mde diagnostics</title></head><body>"
     "<h1>mde diagnostics</h1><ul>"
     "<li><a href=\"/healthz\">/healthz</a> — liveness</li>"
@@ -134,8 +144,104 @@ constexpr char kIndexHtml[] =
     "(<a href=\"/tracez?format=json\">chrome json</a>)</li>"
     "<li><a href=\"/flightz\">/flightz</a> — flight-recorder snapshot</li>"
     "<li><a href=\"/profilez?seconds=2\">/profilez?seconds=2</a> — CPU "
-    "profile, folded stacks (&amp;query=0x&lt;fp&gt; to slice)</li>"
-    "</ul></body></html>";
+    "profile, folded stacks (&amp;query=0x&lt;fp&gt; to slice)</li>";
+
+constexpr char kIndexSuffix[] = "</ul></body></html>";
+
+/// Process-global table of handler-registered diagnostics pages. Upper
+/// layers (src/serve's /sessionz) register here; every DiagServer consults
+/// it in Route after the built-ins. Entries are looked up by path and the
+/// matched std::function is copied out under the lock, then invoked outside
+/// it — a slow handler must not block registration, and a handler that
+/// itself touches the registry must not deadlock.
+struct DiagHandlerEntry {
+  uint64_t id = 0;
+  std::string path;
+  DiagHandler handler;
+  std::string index_line;
+};
+
+struct DiagHandlerRegistry {
+  std::mutex mu;
+  std::vector<DiagHandlerEntry> entries;  // guarded by mu
+  uint64_t next_id = 1;                   // guarded by mu
+
+  static DiagHandlerRegistry& Global() {
+    static DiagHandlerRegistry* r = new DiagHandlerRegistry();  // leaked:
+    // registrants may unregister from static destructors after a
+    // function-local static registry would already be gone.
+    return *r;
+  }
+};
+
+std::string RenderIndex() {
+  std::string body = kIndexPrefix;
+  DiagHandlerRegistry& reg = DiagHandlerRegistry::Global();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const DiagHandlerEntry& e : reg.entries) {
+    if (!e.index_line.empty()) {
+      body += "<li>";
+      body += e.index_line;
+      body += "</li>";
+    } else {
+      body += "<li><a href=\"";
+      HtmlEscapeInto(e.path, &body);
+      body += "\">";
+      HtmlEscapeInto(e.path, &body);
+      body += "</a></li>";
+    }
+  }
+  body += kIndexSuffix;
+  return body;
+}
+
+}  // namespace
+
+uint64_t RegisterDiagHandler(const std::string& path, DiagHandler handler,
+                             const std::string& index_line) {
+  DiagHandlerRegistry& reg = DiagHandlerRegistry::Global();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  // Same path registered twice: latest wins, so a restarted subsystem can
+  // re-register without leaking a stale handler bound to dead state.
+  for (auto it = reg.entries.begin(); it != reg.entries.end();) {
+    it = it->path == path ? reg.entries.erase(it) : it + 1;
+  }
+  const uint64_t id = reg.next_id++;
+  reg.entries.push_back({id, path, std::move(handler), index_line});
+  return id;
+}
+
+void UnregisterDiagHandler(uint64_t id) {
+  DiagHandlerRegistry& reg = DiagHandlerRegistry::Global();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto it = reg.entries.begin(); it != reg.entries.end(); ++it) {
+    if (it->id == id) {
+      reg.entries.erase(it);
+      return;
+    }
+  }
+}
+
+std::string DiagQueryParam(const std::string& query,
+                           const std::string& key) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return UrlDecode(query.substr(eq + 1, amp - eq - 1));
+    }
+    if (eq == std::string::npos || eq >= amp) {
+      if (query.compare(pos, amp - pos, key) == 0) return "";
+    }
+    pos = amp + 1;
+  }
+  return "";
+}
+
+namespace {
 
 std::string RenderStatusz() {
   // One RunSampleHooks so the pool gauges below are freshly published —
@@ -249,21 +355,7 @@ std::string RenderQueryzJson() {
 }  // namespace
 
 std::string DiagServer::Request::Param(const std::string& key) const {
-  size_t pos = 0;
-  while (pos < query.size()) {
-    size_t amp = query.find('&', pos);
-    if (amp == std::string::npos) amp = query.size();
-    const size_t eq = query.find('=', pos);
-    if (eq != std::string::npos && eq < amp &&
-        query.compare(pos, eq - pos, key) == 0) {
-      return UrlDecode(query.substr(eq + 1, amp - eq - 1));
-    }
-    if (eq == std::string::npos || eq >= amp) {
-      if (query.compare(pos, amp - pos, key) == 0) return "";
-    }
-    pos = amp + 1;
-  }
-  return "";
+  return DiagQueryParam(query, key);
 }
 
 DiagServer::DiagServer() = default;
@@ -442,7 +534,7 @@ DiagServer::Response DiagServer::Route(const Request& req) {
   }
   if (req.path == "/") {
     resp.content_type = "text/html; charset=utf-8";
-    resp.body = kIndexHtml;
+    resp.body = RenderIndex();
   } else if (req.path == "/healthz") {
     resp.body = "ok\n";
   } else if (req.path == "/metrics") {
@@ -503,8 +595,26 @@ DiagServer::Response DiagServer::Route(const Request& req) {
     resp.body =
         Profiler::Global().CaptureFolded(seconds, query_fp, query_roots, hz);
   } else {
-    resp.status = 404;
-    resp.body = "not found\n";
+    DiagHandler handler;
+    {
+      DiagHandlerRegistry& reg = DiagHandlerRegistry::Global();
+      std::lock_guard<std::mutex> lock(reg.mu);
+      for (const DiagHandlerEntry& e : reg.entries) {
+        if (e.path == req.path) {
+          handler = e.handler;  // copy; invoked outside the lock
+          break;
+        }
+      }
+    }
+    if (handler) {
+      const DiagPage page = handler(req.query);
+      resp.status = page.status;
+      resp.content_type = page.content_type;
+      resp.body = page.body;
+    } else {
+      resp.status = 404;
+      resp.body = "not found\n";
+    }
   }
   return resp;
 }
@@ -548,6 +658,20 @@ DiagServer* DiagServer::MaybeStartFromEnv() {
 }
 
 #else  // MDE_OBS_DISABLED
+
+uint64_t RegisterDiagHandler(const std::string&, DiagHandler,
+                             const std::string&) {
+  // Accepted (ids stay unique so Unregister round-trips) but never served:
+  // there is no server in this build.
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void UnregisterDiagHandler(uint64_t) {}
+
+std::string DiagQueryParam(const std::string&, const std::string&) {
+  return "";
+}
 
 std::string DiagServer::Request::Param(const std::string&) const {
   return "";

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -46,6 +47,34 @@
 /// Under -DMDE_OBS_DISABLED the class is a linkable no-op: Start() returns
 /// false.
 namespace mde::obs {
+
+/// One page produced by a registered diagnostics handler.
+struct DiagPage {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Handler for one registered path; receives the raw query string (use
+/// DiagQueryParam to pull parameters out of it). Handlers run on DiagServer
+/// handler threads and must be thread-safe and read-only with respect to
+/// engine state — the same contract as the built-in endpoints.
+using DiagHandler = std::function<DiagPage(const std::string& query)>;
+
+/// Registers `handler` for `path` (e.g. "/sessionz") on every DiagServer in
+/// the process; upper layers (src/serve sits above obs) use this to export
+/// their own endpoints without obs depending on them. Built-in endpoints
+/// take precedence over registered ones; registering a path twice replaces
+/// the earlier handler. `index_line` (optional, HTML) is appended to the
+/// index page. Returns an id for UnregisterDiagHandler. Under
+/// MDE_OBS_DISABLED registration is accepted but nothing serves it.
+uint64_t RegisterDiagHandler(const std::string& path, DiagHandler handler,
+                             const std::string& index_line = "");
+void UnregisterDiagHandler(uint64_t id);
+
+/// First value of `key` in a raw query string ("" when absent) —
+/// the parameter parser the built-in endpoints use, exposed for handlers.
+std::string DiagQueryParam(const std::string& query, const std::string& key);
 
 class DiagServer {
  public:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "obs/metrics.h"
 
@@ -140,8 +141,12 @@ void P2Quantile::set_state(const State& s) {
 
 double P2Quantile::Value() const {
   if (n_ == 0) return 0.0;
-  if (n_ < 5) {
-    // Exact small-sample quantile over the sorted prefix.
+  if (n_ <= 5) {
+    // Exact small-sample quantile over the sorted prefix. n == 5 included:
+    // at that point the markers ARE the sorted sample but have not adapted
+    // toward p yet, so the middle marker q_[2] would be returned for every
+    // p — garbage for tail quantiles (p = 0.05 of {1,3,5,7,9} is ~1.4, not
+    // 5). Interpolating the sorted sample is exact there.
     double sorted[5];
     std::copy(q_, q_ + n_, sorted);
     std::sort(sorted, sorted + n_);
@@ -162,12 +167,17 @@ CiMonitor::CiMonitor(const std::string& gauge_name, double z)
 void CiMonitor::Add(double x) {
   stat_.Add(x);
   if (gauge_ != nullptr) {
-    gauge_->Set(half_width());
+    // Exporters (Prometheus text, the JSONL sampler) expect finite gauge
+    // values; the infinite pre-CLT half-width stays in-process.
+    if (stat_.count() >= 2) gauge_->Set(half_width());
     n_gauge_->Set(static_cast<double>(stat_.count()));
   }
 }
 
-double CiMonitor::half_width() const { return z_ * stat_.std_error(); }
+double CiMonitor::half_width() const {
+  if (stat_.count() < 2) return std::numeric_limits<double>::infinity();
+  return z_ * stat_.std_error();
+}
 
 ConvergenceMonitor::ConvergenceMonitor(const std::string& name, size_t window,
                                        double rel_tol, double diverge_factor)

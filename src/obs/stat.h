@@ -114,7 +114,11 @@ class CiMonitor {
   void Add(double x);
   uint64_t count() const { return stat_.count(); }
   double mean() const { return stat_.mean(); }
-  /// z * stddev / sqrt(n); 0 when n < 2.
+  /// z * stddev / sqrt(n). With n < 2 observations no CLT bound exists, so
+  /// the half-width is +infinity — NOT zero: a one-draw "estimate" that
+  /// claimed zero error would satisfy any precision target, which is
+  /// exactly how a result cache gets poisoned. Gauge publication stays
+  /// finite (nothing is published until n >= 2).
   double half_width() const;
   const Welford& stat() const { return stat_; }
 

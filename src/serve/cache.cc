@@ -1,0 +1,145 @@
+#include "serve/cache.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "obs/context.h"
+#include "obs/metrics.h"
+
+namespace mde::serve {
+
+namespace {
+
+/// z * s / sqrt(n) with the same tiny-n discipline as obs::CiMonitor: with
+/// fewer than two draws no CLT bound exists, and a zero would satisfy every
+/// precision target — the exact cache-poisoning path the monitor hardening
+/// closed.
+double HalfWidth(const obs::Welford& stat, double z) {
+  if (stat.count() < 2) return std::numeric_limits<double>::infinity();
+  return z * stat.std_error();
+}
+
+}  // namespace
+
+size_t CacheKeyHash::operator()(const CacheKey& k) const {
+  uint64_t h = obs::FingerprintMix(k.query_fp, k.param_hash);
+  h = obs::FingerprintMix(h, k.version);
+  return static_cast<size_t>(h);
+}
+
+ResultCache::ResultCache() : ResultCache(Options()) {}
+
+ResultCache::ResultCache(Options opts) : opts_(opts) {}
+
+Result<ResultCache::FetchResult> ResultCache::Fetch(
+    const CacheKey& key, double target_half_width, uint64_t min_reps,
+    uint64_t max_reps, const RepFn& rep_fn) {
+  if (min_reps < 2) min_reps = 2;  // a CLT bound needs n >= 2
+  if (max_reps < min_reps) max_reps = min_reps;
+
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      entry = std::make_shared<Entry>();
+      entry->last_touch_epoch = epoch_;
+      map_.emplace(key, entry);
+      counters_.entries = map_.size();
+      counters_.bytes = map_.size() * kEntryBytes;
+      EvictIfNeededLocked();
+    } else {
+      entry = it->second;
+      it->second->last_touch_epoch = epoch_;
+    }
+  }
+
+  // Per-entry critical section: every concurrent session asking for this
+  // key queues here, so each replication index is computed exactly once.
+  std::lock_guard<std::mutex> entry_lock(entry->mu);
+  const uint64_t cached_reps = entry->stat.count();
+  FetchResult out;
+  while (entry->stat.count() < max_reps &&
+         (entry->stat.count() < min_reps ||
+          HalfWidth(entry->stat, opts_.z) > target_half_width)) {
+    // Sequential Add at index n keeps the accumulator bit-identical to a
+    // single session running reps 0..n-1 itself (no parallel Merge — the
+    // merge order would differ from the sequential order).
+    Result<double> draw = rep_fn(entry->stat.count());
+    if (!draw.ok()) return draw.status();
+    entry->stat.Add(draw.value());
+    ++out.reps_added;
+  }
+  out.estimate = entry->stat.mean();
+  out.half_width = HalfWidth(entry->stat, opts_.z);
+  out.reps = entry->stat.count();
+  out.pure_hit = out.reps_added == 0;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (out.pure_hit) {
+      ++counters_.pure_hits;
+    } else if (cached_reps > 0) {
+      ++counters_.topups;
+    } else {
+      ++counters_.misses;
+    }
+    counters_.reps_run += out.reps_added;
+    counters_.reps_saved += cached_reps;
+    PublishGauges();
+  }
+  if (out.pure_hit) {
+    MDE_OBS_ATTR_ADD(cache_hits, 1);
+  }
+  return out;
+}
+
+void ResultCache::AdvanceEpoch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++epoch_;
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void ResultCache::EvictIfNeededLocked() {
+  const size_t budget_entries =
+      opts_.max_bytes < kEntryBytes ? 1 : opts_.max_bytes / kEntryBytes;
+  while (map_.size() > budget_entries) {
+    // Highest bytes x staleness score goes first; with O(1) entries the
+    // bytes factor is constant, leaving staleness (epochs since last
+    // touch) as the score. Never evict an entry touched this epoch — that
+    // set includes the entry the current Fetch just created.
+    auto victim = map_.end();
+    uint64_t victim_age = 0;
+    for (auto it = map_.begin(); it != map_.end(); ++it) {
+      const uint64_t age = epoch_ - it->second->last_touch_epoch;
+      if (age > 0 && (victim == map_.end() || age > victim_age)) {
+        victim = it;
+        victim_age = age;
+      }
+    }
+    if (victim == map_.end()) break;  // everything is current-epoch
+    map_.erase(victim);
+    ++counters_.evictions;
+    MDE_OBS_COUNT("serve.cache.evictions", 1);
+  }
+  counters_.entries = map_.size();
+  counters_.bytes = map_.size() * kEntryBytes;
+}
+
+void ResultCache::PublishGauges() const {
+  MDE_OBS_GAUGE_SET("serve.cache.entries",
+                    static_cast<double>(counters_.entries));
+  MDE_OBS_GAUGE_SET("serve.cache.bytes",
+                    static_cast<double>(counters_.bytes));
+  MDE_OBS_GAUGE_SET("serve.cache.pure_hits",
+                    static_cast<double>(counters_.pure_hits));
+  MDE_OBS_GAUGE_SET("serve.cache.reps_saved",
+                    static_cast<double>(counters_.reps_saved));
+}
+
+}  // namespace mde::serve

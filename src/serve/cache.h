@@ -1,0 +1,134 @@
+#ifndef MDE_SERVE_CACHE_H_
+#define MDE_SERVE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "obs/stat.h"
+#include "util/status.h"
+
+/// CLT-bounded Monte Carlo result cache — the paper's result-caching idea
+/// (MCDB Fig. 2) promoted to a shared, multi-session structure. A cached
+/// answer is not a number but a SUFFICIENT STATISTIC: the Welford (n, mean,
+/// m2) of the per-replication draws, from which mean and CLT half-width
+/// z*s/sqrt(n) are recovered at any time. That makes precision negotiable
+/// after the fact:
+///
+///   - a request whose target half-width is LOOSER than the cached bound is
+///     a pure hit — zero replications run;
+///   - a TIGHTER request spends only the incremental replications, resuming
+///     the substream at index n (the cache never re-runs reps it has).
+///
+/// Bit-identity contract: the value of replication i for a key must be a
+/// pure function of (key, i) — the caller's rep_fn derives an Rng substream
+/// from them. Top-ups Add draws sequentially in index order, so a
+/// cache-assembled answer at n reps is bit-identical to a fresh session
+/// running reps 0..n-1 itself. A per-entry mutex serializes top-ups: each
+/// replication index is computed exactly once per key, process-wide.
+///
+/// Keys include the database version (serve/mvcc.h), so advancing the chain
+/// naturally starts new entries; old-version entries age out via the
+/// bytes x staleness eviction score.
+namespace mde::serve {
+
+/// Identity of one cacheable answer.
+struct CacheKey {
+  uint64_t query_fp = 0;    // query structure (plan/spec fingerprint)
+  uint64_t param_hash = 0;  // bound parameter values
+  uint64_t version = 0;     // database version the answer is about
+  bool operator==(const CacheKey& o) const {
+    return query_fp == o.query_fp && param_hash == o.param_hash &&
+           version == o.version;
+  }
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& k) const;
+};
+
+/// Point-in-time counters (monotonic except bytes/entries).
+struct CacheStats {
+  uint64_t pure_hits = 0;   // answered without running any replication
+  uint64_t topups = 0;      // hit the entry but ran incremental reps
+  uint64_t misses = 0;      // entry did not exist
+  uint64_t reps_run = 0;    // total replications executed through Fetch
+  uint64_t reps_saved = 0;  // cached reps reused (sum of n at hit time)
+  uint64_t evictions = 0;
+  size_t entries = 0;
+  size_t bytes = 0;
+};
+
+class ResultCache {
+ public:
+  struct Options {
+    /// Resident budget; eviction runs when exceeded. Each entry costs a
+    /// fixed ~kEntryBytes (the sufficient statistic is O(1)).
+    size_t max_bytes = 1u << 20;
+    /// Two-sided normal critical value for the half-width (95% default).
+    double z = 1.959964;
+  };
+
+  /// Estimated resident cost of one entry (key + Welford + bookkeeping +
+  /// hash-table overhead). An estimate, not an accounting identity; it
+  /// exists so max_bytes translates into an entry budget.
+  static constexpr size_t kEntryBytes = 160;
+
+  ResultCache();
+  explicit ResultCache(Options opts);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Runs replication `rep_index` (a pure function of the key and index).
+  using RepFn = std::function<Result<double>(uint64_t rep_index)>;
+
+  struct FetchResult {
+    double estimate = 0.0;
+    double half_width = 0.0;  // z * s / sqrt(n); +inf when n < 2
+    uint64_t reps = 0;        // total reps backing the answer
+    uint64_t reps_added = 0;  // reps this call executed
+    bool pure_hit = false;    // no replication ran
+  };
+
+  /// Returns an answer for `key` whose half-width is <= target_half_width
+  /// if that is reachable within max_reps, running at most the missing
+  /// replications via `rep_fn`. At least min_reps replications always back
+  /// the answer (a CLT bound needs n >= 2; callers choose higher floors).
+  /// On a rep_fn error the failed rep is not recorded and the error is
+  /// returned; reps already recorded stay cached.
+  Result<FetchResult> Fetch(const CacheKey& key, double target_half_width,
+                            uint64_t min_reps, uint64_t max_reps,
+                            const RepFn& rep_fn);
+
+  /// Ages every entry one epoch — call when a new database version is
+  /// installed. Staleness (epochs since last touch) scales the eviction
+  /// score, so superseded-version entries go first.
+  void AdvanceEpoch();
+
+  CacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::mutex mu;       // serializes top-ups for this key
+    obs::Welford stat;   // guarded by mu
+    uint64_t last_touch_epoch = 0;  // guarded by the cache mutex
+  };
+
+  void EvictIfNeededLocked();
+  void PublishGauges() const;  // requires mu_ (reads counters_)
+
+  const Options opts_;
+  mutable std::mutex mu_;  // guards map_, epoch_, counters_
+  std::unordered_map<CacheKey, std::shared_ptr<Entry>, CacheKeyHash> map_;
+  uint64_t epoch_ = 0;
+  CacheStats counters_;
+};
+
+}  // namespace mde::serve
+
+#endif  // MDE_SERVE_CACHE_H_

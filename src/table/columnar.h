@@ -106,6 +106,10 @@ class ColumnarTable {
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return cols_.size(); }
+  /// Content-version stamp drawn from the same process-wide sequence as
+  /// Table::content_version(); every Table wrapped over these blocks
+  /// reports it, so repeated wraps share plan feedback (cost.h).
+  uint64_t content_version() const { return content_version_; }
   const Column& col(size_t i) const { return *cols_[i]; }
   const std::shared_ptr<const Column>& col_ptr(size_t i) const {
     return cols_[i];
@@ -129,6 +133,7 @@ class ColumnarTable {
   Schema schema_;
   std::vector<std::shared_ptr<const Column>> cols_;
   size_t num_rows_ = 0;
+  uint64_t content_version_ = NextContentVersion();
 };
 
 /// Builds a ColumnarTable column-by-column. Columns may be appended

@@ -63,7 +63,14 @@ std::string PlanFingerprint(const PlanPtr& plan) {
     case PlanNode::Kind::kScan: {
       const size_t rows =
           plan->table() != nullptr ? plan->table()->num_rows() : 0;
-      return "S(" + plan->name() + "#" + std::to_string(rows) + ")";
+      // Salted with the table's content-version stamp: a mutation takes a
+      // fresh stamp even when the row count is unchanged, so actuals
+      // recorded against the pre-mutation contents never survive onto the
+      // new state (stale feedback used to poison estimates there).
+      const uint64_t version =
+          plan->table() != nullptr ? plan->table()->content_version() : 0;
+      return "S(" + plan->name() + "#" + std::to_string(rows) + "@" +
+             std::to_string(version) + ")";
     }
     case PlanNode::Kind::kFilter: {
       std::vector<std::string> preds;

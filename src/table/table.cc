@@ -1,5 +1,6 @@
 #include "table/table.h"
 
+#include <atomic>
 #include <sstream>
 
 #include "obs/context.h"
@@ -8,6 +9,11 @@
 #include "util/check.h"
 
 namespace mde::table {
+
+uint64_t NextContentVersion() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 Schema::Schema(std::vector<ColumnSpec> columns) : columns_(std::move(columns)) {
   index_.reserve(columns_.size());
@@ -94,6 +100,7 @@ void Table::Append(Row row) {
   EnsureRows();
   columnar_.reset();
   stats_.reset();
+  content_version_ = NextContentVersion();
   rows_.push_back(std::move(row));
 }
 
@@ -118,6 +125,7 @@ void Table::Set(size_t row, size_t col, Value v) {
   EnsureRows();
   columnar_.reset();
   stats_.reset();
+  content_version_ = NextContentVersion();
   rows_[row][col] = std::move(v);
 }
 
@@ -155,6 +163,10 @@ Result<std::shared_ptr<const ColumnarTable>> Table::ToColumnar() const {
 Table Table::FromColumnar(std::shared_ptr<const ColumnarTable> cols) {
   MDE_CHECK(cols != nullptr);
   Table t(cols->schema());
+  // Tables wrapped from the same immutable blocks share one stamp, so
+  // re-wrapping (SimSQL copies deterministic tables into every version)
+  // keeps plan feedback applicable across the wraps.
+  t.content_version_ = cols->content_version();
   t.columnar_ = std::move(cols);
   return t;
 }

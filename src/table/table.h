@@ -52,6 +52,12 @@ class Schema {
 
 using Row = std::vector<Value>;
 
+/// Next value of the process-wide table content-version sequence. Every
+/// Table starts at a fresh stamp and takes another on each mutation, so two
+/// tables (or two mutation states of one table) never share a stamp unless
+/// one was copied from the other unmutated.
+uint64_t NextContentVersion();
+
 /// In-memory relation. Rows are append-only through the public API;
 /// operators produce new tables.
 ///
@@ -119,6 +125,16 @@ class Table {
     stats_ = std::move(s);
   }
 
+  /// Content-version stamp: process-unique for this table's current
+  /// contents. Copies share the stamp (contents are equal at copy time);
+  /// any mutation (Append / Set) takes a fresh stamp, and tables wrapped
+  /// from the same ColumnarTable share its stamp. The plan-fingerprint
+  /// feedback key (cost.h) salts scans with this, so execution actuals
+  /// recorded against one contents state can never poison cardinality
+  /// estimates after the table mutates — even when the row count happens
+  /// to stay the same (a Set-heavy chain transition, say).
+  uint64_t content_version() const { return content_version_; }
+
   /// Pretty-printed preview of up to `max_rows` rows.
   std::string ToString(size_t max_rows = 20) const;
 
@@ -134,6 +150,8 @@ class Table {
   mutable std::shared_ptr<const ColumnarTable> columnar_;
   /// Memoized statistics; reset together with columnar_ on mutation.
   mutable std::shared_ptr<const TableStats> stats_;
+  /// See content_version().
+  uint64_t content_version_ = NextContentVersion();
 };
 
 }  // namespace mde::table

@@ -95,6 +95,56 @@ TEST(ObsStatTest, P2QuantileExactForSmallSamples) {
   EXPECT_DOUBLE_EQ(med.Value(), 2.0);  // exact median of {1,2,3}
 }
 
+TEST(ObsStatTest, P2QuantileTinyNExactFallback) {
+  // The sketch needs 5 markers before the parabolic update is defined; for
+  // n in {0,1,2,5} the value must be the EXACT interpolated quantile of
+  // what was seen, for every p, in any insertion order.
+  for (const double p : {0.05, 0.5, 0.95}) {
+    obs::P2Quantile q(p);
+    EXPECT_DOUBLE_EQ(q.Value(), 0.0) << "n=0 p=" << p;  // documented empty
+    q.Add(7.0);
+    EXPECT_DOUBLE_EQ(q.Value(), 7.0) << "n=1 p=" << p;
+    q.Add(3.0);  // unsorted insertion
+    // Exact two-point interpolation between sorted {3, 7}.
+    EXPECT_DOUBLE_EQ(q.Value(), 3.0 + p * 4.0) << "n=2 p=" << p;
+    q.Add(9.0);
+    q.Add(1.0);
+    q.Add(5.0);
+    // n=5: markers are the sorted sample {1,3,5,7,9}; the estimate must
+    // equal the exact rank-interpolated quantile.
+    const double rank = p * 4.0;
+    const auto lo = static_cast<size_t>(rank);
+    const double sorted[5] = {1.0, 3.0, 5.0, 7.0, 9.0};
+    const double exact =
+        sorted[lo] +
+        (rank - static_cast<double>(lo)) *
+            (sorted[std::min<size_t>(lo + 1, 4)] - sorted[lo]);
+    EXPECT_DOUBLE_EQ(q.Value(), exact) << "n=5 p=" << p;
+  }
+}
+
+TEST(ObsStatTest, CiMonitorTinyNHasNoSpuriousPrecision) {
+  obs::CiMonitor ci;
+  // n = 0 and n = 1: no CLT bound exists. A zero half-width here would let
+  // a one-draw cache entry satisfy ANY precision target.
+  EXPECT_TRUE(std::isinf(ci.half_width()));
+  ci.Add(42.0);
+  EXPECT_EQ(ci.count(), 1u);
+  EXPECT_TRUE(std::isinf(ci.half_width()));
+  EXPECT_DOUBLE_EQ(ci.mean(), 42.0);
+  // n = 2: first finite bound, and it matches the closed form.
+  ci.Add(44.0);
+  const double sd2 = std::sqrt(2.0);  // stddev of {42, 44}
+  EXPECT_NEAR(ci.half_width(), 1.959964 * sd2 / std::sqrt(2.0), 1e-12);
+  // n = 5 stays finite and shrinks vs n = 2 for same-scale data.
+  ci.Add(43.0);
+  ci.Add(42.5);
+  ci.Add(43.5);
+  EXPECT_EQ(ci.count(), 5u);
+  EXPECT_TRUE(std::isfinite(ci.half_width()));
+  EXPECT_LT(ci.half_width(), 1.959964 * sd2 / std::sqrt(2.0));
+}
+
 TEST(ObsStatTest, CiMonitorHalfWidthMatchesBruteForce) {
   obs::CiMonitor ci;  // no gauge publication
   std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};

@@ -330,6 +330,108 @@ TEST(DiagServerTest, ConcurrentScrapersAllAnswered) {
   server.Stop();
 }
 
+TEST(DiagServerTest, RegisteredHandlerRoutesQueryStringAndIndex) {
+  obs::DiagServer server;
+  ASSERT_TRUE(server.Start(0));
+  const int port = server.port();
+
+  const uint64_t id = obs::RegisterDiagHandler(
+      "/echoz",
+      [](const std::string& query) {
+        obs::DiagPage page;
+        page.body = "echo:" + obs::DiagQueryParam(query, "msg");
+        return page;
+      },
+      "<a href=\"/echoz\">/echoz</a> — test echo");
+
+  int status = 0;
+  EXPECT_EQ(HttpGet(port, "/echoz?msg=hello", &status), "echo:hello");
+  EXPECT_EQ(status, 200);
+  const std::string index = HttpGet(port, "/", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(index.find("/echoz"), std::string::npos)
+      << "registered pages must be advertised on the index";
+
+  // Built-ins always win over a registered path.
+  const uint64_t shadow = obs::RegisterDiagHandler(
+      "/healthz", [](const std::string&) { return obs::DiagPage{}; });
+  EXPECT_EQ(HttpGet(port, "/healthz", &status), "ok\n");
+  obs::UnregisterDiagHandler(shadow);
+
+  obs::UnregisterDiagHandler(id);
+  HttpGet(port, "/echoz", &status);
+  EXPECT_EQ(status, 404) << "unregistered pages must 404 again";
+  server.Stop();
+}
+
+TEST(DiagServerTest, ThrottledReaderReceivesFullLargeBody) {
+  obs::DiagServer server;
+  ASSERT_TRUE(server.Start(0));
+  const int port = server.port();
+
+  // A body far larger than any socket buffer: against the throttled reader
+  // below the kernel send buffer fills and ::send returns short counts.
+  // Before SendAll looped, the tail of the body was silently dropped —
+  // exactly how large /metrics and /profilez scrapes got truncated.
+  std::string big;
+  big.reserve(4u << 20);
+  uint64_t line = 0;
+  while (big.size() < (4u << 20)) {
+    big += "payload line ";
+    big += std::to_string(line++);
+    big += '\n';
+  }
+  const uint64_t id = obs::RegisterDiagHandler(
+      "/bigz", [&big](const std::string&) {
+        obs::DiagPage page;
+        page.body = big;
+        return page;
+      });
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  // Shrink the receive window BEFORE connect so the handshake advertises
+  // it; combined with slow small reads this throttles the server's sender.
+  int rcvbuf = 4096;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string req =
+      "GET /bigz HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(::send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+
+  std::string raw;
+  char buf[2048];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+    // ~2 KiB per 300 us is ~7 MB/s: slow enough to fill the send buffer,
+    // fast enough to stay far inside the server's 10 s send timeout.
+    ::usleep(300);
+  }
+  ::close(fd);
+
+  const size_t hdr_end = raw.find("\r\n\r\n");
+  ASSERT_NE(hdr_end, std::string::npos);
+  const std::string headers = raw.substr(0, hdr_end);
+  EXPECT_NE(headers.find("Content-Length: " + std::to_string(big.size())),
+            std::string::npos)
+      << headers;
+  const std::string body = raw.substr(hdr_end + 4);
+  ASSERT_EQ(body.size(), big.size())
+      << "throttled reader got a truncated body";
+  EXPECT_EQ(body, big);
+
+  obs::UnregisterDiagHandler(id);
+  server.Stop();
+}
+
 // ---------------------------------------------------------------------------
 // Profiler: scaling, filtering, folded format, determinism.
 // ---------------------------------------------------------------------------

@@ -387,5 +387,42 @@ TEST(FeedbackTest, ScanFingerprintTracksRowCount) {
             PlanFingerprint(PlanNode::Scan(&t2, "orders")));
 }
 
+TEST(FeedbackTest, MutationInvalidatesFeedbackEvenAtSameRowCount) {
+  Catalog::Global().ClearFeedback();
+  // Skewed so the analytic guess and the recorded actual are far apart.
+  Table t{Schema({{"id", DataType::kInt64}, {"amount", DataType::kDouble}})};
+  for (int64_t i = 0; i < 1000; ++i) {
+    t.Append({Value(i), Value(i % 10 == 0 ? static_cast<double>(i) : 42.0)});
+  }
+  PlanPtr plan = PlanNode::Filter(PlanNode::Scan(&t, "skewed"),
+                                  {{"amount", CmpOp::kEq, Value(42.0)}});
+  const std::string fp_before = PlanFingerprint(plan);
+
+  ExecutionStats run1;
+  ASSERT_TRUE(ExecutePlan(plan, &run1).ok());
+  const double actual = static_cast<double>(run1.nodes[0].rows_out);
+  ASSERT_GT(actual, 800.0);
+  double fed_back = 0.0;
+  ASSERT_TRUE(Catalog::Global().LookupActual(fp_before, &fed_back));
+  EXPECT_EQ(fed_back, actual);
+
+  // Overwrite every amount in place: the row count is unchanged, but the
+  // recorded actual (≈900 matches) is now wildly stale (0 match).
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    t.Set(r, 1, Value(-1.0));
+  }
+  const std::string fp_after = PlanFingerprint(plan);
+  EXPECT_NE(fp_before, fp_after);  // content-version salt changed the key
+  double stale = 0.0;
+  EXPECT_FALSE(Catalog::Global().LookupActual(fp_after, &stale));
+  // The estimate for the mutated table is analytic again, not the stale
+  // ~900-row actual that used to leak through the unchanged row count.
+  CostModel model;
+  EXPECT_LT(model.EstimateRows(plan), 800.0);
+
+  // Unmutated copies keep sharing the original key (feedback still works).
+  Catalog::Global().ClearFeedback();
+}
+
 }  // namespace
 }  // namespace mde::table

@@ -1,0 +1,719 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/context.h"
+#include "obs/http.h"
+#include "obs/stat.h"
+#include "serve/cache.h"
+#include "serve/mvcc.h"
+#include "serve/server.h"
+#include "simsql/simsql.h"
+#include "table/table.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace mde {
+namespace {
+
+using serve::Answer;
+using serve::CacheKey;
+using serve::McQuerySpec;
+using serve::Request;
+using serve::ResultCache;
+using serve::Server;
+using serve::SessionWorkload;
+using serve::SnapshotRef;
+using serve::VersionChain;
+using simsql::DatabaseState;
+using table::DataType;
+using table::Schema;
+using table::Table;
+using table::Value;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Content fingerprint of a whole database state: bit-exact over every
+/// numeric cell, so two reads agree iff they saw identical bits.
+uint64_t StateChecksum(const DatabaseState& state) {
+  uint64_t h = obs::FingerprintString("state");
+  for (const auto& [name, t] : state) {
+    h = obs::FingerprintMix(h, obs::FingerprintString(name));
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      for (const Value& v : t.row(r)) {
+        const double d = v.AsDouble();
+        uint64_t bits = 0;
+        std::memcpy(&bits, &d, sizeof(bits));
+        h = obs::FingerprintMix(h, bits);
+      }
+    }
+  }
+  return h;
+}
+
+DatabaseState MarkerState(uint64_t version) {
+  Table t{Schema({{"V", DataType::kDouble}})};
+  t.Append({Value(static_cast<double>(version) * 3.25 + 1.0)});
+  DatabaseState state;
+  state.emplace("MARK", std::move(t));
+  return state;
+}
+
+/// A small asset-price random walk: chain table PRICES evolves per
+/// version, deterministic POSITIONS holds quantities.
+simsql::MarkovChainDb MakePriceDb(size_t assets = 4) {
+  simsql::MarkovChainDb db;
+  Table pos{
+      Schema({{"ASSET", DataType::kInt64}, {"QTY", DataType::kDouble}})};
+  for (size_t i = 0; i < assets; ++i) {
+    pos.Append({Value(static_cast<int64_t>(i)),
+                Value(1.0 + static_cast<double>(i))});
+  }
+  EXPECT_TRUE(db.AddDeterministic("POSITIONS", std::move(pos)).ok());
+
+  simsql::ChainTableSpec spec;
+  spec.name = "PRICES";
+  spec.init = [assets](const DatabaseState&, Rng& rng) -> Result<Table> {
+    Table t{
+        Schema({{"ASSET", DataType::kInt64}, {"PRICE", DataType::kDouble}})};
+    for (size_t i = 0; i < assets; ++i) {
+      t.Append({Value(static_cast<int64_t>(i)),
+                Value(100.0 + 10.0 * static_cast<double>(i) +
+                      rng.NextDouble())});
+    }
+    return t;
+  };
+  spec.transition = [assets](const DatabaseState& prev, const DatabaseState&,
+                             Rng& rng) -> Result<Table> {
+    const Table& p = prev.at("PRICES");
+    Table t{
+        Schema({{"ASSET", DataType::kInt64}, {"PRICE", DataType::kDouble}})};
+    for (size_t i = 0; i < assets; ++i) {
+      t.Append({p.row(i)[0],
+                Value(p.row(i)[1].AsDouble() + (rng.NextDouble() - 0.5))});
+    }
+    return t;
+  };
+  EXPECT_TRUE(db.AddChainTable(std::move(spec)).ok());
+  return db;
+}
+
+/// Monte Carlo portfolio value: simulate each price `horizon` steps forward
+/// at volatility `vol`, sum price x quantity. One eval = one replication.
+McQuerySpec PortfolioValueQuery() {
+  McQuerySpec spec;
+  spec.name = "pv";
+  spec.eval = [](const DatabaseState& state,
+                 const std::map<std::string, double>& params,
+                 Rng& rng) -> Result<double> {
+    const double vol =
+        params.count("vol") != 0 ? params.at("vol") : 1.0;
+    const int horizon =
+        params.count("horizon") != 0
+            ? static_cast<int>(params.at("horizon"))
+            : 4;
+    const Table& prices = state.at("PRICES");
+    const Table& pos = state.at("POSITIONS");
+    double total = 0.0;
+    for (size_t i = 0; i < prices.num_rows(); ++i) {
+      double p = prices.row(i)[1].AsDouble();
+      for (int h = 0; h < horizon; ++h) {
+        p += (rng.NextDouble() - 0.5) * vol;
+      }
+      total += p * pos.row(i)[1].AsDouble();
+    }
+    return total;
+  };
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// MVCC version chain.
+// ---------------------------------------------------------------------------
+
+TEST(MvccTest, InstallPinReleaseReclaim) {
+  VersionChain chain(/*min_retain=*/1);
+  EXPECT_EQ(chain.head_version(), VersionChain::kNone);
+  EXPECT_FALSE(chain.PinHead().valid());
+  EXPECT_FALSE(chain.Pin(0).valid());
+
+  EXPECT_EQ(chain.Install(MarkerState(0)), 0u);
+  EXPECT_EQ(chain.Install(MarkerState(1)), 1u);
+  EXPECT_EQ(chain.head_version(), 1u);
+
+  // v0 is retired and unpinned: the second install reclaimed it.
+  EXPECT_EQ(chain.live_versions(), 1u);
+  EXPECT_EQ(chain.reclaimed(), 1u);
+  EXPECT_FALSE(chain.Pin(0).valid());
+
+  // Pin the head; installs must not touch it while pinned.
+  SnapshotRef pinned = chain.PinHead();
+  ASSERT_TRUE(pinned.valid());
+  EXPECT_EQ(pinned.version(), 1u);
+  const uint64_t sum_before = StateChecksum(pinned.state());
+  EXPECT_EQ(chain.Install(MarkerState(2)), 2u);
+  EXPECT_EQ(chain.Install(MarkerState(3)), 3u);
+  EXPECT_EQ(StateChecksum(pinned.state()), sum_before)
+      << "pinned state changed under concurrent installs";
+  // v1 pinned, v2 unpinned+retired (reclaimed), v3 head.
+  EXPECT_EQ(chain.live_versions(), 2u);
+  ASSERT_TRUE(chain.Pin(1).valid());
+
+  // Second pin on the same version; releasing one keeps it resident.
+  SnapshotRef second = chain.Pin(1);
+  second.Release();
+  EXPECT_FALSE(second.valid());
+  EXPECT_EQ(chain.Install(MarkerState(4)), 4u);
+  EXPECT_TRUE(chain.Pin(1).valid()) << "still pinned by the first ref";
+
+  // Releasing the last pin frees v1 at the next install.
+  pinned.Release();
+  chain.Install(MarkerState(5));
+  EXPECT_FALSE(chain.Pin(1).valid());
+  EXPECT_EQ(chain.live_versions(), 1u);
+}
+
+TEST(MvccTest, MoveTransfersThePin) {
+  VersionChain chain(1);
+  chain.Install(MarkerState(0));
+  SnapshotRef a = chain.PinHead();
+  SnapshotRef b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): spec'd empty
+  ASSERT_TRUE(b.valid());
+  chain.Install(MarkerState(1));
+  chain.Install(MarkerState(2));
+  EXPECT_TRUE(chain.Pin(0).valid()) << "moved-to ref must keep the pin";
+  b.Release();
+  chain.Install(MarkerState(3));
+  EXPECT_FALSE(chain.Pin(0).valid());
+}
+
+/// The concurrency satellite: writers advance versions while readers pin,
+/// re-read, and hold snapshots across installs. Run under TSan in CI. Every
+/// read of a pinned version must be bit-identical, and versions with live
+/// pins must never be reclaimed out from under a reader.
+TEST(MvccTest, ConcurrentSnapshotHammer) {
+  constexpr int kInstalls = 200;
+  constexpr int kReaders = 6;
+  VersionChain chain(/*min_retain=*/2);
+  chain.Install(MarkerState(0));
+
+  // Readers run a FIXED number of iterations (not gated on the writer
+  // finishing — a fast writer must not turn this into a no-op test), so
+  // pins and installs genuinely overlap for the whole run.
+  constexpr int kReaderIters = 400;
+  std::thread writer([&chain] {
+    for (uint64_t v = 1; v <= kInstalls; ++v) {
+      chain.Install(MarkerState(v));
+    }
+  });
+
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&chain, &reads, r] {
+      Rng rng(1234 + static_cast<uint64_t>(r));
+      std::vector<std::pair<SnapshotRef, uint64_t>> held;  // ref, checksum
+      for (int iter = 0; iter < kReaderIters; ++iter) {
+        if (held.size() < 4 || rng.NextBounded(2) == 0) {
+          SnapshotRef snap = chain.PinHead();
+          if (snap.valid()) {
+            const uint64_t version = snap.version();
+            const uint64_t sum = StateChecksum(snap.state());
+            // The marker state is a pure function of the version number:
+            // any torn or stale read shows up as a checksum mismatch.
+            ASSERT_EQ(sum, StateChecksum(MarkerState(version)));
+            held.emplace_back(std::move(snap), sum);
+          }
+        } else {
+          // Re-validate the OLDEST held snapshot (the one most installs
+          // have happened past), then release it.
+          auto& [snap, sum] = held.front();
+          ASSERT_EQ(StateChecksum(snap.state()), sum)
+              << "held snapshot v" << snap.version()
+              << " changed while pinned";
+          held.erase(held.begin());
+        }
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Drain: every held snapshot must still read back identically.
+      for (auto& [snap, sum] : held) {
+        ASSERT_EQ(StateChecksum(snap.state()), sum);
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(reads.load(),
+            static_cast<uint64_t>(kReaders) * kReaderIters);
+  EXPECT_EQ(chain.head_version(), static_cast<uint64_t>(kInstalls));
+  // All pins are gone: everything but the retained tail is reclaimable,
+  // and one more install proves the chain still works.
+  chain.Install(MarkerState(kInstalls + 1));
+  EXPECT_LE(chain.live_versions(), 2u + 1u);
+  EXPECT_GT(chain.reclaimed(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// CLT-bounded result cache.
+// ---------------------------------------------------------------------------
+
+/// rep_fn whose value is a pure function of the index, which also records
+/// every index it was asked for — the each-rep-exactly-once ledger.
+struct CountingRepFn {
+  std::vector<int> calls_per_index = std::vector<int>(4096, 0);
+  double operator()(uint64_t rep) {
+    ++calls_per_index[rep];
+    Rng rng = Rng::Substream(/*seed=*/77, rep);
+    return 10.0 + rng.NextDouble();
+  }
+};
+
+TEST(ResultCacheTest, LooserIsAHitTighterSpendsOnlyIncrementalReps) {
+  ResultCache cache;
+  CountingRepFn fn;
+  const ResultCache::RepFn rep_fn = [&fn](uint64_t rep) -> Result<double> {
+    return fn(rep);
+  };
+  const CacheKey key{1, 2, 3};
+
+  // Cold: no target pressure -> exactly min_reps run.
+  auto first = cache.Fetch(key, /*target=*/kInf, /*min_reps=*/8,
+                           /*max_reps=*/256, rep_fn);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.value().reps, 8u);
+  EXPECT_EQ(first.value().reps_added, 8u);
+  EXPECT_FALSE(first.value().pure_hit);
+  EXPECT_TRUE(std::isfinite(first.value().half_width));
+
+  // Same key, looser precision: pure hit, zero reps, same answer bits.
+  auto looser = cache.Fetch(key, first.value().half_width * 4.0, 8, 256,
+                            rep_fn);
+  ASSERT_TRUE(looser.ok());
+  EXPECT_TRUE(looser.value().pure_hit);
+  EXPECT_EQ(looser.value().reps_added, 0u);
+  EXPECT_EQ(std::memcmp(&looser.value().estimate, &first.value().estimate,
+                        sizeof(double)),
+            0);
+
+  // Tighter: only the missing reps run, resuming at index 8.
+  const double tight = first.value().half_width / 3.0;
+  auto tighter = cache.Fetch(key, tight, 8, 4096, rep_fn);
+  ASSERT_TRUE(tighter.ok());
+  EXPECT_FALSE(tighter.value().pure_hit);
+  EXPECT_GT(tighter.value().reps, 8u);
+  EXPECT_EQ(tighter.value().reps_added, tighter.value().reps - 8u);
+  EXPECT_LE(tighter.value().half_width, tight);
+
+  // Bit-identity: a fresh sequential Welford over reps 0..n-1 reproduces
+  // the cached accumulator exactly.
+  obs::Welford fresh;
+  CountingRepFn replay;
+  for (uint64_t i = 0; i < tighter.value().reps; ++i) fresh.Add(replay(i));
+  const double fresh_mean = fresh.state().mean;
+  EXPECT_EQ(std::memcmp(&tighter.value().estimate, &fresh_mean,
+                        sizeof(double)),
+            0)
+      << "cache-assembled estimate differs from a single sequential run";
+
+  // Each-rep-exactly-once, process-wide.
+  for (uint64_t i = 0; i < tighter.value().reps; ++i) {
+    EXPECT_EQ(fn.calls_per_index[i], 1) << "rep " << i;
+  }
+
+  const serve::CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.pure_hits, 1u);
+  EXPECT_EQ(stats.topups, 1u);
+  EXPECT_EQ(stats.reps_run, tighter.value().reps);
+}
+
+TEST(ResultCacheTest, TinyNNeverClaimsPrecision) {
+  // min_reps below 2 is clamped: an n=1 "answer" would have an infinite
+  // CLT half-width and must not satisfy any finite target.
+  ResultCache cache;
+  uint64_t runs = 0;
+  const ResultCache::RepFn rep_fn = [&runs](uint64_t) -> Result<double> {
+    ++runs;
+    return 5.0;
+  };
+  auto r = cache.Fetch(CacheKey{9, 9, 9}, /*target=*/kInf, /*min_reps=*/0,
+                       /*max_reps=*/256, rep_fn);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r.value().reps, 2u);
+}
+
+TEST(ResultCacheTest, RepErrorPropagatesAndKeepsEarlierReps) {
+  ResultCache cache;
+  std::atomic<bool> fail_at_5{true};
+  uint64_t runs = 0;
+  const ResultCache::RepFn rep_fn =
+      [&fail_at_5, &runs](uint64_t rep) -> Result<double> {
+    if (fail_at_5.load() && rep == 5) {
+      return Status::Internal("transient rep failure");
+    }
+    ++runs;
+    return static_cast<double>(rep);
+  };
+  const CacheKey key{4, 5, 6};
+  auto broken = cache.Fetch(key, kInf, 8, 256, rep_fn);
+  ASSERT_FALSE(broken.ok());
+  EXPECT_EQ(runs, 5u);
+
+  // Retry after the fault clears: resumes at rep 5, reps 0..4 not re-run.
+  fail_at_5.store(false);
+  auto fixed = cache.Fetch(key, kInf, 8, 256, rep_fn);
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_EQ(fixed.value().reps, 8u);
+  EXPECT_EQ(fixed.value().reps_added, 3u);
+  EXPECT_EQ(runs, 8u);
+}
+
+TEST(ResultCacheTest, StaleEntriesEvictUnderByteBudget) {
+  ResultCache::Options opts;
+  opts.max_bytes = 2 * ResultCache::kEntryBytes;  // budget: 2 entries
+  ResultCache cache(opts);
+  const ResultCache::RepFn rep_fn = [](uint64_t rep) -> Result<double> {
+    return static_cast<double>(rep);
+  };
+  ASSERT_TRUE(cache.Fetch(CacheKey{1, 0, 0}, kInf, 2, 8, rep_fn).ok());
+  ASSERT_TRUE(cache.Fetch(CacheKey{2, 0, 0}, kInf, 2, 8, rep_fn).ok());
+  // Same epoch: nothing is stale, the budget may be transiently exceeded
+  // rather than evicting what was just inserted.
+  ASSERT_TRUE(cache.Fetch(CacheKey{3, 0, 0}, kInf, 2, 8, rep_fn).ok());
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // One epoch later the older keys are fair game.
+  cache.AdvanceEpoch();
+  ASSERT_TRUE(cache.Fetch(CacheKey{4, 0, 0}, kInf, 2, 8, rep_fn).ok());
+  const serve::CacheStats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.entries, 2u);
+  EXPECT_LE(stats.bytes, opts.max_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Server + sessions end to end.
+// ---------------------------------------------------------------------------
+
+TEST(ServeServerTest, CachedAnswerBitIdenticalToFreshSingleSessionRun) {
+  // Server A answers via cache assembly: a loose request seeds 8 reps,
+  // a tight request tops up to exactly 40 (target 0 is unreachable, so it
+  // runs to max_reps).
+  simsql::MarkovChainDb db_a = MakePriceDb();
+  Server::Options opts;
+  opts.seed = 2024;
+  opts.min_reps = 8;
+  Server a(db_a, opts);
+  ASSERT_TRUE(a.AddQuery(PortfolioValueQuery()).ok());
+  ASSERT_TRUE(a.Start().ok());
+
+  Request loose;
+  loose.query = "pv";
+  loose.params = {{"vol", 2.0}, {"horizon", 3.0}};
+  loose.target_half_width = kInf;
+  loose.max_reps = 40;
+  auto s1 = a.OpenSession("loose-first");
+  auto r1 = s1->Execute(loose);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value().reps, 8u);
+
+  Request tight = loose;
+  tight.target_half_width = 0.0;
+  auto s2 = a.OpenSession("tight-later");
+  auto r2 = s2->Execute(tight);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().reps, 40u);
+  EXPECT_EQ(r2.value().reps_added, 32u);
+  EXPECT_FALSE(r2.value().cache_hit);
+
+  // Server B: identical chain + seed, one fresh session running all 40
+  // reps itself. The assembled answer must match bitwise.
+  simsql::MarkovChainDb db_b = MakePriceDb();
+  Server b(db_b, opts);
+  ASSERT_TRUE(b.AddQuery(PortfolioValueQuery()).ok());
+  ASSERT_TRUE(b.Start().ok());
+  auto r3 = b.OpenSession("fresh-one-shot")->Execute(tight);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3.value().reps, 40u);
+  EXPECT_EQ(r3.value().reps_added, 40u);
+  EXPECT_EQ(std::memcmp(&r2.value().estimate, &r3.value().estimate,
+                        sizeof(double)),
+            0)
+      << "cache-assembled " << r2.value().estimate << " vs fresh "
+      << r3.value().estimate;
+  EXPECT_EQ(std::memcmp(&r2.value().half_width, &r3.value().half_width,
+                        sizeof(double)),
+            0);
+
+  // Third session on A: pure hit with the same bits.
+  auto r4 = a.OpenSession("hit")->Execute(tight);
+  ASSERT_TRUE(r4.ok());
+  EXPECT_TRUE(r4.value().cache_hit);
+  EXPECT_EQ(std::memcmp(&r4.value().estimate, &r3.value().estimate,
+                        sizeof(double)),
+            0);
+}
+
+TEST(ServeServerTest, VersionsIsolateAnswersAndPinnedReadsSurviveAdvance) {
+  simsql::MarkovChainDb db = MakePriceDb();
+  Server::Options opts;
+  opts.min_retain_versions = 8;  // keep v0 resident for the pinned read
+  Server server(db, opts);
+  ASSERT_TRUE(server.AddQuery(PortfolioValueQuery()).ok());
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.head_version(), 0u);
+  EXPECT_FALSE(server.Start().ok()) << "double Start must fail";
+
+  auto session = server.OpenSession("versions");
+  Request req;
+  req.query = "pv";
+  req.target_half_width = kInf;
+  auto at_v0 = session->Execute(req);
+  ASSERT_TRUE(at_v0.ok());
+  EXPECT_EQ(at_v0.value().version, 0u);
+
+  ASSERT_TRUE(server.AdvanceVersion().ok());
+  EXPECT_EQ(server.head_version(), 1u);
+
+  // Head request now keys a different version: a miss, different answer.
+  auto at_v1 = session->Execute(req);
+  ASSERT_TRUE(at_v1.ok());
+  EXPECT_EQ(at_v1.value().version, 1u);
+  EXPECT_FALSE(at_v1.value().cache_hit);
+
+  // Explicit old-version request: pure hit, bit-identical to the first.
+  Request pinned = req;
+  pinned.version = 0;
+  auto again_v0 = session->Execute(pinned);
+  ASSERT_TRUE(again_v0.ok());
+  EXPECT_TRUE(again_v0.value().cache_hit);
+  EXPECT_EQ(std::memcmp(&again_v0.value().estimate, &at_v0.value().estimate,
+                        sizeof(double)),
+            0);
+
+  // Unknown query and never-installed version fail cleanly.
+  Request bogus = req;
+  bogus.query = "nope";
+  EXPECT_FALSE(session->Execute(bogus).ok());
+  Request future = req;
+  future.version = 99;
+  EXPECT_FALSE(session->Execute(future).ok());
+}
+
+TEST(ServeServerTest, ConcurrentSessionsHitRateAndPrecisionContract) {
+  simsql::MarkovChainDb db = MakePriceDb();
+  Server::Options opts;
+  opts.seed = 7;
+  opts.min_reps = 8;
+  Server server(db, opts);
+  ASSERT_TRUE(server.AddQuery(PortfolioValueQuery()).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  // 8 sessions x 30 requests over 5 shared request shapes: after each
+  // shape's first (per-precision-tier) touch, everything is a pure hit.
+  constexpr int kSessions = 8;
+  constexpr int kRequestsPerSession = 30;
+  std::vector<Request> shapes;
+  for (int s = 0; s < 5; ++s) {
+    Request r;
+    r.query = "pv";
+    r.params = {{"vol", 1.0 + s}, {"horizon", 3.0}};
+    r.target_half_width = 4.0;  // reachable at a few dozen reps
+    r.max_reps = 2048;
+    shapes.push_back(r);
+  }
+  std::vector<SessionWorkload> workloads(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    workloads[s].tag = "client-" + std::to_string(s);
+    Rng rng(900 + static_cast<uint64_t>(s));
+    for (int q = 0; q < kRequestsPerSession; ++q) {
+      workloads[s].requests.push_back(
+          shapes[rng.NextBounded(shapes.size())]);
+    }
+  }
+
+  ThreadPool pool(kSessions);
+  auto results = serve::ServeLoop(server, workloads, &pool);
+  ASSERT_TRUE(results.ok());
+
+  uint64_t hits = 0;
+  uint64_t total = 0;
+  // Cross-session consistency: same request shape (vol parameter) at the
+  // same version must produce bitwise-identical estimates everywhere.
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> canonical_bits;
+  for (size_t s = 0; s < results.value().size(); ++s) {
+    const auto& session_answers = results.value()[s];
+    ASSERT_EQ(session_answers.size(), workloads[s].requests.size());
+    for (size_t q = 0; q < session_answers.size(); ++q) {
+      const Answer& answer = session_answers[q];
+      ++total;
+      hits += answer.cache_hit ? 1 : 0;
+      // Precision contract: every answer satisfies the requested bound
+      // (max_reps was sized so the target is always reachable).
+      ASSERT_LE(answer.half_width, 4.0);
+      ASSERT_GE(answer.reps, opts.min_reps);
+      const double vol = workloads[s].requests[q].params.at("vol");
+      uint64_t vol_bits = 0;
+      std::memcpy(&vol_bits, &vol, sizeof(vol_bits));
+      uint64_t est_bits = 0;
+      std::memcpy(&est_bits, &answer.estimate, sizeof(est_bits));
+      const auto key = std::make_pair(vol_bits, answer.version);
+      const auto [it, inserted] = canonical_bits.emplace(key, est_bits);
+      ASSERT_EQ(it->second, est_bits)
+          << "session " << s << " got a different answer for vol=" << vol;
+      (void)inserted;
+    }
+  }
+  EXPECT_EQ(total,
+            static_cast<uint64_t>(kSessions * kRequestsPerSession));
+  // >= 0.9 hit rate: at most 5 shapes miss once each; 5/240 misses.
+  EXPECT_GE(static_cast<double>(hits) / static_cast<double>(total), 0.9)
+      << hits << "/" << total;
+
+  // ServeLoop sessions close with their workloads; an open session shows
+  // up on /sessionz with its counters, alongside the shared cache line.
+  auto inspector = server.OpenSession("inspector");
+  ASSERT_TRUE(inspector->Execute(shapes[0]).ok());
+  const std::string sessionz = server.RenderSessionz();
+  EXPECT_NE(sessionz.find("inspector"), std::string::npos) << sessionz;
+  EXPECT_NE(sessionz.find("cache:"), std::string::npos);
+  EXPECT_NE(sessionz.find("head_version: 0"), std::string::npos);
+}
+
+/// Minimal loopback GET; returns the body, status via *status_out.
+std::string HttpGet(int port, const std::string& target, int* status_out) {
+  *status_out = 0;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + target +
+                          " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                          "Connection: close\r\n\r\n";
+  if (::send(fd, req.data(), req.size(), 0) !=
+      static_cast<ssize_t>(req.size())) {
+    ::close(fd);
+    return "";
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (raw.compare(0, 5, "HTTP/") != 0) return "";
+  *status_out = std::atoi(raw.c_str() + 9);
+  const size_t hdr_end = raw.find("\r\n\r\n");
+  return hdr_end == std::string::npos ? "" : raw.substr(hdr_end + 4);
+}
+
+TEST(ServeServerTest, SessionzServedOverDiagServerWhileServerLives) {
+#ifdef MDE_OBS_DISABLED
+  GTEST_SKIP() << "no diagnostics server in the obs-disabled build";
+#endif
+  obs::DiagServer diag;
+  ASSERT_TRUE(diag.Start(0));
+
+  int status = 0;
+  {
+    simsql::MarkovChainDb db = MakePriceDb();
+    Server server(db, Server::Options{});
+    ASSERT_TRUE(server.AddQuery(PortfolioValueQuery()).ok());
+    ASSERT_TRUE(server.Start().ok());
+    auto session = server.OpenSession("web-client");
+    Request req;
+    req.query = "pv";
+    req.target_half_width = kInf;
+    ASSERT_TRUE(session->Execute(req).ok());
+
+    const std::string body = HttpGet(diag.port(), "/sessionz", &status);
+    EXPECT_EQ(status, 200);
+    EXPECT_NE(body.find("web-client"), std::string::npos) << body;
+    EXPECT_NE(body.find("head_version: 0"), std::string::npos);
+    const std::string index = HttpGet(diag.port(), "/", &status);
+    EXPECT_NE(index.find("/sessionz"), std::string::npos)
+        << "index must advertise the registered page";
+  }
+  // Server gone: its handler unregistered with it.
+  HttpGet(diag.port(), "/sessionz", &status);
+  EXPECT_EQ(status, 404);
+  diag.Stop();
+}
+
+TEST(ServeServerTest, HammerReadersWhileWriterAdvances) {
+  // Sessions execute continuously (mixed head + pinned-v0 requests) while
+  // the writer advances the chain; run under TSan in CI. Pinned v0
+  // answers must stay bit-identical throughout.
+  simsql::MarkovChainDb db = MakePriceDb();
+  Server::Options opts;
+  opts.min_retain_versions = 64;  // v0 stays resident for the whole test
+  Server server(db, opts);
+  ASSERT_TRUE(server.AddQuery(PortfolioValueQuery()).ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  Request v0_req;
+  v0_req.query = "pv";
+  v0_req.target_half_width = kInf;
+  v0_req.version = 0;
+  auto baseline = server.OpenSession("baseline")->Execute(v0_req);
+  ASSERT_TRUE(baseline.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&server, &stop, &failures, &baseline, &v0_req,
+                          c] {
+      auto session = server.OpenSession("hammer-" + std::to_string(c));
+      while (!stop.load(std::memory_order_acquire)) {
+        auto pinned = session->Execute(v0_req);
+        if (!pinned.ok() ||
+            std::memcmp(&pinned.value().estimate,
+                        &baseline.value().estimate, sizeof(double)) != 0) {
+          failures.fetch_add(1);
+          return;
+        }
+        Request head;
+        head.query = "pv";
+        head.target_half_width = kInf;
+        if (!session->Execute(head).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (int v = 0; v < 30; ++v) {
+    ASSERT_TRUE(server.AdvanceVersion().ok());
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.head_version(), 30u);
+}
+
+}  // namespace
+}  // namespace mde
